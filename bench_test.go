@@ -1,0 +1,343 @@
+// Benchmark harness: one benchmark per paper table/figure (run with
+// `go test -bench=. -benchmem -benchtime=1x`), plus component micro-
+// benchmarks. Figure benchmarks call the same drivers as cmd/experiments
+// in quick mode; full-scale runs are the experiments command's job.
+package main
+
+import (
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/codegen"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/exp"
+	"repro/internal/funcsim"
+	"repro/internal/noc"
+	"repro/internal/npu"
+	"repro/internal/sparse"
+	"repro/internal/sparsecore"
+	"repro/internal/tensor"
+	"repro/internal/timingsim"
+	"repro/internal/tog"
+	"repro/internal/togsim"
+)
+
+func benchCfg() npu.Config { return npu.TPUv3Config() }
+
+// --- Figure/table reproductions ------------------------------------------
+
+func BenchmarkFig5Accuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig5(benchCfg(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Fig. 6 measures each simulator's wall-clock on the same workload; each
+// sub-benchmark times one simulator on GEMM(512), so the benchmark output
+// itself is the figure's data.
+func fig6Compiled(b *testing.B) (*core.Simulator, *compiler.Compiled) {
+	b.Helper()
+	sim := core.NewSimulator(benchCfg(), compiler.DefaultOptions())
+	comp, err := sim.Compile(exp.GEMMGraph(512))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sim, comp
+}
+
+func BenchmarkFig6TLSSimpleNet(b *testing.B) {
+	sim, comp := fig6Compiled(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.SimulateTLS(comp, core.SimpleNet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6TLSCycleNet(b *testing.B) {
+	sim, comp := fig6Compiled(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.SimulateTLS(comp, core.CycleNet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6ILS(b *testing.B) {
+	sim, comp := fig6Compiled(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := sim.SimulateILS(comp, core.SimpleNet); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6MNPUSim(b *testing.B) {
+	layers := baseline.ExtractLayers(exp.GEMMGraph(512))
+	m := baseline.MNPUSim{Cfg: benchCfg()}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Run(layers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6AccelSim(b *testing.B) {
+	layers := baseline.ExtractLayers(exp.GEMMGraph(512))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := &baseline.AccelSim{Cfg: baseline.NPUEquivalentGPU(benchCfg())}
+		if _, err := a.Run(layers); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7aHeterogeneous(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig7a(benchCfg(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig7bTenancy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig7b(benchCfg(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8aFineGrainedDMA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig8a(benchCfg(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8bConvLayoutBatch1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig8b(benchCfg(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8cSmallChannelConv(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig8c(benchCfg(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9Chiplet(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig9(benchCfg(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10Training(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Fig10(benchCfg(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSparseValidation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.SparseValidation(benchCfg(), true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component micro-benchmarks -------------------------------------------
+
+func BenchmarkCompileGEMM1024(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := compiler.New(benchCfg(), compiler.DefaultOptions())
+		if _, err := c.Compile(exp.GEMMGraph(1024)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDRAMStreaming(b *testing.B) {
+	cfg := benchCfg().Mem
+	for i := 0; i < b.N; i++ {
+		m := dram.New(cfg, dram.FRFCFS)
+		for a := 0; a < 1<<20; a += cfg.BurstBytes {
+			r := &dram.Request{Addr: uint64(a)}
+			for !m.Submit(r) {
+				m.Tick()
+				m.Completed()
+			}
+		}
+		m.Drain()
+	}
+	b.SetBytes(1 << 20)
+}
+
+func BenchmarkNoCCrossbar(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		x := noc.NewCrossbar(32, 3, 256)
+		for j := 0; j < 4096; j++ {
+			m := &noc.Message{Src: j % 4, Dst: 4 + j%8, Bytes: 64}
+			for !x.Submit(m) {
+				x.Tick()
+				x.Completed()
+			}
+		}
+		noc.Drain(x)
+	}
+}
+
+func BenchmarkFuncsimKernel(b *testing.B) {
+	// One 128x128x128 GEMM tile kernel, instruction by instruction: the
+	// unit of work ILS pays per dynamic tile and TLS pays once per shape.
+	cfg := benchCfg().Core
+	prog := codegen.GEMM(codegen.GEMMSpec{M: 128, K: 128, N: 128, WOff: 1 << 16, OutOff: 1 << 18})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := funcsim.NewCore(cfg, npu.NewPagedMem())
+		if _, err := c.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTimingPipelineKernel(b *testing.B) {
+	cfg := benchCfg().Core
+	prog := codegen.GEMM(codegen.GEMMSpec{M: 128, K: 128, N: 128, WOff: 1 << 16, OutOff: 1 << 18})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := timingsim.MeasureKernel(cfg, prog, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices DESIGN.md calls out) -------------
+
+// ablationScheduler reproduces the §5.1 contention mechanism under a given
+// DRAM scheduler: a bandwidth-hungry streaming GEMM (row-hit friendly) is
+// co-located with a sparse core whose scattered fibre fetches have poor
+// row-buffer locality. The policy visibly shifts the victim's completion
+// time (reported as sparse-cycles): FR-FCFS prioritizes the dense stream's
+// row hits, while plain FCFS row-thrashes the shared banks and delays
+// everyone — including the sparse job — even more.
+func ablationScheduler(b *testing.B, policy dram.SchedulerKind) {
+	b.Helper()
+	cfg := benchCfg()
+	cfg.Cores = 2
+	c := compiler.New(cfg, compiler.DefaultOptions())
+	comp, err := c.Compile(exp.GEMMRectGraph(128, 2048, 2048))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dense := comp.Job("dense", 0, 0)
+	r := tensor.NewRNG(1)
+	sa := sparse.Random(r, 256, 256, 0.05)
+	sb := sparse.Random(r, 256, 256, 0.05)
+	spCfg := sparsecore.DefaultConfig()
+	spCfg.ScatterStride = 8224
+	tiled, err := sparsecore.BuildTiledJob("spmspm", sa, sb, 128, spCfg, 1<<32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Repeat the sparse kernel so its later iterations run under the dense
+	// job's steady-state traffic.
+	var spTOGs []*tog.TOG
+	var spBases []map[string]uint64
+	for i := 0; i < 6; i++ {
+		spTOGs = append(spTOGs, tiled.TOG)
+		spBases = append(spBases, tiled.Bases)
+	}
+	var sparseEnd int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp := &togsim.Job{Name: "sparse", TOGs: spTOGs, Bases: spBases, Core: 1, Src: 1}
+		s := togsim.NewStandard(cfg, togsim.SimpleNet, policy)
+		res, err := s.Engine.Run([]*togsim.Job{dense, sp})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, j := range res.Jobs {
+			if j.Name == "sparse" {
+				sparseEnd = j.End
+			}
+		}
+	}
+	b.ReportMetric(float64(sparseEnd), "sparse-cycles")
+}
+
+// Row-buffer-aware scheduling: FR-FCFS vs plain FCFS under dense+sparse
+// co-location.
+func BenchmarkAblationSchedulerFRFCFS(b *testing.B) { ablationScheduler(b, dram.FRFCFS) }
+func BenchmarkAblationSchedulerFCFS(b *testing.B)   { ablationScheduler(b, dram.FCFS) }
+
+// ablationGEMMCycles runs one streaming GEMM through TLS and reports its
+// simulated cycles.
+func ablationGEMMCycles(b *testing.B, cfg npu.Config) {
+	b.Helper()
+	c := compiler.New(cfg, compiler.DefaultOptions())
+	comp, err := c.Compile(exp.GEMMGraph(512))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := togsim.NewStandard(cfg, togsim.SimpleNet, dram.FRFCFS)
+		res, err := s.Engine.Run([]*togsim.Job{comp.Job("gemm", 0, 0)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+// DRAM refresh: the all-bank tREFI/tRFC pauses cost a few percent.
+func BenchmarkAblationRefreshOn(b *testing.B) { ablationGEMMCycles(b, benchCfg()) }
+func BenchmarkAblationRefreshOff(b *testing.B) {
+	cfg := benchCfg()
+	cfg.Mem.TREFI = 0
+	ablationGEMMCycles(b, cfg)
+}
+
+// Deserializer depth: the push-all-then-pop-all GEMM kernel template relies
+// on a deep SA accumulator FIFO; shallow FIFOs backpressure the pipeline.
+func ablationDesFIFO(b *testing.B, rows int) {
+	b.Helper()
+	cfg := benchCfg().Core
+	cfg.DesFIFORows = rows
+	prog := codegen.GEMM(codegen.GEMMSpec{M: 128, K: 128, N: 128, WOff: 1 << 16, OutOff: 1 << 18})
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := timingsim.MeasureKernel(cfg, prog, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+func BenchmarkAblationDesFIFO256(b *testing.B) { ablationDesFIFO(b, 256) }
+func BenchmarkAblationDesFIFO8(b *testing.B)   { ablationDesFIFO(b, 8) }

@@ -1,0 +1,80 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures (Fig. 5-10 plus the §5.1 sparse validation) on the TPUv3-like
+// configuration.
+//
+// Usage:
+//
+//	experiments -fig all            # everything, full scale
+//	experiments -fig 5 -quick       # one figure, scaled-down workloads
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/npu"
+)
+
+type figure struct {
+	name string
+	desc string
+	run  func(cfg npu.Config, quick bool) (fmt.Stringer, error)
+}
+
+func figures() []figure {
+	return []figure{
+		{"5", "simulation accuracy vs detailed reference", func(c npu.Config, q bool) (fmt.Stringer, error) { return exp.Fig5(c, q) }},
+		{"6", "simulation speed (TLS vs ILS vs baselines)", func(c npu.Config, q bool) (fmt.Stringer, error) { return exp.Fig6(c, q) }},
+		{"7a", "heterogeneous dense-sparse NPU", func(c npu.Config, q bool) (fmt.Stringer, error) { return exp.Fig7a(c, q) }},
+		{"7b", "multi-model tenancy", func(c npu.Config, q bool) (fmt.Stringer, error) { return exp.Fig7b(c, q) }},
+		{"8a", "fine-grained DMA", func(c npu.Config, q bool) (fmt.Stringer, error) { return exp.Fig8a(c, q) }},
+		{"8b", "conv tiling, batch 1", func(c npu.Config, q bool) (fmt.Stringer, error) { return exp.Fig8b(c, q) }},
+		{"8c", "conv tiling, small input channels", func(c npu.Config, q bool) (fmt.Stringer, error) { return exp.Fig8c(c, q) }},
+		{"9", "chiplet NPU scheduling", func(c npu.Config, q bool) (fmt.Stringer, error) { return exp.Fig9(c, q) }},
+		{"10", "training batch-size study", func(c npu.Config, q bool) (fmt.Stringer, error) { return exp.Fig10(c, q) }},
+		{"sparseval", "§5.1 sparse-core TLS validation", func(c npu.Config, q bool) (fmt.Stringer, error) { return exp.SparseValidation(c, q) }},
+	}
+}
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate (5, 6, 7a, 7b, 8a, 8b, 8c, 9, 10, sparseval, all)")
+	quick := flag.Bool("quick", false, "scaled-down workloads for fast runs")
+	small := flag.Bool("small", false, "use the small test NPU config instead of TPUv3")
+	list := flag.Bool("list", false, "list available figures")
+	flag.Parse()
+
+	if *list {
+		for _, f := range figures() {
+			fmt.Printf("%-10s %s\n", f.name, f.desc)
+		}
+		return
+	}
+	cfg := npu.TPUv3Config()
+	if *small {
+		cfg = npu.SmallConfig()
+	}
+	ran := false
+	for _, f := range figures() {
+		if *fig != "all" && *fig != f.name {
+			continue
+		}
+		ran = true
+		fmt.Printf("=== Figure %s: %s ===\n", f.name, f.desc)
+		start := time.Now()
+		res, err := f.run(cfg, *quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figure %s failed: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.String())
+		fmt.Printf("(driver wall-clock: %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", *fig)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,182 @@
+// Command ptsim is the end-to-end model simulator: pick a built-in model,
+// compile it for the target NPU, and simulate it in TLS (optionally ILS),
+// printing cycles, simulated time, and compiler statistics — the
+// PyTorchSim workflow of Fig. 1 from the command line.
+//
+// Usage:
+//
+//	ptsim -model resnet18 -batch 1
+//	ptsim -model gemm -n 1024 -mode ils
+//	ptsim -model bert-base -seq 512 -net cn -dump-tog out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/autograd"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/npu"
+	"repro/internal/tog"
+)
+
+func buildModel(model string, batch, n, seq int) (*graph.Graph, error) {
+	switch model {
+	case "gemm":
+		return exp.GEMMGraph(n), nil
+	case "mlp":
+		return nn.MLP(nn.DefaultMLP(batch)).Graph, nil
+	case "resnet18":
+		return nn.ResNet(nn.ResNet18Config(batch)).Graph, nil
+	case "resnet50":
+		return nn.ResNet(nn.ResNet50Config(batch)).Graph, nil
+	case "bert-base":
+		return nn.BERT(nn.BERTBaseConfig(batch, seq)).Graph, nil
+	case "bert-large":
+		return nn.BERT(nn.BERTLargeConfig(batch, seq)).Graph, nil
+	case "mlp-train":
+		// One full training step (forward + backward + SGD updates), the
+		// §5.5 per-iteration workload.
+		m, lossID := nn.MLPWithLoss(nn.DefaultMLP(batch))
+		ts, err := autograd.Build(m.Graph, lossID, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		return ts.Graph, nil
+	default:
+		return nil, fmt.Errorf("unknown model %q (gemm, mlp, mlp-train, resnet18, resnet50, bert-base, bert-large)", model)
+	}
+}
+
+func main() {
+	model := flag.String("model", "gemm", "model to simulate")
+	batch := flag.Int("batch", 1, "batch size")
+	n := flag.Int("n", 512, "GEMM dimension (model=gemm)")
+	seq := flag.Int("seq", 512, "sequence length (BERT models)")
+	mode := flag.String("mode", "tls", "simulation mode: tls or ils")
+	netKind := flag.String("net", "sn", "interconnect: sn or cn")
+	small := flag.Bool("small", false, "use the small NPU config")
+	fusion := flag.Bool("fusion", true, "enable operator fusion")
+	convOpt := flag.Bool("convopt", true, "enable conv layout optimization")
+	dmaMode := flag.String("dma", "selective", "DMA mode: coarse, fine, selective")
+	dumpTOG := flag.String("dump-tog", "", "write the first TOG to this JSON file")
+	dumpKernels := flag.String("dump-kernels", "", "write each compiled kernel's assembly into this directory")
+	autotune := flag.Bool("autotune", false, "sweep tile-size candidates through TLS and report the best (tls mode)")
+	flag.Parse()
+
+	g, err := buildModel(*model, *batch, *n, *seq)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := npu.TPUv3Config()
+	if *small {
+		cfg = npu.SmallConfig()
+	}
+	opts := compiler.DefaultOptions()
+	opts.Fusion = *fusion
+	opts.ConvLayoutOpt = *convOpt
+	switch *dmaMode {
+	case "coarse":
+		opts.DMA = compiler.DMACoarse
+	case "fine":
+		opts.DMA = compiler.DMAFine
+	}
+
+	sim := core.NewSimulator(cfg, opts)
+	comp, err := sim.Compile(g)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("compiled %q: %d layers, %d unique kernels measured, %.1f MB DRAM footprint\n",
+		g.Name, len(comp.TOGs), sim.Compiler.MeasureCount, float64(comp.TotalBytes)/1e6)
+
+	if *dumpTOG != "" && len(comp.TOGs) > 0 {
+		data, err := tog.Encode(comp.TOGs[0])
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*dumpTOG, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote first TOG to %s\n", *dumpTOG)
+	}
+	if *dumpKernels != "" {
+		if err := os.MkdirAll(*dumpKernels, 0o755); err != nil {
+			fatal(err)
+		}
+		for id, p := range comp.Kernels {
+			path := filepath.Join(*dumpKernels, sanitize(id)+".s")
+			if err := os.WriteFile(path, []byte(p.Dump()), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d kernels to %s (reassemble with cmd/asm)\n", len(comp.Kernels), *dumpKernels)
+	}
+
+	kind := core.SimpleNet
+	if *netKind == "cn" {
+		kind = core.CycleNet
+	}
+	switch *mode {
+	case "ils":
+		rep, ils, err := sim.SimulateILS(comp, kind)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("ILS: %s; %d dynamic instructions across %d kernel instances\n",
+			rep.String(), ils.Instrs, ils.KernelRuns)
+	default:
+		rep, err := sim.SimulateTLS(comp, kind)
+		if err != nil {
+			fatal(err)
+		}
+		if *autotune {
+			opts, _, tuned, err := sim.AutoTune(g, nil, kind)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("autotune: best MaxMt=%d -> %d cycles (heuristic: %d, %+.1f%%)\n",
+				opts.MaxMt, tuned.Cycles, rep.Cycles,
+				100*float64(tuned.Cycles-rep.Cycles)/float64(rep.Cycles))
+			rep = tuned
+		}
+		fmt.Printf("TLS: %s\n", rep.String())
+		for ci, cs := range rep.Cores {
+			if cs.SABusy == 0 && cs.VectorBusy == 0 {
+				continue
+			}
+			fmt.Printf("core %d: SA %.1f%% busy, vector %.1f%% busy\n", ci,
+				100*cs.SAUtil(rep.Cycles, cfg.Core.NumSAs),
+				100*float64(cs.VectorBusy)/float64(rep.Cycles))
+		}
+		if rep.MemStats != nil {
+			fmt.Printf("DRAM: %d reads, %d writes, row hits %d / misses %d\n",
+				rep.MemStats.Reads, rep.MemStats.Writes, rep.MemStats.RowHits, rep.MemStats.RowMisses)
+		}
+	}
+}
+
+// sanitize maps a kernel id to a safe filename.
+func sanitize(id string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, id)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ptsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,334 @@
+// Package autograd implements reverse-mode automatic differentiation over
+// the captured graph IR — the role AOTAutograd plays in PyTorch 2 (§2.2):
+// given a forward graph ending in a scalar loss, it appends the backward
+// pass (gradient nodes) and per-parameter SGD update nodes, producing a
+// single training-step graph the compiler can lower like any other graph.
+package autograd
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// OptimKind selects the parameter-update rule appended after the backward
+// pass.
+type OptimKind int
+
+const (
+	// OptSGD is plain stochastic gradient descent: p -= lr*g.
+	OptSGD OptimKind = iota
+	// OptMomentum is SGD with momentum: v' = mu*v + g; p -= lr*v'.
+	OptMomentum
+	// OptAdam is Adam: EMA first/second moments with a bias-corrected step
+	// size delivered at runtime through the AdamCoefName input.
+	OptAdam
+)
+
+// Optim parameterizes the optimizer.
+type Optim struct {
+	Kind OptimKind
+	LR   float32
+	// Momentum is the velocity decay mu (OptMomentum; PyTorch convention).
+	Momentum float32
+	// Beta1, Beta2, Eps are the Adam hyperparameters (OptAdam).
+	Beta1, Beta2, Eps float32
+	// WeightDecay, when non-zero with OptAdam, applies AdamW-style
+	// decoupled weight decay: p -= lr*wd*p before the moment update.
+	WeightDecay float32
+}
+
+// AdamCoefName is the graph input that carries the per-step Adam
+// coefficients: coef[0] = -lr*sqrt(1-beta2^t)/(1-beta1^t) (the negated
+// bias-corrected step size) and coef[1] = eps*sqrt(1-beta2^t). Feeding the
+// correction through a runtime tensor keeps the compiled kernels and TOGs
+// step-invariant (compiled once per shape, §3.10).
+const AdamCoefName = "adam_coef"
+
+// AdamCoef returns the coefficient tensor values for training step t
+// (1-based).
+func AdamCoef(o Optim, t int) [2]float32 {
+	c2 := float32(math.Sqrt(1 - math.Pow(float64(o.Beta2), float64(t))))
+	c1 := float32(1 - math.Pow(float64(o.Beta1), float64(t)))
+	return [2]float32{-o.LR * c2 / c1, o.Eps * c2}
+}
+
+// TrainStep describes a complete differentiated training step.
+type TrainStep struct {
+	Graph *graph.Graph
+	// LossID is the scalar loss node.
+	LossID int
+	// GradOf maps a forward node ID to its gradient node ID (where computed).
+	GradOf map[int]int
+	// Updated maps parameter names to the node holding the post-update value.
+	Updated map[string]int
+	// States maps optimizer-state input names (velocity, Adam moments) to
+	// the node holding their post-step value; the training loop feeds each
+	// state back in the next iteration (zeros initially).
+	States map[string]int
+	// Optim echoes the optimizer this step was built with.
+	Optim Optim
+}
+
+// Build appends the backward pass for the loss node to g and adds plain SGD
+// update nodes (learning rate lr) for every parameter the loss depends on.
+// The loss node must be an OpSoftmaxCE node (the supported loss).
+func Build(g *graph.Graph, lossID int, lr float32) (*TrainStep, error) {
+	return BuildOptim(g, lossID, Optim{Kind: OptSGD, LR: lr})
+}
+
+// BuildOptim is Build with a configurable optimizer.
+func BuildOptim(g *graph.Graph, lossID int, opt Optim) (*TrainStep, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if lossID < 0 || lossID >= len(g.Nodes) {
+		return nil, fmt.Errorf("autograd: loss node %d out of range", lossID)
+	}
+	loss := g.Nodes[lossID]
+	if loss.Op != graph.OpSoftmaxCE {
+		return nil, fmt.Errorf("autograd: loss must be softmax_ce, got %s", loss.Op)
+	}
+
+	// grads[n] accumulates the IDs of gradient contributions to node n.
+	grads := map[int][]int{}
+	addGrad := func(node, grad int) { grads[node] = append(grads[node], grad) }
+
+	// Seed: d(loss)/d(logits) comes from the fused softmax-CE gradient.
+	logits, labels := loss.Inputs[0], loss.Inputs[1]
+	seed := g.Add(&graph.Node{
+		Op:     graph.OpSoftmaxCEGrad,
+		Name:   "d_" + g.Nodes[logits].Name,
+		Inputs: []int{logits, labels},
+		Shape:  append([]int(nil), g.Nodes[logits].Shape...),
+	})
+	addGrad(logits, seed.ID)
+
+	// needsGrad: nodes on a path from a parameter to the loss.
+	needs := computeNeedsGrad(g, lossID)
+
+	// Walk forward nodes in reverse topological order (IDs descend), folding
+	// each node's accumulated output gradient into its inputs.
+	gradOf := map[int]int{}
+	for id := lossID; id >= 0; id-- {
+		n := g.Nodes[id]
+		if !needs[id] {
+			continue
+		}
+		contribs := grads[id]
+		if len(contribs) == 0 {
+			continue
+		}
+		gid := contribs[0]
+		for _, c := range contribs[1:] {
+			sum := g.Add(&graph.Node{
+				Op:     graph.OpAdd,
+				Name:   fmt.Sprintf("gacc_%d", id),
+				Inputs: []int{gid, c},
+				Shape:  append([]int(nil), g.Nodes[gid].Shape...),
+			})
+			gid = sum.ID
+		}
+		gradOf[id] = gid
+		dy := gid
+
+		switch n.Op {
+		case graph.OpParam, graph.OpInput, graph.OpConst:
+			// Leaf: gradient recorded, nothing to propagate.
+		case graph.OpMatMul:
+			a, b := n.Inputs[0], n.Inputs[1]
+			if needs[a] {
+				da := g.Add(&graph.Node{
+					Op: graph.OpMatMulTB, Name: fmt.Sprintf("d%d_a", id),
+					Inputs: []int{dy, b},
+					Shape:  append([]int(nil), g.Nodes[a].Shape...),
+				})
+				addGrad(a, da.ID)
+			}
+			if needs[b] {
+				db := g.Add(&graph.Node{
+					Op: graph.OpMatMulTA, Name: fmt.Sprintf("d%d_b", id),
+					Inputs: []int{a, dy},
+					Shape:  append([]int(nil), g.Nodes[b].Shape...),
+				})
+				addGrad(b, db.ID)
+			}
+		case graph.OpBiasAdd:
+			x, b := n.Inputs[0], n.Inputs[1]
+			if needs[x] {
+				addGrad(x, dy) // pass-through
+			}
+			if needs[b] {
+				db := g.Add(&graph.Node{
+					Op: graph.OpColSum, Name: fmt.Sprintf("d%d_bias", id),
+					Inputs: []int{dy},
+					Shape:  append([]int(nil), g.Nodes[b].Shape...),
+				})
+				addGrad(b, db.ID)
+			}
+		case graph.OpReLU:
+			x := n.Inputs[0]
+			if needs[x] {
+				dx := g.Add(&graph.Node{
+					Op: graph.OpReLUGrad, Name: fmt.Sprintf("d%d_relu", id),
+					Inputs: []int{dy, x},
+					Shape:  append([]int(nil), g.Nodes[x].Shape...),
+				})
+				addGrad(x, dx.ID)
+			}
+		case graph.OpAdd:
+			for _, in := range n.Inputs {
+				if needs[in] {
+					addGrad(in, dy)
+				}
+			}
+		case graph.OpScale:
+			x := n.Inputs[0]
+			if needs[x] {
+				dx := g.Add(&graph.Node{
+					Op: graph.OpScale, Name: fmt.Sprintf("d%d_scale", id),
+					Inputs: []int{dy}, ScaleF: n.ScaleF,
+					Shape: append([]int(nil), g.Nodes[x].Shape...),
+				})
+				addGrad(x, dx.ID)
+			}
+		case graph.OpReshape:
+			x := n.Inputs[0]
+			if needs[x] {
+				dx := g.Add(&graph.Node{
+					Op: graph.OpReshape, Name: fmt.Sprintf("d%d_reshape", id),
+					Inputs: []int{dy},
+					Shape:  append([]int(nil), g.Nodes[x].Shape...),
+				})
+				addGrad(x, dx.ID)
+			}
+		case graph.OpSoftmaxCE:
+			// Seeded above; inputs already handled.
+		default:
+			return nil, fmt.Errorf("autograd: op %s is not differentiable (node %d %q)", n.Op, id, n.Name)
+		}
+	}
+
+	// Optimizer updates for every parameter with a gradient.
+	updated := map[string]int{}
+	states := map[string]int{}
+	var coefID = -1
+	if opt.Kind == OptAdam {
+		coefID = g.Input(AdamCoefName, 2).ID
+	}
+	for id := 0; id <= lossID; id++ {
+		n := g.Nodes[id]
+		if n.Op != graph.OpParam {
+			continue
+		}
+		gid, ok := gradOf[id]
+		if !ok {
+			continue
+		}
+		shape := append([]int(nil), n.Shape...)
+		switch opt.Kind {
+		case OptSGD:
+			up := g.Add(&graph.Node{
+				Op: graph.OpSGDUpdate, Name: n.Name + "_new",
+				Inputs: []int{id, gid}, ScaleF: opt.LR,
+				Shape: shape,
+			})
+			updated[n.Name] = up.ID
+			g.Outputs = append(g.Outputs, up.ID)
+		case OptMomentum:
+			vel := g.Input("vel_"+n.Name, shape...)
+			vnew := g.Add(&graph.Node{
+				Op: graph.OpAXPBY, Name: "vel_" + n.Name + "_new",
+				Inputs: []int{vel.ID, gid}, Alpha: opt.Momentum, Beta: 1,
+				Shape: append([]int(nil), shape...),
+			})
+			up := g.Add(&graph.Node{
+				Op: graph.OpSGDUpdate, Name: n.Name + "_new",
+				Inputs: []int{id, vnew.ID}, ScaleF: opt.LR,
+				Shape: shape,
+			})
+			states["vel_"+n.Name] = vnew.ID
+			updated[n.Name] = up.ID
+			g.Outputs = append(g.Outputs, vnew.ID, up.ID)
+		case OptAdam:
+			m := g.Input("adam_m_"+n.Name, shape...)
+			v := g.Input("adam_v_"+n.Name, shape...)
+			g2 := g.Add(&graph.Node{
+				Op: graph.OpMul, Name: "gsq_" + n.Name,
+				Inputs: []int{gid, gid},
+				Shape:  append([]int(nil), shape...),
+			})
+			mnew := g.Add(&graph.Node{
+				Op: graph.OpAXPBY, Name: "adam_m_" + n.Name + "_new",
+				Inputs: []int{m.ID, gid}, Alpha: opt.Beta1, Beta: 1 - opt.Beta1,
+				Shape: append([]int(nil), shape...),
+			})
+			vnew := g.Add(&graph.Node{
+				Op: graph.OpAXPBY, Name: "adam_v_" + n.Name + "_new",
+				Inputs: []int{v.ID, g2.ID}, Alpha: opt.Beta2, Beta: 1 - opt.Beta2,
+				Shape: append([]int(nil), shape...),
+			})
+			up := g.Add(&graph.Node{
+				Op: graph.OpAdamStep, Name: n.Name + "_new",
+				Inputs: []int{id, mnew.ID, vnew.ID, coefID},
+				ScaleF: -opt.LR * opt.WeightDecay,
+				Shape:  shape,
+			})
+			states["adam_m_"+n.Name] = mnew.ID
+			states["adam_v_"+n.Name] = vnew.ID
+			updated[n.Name] = up.ID
+			g.Outputs = append(g.Outputs, mnew.ID, vnew.ID, up.ID)
+		default:
+			return nil, fmt.Errorf("autograd: unknown optimizer kind %d", opt.Kind)
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("autograd: backward graph invalid: %w", err)
+	}
+	return &TrainStep{Graph: g, LossID: lossID, GradOf: gradOf, Updated: updated,
+		States: states, Optim: opt}, nil
+}
+
+// computeNeedsGrad marks nodes that both (a) can reach the loss and (b) are
+// reachable from a parameter, i.e. lie on a differentiation path.
+func computeNeedsGrad(g *graph.Graph, lossID int) map[int]bool {
+	// reachesLoss: reverse reachability from the loss.
+	reachesLoss := map[int]bool{lossID: true}
+	for id := lossID; id >= 0; id-- {
+		if !reachesLoss[id] {
+			continue
+		}
+		for _, in := range g.Nodes[id].Inputs {
+			reachesLoss[in] = true
+		}
+	}
+	// fromParam: forward reachability from any parameter.
+	fromParam := map[int]bool{}
+	for id := 0; id <= lossID; id++ {
+		n := g.Nodes[id]
+		if n.Op == graph.OpParam {
+			fromParam[id] = true
+			continue
+		}
+		for _, in := range n.Inputs {
+			if fromParam[in] {
+				fromParam[id] = true
+				break
+			}
+		}
+	}
+	needs := map[int]bool{}
+	for id := 0; id <= lossID; id++ {
+		if reachesLoss[id] && (fromParam[id] || id == lossID || isLogits(g, lossID, id)) {
+			needs[id] = true
+		}
+	}
+	return needs
+}
+
+// isLogits reports whether id is the logits input of the loss (always
+// differentiated, as the seed).
+func isLogits(g *graph.Graph, lossID, id int) bool {
+	return g.Nodes[lossID].Inputs[0] == id
+}

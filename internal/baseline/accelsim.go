@@ -1,0 +1,216 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/npu"
+)
+
+// GPUConfig describes the Accel-Sim-class GPU model: SIMT SMs executing
+// warp instructions one at a time, with a per-SM L1 cache and a shared
+// latency/bandwidth DRAM.
+type GPUConfig struct {
+	SMs             int
+	WarpsPerSM      int // resident warp slots
+	IssuePerCycle   int // warp instructions issued per SM per cycle
+	FMALatency      int64
+	SharedLatency   int64
+	CacheLatency    int64
+	DRAMLatency     int64
+	CacheLineBytes  int
+	CacheLinesPerSM int
+	BytesPerCycle   int64 // DRAM bandwidth
+	TileK           int   // K-step per shared-memory staging phase
+}
+
+// NPUEquivalentGPU scales GPU resources to the NPU's FLOPS and SRAM, as the
+// paper does for its Accel-Sim comparison (§4.1).
+func NPUEquivalentGPU(cfg npu.Config) GPUConfig {
+	// Each SM retires IssuePerCycle warp-FMA instructions (32 MACs each).
+	macsPerSM := int64(32 * 4)
+	sms := int(cfg.Core.MACsPerCycle() / macsPerSM)
+	if sms < 1 {
+		sms = 1
+	}
+	return GPUConfig{
+		SMs:             sms,
+		WarpsPerSM:      16,
+		IssuePerCycle:   4,
+		FMALatency:      4,
+		SharedLatency:   20,
+		CacheLatency:    30,
+		DRAMLatency:     200,
+		CacheLineBytes:  128,
+		CacheLinesPerSM: cfg.Core.SpadBytes / cfg.Cores / 128 / 64,
+		BytesPerCycle:   int64(cfg.Mem.Channels * cfg.Mem.BurstBytes),
+		TileK:           16,
+	}
+}
+
+// AccelSim runs GEMM/CONV layers through the instruction-level GPU model.
+// Every warp instruction is individually scheduled — the fidelity class
+// that makes Accel-Sim slow (§2.1: "trace-driven simulators are relatively
+// faster but still limited in speed due to modeling of instruction-level
+// details").
+type AccelSim struct {
+	Cfg GPUConfig
+	// Stats
+	WarpInstrs int64
+}
+
+// Run simulates the layers and returns total GPU cycles.
+func (a *AccelSim) Run(layers []Layer) (int64, error) {
+	var total int64
+	for _, l := range layers {
+		c, err := a.gemm(l.M, l.K, l.N)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+// warp is one resident warp's execution state: a tiny program counter over
+// the generated instruction pattern for a 16x16-thread block GEMM.
+type warp struct {
+	k, tileK int
+	phase    int // 0: global loads, 1..3: shared/shared/fma steps
+	kStep    int
+	readyAt  int64
+	done     bool
+	// global addresses for cache behaviour
+	aAddr, bAddr uint64
+}
+
+type smState struct {
+	warps      []warp
+	tags       []uint64 // direct-mapped cache tags
+	blocksLeft int
+}
+
+// gemm simulates an MxKxN GEMM: grid of 16x16 blocks, 8 warps each; per
+// K-tile each warp issues 2 global loads, then per k-step 2 shared loads
+// and 1 FMA.
+func (a *AccelSim) gemm(M, K, N int) (int64, error) {
+	cfg := a.Cfg
+	if cfg.SMs <= 0 || cfg.WarpsPerSM <= 0 {
+		return 0, fmt.Errorf("baseline: invalid GPU config %+v", cfg)
+	}
+	blocksM := (M + 15) / 16
+	blocksN := (N + 15) / 16
+	totalBlocks := blocksM * blocksN
+	const warpsPerBlock = 8
+
+	sms := make([]smState, cfg.SMs)
+	for i := range sms {
+		sms[i].tags = make([]uint64, cfg.CacheLinesPerSM)
+	}
+	// Distribute blocks round-robin.
+	for b := 0; b < totalBlocks; b++ {
+		sms[b%cfg.SMs].blocksLeft++
+	}
+
+	var memSlot int64 // next free DRAM bandwidth slot
+	var cycle int64
+	remaining := 0
+	// Launch initial warps.
+	for i := range sms {
+		launch(&sms[i], cfg, warpsPerBlock, K)
+		remaining += len(sms[i].warps)
+	}
+	activeBlocks := func() bool {
+		for i := range sms {
+			if len(sms[i].warps) > 0 || sms[i].blocksLeft > 0 {
+				return true
+			}
+		}
+		return false
+	}
+
+	lineMask := ^uint64(cfg.CacheLineBytes - 1)
+	for activeBlocks() {
+		cycle++
+		if cycle > 4_000_000_000 {
+			return 0, fmt.Errorf("baseline: accelsim did not converge")
+		}
+		for si := range sms {
+			sm := &sms[si]
+			issued := 0
+			for wi := range sm.warps {
+				if issued >= cfg.IssuePerCycle {
+					break
+				}
+				w := &sm.warps[wi]
+				if w.done || w.readyAt > cycle {
+					continue
+				}
+				a.WarpInstrs++
+				issued++
+				switch w.phase {
+				case 0, 1: // global load A/B for the current K-tile
+					addr := w.aAddr
+					if w.phase == 1 {
+						addr = w.bAddr
+					}
+					addr += uint64(w.k * 4)
+					line := addr & lineMask
+					slot := int(line/uint64(cfg.CacheLineBytes)) % len(sm.tags)
+					if sm.tags[slot] == line {
+						w.readyAt = cycle + cfg.CacheLatency
+					} else {
+						sm.tags[slot] = line
+						if memSlot < cycle {
+							memSlot = cycle
+						}
+						memSlot += int64(cfg.CacheLineBytes) / cfg.BytesPerCycle
+						w.readyAt = memSlot + cfg.DRAMLatency
+					}
+					w.phase++
+				case 2, 3: // shared loads
+					w.readyAt = cycle + cfg.SharedLatency
+					w.phase++
+				default: // FMA
+					w.readyAt = cycle + cfg.FMALatency
+					w.kStep++
+					w.k++
+					if w.k >= K {
+						w.done = true
+					} else if w.kStep >= w.tileK {
+						w.kStep = 0
+						w.phase = 0 // next K-tile: reload
+					} else {
+						w.phase = 2
+					}
+				}
+			}
+			// Retire finished warps; launch more blocks.
+			alive := sm.warps[:0]
+			for _, w := range sm.warps {
+				if !w.done {
+					alive = append(alive, w)
+				}
+			}
+			sm.warps = alive
+			if len(sm.warps) == 0 && sm.blocksLeft > 0 {
+				launch(sm, cfg, warpsPerBlock, K)
+			}
+		}
+	}
+	return cycle, nil
+}
+
+// launch admits up to WarpsPerSM/warpsPerBlock blocks' warps.
+func launch(sm *smState, cfg GPUConfig, warpsPerBlock, K int) {
+	for sm.blocksLeft > 0 && len(sm.warps)+warpsPerBlock <= cfg.WarpsPerSM {
+		sm.blocksLeft--
+		base := uint64(sm.blocksLeft) << 20
+		for i := 0; i < warpsPerBlock; i++ {
+			sm.warps = append(sm.warps, warp{
+				tileK: cfg.TileK,
+				aAddr: base + uint64(i)<<14,
+				bAddr: base + 1<<30 + uint64(i)<<14,
+			})
+		}
+	}
+}

@@ -1,0 +1,40 @@
+package baseline
+
+import "repro/internal/npu"
+
+// Analytical is the Timeloop/MAESTRO-class roofline model: per layer,
+// compute cycles are MACs divided by peak MACs/cycle and memory cycles are
+// minimum traffic divided by peak bandwidth; the layer takes the max of the
+// two, and layers sum. It ignores structural hazards, SA fill/drain, tile
+// dimension mismatch, DMA/compute overlap limits, DRAM row behaviour, and
+// every vector operation — the inaccuracy sources Fig. 5 discusses.
+type Analytical struct {
+	Cfg npu.Config
+}
+
+// LayerCycles returns the roofline estimate for one layer.
+func (a Analytical) LayerCycles(l Layer) int64 {
+	compute := ceil64(l.MACs(), a.Cfg.Core.MACsPerCycle())
+	bytesPerCycle := int64(a.Cfg.Mem.Channels * a.Cfg.Mem.BurstBytes)
+	memory := ceil64(l.Bytes(), bytesPerCycle)
+	if memory > compute {
+		return memory
+	}
+	return compute
+}
+
+// Run estimates total cycles for a layer list.
+func (a Analytical) Run(layers []Layer) int64 {
+	var total int64
+	for _, l := range layers {
+		total += a.LayerCycles(l)
+	}
+	return total
+}
+
+func ceil64(a, b int64) int64 {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

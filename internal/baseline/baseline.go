@@ -1,0 +1,75 @@
+// Package baseline reimplements the comparison simulators of the paper's
+// evaluation (§4.1, Table 1) at their characteristic fidelity points:
+//
+//   - Analytical: a Timeloop/MAESTRO-class roofline model (compute cycles =
+//     MACs/PEs, memory cycles = bytes/BW, no microarchitectural detail).
+//   - MNPUSim: an mNPUsim-class tile simulator — GEMM/CONV only, batch size
+//     one, and per-access address traces staged through an intermediate
+//     file (the file I/O the paper identifies as its speed bottleneck).
+//   - AccelSim: an Accel-Sim-class trace-driven GPU simulator — SIMT warps
+//     executed instruction by instruction on SM models with a simple cache
+//     and latency/bandwidth memory, resources scaled to NPU-equivalent
+//     FLOPS.
+//
+// All three consume the same layer list extracted from a captured graph
+// (only the GEMM/CONV operators — like the originals, they cannot model
+// vector operations such as softmax and normalization, which is the source
+// of their end-to-end underestimation in Fig. 5).
+package baseline
+
+import (
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// LayerKind tags a baseline-visible layer.
+type LayerKind int
+
+const (
+	// KindGEMM is a plain matrix multiply.
+	KindGEMM LayerKind = iota
+	// KindConv is a 2-D convolution (lowered to implicit GEMM).
+	KindConv
+)
+
+// Layer is the simplified layer description baseline simulators consume.
+type Layer struct {
+	Kind    LayerKind
+	M, K, N int              // GEMM dims (conv: implicit-GEMM dims)
+	Conv    tensor.ConvShape // valid when Kind == KindConv
+}
+
+// MACs returns multiply-accumulate count.
+func (l Layer) MACs() int64 {
+	return int64(l.M) * int64(l.K) * int64(l.N)
+}
+
+// Bytes returns the minimum DRAM traffic (read A, B once; write C once).
+func (l Layer) Bytes() int64 {
+	return 4 * (int64(l.M)*int64(l.K) + int64(l.K)*int64(l.N) + int64(l.M)*int64(l.N))
+}
+
+// ExtractLayers pulls the GEMM/CONV layers out of a captured graph,
+// dropping everything the baselines cannot express (§4.1: "for other NPU
+// simulators, we only considered GEMM, GEMV, and CONV operations").
+func ExtractLayers(g *graph.Graph) []Layer {
+	var out []Layer
+	for _, n := range g.Nodes {
+		switch n.Op {
+		case graph.OpMatMul, graph.OpMatMulTA, graph.OpMatMulTB:
+			var m, k, nn int
+			a := g.Nodes[n.Inputs[0]]
+			m, nn = n.Shape[0], n.Shape[1]
+			if n.Op == graph.OpMatMulTA {
+				k = a.Shape[0]
+			} else {
+				k = a.Shape[1]
+			}
+			out = append(out, Layer{Kind: KindGEMM, M: m, K: k, N: nn})
+		case graph.OpConv2D:
+			m, k, nn := n.Conv.GEMMDims()
+			out = append(out, Layer{Kind: KindConv, M: m, K: k, N: nn, Conv: n.Conv})
+		}
+	}
+	return out
+}

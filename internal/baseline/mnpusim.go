@@ -1,0 +1,151 @@
+package baseline
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+
+	"repro/internal/npu"
+)
+
+// unbufferedWriter issues one write syscall per Fprintln, reproducing the
+// original's per-access file traffic.
+type unbufferedWriter struct{ f *os.File }
+
+func (w unbufferedWriter) Write(p []byte) (int, error) { return w.f.Write(p) }
+func (w unbufferedWriter) Flush() error                { return nil }
+
+// MNPUSim is the mNPUsim-class model: tile-by-tile execution where every
+// tile's memory access addresses are first written to an intermediate trace
+// file and then read back for the memory simulation — reproducing the
+// file-based data flow the paper identifies as mNPUsim's bottleneck
+// (§4.3). It supports GEMM/CONV only and batch size one.
+type MNPUSim struct {
+	Cfg npu.Config
+	// TraceDir is where intermediate traces are staged ("" = os temp dir).
+	TraceDir string
+	// MemLatency is the fixed DRAM latency (no row-buffer model).
+	MemLatency int64
+}
+
+// Run simulates the layers, returning total cycles. Layers from batch
+// sizes > 1 are rejected like the original.
+func (m MNPUSim) Run(layers []Layer) (int64, error) {
+	var total int64
+	for i, l := range layers {
+		if l.Kind == KindConv && l.Conv.N > 1 {
+			return 0, fmt.Errorf("baseline: mnpusim supports only batch size 1 (layer %d has N=%d)", i, l.Conv.N)
+		}
+		c, err := m.layer(l)
+		if err != nil {
+			return 0, err
+		}
+		total += c
+	}
+	return total, nil
+}
+
+func (m MNPUSim) layer(l Layer) (int64, error) {
+	core := m.Cfg.Core
+	tile := core.SARows
+	burst := int64(m.Cfg.Mem.BurstBytes)
+	memLat := m.MemLatency
+	if memLat == 0 {
+		memLat = 60
+	}
+	bytesPerCycle := int64(m.Cfg.Mem.Channels * m.Cfg.Mem.BurstBytes)
+
+	var cycles int64
+	// Tile loops: for each (mo, no, ko) tile, stage its access addresses
+	// through the trace file, then replay them against the latency model.
+	for mo := 0; mo < l.M; mo += tile {
+		for no := 0; no < l.N; no += tile {
+			for ko := 0; ko < l.K; ko += tile {
+				mt := minI(tile, l.M-mo)
+				kt := minI(tile, l.K-ko)
+				nt := minI(tile, l.N-no)
+
+				f, err := os.CreateTemp(m.TraceDir, "mnpusim-trace-*.txt")
+				if err != nil {
+					return 0, err
+				}
+				// Like the original, each address is written to the trace
+				// file individually (the "frequent filesystem access" the
+				// paper identifies as mNPUsim's bottleneck, §4.3).
+				w := unbufferedWriter{f}
+				// A tile addresses.
+				for r := 0; r < mt; r++ {
+					rowBase := int64(mo+r)*int64(l.K)*4 + int64(ko)*4
+					for b := int64(0); b < int64(kt)*4; b += burst {
+						fmt.Fprintln(w, rowBase+b)
+					}
+				}
+				// B tile addresses.
+				bBase := int64(1) << 30
+				for r := 0; r < kt; r++ {
+					rowBase := bBase + int64(ko+r)*int64(l.N)*4 + int64(no)*4
+					for b := int64(0); b < int64(nt)*4; b += burst {
+						fmt.Fprintln(w, rowBase+b)
+					}
+				}
+				// C tile writeback addresses.
+				cBase := int64(1) << 31
+				for r := 0; r < mt; r++ {
+					rowBase := cBase + int64(mo+r)*int64(l.N)*4 + int64(no)*4
+					for b := int64(0); b < int64(nt)*4; b += burst {
+						fmt.Fprintln(w, rowBase+b)
+					}
+				}
+				if err := w.Flush(); err != nil {
+					f.Close()
+					return 0, err
+				}
+				// Replay: read the trace back and run the latency model.
+				if _, err := f.Seek(0, 0); err != nil {
+					f.Close()
+					return 0, err
+				}
+				sc := bufio.NewScanner(f)
+				// Replay: every access walks the fixed-latency memory model
+				// cycle by cycle (a single-access-in-flight pipeline per
+				// access stream, like the original's per-access simulation).
+				var memCycles int64
+				outstanding := int64(0)
+				for sc.Scan() {
+					if _, err := strconv.ParseInt(sc.Text(), 10, 64); err != nil {
+						f.Close()
+						return 0, err
+					}
+					outstanding += burst
+					for outstanding >= bytesPerCycle {
+						outstanding -= bytesPerCycle
+						memCycles++
+					}
+				}
+				memCycles += memLat
+				name := f.Name()
+				f.Close()
+				os.Remove(name)
+				if err := sc.Err(); err != nil {
+					return 0, err
+				}
+				computeCycles := ceil64(int64(mt)*int64(kt)*int64(nt), core.MACsPerCycle())
+				// mNPUsim overlaps double-buffered DMAs with compute.
+				tileCycles := memCycles
+				if computeCycles > tileCycles {
+					tileCycles = computeCycles
+				}
+				cycles += tileCycles
+			}
+		}
+	}
+	return cycles, nil
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

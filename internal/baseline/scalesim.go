@@ -1,0 +1,56 @@
+package baseline
+
+import (
+	"repro/internal/npu"
+	"repro/internal/systolic"
+)
+
+// ScaleSim is the SCALE-Sim-class model: systolic-array-aware analytical
+// timing. Unlike the pure roofline, it walks the weight-stationary tile
+// schedule and accounts the SA fill/drain per tile and double-buffered DMA
+// overlap — but it still has no DRAM microarchitecture (fixed bandwidth, no
+// row buffers), no vector unit, no NoC, and no multi-core contention.
+type ScaleSim struct {
+	Cfg npu.Config
+}
+
+// LayerCycles computes the tiled weight-stationary schedule for one layer.
+func (s ScaleSim) LayerCycles(l Layer) int64 {
+	core := s.Cfg.Core
+	bytesPerCycle := int64(s.Cfg.Mem.Channels * s.Cfg.Mem.BurstBytes)
+	kt := minI(l.K, core.SARows)
+	nt := minI(l.N, core.SACols)
+	mt := minI(l.M, 256)
+
+	var total int64
+	for mo := 0; mo < l.M; mo += mt {
+		m := minI(mt, l.M-mo)
+		for no := 0; no < l.N; no += nt {
+			n := minI(nt, l.N-no)
+			var compute, traffic int64
+			for ko := 0; ko < l.K; ko += kt {
+				k := minI(kt, l.K-ko)
+				compute += systolic.GEMMTileCycles(m, k, n) / int64(core.NumSAs)
+				traffic += 4 * (int64(m)*int64(k) + int64(k)*int64(n))
+			}
+			traffic += 4 * int64(m) * int64(n) // output writeback
+			dma := ceil64(traffic, bytesPerCycle)
+			// Double buffering overlaps DMA with compute.
+			if dma > compute {
+				total += dma
+			} else {
+				total += compute
+			}
+		}
+	}
+	return total
+}
+
+// Run sums the layer estimates.
+func (s ScaleSim) Run(layers []Layer) int64 {
+	var total int64
+	for _, l := range layers {
+		total += s.LayerCycles(l)
+	}
+	return total
+}

@@ -1,0 +1,215 @@
+// Package chiplet implements the NUMA memory fabric of the §5.4 case
+// study: a multi-chiplet NPU where each chiplet pairs one core with one
+// local HBM stack, and chiplets are connected by a narrow off-chip link.
+// Requests to the local stack go straight to its controller; remote
+// requests serialize over the link in both directions (request header out,
+// data back for loads; data out for stores).
+package chiplet
+
+import (
+	"repro/internal/dram"
+	"repro/internal/npu"
+	"repro/internal/togsim"
+)
+
+// Config describes the chiplet system.
+type Config struct {
+	Chiplets      int
+	MemPerChiplet npu.MemConfig
+	// ChipletAddrBits: address bit selecting the chiplet (memory capacity
+	// per chiplet = 1 << ChipletAddrBits bytes).
+	ChipletAddrBits uint
+	// Link parameters (paper: 64 GB/s total, 32 GB/s each direction, 20 ns).
+	LinkLatency       int64
+	LinkBytesPerCycle int64 // per direction
+}
+
+// DefaultConfig mirrors the paper's setup at 940 MHz: two chiplets, 20 ns
+// (~19 cycles) link latency, 32 GB/s (~34 B/cycle) per direction.
+func DefaultConfig(mem npu.MemConfig) Config {
+	return Config{
+		Chiplets:          2,
+		MemPerChiplet:     mem,
+		ChipletAddrBits:   32,
+		LinkLatency:       19,
+		LinkBytesPerCycle: 34,
+	}
+}
+
+// ChipletBase returns the DRAM base address of chiplet c's local memory.
+func (c Config) ChipletBase(ch int) uint64 { return uint64(ch) << c.ChipletAddrBits }
+
+// Fabric implements togsim.Fabric over per-chiplet DRAM controllers and
+// inter-chiplet links.
+type Fabric struct {
+	cfg   Config
+	mems  []*dram.Memory
+	cycle int64
+
+	// Per-direction link occupancy: linkFree[from][to].
+	linkFree [][]int64
+
+	// Per-chiplet FIFOs of requests staged for DRAM submission after link
+	// traversal, and delivery buckets for load data returning over the link.
+	toMem   [][]stagedReq
+	returns map[int64][]*togsim.MemReq
+	byDram  map[*dram.Request]*togsim.MemReq
+	done    []*togsim.MemReq
+	pending int
+
+	// Stats.
+	LocalBytes, RemoteBytes int64
+}
+
+type stagedReq struct {
+	at  int64
+	req *dram.Request
+	mr  *togsim.MemReq
+}
+
+// NewFabric builds the chiplet fabric with FR-FCFS controllers.
+func NewFabric(cfg Config) *Fabric {
+	f := &Fabric{
+		cfg:     cfg,
+		byDram:  map[*dram.Request]*togsim.MemReq{},
+		toMem:   make([][]stagedReq, cfg.Chiplets),
+		returns: map[int64][]*togsim.MemReq{},
+	}
+	for i := 0; i < cfg.Chiplets; i++ {
+		f.mems = append(f.mems, dram.New(cfg.MemPerChiplet, dram.FRFCFS))
+	}
+	f.linkFree = make([][]int64, cfg.Chiplets)
+	for i := range f.linkFree {
+		f.linkFree[i] = make([]int64, cfg.Chiplets)
+	}
+	return f
+}
+
+// Mem returns chiplet ch's controller (for stats).
+func (f *Fabric) Mem(ch int) *dram.Memory { return f.mems[ch] }
+
+func (f *Fabric) chipletOf(addr uint64) int {
+	ch := int(addr >> f.cfg.ChipletAddrBits)
+	if ch >= f.cfg.Chiplets {
+		ch = f.cfg.Chiplets - 1
+	}
+	return ch
+}
+
+// linkDelay accounts a transfer of n bytes from chiplet a to b, returning
+// the arrival time.
+func (f *Fabric) linkDelay(a, b int, bytes int, now int64) int64 {
+	start := now
+	if t := f.linkFree[a][b]; t > start {
+		start = t
+	}
+	ser := int64(bytes) / f.cfg.LinkBytesPerCycle
+	if ser < 1 {
+		ser = 1
+	}
+	f.linkFree[a][b] = start + ser
+	return start + ser + f.cfg.LinkLatency
+}
+
+// Submit implements togsim.Fabric.
+func (f *Fabric) Submit(r *togsim.MemReq) bool {
+	src := r.Core % f.cfg.Chiplets
+	dst := f.chipletOf(r.Addr)
+	local := src == dst
+
+	if local {
+		f.LocalBytes += int64(r.Bytes)
+	} else {
+		f.RemoteBytes += int64(r.Bytes)
+	}
+
+	// The controller sees the local offset within its chiplet's stack.
+	dr := &dram.Request{
+		Addr:    r.Addr & (1<<f.cfg.ChipletAddrBits - 1),
+		IsWrite: r.IsWrite,
+		Src:     r.Src,
+	}
+	f.byDram[dr] = r
+	at := f.cycle + 1
+	if !local {
+		// Request traverses the link; stores carry data, loads a header.
+		bytes := 8
+		if r.IsWrite {
+			bytes = r.Bytes
+		}
+		at = f.linkDelay(src, dst, bytes, f.cycle)
+	}
+	f.toMem[dst] = append(f.toMem[dst], stagedReq{at: at, req: dr, mr: r})
+	f.pending++
+	return true
+}
+
+// Tick implements togsim.Fabric.
+func (f *Fabric) Tick() {
+	f.cycle++
+	// Release staged requests whose link traversal finished, per chiplet,
+	// in FIFO order; stop at a not-yet-due entry or a full controller.
+	for ch := range f.toMem {
+		q := f.toMem[ch]
+		i := 0
+		for ; i < len(q); i++ {
+			if q[i].at > f.cycle {
+				break
+			}
+			if !f.mems[ch].Submit(q[i].req) {
+				break
+			}
+		}
+		if i > 0 {
+			f.toMem[ch] = append(q[:0], q[i:]...)
+		}
+	}
+
+	for ch, m := range f.mems {
+		m.Tick()
+		for _, dr := range m.Completed() {
+			r := f.byDram[dr]
+			delete(f.byDram, dr)
+			if r == nil {
+				continue
+			}
+			src := r.Core % f.cfg.Chiplets
+			if src == ch || r.IsWrite {
+				// Local completion, or write acknowledged at the controller.
+				f.done = append(f.done, r)
+				f.pending--
+				continue
+			}
+			// Load data returns over the link; bucket by arrival cycle.
+			at := f.linkDelay(ch, src, r.Bytes, f.cycle)
+			if at <= f.cycle {
+				at = f.cycle + 1
+			}
+			f.returns[at] = append(f.returns[at], r)
+		}
+	}
+	// Deliver link-returned loads due this cycle.
+	if rs, ok := f.returns[f.cycle]; ok {
+		f.done = append(f.done, rs...)
+		f.pending -= len(rs)
+		delete(f.returns, f.cycle)
+	}
+}
+
+// Completed implements togsim.Fabric.
+func (f *Fabric) Completed() []*togsim.MemReq {
+	out := f.done
+	f.done = nil
+	return out
+}
+
+// Pending implements togsim.Fabric.
+func (f *Fabric) Pending() int { return f.pending }
+
+var _ togsim.Fabric = (*Fabric)(nil)
+
+// Monolithic builds a same-capacity single-package fabric for the Fig. 9
+// baseline: all stacks local, aggregated bandwidth.
+func Monolithic(cfg npu.Config) *togsim.Setup {
+	return togsim.NewStandard(cfg, togsim.SimpleNet, dram.FRFCFS)
+}

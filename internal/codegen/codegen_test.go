@@ -1,0 +1,317 @@
+package codegen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/funcsim"
+	"repro/internal/isa"
+	"repro/internal/npu"
+	"repro/internal/tensor"
+)
+
+// runKernel executes a kernel against a fresh functional core whose
+// scratchpad has been pre-populated by fill, returning the core.
+func runKernel(t *testing.T, p *isa.Program, fill func(c *funcsim.Core)) *funcsim.Core {
+	t.Helper()
+	core := funcsim.NewCore(npu.SmallConfig().Core, npu.NewPagedMem())
+	if fill != nil {
+		fill(core)
+	}
+	if _, err := core.Run(p); err != nil {
+		t.Fatalf("kernel %q failed: %v\n%s", p.Name, err, p.Dump())
+	}
+	return core
+}
+
+func writeSpad(c *funcsim.Core, off int64, data []float32) {
+	for i, v := range data {
+		c.Mem.Spad.StoreF(isa.SpadBase+uint64(off)+uint64(4*i), v)
+	}
+}
+
+func readSpad(c *funcsim.Core, off int64, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = c.Mem.Spad.LoadF(isa.SpadBase + uint64(off) + uint64(4*i))
+	}
+	return out
+}
+
+func TestGEMMKernelMatchesReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		m := 1 + r.Intn(12)
+		k := 1 + r.Intn(8) // <= SA rows (8)
+		n := 1 + r.Intn(8) // <= SA cols (8)
+		in := tensor.RandNormal(r, 0, 1, m, k)
+		w := tensor.RandNormal(r, 0, 1, k, n)
+		spec := GEMMSpec{M: m, K: k, N: n, InOff: 0, WOff: 4096, OutOff: 8192}
+		core := runKernel(t, GEMM(spec), func(c *funcsim.Core) {
+			writeSpad(c, spec.InOff, in.Data)
+			writeSpad(c, spec.WOff, w.Data)
+		})
+		got := tensor.FromSlice(readSpad(core, spec.OutOff, m*n), m, n)
+		return tensor.AllClose(got, tensor.MatMul(in, w), 1e-4, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGEMMKernelAccumulate(t *testing.T) {
+	r := tensor.NewRNG(1)
+	m, k, n := 5, 8, 8
+	in := tensor.RandNormal(r, 0, 1, m, k)
+	w := tensor.RandNormal(r, 0, 1, k, n)
+	prev := tensor.RandNormal(r, 0, 1, m, n)
+	spec := GEMMSpec{M: m, K: k, N: n, Accumulate: true, InOff: 0, WOff: 4096, OutOff: 8192}
+	core := runKernel(t, GEMM(spec), func(c *funcsim.Core) {
+		writeSpad(c, spec.InOff, in.Data)
+		writeSpad(c, spec.WOff, w.Data)
+		writeSpad(c, spec.OutOff, prev.Data)
+	})
+	got := tensor.FromSlice(readSpad(core, spec.OutOff, m*n), m, n)
+	want := tensor.Add(prev, tensor.MatMul(in, w))
+	if !tensor.AllClose(got, want, 1e-4, 1e-4) {
+		t.Fatal("accumulating GEMM wrong")
+	}
+}
+
+func TestGEMMKernelEpilogues(t *testing.T) {
+	r := tensor.NewRNG(2)
+	m, k, n := 4, 6, 8
+	in := tensor.RandNormal(r, 0, 1, m, k)
+	w := tensor.RandNormal(r, 0, 1, k, n)
+	bias := tensor.RandNormal(r, 0, 1, n)
+
+	cases := []struct {
+		epi  Epilogue
+		want func() *tensor.Tensor
+	}{
+		{Epilogue{Bias: true}, func() *tensor.Tensor {
+			return tensor.AddBiasRows(tensor.MatMul(in, w), bias)
+		}},
+		{Epilogue{Bias: true, ReLU: true}, func() *tensor.Tensor {
+			return tensor.ReLU(tensor.AddBiasRows(tensor.MatMul(in, w), bias))
+		}},
+		{Epilogue{GELU: true}, func() *tensor.Tensor {
+			return tensor.GELU(tensor.MatMul(in, w))
+		}},
+	}
+	for _, c := range cases {
+		spec := GEMMSpec{M: m, K: k, N: n, Epi: c.epi, InOff: 0, WOff: 4096, OutOff: 8192, BiasOff: 12288}
+		core := runKernel(t, GEMM(spec), func(fc *funcsim.Core) {
+			writeSpad(fc, spec.InOff, in.Data)
+			writeSpad(fc, spec.WOff, w.Data)
+			writeSpad(fc, spec.BiasOff, bias.Data)
+		})
+		got := tensor.FromSlice(readSpad(core, spec.OutOff, m*n), m, n)
+		if !tensor.AllClose(got, c.want(), 1e-4, 1e-4) {
+			t.Fatalf("epilogue %v wrong", c.epi)
+		}
+	}
+}
+
+func TestEltwiseKernels(t *testing.T) {
+	r := tensor.NewRNG(3)
+	rows, cols := 5, 20 // cols > VLEN=16 exercises chunking
+	a := tensor.RandNormal(r, 0, 1, rows, cols)
+	bb := tensor.RandNormal(r, 0, 1, rows, cols)
+	vlen := npu.SmallConfig().Core.VLEN()
+
+	cases := []struct {
+		op   EltOp
+		want *tensor.Tensor
+	}{
+		{EltAdd, tensor.Add(a, bb)},
+		{EltMul, tensor.Mul(a, bb)},
+		{EltReLU, tensor.ReLU(a)},
+		{EltGELU, tensor.GELU(a)},
+		{EltTanh, tensor.Tanh(a)},
+		{EltScale, tensor.Scale(a, 2.5)},
+	}
+	for _, c := range cases {
+		spec := EltSpec{Op: c.op, Rows: rows, Cols: cols, ScaleF: 2.5, VLEN: vlen, AOff: 0, BOff: 4096, OutOff: 8192}
+		core := runKernel(t, Eltwise(spec), func(fc *funcsim.Core) {
+			writeSpad(fc, spec.AOff, a.Data)
+			writeSpad(fc, spec.BOff, bb.Data)
+		})
+		got := tensor.FromSlice(readSpad(core, spec.OutOff, rows*cols), rows, cols)
+		if !tensor.AllClose(got, c.want, 1e-4, 1e-4) {
+			t.Fatalf("eltwise %s wrong", c.op)
+		}
+	}
+}
+
+func TestEltwiseReLUGrad(t *testing.T) {
+	r := tensor.NewRNG(4)
+	rows, cols := 3, 8
+	dy := tensor.RandNormal(r, 0, 1, rows, cols)
+	x := tensor.RandNormal(r, 0, 1, rows, cols)
+	vlen := npu.SmallConfig().Core.VLEN()
+	spec := EltSpec{Op: EltReLUGrad, Rows: rows, Cols: cols, VLEN: vlen, AOff: 0, BOff: 4096, OutOff: 8192}
+	core := runKernel(t, Eltwise(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, dy.Data)
+		writeSpad(fc, spec.BOff, x.Data)
+	})
+	got := readSpad(core, spec.OutOff, rows*cols)
+	for i := range got {
+		want := float32(0)
+		if x.Data[i] > 0 {
+			want = dy.Data[i]
+		}
+		if got[i] != want {
+			t.Fatalf("relu_grad[%d] = %g, want %g (x=%g)", i, got[i], want, x.Data[i])
+		}
+	}
+}
+
+func TestBiasAddAndScaleShiftKernels(t *testing.T) {
+	r := tensor.NewRNG(5)
+	rows, cols := 4, 12
+	a := tensor.RandNormal(r, 0, 1, rows, cols)
+	bias := tensor.RandNormal(r, 0, 1, cols)
+	vlen := npu.SmallConfig().Core.VLEN()
+	spec := EltSpec{Op: EltBiasAdd, Rows: rows, Cols: cols, VLEN: vlen, AOff: 0, BOff: 4096, OutOff: 8192}
+	core := runKernel(t, Eltwise(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, a.Data)
+		writeSpad(fc, spec.BOff, bias.Data)
+	})
+	got := tensor.FromSlice(readSpad(core, spec.OutOff, rows*cols), rows, cols)
+	if !tensor.AllClose(got, tensor.AddBiasRows(a, bias), 1e-5, 1e-5) {
+		t.Fatal("bias_add kernel wrong")
+	}
+
+	gamma := tensor.RandNormal(r, 1, 0.1, cols)
+	beta := tensor.RandNormal(r, 0, 0.1, cols)
+	gb := append(append([]float32{}, gamma.Data...), beta.Data...)
+	spec2 := EltSpec{Op: EltScaleSh, Rows: rows, Cols: cols, VLEN: vlen, AOff: 0, BOff: 4096, OutOff: 8192}
+	core2 := runKernel(t, Eltwise(spec2), func(fc *funcsim.Core) {
+		writeSpad(fc, spec2.AOff, a.Data)
+		writeSpad(fc, spec2.BOff, gb)
+	})
+	got2 := readSpad(core2, spec2.OutOff, rows*cols)
+	for i := 0; i < rows*cols; i++ {
+		want := a.Data[i]*gamma.Data[i%cols] + beta.Data[i%cols]
+		if diff := got2[i] - want; diff > 1e-5 || diff < -1e-5 {
+			t.Fatalf("scale_shift[%d] = %g, want %g", i, got2[i], want)
+		}
+	}
+}
+
+func TestSoftmaxKernelMatchesReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		rows, cols := 1+r.Intn(6), 2+r.Intn(15) // cols <= VLEN = 16
+		a := tensor.RandNormal(r, 0, 3, rows, cols)
+		spec := SoftmaxSpec{Rows: rows, Cols: cols, VLEN: 16, AOff: 0, OutOff: 8192}
+		core := runKernel(t, Softmax(spec), func(fc *funcsim.Core) {
+			writeSpad(fc, spec.AOff, a.Data)
+		})
+		got := tensor.FromSlice(readSpad(core, spec.OutOff, rows*cols), rows, cols)
+		return tensor.AllClose(got, tensor.Softmax(a), 1e-4, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLayerNormKernelMatchesReference(t *testing.T) {
+	r := tensor.NewRNG(6)
+	rows, cols := 4, 16
+	a := tensor.RandNormal(r, 2, 3, rows, cols)
+	gamma := tensor.RandNormal(r, 1, 0.2, cols)
+	beta := tensor.RandNormal(r, 0, 0.2, cols)
+	spec := LayerNormSpec{Rows: rows, Cols: cols, VLEN: 16, AOff: 0, GOff: 4096, BOff: 5120, OutOff: 8192}
+	core := runKernel(t, LayerNorm(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, a.Data)
+		writeSpad(fc, spec.GOff, gamma.Data)
+		writeSpad(fc, spec.BOff, beta.Data)
+	})
+	got := tensor.FromSlice(readSpad(core, spec.OutOff, rows*cols), rows, cols)
+	want := tensor.LayerNorm(a, gamma, beta, 1e-5)
+	if !tensor.AllClose(got, want, 1e-3, 1e-3) {
+		t.Fatalf("layernorm kernel wrong:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestColSumKernel(t *testing.T) {
+	r := tensor.NewRNG(7)
+	rows, cols := 6, 20
+	a := tensor.RandNormal(r, 0, 1, rows, cols)
+	spec := ColSumSpec{Rows: rows, Cols: cols, VLEN: 16, AOff: 0, OutOff: 8192}
+	core := runKernel(t, ColSum(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, a.Data)
+	})
+	got := readSpad(core, spec.OutOff, cols)
+	for j := 0; j < cols; j++ {
+		var want float32
+		for i := 0; i < rows; i++ {
+			want += a.Data[i*cols+j]
+		}
+		if d := got[j] - want; d > 1e-4 || d < -1e-4 {
+			t.Fatalf("colsum[%d] = %g, want %g", j, got[j], want)
+		}
+	}
+}
+
+func TestSGDKernel(t *testing.T) {
+	r := tensor.NewRNG(8)
+	n := 37
+	w := tensor.RandNormal(r, 0, 1, n)
+	g := tensor.RandNormal(r, 0, 1, n)
+	lr := float32(0.05)
+	spec := SGDSpec{N: n, LR: lr, VLEN: 16, WOff: 0, GOff: 4096, OutOff: 8192}
+	core := runKernel(t, SGD(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.WOff, w.Data)
+		writeSpad(fc, spec.GOff, g.Data)
+	})
+	got := readSpad(core, spec.OutOff, n)
+	for i := range got {
+		want := w.Data[i] - lr*g.Data[i]
+		if d := got[i] - want; d > 1e-5 || d < -1e-5 {
+			t.Fatalf("sgd[%d] = %g, want %g", i, got[i], want)
+		}
+	}
+}
+
+func TestMaxPoolKernel(t *testing.T) {
+	// 8 outputs, 4 taps, tap-major layout.
+	outs, taps := 8, 4
+	vals := make([]float32, outs*taps)
+	r := tensor.NewRNG(9)
+	for i := range vals {
+		vals[i] = float32(r.Norm())
+	}
+	spec := PoolSpec{OutElems: outs, Taps: taps, VLEN: 16, TapStride: int64(outs * 4), AOff: 0, OutOff: 8192}
+	core := runKernel(t, MaxPool(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, vals)
+	})
+	got := readSpad(core, spec.OutOff, outs)
+	for o := 0; o < outs; o++ {
+		want := vals[o]
+		for t2 := 1; t2 < taps; t2++ {
+			if v := vals[t2*outs+o]; v > want {
+				want = v
+			}
+		}
+		if got[o] != want {
+			t.Fatalf("pool[%d] = %g, want %g", o, got[o], want)
+		}
+	}
+}
+
+func TestSignaturesDistinguishKernels(t *testing.T) {
+	a := GEMMSpec{M: 8, K: 8, N: 8}
+	b := GEMMSpec{M: 8, K: 8, N: 8, Accumulate: true}
+	c := GEMMSpec{M: 8, K: 8, N: 8, Epi: Epilogue{ReLU: true}}
+	if a.Signature() == b.Signature() || a.Signature() == c.Signature() {
+		t.Fatal("signatures must distinguish accumulate/epilogue variants")
+	}
+	// Offsets must NOT change the signature (latency-equivalent kernels).
+	d := GEMMSpec{M: 8, K: 8, N: 8, InOff: 4096}
+	if a.Signature() != d.Signature() {
+		t.Fatal("offsets must not affect the signature")
+	}
+}

@@ -1,0 +1,127 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// AXPBYSpec describes the fused two-scalar blend out = Alpha*a + Beta*b
+// over N elements. It is the building block of stateful optimizers:
+// momentum (v' = mu*v + g) and Adam's first/second-moment EMAs
+// (m' = b1*m + (1-b1)*g).
+type AXPBYSpec struct {
+	N                  int
+	Alpha, Beta        float32
+	VLEN               int
+	AOff, BOff, OutOff int64
+}
+
+// Signature is the kernel cache key (coefficients excluded: latency depends
+// only on shape).
+func (s AXPBYSpec) Signature() string {
+	return fmt.Sprintf("axpby_n%d_v%d", s.N, s.VLEN)
+}
+
+// AXPBY generates the blend kernel: one multiply plus one fused
+// multiply-accumulate per chunk.
+func AXPBY(s AXPBYSpec) *isa.Program {
+	if s.N <= 0 || s.VLEN <= 0 {
+		panic(fmt.Sprintf("codegen: bad axpby spec %+v", s))
+	}
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	const fAlpha, fBeta = 1, 2
+	b.Emit(isa.FLI(fAlpha, s.Alpha))
+	b.Emit(isa.FLI(fBeta, s.Beta))
+	for off := 0; off < s.N; off += s.VLEN {
+		n := s.VLEN
+		if s.N-off < n {
+			n = s.N - off
+		}
+		emitSetVL(b, n)
+		emitSpadAddr(b, rTmp, s.AOff+int64(off*4))
+		b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+		b.Emit(isa.Instr{Op: isa.OpVMULVF, Rd: vIn, Rs1: vIn, Rs2: fAlpha})
+		emitSpadAddr(b, rTmp, s.BOff+int64(off*4))
+		b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vAcc, Rs1: rTmp})
+		b.Emit(isa.Instr{Op: isa.OpVMACCVF, Rd: vIn, Rs1: vAcc, Rs2: fBeta})
+		emitSpadAddr(b, rTmp, s.OutOff+int64(off*4))
+		b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vIn, Rs1: rTmp})
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}
+
+// AdamSpec describes the fused Adam parameter step
+//
+//	out = p + coef[0] * m / (sqrt(v) + coef[1])
+//
+// over N elements, where coef is a 2-element scratchpad tensor holding the
+// *negated* bias-corrected step size and the (bias-corrected) epsilon. The
+// coefficients arrive through memory rather than as immediates so the same
+// compiled kernel serves every training step (the step size changes with
+// the Adam bias correction, and kernels — like TOGs — are compiled once per
+// shape, §3.10).
+type AdamSpec struct {
+	N                                 int
+	VLEN                              int
+	POff, MOff, VOff, CoefOff, OutOff int64
+	// Decay, when non-zero, applies AdamW-style decoupled weight decay
+	// before the moment update: p += Decay*p, with Decay = -lr*wd. It is a
+	// compile-time immediate (unlike the bias-corrected step size, it does
+	// not change across steps).
+	Decay float32
+}
+
+// Signature is the kernel cache key (decay excluded: latency is unchanged
+// by one fused multiply-accumulate when it is zero, and the compiler keys
+// kernel identity separately).
+func (s AdamSpec) Signature() string {
+	if s.Decay != 0 {
+		return fmt.Sprintf("adamw_n%d_v%d", s.N, s.VLEN)
+	}
+	return fmt.Sprintf("adam_n%d_v%d", s.N, s.VLEN)
+}
+
+// AdamStep generates the fused optimizer kernel: vector sqrt through the
+// SFU, one divide, and a scalar-broadcast fused multiply-accumulate.
+func AdamStep(s AdamSpec) *isa.Program {
+	if s.N <= 0 || s.VLEN <= 0 {
+		panic(fmt.Sprintf("codegen: bad adam spec %+v", s))
+	}
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	const fNegLR, fEps, fDecay = 1, 2, 3
+	const vP, vM, vV = vIn, vAcc, vBias
+	emitSpadAddr(b, rTmp, s.CoefOff)
+	b.Emit(isa.Instr{Op: isa.OpFLW, Rd: fNegLR, Rs1: rTmp, Imm: 0})
+	b.Emit(isa.Instr{Op: isa.OpFLW, Rd: fEps, Rs1: rTmp, Imm: 4})
+	if s.Decay != 0 {
+		b.Emit(isa.FLI(fDecay, s.Decay))
+	}
+	for off := 0; off < s.N; off += s.VLEN {
+		n := s.VLEN
+		if s.N-off < n {
+			n = s.N - off
+		}
+		emitSetVL(b, n)
+		emitSpadAddr(b, rTmp, s.POff+int64(off*4))
+		b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vP, Rs1: rTmp})
+		if s.Decay != 0 {
+			b.Emit(isa.Instr{Op: isa.OpVMACCVF, Rd: vP, Rs1: vP, Rs2: fDecay})
+		}
+		emitSpadAddr(b, rTmp, s.MOff+int64(off*4))
+		b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vM, Rs1: rTmp})
+		emitSpadAddr(b, rTmp, s.VOff+int64(off*4))
+		b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vV, Rs1: rTmp})
+		b.Emit(isa.Instr{Op: isa.OpSFU, Rd: vV, Rs1: vV, Funct: isa.SFUSqrt})
+		b.Emit(isa.Instr{Op: isa.OpVADDVF, Rd: vV, Rs1: vV, Rs2: fEps})
+		b.Emit(isa.Instr{Op: isa.OpVDIV, Rd: vM, Rs1: vM, Rs2: vV})
+		b.Emit(isa.Instr{Op: isa.OpVMACCVF, Rd: vP, Rs1: vM, Rs2: fNegLR})
+		emitSpadAddr(b, rTmp, s.OutOff+int64(off*4))
+		b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vP, Rs1: rTmp})
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}

@@ -1,0 +1,293 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// ScaleShiftRowSpec is the folded-batch-norm kernel for NCHW data viewed as
+// (Rows, Cols) where Rows = planes (n,c) and Cols = H*W: each row is scaled
+// by gamma[c] and shifted by beta[c]. ChanOf[r] gives the channel of row r;
+// gamma and beta (each C floats) live at GOff and BOff.
+type ScaleShiftRowSpec struct {
+	Rows, Cols               int
+	Channels                 int
+	VLEN                     int
+	AOff, GOff, BOff, OutOff int64
+}
+
+// Signature is the kernel cache key.
+func (s ScaleShiftRowSpec) Signature() string {
+	return fmt.Sprintf("scaleshiftrow_r%d_c%d_ch%d_v%d", s.Rows, s.Cols, s.Channels, s.VLEN)
+}
+
+// ScaleShiftRow generates the per-row scale/shift kernel. Row r uses channel
+// r % Channels (rows are (n, c) planes in c-major order per batch element).
+func ScaleShiftRow(s ScaleShiftRowSpec) *isa.Program {
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	for r := 0; r < s.Rows; r++ {
+		c := r % s.Channels
+		// f1 = gamma[c], f2 = beta[c]
+		emitSpadAddr(b, rTmp, s.GOff+int64(c*4))
+		b.Emit(isa.Instr{Op: isa.OpFLW, Rd: 1, Rs1: rTmp})
+		emitSpadAddr(b, rTmp, s.BOff+int64(c*4))
+		b.Emit(isa.Instr{Op: isa.OpFLW, Rd: 2, Rs1: rTmp})
+		for off := 0; off < s.Cols; off += s.VLEN {
+			n := s.VLEN
+			if s.Cols-off < n {
+				n = s.Cols - off
+			}
+			emitSetVL(b, n)
+			at := int64((r*s.Cols + off) * 4)
+			emitSpadAddr(b, rTmp, s.AOff+at)
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+			b.Emit(isa.Instr{Op: isa.OpVMULVF, Rd: vIn, Rs1: vIn, Rs2: 1})
+			b.Emit(isa.Instr{Op: isa.OpVADDVF, Rd: vOut, Rs1: vIn, Rs2: 2})
+			emitSpadAddr(b, rTmp, s.OutOff+at)
+			b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vOut, Rs1: rTmp})
+		}
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}
+
+// PlanePoolSpec pools one (H, W) plane resident in scratchpad into an
+// (OH, OW) plane: out[oy, ox] = max over the Window x Window region at
+// stride Stride. The kernel uses strided vector loads directly from the
+// plane, so the DMA only moves the raw plane.
+type PlanePoolSpec struct {
+	H, W, OH, OW   int
+	Window, Stride int
+	VLEN           int
+	AOff, OutOff   int64
+}
+
+// Signature is the kernel cache key.
+func (s PlanePoolSpec) Signature() string {
+	return fmt.Sprintf("planepool_h%d_w%d_k%d_s%d_v%d", s.H, s.W, s.Window, s.Stride, s.VLEN)
+}
+
+// PlanePool generates the plane max-pooling kernel over a densely stored
+// plane.
+func PlanePool(s PlanePoolSpec) *isa.Program {
+	return PlanePoolStrided(s, 1)
+}
+
+// PlanePoolStrided generates the pooling kernel for a plane whose elements
+// are interleaved with `interleave`-element stride — the (position, n*c)
+// activation layout: element (y, x) lives at (y*W + x)*interleave*4 from
+// AOff, and outputs are stored with the same interleave.
+func PlanePoolStrided(s PlanePoolSpec, interleave int) *isa.Program {
+	if interleave < 1 {
+		interleave = 1
+	}
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	// x4: input x-stride in bytes; x5: output x-stride in bytes.
+	b.Emit(isa.Instr{Op: isa.OpADDI, Rd: 4, Rs1: 0, Imm: int32(s.Stride * interleave * 4)})
+	b.Emit(isa.Instr{Op: isa.OpADDI, Rd: 5, Rs1: 0, Imm: int32(interleave * 4)})
+	for oy := 0; oy < s.OH; oy++ {
+		for ox := 0; ox < s.OW; ox += s.VLEN {
+			n := s.VLEN
+			if s.OW-ox < n {
+				n = s.OW - ox
+			}
+			emitSetVL(b, n)
+			first := true
+			for ky := 0; ky < s.Window; ky++ {
+				for kx := 0; kx < s.Window; kx++ {
+					iy := oy*s.Stride + ky
+					ix := ox*s.Stride + kx
+					emitSpadAddr(b, rTmp, s.AOff+int64((iy*s.W+ix)*interleave*4))
+					if first {
+						b.Emit(isa.Instr{Op: isa.OpVLSE32, Rd: vAcc, Rs1: rTmp, Rs2: 4})
+						first = false
+					} else {
+						b.Emit(isa.Instr{Op: isa.OpVLSE32, Rd: vIn, Rs1: rTmp, Rs2: 4})
+						b.Emit(isa.Instr{Op: isa.OpVMAX, Rd: vAcc, Rs1: vAcc, Rs2: vIn})
+					}
+				}
+			}
+			emitSpadAddr(b, rTmp, s.OutOff+int64((oy*s.OW+ox)*interleave*4))
+			if interleave == 1 {
+				b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vAcc, Rs1: rTmp})
+			} else {
+				b.Emit(isa.Instr{Op: isa.OpVSSE32, Funct: vAcc, Rs1: rTmp, Rs2: 5})
+			}
+		}
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}
+
+// GlobalAvgSpec averages Planes planes of PlaneElems elements each into
+// Planes scalars.
+type GlobalAvgSpec struct {
+	Planes, PlaneElems int
+	VLEN               int
+	AOff, OutOff       int64
+}
+
+// Signature is the kernel cache key.
+func (s GlobalAvgSpec) Signature() string {
+	return fmt.Sprintf("gavg_p%d_e%d_v%d", s.Planes, s.PlaneElems, s.VLEN)
+}
+
+// GlobalAvg generates the global-average-pool kernel.
+func GlobalAvg(s GlobalAvgSpec) *isa.Program {
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	b.Emit(isa.FLI(3, 1/float32(s.PlaneElems)))
+	for p := 0; p < s.Planes; p++ {
+		b.Emit(isa.FLI(1, 0)) // accumulator
+		for off := 0; off < s.PlaneElems; off += s.VLEN {
+			n := s.VLEN
+			if s.PlaneElems-off < n {
+				n = s.PlaneElems - off
+			}
+			emitSetVL(b, n)
+			emitSpadAddr(b, rTmp, s.AOff+int64((p*s.PlaneElems+off)*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+			b.Emit(isa.Instr{Op: isa.OpVREDSUM, Rd: 2, Rs1: vIn})
+			b.Emit(isa.Instr{Op: isa.OpFADD, Rd: 1, Rs1: 1, Rs2: 2})
+		}
+		b.Emit(isa.Instr{Op: isa.OpFMUL, Rd: 1, Rs1: 1, Rs2: 3})
+		emitSpadAddr(b, rTmp, s.OutOff+int64(p*4))
+		b.Emit(isa.Instr{Op: isa.OpFSW, Rs2: 1, Rs1: rTmp})
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}
+
+// SoftmaxCESpec computes both the mean cross-entropy loss (one float at
+// LossOff) and, when WithGrad is set, dLogits = (softmax(logits) -
+// onehot(labels)) / Rows at GradOff. Labels are Rows float32 class indices
+// at LabelOff.
+type SoftmaxCESpec struct {
+	Rows, Cols                       int
+	VLEN                             int
+	WithGrad                         bool
+	AOff, LabelOff, LossOff, GradOff int64
+}
+
+// Signature is the kernel cache key.
+func (s SoftmaxCESpec) Signature() string {
+	g := ""
+	if s.WithGrad {
+		g = "_grad"
+	}
+	return fmt.Sprintf("softmaxce_r%d_c%d_v%d%s", s.Rows, s.Cols, s.VLEN, g)
+}
+
+// SoftmaxCE generates the fused loss (+gradient) kernel in two phases.
+// Phase 1 runs a stable softmax per row (constant VL, no toggling) and,
+// when WithGrad is set, stores dLogits = probs/Rows with the label element
+// corrected by -1/Rows (a short scalar fix-up per row). Phase 2 gathers
+// each row's label probability into a staging row with scalar loads/stores,
+// then computes -log over the whole staging row with one vectorized SFU
+// pass and reduces it to the mean loss.
+func SoftmaxCE(s SoftmaxCESpec) *isa.Program {
+	if s.Cols > s.VLEN {
+		panic("codegen: softmax_ce rows wider than VLEN need multi-pass lowering")
+	}
+	if s.Rows > s.VLEN {
+		panic("codegen: softmax_ce batch larger than VLEN needs multi-pass lowering")
+	}
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	const (
+		fOne       = 2
+		fInvM      = 4
+		fTmp       = 5
+		rLabel     = 5
+		rAddr      = 6
+		rRow       = 9  // probs/grad row base walker
+		rStage     = 10 // staging slot walker
+		rLbl       = 11 // labels walker
+		rStrideRow = 12
+	)
+	// The probability rows live in the grad area (pre-scaled by 1/Rows when
+	// WithGrad); the label-probability staging row sits after the loss slot.
+	probBase := s.GradOff
+	scale := 1 / float32(s.Rows)
+	if !s.WithGrad {
+		scale = 1
+	}
+	stageOff := s.LossOff + 64
+
+	emitSetVL(b, s.Cols)
+	b.Emit(isa.FLI(fOne, 1))
+	b.Emit(isa.FLI(fInvM, scale))
+
+	// Phase 1: softmax rows (and gradient fix-ups).
+	for r := 0; r < s.Rows; r++ {
+		rowOff := int64(r * s.Cols * 4)
+		emitSpadAddr(b, rTmp, s.AOff+rowOff)
+		b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+		b.Emit(isa.Instr{Op: isa.OpVREDMAX, Rd: fTmp, Rs1: vIn})
+		b.Emit(isa.Instr{Op: isa.OpVSUBVF, Rd: vIn, Rs1: vIn, Rs2: fTmp})
+		b.Emit(isa.Instr{Op: isa.OpSFU, Rd: vIn, Rs1: vIn, Funct: isa.SFUExp})
+		b.Emit(isa.Instr{Op: isa.OpVREDSUM, Rd: fTmp, Rs1: vIn})
+		b.Emit(isa.Instr{Op: isa.OpFDIV, Rd: fTmp, Rs1: fOne, Rs2: fTmp})
+		// probs (optionally pre-scaled by 1/Rows for the gradient).
+		b.Emit(isa.Instr{Op: isa.OpFMUL, Rd: fTmp, Rs1: fTmp, Rs2: fInvM})
+		b.Emit(isa.Instr{Op: isa.OpVMULVF, Rd: vOut, Rs1: vIn, Rs2: fTmp})
+		emitSpadAddr(b, rTmp, probBase+rowOff)
+		b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vOut, Rs1: rTmp})
+	}
+	if s.WithGrad {
+		// grad[label] -= 1/Rows, per row (scalar fix-up).
+		emitSpadAddr(b, rRow, probBase)
+		emitSpadAddr(b, rLbl, s.LabelOff)
+		emitLoadConst(b, rStrideRow, int64(s.Cols*4))
+		for r := 0; r < s.Rows; r++ {
+			b.Emit(isa.Instr{Op: isa.OpFLW, Rd: fTmp, Rs1: rLbl})
+			b.Emit(isa.Instr{Op: isa.OpFMVXF, Rd: rLabel, Rs1: fTmp})
+			b.Emit(isa.Instr{Op: isa.OpSLLI, Rd: rLabel, Rs1: rLabel, Imm: 2})
+			b.Emit(isa.Instr{Op: isa.OpADD, Rd: rAddr, Rs1: rRow, Rs2: rLabel})
+			b.Emit(isa.Instr{Op: isa.OpFLW, Rd: fTmp, Rs1: rAddr})
+			b.Emit(isa.Instr{Op: isa.OpFSUB, Rd: fTmp, Rs1: fTmp, Rs2: fInvM})
+			b.Emit(isa.Instr{Op: isa.OpFSW, Rs2: fTmp, Rs1: rAddr})
+			b.Emit(isa.Instr{Op: isa.OpADD, Rd: rRow, Rs1: rRow, Rs2: rStrideRow})
+			b.Emit(isa.Instr{Op: isa.OpADDI, Rd: rLbl, Rs1: rLbl, Imm: 4})
+		}
+	}
+
+	// Phase 2: gather label probabilities into the staging row.
+	emitSpadAddr(b, rRow, probBase)
+	emitSpadAddr(b, rLbl, s.LabelOff)
+	emitSpadAddr(b, rStage, stageOff)
+	emitLoadConst(b, rStrideRow, int64(s.Cols*4))
+	for r := 0; r < s.Rows; r++ {
+		b.Emit(isa.Instr{Op: isa.OpFLW, Rd: fTmp, Rs1: rLbl})
+		b.Emit(isa.Instr{Op: isa.OpFMVXF, Rd: rLabel, Rs1: fTmp})
+		b.Emit(isa.Instr{Op: isa.OpSLLI, Rd: rLabel, Rs1: rLabel, Imm: 2})
+		b.Emit(isa.Instr{Op: isa.OpADD, Rd: rAddr, Rs1: rRow, Rs2: rLabel})
+		b.Emit(isa.Instr{Op: isa.OpFLW, Rd: fTmp, Rs1: rAddr})
+		if s.WithGrad {
+			// The stored rows hold probs/Rows (with the label element
+			// shifted by -1/Rows): recover probs[label] = v*Rows + 1.
+			b.Emit(isa.FLI(6, float32(s.Rows)))
+			b.Emit(isa.Instr{Op: isa.OpFMUL, Rd: fTmp, Rs1: fTmp, Rs2: 6})
+			b.Emit(isa.Instr{Op: isa.OpFADD, Rd: fTmp, Rs1: fTmp, Rs2: fOne})
+		}
+		b.Emit(isa.Instr{Op: isa.OpFSW, Rs2: fTmp, Rs1: rStage})
+		b.Emit(isa.Instr{Op: isa.OpADD, Rd: rRow, Rs1: rRow, Rs2: rStrideRow})
+		b.Emit(isa.Instr{Op: isa.OpADDI, Rd: rLbl, Rs1: rLbl, Imm: 4})
+		b.Emit(isa.Instr{Op: isa.OpADDI, Rd: rStage, Rs1: rStage, Imm: 4})
+	}
+	// loss = -mean(log(staged)).
+	emitSetVL(b, s.Rows)
+	emitSpadAddr(b, rTmp, stageOff)
+	b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+	b.Emit(isa.Instr{Op: isa.OpSFU, Rd: vIn, Rs1: vIn, Funct: isa.SFULog})
+	b.Emit(isa.Instr{Op: isa.OpVREDSUM, Rd: fTmp, Rs1: vIn})
+	b.Emit(isa.FLI(6, -1/float32(s.Rows)))
+	b.Emit(isa.Instr{Op: isa.OpFMUL, Rd: fTmp, Rs1: fTmp, Rs2: 6})
+	emitSpadAddr(b, rTmp, s.LossOff)
+	b.Emit(isa.Instr{Op: isa.OpFSW, Rs2: fTmp, Rs1: rTmp})
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}

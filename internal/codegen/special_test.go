@@ -1,0 +1,193 @@
+package codegen
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/funcsim"
+	"repro/internal/tensor"
+)
+
+func TestScaleShiftRowKernel(t *testing.T) {
+	r := tensor.NewRNG(1)
+	channels, planes, elems := 3, 6, 10 // 2 batch x 3 channels
+	a := tensor.RandNormal(r, 0, 1, planes, elems)
+	gamma := tensor.RandNormal(r, 1, 0.2, channels)
+	beta := tensor.RandNormal(r, 0, 0.2, channels)
+	spec := ScaleShiftRowSpec{Rows: planes, Cols: elems, Channels: channels, VLEN: 16,
+		AOff: 0, GOff: 4096, BOff: 5120, OutOff: 8192}
+	core := runKernel(t, ScaleShiftRow(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, a.Data)
+		writeSpad(fc, spec.GOff, gamma.Data)
+		writeSpad(fc, spec.BOff, beta.Data)
+	})
+	got := readSpad(core, spec.OutOff, planes*elems)
+	for p := 0; p < planes; p++ {
+		c := p % channels
+		for e := 0; e < elems; e++ {
+			want := a.Data[p*elems+e]*gamma.Data[c] + beta.Data[c]
+			if d := got[p*elems+e] - want; d > 1e-5 || d < -1e-5 {
+				t.Fatalf("scale_shift_row[%d,%d] = %g, want %g", p, e, got[p*elems+e], want)
+			}
+		}
+	}
+}
+
+func TestPlanePoolKernel(t *testing.T) {
+	r := tensor.NewRNG(2)
+	h, w, window, stride := 6, 6, 2, 2
+	oh, ow := (h-window)/stride+1, (w-window)/stride+1
+	plane := tensor.RandNormal(r, 0, 1, 1, 1, h, w)
+	spec := PlanePoolSpec{H: h, W: w, OH: oh, OW: ow, Window: window, Stride: stride,
+		VLEN: 16, AOff: 0, OutOff: 8192}
+	core := runKernel(t, PlanePool(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, plane.Data)
+	})
+	got := readSpad(core, spec.OutOff, oh*ow)
+	want := tensor.MaxPool2D(plane, window, stride)
+	for i := range got {
+		if got[i] != want.Data[i] {
+			t.Fatalf("planepool[%d] = %g, want %g", i, got[i], want.Data[i])
+		}
+	}
+}
+
+func TestPlanePoolStride1Window3(t *testing.T) {
+	r := tensor.NewRNG(3)
+	h, w, window, stride := 7, 7, 3, 2
+	oh, ow := (h-window)/stride+1, (w-window)/stride+1
+	plane := tensor.RandNormal(r, 0, 1, 1, 1, h, w)
+	spec := PlanePoolSpec{H: h, W: w, OH: oh, OW: ow, Window: window, Stride: stride,
+		VLEN: 16, AOff: 0, OutOff: 8192}
+	core := runKernel(t, PlanePool(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, plane.Data)
+	})
+	got := readSpad(core, spec.OutOff, oh*ow)
+	want := tensor.MaxPool2D(plane, window, stride)
+	for i := range got {
+		if got[i] != want.Data[i] {
+			t.Fatalf("planepool 3x3s2 [%d] = %g, want %g", i, got[i], want.Data[i])
+		}
+	}
+}
+
+func TestGlobalAvgKernel(t *testing.T) {
+	r := tensor.NewRNG(4)
+	planes, elems := 5, 24
+	a := tensor.RandNormal(r, 0, 1, planes, elems)
+	spec := GlobalAvgSpec{Planes: planes, PlaneElems: elems, VLEN: 16, AOff: 0, OutOff: 8192}
+	core := runKernel(t, GlobalAvg(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, a.Data)
+	})
+	got := readSpad(core, spec.OutOff, planes)
+	for p := 0; p < planes; p++ {
+		var want float32
+		for e := 0; e < elems; e++ {
+			want += a.Data[p*elems+e]
+		}
+		want /= float32(elems)
+		if d := got[p] - want; d > 1e-5 || d < -1e-5 {
+			t.Fatalf("gavg[%d] = %g, want %g", p, got[p], want)
+		}
+	}
+}
+
+func TestSoftmaxCEKernelLossOnly(t *testing.T) {
+	r := tensor.NewRNG(5)
+	rows, cols := 4, 10
+	logits := tensor.RandNormal(r, 0, 2, rows, cols)
+	labels := tensor.New(rows)
+	for i := range labels.Data {
+		labels.Data[i] = float32(r.Intn(cols))
+	}
+	spec := SoftmaxCESpec{Rows: rows, Cols: cols, VLEN: 16, AOff: 0, LabelOff: 2048, LossOff: 8192}
+	core := runKernel(t, SoftmaxCE(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, logits.Data)
+		writeSpad(fc, spec.LabelOff, labels.Data)
+	})
+	got := readSpad(core, spec.LossOff, 1)[0]
+	// Reference loss.
+	probs := tensor.Softmax(logits)
+	var want float64
+	for i := 0; i < rows; i++ {
+		want -= math.Log(float64(probs.At(i, int(labels.Data[i]))))
+	}
+	want /= float64(rows)
+	if math.Abs(float64(got)-want) > 1e-4*(1+math.Abs(want)) {
+		t.Fatalf("CE loss = %g, want %g", got, want)
+	}
+}
+
+func TestSoftmaxCEKernelWithGrad(t *testing.T) {
+	r := tensor.NewRNG(6)
+	rows, cols := 3, 8
+	logits := tensor.RandNormal(r, 0, 2, rows, cols)
+	labels := tensor.New(rows)
+	for i := range labels.Data {
+		labels.Data[i] = float32(r.Intn(cols))
+	}
+	spec := SoftmaxCESpec{Rows: rows, Cols: cols, VLEN: 16, WithGrad: true,
+		AOff: 0, LabelOff: 2048, LossOff: 4096, GradOff: 8192}
+	core := runKernel(t, SoftmaxCE(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, logits.Data)
+		writeSpad(fc, spec.LabelOff, labels.Data)
+	})
+	gotLoss := readSpad(core, spec.LossOff, 1)[0]
+	gotGrad := readSpad(core, spec.GradOff, rows*cols)
+
+	probs := tensor.Softmax(logits)
+	var wantLoss float64
+	for i := 0; i < rows; i++ {
+		wantLoss -= math.Log(float64(probs.At(i, int(labels.Data[i]))))
+	}
+	wantLoss /= float64(rows)
+	if math.Abs(float64(gotLoss)-wantLoss) > 1e-4*(1+math.Abs(wantLoss)) {
+		t.Fatalf("CE loss = %g, want %g", gotLoss, wantLoss)
+	}
+	inv := 1 / float32(rows)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			want := probs.At(i, j) * inv
+			if j == int(labels.Data[i]) {
+				want -= inv
+			}
+			if d := gotGrad[i*cols+j] - want; d > 1e-5 || d < -1e-5 {
+				t.Fatalf("CE grad[%d,%d] = %g, want %g", i, j, gotGrad[i*cols+j], want)
+			}
+		}
+	}
+}
+
+func TestWideSoftmaxMatchesReference(t *testing.T) {
+	// Cols = 40 > SmallConfig VLEN = 16 exercises the multi-pass path.
+	r := tensor.NewRNG(10)
+	rows, cols := 3, 40
+	a := tensor.RandNormal(r, 0, 3, rows, cols)
+	spec := SoftmaxSpec{Rows: rows, Cols: cols, VLEN: 16, AOff: 0, OutOff: 8192}
+	core := runKernel(t, Softmax(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, a.Data)
+	})
+	got := tensor.FromSlice(readSpad(core, spec.OutOff, rows*cols), rows, cols)
+	if !tensor.AllClose(got, tensor.Softmax(a), 1e-4, 1e-5) {
+		t.Fatal("wide softmax kernel wrong")
+	}
+}
+
+func TestWideLayerNormMatchesReference(t *testing.T) {
+	r := tensor.NewRNG(11)
+	rows, cols := 3, 48
+	a := tensor.RandNormal(r, 2, 3, rows, cols)
+	gamma := tensor.RandNormal(r, 1, 0.2, cols)
+	beta := tensor.RandNormal(r, 0, 0.2, cols)
+	spec := LayerNormSpec{Rows: rows, Cols: cols, VLEN: 16, AOff: 0, GOff: 4096, BOff: 5120, OutOff: 8192}
+	core := runKernel(t, LayerNorm(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, a.Data)
+		writeSpad(fc, spec.GOff, gamma.Data)
+		writeSpad(fc, spec.BOff, beta.Data)
+	})
+	got := tensor.FromSlice(readSpad(core, spec.OutOff, rows*cols), rows, cols)
+	want := tensor.LayerNorm(a, gamma, beta, 1e-5)
+	if !tensor.AllClose(got, want, 1e-3, 1e-3) {
+		t.Fatalf("wide layernorm kernel wrong (max diff %g)", tensor.MaxAbsDiff(got, want))
+	}
+}

@@ -1,0 +1,359 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+)
+
+// EltOp enumerates pointwise tile kernels (the loop-level-IR lowering path
+// for non-GEMM ops).
+type EltOp string
+
+const (
+	EltAdd      EltOp = "add"         // out = a + b
+	EltMul      EltOp = "mul"         // out = a * b
+	EltReLU     EltOp = "relu"        // out = max(a, 0)
+	EltGELU     EltOp = "gelu"        // out = gelu(a)
+	EltTanh     EltOp = "tanh"        // out = tanh(a)
+	EltScale    EltOp = "scale"       // out = a * const
+	EltBiasAdd  EltOp = "bias_add"    // out = a + bias-row (b is a row vector)
+	EltReLUGrad EltOp = "relu_grad"   // out = a * (b > 0): a=dY, b=X
+	EltScaleSh  EltOp = "scale_shift" // out = a*gamma + beta per column-pair rows
+)
+
+// EltSpec describes a pointwise kernel over a tile of Rows x Cols float32
+// elements. AOff/BOff/OutOff are scratchpad byte offsets; BOff is unused by
+// unary ops. For bias_add and scale_shift, B holds one row of Cols values.
+type EltSpec struct {
+	Op                 EltOp
+	Rows, Cols         int
+	ScaleF             float32 // for EltScale
+	VLEN               int     // core logical vector length
+	AOff, BOff, OutOff int64
+}
+
+// Signature is the kernel cache key.
+func (s EltSpec) Signature() string {
+	return fmt.Sprintf("elt_%s_r%d_c%d_v%d", s.Op, s.Rows, s.Cols, s.VLEN)
+}
+
+// Eltwise generates a pointwise tile kernel: the tile is processed in
+// VL-sized chunks, row-major.
+func Eltwise(s EltSpec) *isa.Program {
+	if s.Rows <= 0 || s.Cols <= 0 || s.VLEN <= 0 {
+		panic(fmt.Sprintf("codegen: bad elt spec %+v", s))
+	}
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	total := s.Rows * s.Cols
+	if s.Op == EltScale {
+		b.Emit(isa.FLI(fZero, s.ScaleF))
+	}
+	if s.Op == EltReLU {
+		b.Emit(isa.FLI(fZero, 0))
+	}
+	if s.Op == EltBiasAdd || s.Op == EltScaleSh {
+		// Row-vector operands stay resident in vector registers; process
+		// row by row so each chunk aligns with the bias row.
+		eltwiseRows(b, s)
+		b.Emit(isa.Instr{Op: isa.OpHALT})
+		return b.Build()
+	}
+	for off := 0; off < total; off += s.VLEN {
+		n := s.VLEN
+		if total-off < n {
+			n = total - off
+		}
+		emitSetVL(b, n)
+		emitSpadAddr(b, rTmp, s.AOff+int64(off*4))
+		b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+		switch s.Op {
+		case EltAdd, EltMul, EltReLUGrad:
+			emitSpadAddr(b, rTmp, s.BOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vAcc, Rs1: rTmp})
+		}
+		switch s.Op {
+		case EltAdd:
+			b.Emit(isa.Instr{Op: isa.OpVADD, Rd: vOut, Rs1: vIn, Rs2: vAcc})
+		case EltMul:
+			b.Emit(isa.Instr{Op: isa.OpVMUL, Rd: vOut, Rs1: vIn, Rs2: vAcc})
+		case EltReLU:
+			b.Emit(isa.Instr{Op: isa.OpVMAXVF, Rd: vOut, Rs1: vIn, Rs2: fZero})
+		case EltGELU:
+			b.Emit(isa.Instr{Op: isa.OpSFU, Rd: vOut, Rs1: vIn, Funct: isa.SFUGelu})
+		case EltTanh:
+			b.Emit(isa.Instr{Op: isa.OpSFU, Rd: vOut, Rs1: vIn, Funct: isa.SFUTanh})
+		case EltScale:
+			b.Emit(isa.Instr{Op: isa.OpVMULVF, Rd: vOut, Rs1: vIn, Rs2: fZero})
+		case EltReLUGrad:
+			// out = dY where X > 0: sign mask via (max(X,0) recip trick is
+			// numerically unsafe); compute mask = min(max(X*BIG,0),1).
+			b.Emit(isa.FLI(2, 1e30))
+			b.Emit(isa.Instr{Op: isa.OpVMULVF, Rd: vAcc, Rs1: vAcc, Rs2: 2})
+			b.Emit(isa.FLI(2, 0))
+			b.Emit(isa.Instr{Op: isa.OpVMAXVF, Rd: vAcc, Rs1: vAcc, Rs2: 2})
+			b.Emit(isa.FLI(2, 1))
+			b.Emit(isa.Instr{Op: isa.OpVBCAST, Rd: vBias, Rs1: 2})
+			b.Emit(isa.Instr{Op: isa.OpVMIN, Rd: vAcc, Rs1: vAcc, Rs2: vBias})
+			b.Emit(isa.Instr{Op: isa.OpVMUL, Rd: vOut, Rs1: vIn, Rs2: vAcc})
+		default:
+			panic(fmt.Sprintf("codegen: unknown elt op %q", s.Op))
+		}
+		emitSpadAddr(b, rTmp, s.OutOff+int64(off*4))
+		b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vOut, Rs1: rTmp})
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}
+
+// eltwiseRows handles row-vector-operand kernels (bias_add, scale_shift).
+// For scale_shift, B holds gamma in its first row and beta in its second.
+func eltwiseRows(b *isa.Builder, s EltSpec) {
+	for c := 0; c < s.Cols; c += s.VLEN {
+		n := s.VLEN
+		if s.Cols-c < n {
+			n = s.Cols - c
+		}
+		emitSetVL(b, n)
+		emitSpadAddr(b, rTmp, s.BOff+int64(c*4))
+		b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vBias, Rs1: rTmp})
+		if s.Op == EltScaleSh {
+			emitSpadAddr(b, rTmp, s.BOff+int64((s.Cols+c)*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vWeight, Rs1: rTmp})
+		}
+		for r := 0; r < s.Rows; r++ {
+			off := int64((r*s.Cols + c) * 4)
+			emitSpadAddr(b, rTmp, s.AOff+off)
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+			if s.Op == EltScaleSh {
+				b.Emit(isa.Instr{Op: isa.OpVMUL, Rd: vIn, Rs1: vIn, Rs2: vBias})
+				b.Emit(isa.Instr{Op: isa.OpVADD, Rd: vOut, Rs1: vIn, Rs2: vWeight})
+			} else {
+				b.Emit(isa.Instr{Op: isa.OpVADD, Rd: vOut, Rs1: vIn, Rs2: vBias})
+			}
+			emitSpadAddr(b, rTmp, s.OutOff+off)
+			b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vOut, Rs1: rTmp})
+		}
+	}
+}
+
+// SoftmaxSpec describes a row-wise softmax tile kernel (Cols must fit in
+// VLEN; wider rows are split by the compiler into multi-pass reductions).
+type SoftmaxSpec struct {
+	Rows, Cols   int
+	VLEN         int
+	AOff, OutOff int64
+}
+
+// Signature is the kernel cache key.
+func (s SoftmaxSpec) Signature() string {
+	return fmt.Sprintf("softmax_r%d_c%d_v%d", s.Rows, s.Cols, s.VLEN)
+}
+
+// Softmax generates the numerically stable row-wise softmax kernel:
+// max-reduce, subtract, exp (SFU), sum-reduce, reciprocal multiply. Rows
+// wider than VLEN use the multi-pass lowering.
+func Softmax(s SoftmaxSpec) *isa.Program {
+	if s.Cols > s.VLEN {
+		return softmaxWide(s)
+	}
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	emitSetVL(b, s.Cols)
+	b.Emit(isa.FLI(2, 1)) // f2 = 1.0 for reciprocal
+	for r := 0; r < s.Rows; r++ {
+		off := int64(r * s.Cols * 4)
+		emitSpadAddr(b, rTmp, s.AOff+off)
+		b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+		b.Emit(isa.Instr{Op: isa.OpVREDMAX, Rd: fZero, Rs1: vIn})
+		b.Emit(isa.Instr{Op: isa.OpVSUBVF, Rd: vIn, Rs1: vIn, Rs2: fZero})
+		b.Emit(isa.Instr{Op: isa.OpSFU, Rd: vIn, Rs1: vIn, Funct: isa.SFUExp})
+		b.Emit(isa.Instr{Op: isa.OpVREDSUM, Rd: fZero, Rs1: vIn})
+		b.Emit(isa.Instr{Op: isa.OpFDIV, Rd: fZero, Rs1: 2, Rs2: fZero})
+		b.Emit(isa.Instr{Op: isa.OpVMULVF, Rd: vOut, Rs1: vIn, Rs2: fZero})
+		emitSpadAddr(b, rTmp, s.OutOff+off)
+		b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vOut, Rs1: rTmp})
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}
+
+// LayerNormSpec describes a row-wise layer normalization tile kernel.
+// Gamma and beta rows live at GOff and BOff.
+type LayerNormSpec struct {
+	Rows, Cols               int
+	VLEN                     int
+	Eps                      float32
+	AOff, GOff, BOff, OutOff int64
+}
+
+// Signature is the kernel cache key.
+func (s LayerNormSpec) Signature() string {
+	return fmt.Sprintf("layernorm_r%d_c%d_v%d", s.Rows, s.Cols, s.VLEN)
+}
+
+// LayerNorm generates the row-wise layernorm kernel: mean, variance,
+// rsqrt, scale by gamma, shift by beta. Rows wider than VLEN use the
+// multi-pass lowering.
+func LayerNorm(s LayerNormSpec) *isa.Program {
+	if s.Cols > s.VLEN {
+		return layerNormWide(s)
+	}
+	eps := s.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	emitSetVL(b, s.Cols)
+	b.Emit(isa.FLI(2, 1/float32(s.Cols))) // f2 = 1/n
+	b.Emit(isa.FLI(3, eps))               // f3 = eps
+	emitSpadAddr(b, rTmp, s.GOff)
+	b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vBias, Rs1: rTmp}) // gamma
+	emitSpadAddr(b, rTmp, s.BOff)
+	b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vWeight, Rs1: rTmp}) // beta
+	for r := 0; r < s.Rows; r++ {
+		off := int64(r * s.Cols * 4)
+		emitSpadAddr(b, rTmp, s.AOff+off)
+		b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+		// mean = sum(x)/n
+		b.Emit(isa.Instr{Op: isa.OpVREDSUM, Rd: fZero, Rs1: vIn})
+		b.Emit(isa.Instr{Op: isa.OpFMUL, Rd: fZero, Rs1: fZero, Rs2: 2})
+		// x -= mean
+		b.Emit(isa.Instr{Op: isa.OpVSUBVF, Rd: vIn, Rs1: vIn, Rs2: fZero})
+		// var = sum(x^2)/n
+		b.Emit(isa.Instr{Op: isa.OpVMUL, Rd: vAcc, Rs1: vIn, Rs2: vIn})
+		b.Emit(isa.Instr{Op: isa.OpVREDSUM, Rd: fZero, Rs1: vAcc})
+		b.Emit(isa.Instr{Op: isa.OpFMUL, Rd: fZero, Rs1: fZero, Rs2: 2})
+		// inv = 1/sqrt(var + eps)
+		b.Emit(isa.Instr{Op: isa.OpFADD, Rd: fZero, Rs1: fZero, Rs2: 3})
+		b.Emit(isa.Instr{Op: isa.OpFSQRT, Rd: fZero, Rs1: fZero})
+		b.Emit(isa.Instr{Op: isa.OpFLI, Rd: 4, Imm: isa.FLI(4, 1).Imm})
+		b.Emit(isa.Instr{Op: isa.OpFDIV, Rd: fZero, Rs1: 4, Rs2: fZero})
+		// out = x*inv*gamma + beta
+		b.Emit(isa.Instr{Op: isa.OpVMULVF, Rd: vIn, Rs1: vIn, Rs2: fZero})
+		b.Emit(isa.Instr{Op: isa.OpVMUL, Rd: vIn, Rs1: vIn, Rs2: vBias})
+		b.Emit(isa.Instr{Op: isa.OpVADD, Rd: vOut, Rs1: vIn, Rs2: vWeight})
+		emitSpadAddr(b, rTmp, s.OutOff+off)
+		b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vOut, Rs1: rTmp})
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}
+
+// ColSumSpec describes the column-sum reduction (M,N) -> (N,) used for bias
+// gradients.
+type ColSumSpec struct {
+	Rows, Cols   int
+	VLEN         int
+	AOff, OutOff int64
+}
+
+// Signature is the kernel cache key.
+func (s ColSumSpec) Signature() string {
+	return fmt.Sprintf("colsum_r%d_c%d_v%d", s.Rows, s.Cols, s.VLEN)
+}
+
+// ColSum generates the column-sum kernel: accumulate rows with VADD.
+func ColSum(s ColSumSpec) *isa.Program {
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	for c := 0; c < s.Cols; c += s.VLEN {
+		n := s.VLEN
+		if s.Cols-c < n {
+			n = s.Cols - c
+		}
+		emitSetVL(b, n)
+		b.Emit(isa.FLI(fZero, 0))
+		b.Emit(isa.Instr{Op: isa.OpVBCAST, Rd: vAcc, Rs1: fZero})
+		for r := 0; r < s.Rows; r++ {
+			emitSpadAddr(b, rTmp, s.AOff+int64((r*s.Cols+c)*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+			b.Emit(isa.Instr{Op: isa.OpVADD, Rd: vAcc, Rs1: vAcc, Rs2: vIn})
+		}
+		emitSpadAddr(b, rTmp, s.OutOff+int64(c*4))
+		b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vAcc, Rs1: rTmp})
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}
+
+// SGDSpec describes the fused optimizer step w -= lr * g over N elements.
+type SGDSpec struct {
+	N                  int
+	LR                 float32
+	VLEN               int
+	WOff, GOff, OutOff int64
+}
+
+// Signature is the kernel cache key.
+func (s SGDSpec) Signature() string {
+	return fmt.Sprintf("sgd_n%d_v%d", s.N, s.VLEN)
+}
+
+// SGD generates the optimizer kernel using fused multiply-accumulate with a
+// negative learning rate.
+func SGD(s SGDSpec) *isa.Program {
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	b.Emit(isa.FLI(fZero, -s.LR))
+	for off := 0; off < s.N; off += s.VLEN {
+		n := s.VLEN
+		if s.N-off < n {
+			n = s.N - off
+		}
+		emitSetVL(b, n)
+		emitSpadAddr(b, rTmp, s.WOff+int64(off*4))
+		b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+		emitSpadAddr(b, rTmp, s.GOff+int64(off*4))
+		b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vAcc, Rs1: rTmp})
+		b.Emit(isa.Instr{Op: isa.OpVMACCVF, Rd: vIn, Rs1: vAcc, Rs2: fZero})
+		emitSpadAddr(b, rTmp, s.OutOff+int64(off*4))
+		b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vIn, Rs1: rTmp})
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}
+
+// PoolSpec describes max pooling over one tile: OutElems output elements,
+// each the max over Window*Window strided input elements. The compiler
+// arranges the input tile so that, for output chunk base o, input element
+// (o, tap t) lives at AOff + t*TapStride + o*4 (tap-major layout produced by
+// the transpose-capable DMA).
+type PoolSpec struct {
+	OutElems     int
+	Taps         int // window*window
+	VLEN         int
+	TapStride    int64
+	AOff, OutOff int64
+}
+
+// Signature is the kernel cache key.
+func (s PoolSpec) Signature() string {
+	return fmt.Sprintf("pool_o%d_t%d_v%d", s.OutElems, s.Taps, s.VLEN)
+}
+
+// MaxPool generates the pooling kernel: per chunk, VMAX across taps.
+func MaxPool(s PoolSpec) *isa.Program {
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	for off := 0; off < s.OutElems; off += s.VLEN {
+		n := s.VLEN
+		if s.OutElems-off < n {
+			n = s.OutElems - off
+		}
+		emitSetVL(b, n)
+		emitSpadAddr(b, rTmp, s.AOff+int64(off*4))
+		b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vAcc, Rs1: rTmp})
+		for t := 1; t < s.Taps; t++ {
+			emitSpadAddr(b, rTmp, s.AOff+int64(t)*s.TapStride+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+			b.Emit(isa.Instr{Op: isa.OpVMAX, Rd: vAcc, Rs1: vAcc, Rs2: vIn})
+		}
+		emitSpadAddr(b, rTmp, s.OutOff+int64(off*4))
+		b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vAcc, Rs1: rTmp})
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}

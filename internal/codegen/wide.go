@@ -1,0 +1,150 @@
+package codegen
+
+import "repro/internal/isa"
+
+// Wide-row lowering: rows wider than the logical vector length are
+// processed with multi-pass reductions (chunked max/sum passes combined in
+// scalar float registers), as the compiler's loop-level lowering would do.
+
+// softmaxWide emits the three-pass softmax for Cols > VLEN.
+func softmaxWide(s SoftmaxSpec) *isa.Program {
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	const (
+		fMax = 1
+		fSum = 2
+		fTmp = 3
+		fOne = 4
+	)
+	b.Emit(isa.FLI(fOne, 1))
+	chunks := chunkSizes(s.Cols, s.VLEN)
+	for r := 0; r < s.Rows; r++ {
+		rowOff := int64(r * s.Cols * 4)
+		// Pass 1: global max across chunks.
+		b.Emit(isa.FLI(fMax, -3.4e38))
+		off := 0
+		for _, cs := range chunks {
+			emitSetVL(b, cs)
+			emitSpadAddr(b, rTmp, s.AOff+rowOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+			b.Emit(isa.Instr{Op: isa.OpVREDMAX, Rd: fTmp, Rs1: vIn})
+			b.Emit(isa.Instr{Op: isa.OpFMAX, Rd: fMax, Rs1: fMax, Rs2: fTmp})
+			off += cs
+		}
+		// Pass 2: exponentiate into the output row, accumulating the sum.
+		b.Emit(isa.FLI(fSum, 0))
+		off = 0
+		for _, cs := range chunks {
+			emitSetVL(b, cs)
+			emitSpadAddr(b, rTmp, s.AOff+rowOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+			b.Emit(isa.Instr{Op: isa.OpVSUBVF, Rd: vIn, Rs1: vIn, Rs2: fMax})
+			b.Emit(isa.Instr{Op: isa.OpSFU, Rd: vIn, Rs1: vIn, Funct: isa.SFUExp})
+			emitSpadAddr(b, rTmp, s.OutOff+rowOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vIn, Rs1: rTmp})
+			b.Emit(isa.Instr{Op: isa.OpVREDSUM, Rd: fTmp, Rs1: vIn})
+			b.Emit(isa.Instr{Op: isa.OpFADD, Rd: fSum, Rs1: fSum, Rs2: fTmp})
+			off += cs
+		}
+		// Pass 3: scale by the reciprocal of the sum.
+		b.Emit(isa.Instr{Op: isa.OpFDIV, Rd: fSum, Rs1: fOne, Rs2: fSum})
+		off = 0
+		for _, cs := range chunks {
+			emitSetVL(b, cs)
+			emitSpadAddr(b, rTmp, s.OutOff+rowOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+			b.Emit(isa.Instr{Op: isa.OpVMULVF, Rd: vIn, Rs1: vIn, Rs2: fSum})
+			b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vIn, Rs1: rTmp})
+			off += cs
+		}
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}
+
+// layerNormWide emits the multi-pass layernorm for Cols > VLEN.
+func layerNormWide(s LayerNormSpec) *isa.Program {
+	eps := s.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	const (
+		fMean = 1
+		fVar  = 2
+		fTmp  = 3
+		fInvN = 4
+		fEps  = 5
+		fOne  = 6
+	)
+	b.Emit(isa.FLI(fInvN, 1/float32(s.Cols)))
+	b.Emit(isa.FLI(fEps, eps))
+	b.Emit(isa.FLI(fOne, 1))
+	chunks := chunkSizes(s.Cols, s.VLEN)
+	for r := 0; r < s.Rows; r++ {
+		rowOff := int64(r * s.Cols * 4)
+		// Pass 1: mean.
+		b.Emit(isa.FLI(fMean, 0))
+		off := 0
+		for _, cs := range chunks {
+			emitSetVL(b, cs)
+			emitSpadAddr(b, rTmp, s.AOff+rowOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+			b.Emit(isa.Instr{Op: isa.OpVREDSUM, Rd: fTmp, Rs1: vIn})
+			b.Emit(isa.Instr{Op: isa.OpFADD, Rd: fMean, Rs1: fMean, Rs2: fTmp})
+			off += cs
+		}
+		b.Emit(isa.Instr{Op: isa.OpFMUL, Rd: fMean, Rs1: fMean, Rs2: fInvN})
+		// Pass 2: center into the output row, accumulating the variance.
+		b.Emit(isa.FLI(fVar, 0))
+		off = 0
+		for _, cs := range chunks {
+			emitSetVL(b, cs)
+			emitSpadAddr(b, rTmp, s.AOff+rowOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+			b.Emit(isa.Instr{Op: isa.OpVSUBVF, Rd: vIn, Rs1: vIn, Rs2: fMean})
+			emitSpadAddr(b, rTmp, s.OutOff+rowOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vIn, Rs1: rTmp})
+			b.Emit(isa.Instr{Op: isa.OpVMUL, Rd: vAcc, Rs1: vIn, Rs2: vIn})
+			b.Emit(isa.Instr{Op: isa.OpVREDSUM, Rd: fTmp, Rs1: vAcc})
+			b.Emit(isa.Instr{Op: isa.OpFADD, Rd: fVar, Rs1: fVar, Rs2: fTmp})
+			off += cs
+		}
+		// inv = 1/sqrt(var/n + eps)
+		b.Emit(isa.Instr{Op: isa.OpFMUL, Rd: fVar, Rs1: fVar, Rs2: fInvN})
+		b.Emit(isa.Instr{Op: isa.OpFADD, Rd: fVar, Rs1: fVar, Rs2: fEps})
+		b.Emit(isa.Instr{Op: isa.OpFSQRT, Rd: fVar, Rs1: fVar})
+		b.Emit(isa.Instr{Op: isa.OpFDIV, Rd: fVar, Rs1: fOne, Rs2: fVar})
+		// Pass 3: scale by inv, gamma and beta (chunked row operands).
+		off = 0
+		for _, cs := range chunks {
+			emitSetVL(b, cs)
+			emitSpadAddr(b, rTmp, s.OutOff+rowOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+			b.Emit(isa.Instr{Op: isa.OpVMULVF, Rd: vIn, Rs1: vIn, Rs2: fVar})
+			emitSpadAddr(b, rTmp2, s.GOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vBias, Rs1: rTmp2})
+			b.Emit(isa.Instr{Op: isa.OpVMUL, Rd: vIn, Rs1: vIn, Rs2: vBias})
+			emitSpadAddr(b, rTmp2, s.BOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vBias, Rs1: rTmp2})
+			b.Emit(isa.Instr{Op: isa.OpVADD, Rd: vIn, Rs1: vIn, Rs2: vBias})
+			b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vIn, Rs1: rTmp})
+			off += cs
+		}
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}
+
+func chunkSizes(total, vlen int) []int {
+	var out []int
+	for c := 0; c < total; c += vlen {
+		n := vlen
+		if total-c < n {
+			n = total - c
+		}
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,456 @@
+// Package compiler is the NPU backend (the role of the paper's custom
+// Inductor backend + MLIR/LLVM lowering, §3.6): it takes a captured graph,
+// applies operator fusion, chooses tilings and activation layouts, generates
+// machine-code kernels per unique tile shape, measures their deterministic
+// latencies on the core timing model (offline ILS, §3.8), and emits one
+// Tile Operation Graph per layer for TOGSim, plus the DRAM tensor map.
+//
+// Layout convention: 4-D activations are stored in DRAM as (H*W*N, C)
+// row-major — the HWNC layout of §3.6.3 — so convolutions, pooling, and
+// folded batch-norm all become matrix-shaped tile operations. 2-D tensors
+// are plain row-major.
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/graph"
+	"repro/internal/isa"
+	"repro/internal/npu"
+	"repro/internal/timingsim"
+	"repro/internal/tog"
+	"repro/internal/togsim"
+)
+
+// DMAMode selects DMA decomposition (§3.6.3, Fig. 8a).
+type DMAMode int
+
+const (
+	// DMASelective is fine-grained DMA except for operands whose stripe
+	// exceeds FineThresholdBytes (the paper's SFG-DMA).
+	DMASelective DMAMode = iota
+	// DMACoarse loads whole tile stripes with single DMAs.
+	DMACoarse
+	// DMAFine decomposes loads to SA-panel granularity (FG-DMA).
+	DMAFine
+)
+
+func (m DMAMode) String() string {
+	switch m {
+	case DMACoarse:
+		return "coarse"
+	case DMAFine:
+		return "fine"
+	default:
+		return "selective"
+	}
+}
+
+// Options control the compiler's optimizations.
+type Options struct {
+	Fusion             bool    // fuse bias/BN/activation epilogues into GEMM/CONV
+	DMA                DMAMode // DMA decomposition strategy
+	ConvLayoutOpt      bool    // HWC / HNWC tilings for batch-1 / small-C convs
+	MaxMt              int     // cap on M-tile rows (0 = default 256)
+	FineThresholdBytes int     // SFG: stripes above this stay coarse (0 = 2 MiB)
+}
+
+// DefaultOptions enables every optimization, as the paper's evaluation does.
+func DefaultOptions() Options {
+	return Options{Fusion: true, DMA: DMASelective, ConvLayoutOpt: true}
+}
+
+// TileCandidates returns the option sets the autotuner sweeps: the default
+// heuristic plus capped M-tile variants. Smaller M tiles trade scratchpad
+// reuse for finer DMA-compute overlap; which wins depends on the layer's
+// aspect ratio and the memory system, which is exactly why the sweep runs
+// each candidate through TLS instead of scoring a static model.
+func TileCandidates() []Options {
+	base := DefaultOptions()
+	out := []Options{base}
+	for _, mt := range []int{32, 64, 128} {
+		o := base
+		o.MaxMt = mt
+		out = append(out, o)
+	}
+	return out
+}
+
+func (o Options) maxMt() int {
+	if o.MaxMt > 0 {
+		return o.MaxMt
+	}
+	return 256
+}
+
+func (o Options) fineThreshold() int {
+	if o.FineThresholdBytes > 0 {
+		return o.FineThresholdBytes
+	}
+	return 2 << 20
+}
+
+// Compiled is the backend's output for one graph: TOGs in execution order,
+// the DRAM tensor map, and the kernel programs for functional execution.
+type Compiled struct {
+	Name    string
+	TOGs    []*tog.TOG
+	Bases   map[string]uint64 // tensor name -> DRAM base address
+	Kernels map[string]*isa.Program
+	// TensorBytes records each tensor's allocated footprint.
+	TensorBytes map[string]int64
+	TotalBytes  uint64
+	// LayerOf maps each TOG index back to the graph node it implements.
+	LayerOf []int
+	// OutputTensors names the tensors holding graph outputs.
+	OutputTensors map[int]string
+	// FunctionalOK reports whether every TOG can be executed functionally
+	// (convolution cost-model TOGs cannot; see DESIGN.md).
+	FunctionalOK bool
+
+	cfg npu.Config
+}
+
+// Job wraps the compiled model as a TOGSim job on the given core.
+func (c *Compiled) Job(name string, core, src int) *togsim.Job {
+	bases := make([]map[string]uint64, len(c.TOGs))
+	for i := range bases {
+		bases[i] = c.Bases
+	}
+	return &togsim.Job{Name: name, TOGs: c.TOGs, Bases: bases, Core: core, Src: src}
+}
+
+// Compiler caches kernel latencies across compilations (the paper's TOG
+// cache, §3.10: latencies measured offline are reused over simulations).
+type Compiler struct {
+	Cfg  npu.Config
+	Opts Options
+
+	latCache map[string]int64
+	// MeasureCount counts actual timing-simulator invocations (cache
+	// misses), exposed for tests and reporting.
+	MeasureCount int
+}
+
+// New returns a compiler for the target NPU.
+func New(cfg npu.Config, opts Options) *Compiler {
+	return &Compiler{Cfg: cfg, Opts: opts, latCache: map[string]int64{}}
+}
+
+// measure returns the cycle count for the kernel with the given signature,
+// generating and timing it only on cache miss.
+func (c *Compiler) measure(sig string, gen func() *isa.Program) (int64, error) {
+	if lat, ok := c.latCache[sig]; ok {
+		return lat, nil
+	}
+	prog := gen()
+	res, err := timingsim.MeasureKernel(c.Cfg.Core, prog, nil)
+	if err != nil {
+		return 0, fmt.Errorf("compiler: measuring %q: %w", sig, err)
+	}
+	c.latCache[sig] = res.Cycles
+	c.MeasureCount++
+	return res.Cycles, nil
+}
+
+// state carries per-compilation context.
+type state struct {
+	c    *Compiler
+	g    *graph.Graph
+	out  *Compiled
+	next uint64 // bump allocator cursor
+
+	// tensorOf maps node ID to the name of the tensor holding its value
+	// (fused nodes map to their group's output tensor).
+	tensorOf map[int]string
+	// fusion results.
+	fusedInto map[int]int      // member node -> group root
+	groupEpi  map[int]groupEpi // root -> epilogue info
+}
+
+type groupEpi struct {
+	epi       codegen.Epilogue
+	biasNode  int // bias_add's bias input node (-1 if none)
+	gammaNode int // scale_shift gamma (-1 if none)
+	betaNode  int
+	outNode   int // last node of the group (its consumers read the tensor)
+}
+
+const allocAlign = 4096
+
+// alloc reserves DRAM space for a named tensor.
+func (st *state) alloc(name string, bytes int64) {
+	if _, dup := st.out.Bases[name]; dup {
+		panic(fmt.Sprintf("compiler: tensor %q allocated twice", name))
+	}
+	st.out.Bases[name] = st.next
+	st.out.TensorBytes[name] = bytes
+	st.next += (uint64(bytes) + allocAlign - 1) &^ (allocAlign - 1)
+}
+
+// tensorName returns the canonical tensor name for a node's value.
+func tensorName(n *graph.Node) string {
+	switch n.Op {
+	case graph.OpInput, graph.OpParam, graph.OpConst:
+		return n.Name
+	default:
+		return fmt.Sprintf("t%d", n.ID)
+	}
+}
+
+// spadBudget is the scratchpad bytes available to one context (two
+// double-buffered contexts share the core's scratchpad, §3.3.1).
+func (st *state) spadBudget() int64 {
+	return int64(st.c.Cfg.Core.SpadBytes) / 2
+}
+
+// Compile lowers g for the target NPU.
+func (c *Compiler) Compile(g *graph.Graph) (*Compiled, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	st := &state{
+		c: c,
+		g: g,
+		out: &Compiled{
+			Name:          g.Name,
+			Bases:         map[string]uint64{},
+			Kernels:       map[string]*isa.Program{},
+			TensorBytes:   map[string]int64{},
+			OutputTensors: map[int]string{},
+			FunctionalOK:  true,
+			cfg:           c.Cfg,
+		},
+		tensorOf:  map[int]string{},
+		fusedInto: map[int]int{},
+		groupEpi:  map[int]groupEpi{},
+	}
+	st.analyzeFusion()
+
+	// Pass 1: allocate all leaf tensors up front — fused epilogues may
+	// reference parameters declared after their group root in graph order.
+	for _, n := range g.Nodes {
+		switch n.Op {
+		case graph.OpInput, graph.OpParam, graph.OpConst:
+			name := tensorName(n)
+			st.tensorOf[n.ID] = name
+			st.alloc(name, st.storageBytes(n))
+		}
+	}
+	// Pass 2: lower compute nodes.
+	for _, n := range g.Nodes {
+		switch n.Op {
+		case graph.OpInput, graph.OpParam, graph.OpConst:
+			continue
+		}
+		if err := st.lowerNode(n); err != nil {
+			return nil, fmt.Errorf("compiler: node %d (%s %q): %w", n.ID, n.Op, n.Name, err)
+		}
+	}
+	for _, o := range g.Outputs {
+		st.out.OutputTensors[o] = st.tensorOf[o]
+	}
+	st.out.TotalBytes = st.next
+	return st.out, nil
+}
+
+// analyzeFusion groups GEMM/CONV roots with single-consumer epilogue chains
+// (bias_add, scale_shift, relu, gelu) — the fusions of §3.6.3/§3.6.4.
+func (st *state) analyzeFusion() {
+	if !st.c.Opts.Fusion {
+		return
+	}
+	g := st.g
+	consumers := make([][]int, len(g.Nodes))
+	for _, n := range g.Nodes {
+		for _, in := range n.Inputs {
+			consumers[in] = append(consumers[in], n.ID)
+		}
+	}
+	outputSet := map[int]bool{}
+	for _, o := range g.Outputs {
+		outputSet[o] = true
+	}
+	for _, n := range g.Nodes {
+		switch n.Op {
+		case graph.OpMatMul, graph.OpMatMulTA, graph.OpMatMulTB, graph.OpConv2D:
+		default:
+			continue
+		}
+		ge := groupEpi{biasNode: -1, gammaNode: -1, betaNode: -1, outNode: n.ID}
+		cur := n.ID
+		for {
+			if outputSet[cur] || len(consumers[cur]) != 1 {
+				break
+			}
+			next := g.Nodes[consumers[cur][0]]
+			if next.Inputs[0] != cur {
+				break
+			}
+			switch next.Op {
+			case graph.OpBiasAdd:
+				if ge.epi.Bias || ge.epi.ReLU || ge.epi.GELU {
+					goto done
+				}
+				ge.epi.Bias = true
+				ge.biasNode = next.Inputs[1]
+			case graph.OpScaleShift:
+				if n.Op != graph.OpConv2D || ge.epi.ScaleShift || ge.epi.ReLU {
+					goto done
+				}
+				ge.epi.ScaleShift = true
+				ge.gammaNode = next.Inputs[1]
+				ge.betaNode = next.Inputs[2]
+			case graph.OpReLU:
+				if ge.epi.ReLU || ge.epi.GELU {
+					goto done
+				}
+				ge.epi.ReLU = true
+			case graph.OpGELU:
+				if ge.epi.ReLU || ge.epi.GELU {
+					goto done
+				}
+				ge.epi.GELU = true
+			default:
+				goto done
+			}
+			ge.outNode = next.ID
+			st.fusedInto[next.ID] = n.ID
+			cur = next.ID
+		}
+	done:
+		if ge.outNode != n.ID {
+			st.groupEpi[n.ID] = ge
+		}
+	}
+}
+
+// lowerNode dispatches one graph node.
+func (st *state) lowerNode(n *graph.Node) error {
+	// Fused members were handled with their root.
+	if root, fused := st.fusedInto[n.ID]; fused {
+		st.tensorOf[n.ID] = st.tensorOf[root]
+		return nil
+	}
+	switch n.Op {
+	case graph.OpReshape:
+		// A view: alias the input tensor.
+		st.tensorOf[n.ID] = st.tensorOf[n.Inputs[0]]
+		return nil
+	case graph.OpMatMul:
+		return st.lowerMatMul(n, false, false)
+	case graph.OpMatMulTA:
+		return st.lowerMatMul(n, true, false)
+	case graph.OpMatMulTB:
+		return st.lowerMatMul(n, false, true)
+	case graph.OpConv2D:
+		return st.lowerConv(n)
+	case graph.OpAdd:
+		return st.lowerEltwiseBinary(n, codegen.EltAdd)
+	case graph.OpMul:
+		return st.lowerEltwiseBinary(n, codegen.EltMul)
+	case graph.OpReLUGrad:
+		return st.lowerEltwiseBinary(n, codegen.EltReLUGrad)
+	case graph.OpReLU:
+		return st.lowerEltwiseUnary(n, codegen.EltReLU, 0)
+	case graph.OpGELU:
+		return st.lowerEltwiseUnary(n, codegen.EltGELU, 0)
+	case graph.OpTanh:
+		return st.lowerEltwiseUnary(n, codegen.EltTanh, 0)
+	case graph.OpScale:
+		return st.lowerEltwiseUnary(n, codegen.EltScale, n.ScaleF)
+	case graph.OpBiasAdd:
+		return st.lowerBiasAdd(n)
+	case graph.OpScaleShift:
+		return st.lowerScaleShift(n)
+	case graph.OpSoftmax:
+		return st.lowerSoftmax(n)
+	case graph.OpLayerNorm:
+		return st.lowerLayerNorm(n)
+	case graph.OpColSum:
+		return st.lowerColSum(n)
+	case graph.OpSGDUpdate:
+		return st.lowerSGD(n)
+	case graph.OpAXPBY:
+		return st.lowerAXPBY(n)
+	case graph.OpAdamStep:
+		return st.lowerAdam(n)
+	case graph.OpSoftmaxCE:
+		return st.lowerSoftmaxCE(n, false)
+	case graph.OpSoftmaxCEGrad:
+		return st.lowerSoftmaxCE(n, true)
+	case graph.OpMaxPool:
+		return st.lowerMaxPool(n)
+	case graph.OpAvgPool:
+		return st.lowerAvgPool(n)
+	case graph.OpTranspose:
+		return st.lowerTranspose(n)
+	case graph.OpSparseMM:
+		return fmt.Errorf("sparse_mm lowers through the sparse-core backend (internal/sparsecore), not the dense compiler")
+	default:
+		return fmt.Errorf("unsupported op %q", n.Op)
+	}
+}
+
+// storageBytes returns a node's tensor footprint. 4-D activations and
+// filters are stored flattened per the layout convention.
+func (st *state) storageBytes(n *graph.Node) int64 {
+	elems := int64(1)
+	for _, d := range n.Shape {
+		elems *= int64(d)
+	}
+	return elems * 4
+}
+
+// allocOut allocates the output tensor of a (possibly fused) layer rooted at
+// n and returns its name plus the fusion epilogue info.
+func (st *state) allocOut(n *graph.Node) (string, groupEpi) {
+	ge, fused := st.groupEpi[n.ID]
+	if !fused {
+		ge = groupEpi{biasNode: -1, gammaNode: -1, betaNode: -1, outNode: n.ID}
+	}
+	name := tensorName(st.g.Nodes[ge.outNode])
+	st.tensorOf[n.ID] = name
+	st.alloc(name, st.storageBytes(st.g.Nodes[ge.outNode]))
+	return name, ge
+}
+
+// addTOG validates and records a TOG plus its kernels.
+func (st *state) addTOG(b *tog.Builder, node int, kernels map[string]*isa.Program) error {
+	g, err := b.Build()
+	if err != nil {
+		return err
+	}
+	st.out.TOGs = append(st.out.TOGs, g)
+	st.out.LayerOf = append(st.out.LayerOf, node)
+	for id, p := range kernels {
+		st.out.Kernels[id] = p
+	}
+	return nil
+}
+
+// idx is a loop-position reference: either a symbolic loop variable or a
+// constant iteration index.
+type idx struct {
+	v string
+	c int64
+}
+
+// addr contributes coeff*position to an address expression.
+func (p idx) addr(coeff int64) tog.AddrExpr {
+	if p.v == "" {
+		return tog.AddrExpr{Const: p.c * coeff}
+	}
+	return tog.AddrExpr{Terms: []tog.AddrTerm{{Var: p.v, Coeff: coeff}}}
+}
+
+// addExpr sums address expressions.
+func addExpr(es ...tog.AddrExpr) tog.AddrExpr {
+	var out tog.AddrExpr
+	for _, e := range es {
+		out.Const += e.Const
+		out.Terms = append(out.Terms, e.Terms...)
+	}
+	return out
+}

@@ -1,0 +1,142 @@
+package compiler
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/isa"
+	"repro/internal/npu"
+	"repro/internal/tensor"
+)
+
+// TestDMAModesFunctionallyEquivalent checks that DMA decomposition is a pure
+// performance choice: coarse and fine compilations of the same graph produce
+// identical numeric results.
+func TestDMAModesFunctionallyEquivalent(t *testing.T) {
+	g := func() *graph.Graph { return linearGraph(12, 40, 10, true) }
+	r := tensor.NewRNG(21)
+	env := graph.NewEnv().
+		Set("x", tensor.RandNormal(r, 0, 1, 12, 40)).
+		Set("w", tensor.RandNormal(r, 0, 1, 40, 10)).
+		Set("b", tensor.RandNormal(r, 0, 1, 10))
+	var results []*tensor.Tensor
+	for _, mode := range []DMAMode{DMACoarse, DMAFine, DMASelective} {
+		opts := DefaultOptions()
+		opts.DMA = mode
+		gr := g()
+		comp, err := New(small(), opts).Compile(gr)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		out, err := RunFunctional(comp, gr, env)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		results = append(results, out[comp.OutputTensors[gr.Outputs[0]]])
+	}
+	for i := 1; i < len(results); i++ {
+		if !tensor.AllClose(results[0], results[i], 1e-5, 1e-5) {
+			t.Fatalf("DMA mode %d produced different results", i)
+		}
+	}
+}
+
+// TestCompileDeterministic checks that compiling the same graph twice yields
+// identical TOGs (byte-identical serialization) — required for the TOG
+// cache to be sound.
+func TestCompileDeterministic(t *testing.T) {
+	mk := func() string {
+		comp, err := New(small(), DefaultOptions()).Compile(linearGraph(16, 24, 12, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var all []byte
+		for _, g := range comp.TOGs {
+			s, err := g.CollectStats()
+			if err != nil {
+				t.Fatal(err)
+			}
+			all = append(all, []byte(g.Name)...)
+			all = append(all, byte(s.ComputeNodes), byte(s.LoadNodes))
+		}
+		return string(all)
+	}
+	if mk() != mk() {
+		t.Fatal("compilation must be deterministic")
+	}
+}
+
+// TestKernelBinaryRoundTripExecutes: kernels survive machine-code encoding
+// (the compiled binary is what ILS executes, §3.8).
+func TestKernelBinaryRoundTripExecutes(t *testing.T) {
+	comp, err := New(small(), DefaultOptions()).Compile(linearGraph(8, 16, 8, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, prog := range comp.Kernels {
+		code := isa.EncodeProgram(prog)
+		back, err := isa.DecodeProgram(id, code)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", id, err)
+		}
+		if len(back.Instrs) != len(prog.Instrs) {
+			t.Fatalf("%s: instruction count changed", id)
+		}
+		for i := range prog.Instrs {
+			if back.Instrs[i] != prog.Instrs[i] {
+				t.Fatalf("%s: instr %d changed: %v -> %v", id, i, prog.Instrs[i], back.Instrs[i])
+			}
+		}
+	}
+}
+
+// TestTLSMonotonicInProblemSize: larger GEMMs must never simulate to fewer
+// cycles (sanity property over the whole TLS stack).
+func TestTLSMonotonicInProblemSize(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n1 := 8 + r.Intn(24)
+		n2 := n1 + 8 + r.Intn(24)
+		c1, _ := compileAndRunTLS(t, small(), DefaultOptions(), linearGraph(n1, n1, n1, false))
+		c2, _ := compileAndRunTLS(t, small(), DefaultOptions(), linearGraph(n2, n2, n2, false))
+		return c2 > c1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpadBudgetRespected: every compiled TOG's declared scratchpad
+// footprint fits the per-context budget.
+func TestSpadBudgetRespected(t *testing.T) {
+	cfg := small()
+	comp, err := New(cfg, DefaultOptions()).Compile(linearGraph(64, 96, 48, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := int64(cfg.Core.SpadBytes) / 2
+	for _, g := range comp.TOGs {
+		if g.SpadBytes > budget {
+			t.Fatalf("TOG %q declares %d scratchpad bytes > budget %d", g.Name, g.SpadBytes, budget)
+		}
+	}
+}
+
+// TestCompiledKernelsAllValidate: every generated kernel passes ISA
+// validation (register ranges, branch targets).
+func TestCompiledKernelsAllValidate(t *testing.T) {
+	cfg := npu.TPUv3Config()
+	comp, err := New(cfg, DefaultOptions()).Compile(linearGraph(300, 700, 260, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(comp.Kernels) == 0 {
+		t.Fatal("no kernels generated")
+	}
+	for id, prog := range comp.Kernels {
+		if err := prog.Validate(); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/funcsim"
+	"repro/internal/npu"
+	"repro/internal/timingsim"
+	"repro/internal/tog"
+	"repro/internal/togsim"
+)
+
+// ILSResult reports an instruction-level-simulation run.
+type ILSResult struct {
+	Cycles     int64 // simulated NPU cycles (identical methodology to TLS)
+	Instrs     int64 // dynamic instructions executed one at a time
+	KernelRuns int64 // dynamic kernel instances
+}
+
+// RunILS executes the compiled model in Instruction-Level Simulation mode:
+// every dynamic kernel instance is run through the functional simulator
+// with the core timing pipeline attached — instruction by instruction, no
+// cached tile latencies — while the memory system is simulated by the same
+// cycle-accurate DRAM/NoC stack as TLS. The reported cycle count matches
+// TLS (tile latencies are deterministic, §3.8); the wall-clock cost of the
+// per-instruction work is exactly what Fig. 6's TLS-vs-ILS speedup
+// measures.
+func RunILS(c *Compiled, cfg npu.Config, kind togsim.NetKind) (ILSResult, error) {
+	var res ILSResult
+	// Per-instruction pass: execute each dynamic kernel instance.
+	core := funcsim.NewCore(cfg.Core, npu.NewPagedMem())
+	for _, g := range c.TOGs {
+		if err := walkComputes(g, func(kernelID string) error {
+			prog, ok := c.Kernels[kernelID]
+			if !ok {
+				return fmt.Errorf("compiler: ILS: unknown kernel %q", kernelID)
+			}
+			pipe := timingsim.NewPipeline(cfg.Core)
+			core.Trace = pipe.Consume
+			n, err := core.Run(prog)
+			core.Trace = nil
+			if err != nil {
+				return err
+			}
+			res.Instrs += n
+			res.KernelRuns++
+			return nil
+		}); err != nil {
+			return res, err
+		}
+	}
+	// System-level pass for the cycle count (shared with TLS).
+	s := togsim.NewStandard(cfg, kind, dram.FRFCFS)
+	r, err := s.Engine.Run([]*togsim.Job{c.Job(c.Name, 0, 0)})
+	if err != nil {
+		return res, err
+	}
+	res.Cycles = r.Cycles
+	return res, nil
+}
+
+// walkComputes expands a TOG's loops and invokes f for every dynamic
+// compute-node instance.
+func walkComputes(g *tog.TOG, f func(kernelID string) error) error {
+	var walk func(from, to int) error
+	walk = func(from, to int) error {
+		for i := from; i < to; i++ {
+			n := &g.Nodes[i]
+			switch n.Kind {
+			case tog.LoopBegin:
+				end, err := matchEnd(g, i)
+				if err != nil {
+					return err
+				}
+				for v := n.Init; v < n.Limit; v += n.Step {
+					if err := walk(i+1, end); err != nil {
+						return err
+					}
+				}
+				i = end
+			case tog.Compute:
+				if n.Kernel != "" {
+					if err := f(n.Kernel); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return nil
+	}
+	return walk(0, len(g.Nodes))
+}
+
+func matchEnd(g *tog.TOG, begin int) (int, error) {
+	depth := 0
+	for j := begin; j < len(g.Nodes); j++ {
+		switch g.Nodes[j].Kind {
+		case tog.LoopBegin:
+			depth++
+		case tog.LoopEnd:
+			depth--
+			if depth == 0 {
+				return j, nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("compiler: unmatched loop at node %d", begin)
+}

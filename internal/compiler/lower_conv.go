@@ -1,0 +1,286 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/graph"
+	"repro/internal/isa"
+	"repro/internal/npu"
+	"repro/internal/tog"
+)
+
+// convMapping selects the conv tiling strategy (§3.6.3). Activations are
+// stored (H*W*N, C); the mapping decides which output positions form one
+// GEMM tile and how the reduction dimension is panelled.
+type convMapping int
+
+const (
+	// mapHWNC: one spatial position per tile; the GEMM's M dimension is the
+	// batch. This is the unoptimized default — M collapses to 1 at batch 1.
+	mapHWNC convMapping = iota
+	// mapHWC (batch 1): a group of output rows forms the tile; M = G*OW.
+	mapHWC
+	// mapHNWC (small C, stride 1): x-taps and channels merge into one SA
+	// panel (Kt = KW*C); M = G*OW*N, reduction panels over KH only.
+	mapHNWC
+)
+
+func (m convMapping) String() string {
+	switch m {
+	case mapHWC:
+		return "HWC"
+	case mapHNWC:
+		return "HNWC"
+	default:
+		return "HWNC"
+	}
+}
+
+// chooseConvMapping applies the layout heuristic: without the optimization
+// every position is its own tile (HWNC); with it, row groups form large
+// tiles (HWC, generalized to any batch since positions and batch are
+// adjacent in the (H*W*N, C) layout), and small-C stride-1 convs merge the
+// x-taps into the SA panel (HNWC).
+func (st *state) chooseConvMapping(cs convDims) convMapping {
+	if !st.c.Opts.ConvLayoutOpt {
+		return mapHWNC
+	}
+	if cs.C*cs.KW <= st.c.Cfg.Core.SARows && cs.Stride == 1 {
+		return mapHNWC
+	}
+	return mapHWC
+}
+
+type convDims struct {
+	N, C, H, W, Kout, KH, KW, Stride, OH, OW int
+}
+
+// lowerConv emits the convolution TOG. Input activations and outputs use
+// the (H*W*N, C) layout; the filter is stored (Kout, C*KH*KW) and loaded
+// through the transpose DMA. The compute cost of each tile is modelled by
+// the GEMM panel kernel of matching dimensions (implicit im2col by the
+// DMA/address generators, §3.5); conv TOGs are therefore timing-only (see
+// DESIGN.md) and mark the compilation result as not functionally executable.
+func (st *state) lowerConv(n *graph.Node) error {
+	st.out.FunctionalOK = false
+	c := n.Conv
+	cs := convDims{N: c.N, C: c.C, H: c.H, W: c.W, Kout: c.K, KH: c.KH, KW: c.KW, Stride: c.Stride, OH: c.OutH(), OW: c.OutW()}
+	mapping := st.chooseConvMapping(cs)
+	outName, ge := st.allocOut(n)
+	inName := st.tensorOf[n.Inputs[0]]
+	wName := st.tensorOf[n.Inputs[1]]
+
+	core := st.c.Cfg.Core
+	K := cs.C * cs.KH * cs.KW // full reduction length
+	Nt := minInt(cs.Kout, core.SACols)
+
+	// Tile geometry per mapping.
+	var mTile int     // GEMM M per tile
+	var panels []int  // reduction panel sizes
+	var groupRows int // output rows per tile (HWC/HNWC)
+	switch mapping {
+	case mapHWNC:
+		mTile = cs.N
+		panels = panelSizes(K, minInt(K, core.SARows))
+	case mapHWC:
+		groupRows = maxInt(1, minInt(cs.OH, st.c.Opts.maxMt()/(cs.OW*cs.N)))
+		mTile = groupRows * cs.OW * cs.N
+		panels = panelSizes(K, minInt(K, core.SARows))
+	case mapHNWC:
+		groupRows = maxInt(1, minInt(cs.OH, st.c.Opts.maxMt()/(cs.OW*cs.N)))
+		mTile = groupRows * cs.OW * cs.N
+		kt := cs.KW * cs.C
+		panels = make([]int, cs.KH)
+		for i := range panels {
+			panels[i] = kt
+		}
+	}
+
+	// Scratchpad layout: input region + weight stripe + out tile + epi rows.
+	regionRows := cs.KH
+	if mapping != mapHWNC {
+		regionRows = groupRows*cs.Stride + cs.KH - 1
+	}
+	regionBytes := int64(regionRows) * int64(cs.W*cs.N*cs.C) * 4
+	if mapping == mapHWNC {
+		regionBytes = int64(cs.KH) * int64(cs.KW*cs.N*cs.C) * 4
+	}
+	// Weight residency: keep the whole K x Nt stripe when it fits;
+	// otherwise stream it as a ping-pong window of two panels.
+	maxKt := 0
+	for _, p := range panels {
+		if p > maxKt {
+			maxKt = p
+		}
+	}
+	wStripeBytes := int64(K) * int64(Nt) * 4
+	wWindowBytes := 2 * int64(maxKt) * int64(Nt) * 4
+	cur := int64(0)
+	take := func(bytes int64) int64 {
+		off := cur
+		cur += (bytes + 255) &^ 255
+		return off
+	}
+	offIn := take(regionBytes)
+	wResident := regionBytes+wStripeBytes+int64(mTile)*int64(Nt)*4+3*int64(Nt)*4+2048 <= st.spadBudget()
+	var offW int64
+	if wResident {
+		offW = take(wStripeBytes)
+	} else {
+		offW = take(wWindowBytes)
+	}
+	offOut := take(int64(mTile) * int64(Nt) * 4)
+	offGamma := take(int64(Nt) * 4)
+	offBeta := take(int64(Nt) * 4)
+	offBias := take(int64(Nt) * 4)
+	if cur > st.spadBudget() {
+		return fmt.Errorf("conv tile set (%d bytes, mapping %s) exceeds scratchpad budget %d", cur, mapping, st.spadBudget())
+	}
+
+	b := tog.NewBuilder(fmt.Sprintf("conv_n%d_%s", n.ID, mapping), inName, wName, outName)
+	if ge.epi.ScaleShift {
+		b.DeclareTensor(st.tensorOf[ge.gammaNode])
+		b.DeclareTensor(st.tensorOf[ge.betaNode])
+	}
+	if ge.epi.Bias {
+		b.DeclareTensor(st.tensorOf[ge.biasNode])
+	}
+	kernels := map[string]*isa.Program{}
+
+	rowBytes := int64(cs.W*cs.N*cs.C) * 4 // one input spatial row
+	outPosBytes := int64(cs.N*cs.Kout) * 4
+
+	emitTileBody := func(mt, nt int, no idx, inLoad func(), storeOff tog.AddrExpr, storeRows int) {
+		// The GEMM cost-model kernel reads mt rows at inStride; clamp the
+		// stride so those reads stay inside the loaded region (the region
+		// is smaller than an im2col matrix precisely because positions
+		// reuse input elements — the kernel's addresses are a cost model,
+		// not the dataflow; see the package comment).
+		inStride := int64(K) * 4
+		if int64(mt)*inStride+2*int64(K)*4 > regionBytes {
+			inStride = (regionBytes - 2*int64(K)*4) / int64(mt) &^ 3
+			if inStride < 4 {
+				inStride = 4
+			}
+		}
+		// Weight stripe (K x nt) via transpose DMA from (Kout, K): resident
+		// when it fits, otherwise streamed per panel below.
+		loadWPanel := func(ko int, tag int) {
+			kOff := ko * maxKt
+			kt := panels[ko]
+			b.Load(wName, npu.DMADesc{Rows: nt, Cols: kt, DRAMStride: K * 4, Transpose: true, SpadStride: nt * 4},
+				addExpr(no.addr(int64(Nt*K*4)), tog.AddrExpr{Const: int64(kOff * 4)}), tag, offW+int64(ko%2)*int64(maxKt*nt*4))
+		}
+		if wResident {
+			b.Load(wName, npu.DMADesc{Rows: nt, Cols: K, DRAMStride: K * 4, Transpose: true, SpadStride: nt * 4},
+				no.addr(int64(Nt*K*4)), tagBStripe, offW)
+		} else {
+			loadWPanel(0, tagBBase)
+		}
+		if ge.epi.ScaleShift {
+			b.Load(st.tensorOf[ge.gammaNode], npu.DMADesc{Rows: 1, Cols: nt}, no.addr(int64(Nt)*4), tagEpi, offGamma)
+			b.Load(st.tensorOf[ge.betaNode], npu.DMADesc{Rows: 1, Cols: nt}, no.addr(int64(Nt)*4), tagEpi, offBeta)
+		}
+		if ge.epi.Bias {
+			b.Load(st.tensorOf[ge.biasNode], npu.DMADesc{Rows: 1, Cols: nt}, no.addr(int64(Nt)*4), tagEpi, offBias)
+		}
+		inLoad()
+		b.Wait(tagAStripe)
+		if wResident {
+			b.Wait(tagBStripe)
+		}
+		for ko, kt := range panels {
+			if !wResident {
+				if ko+1 < len(panels) {
+					loadWPanel(ko+1, tagBBase+(ko+1)%2)
+				}
+				b.Wait(tagBBase + ko%2)
+			}
+			last := ko == len(panels)-1
+			wOff := offW + int64(ko*kt*nt*4)
+			if !wResident {
+				wOff = offW + int64(ko%2)*int64(maxKt*nt*4)
+			}
+			spec := codegen.GEMMSpec{
+				M: mt, K: kt, N: nt,
+				Accumulate:  ko > 0,
+				InOff:       offIn + int64(ko%2)*int64(kt*4), // cost model: panel offset within region
+				WOff:        wOff,
+				OutOff:      offOut,
+				InRowStride: inStride,
+			}
+			if last {
+				spec.Epi = ge.epi
+				if ge.epi.Bias || ge.epi.ScaleShift {
+					b.Wait(tagEpi)
+				}
+				spec.BiasOff = offBias
+				spec.GammaOff = offGamma
+				spec.BetaOff = offBeta
+			}
+			if err := st.emitComputeGEMM(b, kernels, spec); err != nil {
+				panic(err)
+			}
+		}
+		b.Store(outName, npu.DMADesc{Rows: storeRows, Cols: nt, DRAMStride: int(outPosBytes) / cs.N}, storeOff, tagStore, offOut)
+	}
+
+	switch mapping {
+	case mapHWNC:
+		// Per-position iteration: oy, ox loops; each position refetches its
+		// KH x (KW*N*C) input window (no inter-position reuse — the cost the
+		// optimized layouts avoid).
+		b.Loop("oy", 0, int64(cs.OH), 1)
+		b.Loop("ox", 0, int64(cs.OW), 1)
+		emitDim(b, "no", cs.Kout, Nt, func(no idx, nt int) {
+			inLoad := func() {
+				// Clamp the window to the feature map (padding regions are
+				// not fetched).
+				wr := minInt(cs.KH, cs.H)
+				wc := minInt(cs.KW, cs.W) * cs.N * cs.C
+				desc := npu.DMADesc{Rows: wr, Cols: wc, DRAMStride: int(rowBytes)}
+				off := addExpr(
+					tog.AddrExpr{Terms: []tog.AddrTerm{{Var: "oy", Coeff: int64(cs.Stride) * rowBytes}}},
+					tog.AddrExpr{Terms: []tog.AddrTerm{{Var: "ox", Coeff: int64(cs.Stride*cs.N*cs.C) * 4}}},
+				)
+				b.Load(inName, desc, off, tagAStripe, offIn)
+			}
+			storeOff := addExpr(
+				tog.AddrExpr{Terms: []tog.AddrTerm{{Var: "oy", Coeff: int64(cs.OW) * outPosBytes}}},
+				tog.AddrExpr{Terms: []tog.AddrTerm{{Var: "ox", Coeff: outPosBytes}}},
+				no.addr(int64(Nt)*4),
+			)
+			emitTileBody(mTile, nt, no, inLoad, storeOff, cs.N)
+		})
+		b.EndLoop()
+		b.EndLoop()
+	default:
+		// Row-group iteration with region reuse.
+		emitDim(b, "oyg", cs.OH, groupRows, func(oyg idx, gRows int) {
+			mt := gRows * cs.OW * cs.N
+			emitDim(b, "no", cs.Kout, Nt, func(no idx, nt int) {
+				inLoad := func() {
+					rows := minInt(gRows*cs.Stride+cs.KH-1, cs.H)
+					desc := npu.DMADesc{Rows: rows, Cols: cs.W * cs.N * cs.C, DRAMStride: int(rowBytes)}
+					b.Load(inName, desc, oyg.addr(int64(groupRows*cs.Stride)*rowBytes), tagAStripe, offIn)
+				}
+				storeOff := addExpr(
+					oyg.addr(int64(groupRows*cs.OW)*outPosBytes),
+					no.addr(int64(Nt)*4),
+				)
+				rows := gRows * cs.OW * cs.N
+				emitTileBody(mt, nt, no, inLoad, storeOff, rows)
+			})
+		})
+	}
+	b.SetSpadBytes(st.spadBudget())
+	return st.addTOG(b, n.ID, kernels)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,125 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/funcsim"
+	"repro/internal/graph"
+	"repro/internal/isa"
+	"repro/internal/npu"
+	"repro/internal/tensor"
+	"repro/internal/tog"
+)
+
+// RunFunctional executes a compiled model on the functional NPU simulator
+// (extended-Spike role, Table 2: accuracy validation / full training):
+// input and parameter tensors from env are written to their allocated DRAM
+// addresses, every TOG is walked in order — DMAs move real data between
+// DRAM and the scratchpad, compute nodes run their machine-code kernels —
+// and the graph outputs are read back. Compilations containing timing-only
+// layers (convolutions) are rejected; see DESIGN.md.
+func RunFunctional(c *Compiled, g *graph.Graph, env *graph.Env) (map[string]*tensor.Tensor, error) {
+	if !c.FunctionalOK {
+		return nil, fmt.Errorf("compiler: %q contains timing-only layers (convolutions); functional execution unsupported", c.Name)
+	}
+	dram := npu.NewPagedMem()
+	// Bind every env tensor that has an allocation.
+	for name, t := range env.Values {
+		base, ok := c.Bases[name]
+		if !ok {
+			continue
+		}
+		dram.WriteFloats(base, t.Data)
+	}
+	core := funcsim.NewCore(c.cfg.Core, dram)
+	for _, tg := range c.TOGs {
+		if err := runTOG(c, core, dram, tg); err != nil {
+			return nil, fmt.Errorf("compiler: functional run of %q: %w", tg.Name, err)
+		}
+	}
+	// Read back graph outputs.
+	out := map[string]*tensor.Tensor{}
+	for nodeID, name := range c.OutputTensors {
+		shape := append([]int(nil), g.Nodes[nodeID].Shape...)
+		n := 1
+		for _, d := range shape {
+			n *= d
+		}
+		out[name] = tensor.FromSlice(dram.ReadFloats(c.Bases[name], n), shape...)
+	}
+	return out, nil
+}
+
+// runTOG walks one TOG, interpreting loops and executing DMAs/kernels.
+func runTOG(c *Compiled, core *funcsim.Core, dram *npu.PagedMem, g *tog.TOG) error {
+	vars := map[string]int64{}
+	type frame struct{ begin, end int }
+	var loops []frame
+	findEnd := func(begin int) int {
+		depth := 0
+		for j := begin; j < len(g.Nodes); j++ {
+			switch g.Nodes[j].Kind {
+			case tog.LoopBegin:
+				depth++
+			case tog.LoopEnd:
+				depth--
+				if depth == 0 {
+					return j
+				}
+			}
+		}
+		panic("compiler: unmatched loop in validated TOG")
+	}
+	for pc := 0; pc < len(g.Nodes); pc++ {
+		n := &g.Nodes[pc]
+		switch n.Kind {
+		case tog.LoopBegin:
+			if n.Init >= n.Limit {
+				pc = findEnd(pc)
+				continue
+			}
+			vars[n.Var] = n.Init
+			loops = append(loops, frame{begin: pc, end: findEnd(pc)})
+		case tog.LoopEnd:
+			fr := loops[len(loops)-1]
+			begin := &g.Nodes[fr.begin]
+			vars[begin.Var] += begin.Step
+			if vars[begin.Var] < begin.Limit {
+				pc = fr.begin
+			} else {
+				delete(vars, begin.Var)
+				loops = loops[:len(loops)-1]
+			}
+		case tog.LoadDMA, tog.StoreDMA:
+			base, ok := c.Bases[n.Tensor]
+			if !ok {
+				return fmt.Errorf("unbound tensor %q", n.Tensor)
+			}
+			off, err := n.Off.Eval(vars)
+			if err != nil {
+				return err
+			}
+			addr := base + uint64(off)
+			spad := isa.SpadBase + uint64(n.SpadOff)
+			if n.Kind == tog.LoadDMA {
+				err = n.Desc.RunIn(dram, core.Mem.Spad, addr, spad)
+			} else {
+				err = n.Desc.RunOut(dram, core.Mem.Spad, addr, spad)
+			}
+			if err != nil {
+				return err
+			}
+		case tog.WaitDMA:
+			// Functional DMAs are synchronous.
+		case tog.Compute:
+			prog, ok := c.Kernels[n.Kernel]
+			if !ok {
+				return fmt.Errorf("compute node references unknown kernel %q", n.Kernel)
+			}
+			if _, err := core.Run(prog); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

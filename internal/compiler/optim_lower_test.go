@@ -1,0 +1,116 @@
+package compiler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/npu"
+	"repro/internal/tensor"
+)
+
+// Optimizer kernels must tile correctly when the parameter does not fit a
+// single scratchpad pass (planFlat splits; edge chunks are not multiples of
+// VLEN).
+func TestLowerAXPBYTiled(t *testing.T) {
+	const n = 5003 // prime: forces ragged tiles and a tail vector chunk
+	g := graph.New("axpby")
+	a := g.Input("a", n)
+	b := g.Input("b", n)
+	out := g.Add(&graph.Node{Op: graph.OpAXPBY, Name: "out", Inputs: []int{a.ID, b.ID},
+		Alpha: 0.9, Beta: 0.125, Shape: []int{n}})
+	g.Outputs = []int{out.ID}
+
+	cfg := npu.SmallConfig()
+	comp, err := New(cfg, DefaultOptions()).Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(41)
+	env := graph.NewEnv()
+	env.Set("a", tensor.RandNormal(r, 0, 1, n))
+	env.Set("b", tensor.RandNormal(r, 0, 1, n))
+	got, err := RunFunctional(comp, g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := graph.Execute(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotT := got[comp.OutputTensors[out.ID]]
+	for i := range vals[out.ID].Data {
+		if d := float64(gotT.Data[i] - vals[out.ID].Data[i]); math.Abs(d) > 1e-5 {
+			t.Fatalf("axpby[%d]: NPU %g vs CPU %g", i, gotT.Data[i], vals[out.ID].Data[i])
+		}
+	}
+}
+
+func TestLowerAdamTiled(t *testing.T) {
+	const n = 4099
+	g := graph.New("adam")
+	p := g.Input("p", n)
+	m := g.Input("m", n)
+	v := g.Input("v", n)
+	coef := g.Input("coef", 2)
+	out := g.Add(&graph.Node{Op: graph.OpAdamStep, Name: "out",
+		Inputs: []int{p.ID, m.ID, v.ID, coef.ID}, Shape: []int{n}})
+	g.Outputs = []int{out.ID}
+
+	cfg := npu.SmallConfig()
+	comp, err := New(cfg, DefaultOptions()).Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tensor.NewRNG(42)
+	env := graph.NewEnv()
+	env.Set("p", tensor.RandNormal(r, 0, 1, n))
+	env.Set("m", tensor.RandNormal(r, 0, 0.1, n))
+	vv := tensor.RandNormal(r, 0, 0.1, n)
+	for i := range vv.Data {
+		if vv.Data[i] < 0 {
+			vv.Data[i] = -vv.Data[i]
+		}
+	}
+	env.Set("v", vv)
+	env.Set("coef", tensor.FromSlice([]float32{-0.004, 1e-8}, 2))
+	got, err := RunFunctional(comp, g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := graph.Execute(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotT := got[comp.OutputTensors[out.ID]]
+	for i := range vals[out.ID].Data {
+		want := vals[out.ID].Data[i]
+		if d := float64(gotT.Data[i] - want); math.Abs(d) > 1e-5*math.Max(1, math.Abs(float64(want))) {
+			t.Fatalf("adam[%d]: NPU %g vs CPU %g", i, gotT.Data[i], want)
+		}
+	}
+}
+
+func TestAdamStepRejectsBadCoefShape(t *testing.T) {
+	g := graph.New("bad")
+	p := g.Input("p", 8)
+	m := g.Input("m", 8)
+	v := g.Input("v", 8)
+	coef := g.Input("coef", 3) // must be (2,)
+	g.Add(&graph.Node{Op: graph.OpAdamStep, Name: "out",
+		Inputs: []int{p.ID, m.ID, v.ID, coef.ID}, Shape: []int{8}})
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected coef-shape validation error")
+	}
+}
+
+func TestAXPBYRejectsShapeMismatch(t *testing.T) {
+	g := graph.New("bad")
+	a := g.Input("a", 8)
+	b := g.Input("b", 9)
+	g.Add(&graph.Node{Op: graph.OpAXPBY, Name: "out", Inputs: []int{a.ID, b.ID},
+		Alpha: 1, Beta: 1, Shape: []int{8}})
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected shape-mismatch validation error")
+	}
+}

@@ -1,0 +1,161 @@
+// Package core is the top-level PyTorchSim-reproduction framework facade:
+// it ties the model zoo, the compiler backend, and the simulators together
+// behind the workflow of Fig. 1 — capture a graph, compile it to kernels
+// and TOGs, then simulate with TLS (fast, cycle-accurate shared resources),
+// ILS (instruction-level), or functionally (output validation / training).
+//
+// Typical use:
+//
+//	sim := core.NewSimulator(npu.TPUv3Config(), compiler.DefaultOptions())
+//	comp, _ := sim.Compile(model.Graph)
+//	rep, _ := sim.SimulateTLS(comp, core.SimpleNet)
+//	fmt.Println(rep.Cycles, rep.Time())
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/dram"
+	"repro/internal/graph"
+	"repro/internal/npu"
+	"repro/internal/tensor"
+	"repro/internal/togsim"
+)
+
+// NetKind re-exports the interconnect model selector (§4.1: SN vs CN).
+type NetKind = togsim.NetKind
+
+// Interconnect models.
+const (
+	SimpleNet = togsim.SimpleNet
+	CycleNet  = togsim.CycleNet
+)
+
+// Simulator bundles a target NPU configuration with a compiler whose kernel
+// latency cache persists across compilations (the TOG cache of §3.10).
+type Simulator struct {
+	Cfg      npu.Config
+	Compiler *compiler.Compiler
+}
+
+// NewSimulator returns a simulator for the given NPU and compiler options.
+func NewSimulator(cfg npu.Config, opts compiler.Options) *Simulator {
+	return &Simulator{Cfg: cfg, Compiler: compiler.New(cfg, opts)}
+}
+
+// Compile lowers a captured graph to kernels and TOGs.
+func (s *Simulator) Compile(g *graph.Graph) (*compiler.Compiled, error) {
+	return s.Compiler.Compile(g)
+}
+
+// Report summarizes a timing simulation.
+type Report struct {
+	Cycles    int64
+	FreqMHz   int
+	Jobs      []togsim.JobResult
+	Cores     []togsim.CoreStats
+	MemStats  *dram.Stats
+	WallClock time.Duration
+}
+
+// Time converts simulated cycles to simulated wall time at the core clock.
+func (r Report) Time() time.Duration {
+	return time.Duration(float64(r.Cycles) / float64(r.FreqMHz) * 1e3 * float64(time.Nanosecond))
+}
+
+// String renders a short human-readable summary.
+func (r Report) String() string {
+	return fmt.Sprintf("%d cycles (%.3f ms simulated @ %d MHz, %v host)",
+		r.Cycles, float64(r.Cycles)/float64(r.FreqMHz)/1e3, r.FreqMHz, r.WallClock.Round(time.Millisecond))
+}
+
+// SimulateTLS runs the compiled model in Tile-Level Simulation mode on one
+// core with the selected interconnect model.
+func (s *Simulator) SimulateTLS(comp *compiler.Compiled, kind NetKind) (Report, error) {
+	return s.SimulateJobs([]*togsim.Job{comp.Job(comp.Name, 0, 0)}, kind)
+}
+
+// SimulateJobs runs an arbitrary multi-core, multi-tenant job set (§5.2).
+func (s *Simulator) SimulateJobs(jobs []*togsim.Job, kind NetKind) (Report, error) {
+	setup := togsim.NewStandard(s.Cfg, kind, dram.FRFCFS)
+	start := time.Now()
+	res, err := setup.Engine.Run(jobs)
+	if err != nil {
+		return Report{}, err
+	}
+	return Report{
+		Cycles:    res.Cycles,
+		FreqMHz:   s.Cfg.FreqMHz,
+		Jobs:      res.Jobs,
+		Cores:     res.Cores,
+		MemStats:  &setup.Mem.Stats,
+		WallClock: time.Since(start),
+	}, nil
+}
+
+// AutoTune compiles the graph under each candidate option set, simulates
+// each in TLS, and returns the fastest (options, compilation, report).
+// A nil candidates slice sweeps compiler.TileCandidates(). Each candidate
+// compiles with its own kernel-latency cache, so the sweep costs one
+// compile + one TLS run per candidate — cheap enough that the paper's
+// "compile once, reuse the TOG cache" story still holds for the winner.
+func (s *Simulator) AutoTune(g *graph.Graph, candidates []compiler.Options, kind NetKind) (compiler.Options, *compiler.Compiled, Report, error) {
+	if candidates == nil {
+		candidates = compiler.TileCandidates()
+	}
+	if len(candidates) == 0 {
+		return compiler.Options{}, nil, Report{}, fmt.Errorf("core: no autotune candidates")
+	}
+	var (
+		bestOpts compiler.Options
+		bestComp *compiler.Compiled
+		bestRep  Report
+	)
+	for _, opts := range candidates {
+		c := compiler.New(s.Cfg, opts)
+		comp, err := c.Compile(g)
+		if err != nil {
+			// A candidate that does not fit (e.g. tile exceeds scratchpad)
+			// is skipped, not fatal.
+			continue
+		}
+		setup := togsim.NewStandard(s.Cfg, kind, dram.FRFCFS)
+		start := time.Now()
+		res, err := setup.Engine.Run([]*togsim.Job{comp.Job(comp.Name, 0, 0)})
+		if err != nil {
+			continue
+		}
+		rep := Report{Cycles: res.Cycles, FreqMHz: s.Cfg.FreqMHz, Jobs: res.Jobs,
+			Cores: res.Cores, MemStats: &setup.Mem.Stats, WallClock: time.Since(start)}
+		if bestComp == nil || rep.Cycles < bestRep.Cycles {
+			bestOpts, bestComp, bestRep = opts, comp, rep
+		}
+	}
+	if bestComp == nil {
+		return compiler.Options{}, nil, Report{}, fmt.Errorf("core: no autotune candidate compiled successfully")
+	}
+	return bestOpts, bestComp, bestRep, nil
+}
+
+// SimulateILS runs the compiled model in Instruction-Level Simulation mode:
+// same cycle counts, every dynamic instruction executed individually.
+func (s *Simulator) SimulateILS(comp *compiler.Compiled, kind NetKind) (Report, compiler.ILSResult, error) {
+	start := time.Now()
+	ils, err := compiler.RunILS(comp, s.Cfg, kind)
+	if err != nil {
+		return Report{}, ils, err
+	}
+	return Report{
+		Cycles:    ils.Cycles,
+		FreqMHz:   s.Cfg.FreqMHz,
+		WallClock: time.Since(start),
+	}, ils, nil
+}
+
+// RunFunctional executes the compiled model on the functional simulator
+// (output validation, training loss values).
+func (s *Simulator) RunFunctional(comp *compiler.Compiled, g *graph.Graph, env *graph.Env) (map[string]*tensor.Tensor, error) {
+	return compiler.RunFunctional(comp, g, env)
+}

@@ -1,0 +1,321 @@
+// Package dram implements the cycle-accurate off-chip memory model (the
+// paper's Ramulator 2 role): multi-channel HBM2-like DRAM with per-bank
+// row-buffer state, FR-FCFS or FCFS scheduling, and tCL/tRCD/tRP/tRAS/tWR
+// timing. It is the component that produces the contention, locality, and
+// fairness effects the paper's case studies depend on (§5.1, §5.2).
+package dram
+
+import (
+	"fmt"
+
+	"repro/internal/npu"
+)
+
+// Request is one burst-granularity memory access.
+type Request struct {
+	Addr    uint64
+	IsWrite bool
+	Src     int   // requestor id (core / DMA stream), used for fairness stats
+	Tag     int64 // opaque caller tag
+	Arrive  int64 // cycle the request entered the controller
+	Finish  int64 // cycle data transfer completes (set by the model)
+
+	issued bool
+	// Decomposed address, cached at Submit so the FR-FCFS scan does not
+	// re-derive it every cycle.
+	ch, bk int
+	row    int64
+}
+
+// SchedulerKind selects the memory scheduling policy.
+type SchedulerKind int
+
+const (
+	// FRFCFS prefers row-buffer hits, then oldest-first (the default; the
+	// §5.1 study shows it starves low-locality requestors).
+	FRFCFS SchedulerKind = iota
+	// FCFS is strict oldest-first.
+	FCFS
+)
+
+// Stats aggregates controller activity.
+type Stats struct {
+	Reads, Writes   int64
+	RowHits         int64
+	RowMisses       int64
+	RowConflicts    int64 // miss that required closing another row
+	BytesBySrc      map[int]int64
+	TotalBytes      int64
+	BusyCycles      int64
+	QueueFullStalls int64
+}
+
+type bank struct {
+	openRow int64 // -1 when closed
+	readyAt int64 // earliest next command
+	actAt   int64 // last activate time (for tRAS)
+	wrLast  bool  // last access was a write (for tWR)
+}
+
+type channel struct {
+	queue       []*Request
+	banks       []bank
+	busFree     int64
+	nextRefresh int64
+}
+
+// Memory is the multi-channel DRAM controller model.
+type Memory struct {
+	cfg          npu.MemConfig
+	sched        SchedulerKind
+	chans        []channel
+	cycle        int64
+	inFlight     []*Request // issued, waiting for Finish
+	done         []*Request
+	queueCap     int
+	burstsPerRow int64
+	refreshes    int64
+
+	Stats Stats
+}
+
+// Refreshes counts all-bank refreshes performed.
+func (m *Memory) Refreshes() int64 { return m.refreshes }
+
+// New returns a memory model for the given configuration and scheduler.
+func New(cfg npu.MemConfig, sched SchedulerKind) *Memory {
+	if cfg.Channels <= 0 || cfg.BanksPerChan <= 0 || cfg.RowBytes <= 0 || cfg.BurstBytes <= 0 {
+		panic(fmt.Sprintf("dram: invalid config %+v", cfg))
+	}
+	m := &Memory{
+		cfg:          cfg,
+		sched:        sched,
+		chans:        make([]channel, cfg.Channels),
+		queueCap:     64,
+		burstsPerRow: int64(cfg.RowBytes / cfg.BurstBytes),
+	}
+	for i := range m.chans {
+		m.chans[i].banks = make([]bank, cfg.BanksPerChan)
+		for b := range m.chans[i].banks {
+			m.chans[i].banks[b].openRow = -1
+		}
+		if cfg.TREFI > 0 {
+			m.chans[i].nextRefresh = int64(cfg.TREFI)
+		}
+	}
+	m.Stats.BytesBySrc = map[int]int64{}
+	return m
+}
+
+// Cycle returns the current cycle.
+func (m *Memory) Cycle() int64 { return m.cycle }
+
+// BurstBytes returns the request granularity.
+func (m *Memory) BurstBytes() int { return m.cfg.BurstBytes }
+
+// mapAddr decomposes a byte address into channel, bank, and row, using a
+// row:bank:channel:offset interleave so sequential streams hit open rows
+// within each channel.
+func (m *Memory) mapAddr(addr uint64) (ch, bk int, row int64) {
+	burst := addr / uint64(m.cfg.BurstBytes)
+	ch = int(burst % uint64(m.cfg.Channels))
+	rest := burst / uint64(m.cfg.Channels)
+	rest2 := rest / uint64(m.burstsPerRow)
+	bk = int(rest2 % uint64(m.cfg.BanksPerChan))
+	row = int64(rest2 / uint64(m.cfg.BanksPerChan))
+	return
+}
+
+// CanAccept reports whether the target channel queue has room for addr.
+func (m *Memory) CanAccept(addr uint64) bool {
+	ch, _, _ := m.mapAddr(addr)
+	return len(m.chans[ch].queue) < m.queueCap
+}
+
+// Submit enqueues a burst request. It returns false (and drops the request)
+// when the channel queue is full; callers must retry.
+func (m *Memory) Submit(r *Request) bool {
+	r.ch, r.bk, r.row = m.mapAddr(r.Addr)
+	c := &m.chans[r.ch]
+	if len(c.queue) >= m.queueCap {
+		m.Stats.QueueFullStalls++
+		return false
+	}
+	r.Arrive = m.cycle
+	c.queue = append(c.queue, r)
+	return true
+}
+
+// Tick advances the controller one cycle: each channel may issue one request
+// chosen by the scheduling policy; finished requests move to the completion
+// list.
+func (m *Memory) Tick() {
+	m.cycle++
+	for ci := range m.chans {
+		m.issueOne(ci)
+	}
+	// Deliver completions.
+	remaining := m.inFlight[:0]
+	for _, r := range m.inFlight {
+		if r.Finish <= m.cycle {
+			m.done = append(m.done, r)
+		} else {
+			remaining = append(remaining, r)
+		}
+	}
+	m.inFlight = remaining
+}
+
+// Completed drains and returns requests whose data transfer has finished.
+func (m *Memory) Completed() []*Request {
+	out := m.done
+	m.done = nil
+	return out
+}
+
+// issueOne applies the scheduling policy to channel ci.
+func (m *Memory) issueOne(ci int) {
+	c := &m.chans[ci]
+	// All-bank refresh (tREFI/tRFC): precharge every bank and hold the
+	// channel for tRFC.
+	if m.cfg.TREFI > 0 && m.cycle >= c.nextRefresh {
+		c.nextRefresh += int64(m.cfg.TREFI)
+		m.refreshes++
+		until := m.cycle + int64(m.cfg.TRFC)
+		for b := range c.banks {
+			c.banks[b].openRow = -1
+			if c.banks[b].readyAt < until {
+				c.banks[b].readyAt = until
+			}
+		}
+		return
+	}
+	if len(c.queue) == 0 {
+		return
+	}
+	// One command per channel per cycle; data transfers pipeline behind CAS
+	// latency, so the bus being busy later does not block issuing now, but
+	// we do bound how far the data bus may run ahead (command queue depth).
+	if c.busFree > m.cycle+int64(m.cfg.TCL) {
+		return
+	}
+	pick := -1
+	if m.sched == FRFCFS {
+		// Oldest row hit first.
+		for i, r := range c.queue {
+			b := &c.banks[r.bk]
+			if b.openRow == r.row && b.readyAt <= m.cycle {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		// Oldest request whose bank can take a command now-ish; fall back to
+		// the absolute oldest to preserve forward progress.
+		pick = 0
+	}
+	r := c.queue[pick]
+	c.queue = append(c.queue[:pick], c.queue[pick+1:]...)
+	m.serve(ci, r)
+}
+
+// serve computes the timing of one request against its bank and the channel
+// data bus, updating all state.
+func (m *Memory) serve(ci int, r *Request) {
+	c := &m.chans[ci]
+	bk, row := r.bk, r.row
+	b := &c.banks[bk]
+	cfg := m.cfg
+
+	start := m.cycle
+	if b.readyAt > start {
+		start = b.readyAt
+	}
+
+	var casAt int64
+	switch {
+	case b.openRow == row:
+		m.Stats.RowHits++
+		casAt = start
+	case b.openRow == -1:
+		m.Stats.RowMisses++
+		actAt := start
+		casAt = actAt + int64(cfg.TRCD)
+		b.openRow = row
+		b.actAt = actAt
+	default:
+		m.Stats.RowMisses++
+		m.Stats.RowConflicts++
+		preAt := start
+		if min := b.actAt + int64(cfg.TRAS); preAt < min {
+			preAt = min
+		}
+		if b.wrLast {
+			preAt += int64(cfg.TWR)
+		}
+		actAt := preAt + int64(cfg.TRP)
+		casAt = actAt + int64(cfg.TRCD)
+		b.openRow = row
+		b.actAt = actAt
+	}
+
+	// Data burst: one bus slot after CAS latency.
+	dataAt := casAt + int64(cfg.TCL)
+	if dataAt < c.busFree {
+		dataAt = c.busFree
+	}
+	c.busFree = dataAt + 1
+	b.readyAt = casAt + 1
+	b.wrLast = r.IsWrite
+	r.Finish = dataAt + 1
+	r.issued = true
+	m.inFlight = append(m.inFlight, r)
+
+	// Stats.
+	if r.IsWrite {
+		m.Stats.Writes++
+	} else {
+		m.Stats.Reads++
+	}
+	m.Stats.BytesBySrc[r.Src] += int64(cfg.BurstBytes)
+	m.Stats.TotalBytes += int64(cfg.BurstBytes)
+	m.Stats.BusyCycles++
+}
+
+// Pending returns the number of requests queued or in flight.
+func (m *Memory) Pending() int {
+	n := len(m.inFlight) + len(m.done)
+	for i := range m.chans {
+		n += len(m.chans[i].queue)
+	}
+	return n
+}
+
+// Drain advances the clock until all submitted requests have completed,
+// returning the completions. It panics after a very large number of cycles
+// (deadlock guard).
+func (m *Memory) Drain() []*Request {
+	var out []*Request
+	for guard := 0; m.Pending() > 0; guard++ {
+		if guard > 100_000_000 {
+			panic("dram: drain did not converge")
+		}
+		m.Tick()
+		out = append(out, m.Completed()...)
+	}
+	return out
+}
+
+// AchievedBandwidth returns bytes per cycle served so far.
+func (m *Memory) AchievedBandwidth() float64 {
+	if m.cycle == 0 {
+		return 0
+	}
+	return float64(m.Stats.TotalBytes) / float64(m.cycle)
+}
+
+// PeakBandwidth returns the theoretical bytes per cycle.
+func (m *Memory) PeakBandwidth() float64 {
+	return float64(m.cfg.Channels * m.cfg.BurstBytes)
+}

@@ -1,0 +1,300 @@
+package dram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/npu"
+	"repro/internal/tensor"
+)
+
+func testCfg() npu.MemConfig {
+	c := npu.SmallConfig().Mem
+	return c
+}
+
+func TestSingleReadLatency(t *testing.T) {
+	m := New(testCfg(), FRFCFS)
+	r := &Request{Addr: 0}
+	if !m.Submit(r) {
+		t.Fatal("submit rejected")
+	}
+	done := m.Drain()
+	if len(done) != 1 {
+		t.Fatalf("completions = %d", len(done))
+	}
+	cfg := testCfg()
+	// Closed bank: ACT(tRCD) + CAS(tCL) + burst.
+	want := int64(cfg.TRCD+cfg.TCL) + 2
+	if r.Finish < want-1 || r.Finish > want+2 {
+		t.Fatalf("first read finished at %d, want ~%d", r.Finish, want)
+	}
+}
+
+func TestRowHitFasterThanConflict(t *testing.T) {
+	cfg := testCfg()
+	// Hit: two requests to the same row.
+	m1 := New(cfg, FRFCFS)
+	a := &Request{Addr: 0}
+	b := &Request{Addr: uint64(cfg.BurstBytes * cfg.Channels)} // same channel, same row, next burst
+	m1.Submit(a)
+	m1.Submit(b)
+	m1.Drain()
+	hitGap := b.Finish - a.Finish
+
+	// Conflict: second request to a different row of the same bank.
+	m2 := New(cfg, FRFCFS)
+	c := &Request{Addr: 0}
+	rowStride := uint64(cfg.RowBytes * cfg.Channels * cfg.BanksPerChan)
+	d := &Request{Addr: rowStride} // same channel+bank, different row
+	m2.Submit(c)
+	m2.Submit(d)
+	m2.Drain()
+	confGap := d.Finish - c.Finish
+
+	if m1.Stats.RowHits == 0 {
+		t.Fatal("expected a row hit")
+	}
+	if m2.Stats.RowConflicts == 0 {
+		t.Fatal("expected a row conflict")
+	}
+	if confGap <= hitGap {
+		t.Fatalf("conflict gap %d must exceed hit gap %d", confGap, hitGap)
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	cfg := testCfg()
+	// Requests to different channels overlap; same channel serializes on
+	// the data bus.
+	mSame := New(cfg, FRFCFS)
+	mDiff := New(cfg, FRFCFS)
+	n := 16
+	chanStride := uint64(cfg.BurstBytes * cfg.Channels)
+	var lastSame, lastDiff int64
+	for i := 0; i < n; i++ {
+		rs := &Request{Addr: uint64(i) * chanStride}             // all to channel 0
+		rd := &Request{Addr: uint64(i) * uint64(cfg.BurstBytes)} // round-robin channels
+		mSame.Submit(rs)
+		mDiff.Submit(rd)
+	}
+	for _, r := range mSame.Drain() {
+		if r.Finish > lastSame {
+			lastSame = r.Finish
+		}
+	}
+	for _, r := range mDiff.Drain() {
+		if r.Finish > lastDiff {
+			lastDiff = r.Finish
+		}
+	}
+	if lastDiff >= lastSame {
+		t.Fatalf("multi-channel (%d) must beat single-channel (%d)", lastDiff, lastSame)
+	}
+}
+
+func TestFRFCFSPrefersRowHits(t *testing.T) {
+	cfg := testCfg()
+	m := New(cfg, FRFCFS)
+	rowStride := uint64(cfg.RowBytes * cfg.Channels * cfg.BanksPerChan)
+	// First open row 0, then submit a conflicting request (row 1) followed
+	// by a row-0 hit. FR-FCFS serves the hit before the older conflict once
+	// the row is open.
+	opener := &Request{Addr: 0}
+	m.Submit(opener)
+	for m.Pending() > 0 {
+		m.Tick()
+		m.Completed()
+	}
+	conflict := &Request{Addr: rowStride}
+	hit := &Request{Addr: uint64(cfg.BurstBytes * cfg.Channels)}
+	m.Submit(conflict)
+	m.Submit(hit)
+	m.Drain()
+	if hit.Finish >= conflict.Finish {
+		t.Fatalf("FR-FCFS should finish the row hit (%d) before the conflict (%d)", hit.Finish, conflict.Finish)
+	}
+
+	// FCFS serves strictly in order.
+	m2 := New(cfg, FCFS)
+	opener2 := &Request{Addr: 0}
+	m2.Submit(opener2)
+	for m2.Pending() > 0 {
+		m2.Tick()
+		m2.Completed()
+	}
+	conflict2 := &Request{Addr: rowStride}
+	hit2 := &Request{Addr: uint64(cfg.BurstBytes * cfg.Channels)}
+	m2.Submit(conflict2)
+	m2.Submit(hit2)
+	m2.Drain()
+	if conflict2.Finish >= hit2.Finish {
+		t.Fatalf("FCFS must preserve order: conflict %d, hit %d", conflict2.Finish, hit2.Finish)
+	}
+}
+
+func TestStreamingApproachesPeakBandwidth(t *testing.T) {
+	cfg := testCfg()
+	m := New(cfg, FRFCFS)
+	// Stream 64 KiB sequentially; with row hits across channels the model
+	// should achieve a large fraction of peak.
+	total := 64 << 10
+	for a := 0; a < total; a += cfg.BurstBytes {
+		r := &Request{Addr: uint64(a)}
+		for !m.Submit(r) {
+			m.Tick()
+			m.Completed()
+		}
+	}
+	m.Drain()
+	frac := m.AchievedBandwidth() / m.PeakBandwidth()
+	if frac < 0.5 {
+		t.Fatalf("streaming achieved only %.2f of peak", frac)
+	}
+	if m.Stats.RowHits < m.Stats.RowMisses {
+		t.Fatalf("streaming should be hit-dominated: %d hits, %d misses", m.Stats.RowHits, m.Stats.RowMisses)
+	}
+}
+
+func TestRandomSlowerThanStreaming(t *testing.T) {
+	cfg := testCfg()
+	nReq := 512
+	run := func(random bool) int64 {
+		m := New(cfg, FRFCFS)
+		rng := tensor.NewRNG(7)
+		rowStride := uint64(cfg.RowBytes * cfg.Channels * cfg.BanksPerChan)
+		for i := 0; i < nReq; i++ {
+			var addr uint64
+			if random {
+				addr = uint64(rng.Intn(1024))*rowStride + uint64(rng.Intn(4))*uint64(cfg.BurstBytes)
+			} else {
+				addr = uint64(i) * uint64(cfg.BurstBytes)
+			}
+			r := &Request{Addr: addr}
+			for !m.Submit(r) {
+				m.Tick()
+				m.Completed()
+			}
+		}
+		m.Drain()
+		return m.Cycle()
+	}
+	stream, random := run(false), run(true)
+	if random <= stream {
+		t.Fatalf("random access (%d cycles) must be slower than streaming (%d)", random, stream)
+	}
+}
+
+func TestQueueFullRejection(t *testing.T) {
+	m := New(testCfg(), FRFCFS)
+	rejected := false
+	for i := 0; i < 1000; i++ {
+		if !m.Submit(&Request{Addr: 0}) { // all to one channel
+			rejected = true
+			break
+		}
+	}
+	if !rejected {
+		t.Fatal("expected queue-full rejection")
+	}
+	if m.Stats.QueueFullStalls == 0 {
+		t.Fatal("stall counter not incremented")
+	}
+}
+
+func TestPerSourceAccounting(t *testing.T) {
+	cfg := testCfg()
+	m := New(cfg, FRFCFS)
+	for i := 0; i < 8; i++ {
+		m.Submit(&Request{Addr: uint64(i * cfg.BurstBytes), Src: i % 2})
+	}
+	m.Drain()
+	if m.Stats.BytesBySrc[0] != int64(4*cfg.BurstBytes) || m.Stats.BytesBySrc[1] != int64(4*cfg.BurstBytes) {
+		t.Fatalf("per-source bytes wrong: %v", m.Stats.BytesBySrc)
+	}
+	if m.Stats.TotalBytes != int64(8*cfg.BurstBytes) {
+		t.Fatalf("total bytes = %d", m.Stats.TotalBytes)
+	}
+}
+
+func TestAllRequestsComplete(t *testing.T) {
+	f := func(seed uint64) bool {
+		cfg := testCfg()
+		m := New(cfg, FRFCFS)
+		rng := tensor.NewRNG(seed)
+		n := 64 + rng.Intn(128)
+		submitted, completed := 0, 0
+		for i := 0; i < n; i++ {
+			r := &Request{
+				Addr:    uint64(rng.Intn(1<<20)) &^ uint64(cfg.BurstBytes-1),
+				IsWrite: rng.Intn(2) == 0,
+			}
+			for !m.Submit(r) {
+				m.Tick()
+				completed += len(m.Completed())
+			}
+			submitted++
+		}
+		completed += len(m.Drain())
+		return completed == submitted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSimpleModelFlatLatency(t *testing.T) {
+	s := NewSimple(100)
+	a := &Request{Addr: 0}
+	b := &Request{Addr: 4096}
+	s.Submit(a)
+	for i := 0; i < 10; i++ {
+		s.Tick()
+	}
+	s.Submit(b)
+	for s.Pending() > 0 {
+		s.Tick()
+		s.Completed()
+	}
+	if a.Finish != 100 {
+		t.Fatalf("a.Finish = %d, want 100", a.Finish)
+	}
+	if b.Finish != 110 {
+		t.Fatalf("b.Finish = %d, want 110", b.Finish)
+	}
+}
+
+func TestRefreshStallsAndCounts(t *testing.T) {
+	cfg := testCfg()
+	cfg.TREFI = 200
+	cfg.TRFC = 50
+	withRef := New(cfg, FRFCFS)
+	noRefCfg := cfg
+	noRefCfg.TREFI = 0
+	noRef := New(noRefCfg, FRFCFS)
+	// Stream enough traffic to span several refresh intervals.
+	total := 32 << 10
+	feed := func(m *Memory) int64 {
+		for a := 0; a < total; a += cfg.BurstBytes {
+			r := &Request{Addr: uint64(a)}
+			for !m.Submit(r) {
+				m.Tick()
+				m.Completed()
+			}
+		}
+		m.Drain()
+		return m.Cycle()
+	}
+	tRef, tNo := feed(withRef), feed(noRef)
+	if withRef.Refreshes() == 0 {
+		t.Fatal("no refreshes performed")
+	}
+	if tRef <= tNo {
+		t.Fatalf("refresh must cost cycles: %d vs %d", tRef, tNo)
+	}
+	// Overhead should be roughly TRFC/TREFI (= 25%) of the runtime.
+	overhead := float64(tRef-tNo) / float64(tNo)
+	if overhead > 0.6 {
+		t.Fatalf("refresh overhead implausibly high: %.2f", overhead)
+	}
+}

@@ -1,0 +1,78 @@
+package dram
+
+// Simple is a fixed-latency, bandwidth-unlimited memory model, used for the
+// §5.1 sparse-core validation ("a simple 100 ns DRAM latency model") and as
+// a fast stand-in in unit tests. It implements the same Submit/Tick/
+// Completed protocol as Memory.
+type Simple struct {
+	Latency  int64 // cycles from submit to completion
+	cycle    int64
+	inFlight []*Request
+	done     []*Request
+
+	Stats Stats
+}
+
+// NewSimple returns a flat-latency model.
+func NewSimple(latencyCycles int64) *Simple {
+	return &Simple{Latency: latencyCycles, Stats: Stats{BytesBySrc: map[int]int64{}}}
+}
+
+// Cycle returns the current cycle.
+func (s *Simple) Cycle() int64 { return s.cycle }
+
+// CanAccept always reports true (unbounded queue).
+func (s *Simple) CanAccept(addr uint64) bool { return true }
+
+// Submit implements the controller protocol.
+func (s *Simple) Submit(r *Request) bool {
+	r.Arrive = s.cycle
+	r.Finish = s.cycle + s.Latency
+	s.inFlight = append(s.inFlight, r)
+	if r.IsWrite {
+		s.Stats.Writes++
+	} else {
+		s.Stats.Reads++
+	}
+	return true
+}
+
+// Tick advances one cycle.
+func (s *Simple) Tick() {
+	s.cycle++
+	remaining := s.inFlight[:0]
+	for _, r := range s.inFlight {
+		if r.Finish <= s.cycle {
+			s.done = append(s.done, r)
+		} else {
+			remaining = append(remaining, r)
+		}
+	}
+	s.inFlight = remaining
+}
+
+// Completed drains finished requests.
+func (s *Simple) Completed() []*Request {
+	out := s.done
+	s.done = nil
+	return out
+}
+
+// Pending returns requests not yet delivered.
+func (s *Simple) Pending() int { return len(s.inFlight) + len(s.done) }
+
+// Controller is the interface shared by Memory and Simple; TOGSim programs
+// against it so experiments can swap models.
+type Controller interface {
+	Submit(r *Request) bool
+	CanAccept(addr uint64) bool
+	Tick()
+	Completed() []*Request
+	Cycle() int64
+	Pending() int
+}
+
+var (
+	_ Controller = (*Memory)(nil)
+	_ Controller = (*Simple)(nil)
+)

@@ -1,0 +1,131 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/nn"
+	"repro/internal/npu"
+	"repro/internal/train"
+)
+
+// Fig10Batch is one batch size's training outcome.
+type Fig10Batch struct {
+	Batch          int
+	Losses         []float32
+	StepsToTarget  int
+	CyclesPerIter  int64
+	TotalCycles    int64
+	CyclesPerEpoch int64
+	Accuracy       float64
+}
+
+// Fig10Result reports the training-hyperparameter study (§5.5).
+type Fig10Result struct {
+	Small, Large Fig10Batch
+	// NPUMatchesCPU confirms the NPU-executed loss curve equals the CPU's
+	// over the spot-check steps (Fig. 10a: "identical to a real CPU").
+	NPUMatchesCPU bool
+	MaxLossDelta  float64
+}
+
+func (r *Fig10Result) String() string {
+	var b strings.Builder
+	b.WriteString("Fig. 10 — impact of training batch size (MLP, synthetic MNIST)\n")
+	t := &Table{Header: []string{"batch", "steps-to-target", "cycles/iter", "cycles/epoch", "total cycles", "accuracy"}}
+	for _, row := range []Fig10Batch{r.Small, r.Large} {
+		t.Add(fmt.Sprintf("%d", row.Batch), fmt.Sprintf("%d", row.StepsToTarget),
+			fmt.Sprintf("%d", row.CyclesPerIter), fmt.Sprintf("%d", row.CyclesPerEpoch),
+			fmt.Sprintf("%d", row.TotalCycles), fmt.Sprintf("%.3f", row.Accuracy))
+	}
+	b.WriteString(t.String())
+	perIter := float64(r.Large.CyclesPerIter) / float64(r.Small.CyclesPerIter)
+	perEpoch := float64(r.Small.CyclesPerEpoch) / float64(r.Large.CyclesPerEpoch)
+	total := float64(r.Small.TotalCycles) / float64(r.Large.TotalCycles)
+	fmt.Fprintf(&b, "large batch: %.2fx cycles/iter, %.2fx faster per epoch (the paper's 4.6x mechanism), %.2fx total-to-target, accuracy delta %.3f\n",
+		perIter, perEpoch, total, r.Large.Accuracy-r.Small.Accuracy)
+	fmt.Fprintf(&b, "NPU-vs-CPU loss curves identical: %v (max delta %.2e)\n", r.NPUMatchesCPU, r.MaxLossDelta)
+	return b.String()
+}
+
+// Fig10 trains the MLP at a small and a large batch size, measures per-
+// iteration TLS cycles for each, and spot-checks that the NPU functional
+// path reproduces the CPU loss curve exactly.
+func Fig10(cfg npu.Config, quick bool) (*Fig10Result, error) {
+	dsN := 2048
+	exampleBudget := 16384 // training examples consumed per run (any batch)
+	smallBS, largeBS := 8, 128
+	lossTarget := float32(0.8)
+	if quick {
+		dsN = 512
+		exampleBudget = 4800
+		largeBS = 64
+	}
+	full := train.SyntheticMNIST(11, dsN+512)
+	ds, eval := full.Split(dsN)
+
+	runBatch := func(bs int) (Fig10Batch, error) {
+		mlp := nn.DefaultMLP(bs)
+		// Convergence is judged on the (smooth) evaluation-set loss,
+		// sampled every few steps — per-batch training losses at small
+		// batch sizes are too noisy to gate on.
+		evalEvery := maxInt(1, 256/bs)
+		res, err := train.Run(train.Config{
+			MLP: mlp, LR: 0.05, Steps: exampleBudget / bs, Backend: train.CPU, Seed: 13,
+			EvalEvery: evalEvery,
+		}, ds, eval)
+		if err != nil {
+			return Fig10Batch{}, err
+		}
+		cycles, err := train.MeasureIterationCycles(mlp, 0.05, cfg)
+		if err != nil {
+			return Fig10Batch{}, err
+		}
+		steps := train.StepsToLoss(res.EvalLosses, lossTarget) * evalEvery
+		return Fig10Batch{
+			Batch:          bs,
+			Losses:         res.Losses,
+			StepsToTarget:  steps,
+			CyclesPerIter:  cycles,
+			TotalCycles:    int64(steps) * cycles,
+			CyclesPerEpoch: int64(dsN/bs) * cycles,
+			Accuracy:       res.FinalAccuracy,
+		}, nil
+	}
+	small, err := runBatch(smallBS)
+	if err != nil {
+		return nil, err
+	}
+	large, err := runBatch(largeBS)
+	if err != nil {
+		return nil, err
+	}
+
+	// NPU-vs-CPU loss spot check (functional full-training path, Table 2).
+	spotCfg := nn.DefaultMLP(smallBS)
+	spotSteps := 3
+	cpu, err := train.Run(train.Config{MLP: spotCfg, LR: 0.05, Steps: spotSteps, Backend: train.CPU, Seed: 13}, ds, eval)
+	if err != nil {
+		return nil, err
+	}
+	npuRes, err := train.Run(train.Config{MLP: spotCfg, LR: 0.05, Steps: spotSteps, Backend: train.NPU, NPUCfg: cfg, Seed: 13}, ds, eval)
+	if err != nil {
+		return nil, err
+	}
+	var maxDelta float64
+	for i := range cpu.Losses {
+		d := float64(cpu.Losses[i] - npuRes.Losses[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > maxDelta {
+			maxDelta = d
+		}
+	}
+	return &Fig10Result{
+		Small:         small,
+		Large:         large,
+		NPUMatchesCPU: maxDelta < 1e-3,
+		MaxLossDelta:  maxDelta,
+	}, nil
+}

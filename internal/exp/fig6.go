@@ -1,0 +1,110 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/npu"
+)
+
+// Fig6Row is one workload's simulation wall-clock per simulator.
+type Fig6Row struct {
+	Workload string
+	TLSSN    time.Duration // PyTorchSim-SN
+	TLSCN    time.Duration // PyTorchSim-CN
+	ILS      time.Duration // PyTorchSim (ILS)
+	MNPUSim  time.Duration
+	AccelSim time.Duration
+}
+
+// Fig6Result is the simulation-speed comparison.
+type Fig6Result struct {
+	Rows []Fig6Row
+}
+
+// Fig6 measures simulator wall-clock on the kernel workloads (§4.3).
+// Compile time is excluded, matching the paper's methodology ("excluding
+// ... compile time for PyTorchSim" and trace generation for Accel-Sim).
+func Fig6(cfg npu.Config, quick bool) (*Fig6Result, error) {
+	sim := core.NewSimulator(cfg, compiler.DefaultOptions())
+	sizes := []int{256, 512, 1024}
+	if quick {
+		sizes = []int{128, 256}
+	}
+	res := &Fig6Result{}
+	for _, n := range sizes {
+		g := GEMMGraph(n)
+		comp, err := sim.Compile(g)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig6Row{Workload: g.Name}
+
+		sn, err := sim.SimulateTLS(comp, core.SimpleNet)
+		if err != nil {
+			return nil, err
+		}
+		row.TLSSN = sn.WallClock
+
+		cn, err := sim.SimulateTLS(comp, core.CycleNet)
+		if err != nil {
+			return nil, err
+		}
+		row.TLSCN = cn.WallClock
+
+		ilsRep, _, err := sim.SimulateILS(comp, core.SimpleNet)
+		if err != nil {
+			return nil, err
+		}
+		row.ILS = ilsRep.WallClock
+
+		layers := baseline.ExtractLayers(g)
+		start := time.Now()
+		if _, err := (baseline.MNPUSim{Cfg: cfg}).Run(layers); err != nil {
+			return nil, err
+		}
+		row.MNPUSim = time.Since(start)
+
+		start = time.Now()
+		a := &baseline.AccelSim{Cfg: baseline.NPUEquivalentGPU(cfg)}
+		if _, err := a.Run(layers); err != nil {
+			return nil, err
+		}
+		row.AccelSim = time.Since(start)
+
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the Fig. 6 table with speedups over Accel-Sim and ILS.
+func (r *Fig6Result) String() string {
+	t := &Table{Header: []string{"workload", "TLS-SN", "TLS-CN", "ILS", "mnpusim", "accelsim", "SN/accelsim", "SN/ILS"}}
+	for _, row := range r.Rows {
+		spAcc := float64(row.AccelSim) / float64(maxDur(row.TLSSN, time.Microsecond))
+		spILS := float64(row.ILS) / float64(maxDur(row.TLSSN, time.Microsecond))
+		t.Add(row.Workload,
+			row.TLSSN.Round(time.Microsecond).String(),
+			row.TLSCN.Round(time.Microsecond).String(),
+			row.ILS.Round(time.Microsecond).String(),
+			row.MNPUSim.Round(time.Microsecond).String(),
+			row.AccelSim.Round(time.Microsecond).String(),
+			Speedup(spAcc), Speedup(spILS))
+	}
+	var b strings.Builder
+	b.WriteString("Fig. 6 — simulation speed (host wall-clock; speedups of PyTorchSim-SN)\n")
+	b.WriteString(t.String())
+	fmt.Fprintln(&b, "(compile/trace-generation time excluded, per the paper's methodology)")
+	return b.String()
+}
+
+func maxDur(a, b time.Duration) time.Duration {
+	if a > b {
+		return a
+	}
+	return b
+}

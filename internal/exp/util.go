@@ -1,0 +1,85 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table renders rows of columns with aligned widths.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cols ...string) { t.Rows = append(t.Rows, cols) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	line := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(t.Header)
+	var sep []string
+	for _, w := range widths {
+		sep = append(sep, strings.Repeat("-", w))
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// RelErr returns |x-ref|/ref.
+func RelErr(x, ref int64) float64 {
+	if ref == 0 {
+		return 0
+	}
+	return math.Abs(float64(x-ref)) / float64(ref)
+}
+
+// MAE returns the mean of the given relative errors.
+func MAE(errs []float64) float64 {
+	if len(errs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, e := range errs {
+		s += e
+	}
+	return s / float64(len(errs))
+}
+
+// Pct formats a ratio as a percentage string.
+func Pct(x float64) string { return fmt.Sprintf("%.1f%%", x*100) }
+
+// Speedup formats a speedup factor.
+func Speedup(x float64) string { return fmt.Sprintf("%.2fx", x) }
+
+// MaxInt returns the larger int.
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

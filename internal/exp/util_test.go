@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{Header: []string{"a", "long-header"}}
+	tb.Add("wider-than-header", "x")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("table lines = %d:\n%s", len(lines), out)
+	}
+	// Every line is padded to the same column starts.
+	if !strings.HasPrefix(lines[1], strings.Repeat("-", len("wider-than-header"))) {
+		t.Fatalf("separator not sized to widest cell:\n%s", out)
+	}
+	if strings.Index(lines[0], "long-header") != strings.Index(lines[2], "x") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if e := RelErr(110, 100); e < 0.0999 || e > 0.1001 {
+		t.Fatalf("RelErr(110,100) = %g", e)
+	}
+	if e := RelErr(90, 100); e < 0.0999 || e > 0.1001 {
+		t.Fatalf("RelErr(90,100) = %g", e)
+	}
+	if RelErr(5, 0) != 0 {
+		t.Fatal("RelErr with zero reference must be 0")
+	}
+}
+
+func TestMAEAveragesRelErrs(t *testing.T) {
+	got := MAE([]float64{0.05, 0.15})
+	if got < 0.0999 || got > 0.1001 {
+		t.Fatalf("MAE = %g", got)
+	}
+	if MAE(nil) != 0 {
+		t.Fatal("MAE(nil) must be 0")
+	}
+}

@@ -1,0 +1,183 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Env binds input and parameter names to tensors for graph execution.
+type Env struct {
+	Values map[string]*tensor.Tensor
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env { return &Env{Values: map[string]*tensor.Tensor{}} }
+
+// Set binds a name.
+func (e *Env) Set(name string, t *tensor.Tensor) *Env {
+	e.Values[name] = t
+	return e
+}
+
+// Execute evaluates the graph on the host CPU (the "real CPU" reference the
+// paper validates against) and returns the value of every node.
+func Execute(g *Graph, env *Env) (map[int]*tensor.Tensor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	vals := make(map[int]*tensor.Tensor, len(g.Nodes))
+	for _, n := range g.Nodes {
+		v, err := evalNode(g, n, vals, env)
+		if err != nil {
+			return nil, fmt.Errorf("graph %q node %d (%s %q): %w", g.Name, n.ID, n.Op, n.Name, err)
+		}
+		vals[n.ID] = v
+	}
+	return vals, nil
+}
+
+func evalNode(g *Graph, n *Node, vals map[int]*tensor.Tensor, env *Env) (*tensor.Tensor, error) {
+	in := func(i int) *tensor.Tensor { return vals[n.Inputs[i]] }
+	switch n.Op {
+	case OpInput, OpParam, OpConst:
+		v, ok := env.Values[n.Name]
+		if !ok {
+			return nil, fmt.Errorf("unbound %s %q", n.Op, n.Name)
+		}
+		if !shapeEq(v.Shape, n.Shape) {
+			return nil, fmt.Errorf("%q bound with shape %v, want %v", n.Name, v.Shape, n.Shape)
+		}
+		return v, nil
+	case OpMatMul:
+		return tensor.MatMul(in(0), in(1)), nil
+	case OpMatMulTA:
+		return tensor.MatMul(tensor.Transpose2D(in(0)), in(1)), nil
+	case OpMatMulTB:
+		return tensor.MatMulTransB(in(0), in(1)), nil
+	case OpConv2D:
+		return tensor.Conv2D(in(0), in(1), n.Conv), nil
+	case OpSparseMM:
+		// Reference semantics: dense product of the (dense-represented)
+		// sparse operands; the NPU path runs this on the sparse core.
+		return tensor.MatMul(in(0), in(1)), nil
+	case OpAdd:
+		return tensor.Add(in(0), in(1)), nil
+	case OpMul:
+		return tensor.Mul(in(0), in(1)), nil
+	case OpBiasAdd:
+		return tensor.AddBiasRows(in(0), in(1)), nil
+	case OpScale:
+		return tensor.Scale(in(0), n.ScaleF), nil
+	case OpReLU:
+		return tensor.ReLU(in(0)), nil
+	case OpGELU:
+		return tensor.GELU(in(0)), nil
+	case OpTanh:
+		return tensor.Tanh(in(0)), nil
+	case OpReLUGrad:
+		x, dy := in(1), in(0)
+		out := tensor.New(dy.Shape...)
+		for i := range out.Data {
+			if x.Data[i] > 0 {
+				out.Data[i] = dy.Data[i]
+			}
+		}
+		return out, nil
+	case OpScaleShift:
+		x, gamma, beta := in(0), in(1), in(2)
+		nn, c, h, w := x.Shape[0], x.Shape[1], x.Shape[2], x.Shape[3]
+		out := tensor.New(nn, c, h, w)
+		for ni := 0; ni < nn; ni++ {
+			for ci := 0; ci < c; ci++ {
+				gam, bet := gamma.Data[ci], beta.Data[ci]
+				for y := 0; y < h; y++ {
+					for xx := 0; xx < w; xx++ {
+						out.Set(x.At(ni, ci, y, xx)*gam+bet, ni, ci, y, xx)
+					}
+				}
+			}
+		}
+		return out, nil
+	case OpSoftmax:
+		return tensor.Softmax(in(0)), nil
+	case OpLayerNorm:
+		eps := n.Eps
+		if eps == 0 {
+			eps = 1e-5
+		}
+		return tensor.LayerNorm(in(0), in(1), in(2), eps), nil
+	case OpMaxPool:
+		return tensor.MaxPool2D(in(0), n.Window, n.Stride), nil
+	case OpAvgPool:
+		return tensor.GlobalAvgPool2D(in(0)), nil
+	case OpReshape:
+		return in(0).Reshape(n.Shape...), nil
+	case OpTranspose:
+		return tensor.Transpose2D(in(0)), nil
+	case OpColSum:
+		x := in(0)
+		m, cols := x.Shape[0], x.Shape[1]
+		out := tensor.New(cols)
+		for i := 0; i < m; i++ {
+			for j := 0; j < cols; j++ {
+				out.Data[j] += x.Data[i*cols+j]
+			}
+		}
+		return out, nil
+	case OpSoftmaxCE:
+		logits, labels := in(0), in(1)
+		m := logits.Shape[0]
+		probs := tensor.Softmax(logits)
+		var loss float64
+		for i := 0; i < m; i++ {
+			cls := int(labels.Data[i])
+			p := float64(probs.At(i, cls))
+			if p < 1e-12 {
+				p = 1e-12
+			}
+			loss -= math.Log(p)
+		}
+		return tensor.FromSlice([]float32{float32(loss / float64(m))}, 1), nil
+	case OpSoftmaxCEGrad:
+		logits, labels := in(0), in(1)
+		m, c := logits.Shape[0], logits.Shape[1]
+		probs := tensor.Softmax(logits)
+		out := probs.Clone()
+		inv := 1 / float32(m)
+		for i := 0; i < m; i++ {
+			cls := int(labels.Data[i])
+			out.Data[i*c+cls] -= 1
+		}
+		return tensor.Scale(out, inv), nil
+	case OpSGDUpdate:
+		w, grad := in(0), in(1)
+		out := tensor.New(w.Shape...)
+		lr := n.ScaleF
+		for i := range out.Data {
+			out.Data[i] = w.Data[i] - lr*grad.Data[i]
+		}
+		return out, nil
+	case OpAXPBY:
+		a, b := in(0), in(1)
+		out := tensor.New(a.Shape...)
+		for i := range out.Data {
+			out.Data[i] = n.Alpha*a.Data[i] + n.Beta*b.Data[i]
+		}
+		return out, nil
+	case OpAdamStep:
+		p, m, v, coef := in(0), in(1), in(2), in(3)
+		negLR, eps := coef.Data[0], coef.Data[1]
+		decay := n.ScaleF // AdamW decoupled decay: -lr*wd (0 = plain Adam)
+		out := tensor.New(p.Shape...)
+		for i := range out.Data {
+			den := float32(math.Sqrt(float64(v.Data[i]))) + eps
+			pd := p.Data[i] + decay*p.Data[i]
+			out.Data[i] = pd + negLR*m.Data[i]/den
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unknown op %q", n.Op)
+	}
+}

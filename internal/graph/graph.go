@@ -1,0 +1,328 @@
+// Package graph defines the captured computation graph IR — the analog of
+// the FX graph / Aten IR the paper's PyTorch 2 frontend produces (§2.2).
+// Model builders (internal/nn) emit these graphs; the compiler backend
+// (internal/compiler) lowers them to tile loops, kernels, and TOGs; the
+// reference executor evaluates them on the host CPU for functional
+// validation (the paper validates NPU output against a real CPU).
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// OpKind enumerates the supported Aten-level operators.
+type OpKind string
+
+const (
+	// Structural.
+	OpInput OpKind = "input" // external input tensor
+	OpParam OpKind = "param" // trainable parameter
+	OpConst OpKind = "const" // constant tensor
+
+	// Matrix / convolution (lowered to SA kernels).
+	OpMatMul   OpKind = "matmul"    // (M,K) x (K,N)
+	OpMatMulTA OpKind = "matmul_ta" // A^T @ B: (K,M) x (K,N) -> (M,N)
+	OpMatMulTB OpKind = "matmul_tb" // A @ B^T: (M,K) x (N,K) -> (M,N)
+	OpConv2D   OpKind = "conv2d"    // NCHW x KCHW
+	OpSparseMM OpKind = "sparse_mm" // sparse x sparse (heterogeneous NPU, §5.1)
+
+	// Pointwise / activation (vector unit).
+	OpAdd        OpKind = "add"      // elementwise a + b
+	OpMul        OpKind = "mul"      // elementwise a * b
+	OpBiasAdd    OpKind = "bias_add" // (M,N) + (N,)
+	OpScale      OpKind = "scale"    // x * scalar attr
+	OpReLU       OpKind = "relu"
+	OpGELU       OpKind = "gelu"
+	OpTanh       OpKind = "tanh"
+	OpReLUGrad   OpKind = "relu_grad"   // dY * (X > 0)
+	OpScaleShift OpKind = "scale_shift" // per-channel x*gamma+beta on NCHW (folded BN)
+
+	// Normalization / softmax (vector + SFU).
+	OpSoftmax   OpKind = "softmax"   // row-wise over last dim of 2-D
+	OpLayerNorm OpKind = "layernorm" // row-wise, with gamma/beta inputs
+
+	// Pooling / shape.
+	OpMaxPool   OpKind = "maxpool"   // window/stride attrs, NCHW
+	OpAvgPool   OpKind = "avgpool"   // global average pool NCHW -> (N,C)
+	OpReshape   OpKind = "reshape"   // view change
+	OpTranspose OpKind = "transpose" // 2-D transpose
+
+	// Reductions.
+	OpColSum OpKind = "col_sum" // (M,N) -> (N,) column sums (bias gradient)
+
+	// Training-specific.
+	OpSoftmaxCE     OpKind = "softmax_ce"      // logits,labels -> scalar loss
+	OpSoftmaxCEGrad OpKind = "softmax_ce_grad" // logits,labels -> dLogits
+	OpSGDUpdate     OpKind = "sgd_update"      // param - lr*grad (lr attr)
+	OpAXPBY         OpKind = "axpby"           // Alpha*a + Beta*b (momentum / EMA updates)
+	OpAdamStep      OpKind = "adam_step"       // param + coef[0]*m/(sqrt(v)+coef[1])
+)
+
+// Node is one operator instance.
+type Node struct {
+	ID     int
+	Op     OpKind
+	Name   string
+	Inputs []int
+	Shape  []int // output shape
+
+	// Attributes (used per Op).
+	Conv    tensor.ConvShape // conv2d
+	Window  int              // maxpool
+	Stride  int              // maxpool
+	ScaleF  float32          // scale / sgd_update (learning rate)
+	Alpha   float32          // axpby: coefficient of input 0
+	Beta    float32          // axpby: coefficient of input 1
+	Eps     float32          // layernorm
+	Classes int              // softmax_ce: number of classes
+}
+
+// Graph is a topologically ordered DAG of nodes.
+type Graph struct {
+	Name    string
+	Nodes   []*Node
+	Outputs []int
+}
+
+// New returns an empty graph.
+func New(name string) *Graph { return &Graph{Name: name} }
+
+// Add appends a node, assigning its ID; inputs must already exist.
+func (g *Graph) Add(n *Node) *Node {
+	n.ID = len(g.Nodes)
+	for _, in := range n.Inputs {
+		if in < 0 || in >= n.ID {
+			panic(fmt.Sprintf("graph: node %q input %d out of range", n.Name, in))
+		}
+	}
+	g.Nodes = append(g.Nodes, n)
+	return n
+}
+
+// Input declares an external input of the given shape.
+func (g *Graph) Input(name string, shape ...int) *Node {
+	return g.Add(&Node{Op: OpInput, Name: name, Shape: shape})
+}
+
+// Param declares a trainable parameter of the given shape.
+func (g *Graph) Param(name string, shape ...int) *Node {
+	return g.Add(&Node{Op: OpParam, Name: name, Shape: shape})
+}
+
+// Validate checks topological order and shape consistency.
+func (g *Graph) Validate() error {
+	for _, n := range g.Nodes {
+		want, err := InferShape(g, n)
+		if err != nil {
+			return fmt.Errorf("graph %q node %d (%s %q): %w", g.Name, n.ID, n.Op, n.Name, err)
+		}
+		if want != nil && !shapeEq(want, n.Shape) {
+			return fmt.Errorf("graph %q node %d (%s %q): declared shape %v, inferred %v",
+				g.Name, n.ID, n.Op, n.Name, n.Shape, want)
+		}
+	}
+	for _, o := range g.Outputs {
+		if o < 0 || o >= len(g.Nodes) {
+			return fmt.Errorf("graph %q: output %d out of range", g.Name, o)
+		}
+	}
+	return nil
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// InferShape computes the output shape of n from its inputs, or returns nil
+// when the op's shape is free-form (input/param/const/reshape).
+func InferShape(g *Graph, n *Node) ([]int, error) {
+	in := func(i int) *Node { return g.Nodes[n.Inputs[i]] }
+	need := func(k int) error {
+		if len(n.Inputs) != k {
+			return fmt.Errorf("%s needs %d inputs, has %d", n.Op, k, len(n.Inputs))
+		}
+		return nil
+	}
+	switch n.Op {
+	case OpInput, OpParam, OpConst, OpReshape:
+		if n.Op == OpReshape {
+			if err := need(1); err != nil {
+				return nil, err
+			}
+			if tensor.NumElements(n.Shape) != tensor.NumElements(in(0).Shape) {
+				return nil, fmt.Errorf("reshape volume mismatch %v -> %v", in(0).Shape, n.Shape)
+			}
+		}
+		return nil, nil
+	case OpMatMul:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		a, b := in(0).Shape, in(1).Shape
+		if len(a) != 2 || len(b) != 2 || a[1] != b[0] {
+			return nil, fmt.Errorf("matmul shapes %v x %v", a, b)
+		}
+		return []int{a[0], b[1]}, nil
+	case OpMatMulTA:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		a, b := in(0).Shape, in(1).Shape
+		if len(a) != 2 || len(b) != 2 || a[0] != b[0] {
+			return nil, fmt.Errorf("matmul_ta shapes %v x %v", a, b)
+		}
+		return []int{a[1], b[1]}, nil
+	case OpMatMulTB:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		a, b := in(0).Shape, in(1).Shape
+		if len(a) != 2 || len(b) != 2 || a[1] != b[1] {
+			return nil, fmt.Errorf("matmul_tb shapes %v x %v", a, b)
+		}
+		return []int{a[0], b[0]}, nil
+	case OpConv2D:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		cs := n.Conv
+		return []int{cs.N, cs.K, cs.OutH(), cs.OutW()}, nil
+	case OpSparseMM:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		a, b := in(0).Shape, in(1).Shape
+		if len(a) != 2 || len(b) != 2 || a[1] != b[0] {
+			return nil, fmt.Errorf("sparse_mm shapes %v x %v", a, b)
+		}
+		return []int{a[0], b[1]}, nil
+	case OpAdd, OpMul, OpReLUGrad:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if !shapeEq(in(0).Shape, in(1).Shape) {
+			return nil, fmt.Errorf("%s shape mismatch %v vs %v", n.Op, in(0).Shape, in(1).Shape)
+		}
+		return in(0).Shape, nil
+	case OpBiasAdd:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		a, b := in(0).Shape, in(1).Shape
+		if len(a) != 2 || len(b) != 1 || a[1] != b[0] {
+			return nil, fmt.Errorf("bias_add shapes %v + %v", a, b)
+		}
+		return a, nil
+	case OpScale, OpReLU, OpGELU, OpTanh, OpSoftmax:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		return in(0).Shape, nil
+	case OpScaleShift:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		a := in(0).Shape
+		if len(a) != 4 || in(1).Shape[0] != a[1] || in(2).Shape[0] != a[1] {
+			return nil, fmt.Errorf("scale_shift shapes %v, %v, %v", a, in(1).Shape, in(2).Shape)
+		}
+		return a, nil
+	case OpLayerNorm:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		a := in(0).Shape
+		if len(a) != 2 || in(1).Shape[0] != a[1] || in(2).Shape[0] != a[1] {
+			return nil, fmt.Errorf("layernorm shapes %v, %v, %v", a, in(1).Shape, in(2).Shape)
+		}
+		return a, nil
+	case OpMaxPool:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a := in(0).Shape
+		if len(a) != 4 {
+			return nil, fmt.Errorf("maxpool needs NCHW, got %v", a)
+		}
+		oh := (a[2]-n.Window)/n.Stride + 1
+		ow := (a[3]-n.Window)/n.Stride + 1
+		return []int{a[0], a[1], oh, ow}, nil
+	case OpAvgPool:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a := in(0).Shape
+		if len(a) != 4 {
+			return nil, fmt.Errorf("avgpool needs NCHW, got %v", a)
+		}
+		return []int{a[0], a[1]}, nil
+	case OpTranspose:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a := in(0).Shape
+		if len(a) != 2 {
+			return nil, fmt.Errorf("transpose needs 2-D, got %v", a)
+		}
+		return []int{a[1], a[0]}, nil
+	case OpColSum:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a := in(0).Shape
+		if len(a) != 2 {
+			return nil, fmt.Errorf("col_sum needs 2-D, got %v", a)
+		}
+		return []int{a[1]}, nil
+	case OpSoftmaxCE:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return []int{1}, nil
+	case OpSoftmaxCEGrad:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		return in(0).Shape, nil
+	case OpSGDUpdate:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if !shapeEq(in(0).Shape, in(1).Shape) {
+			return nil, fmt.Errorf("sgd_update shape mismatch %v vs %v", in(0).Shape, in(1).Shape)
+		}
+		return in(0).Shape, nil
+	case OpAXPBY:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		if !shapeEq(in(0).Shape, in(1).Shape) {
+			return nil, fmt.Errorf("axpby shape mismatch %v vs %v", in(0).Shape, in(1).Shape)
+		}
+		return in(0).Shape, nil
+	case OpAdamStep:
+		if err := need(4); err != nil {
+			return nil, err
+		}
+		if !shapeEq(in(0).Shape, in(1).Shape) || !shapeEq(in(0).Shape, in(2).Shape) {
+			return nil, fmt.Errorf("adam_step param/m/v shape mismatch %v/%v/%v",
+				in(0).Shape, in(1).Shape, in(2).Shape)
+		}
+		if len(in(3).Shape) != 1 || in(3).Shape[0] != 2 {
+			return nil, fmt.Errorf("adam_step coef must be shape (2,), got %v", in(3).Shape)
+		}
+		return in(0).Shape, nil
+	default:
+		return nil, fmt.Errorf("unknown op %q", n.Op)
+	}
+}

@@ -1,0 +1,286 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestBuildAndValidateLinearLayer(t *testing.T) {
+	g := New("linear")
+	x := g.Input("x", 4, 8)
+	w := g.Param("w", 8, 16)
+	b := g.Param("b", 16)
+	mm := g.Add(&Node{Op: OpMatMul, Name: "mm", Inputs: []int{x.ID, w.ID}, Shape: []int{4, 16}})
+	ba := g.Add(&Node{Op: OpBiasAdd, Name: "ba", Inputs: []int{mm.ID, b.ID}, Shape: []int{4, 16}})
+	out := g.Add(&Node{Op: OpReLU, Name: "out", Inputs: []int{ba.ID}, Shape: []int{4, 16}})
+	g.Outputs = []int{out.ID}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesShapeErrors(t *testing.T) {
+	g := New("bad")
+	x := g.Input("x", 4, 8)
+	w := g.Param("w", 9, 16) // inner dim mismatch
+	g.Add(&Node{Op: OpMatMul, Inputs: []int{x.ID, w.ID}, Shape: []int{4, 16}})
+	if err := g.Validate(); err == nil {
+		t.Fatal("expected shape error")
+	}
+
+	g2 := New("bad2")
+	x2 := g2.Input("x", 4, 8)
+	w2 := g2.Param("w", 8, 16)
+	g2.Add(&Node{Op: OpMatMul, Inputs: []int{x2.ID, w2.ID}, Shape: []int{4, 99}}) // wrong declared shape
+	if err := g2.Validate(); err == nil {
+		t.Fatal("expected declared-shape error")
+	}
+}
+
+func TestExecuteLinearMatchesTensorOps(t *testing.T) {
+	g := New("linear")
+	x := g.Input("x", 4, 8)
+	w := g.Param("w", 8, 16)
+	b := g.Param("b", 16)
+	mm := g.Add(&Node{Op: OpMatMul, Inputs: []int{x.ID, w.ID}, Shape: []int{4, 16}})
+	ba := g.Add(&Node{Op: OpBiasAdd, Inputs: []int{mm.ID, b.ID}, Shape: []int{4, 16}})
+	out := g.Add(&Node{Op: OpReLU, Inputs: []int{ba.ID}, Shape: []int{4, 16}})
+	g.Outputs = []int{out.ID}
+
+	r := tensor.NewRNG(1)
+	xv := tensor.RandNormal(r, 0, 1, 4, 8)
+	wv := tensor.RandNormal(r, 0, 1, 8, 16)
+	bv := tensor.RandNormal(r, 0, 1, 16)
+	env := NewEnv().Set("x", xv).Set("w", wv).Set("b", bv)
+	vals, err := Execute(g, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.ReLU(tensor.AddBiasRows(tensor.MatMul(xv, wv), bv))
+	if !tensor.AllClose(vals[out.ID], want, 1e-5, 1e-5) {
+		t.Fatal("graph execution disagrees with direct tensor ops")
+	}
+}
+
+func TestMatMulVariants(t *testing.T) {
+	r := tensor.NewRNG(2)
+	a := tensor.RandNormal(r, 0, 1, 5, 3)
+	b := tensor.RandNormal(r, 0, 1, 5, 4) // for TA: a^T @ b -> (3,4)
+	g := New("ta")
+	an := g.Input("a", 5, 3)
+	bn := g.Input("b", 5, 4)
+	ta := g.Add(&Node{Op: OpMatMulTA, Inputs: []int{an.ID, bn.ID}, Shape: []int{3, 4}})
+	g.Outputs = []int{ta.ID}
+	vals, err := Execute(g, NewEnv().Set("a", a).Set("b", b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.MatMul(tensor.Transpose2D(a), b)
+	if !tensor.AllClose(vals[ta.ID], want, 1e-5, 1e-5) {
+		t.Fatal("matmul_ta wrong")
+	}
+
+	c := tensor.RandNormal(r, 0, 1, 6, 3)
+	d := tensor.RandNormal(r, 0, 1, 7, 3)
+	g2 := New("tb")
+	cn := g2.Input("c", 6, 3)
+	dn := g2.Input("d", 7, 3)
+	tb := g2.Add(&Node{Op: OpMatMulTB, Inputs: []int{cn.ID, dn.ID}, Shape: []int{6, 7}})
+	vals2, err := Execute(g2, NewEnv().Set("c", c).Set("d", d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.AllClose(vals2[tb.ID], tensor.MatMulTransB(c, d), 1e-5, 1e-5) {
+		t.Fatal("matmul_tb wrong")
+	}
+}
+
+func TestConvAndPoolOps(t *testing.T) {
+	r := tensor.NewRNG(3)
+	cs := tensor.ConvShape{N: 2, C: 3, H: 8, W: 8, K: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	x := tensor.RandNormal(r, 0, 1, 2, 3, 8, 8)
+	f := tensor.RandNormal(r, 0, 1, 4, 3, 3, 3)
+	g := New("conv")
+	xn := g.Input("x", 2, 3, 8, 8)
+	fn := g.Param("f", 4, 3, 3, 3)
+	cv := g.Add(&Node{Op: OpConv2D, Inputs: []int{xn.ID, fn.ID}, Conv: cs, Shape: []int{2, 4, 8, 8}})
+	mp := g.Add(&Node{Op: OpMaxPool, Inputs: []int{cv.ID}, Window: 2, Stride: 2, Shape: []int{2, 4, 4, 4}})
+	ap := g.Add(&Node{Op: OpAvgPool, Inputs: []int{mp.ID}, Shape: []int{2, 4}})
+	g.Outputs = []int{ap.ID}
+	vals, err := Execute(g, NewEnv().Set("x", x).Set("f", f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.GlobalAvgPool2D(tensor.MaxPool2D(tensor.Conv2D(x, f, cs), 2, 2))
+	if !tensor.AllClose(vals[ap.ID], want, 1e-4, 1e-4) {
+		t.Fatal("conv/pool chain wrong")
+	}
+}
+
+func TestSoftmaxCELossAndGrad(t *testing.T) {
+	r := tensor.NewRNG(4)
+	logits := tensor.RandNormal(r, 0, 2, 6, 10)
+	labels := tensor.New(6)
+	for i := range labels.Data {
+		labels.Data[i] = float32(r.Intn(10))
+	}
+	g := New("loss")
+	ln := g.Input("logits", 6, 10)
+	lb := g.Input("labels", 6)
+	loss := g.Add(&Node{Op: OpSoftmaxCE, Inputs: []int{ln.ID, lb.ID}, Shape: []int{1}})
+	grad := g.Add(&Node{Op: OpSoftmaxCEGrad, Inputs: []int{ln.ID, lb.ID}, Shape: []int{6, 10}})
+	g.Outputs = []int{loss.ID, grad.ID}
+	vals, err := Execute(g, NewEnv().Set("logits", logits).Set("labels", labels))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Numerical gradient check on a few elements.
+	base := float64(vals[loss.ID].Data[0])
+	if base <= 0 {
+		t.Fatalf("loss = %g, want positive", base)
+	}
+	const h = 1e-3
+	for _, idx := range []int{0, 7, 33} {
+		pert := logits.Clone()
+		pert.Data[idx] += h
+		g2vals, err := Execute(g, NewEnv().Set("logits", pert).Set("labels", labels))
+		if err != nil {
+			t.Fatal(err)
+		}
+		num := (float64(g2vals[loss.ID].Data[0]) - base) / h
+		ana := float64(vals[grad.ID].Data[idx])
+		if math.Abs(num-ana) > 5e-3 {
+			t.Fatalf("gradient check at %d: numeric %g vs analytic %g", idx, num, ana)
+		}
+	}
+}
+
+func TestReLUGradMasksCorrectly(t *testing.T) {
+	g := New("rg")
+	dy := g.Input("dy", 2, 2)
+	x := g.Input("x", 2, 2)
+	rg := g.Add(&Node{Op: OpReLUGrad, Inputs: []int{dy.ID, x.ID}, Shape: []int{2, 2}})
+	g.Outputs = []int{rg.ID}
+	vals, err := Execute(g, NewEnv().
+		Set("dy", tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2)).
+		Set("x", tensor.FromSlice([]float32{-1, 5, 0, 2}, 2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 2, 0, 4}
+	for i, w := range want {
+		if vals[rg.ID].Data[i] != w {
+			t.Fatalf("relu_grad[%d] = %g, want %g", i, vals[rg.ID].Data[i], w)
+		}
+	}
+}
+
+func TestSGDUpdateAndColSum(t *testing.T) {
+	g := New("sgd")
+	w := g.Input("w", 2, 2)
+	gr := g.Input("g", 2, 2)
+	up := g.Add(&Node{Op: OpSGDUpdate, Inputs: []int{w.ID, gr.ID}, ScaleF: 0.5, Shape: []int{2, 2}})
+	cs := g.Add(&Node{Op: OpColSum, Inputs: []int{gr.ID}, Shape: []int{2}})
+	g.Outputs = []int{up.ID, cs.ID}
+	vals, err := Execute(g, NewEnv().
+		Set("w", tensor.FromSlice([]float32{1, 2, 3, 4}, 2, 2)).
+		Set("g", tensor.FromSlice([]float32{2, 2, 2, 2}, 2, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[up.ID].Data[0] != 0 || vals[up.ID].Data[3] != 3 {
+		t.Fatalf("sgd_update wrong: %v", vals[up.ID].Data)
+	}
+	if vals[cs.ID].Data[0] != 4 || vals[cs.ID].Data[1] != 4 {
+		t.Fatalf("col_sum wrong: %v", vals[cs.ID].Data)
+	}
+}
+
+func TestLayerNormAndScaleShift(t *testing.T) {
+	r := tensor.NewRNG(5)
+	x := tensor.RandNormal(r, 1, 3, 4, 32)
+	gamma := tensor.Full(2, 32)
+	beta := tensor.Full(0.5, 32)
+	g := New("ln")
+	xn := g.Input("x", 4, 32)
+	gn := g.Param("gamma", 32)
+	bn := g.Param("beta", 32)
+	ln := g.Add(&Node{Op: OpLayerNorm, Inputs: []int{xn.ID, gn.ID, bn.ID}, Shape: []int{4, 32}})
+	g.Outputs = []int{ln.ID}
+	vals, err := Execute(g, NewEnv().Set("x", x).Set("gamma", gamma).Set("beta", beta))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tensor.LayerNorm(x, gamma, beta, 1e-5)
+	if !tensor.AllClose(vals[ln.ID], want, 1e-5, 1e-5) {
+		t.Fatal("layernorm wrong")
+	}
+
+	// ScaleShift (folded batch norm) on NCHW.
+	x4 := tensor.RandNormal(r, 0, 1, 1, 2, 2, 2)
+	g2 := New("ss")
+	x4n := g2.Input("x", 1, 2, 2, 2)
+	g2g := g2.Param("g", 2)
+	g2b := g2.Param("b", 2)
+	ss := g2.Add(&Node{Op: OpScaleShift, Inputs: []int{x4n.ID, g2g.ID, g2b.ID}, Shape: []int{1, 2, 2, 2}})
+	vals2, err := Execute(g2, NewEnv().Set("x", x4).
+		Set("g", tensor.FromSlice([]float32{2, 3}, 2)).
+		Set("b", tensor.FromSlice([]float32{1, -1}, 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := vals2[ss.ID].At(0, 0, 0, 0), x4.At(0, 0, 0, 0)*2+1; got != want {
+		t.Fatalf("scale_shift wrong: %g vs %g", got, want)
+	}
+	if got, want := vals2[ss.ID].At(0, 1, 1, 1), x4.At(0, 1, 1, 1)*3-1; got != want {
+		t.Fatalf("scale_shift channel 1 wrong: %g vs %g", got, want)
+	}
+}
+
+func TestReshapeAndTranspose(t *testing.T) {
+	g := New("rt")
+	x := g.Input("x", 2, 6)
+	rs := g.Add(&Node{Op: OpReshape, Inputs: []int{x.ID}, Shape: []int{3, 4}})
+	tp := g.Add(&Node{Op: OpTranspose, Inputs: []int{rs.ID}, Shape: []int{4, 3}})
+	g.Outputs = []int{tp.ID}
+	xv := tensor.FromSlice([]float32{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, 2, 6)
+	vals, err := Execute(g, NewEnv().Set("x", xv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vals[tp.ID].At(1, 2) != xv.Data[9] {
+		t.Fatal("reshape+transpose wrong")
+	}
+}
+
+func TestUnboundInputErrors(t *testing.T) {
+	g := New("ub")
+	x := g.Input("x", 2)
+	g.Outputs = []int{x.ID}
+	if _, err := Execute(g, NewEnv()); err == nil {
+		t.Fatal("expected unbound input error")
+	}
+}
+
+func TestSoftmaxGraphMatchesReference(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		m, n := 1+r.Intn(5), 2+r.Intn(16)
+		x := tensor.RandNormal(r, 0, 3, m, n)
+		g := New("sm")
+		xn := g.Input("x", m, n)
+		sm := g.Add(&Node{Op: OpSoftmax, Inputs: []int{xn.ID}, Shape: []int{m, n}})
+		g.Outputs = []int{sm.ID}
+		vals, err := Execute(g, NewEnv().Set("x", x))
+		if err != nil {
+			return false
+		}
+		return tensor.AllClose(vals[sm.ID], tensor.Softmax(x), 1e-5, 1e-5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,503 @@
+package isa
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembler text (the same syntax Instr.String and
+// Program.Dump produce) into a Program. Lines may contain labels
+// ("name:"), instructions, blank lines, and "#" comments. Branch and jump
+// targets may be written either as numeric instruction-relative offsets or
+// as label names.
+func Assemble(name, src string) (*Program, error) {
+	b := NewBuilder(name)
+	lineNo := 0
+	for _, raw := range strings.Split(src, "\n") {
+		lineNo++
+		line := raw
+		if i := strings.Index(line, "#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Leading "NNN:" indices from Dump output and trailing labels.
+		for {
+			colon := strings.Index(line, ":")
+			if colon < 0 {
+				break
+			}
+			head := strings.TrimSpace(line[:colon])
+			if _, err := strconv.Atoi(head); err == nil {
+				line = strings.TrimSpace(line[colon+1:]) // dump index, drop
+				continue
+			}
+			if isIdent(head) {
+				b.Label(head)
+				line = strings.TrimSpace(line[colon+1:])
+				continue
+			}
+			break
+		}
+		if line == "" {
+			continue
+		}
+		if err := asmLine(b, line); err != nil {
+			return nil, fmt.Errorf("isa: line %d: %w", lineNo, err)
+		}
+	}
+	p := b.Build()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func asmLine(b *Builder, line string) error {
+	fields := strings.FieldsFunc(line, func(r rune) bool {
+		return r == ' ' || r == ',' || r == '\t'
+	})
+	if len(fields) == 0 {
+		return fmt.Errorf("empty instruction")
+	}
+	mn := fields[0]
+	args := fields[1:]
+
+	// Mnemonics with suffixes: sfu.<fn>, config.<n>, fmv.x.f / fmv.f.x,
+	// and the ".vf" vector-scalar family.
+	if strings.HasPrefix(mn, "sfu.") {
+		fn, err := sfuByName(mn[4:])
+		if err != nil {
+			return err
+		}
+		vd, vs, err := reg2(args, 'v', 'v')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: OpSFU, Rd: vd, Rs1: vs, Funct: fn})
+		return nil
+	}
+	if strings.HasPrefix(mn, "config.") {
+		fn, err := strconv.Atoi(mn[7:])
+		if err != nil || fn < 0 || fn > int(ConfigOuter) {
+			return fmt.Errorf("bad config selector %q", mn)
+		}
+		r1, r2, err := reg2(args, 'x', 'x')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: OpCONFIG, Rs1: r1, Rs2: r2, Funct: uint8(fn)})
+		return nil
+	}
+
+	op, ok := opByName(mn)
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	switch op {
+	case OpADDI, OpSLLI, OpSRLI:
+		rd, rs1, imm, err := regRegImm(args, 'x', 'x')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+	case OpLUI:
+		rd, err := reg(args, 0, 'x')
+		if err != nil {
+			return err
+		}
+		imm, err := immArg(args, 1)
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: rd, Imm: imm})
+	case OpADD, OpSUB, OpMUL, OpAND, OpOR, OpXOR:
+		rd, rs1, rs2, err := reg3(args, 'x')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	case OpBEQ, OpBNE, OpBLT, OpBGE:
+		rs1, rs2, err := reg2(args, 'x', 'x')
+		if err != nil {
+			return err
+		}
+		if len(args) != 3 {
+			return fmt.Errorf("%s needs 3 operands", mn)
+		}
+		if imm, err := strconv.Atoi(args[2]); err == nil {
+			b.Emit(Instr{Op: op, Rs1: rs1, Rs2: rs2, Imm: int32(imm)})
+		} else {
+			b.Branch(op, rs1, rs2, args[2])
+		}
+	case OpJAL:
+		if len(args) != 2 {
+			return fmt.Errorf("jal needs 2 operands")
+		}
+		rd, err := reg(args, 0, 'x')
+		if err != nil {
+			return err
+		}
+		if imm, err := strconv.Atoi(args[1]); err == nil {
+			b.Emit(Instr{Op: op, Rd: rd, Imm: int32(imm)})
+		} else {
+			idx := b.Emit(Instr{Op: op, Rd: rd})
+			if at, ok := b.prog.Labels[args[1]]; ok {
+				b.prog.Instrs[idx].Imm = int32(at - idx)
+			} else {
+				b.pending[args[1]] = append(b.pending[args[1]], idx)
+			}
+		}
+	case OpHALT:
+		b.Emit(Instr{Op: OpHALT})
+	case OpLW, OpFLW:
+		cls := byte('x')
+		if op == OpFLW {
+			cls = 'f'
+		}
+		rd, base, imm, err := regMem(args, cls)
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: rd, Rs1: base, Imm: imm})
+	case OpSW, OpFSW:
+		cls := byte('x')
+		if op == OpFSW {
+			cls = 'f'
+		}
+		src, base, imm, err := regMem(args, cls)
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rs2: src, Rs1: base, Imm: imm})
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV, OpFMIN, OpFMAX:
+		rd, rs1, rs2, err := reg3(args, 'f')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	case OpFSQRT:
+		rd, rs1, err := reg2(args, 'f', 'f')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: rd, Rs1: rs1})
+	case OpFLI:
+		rd, err := reg(args, 0, 'f')
+		if err != nil {
+			return err
+		}
+		if len(args) != 2 {
+			return fmt.Errorf("fli needs 2 operands")
+		}
+		v, err := strconv.ParseFloat(args[1], 32)
+		if err != nil {
+			return fmt.Errorf("bad float %q", args[1])
+		}
+		b.Emit(FLI(rd, float32(v)))
+	case OpFMVXF:
+		rd, rs1, err := reg2(args, 'x', 'f')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: rd, Rs1: rs1})
+	case OpFMVFX:
+		rd, rs1, err := reg2(args, 'f', 'x')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: rd, Rs1: rs1})
+	case OpSETVL:
+		rd, rs1, err := reg2(args, 'x', 'x')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: rd, Rs1: rs1})
+	case OpVLE32:
+		vd, base, err := vecMem(args)
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: vd, Rs1: base})
+	case OpVSE32:
+		vs, base, err := vecMem(args)
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rs2: vs, Rs1: base})
+	case OpVLSE32:
+		vd, base, stride, err := vecMemStride(args)
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: vd, Rs1: base, Rs2: stride})
+	case OpVSSE32:
+		vs, base, stride, err := vecMemStride(args)
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Funct: vs, Rs1: base, Rs2: stride})
+	case OpVADD, OpVSUB, OpVMUL, OpVDIV, OpVMAX, OpVMIN, OpVMACC:
+		rd, rs1, rs2, err := reg3(args, 'v')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+	case OpVADDVF, OpVSUBVF, OpVRSUBVF, OpVMULVF, OpVMAXVF, OpVMACCVF:
+		if len(args) != 3 {
+			return fmt.Errorf("%s needs 3 operands", mn)
+		}
+		vd, err := reg(args, 0, 'v')
+		if err != nil {
+			return err
+		}
+		vs1, err := reg(args, 1, 'v')
+		if err != nil {
+			return err
+		}
+		fs2, err := reg(args, 2, 'f')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: vd, Rs1: vs1, Rs2: fs2})
+	case OpVBCAST:
+		vd, fs, err := reg2(args, 'v', 'f')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: vd, Rs1: fs})
+	case OpVMV:
+		vd, vs, err := reg2(args, 'v', 'v')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: vd, Rs1: vs})
+	case OpVREDSUM, OpVREDMAX:
+		fd, vs, err := reg2(args, 'f', 'v')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: fd, Rs1: vs})
+	case OpMVIN, OpMVOUT:
+		r1, r2, err := reg2(args, 'x', 'x')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rs1: r1, Rs2: r2})
+	case OpWAITDMA:
+		r1, err := reg(args, 0, 'x')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rs1: r1})
+	case OpWVPUSH, OpIVPUSH:
+		v, err := reg(args, 0, 'v')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rs1: v})
+	case OpVPOP:
+		v, err := reg(args, 0, 'v')
+		if err != nil {
+			return err
+		}
+		b.Emit(Instr{Op: op, Rd: v})
+	default:
+		return fmt.Errorf("mnemonic %q not assemblable", mn)
+	}
+	return nil
+}
+
+var nameToOp = func() map[string]Op {
+	m := make(map[string]Op, opCount)
+	for op := Op(1); op < opCount; op++ {
+		m[op.String()] = op
+	}
+	return m
+}()
+
+func opByName(name string) (Op, bool) {
+	op, ok := nameToOp[name]
+	return op, ok
+}
+
+func sfuByName(name string) (uint8, error) {
+	for i, n := range sfuNames {
+		if n == name {
+			return uint8(i), nil
+		}
+	}
+	return 0, fmt.Errorf("unknown SFU function %q", name)
+}
+
+func reg(args []string, i int, class byte) (uint8, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing operand %d", i)
+	}
+	return parseReg(args[i], class)
+}
+
+func parseReg(s string, class byte) (uint8, error) {
+	s = strings.Trim(s, "()")
+	if len(s) < 2 || s[0] != class {
+		return 0, fmt.Errorf("expected %c-register, got %q", class, s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= 32 {
+		return 0, fmt.Errorf("bad register %q", s)
+	}
+	return uint8(n), nil
+}
+
+func reg2(args []string, c1, c2 byte) (uint8, uint8, error) {
+	if len(args) < 2 {
+		return 0, 0, fmt.Errorf("need 2 register operands")
+	}
+	a, err := parseReg(args[0], c1)
+	if err != nil {
+		return 0, 0, err
+	}
+	b, err := parseReg(args[1], c2)
+	if err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+func reg3(args []string, class byte) (uint8, uint8, uint8, error) {
+	if len(args) != 3 {
+		return 0, 0, 0, fmt.Errorf("need 3 register operands")
+	}
+	a, err := parseReg(args[0], class)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	b, err := parseReg(args[1], class)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	c, err := parseReg(args[2], class)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return a, b, c, nil
+}
+
+func regRegImm(args []string, c1, c2 byte) (uint8, uint8, int32, error) {
+	if len(args) != 3 {
+		return 0, 0, 0, fmt.Errorf("need reg, reg, imm")
+	}
+	a, err := parseReg(args[0], c1)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	b, err := parseReg(args[1], c2)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	imm, err := immArg(args, 2)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return a, b, imm, nil
+}
+
+func immArg(args []string, i int) (int32, error) {
+	if i >= len(args) {
+		return 0, fmt.Errorf("missing immediate")
+	}
+	v, err := strconv.ParseInt(args[i], 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", args[i])
+	}
+	if v < math.MinInt32 || v > math.MaxInt32 {
+		return 0, fmt.Errorf("immediate %d out of 32-bit range", v)
+	}
+	return int32(v), nil
+}
+
+// regMem parses "rN, imm(xM)" memory operand syntax.
+func regMem(args []string, class byte) (uint8, uint8, int32, error) {
+	if len(args) != 2 {
+		return 0, 0, 0, fmt.Errorf("need reg, imm(base)")
+	}
+	r, err := parseReg(args[0], class)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	open := strings.Index(args[1], "(")
+	close := strings.Index(args[1], ")")
+	if open < 0 || close < open {
+		return 0, 0, 0, fmt.Errorf("bad memory operand %q", args[1])
+	}
+	var imm int64
+	if open > 0 {
+		imm, err = strconv.ParseInt(args[1][:open], 0, 32)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("bad offset in %q", args[1])
+		}
+	}
+	base, err := parseReg(args[1][open+1:close], 'x')
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return r, base, int32(imm), nil
+}
+
+// vecMem parses "vN, (xM)".
+func vecMem(args []string) (uint8, uint8, error) {
+	if len(args) != 2 {
+		return 0, 0, fmt.Errorf("need vreg, (base)")
+	}
+	v, err := parseReg(args[0], 'v')
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err := parseReg(args[1], 'x')
+	if err != nil {
+		return 0, 0, err
+	}
+	return v, base, nil
+}
+
+// vecMemStride parses "vN, (xM), xS".
+func vecMemStride(args []string) (uint8, uint8, uint8, error) {
+	if len(args) != 3 {
+		return 0, 0, 0, fmt.Errorf("need vreg, (base), stride")
+	}
+	v, err := parseReg(args[0], 'v')
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	base, err := parseReg(args[1], 'x')
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	stride, err := parseReg(args[2], 'x')
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return v, base, stride, nil
+}

@@ -1,0 +1,71 @@
+package isa
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary encoding: each instruction occupies one 64-bit word, stored as two
+// little-endian 32-bit halves. NPUs commonly use wide instruction formats
+// (TPUv1 used even wider CISC words); a 64-bit word lets the full 32-bit
+// immediate (including FLI float bit patterns and large DMA strides) ride in
+// the second half without constant islands.
+//
+//	half 0: [0:8) opcode  [8:13) rd  [13:18) rs1  [18:23) rs2  [23:31) funct  [31] reserved
+//	half 1: imm (two's complement)
+
+// WordBytes is the size of one encoded instruction in bytes.
+const WordBytes = 8
+
+// Encode packs one instruction into its 64-bit representation.
+func Encode(in Instr) uint64 {
+	lo := uint32(in.Op) | uint32(in.Rd)<<8 | uint32(in.Rs1)<<13 | uint32(in.Rs2)<<18 | uint32(in.Funct)<<23
+	return uint64(lo) | uint64(uint32(in.Imm))<<32
+}
+
+// Decode unpacks a 64-bit word into an instruction.
+func Decode(w uint64) (Instr, error) {
+	lo := uint32(w)
+	in := Instr{
+		Op:    Op(lo & 0xff),
+		Rd:    uint8(lo >> 8 & 0x1f),
+		Rs1:   uint8(lo >> 13 & 0x1f),
+		Rs2:   uint8(lo >> 18 & 0x1f),
+		Funct: uint8(lo >> 23 & 0xff),
+		Imm:   int32(uint32(w >> 32)),
+	}
+	if lo>>31 != 0 {
+		return Instr{}, fmt.Errorf("isa: reserved bit set in word %#x", w)
+	}
+	if err := in.Validate(); err != nil {
+		return Instr{}, err
+	}
+	return in, nil
+}
+
+// EncodeProgram serializes a whole program to machine code bytes.
+func EncodeProgram(p *Program) []byte {
+	out := make([]byte, 0, len(p.Instrs)*WordBytes)
+	var buf [WordBytes]byte
+	for _, in := range p.Instrs {
+		binary.LittleEndian.PutUint64(buf[:], Encode(in))
+		out = append(out, buf[:]...)
+	}
+	return out
+}
+
+// DecodeProgram parses machine code bytes back into a program.
+func DecodeProgram(name string, code []byte) (*Program, error) {
+	if len(code)%WordBytes != 0 {
+		return nil, fmt.Errorf("isa: code length %d is not a multiple of %d", len(code), WordBytes)
+	}
+	p := &Program{Name: name, Labels: map[string]int{}}
+	for off := 0; off < len(code); off += WordBytes {
+		in, err := Decode(binary.LittleEndian.Uint64(code[off:]))
+		if err != nil {
+			return nil, fmt.Errorf("isa: at offset %d: %w", off, err)
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+	return p, nil
+}

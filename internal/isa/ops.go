@@ -1,0 +1,219 @@
+// Package isa defines the custom RISC-V-style NPU instruction set described
+// in §3.4 of the paper: a scalar base, an RVV-like vector extension, SFU
+// instructions for transcendental functions, tensor DMA instructions
+// (config/mvin/mvout), and the VCIX-style systolic-array interface
+// (wvpush/ivpush/vpop). It also provides a binary encoder/decoder and a
+// two-way text assembler.
+package isa
+
+import "fmt"
+
+// Op enumerates every instruction of the NPU ISA.
+type Op uint8
+
+const (
+	// OpInvalid is the zero Op; executing it is an error.
+	OpInvalid Op = iota
+
+	// --- Scalar integer (RV-like base) ---
+	OpADDI // rd = rs1 + imm
+	OpADD  // rd = rs1 + rs2
+	OpSUB  // rd = rs1 - rs2
+	OpMUL  // rd = rs1 * rs2
+	OpSLLI // rd = rs1 << imm
+	OpSRLI // rd = uint64(rs1) >> imm
+	OpAND  // rd = rs1 & rs2
+	OpOR   // rd = rs1 | rs2
+	OpXOR  // rd = rs1 ^ rs2
+	OpLUI  // rd = imm << 12
+
+	// --- Control flow ---
+	OpBEQ  // if rs1 == rs2: pc += imm (in instructions)
+	OpBNE  // if rs1 != rs2: pc += imm
+	OpBLT  // if rs1 <  rs2: pc += imm
+	OpBGE  // if rs1 >= rs2: pc += imm
+	OpJAL  // rd = pc+1; pc += imm
+	OpHALT // stop execution
+
+	// --- Scalar memory (scratchpad or DRAM-mapped) ---
+	OpLW // rd = int32 at [rs1 + imm]
+	OpSW // [rs1 + imm] = rs2 (low 32 bits)
+
+	// --- Scalar float ---
+	OpFLW   // fd = float32 at [rs1 + imm]
+	OpFSW   // [rs1 + imm] = fs2
+	OpFADD  // fd = fs1 + fs2
+	OpFSUB  // fd = fs1 - fs2
+	OpFMUL  // fd = fs1 * fs2
+	OpFDIV  // fd = fs1 / fs2
+	OpFSQRT // fd = sqrt(fs1)
+	OpFMIN  // fd = min(fs1, fs2)
+	OpFMAX  // fd = max(fs1, fs2)
+	OpFLI   // fd = float32 immediate (encoded as a trailing literal word)
+	OpFMVXF // rd = int64(round(fs1)) -- move/convert float to int reg
+	OpFMVFX // fd = float32(rs1)      -- move/convert int reg to float
+
+	// --- Vector configuration ---
+	OpSETVL // rd = VL = min(rs1, VLEN)
+
+	// --- Vector memory ---
+	OpVLE32  // vd = VL consecutive float32 at [rs1]
+	OpVSE32  // [rs1] = VL consecutive float32 from vs2 (vector field Rd)
+	OpVLSE32 // strided load: vd[i] = [rs1 + i*rs2]
+	OpVSSE32 // strided store: [rs1 + i*rs2] = vsrc[i]
+
+	// --- Vector arithmetic (vector-vector) ---
+	OpVADD  // vd = vs1 + vs2
+	OpVSUB  // vd = vs1 - vs2
+	OpVMUL  // vd = vs1 * vs2
+	OpVDIV  // vd = vs1 / vs2
+	OpVMAX  // vd = max(vs1, vs2)
+	OpVMIN  // vd = min(vs1, vs2)
+	OpVMACC // vd += vs1 * vs2
+
+	// --- Vector arithmetic (vector-scalar float) ---
+	OpVADDVF  // vd = vs1 + fs2
+	OpVSUBVF  // vd = vs1 - fs2
+	OpVRSUBVF // vd = fs2 - vs1
+	OpVMULVF  // vd = vs1 * fs2
+	OpVMAXVF  // vd = max(vs1, fs2)
+	OpVMACCVF // vd += vs1 * fs2
+	OpVBCAST  // vd[i] = fs1 for all i
+	OpVMV     // vd = vs1
+
+	// --- Vector reductions (into scalar float regs) ---
+	OpVREDSUM // fd = sum(vs1[0:VL])
+	OpVREDMAX // fd = max(vs1[0:VL])
+
+	// --- SFU (special function unit), Fig. 3(e) ---
+	OpSFU // vd = sfu[funct](vs1); funct selects the function
+
+	// --- Tensor DMA (Fig. 3(a)-(b)) ---
+	OpCONFIG  // configure DMA: funct selects which descriptor fields rs1/rs2 set
+	OpMVIN    // start DMA DRAM[rs1] -> SPAD[rs2] using current config
+	OpMVOUT   // start DMA SPAD[rs2] -> DRAM[rs1] using current config
+	OpWAITDMA // block until outstanding DMAs with tag rs1 complete (rs1=x0: all)
+
+	// --- Systolic array via VCIX-like interface (Fig. 3(c)-(d)) ---
+	OpWVPUSH // push vs1[0:VL] as the next weight row into the SA serializer
+	OpIVPUSH // push vs1[0:VL] as the next input row into the SA serializer
+	OpVPOP   // vd = next output row from the SA deserializer
+
+	opCount // sentinel
+)
+
+// SFU function selectors (the Funct field of an OpSFU instruction).
+const (
+	SFUExp uint8 = iota
+	SFUTanh
+	SFURecip
+	SFURsqrt
+	SFUGelu
+	SFUSigmoid
+	SFULog
+	SFUSqrt
+	sfuCount
+)
+
+// CONFIG selectors (the Funct field of an OpCONFIG instruction), mirroring
+// the four config instructions of Fig. 3(b).
+const (
+	// ConfigShape: rs1 = rows, rs2 = cols of the 2-D tile to transfer.
+	ConfigShape uint8 = iota
+	// ConfigStride: rs1 = DRAM row stride (bytes), rs2 = SPAD row stride (bytes).
+	ConfigStride
+	// ConfigFlags: rs1 bit0 = transpose, bits[8:16] = element size (bytes),
+	// rs2 = interleave granularity across vector-unit scratchpad banks.
+	ConfigFlags
+	// ConfigOuter: rs1 = outer-dimension count, rs2 = outer-dimension DRAM
+	// stride (bytes) -- the third/fourth dims of the 4-D DMA engine (§3.6.3).
+	ConfigOuter
+)
+
+var opNames = [opCount]string{
+	OpInvalid: "invalid",
+	OpADDI:    "addi", OpADD: "add", OpSUB: "sub", OpMUL: "mul",
+	OpSLLI: "slli", OpSRLI: "srli", OpAND: "and", OpOR: "or", OpXOR: "xor", OpLUI: "lui",
+	OpBEQ: "beq", OpBNE: "bne", OpBLT: "blt", OpBGE: "bge", OpJAL: "jal", OpHALT: "halt",
+	OpLW: "lw", OpSW: "sw",
+	OpFLW: "flw", OpFSW: "fsw", OpFADD: "fadd", OpFSUB: "fsub", OpFMUL: "fmul",
+	OpFDIV: "fdiv", OpFSQRT: "fsqrt", OpFMIN: "fmin", OpFMAX: "fmax", OpFLI: "fli",
+	OpFMVXF: "fmv.x.f", OpFMVFX: "fmv.f.x",
+	OpSETVL: "setvl",
+	OpVLE32: "vle32", OpVSE32: "vse32", OpVLSE32: "vlse32", OpVSSE32: "vsse32",
+	OpVADD: "vadd", OpVSUB: "vsub", OpVMUL: "vmul", OpVDIV: "vdiv",
+	OpVMAX: "vmax", OpVMIN: "vmin", OpVMACC: "vmacc",
+	OpVADDVF: "vadd.vf", OpVSUBVF: "vsub.vf", OpVRSUBVF: "vrsub.vf",
+	OpVMULVF: "vmul.vf", OpVMAXVF: "vmax.vf", OpVMACCVF: "vmacc.vf",
+	OpVBCAST: "vbcast", OpVMV: "vmv",
+	OpVREDSUM: "vredsum", OpVREDMAX: "vredmax",
+	OpSFU:    "sfu",
+	OpCONFIG: "config", OpMVIN: "mvin", OpMVOUT: "mvout", OpWAITDMA: "waitdma",
+	OpWVPUSH: "wvpush", OpIVPUSH: "ivpush", OpVPOP: "vpop",
+}
+
+// String returns the assembler mnemonic.
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+var sfuNames = [sfuCount]string{"exp", "tanh", "recip", "rsqrt", "gelu", "sigmoid", "log", "sqrt"}
+
+// SFUName returns the mnemonic suffix for an SFU function selector.
+func SFUName(f uint8) string {
+	if int(f) < len(sfuNames) {
+		return sfuNames[f]
+	}
+	return fmt.Sprintf("sfu%d", f)
+}
+
+// Class groups ops by the functional unit that executes them; the timing
+// model dispatches on this.
+type Class uint8
+
+const (
+	ClassScalar    Class = iota // scalar ALU / control flow
+	ClassScalarMem              // scalar loads/stores
+	ClassFloat                  // scalar FPU
+	ClassVector                 // vector ALU
+	ClassVectorMem              // vector loads/stores (scratchpad)
+	ClassSFU                    // special function unit
+	ClassDMA                    // DMA engine commands
+	ClassSA                     // systolic array interface
+)
+
+// ClassOf returns the functional-unit class of op.
+func ClassOf(op Op) Class {
+	switch op {
+	case OpLW, OpSW, OpFLW, OpFSW:
+		return ClassScalarMem
+	case OpFADD, OpFSUB, OpFMUL, OpFDIV, OpFSQRT, OpFMIN, OpFMAX, OpFLI, OpFMVXF, OpFMVFX:
+		return ClassFloat
+	case OpVLE32, OpVSE32, OpVLSE32, OpVSSE32:
+		return ClassVectorMem
+	case OpVADD, OpVSUB, OpVMUL, OpVDIV, OpVMAX, OpVMIN, OpVMACC,
+		OpVADDVF, OpVSUBVF, OpVRSUBVF, OpVMULVF, OpVMAXVF, OpVMACCVF,
+		OpVBCAST, OpVMV, OpVREDSUM, OpVREDMAX, OpSETVL:
+		return ClassVector
+	case OpSFU:
+		return ClassSFU
+	case OpCONFIG, OpMVIN, OpMVOUT, OpWAITDMA:
+		return ClassDMA
+	case OpWVPUSH, OpIVPUSH, OpVPOP:
+		return ClassSA
+	default:
+		return ClassScalar
+	}
+}
+
+// IsBranch reports whether op may redirect control flow.
+func IsBranch(op Op) bool {
+	switch op {
+	case OpBEQ, OpBNE, OpBLT, OpBGE, OpJAL:
+		return true
+	}
+	return false
+}

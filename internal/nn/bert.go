@@ -1,0 +1,148 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// BERTConfig parameterizes Transformer encoder construction. Sequences are
+// flattened to (Batch*Seq, Hidden) 2-D tensors throughout — the NSH layout
+// the paper uses for Transformers (§3.6.3).
+type BERTConfig struct {
+	Name   string
+	Batch  int
+	Seq    int
+	Hidden int
+	Heads  int
+	Layers int
+	FFN    int // feed-forward inner dimension
+}
+
+// BERTBaseConfig is BERT-base: 12 layers, hidden 768, 12 heads.
+func BERTBaseConfig(batch, seq int) BERTConfig {
+	return BERTConfig{Name: "bert-base", Batch: batch, Seq: seq, Hidden: 768, Heads: 12, Layers: 12, FFN: 3072}
+}
+
+// BERTLargeConfig is BERT-large: 24 layers, hidden 1024, 16 heads.
+func BERTLargeConfig(batch, seq int) BERTConfig {
+	return BERTConfig{Name: "bert-large", Batch: batch, Seq: seq, Hidden: 1024, Heads: 16, Layers: 24, FFN: 4096}
+}
+
+// BERTSmallConfig is a scaled-down encoder for functional tests.
+func BERTSmallConfig(batch, seq int) BERTConfig {
+	return BERTConfig{Name: "bert-small", Batch: batch, Seq: seq, Hidden: 32, Heads: 2, Layers: 2, FFN: 64}
+}
+
+// BERT builds a Transformer encoder graph. Attention is expressed per head
+// with separate projection parameters (mathematically identical to slicing
+// a fused projection, and it keeps the graph IR 2-D). The per-head context
+// outputs are combined through per-head output projections summed together,
+// which equals the usual concat-then-project formulation.
+func BERT(cfg BERTConfig) *Model {
+	if cfg.Hidden%cfg.Heads != 0 {
+		panic("nn: hidden must be divisible by heads")
+	}
+	g := graph.New(cfg.Name)
+	tokens := cfg.Batch * cfg.Seq
+	dHead := cfg.Hidden / cfg.Heads
+
+	x := g.Input("x", tokens, cfg.Hidden)
+	cur := x
+
+	mm := func(name string, a *graph.Node, w *graph.Node, m, n int) *graph.Node {
+		return g.Add(&graph.Node{Op: graph.OpMatMul, Name: name, Inputs: []int{a.ID, w.ID}, Shape: []int{m, n}})
+	}
+	add := func(name string, a, b *graph.Node) *graph.Node {
+		return g.Add(&graph.Node{Op: graph.OpAdd, Name: name, Inputs: []int{a.ID, b.ID}, Shape: append([]int(nil), a.Shape...)})
+	}
+
+	for l := 0; l < cfg.Layers; l++ {
+		p := func(s string) string { return fmt.Sprintf("l%d_%s", l, s) }
+		// --- Multi-head self-attention ---
+		var attnOut *graph.Node
+		for h := 0; h < cfg.Heads; h++ {
+			hp := func(s string) string { return fmt.Sprintf("l%d_h%d_%s", l, h, s) }
+			wq := g.Param(hp("wq"), cfg.Hidden, dHead)
+			wk := g.Param(hp("wk"), cfg.Hidden, dHead)
+			wv := g.Param(hp("wv"), cfg.Hidden, dHead)
+			q := mm(hp("q"), cur, wq, tokens, dHead)
+			k := mm(hp("k"), cur, wk, tokens, dHead)
+			v := mm(hp("v"), cur, wv, tokens, dHead)
+			// scores = Q @ K^T / sqrt(dHead)  (per batch=1 stream: tokens x tokens)
+			scores := g.Add(&graph.Node{
+				Op: graph.OpMatMulTB, Name: hp("scores"),
+				Inputs: []int{q.ID, k.ID}, Shape: []int{tokens, tokens},
+			})
+			scaled := g.Add(&graph.Node{
+				Op: graph.OpScale, Name: hp("scaled"), ScaleF: 1 / sqrtf(dHead),
+				Inputs: []int{scores.ID}, Shape: []int{tokens, tokens},
+			})
+			probs := g.Add(&graph.Node{
+				Op: graph.OpSoftmax, Name: hp("probs"),
+				Inputs: []int{scaled.ID}, Shape: []int{tokens, tokens},
+			})
+			ctx := mm(hp("ctx"), probs, v, tokens, dHead)
+			wo := g.Param(hp("wo"), dHead, cfg.Hidden)
+			proj := mm(hp("proj"), ctx, wo, tokens, cfg.Hidden)
+			if attnOut == nil {
+				attnOut = proj
+			} else {
+				attnOut = add(hp("headsum"), attnOut, proj)
+			}
+		}
+		bo := g.Param(p("attn_b"), cfg.Hidden)
+		attnOut = g.Add(&graph.Node{
+			Op: graph.OpBiasAdd, Name: p("attn_bias"),
+			Inputs: []int{attnOut.ID, bo.ID}, Shape: []int{tokens, cfg.Hidden},
+		})
+		// Residual + LayerNorm.
+		res1 := add(p("res1"), attnOut, cur)
+		g1 := g.Param(p("ln1_gamma"), cfg.Hidden)
+		b1 := g.Param(p("ln1_beta"), cfg.Hidden)
+		ln1 := g.Add(&graph.Node{
+			Op: graph.OpLayerNorm, Name: p("ln1"),
+			Inputs: []int{res1.ID, g1.ID, b1.ID}, Shape: []int{tokens, cfg.Hidden},
+		})
+		// --- Feed-forward ---
+		w1 := g.Param(p("ffn_w1"), cfg.Hidden, cfg.FFN)
+		bf1 := g.Param(p("ffn_b1"), cfg.FFN)
+		f1 := mm(p("ffn1"), ln1, w1, tokens, cfg.FFN)
+		f1b := g.Add(&graph.Node{
+			Op: graph.OpBiasAdd, Name: p("ffn1b"),
+			Inputs: []int{f1.ID, bf1.ID}, Shape: []int{tokens, cfg.FFN},
+		})
+		act := g.Add(&graph.Node{
+			Op: graph.OpGELU, Name: p("gelu"),
+			Inputs: []int{f1b.ID}, Shape: []int{tokens, cfg.FFN},
+		})
+		w2 := g.Param(p("ffn_w2"), cfg.FFN, cfg.Hidden)
+		bf2 := g.Param(p("ffn_b2"), cfg.Hidden)
+		f2 := mm(p("ffn2"), act, w2, tokens, cfg.Hidden)
+		f2b := g.Add(&graph.Node{
+			Op: graph.OpBiasAdd, Name: p("ffn2b"),
+			Inputs: []int{f2.ID, bf2.ID}, Shape: []int{tokens, cfg.Hidden},
+		})
+		res2 := add(p("res2"), f2b, ln1)
+		g2 := g.Param(p("ln2_gamma"), cfg.Hidden)
+		b2 := g.Param(p("ln2_beta"), cfg.Hidden)
+		cur = g.Add(&graph.Node{
+			Op: graph.OpLayerNorm, Name: p("ln2"),
+			Inputs: []int{res2.ID, g2.ID, b2.ID}, Shape: []int{tokens, cfg.Hidden},
+		})
+	}
+	g.Outputs = []int{cur.ID}
+	m := newModel(cfg.Name, g)
+	m.OutputID = cur.ID
+	return m
+}
+
+func sqrtf(n int) float32 {
+	x := float32(n)
+	// Newton iterations are plenty for parameter-count sized ints.
+	z := x / 2
+	for i := 0; i < 20; i++ {
+		z -= (z*z - x) / (2 * z)
+	}
+	return z
+}

@@ -1,0 +1,50 @@
+package nn
+
+import "repro/internal/graph"
+
+// MLPConfig parameterizes the training-study MLP (§5.5: 28x28 inputs,
+// hidden dimension 256, 10 classes).
+type MLPConfig struct {
+	Batch, In, Hidden, Classes int
+}
+
+// DefaultMLP is the paper's Fig. 10 configuration.
+func DefaultMLP(batch int) MLPConfig {
+	return MLPConfig{Batch: batch, In: 28 * 28, Hidden: 256, Classes: 10}
+}
+
+// MLP builds the inference graph: x -> fc1 -> relu -> fc2 -> logits.
+func MLP(cfg MLPConfig) *Model {
+	g := graph.New("mlp")
+	x := g.Input("x", cfg.Batch, cfg.In)
+	w1 := g.Param("w1", cfg.In, cfg.Hidden)
+	b1 := g.Param("b1", cfg.Hidden)
+	w2 := g.Param("w2", cfg.Hidden, cfg.Classes)
+	b2 := g.Param("b2", cfg.Classes)
+	h1 := g.Add(&graph.Node{Op: graph.OpMatMul, Name: "fc1", Inputs: []int{x.ID, w1.ID}, Shape: []int{cfg.Batch, cfg.Hidden}})
+	h1b := g.Add(&graph.Node{Op: graph.OpBiasAdd, Name: "fc1b", Inputs: []int{h1.ID, b1.ID}, Shape: []int{cfg.Batch, cfg.Hidden}})
+	a1 := g.Add(&graph.Node{Op: graph.OpReLU, Name: "act1", Inputs: []int{h1b.ID}, Shape: []int{cfg.Batch, cfg.Hidden}})
+	h2 := g.Add(&graph.Node{Op: graph.OpMatMul, Name: "fc2", Inputs: []int{a1.ID, w2.ID}, Shape: []int{cfg.Batch, cfg.Classes}})
+	logits := g.Add(&graph.Node{Op: graph.OpBiasAdd, Name: "logits", Inputs: []int{h2.ID, b2.ID}, Shape: []int{cfg.Batch, cfg.Classes}})
+	g.Outputs = []int{logits.ID}
+	m := newModel("mlp", g)
+	m.OutputID = logits.ID
+	return m
+}
+
+// MLPWithLoss builds the training graph: MLP followed by softmax
+// cross-entropy against a labels input. It returns the model and the loss
+// node ID (the input for autograd.Build).
+func MLPWithLoss(cfg MLPConfig) (*Model, int) {
+	m := MLP(cfg)
+	g := m.Graph
+	labels := g.Input("labels", cfg.Batch)
+	loss := g.Add(&graph.Node{
+		Op: graph.OpSoftmaxCE, Name: "loss",
+		Inputs:  []int{m.OutputID, labels.ID},
+		Shape:   []int{1},
+		Classes: cfg.Classes,
+	})
+	g.Outputs = []int{loss.ID}
+	return m, loss.ID
+}

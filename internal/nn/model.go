@@ -1,0 +1,95 @@
+// Package nn builds the evaluation models of the paper (§4.1) as captured
+// graphs: an MLP (the Fig. 10 training study), ResNet-18/50, and
+// BERT-base/large with 512-token sequences. Builders are parameterized so
+// unit tests can run scaled-down variants functionally while the benchmark
+// harness compiles the full-size graphs for timing.
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// Model bundles a captured graph with its parameter shapes.
+type Model struct {
+	Name       string
+	Graph      *graph.Graph
+	OutputID   int
+	InputName  string
+	InputShape []int
+	// ParamShapes lists every parameter's shape by name, in declaration
+	// order, so parameters can be initialized lazily (full BERT-large
+	// weights are only materialized when a functional run needs them).
+	ParamShapes map[string][]int
+	ParamOrder  []string
+}
+
+func newModel(name string, g *graph.Graph) *Model {
+	m := &Model{Name: name, Graph: g, ParamShapes: map[string][]int{}}
+	for _, n := range g.Nodes {
+		if n.Op == graph.OpParam {
+			m.ParamShapes[n.Name] = n.Shape
+			m.ParamOrder = append(m.ParamOrder, n.Name)
+		}
+		if n.Op == graph.OpInput && m.InputName == "" {
+			m.InputName = n.Name
+			m.InputShape = n.Shape
+		}
+	}
+	return m
+}
+
+// ParamBytes returns the total parameter footprint in bytes.
+func (m *Model) ParamBytes() int64 {
+	var total int64
+	for _, s := range m.ParamShapes {
+		total += int64(tensor.NumElements(s)) * 4
+	}
+	return total
+}
+
+// InitParams materializes all parameters with deterministic Xavier-style
+// initialization and binds them (plus nothing else) into a fresh Env.
+func (m *Model) InitParams(seed uint64) *graph.Env {
+	r := tensor.NewRNG(seed)
+	env := graph.NewEnv()
+	for _, name := range m.ParamOrder {
+		shape := m.ParamShapes[name]
+		switch len(shape) {
+		case 1:
+			env.Set(name, tensor.New(shape...)) // biases/betas start at zero
+		case 2:
+			env.Set(name, tensor.XavierInit(r, shape[0], shape[1]))
+		default:
+			fanIn := 1
+			for _, d := range shape[1:] {
+				fanIn *= d
+			}
+			std := float32(1) / float32(fanIn)
+			env.Set(name, tensor.RandNormal(r, 0, std, shape...))
+		}
+	}
+	// Norm scales start at one, not zero.
+	for _, name := range m.ParamOrder {
+		if len(m.ParamShapes[name]) == 1 && (hasSuffix(name, "gamma") || hasSuffix(name, "scale")) {
+			env.Set(name, tensor.Full(1, m.ParamShapes[name]...))
+		}
+	}
+	return env
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// uniqueNamer hands out collision-free node/param names.
+type uniqueNamer struct{ counts map[string]int }
+
+func newNamer() *uniqueNamer { return &uniqueNamer{counts: map[string]int{}} }
+
+func (u *uniqueNamer) name(prefix string) string {
+	u.counts[prefix]++
+	return fmt.Sprintf("%s%d", prefix, u.counts[prefix])
+}

@@ -1,0 +1,157 @@
+package nn
+
+import (
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// ResNetConfig parameterizes ResNet construction. Blocks gives the block
+// count per stage; Bottleneck selects basic (ResNet-18/34) vs bottleneck
+// (ResNet-50+) blocks.
+type ResNetConfig struct {
+	Name       string
+	Batch      int
+	InputHW    int // input spatial size (224 for ImageNet-style)
+	Classes    int
+	Blocks     [4]int
+	Bottleneck bool
+}
+
+// ResNet18Config returns the standard ResNet-18 configuration.
+func ResNet18Config(batch int) ResNetConfig {
+	return ResNetConfig{Name: "resnet18", Batch: batch, InputHW: 224, Classes: 1000, Blocks: [4]int{2, 2, 2, 2}}
+}
+
+// ResNet50Config returns the standard ResNet-50 configuration.
+func ResNet50Config(batch int) ResNetConfig {
+	return ResNetConfig{Name: "resnet50", Batch: batch, InputHW: 224, Classes: 1000, Blocks: [4]int{3, 4, 6, 3}, Bottleneck: true}
+}
+
+// resnetBuilder carries shared state while emitting the graph.
+type resnetBuilder struct {
+	g     *graph.Graph
+	names *uniqueNamer
+	batch int
+}
+
+// conv emits conv2d + folded-BN scale/shift (+ optional ReLU) and returns
+// the node and output spatial size.
+func (rb *resnetBuilder) conv(x *graph.Node, inC, outC, hw, k, stride, pad int, relu bool) (*graph.Node, int) {
+	cs := tensor.ConvShape{N: rb.batch, C: inC, H: hw, W: hw, K: outC, KH: k, KW: k, Stride: stride, Pad: pad}
+	name := rb.names.name("conv")
+	w := rb.g.Param(name+"_w", outC, inC, k, k)
+	out := rb.g.Add(&graph.Node{
+		Op: graph.OpConv2D, Name: name, Inputs: []int{x.ID, w.ID},
+		Conv: cs, Shape: []int{rb.batch, outC, cs.OutH(), cs.OutW()},
+	})
+	gamma := rb.g.Param(name+"_gamma", outC)
+	beta := rb.g.Param(name+"_beta", outC)
+	out = rb.g.Add(&graph.Node{
+		Op: graph.OpScaleShift, Name: name + "_bn",
+		Inputs: []int{out.ID, gamma.ID, beta.ID},
+		Shape:  append([]int(nil), out.Shape...),
+	})
+	if relu {
+		out = rb.g.Add(&graph.Node{
+			Op: graph.OpReLU, Name: name + "_relu",
+			Inputs: []int{out.ID}, Shape: append([]int(nil), out.Shape...),
+		})
+	}
+	return out, cs.OutH()
+}
+
+// basicBlock is the ResNet-18/34 residual block.
+func (rb *resnetBuilder) basicBlock(x *graph.Node, inC, outC, hw, stride int) (*graph.Node, int) {
+	y, hw2 := rb.conv(x, inC, outC, hw, 3, stride, 1, true)
+	y, _ = rb.conv(y, outC, outC, hw2, 3, 1, 1, false)
+	short := x
+	if stride != 1 || inC != outC {
+		short, _ = rb.conv(x, inC, outC, hw, 1, stride, 0, false)
+	}
+	sum := rb.g.Add(&graph.Node{
+		Op: graph.OpAdd, Name: rb.names.name("res"),
+		Inputs: []int{y.ID, short.ID}, Shape: append([]int(nil), y.Shape...),
+	})
+	out := rb.g.Add(&graph.Node{
+		Op: graph.OpReLU, Name: rb.names.name("resrelu"),
+		Inputs: []int{sum.ID}, Shape: append([]int(nil), sum.Shape...),
+	})
+	return out, hw2
+}
+
+// bottleneckBlock is the ResNet-50+ residual block (1x1 -> 3x3 -> 1x1 with
+// 4x channel expansion).
+func (rb *resnetBuilder) bottleneckBlock(x *graph.Node, inC, midC, hw, stride int) (*graph.Node, int) {
+	outC := midC * 4
+	y, _ := rb.conv(x, inC, midC, hw, 1, 1, 0, true)
+	y, hw2 := rb.conv(y, midC, midC, hw, 3, stride, 1, true)
+	y, _ = rb.conv(y, midC, outC, hw2, 1, 1, 0, false)
+	short := x
+	if stride != 1 || inC != outC {
+		short, _ = rb.conv(x, inC, outC, hw, 1, stride, 0, false)
+	}
+	sum := rb.g.Add(&graph.Node{
+		Op: graph.OpAdd, Name: rb.names.name("res"),
+		Inputs: []int{y.ID, short.ID}, Shape: append([]int(nil), y.Shape...),
+	})
+	out := rb.g.Add(&graph.Node{
+		Op: graph.OpReLU, Name: rb.names.name("resrelu"),
+		Inputs: []int{sum.ID}, Shape: append([]int(nil), sum.Shape...),
+	})
+	return out, hw2
+}
+
+// ResNet builds the full network graph for the given configuration.
+func ResNet(cfg ResNetConfig) *Model {
+	g := graph.New(cfg.Name)
+	rb := &resnetBuilder{g: g, names: newNamer(), batch: cfg.Batch}
+	x := g.Input("x", cfg.Batch, 3, cfg.InputHW, cfg.InputHW)
+
+	// Stem: 7x7/2 conv + 3x3/2 maxpool.
+	y, hw := rb.conv(x, 3, 64, cfg.InputHW, 7, 2, 3, true)
+	pooledHW := (hw-3)/2 + 1
+	y = g.Add(&graph.Node{
+		Op: graph.OpMaxPool, Name: "stem_pool", Inputs: []int{y.ID},
+		Window: 3, Stride: 2, Shape: []int{cfg.Batch, 64, pooledHW, pooledHW},
+	})
+	hw = pooledHW
+
+	stageChannels := [4]int{64, 128, 256, 512}
+	inC := 64
+	for stage := 0; stage < 4; stage++ {
+		c := stageChannels[stage]
+		for blk := 0; blk < cfg.Blocks[stage]; blk++ {
+			stride := 1
+			if blk == 0 && stage > 0 {
+				stride = 2
+			}
+			if cfg.Bottleneck {
+				y, hw = rb.bottleneckBlock(y, inC, c, hw, stride)
+				inC = c * 4
+			} else {
+				y, hw = rb.basicBlock(y, inC, c, hw, stride)
+				inC = c
+			}
+		}
+	}
+
+	// Head: global average pool + fully connected.
+	pooled := g.Add(&graph.Node{
+		Op: graph.OpAvgPool, Name: "gap", Inputs: []int{y.ID},
+		Shape: []int{cfg.Batch, inC},
+	})
+	wfc := g.Param("fc_w", inC, cfg.Classes)
+	bfc := g.Param("fc_b", cfg.Classes)
+	fc := g.Add(&graph.Node{
+		Op: graph.OpMatMul, Name: "fc", Inputs: []int{pooled.ID, wfc.ID},
+		Shape: []int{cfg.Batch, cfg.Classes},
+	})
+	logits := g.Add(&graph.Node{
+		Op: graph.OpBiasAdd, Name: "logits", Inputs: []int{fc.ID, bfc.ID},
+		Shape: []int{cfg.Batch, cfg.Classes},
+	})
+	g.Outputs = []int{logits.ID}
+	m := newModel(cfg.Name, g)
+	m.OutputID = logits.ID
+	return m
+}

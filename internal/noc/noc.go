@@ -1,0 +1,378 @@
+// Package noc models the on-chip interconnect between NPU cores and memory
+// channels. Two models are provided, matching the paper's evaluation
+// (§4.1): SN, a simple latency-bandwidth model, and CN, a cycle-accurate
+// input-queued crossbar with flit-granularity transfers, per-output
+// round-robin allocation, and bounded queues (the Booksim role).
+package noc
+
+import "fmt"
+
+// Message is one network transfer between ports (a memory request or
+// response payload).
+type Message struct {
+	Src, Dst int
+	Bytes    int
+	Tag      int64
+	Arrive   int64
+	Finish   int64
+}
+
+// Network is the interface shared by both models.
+type Network interface {
+	Submit(m *Message) bool
+	Tick()
+	Completed() []*Message
+	Cycle() int64
+	Pending() int
+	// SetPortWidth configures a port's bandwidth in flits per cycle.
+	SetPortWidth(port, width int)
+}
+
+// --- SN: simple latency + bandwidth model ---------------------------------
+
+// Simple models each port pair as a fixed-latency link with per-port
+// serialization bandwidth of FlitBytes per cycle.
+type Simple struct {
+	FlitBytes int
+	Latency   int64
+
+	cycle int64
+	// srcClock tracks each source port's occupancy in flit-time units
+	// (cycle * width + flits), so wide ports move many single-flit
+	// messages per cycle. Receive ports are ideal (never the bottleneck in
+	// this model — CN models them).
+	srcClock map[int]int64
+	width    map[int]int          // flits per cycle per port (default 1)
+	byFinish map[int64][]*Message // delivery buckets keyed by finish cycle
+	pending  int
+	done     []*Message
+}
+
+// NewSimple returns the SN model.
+func NewSimple(flitBytes int, latency int64) *Simple {
+	if flitBytes <= 0 {
+		panic("noc: non-positive flit size")
+	}
+	return &Simple{
+		FlitBytes: flitBytes,
+		Latency:   latency,
+		srcClock:  map[int]int64{},
+		width:     map[int]int{},
+		byFinish:  map[int64][]*Message{},
+	}
+}
+
+// Cycle returns the current cycle.
+func (s *Simple) Cycle() int64 { return s.cycle }
+
+// SetPortWidth sets a port's bandwidth in flits per cycle (a core's memory
+// interface spans every channel, so its port is many flits wide).
+func (s *Simple) SetPortWidth(port, width int) {
+	if width < 1 {
+		width = 1
+	}
+	s.width[port] = width
+}
+
+func (s *Simple) portWidth(port int) int {
+	if w, ok := s.width[port]; ok {
+		return w
+	}
+	return 1
+}
+
+// Submit schedules a message: its flits serialize through the source
+// port's flit clock (width flits per cycle); delivery happens Latency
+// cycles after the last flit leaves.
+func (s *Simple) Submit(m *Message) bool {
+	m.Arrive = s.cycle
+	flits := int64((m.Bytes + s.FlitBytes - 1) / s.FlitBytes)
+	if flits == 0 {
+		flits = 1
+	}
+	w := int64(s.portWidth(m.Src))
+	startFlit := s.cycle * w
+	if t := s.srcClock[m.Src]; t > startFlit {
+		startFlit = t
+	}
+	endFlit := startFlit + flits
+	s.srcClock[m.Src] = endFlit
+	txDone := (endFlit + w - 1) / w
+	arrive := txDone + s.Latency
+	m.Finish = arrive
+	slot := arrive
+	if slot <= s.cycle {
+		slot = s.cycle + 1
+	}
+	s.byFinish[slot] = append(s.byFinish[slot], m)
+	s.pending++
+	return true
+}
+
+// Tick advances one cycle, delivering due messages.
+func (s *Simple) Tick() {
+	s.cycle++
+	if ms, ok := s.byFinish[s.cycle]; ok {
+		s.done = append(s.done, ms...)
+		s.pending -= len(ms)
+		delete(s.byFinish, s.cycle)
+	}
+}
+
+// Completed drains delivered messages.
+func (s *Simple) Completed() []*Message {
+	out := s.done
+	s.done = nil
+	return out
+}
+
+// Pending returns undelivered message count.
+func (s *Simple) Pending() int { return s.pending + len(s.done) }
+
+// --- CN: cycle-accurate input-queued crossbar ------------------------------
+
+type flit struct {
+	msg  *Message
+	last bool
+}
+
+type inputPort struct {
+	queue []flit
+}
+
+// Crossbar is an input-queued crossbar switch: each input port holds a flit
+// FIFO; every cycle a round-robin allocator grants each output port to at
+// most one requesting input (head-of-line), and each input sends at most one
+// flit. Messages are delivered when their tail flit leaves the switch plus
+// the pipeline latency.
+type Crossbar struct {
+	FlitBytes int
+	Latency   int64 // switch pipeline traversal latency
+	QueueCap  int   // per-input queue capacity in flits
+
+	width    map[int]int // flits per cycle per port (default 1)
+	maxWidth int
+
+	cycle   int64
+	inputs  map[int]*inputPort
+	rrNext  map[int]int // per-output round-robin pointer over input ids
+	inIDs   []int       // stable order of known input ports
+	pending map[*Message]int
+	done    []*Message
+	delayed []*Message // waiting out the pipeline latency
+
+	// Scratch reused across ticks to avoid per-cycle allocation.
+	reqScratch map[int][]int
+	reqOuts    []int
+	idIndex    map[int]int // input id -> position in inIDs
+	granted    []bool      // per input index, reused per tick
+
+	// Stats.
+	FlitsSwitched  int64
+	AllocConflicts int64
+}
+
+// NewCrossbar returns the CN model.
+func NewCrossbar(flitBytes int, latency int64, queueCap int) *Crossbar {
+	if queueCap <= 0 {
+		queueCap = 64
+	}
+	return &Crossbar{
+		FlitBytes: flitBytes,
+		Latency:   latency,
+		QueueCap:  queueCap,
+		width:     map[int]int{},
+		maxWidth:  1,
+		inputs:    map[int]*inputPort{},
+		rrNext:    map[int]int{},
+		pending:   map[*Message]int{},
+	}
+}
+
+// Cycle returns the current cycle.
+func (x *Crossbar) Cycle() int64 { return x.cycle }
+
+// SetPortWidth sets a port's bandwidth in flits per cycle, for both its
+// input and output sides.
+func (x *Crossbar) SetPortWidth(port, width int) {
+	if width < 1 {
+		width = 1
+	}
+	x.width[port] = width
+	if width > x.maxWidth {
+		x.maxWidth = width
+	}
+}
+
+func (x *Crossbar) portWidth(port int) int {
+	if w, ok := x.width[port]; ok {
+		return w
+	}
+	return 1
+}
+
+func (x *Crossbar) input(id int) *inputPort {
+	p, ok := x.inputs[id]
+	if !ok {
+		p = &inputPort{}
+		x.inputs[id] = p
+		if x.idIndex == nil {
+			x.idIndex = map[int]int{}
+		}
+		x.idIndex[id] = len(x.inIDs)
+		x.inIDs = append(x.inIDs, id)
+		x.granted = append(x.granted, false)
+	}
+	return p
+}
+
+// Submit enqueues a message's flits at its source port. It returns false if
+// the input queue lacks space for all flits (caller retries).
+func (x *Crossbar) Submit(m *Message) bool {
+	flits := (m.Bytes + x.FlitBytes - 1) / x.FlitBytes
+	if flits == 0 {
+		flits = 1
+	}
+	p := x.input(m.Src)
+	if len(p.queue)+flits > x.QueueCap {
+		return false
+	}
+	m.Arrive = x.cycle
+	for i := 0; i < flits; i++ {
+		p.queue = append(p.queue, flit{msg: m, last: i == flits-1})
+	}
+	x.pending[m] = flits
+	return true
+}
+
+// Tick performs one cycle of switch allocation: per-port input/output
+// capacities equal the configured port widths; allocation runs in passes,
+// each granting at most one flit per (input, output) pair round-robin.
+func (x *Crossbar) Tick() {
+	x.cycle++
+	if x.reqScratch == nil {
+		x.reqScratch = map[int][]int{}
+	}
+	// Remaining per-port capacities this cycle.
+	inCap := make(map[int]int, len(x.inIDs))
+	outCap := map[int]int{}
+	for _, id := range x.inIDs {
+		inCap[id] = x.portWidth(id)
+	}
+	for pass := 0; pass < x.maxWidth; pass++ {
+		// Collect head-of-line requests per output among inputs with
+		// remaining capacity and queued flits.
+		for _, out := range x.reqOuts {
+			x.reqScratch[out] = x.reqScratch[out][:0]
+		}
+		x.reqOuts = x.reqOuts[:0]
+		reqs := x.reqScratch
+		any := false
+		for _, id := range x.inIDs {
+			p := x.inputs[id]
+			if len(p.queue) == 0 || inCap[id] <= 0 {
+				continue
+			}
+			dst := p.queue[0].msg.Dst
+			if _, ok := outCap[dst]; !ok {
+				outCap[dst] = x.portWidth(dst)
+			}
+			if outCap[dst] <= 0 {
+				continue
+			}
+			if len(reqs[dst]) == 0 {
+				x.reqOuts = append(x.reqOuts, dst)
+			}
+			reqs[dst] = append(reqs[dst], id)
+			any = true
+		}
+		if !any {
+			break
+		}
+		for i := range x.granted {
+			x.granted[i] = false
+		}
+		for _, out := range x.reqOuts {
+			ins := reqs[out]
+			if pass == 0 && len(ins) > 1 {
+				x.AllocConflicts += int64(len(ins) - 1)
+			}
+			// Round-robin among the requesting inputs: choose the one
+			// closest after rrNext[out] in inIDs order.
+			start := x.rrNext[out]
+			n := len(x.inIDs)
+			pick, best := -1, n+1
+			for _, rid := range ins {
+				idx := x.idIndex[rid]
+				if x.granted[idx] {
+					continue
+				}
+				score := idx - start
+				if score <= 0 {
+					score += n
+				}
+				if score < best {
+					best, pick = score, idx
+				}
+			}
+			if pick < 0 {
+				continue
+			}
+			id := x.inIDs[pick]
+			x.granted[pick] = true
+			x.rrNext[out] = pick
+			inCap[id]--
+			outCap[out]--
+			p := x.inputs[id]
+			f := p.queue[0]
+			p.queue = p.queue[1:]
+			x.FlitsSwitched++
+			x.pending[f.msg]--
+			if f.last {
+				f.msg.Finish = x.cycle + x.Latency
+				delete(x.pending, f.msg)
+				x.delayed = append(x.delayed, f.msg)
+			}
+		}
+	}
+	// Deliver messages whose pipeline latency elapsed.
+	rem := x.delayed[:0]
+	for _, m := range x.delayed {
+		if m.Finish <= x.cycle {
+			x.done = append(x.done, m)
+		} else {
+			rem = append(rem, m)
+		}
+	}
+	x.delayed = rem
+}
+
+// Completed drains delivered messages.
+func (x *Crossbar) Completed() []*Message {
+	out := x.done
+	x.done = nil
+	return out
+}
+
+// Pending returns messages not yet delivered.
+func (x *Crossbar) Pending() int {
+	return len(x.pending) + len(x.delayed) + len(x.done)
+}
+
+var (
+	_ Network = (*Simple)(nil)
+	_ Network = (*Crossbar)(nil)
+)
+
+// Drain runs net until empty (test/benchmark helper).
+func Drain(n Network) []*Message {
+	var out []*Message
+	for guard := 0; n.Pending() > 0; guard++ {
+		if guard > 50_000_000 {
+			panic(fmt.Sprintf("noc: drain did not converge (%d pending)", n.Pending()))
+		}
+		n.Tick()
+		out = append(out, n.Completed()...)
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+// Package npu defines the NPU hardware configuration (core organization,
+// scratchpad, DMA engine descriptors, memory abstraction) shared by the
+// functional simulator, the core timing simulator, and TOGSim.
+package npu
+
+// CoreConfig describes one NPU core (Fig. 2 of the paper): scalar unit,
+// N vector units of L lanes each, one or more weight-stationary systolic
+// arrays behind a VCIX-like interface, a software-managed scratchpad, and a
+// transpose-capable multi-dimensional DMA engine.
+type CoreConfig struct {
+	NumVectorUnits int // vector units per core
+	LanesPerUnit   int // 32-bit lanes per vector unit
+	SARows         int // systolic array rows (weight depth)
+	SACols         int // systolic array columns (output width)
+	NumSAs         int // systolic arrays per core
+	SpadBytes      int // scratchpad capacity per core
+	DesFIFORows    int // SA deserializer capacity in output rows
+
+	// Latencies (cycles) of the in-order pipeline's functional units.
+	ScalarLatency int
+	FloatLatency  int
+	VectorLatency int // base latency of a vector ALU op
+	SFULatency    int // special-function unit latency
+	MemLatency    int // scratchpad access latency
+}
+
+// VLEN returns the maximum logical vector length in 32-bit elements
+// (all vector units operate in lockstep on one logical register).
+func (c CoreConfig) VLEN() int { return c.NumVectorUnits * c.LanesPerUnit }
+
+// VectorThroughput returns elements processed per cycle by the vector ALUs.
+func (c CoreConfig) VectorThroughput() int { return c.VLEN() }
+
+// MACsPerCycle returns peak MACs per cycle across the core's SAs.
+func (c CoreConfig) MACsPerCycle() int64 {
+	return int64(c.SARows) * int64(c.SACols) * int64(c.NumSAs)
+}
+
+// MemConfig describes the off-chip memory system (an HBM2-like stack set).
+type MemConfig struct {
+	Channels       int   // independent channels (pseudo-channels)
+	BanksPerChan   int   // banks per channel
+	RowBytes       int   // row-buffer size in bytes
+	BurstBytes     int   // bytes transferred per column access (burst)
+	FreqMHz        int   // memory controller clock
+	TCL, TRCD, TRP int   // timing in controller cycles
+	TRAS, TWR      int   // timing in controller cycles
+	TREFI, TRFC    int   // refresh interval / refresh cycle time (0 = no refresh)
+	BytesPerSec    int64 // peak aggregate bandwidth (derived, for SN model)
+}
+
+// NoCConfig describes the on-chip interconnect.
+type NoCConfig struct {
+	FlitBytes    int // flit width (paper: 256-bit = 32 bytes)
+	LatencyCycle int // base traversal latency of the crossbar (SN model)
+	Radix        int // ports (cores + memory channels)
+}
+
+// Config is a full NPU: multiple cores sharing the memory system through the
+// interconnect.
+type Config struct {
+	Name    string
+	Cores   int
+	FreqMHz int // core clock
+	Core    CoreConfig
+	Mem     MemConfig
+	NoC     NoCConfig
+}
+
+// TPUv3Config returns the Google TPUv3-like configuration used for the
+// paper's accuracy validation (§4.1): per core two 128x128 SAs, 128 vector
+// units x 16 lanes, 16 MiB scratchpad, 940 MHz; 4 HBM2 stacks totalling
+// 960 GB/s; crossbar NoC with 256-bit flits. DRAM timing parameters are the
+// paper's tCL/tRCD/tRAS/tWR/tRP = 8/8/18/8/8 ns converted at 940 MHz
+// (~1.064 ns/cycle).
+func TPUv3Config() Config {
+	return Config{
+		Name:    "tpuv3",
+		Cores:   2,
+		FreqMHz: 940,
+		Core: CoreConfig{
+			NumVectorUnits: 128,
+			LanesPerUnit:   16,
+			SARows:         128,
+			SACols:         128,
+			NumSAs:         2,
+			SpadBytes:      16 << 20,
+			DesFIFORows:    256, // MXU results drain into a deep accumulator FIFO
+			ScalarLatency:  1,
+			FloatLatency:   4,
+			VectorLatency:  2,
+			SFULatency:     8,
+			MemLatency:     2,
+		},
+		Mem: MemConfig{
+			// 4 HBM2 stacks x 8 pseudo-channels; 32 B/cycle per channel at
+			// 940 MHz gives the paper's 960 GB/s aggregate, and matches the
+			// NoC's 256-bit (32 B) flit so neither side artificially caps
+			// the other.
+			Channels:     32,
+			BanksPerChan: 16,
+			RowBytes:     2048,
+			BurstBytes:   32,
+			FreqMHz:      940,
+			TCL:          8, TRCD: 8, TRP: 8, TRAS: 17, TWR: 8, // ~ns at 940MHz
+			TREFI: 3660, TRFC: 330, // ~3.9 us / ~350 ns at 940 MHz
+			BytesPerSec: 960e9,
+		},
+		NoC: NoCConfig{FlitBytes: 32, LatencyCycle: 4, Radix: 18},
+	}
+}
+
+// SmallConfig returns a scaled-down NPU used by unit tests: an 8x8 SA,
+// 4 vector units x 4 lanes, 64 KiB scratchpad, and a 2-channel memory
+// system. Behaviourally identical to TPUv3Config, just small enough for
+// exhaustive testing.
+func SmallConfig() Config {
+	return Config{
+		Name:    "small",
+		Cores:   1,
+		FreqMHz: 1000,
+		Core: CoreConfig{
+			NumVectorUnits: 4,
+			LanesPerUnit:   4,
+			SARows:         8,
+			SACols:         8,
+			NumSAs:         1,
+			SpadBytes:      64 << 10,
+			DesFIFORows:    64,
+			ScalarLatency:  1,
+			FloatLatency:   4,
+			VectorLatency:  2,
+			SFULatency:     8,
+			MemLatency:     2,
+		},
+		Mem: MemConfig{
+			Channels:     2,
+			BanksPerChan: 4,
+			RowBytes:     512,
+			BurstBytes:   32,
+			FreqMHz:      1000,
+			TCL:          8, TRCD: 8, TRP: 8, TRAS: 18, TWR: 8,
+			BytesPerSec: 32e9,
+		},
+		NoC: NoCConfig{FlitBytes: 32, LatencyCycle: 2, Radix: 4},
+	}
+}

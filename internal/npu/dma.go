@@ -1,0 +1,172 @@
+package npu
+
+import "fmt"
+
+// DMADesc is a multi-dimensional DMA descriptor, the state programmed by the
+// four CONFIG instructions (Fig. 3(b)) and consumed by mvin/mvout. It
+// describes Outer blocks of Rows x Cols elements; the engine also supports
+// an implicit transpose (§3.3.3) used by the layout optimizations (§3.6.3).
+type DMADesc struct {
+	Rows, Cols  int  // 2-D tile shape in elements
+	DRAMStride  int  // bytes between consecutive tile rows in DRAM
+	SpadStride  int  // bytes between consecutive tile rows in scratchpad
+	ElemBytes   int  // element size (4 for float32)
+	Transpose   bool // store the tile transposed on the scratchpad side
+	Interleave  int  // scratchpad bank interleave granularity (modelled as metadata)
+	Outer       int  // outer-dimension repeat count (4-D DMA, §3.6.3)
+	OuterStride int  // bytes between outer blocks on the DRAM side
+}
+
+// Normalize fills in defaults for unset fields (zero values become the
+// natural single-tile descriptor).
+func (d DMADesc) Normalize() DMADesc {
+	if d.ElemBytes == 0 {
+		d.ElemBytes = 4
+	}
+	if d.Rows == 0 {
+		d.Rows = 1
+	}
+	if d.Cols == 0 {
+		d.Cols = 1
+	}
+	if d.DRAMStride == 0 {
+		d.DRAMStride = d.Cols * d.ElemBytes
+	}
+	if d.SpadStride == 0 {
+		if d.Transpose {
+			d.SpadStride = d.Rows * d.ElemBytes
+		} else {
+			d.SpadStride = d.Cols * d.ElemBytes
+		}
+	}
+	if d.Outer == 0 {
+		d.Outer = 1
+	}
+	if d.OuterStride == 0 {
+		d.OuterStride = d.Rows * d.DRAMStride
+	}
+	return d
+}
+
+// TotalBytes returns the number of payload bytes the descriptor moves.
+func (d DMADesc) TotalBytes() int {
+	n := d.Normalize()
+	return n.Outer * n.Rows * n.Cols * n.ElemBytes
+}
+
+// SpadBlockBytes returns scratchpad bytes consumed per outer block.
+func (d DMADesc) SpadBlockBytes() int {
+	n := d.Normalize()
+	if n.Transpose {
+		return n.Cols * n.SpadStride
+	}
+	return n.Rows * n.SpadStride
+}
+
+// Validate rejects descriptors the hardware cannot express.
+func (d DMADesc) Validate() error {
+	n := d.Normalize()
+	if n.Rows <= 0 || n.Cols <= 0 || n.Outer <= 0 {
+		return fmt.Errorf("npu: DMA descriptor with non-positive dims %+v", n)
+	}
+	if n.ElemBytes != 4 {
+		return fmt.Errorf("npu: only 4-byte elements supported, got %d", n.ElemBytes)
+	}
+	if n.DRAMStride < n.Cols*n.ElemBytes {
+		return fmt.Errorf("npu: DRAM stride %d smaller than row bytes %d", n.DRAMStride, n.Cols*n.ElemBytes)
+	}
+	return nil
+}
+
+// RunIn functionally executes an mvin: DRAM -> scratchpad.
+func (d DMADesc) RunIn(dram *PagedMem, spad *Scratchpad, dramAddr, spadAddr uint64) error {
+	n := d.Normalize()
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	for o := 0; o < n.Outer; o++ {
+		dBase := dramAddr + uint64(o*n.OuterStride)
+		sBase := spadAddr + uint64(o*n.spadOuterBytes())
+		for r := 0; r < n.Rows; r++ {
+			for c := 0; c < n.Cols; c++ {
+				v := dram.LoadW(dBase + uint64(r*n.DRAMStride+c*n.ElemBytes))
+				spad.StoreW(sBase+n.spadOffset(r, c), v)
+			}
+		}
+	}
+	return nil
+}
+
+// RunOut functionally executes an mvout: scratchpad -> DRAM.
+func (d DMADesc) RunOut(dram *PagedMem, spad *Scratchpad, dramAddr, spadAddr uint64) error {
+	n := d.Normalize()
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	for o := 0; o < n.Outer; o++ {
+		dBase := dramAddr + uint64(o*n.OuterStride)
+		sBase := spadAddr + uint64(o*n.spadOuterBytes())
+		for r := 0; r < n.Rows; r++ {
+			for c := 0; c < n.Cols; c++ {
+				v := spad.LoadW(sBase + n.spadOffset(r, c))
+				dram.StoreW(dBase+uint64(r*n.DRAMStride+c*n.ElemBytes), v)
+			}
+		}
+	}
+	return nil
+}
+
+// spadOffset maps tile coordinates to the scratchpad-side byte offset,
+// applying the implicit transpose if configured.
+func (d DMADesc) spadOffset(r, c int) uint64 {
+	if d.Transpose {
+		return uint64(c*d.SpadStride + r*d.ElemBytes)
+	}
+	return uint64(r*d.SpadStride + c*d.ElemBytes)
+}
+
+func (d DMADesc) spadOuterBytes() int {
+	if d.Transpose {
+		return d.Cols * d.SpadStride
+	}
+	return d.Rows * d.SpadStride
+}
+
+// DRAMRanges returns the list of contiguous DRAM byte ranges the descriptor
+// touches starting at dramAddr. TOGSim expands these into memory-system
+// requests at burst granularity.
+type Range struct {
+	Addr  uint64
+	Bytes int
+}
+
+// DRAMRanges enumerates per-row contiguous ranges (rows with contiguous
+// strides are coalesced into larger ranges).
+func (d DMADesc) DRAMRanges(dramAddr uint64) []Range {
+	n := d.Normalize()
+	rowBytes := n.Cols * n.ElemBytes
+	var out []Range
+	for o := 0; o < n.Outer; o++ {
+		base := dramAddr + uint64(o*n.OuterStride)
+		if n.DRAMStride == rowBytes {
+			out = append(out, Range{Addr: base, Bytes: rowBytes * n.Rows})
+			continue
+		}
+		for r := 0; r < n.Rows; r++ {
+			out = append(out, Range{Addr: base + uint64(r*n.DRAMStride), Bytes: rowBytes})
+		}
+	}
+	// Coalesce adjacent ranges (outer blocks may abut).
+	merged := out[:0]
+	for _, rg := range out {
+		if len(merged) > 0 {
+			last := &merged[len(merged)-1]
+			if last.Addr+uint64(last.Bytes) == rg.Addr {
+				last.Bytes += rg.Bytes
+				continue
+			}
+		}
+		merged = append(merged, rg)
+	}
+	return merged
+}

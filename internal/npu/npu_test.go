@@ -1,0 +1,250 @@
+package npu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+	"repro/internal/tensor"
+)
+
+func TestConfigsSane(t *testing.T) {
+	for _, cfg := range []Config{TPUv3Config(), SmallConfig()} {
+		if cfg.Cores <= 0 || cfg.FreqMHz <= 0 {
+			t.Fatalf("%s: bad top-level config", cfg.Name)
+		}
+		if cfg.Core.VLEN() <= 0 || cfg.Core.MACsPerCycle() <= 0 {
+			t.Fatalf("%s: bad core config", cfg.Name)
+		}
+		if cfg.Mem.Channels <= 0 || cfg.Mem.BytesPerSec <= 0 {
+			t.Fatalf("%s: bad mem config", cfg.Name)
+		}
+	}
+	tpu := TPUv3Config()
+	if tpu.Core.VLEN() != 2048 {
+		t.Fatalf("TPUv3 VLEN = %d, want 2048 (128 units x 16 lanes)", tpu.Core.VLEN())
+	}
+	if tpu.Core.MACsPerCycle() != 2*128*128 {
+		t.Fatalf("TPUv3 MACs/cycle = %d", tpu.Core.MACsPerCycle())
+	}
+	if tpu.Core.SpadBytes != 16<<20 {
+		t.Fatalf("TPUv3 scratchpad = %d", tpu.Core.SpadBytes)
+	}
+}
+
+func TestPagedMemRoundTrip(t *testing.T) {
+	m := NewPagedMem()
+	m.StoreW(0, 42)
+	m.StoreW(1<<30, 7) // far page
+	if m.LoadW(0) != 42 || m.LoadW(1<<30) != 7 {
+		t.Fatal("paged mem round trip failed")
+	}
+	if m.LoadW(4096) != 0 {
+		t.Fatal("untouched memory must read 0")
+	}
+	m.StoreF(8, 3.5)
+	if m.LoadF(8) != 3.5 {
+		t.Fatal("float round trip failed")
+	}
+}
+
+func TestPagedMemFloatsBulk(t *testing.T) {
+	m := NewPagedMem()
+	vals := []float32{1, 2, 3, 4, 5}
+	m.WriteFloats(100<<10, vals)
+	got := m.ReadFloats(100<<10, 5)
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Fatalf("bulk floats mismatch at %d", i)
+		}
+	}
+}
+
+func TestUnalignedAccessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on unaligned access")
+		}
+	}()
+	NewPagedMem().LoadW(2)
+}
+
+func TestScratchpadBounds(t *testing.T) {
+	s := NewScratchpad(1024)
+	s.StoreF(isa.SpadBase+4, 9)
+	if s.LoadF(isa.SpadBase+4) != 9 {
+		t.Fatal("scratchpad round trip failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range scratchpad access")
+		}
+	}()
+	s.LoadW(isa.SpadBase + 2048)
+}
+
+func TestScratchpadRejectsLowAddress(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for DRAM address on scratchpad")
+		}
+	}()
+	NewScratchpad(1024).LoadW(64)
+}
+
+func TestAddressSpaceRouting(t *testing.T) {
+	as := AddressSpace{DRAM: NewPagedMem(), Spad: NewScratchpad(4096)}
+	as.StoreF(16, 1.5)
+	as.StoreF(isa.SpadBase+16, 2.5)
+	if as.LoadF(16) != 1.5 {
+		t.Fatal("DRAM routing failed")
+	}
+	if as.LoadF(isa.SpadBase+16) != 2.5 {
+		t.Fatal("scratchpad routing failed")
+	}
+	if as.DRAM.LoadF(16) != 1.5 || as.Spad.LoadF(isa.SpadBase+16) != 2.5 {
+		t.Fatal("underlying memories not written")
+	}
+}
+
+func TestDMADescNormalizeDefaults(t *testing.T) {
+	d := DMADesc{Rows: 4, Cols: 8}.Normalize()
+	if d.ElemBytes != 4 || d.DRAMStride != 32 || d.SpadStride != 32 || d.Outer != 1 {
+		t.Fatalf("Normalize defaults wrong: %+v", d)
+	}
+	if d.TotalBytes() != 4*8*4 {
+		t.Fatalf("TotalBytes = %d", d.TotalBytes())
+	}
+}
+
+func TestDMARunInOutRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
+		stride := cols*4 + 4*r.Intn(4)
+		dram := NewPagedMem()
+		spad := NewScratchpad(64 << 10)
+		src := tensor.RandNormal(r, 0, 1, rows, cols)
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				dram.StoreF(uint64(i*stride+j*4), src.At(i, j))
+			}
+		}
+		d := DMADesc{Rows: rows, Cols: cols, DRAMStride: stride}
+		if d.RunIn(dram, spad, 0, isa.SpadBase) != nil {
+			return false
+		}
+		// Copy back to a different DRAM region and compare.
+		outBase := uint64(1 << 20)
+		if d.RunOut(dram, spad, outBase, isa.SpadBase) != nil {
+			return false
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < cols; j++ {
+				if dram.LoadF(outBase+uint64(i*stride+j*4)) != src.At(i, j) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDMATranspose(t *testing.T) {
+	r := tensor.NewRNG(5)
+	rows, cols := 3, 5
+	src := tensor.RandNormal(r, 0, 1, rows, cols)
+	dram := NewPagedMem()
+	dram.WriteFloats(0, src.Data)
+	spad := NewScratchpad(4096)
+	d := DMADesc{Rows: rows, Cols: cols, Transpose: true}
+	if err := d.RunIn(dram, spad, 0, isa.SpadBase); err != nil {
+		t.Fatal(err)
+	}
+	// The scratchpad now holds the cols x rows transpose.
+	for c := 0; c < cols; c++ {
+		for rr := 0; rr < rows; rr++ {
+			got := spad.LoadF(isa.SpadBase + uint64(c*rows*4+rr*4))
+			if got != src.At(rr, c) {
+				t.Fatalf("transpose mismatch at (%d,%d): %g vs %g", c, rr, got, src.At(rr, c))
+			}
+		}
+	}
+}
+
+func TestDMAOuterBlocks(t *testing.T) {
+	// Two outer blocks of 2x2, separated in DRAM, packed in scratchpad.
+	dram := NewPagedMem()
+	for i := 0; i < 16; i++ {
+		dram.StoreF(uint64(i*4), float32(i))
+	}
+	spad := NewScratchpad(4096)
+	d := DMADesc{Rows: 2, Cols: 2, DRAMStride: 16, Outer: 2, OuterStride: 32}
+	if err := d.RunIn(dram, spad, 0, isa.SpadBase); err != nil {
+		t.Fatal(err)
+	}
+	want := []float32{0, 1, 4, 5, 8, 9, 12, 13}
+	for i, w := range want {
+		if got := spad.LoadF(isa.SpadBase + uint64(i*4)); got != w {
+			t.Fatalf("outer block element %d = %g, want %g", i, got, w)
+		}
+	}
+}
+
+func TestDMAValidate(t *testing.T) {
+	if err := (DMADesc{Rows: 2, Cols: 2, ElemBytes: 2}).Validate(); err == nil {
+		t.Fatal("non-4-byte elements must be rejected")
+	}
+	if err := (DMADesc{Rows: 2, Cols: 4, DRAMStride: 8}).Validate(); err == nil {
+		t.Fatal("stride smaller than row must be rejected")
+	}
+	if err := (DMADesc{Rows: 2, Cols: 2}).Validate(); err != nil {
+		t.Fatalf("valid descriptor rejected: %v", err)
+	}
+}
+
+func TestDMARangesCoalesced(t *testing.T) {
+	// Contiguous rows collapse into one range.
+	d := DMADesc{Rows: 4, Cols: 8}
+	rs := d.DRAMRanges(0)
+	if len(rs) != 1 || rs[0].Bytes != 4*8*4 {
+		t.Fatalf("contiguous ranges not coalesced: %+v", rs)
+	}
+	// Strided rows stay separate.
+	d2 := DMADesc{Rows: 3, Cols: 2, DRAMStride: 64}
+	rs2 := d2.DRAMRanges(100 << 10)
+	if len(rs2) != 3 {
+		t.Fatalf("want 3 strided ranges, got %+v", rs2)
+	}
+	for i, rg := range rs2 {
+		if rg.Addr != uint64(100<<10)+uint64(i*64) || rg.Bytes != 8 {
+			t.Fatalf("range %d wrong: %+v", i, rg)
+		}
+	}
+}
+
+func TestDMARangesTotalMatchesTotalBytes(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		d := DMADesc{
+			Rows:       1 + r.Intn(6),
+			Cols:       1 + r.Intn(6),
+			DRAMStride: 0,
+			Outer:      1 + r.Intn(3),
+		}
+		if r.Intn(2) == 0 {
+			d.DRAMStride = d.Cols*4 + 4*(1+r.Intn(3))
+		}
+		total := 0
+		for _, rg := range d.DRAMRanges(0) {
+			total += rg.Bytes
+		}
+		return total == d.TotalBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/npu"
+	"repro/internal/tog"
+	"repro/internal/togsim"
+)
+
+func TestGenerateDeterministicAndSorted(t *testing.T) {
+	profiles := []Profile{
+		{Model: "a", Count: 10, MeanGap: 100, Arrivals: Poisson},
+		{Model: "b", Count: 5, MeanGap: 300, Arrivals: Uniform},
+	}
+	r1 := Generate(42, profiles)
+	r2 := Generate(42, profiles)
+	if len(r1) != 15 || len(r2) != 15 {
+		t.Fatalf("request counts: %d, %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i] != r2[i] {
+			t.Fatal("generation must be deterministic")
+		}
+		if i > 0 && r1[i].Arrival < r1[i-1].Arrival {
+			t.Fatal("requests must be sorted by arrival")
+		}
+	}
+	// Uniform arrivals are exactly MeanGap apart.
+	var bTimes []int64
+	for _, r := range r1 {
+		if r.Model == "b" {
+			bTimes = append(bTimes, r.Arrival)
+		}
+	}
+	for i := 1; i < len(bTimes); i++ {
+		if bTimes[i]-bTimes[i-1] != 300 {
+			t.Fatalf("uniform gap = %d", bTimes[i]-bTimes[i-1])
+		}
+	}
+}
+
+func TestBatchMergesSameModelWithinWindow(t *testing.T) {
+	reqs := []Request{
+		{Model: "a", Arrival: 0},
+		{Model: "a", Arrival: 10},
+		{Model: "a", Arrival: 20},
+		{Model: "b", Arrival: 25},
+		{Model: "a", Arrival: 30},
+		{Model: "a", Arrival: 500},
+	}
+	batches := Batch(reqs, 100, 4)
+	// a@0..20 merge (b interrupts), then b, then a@30, then a@500.
+	if len(batches) != 4 {
+		t.Fatalf("batches = %+v", batches)
+	}
+	if batches[0].Size != 3 || batches[0].Model != "a" {
+		t.Fatalf("first batch wrong: %+v", batches[0])
+	}
+	if batches[1].Model != "b" || batches[2].Size != 1 || batches[3].Arrival != 500 {
+		t.Fatalf("batching wrong: %+v", batches)
+	}
+	// Max batch size respected.
+	many := make([]Request, 10)
+	for i := range many {
+		many[i] = Request{Model: "a", Arrival: int64(i)}
+	}
+	b2 := Batch(many, 100, 4)
+	if len(b2) != 3 || b2[0].Size != 4 || b2[2].Size != 2 {
+		t.Fatalf("max batch wrong: %+v", b2)
+	}
+}
+
+// fakeCompiled produces compute-only jobs whose length scales with batch.
+type fakeCompiled struct {
+	batch    int
+	compiles *int
+}
+
+func (f fakeCompiled) Job(name string, core, src int) *togsim.Job {
+	b := tog.NewBuilder(name, "x")
+	b.Loop("i", 0, int64(f.batch), 1)
+	b.Compute(tog.UnitSA, 100)
+	b.EndLoop()
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return &togsim.Job{Name: name, TOGs: []*tog.TOG{g}, Bases: []map[string]uint64{{"x": 0}}, Core: core, Src: src}
+}
+
+func TestScheduleCompileCacheAndPolicies(t *testing.T) {
+	compiles := 0
+	compile := func(model string, batch int) (CompiledJob, error) {
+		compiles++
+		return fakeCompiled{batch: batch, compiles: &compiles}, nil
+	}
+	batches := []BatchedRequest{
+		{Model: "a", Arrival: 0, Size: 2},
+		{Model: "b", Arrival: 10, Size: 2},
+		{Model: "a", Arrival: 20, Size: 2},
+		{Model: "b", Arrival: 30, Size: 2},
+	}
+	jobs, err := Schedule(batches, 2, Spatial, compile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiles != 2 {
+		t.Fatalf("TOG cache miss count = %d, want 2 (one per model@batch)", compiles)
+	}
+	// Spatial: model a on even core, model b on odd core.
+	for i, j := range jobs {
+		wantCore := 0
+		if batches[i].Model == "b" {
+			wantCore = 1
+		}
+		if j.Core != wantCore {
+			t.Fatalf("spatial placement wrong: job %d (%s) on core %d", i, batches[i].Model, j.Core)
+		}
+	}
+	// Temporal: round-robin across all cores.
+	jobsT, err := Schedule(batches, 2, Temporal, compile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobsT[0].Core == jobsT[1].Core {
+		t.Fatal("temporal policy should round-robin cores")
+	}
+}
+
+func TestEndToEndScheduledRun(t *testing.T) {
+	compile := func(model string, batch int) (CompiledJob, error) {
+		return fakeCompiled{batch: batch}, nil
+	}
+	reqs := Generate(7, []Profile{
+		{Model: "a", Count: 6, MeanGap: 150, Arrivals: Uniform},
+		{Model: "b", Count: 3, MeanGap: 400, Arrivals: Uniform},
+	})
+	batches := Batch(reqs, 50, 4)
+	cfg := npu.SmallConfig()
+	cfg.Cores = 2
+	jobs, err := Schedule(batches, cfg.Cores, Temporal, compile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := togsim.NewStandard(cfg, togsim.SimpleNet, dram.FRFCFS)
+	res, err := s.Engine.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats := Summarize(jobs, res.Jobs)
+	if len(lats) != 2 {
+		t.Fatalf("latency summaries: %+v", lats)
+	}
+	for _, l := range lats {
+		if l.MeanCycles <= 0 || l.MaxCycles <= 0 {
+			t.Fatalf("bad latency stats: %+v", l)
+		}
+	}
+	// No job may start before its arrival.
+	for i, j := range jobs {
+		if res.Jobs[i].Start < j.Arrival {
+			t.Fatalf("job %d started at %d before arrival %d", i, res.Jobs[i].Start, j.Arrival)
+		}
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	var jobs []*togsim.Job
+	var results []togsim.JobResult
+	// 100 requests with latencies 1..100.
+	for i := 1; i <= 100; i++ {
+		jobs = append(jobs, &togsim.Job{Name: "m#x", Arrival: 0})
+		results = append(results, togsim.JobResult{End: int64(i)})
+	}
+	lats := Summarize(jobs, results)
+	if len(lats) != 1 {
+		t.Fatalf("models = %d", len(lats))
+	}
+	l := lats[0]
+	if l.P50Cycles != 50 || l.P95Cycles != 95 || l.P99Cycles != 99 || l.MaxCycles != 100 {
+		t.Fatalf("percentiles wrong: %+v", l)
+	}
+	if l.MeanCycles < 50 || l.MeanCycles > 51 {
+		t.Fatalf("mean = %f", l.MeanCycles)
+	}
+}

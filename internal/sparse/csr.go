@@ -1,0 +1,227 @@
+// Package sparse implements CSR/CSC sparse matrices and reference
+// sparse-matrix multiplication kernels (SpMM, SpMSpM). These are the numeric
+// substrate for the heterogeneous dense-sparse NPU case study (§5.1 of the
+// paper) and for data-dependent tile latencies in TLS.
+package sparse
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// CSR is a compressed-sparse-row float32 matrix.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32   // len Rows+1
+	ColIdx     []int32   // len NNZ
+	Val        []float32 // len NNZ
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// Density returns NNZ / (Rows*Cols).
+func (m *CSR) Density() float64 {
+	if m.Rows == 0 || m.Cols == 0 {
+		return 0
+	}
+	return float64(m.NNZ()) / (float64(m.Rows) * float64(m.Cols))
+}
+
+// RowNNZ returns the number of non-zeros in row r.
+func (m *CSR) RowNNZ(r int) int { return int(m.RowPtr[r+1] - m.RowPtr[r]) }
+
+// FromDense converts a dense 2-D tensor to CSR, dropping exact zeros.
+func FromDense(t *tensor.Tensor) *CSR {
+	if t.Rank() != 2 {
+		panic(fmt.Sprintf("sparse: FromDense requires a 2-D tensor, got %v", t.Shape))
+	}
+	rows, cols := t.Shape[0], t.Shape[1]
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := t.Data[r*cols+c]
+			if v != 0 {
+				m.ColIdx = append(m.ColIdx, int32(c))
+				m.Val = append(m.Val, v)
+			}
+		}
+		m.RowPtr[r+1] = int32(len(m.Val))
+	}
+	return m
+}
+
+// ToDense converts back to a dense tensor.
+func (m *CSR) ToDense() *tensor.Tensor {
+	out := tensor.New(m.Rows, m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			out.Data[r*m.Cols+int(m.ColIdx[i])] = m.Val[i]
+		}
+	}
+	return out
+}
+
+// Random returns a CSR matrix of the given shape where each element is
+// non-zero with probability density; non-zero values are N(0,1).
+func Random(r *tensor.RNG, rows, cols int, density float64) *CSR {
+	m := &CSR{Rows: rows, Cols: cols, RowPtr: make([]int32, rows+1)}
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if r.Float64() < density {
+				m.ColIdx = append(m.ColIdx, int32(j))
+				v := float32(r.Norm())
+				if v == 0 {
+					v = 1
+				}
+				m.Val = append(m.Val, v)
+			}
+		}
+		m.RowPtr[i+1] = int32(len(m.Val))
+	}
+	return m
+}
+
+// Transpose returns m^T in CSR form (equivalently, m in CSC form).
+func (m *CSR) Transpose() *CSR {
+	t := &CSR{
+		Rows:   m.Cols,
+		Cols:   m.Rows,
+		RowPtr: make([]int32, m.Cols+1),
+		ColIdx: make([]int32, m.NNZ()),
+		Val:    make([]float32, m.NNZ()),
+	}
+	// Count entries per output row (= input column).
+	counts := make([]int32, m.Cols)
+	for _, c := range m.ColIdx {
+		counts[c]++
+	}
+	for i := 0; i < m.Cols; i++ {
+		t.RowPtr[i+1] = t.RowPtr[i] + counts[i]
+	}
+	next := make([]int32, m.Cols)
+	copy(next, t.RowPtr[:m.Cols])
+	for r := 0; r < m.Rows; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			c := m.ColIdx[i]
+			dst := next[c]
+			t.ColIdx[dst] = int32(r)
+			t.Val[dst] = m.Val[i]
+			next[c]++
+		}
+	}
+	return t
+}
+
+// SubMatrix extracts the dense-coordinates block [r0:r1) x [c0:c1) as a new
+// CSR matrix (tile extraction for tiled sparse kernels).
+func (m *CSR) SubMatrix(r0, r1, c0, c1 int) *CSR {
+	if r0 < 0 || r1 > m.Rows || c0 < 0 || c1 > m.Cols || r0 > r1 || c0 > c1 {
+		panic(fmt.Sprintf("sparse: SubMatrix bounds [%d:%d)x[%d:%d) invalid for %dx%d", r0, r1, c0, c1, m.Rows, m.Cols))
+	}
+	sub := &CSR{Rows: r1 - r0, Cols: c1 - c0, RowPtr: make([]int32, r1-r0+1)}
+	for r := r0; r < r1; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			c := int(m.ColIdx[i])
+			if c >= c0 && c < c1 {
+				sub.ColIdx = append(sub.ColIdx, int32(c-c0))
+				sub.Val = append(sub.Val, m.Val[i])
+			}
+		}
+		sub.RowPtr[r-r0+1] = int32(len(sub.Val))
+	}
+	return sub
+}
+
+// SpMM multiplies sparse m by dense d (Rows x Cols) x (Cols x N) -> dense.
+func SpMM(m *CSR, d *tensor.Tensor) *tensor.Tensor {
+	if d.Rank() != 2 || d.Shape[0] != m.Cols {
+		panic(fmt.Sprintf("sparse: SpMM dims mismatch %dx%d x %v", m.Rows, m.Cols, d.Shape))
+	}
+	n := d.Shape[1]
+	out := tensor.New(m.Rows, n)
+	for r := 0; r < m.Rows; r++ {
+		orow := out.Data[r*n : (r+1)*n]
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			k := int(m.ColIdx[i])
+			v := m.Val[i]
+			drow := d.Data[k*n : (k+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += v * drow[j]
+			}
+		}
+	}
+	return out
+}
+
+// SpMSpM multiplies two sparse matrices using a row-wise (Gustavson)
+// formulation and returns the sparse product. It also serves as the
+// functional reference for the sparse-core simulator.
+func SpMSpM(a, b *CSR) *CSR {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("sparse: SpMSpM dims mismatch %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	out := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int32, a.Rows+1)}
+	acc := make([]float32, b.Cols)
+	touched := make([]int32, 0, b.Cols)
+	seen := make([]bool, b.Cols)
+	for r := 0; r < a.Rows; r++ {
+		touched = touched[:0]
+		for i := a.RowPtr[r]; i < a.RowPtr[r+1]; i++ {
+			k := int(a.ColIdx[i])
+			av := a.Val[i]
+			for j := b.RowPtr[k]; j < b.RowPtr[k+1]; j++ {
+				c := b.ColIdx[j]
+				if !seen[c] {
+					seen[c] = true
+					touched = append(touched, c)
+				}
+				acc[c] += av * b.Val[j]
+			}
+		}
+		// Emit in ascending column order to keep canonical CSR.
+		sortInt32(touched)
+		for _, c := range touched {
+			if acc[c] != 0 {
+				out.ColIdx = append(out.ColIdx, c)
+				out.Val = append(out.Val, acc[c])
+			}
+			acc[c] = 0
+			seen[c] = false
+		}
+		out.RowPtr[r+1] = int32(len(out.Val))
+	}
+	return out
+}
+
+// MultCount returns the number of scalar multiplications an outer-product
+// SpMSpM of a x b performs: sum over k of nnz(a[:,k]) * nnz(b[k,:]).
+// This is the data-dependent quantity that drives sparse tile latency.
+func MultCount(a, b *CSR) int64 {
+	if a.Cols != b.Rows {
+		panic("sparse: MultCount dims mismatch")
+	}
+	colNNZ := make([]int64, a.Cols)
+	for _, c := range a.ColIdx {
+		colNNZ[c]++
+	}
+	var total int64
+	for k := 0; k < a.Cols; k++ {
+		total += colNNZ[k] * int64(b.RowNNZ(k))
+	}
+	return total
+}
+
+func sortInt32(s []int32) {
+	// Insertion sort: touched lists are short for the sparsities we model.
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

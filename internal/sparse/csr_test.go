@@ -1,0 +1,187 @@
+package sparse
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestFromDenseToDenseRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		rows, cols := 1+r.Intn(12), 1+r.Intn(12)
+		d := tensor.New(rows, cols)
+		for i := range d.Data {
+			if r.Float64() < 0.3 {
+				d.Data[i] = float32(r.Norm())
+			}
+		}
+		return tensor.AllClose(FromDense(d).ToDense(), d, 0, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSRInvariants(t *testing.T) {
+	r := tensor.NewRNG(1)
+	m := Random(r, 20, 30, 0.2)
+	if len(m.RowPtr) != m.Rows+1 {
+		t.Fatalf("RowPtr length %d, want %d", len(m.RowPtr), m.Rows+1)
+	}
+	if m.RowPtr[0] != 0 || int(m.RowPtr[m.Rows]) != m.NNZ() {
+		t.Fatal("RowPtr must start at 0 and end at NNZ")
+	}
+	for i := 0; i < m.Rows; i++ {
+		if m.RowPtr[i] > m.RowPtr[i+1] {
+			t.Fatal("RowPtr must be non-decreasing")
+		}
+		prev := int32(-1)
+		for j := m.RowPtr[i]; j < m.RowPtr[i+1]; j++ {
+			c := m.ColIdx[j]
+			if c <= prev || int(c) >= m.Cols {
+				t.Fatalf("row %d columns not strictly ascending / in range", i)
+			}
+			prev = c
+		}
+	}
+}
+
+func TestRandomDensity(t *testing.T) {
+	r := tensor.NewRNG(2)
+	m := Random(r, 200, 200, 0.05)
+	d := m.Density()
+	if d < 0.03 || d > 0.07 {
+		t.Fatalf("density = %g, want ~0.05", d)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		m := Random(r, 1+r.Intn(15), 1+r.Intn(15), 0.3)
+		tt := m.Transpose().Transpose()
+		return tensor.AllClose(tt.ToDense(), m.ToDense(), 0, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransposeMatchesDense(t *testing.T) {
+	r := tensor.NewRNG(3)
+	m := Random(r, 7, 11, 0.4)
+	want := tensor.Transpose2D(m.ToDense())
+	got := m.Transpose().ToDense()
+	if !tensor.AllClose(got, want, 0, 0) {
+		t.Fatal("Transpose disagrees with dense transpose")
+	}
+}
+
+func TestSpMMMatchesDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		m, k, n := 1+r.Intn(10), 1+r.Intn(10), 1+r.Intn(10)
+		a := Random(r, m, k, 0.4)
+		b := tensor.RandNormal(r, 0, 1, k, n)
+		got := SpMM(a, b)
+		want := tensor.MatMul(a.ToDense(), b)
+		return tensor.AllClose(got, want, 1e-4, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpMSpMMatchesDense(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		m, k, n := 1+r.Intn(10), 1+r.Intn(10), 1+r.Intn(10)
+		a := Random(r, m, k, 0.4)
+		b := Random(r, k, n, 0.4)
+		got := SpMSpM(a, b).ToDense()
+		want := tensor.MatMul(a.ToDense(), b.ToDense())
+		return tensor.AllClose(got, want, 1e-4, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubMatrix(t *testing.T) {
+	r := tensor.NewRNG(5)
+	m := Random(r, 16, 16, 0.3)
+	sub := m.SubMatrix(4, 12, 2, 10)
+	d := m.ToDense()
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if sub.ToDense().At(i, j) != d.At(i+4, j+2) {
+				t.Fatalf("SubMatrix element (%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestSubMatrixTilingCoversAll(t *testing.T) {
+	// Reassembling 4x4 tiles of the matrix must reproduce the whole matrix.
+	r := tensor.NewRNG(6)
+	m := Random(r, 8, 8, 0.5)
+	full := m.ToDense()
+	re := tensor.New(8, 8)
+	for r0 := 0; r0 < 8; r0 += 4 {
+		for c0 := 0; c0 < 8; c0 += 4 {
+			sub := m.SubMatrix(r0, r0+4, c0, c0+4).ToDense()
+			for i := 0; i < 4; i++ {
+				for j := 0; j < 4; j++ {
+					re.Set(sub.At(i, j), r0+i, c0+j)
+				}
+			}
+		}
+	}
+	if !tensor.AllClose(re, full, 0, 0) {
+		t.Fatal("tiling round trip failed")
+	}
+}
+
+func TestMultCountMatchesBruteForce(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		k := 1 + r.Intn(12)
+		a := Random(r, 1+r.Intn(12), k, 0.3)
+		b := Random(r, k, 1+r.Intn(12), 0.3)
+		// Brute force: for every (i,k) nnz in a, count nnz in row k of b.
+		var want int64
+		for i := 0; i < a.Rows; i++ {
+			for p := a.RowPtr[i]; p < a.RowPtr[i+1]; p++ {
+				want += int64(b.RowNNZ(int(a.ColIdx[p])))
+			}
+		}
+		return MultCount(a, b) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowNNZSumsToNNZ(t *testing.T) {
+	r := tensor.NewRNG(7)
+	m := Random(r, 33, 17, 0.25)
+	total := 0
+	for i := 0; i < m.Rows; i++ {
+		total += m.RowNNZ(i)
+	}
+	if total != m.NNZ() {
+		t.Fatalf("sum RowNNZ = %d, NNZ = %d", total, m.NNZ())
+	}
+}
+
+func TestSpMSpMZeroMatrix(t *testing.T) {
+	a := &CSR{Rows: 3, Cols: 3, RowPtr: make([]int32, 4)}
+	r := tensor.NewRNG(8)
+	b := Random(r, 3, 3, 0.5)
+	out := SpMSpM(a, b)
+	if out.NNZ() != 0 {
+		t.Fatalf("zero x anything must be zero, got %d nnz", out.NNZ())
+	}
+}

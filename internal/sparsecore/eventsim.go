@@ -1,0 +1,333 @@
+package sparsecore
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sparse"
+)
+
+// EventSim is the detailed cycle-level sparse-core simulator standing in
+// for the original SST-STONNE: every multiplier lane and every merge port
+// advances cycle by cycle, every partial product is generated, routed, and
+// merged individually (functional *and* timing detail), and fibre fetch /
+// result writeback move over flat-latency memory channels. This is the
+// fidelity class that makes STONNE slow — per-element event simulation —
+// and the reference the §5.1 TLS validation compares against.
+//
+// The contrast with TLS: EventSim pays the per-product cost on *every*
+// simulated instance, while TLS runs the functional tile analysis once,
+// records per-tile latencies in the TOG's auxiliary table, and replays
+// them against the memory system at DMA-burst granularity (§3.8).
+type EventSim struct {
+	Cfg        Config
+	MemLatency int64 // flat DRAM latency in cycles
+	LoadBW     int64 // fibre-fetch bytes per cycle
+	StoreBW    int64 // writeback bytes per cycle
+
+	// MergeQueueCap bounds each merge port's input FIFO (default 8);
+	// full queues backpressure the multipliers.
+	MergeQueueCap int
+}
+
+// evProduct is one partial product in flight between a multiplier lane and
+// a merge port.
+type evProduct struct {
+	r, c int32
+	v    float32
+}
+
+// evResult reports one EventSim run.
+type evResult struct {
+	Cycles   int64
+	Products int64
+	Out      *sparse.CSR
+}
+
+// RunTiled simulates the same tiled execution BuildTiledJob lowers — tiles
+// of tileN, (i, j, k) step order, operand fibres fetched once with a
+// prefetch window — and returns the total cycle count plus the functional
+// result (merged like the hardware merges it).
+func (s EventSim) RunTiled(a, b *sparse.CSR, tileN int) (int64, *sparse.CSR, error) {
+	if a.Cols != b.Rows {
+		return 0, nil, fmt.Errorf("sparsecore: dims %dx%d x %dx%d", a.Rows, a.Cols, b.Rows, b.Cols)
+	}
+	r := s.runTiled(a, b, tileN)
+	return r.Cycles, r.Out, nil
+}
+
+func (s EventSim) runTiled(a, b *sparse.CSR, tileN int) evResult {
+	ti := ceilDiv(a.Rows, tileN)
+	tk := ceilDiv(a.Cols, tileN)
+	tj := ceilDiv(b.Cols, tileN)
+
+	type key = [2]int
+	aSub := map[key]*sparse.CSR{}
+	bSub := map[key]*sparse.CSR{}
+	for i := 0; i < ti; i++ {
+		for k := 0; k < tk; k++ {
+			aSub[key{i, k}] = a.SubMatrix(i*tileN, minInt((i+1)*tileN, a.Rows), k*tileN, minInt((k+1)*tileN, a.Cols))
+		}
+	}
+	for k := 0; k < tk; k++ {
+		for j := 0; j < tj; j++ {
+			bSub[key{k, j}] = b.SubMatrix(k*tileN, minInt((k+1)*tileN, b.Rows), j*tileN, minInt((j+1)*tileN, b.Cols))
+		}
+	}
+
+	type step struct{ i, j, k int }
+	var steps []step
+	for i := 0; i < ti; i++ {
+		for j := 0; j < tj; j++ {
+			for k := 0; k < tk; k++ {
+				steps = append(steps, step{i, j, k})
+			}
+		}
+	}
+
+	// Fibre-fetch channel: unique tiles stream in first-need order; each
+	// request pays the flat latency, pipelined behind its predecessor.
+	loadBW := s.LoadBW
+	if loadBW <= 0 {
+		loadBW = 64
+	}
+	storeBW := s.StoreBW
+	if storeBW <= 0 {
+		storeBW = loadBW
+	}
+	fetchDone := map[string]int64{}
+	var fetchFree int64
+	fetch := func(name string, bytes int, at int64) {
+		if _, ok := fetchDone[name]; ok {
+			return
+		}
+		start := at
+		if fetchFree > start {
+			start = fetchFree
+		}
+		done := start + s.MemLatency + ceilDiv64(int64(bytes), loadBW)
+		fetchFree = start + ceilDiv64(int64(bytes), loadBW) // channel busy time
+		fetchDone[name] = done
+	}
+	aName := func(i, k int) string { return fmt.Sprintf("a%d_%d", i, k) }
+	bName := func(k, j int) string { return fmt.Sprintf("b%d_%d", k, j) }
+
+	const prefetch = 4
+	for si := 0; si < minInt(prefetch, len(steps)); si++ {
+		st := steps[si]
+		fetch(aName(st.i, st.k), csrBytes(aSub[key{st.i, st.k}]), 0)
+		fetch(bName(st.k, st.j), csrBytes(bSub[key{st.k, st.j}]), 0)
+	}
+
+	var cycle, storeFree, products int64
+	acc := map[[2]int32]float32{}
+	out := &sparse.CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int32, a.Rows+1)}
+	type outCell struct {
+		r, c int32
+		v    float32
+	}
+	var cells []outCell
+
+	for si, st := range steps {
+		if si+prefetch < len(steps) {
+			nxt := steps[si+prefetch]
+			fetch(aName(nxt.i, nxt.k), csrBytes(aSub[key{nxt.i, nxt.k}]), cycle)
+			fetch(bName(nxt.k, nxt.j), csrBytes(bSub[key{nxt.k, nxt.j}]), cycle)
+		}
+		at := aSub[key{st.i, st.k}]
+		bt := bSub[key{st.k, st.j}]
+		start := cycle
+		if d := fetchDone[aName(st.i, st.k)]; d > start {
+			start = d
+		}
+		if d := fetchDone[bName(st.k, st.j)]; d > start {
+			start = d
+		}
+		start += s.Cfg.FetchOverhead
+		end, n := s.simTile(at, bt, int32(st.i*tileN), int32(st.j*tileN), start, acc)
+		products += n
+		cycle = end
+
+		if st.k == tk-1 {
+			// Flush the merged (i, j) output tile through the store channel.
+			nnz := len(acc)
+			for k2, v := range acc {
+				if v != 0 {
+					cells = append(cells, outCell{k2[0], k2[1], v})
+				}
+			}
+			acc = map[[2]int32]float32{}
+			bytes := nnz*8 + (minInt((st.i+1)*tileN, a.Rows)-st.i*tileN+1)*4
+			sStart := cycle
+			if storeFree > sStart {
+				sStart = storeFree
+			}
+			storeFree = sStart + ceilDiv64(int64(bytes), storeBW)
+		}
+	}
+	endCycle := cycle
+	if storeFree > endCycle {
+		endCycle = storeFree
+	}
+	endCycle += s.MemLatency // last result reaches DRAM
+
+	// Assemble the functional CSR from the merged cells.
+	sort.Slice(cells, func(x, y int) bool {
+		if cells[x].r != cells[y].r {
+			return cells[x].r < cells[y].r
+		}
+		return cells[x].c < cells[y].c
+	})
+	row := int32(0)
+	for _, cl := range cells {
+		for row < cl.r {
+			row++
+			out.RowPtr[row] = int32(len(out.Val))
+		}
+		out.ColIdx = append(out.ColIdx, cl.c)
+		out.Val = append(out.Val, cl.v)
+	}
+	for int(row) < out.Rows {
+		row++
+		out.RowPtr[row] = int32(len(out.Val))
+	}
+	return evResult{Cycles: endCycle, Products: products, Out: out}
+}
+
+// simTile advances the datapath cycle by cycle for one A-tile x B-tile
+// outer product: multiplier lanes issue up to Multipliers products per
+// cycle (stalling on merge backpressure), each product traverses the
+// PipelineFill-deep distribution network hop by hop (per-stage buffers
+// with flow control — the STONNE fidelity level), and each merge port
+// retires at most one product per cycle into the accumulation buffer.
+// Returns the cycle the tile drains and the number of products generated.
+func (s EventSim) simTile(at, bt *sparse.CSR, rowBase, colBase int32, start int64, acc map[[2]int32]float32) (int64, int64) {
+	m := s.Cfg.Multipliers
+	ports := s.Cfg.MergePorts
+	fill := int(s.Cfg.PipelineFill)
+	cap0 := s.MergeQueueCap
+	if cap0 <= 0 {
+		cap0 = 8
+	}
+	// Per-hop buffer width: a network stage forwards a small group of
+	// products per cycle.
+	const stageWidth = 4
+
+	// CSC view of the A tile: per k, the (row, val) fibre.
+	type aElem struct {
+		r int32
+		v float32
+	}
+	colFibre := make([][]aElem, at.Cols)
+	for r := 0; r < at.Rows; r++ {
+		for p := at.RowPtr[r]; p < at.RowPtr[r+1]; p++ {
+			k := at.ColIdx[p]
+			colFibre[k] = append(colFibre[k], aElem{int32(r), at.Val[p]})
+		}
+	}
+	// Product generator cursor over non-empty k slices.
+	var slices []int32
+	for k := int32(0); int(k) < at.Cols; k++ {
+		if len(colFibre[k]) > 0 && int(k) < bt.Rows && bt.RowNNZ(int(k)) > 0 {
+			slices = append(slices, k)
+		}
+	}
+	if len(slices) == 0 {
+		return start, 0
+	}
+	si, ai, bi := 0, 0, 0 // slice, A-fibre, B-fibre cursors
+
+	// Each port owns a fill-deep shift-register network path plus a retire
+	// queue; every occupied hop advances every cycle (this per-hop activity
+	// is exactly what makes event-driven sparse-core simulation expensive).
+	type portState struct {
+		stages  [][]evProduct // stages[0] is the injection hop
+		retireQ []evProduct
+	}
+	pstates := make([]portState, ports)
+	for q := range pstates {
+		pstates[q].stages = make([][]evProduct, fill)
+	}
+	inFlight := 0
+	var produced int64
+	cycle := start
+	for {
+		// Retire: each port consumes at most one product per cycle.
+		for q := range pstates {
+			ps := &pstates[q]
+			if len(ps.retireQ) > 0 {
+				pr := ps.retireQ[0]
+				copy(ps.retireQ, ps.retireQ[1:])
+				ps.retireQ = ps.retireQ[:len(ps.retireQ)-1]
+				inFlight--
+				acc[[2]int32{pr.r, pr.c}] += pr.v
+			}
+		}
+		// Advance the network: last hop feeds the retire queue, earlier
+		// hops shift forward where the next hop has room.
+		for q := range pstates {
+			ps := &pstates[q]
+			for s := fill - 1; s >= 0; s-- {
+				if len(ps.stages[s]) == 0 {
+					continue
+				}
+				if s == fill-1 {
+					room := cap0 - len(ps.retireQ)
+					nMove := minInt(room, len(ps.stages[s]))
+					ps.retireQ = append(ps.retireQ, ps.stages[s][:nMove]...)
+					ps.stages[s] = ps.stages[s][nMove:]
+				} else if len(ps.stages[s+1]) == 0 {
+					ps.stages[s], ps.stages[s+1] = ps.stages[s+1][:0], ps.stages[s]
+				}
+			}
+		}
+		// Multiplier issue: up to m products this cycle, head-of-line
+		// blocked per merge port.
+		issued := 0
+		for issued < m && si < len(slices) {
+			k := slices[si]
+			fa := colFibre[k]
+			rp := bt.RowPtr[k]
+			bCols := bt.ColIdx[rp:bt.RowPtr[k+1]]
+			bVals := bt.Val[rp:bt.RowPtr[k+1]]
+			pr := evProduct{
+				r: rowBase + fa[ai].r,
+				c: colBase + bCols[bi],
+				v: fa[ai].v * bVals[bi],
+			}
+			// Route by output column: consecutive products of one lane
+			// share a row but spread across columns, so coordinate-hash
+			// routing keeps the ports balanced.
+			q := int(pr.c) % ports
+			var inject *[]evProduct
+			if fill > 0 {
+				inject = &pstates[q].stages[0]
+				if len(*inject) >= stageWidth {
+					break // backpressure: issue is in-order, the lane stalls
+				}
+			} else {
+				inject = &pstates[q].retireQ
+				if len(*inject) >= cap0 {
+					break
+				}
+			}
+			*inject = append(*inject, pr)
+			inFlight++
+			produced++
+			issued++
+			bi++
+			if bi == len(bCols) {
+				bi = 0
+				ai++
+				if ai == len(fa) {
+					ai = 0
+					si++
+				}
+			}
+		}
+		cycle++
+		if si >= len(slices) && inFlight == 0 {
+			return cycle, produced
+		}
+	}
+}

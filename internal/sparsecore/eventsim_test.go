@@ -1,0 +1,131 @@
+package sparsecore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sparse"
+	"repro/internal/tensor"
+)
+
+func evSim() EventSim {
+	return EventSim{Cfg: DefaultConfig(), MemLatency: 100, LoadBW: 64, StoreBW: 32}
+}
+
+func TestEventSimFunctionalMatchesReference(t *testing.T) {
+	r := tensor.NewRNG(21)
+	a := sparse.Random(r, 96, 96, 0.08)
+	b := sparse.Random(r, 96, 96, 0.08)
+	_, got, err := evSim().RunTiled(a, b, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sparse.SpMSpM(a, b)
+	if got.Rows != want.Rows || got.Cols != want.Cols {
+		t.Fatalf("shape (%d,%d) vs (%d,%d)", got.Rows, got.Cols, want.Rows, want.Cols)
+	}
+	// The hardware merge sums products in a different order than the
+	// Gustavson reference; values match to float32 accumulation noise.
+	gd := got.ToDense()
+	wd := want.ToDense()
+	for i := range gd.Data {
+		d := float64(gd.Data[i] - wd.Data[i])
+		if math.Abs(d) > 1e-3 {
+			t.Fatalf("element %d: eventsim %g vs reference %g", i, gd.Data[i], wd.Data[i])
+		}
+	}
+}
+
+func TestEventSimFunctionalProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n := 16 + int(seed%48)
+		a := sparse.Random(r, n, n, 0.1)
+		b := sparse.Random(r, n, n, 0.1)
+		_, got, err := evSim().RunTiled(a, b, 16)
+		if err != nil {
+			return false
+		}
+		gd := got.ToDense()
+		wd := sparse.SpMSpM(a, b).ToDense()
+		for i := range gd.Data {
+			if d := float64(gd.Data[i] - wd.Data[i]); math.Abs(d) > 1e-3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventSimCyclesNearTileFormula(t *testing.T) {
+	// The cycle-by-cycle pipeline and the closed-form TileCycles model the
+	// same datapath; summed per-tile latencies should land within ~25%
+	// (the event sim additionally overlaps fetch and store).
+	r := tensor.NewRNG(33)
+	a := sparse.Random(r, 128, 128, 0.05)
+	b := sparse.Random(r, 128, 128, 0.05)
+	// Unconstrained memory isolates the multiplier/merge datapath, which is
+	// what the closed form models.
+	sim := EventSim{Cfg: DefaultConfig(), MemLatency: 0, LoadBW: 1 << 20, StoreBW: 1 << 20}
+	cycles, _, err := sim.RunTiled(a, b, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	var formula int64
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			for k := 0; k < 2; k++ {
+				as := a.SubMatrix(i*64, (i+1)*64, k*64, (k+1)*64)
+				bs := b.SubMatrix(k*64, (k+1)*64, j*64, (j+1)*64)
+				formula += cfg.TileCycles(as, bs)
+			}
+		}
+	}
+	// Cross-model sanity band: the event sim additionally models drain and
+	// port imbalance the closed form rounds away.
+	lo := float64(formula) * 0.5
+	hi := float64(formula) * 1.5
+	if float64(cycles) < lo || float64(cycles) > hi {
+		t.Fatalf("eventsim %d cycles vs formula sum %d (allowed %.0f..%.0f)", cycles, formula, lo, hi)
+	}
+}
+
+func TestEventSimDeterministic(t *testing.T) {
+	r1 := tensor.NewRNG(5)
+	a1 := sparse.Random(r1, 64, 64, 0.1)
+	b1 := sparse.Random(r1, 64, 64, 0.1)
+	c1, _, _ := evSim().RunTiled(a1, b1, 32)
+	r2 := tensor.NewRNG(5)
+	a2 := sparse.Random(r2, 64, 64, 0.1)
+	b2 := sparse.Random(r2, 64, 64, 0.1)
+	c2, _, _ := evSim().RunTiled(a2, b2, 32)
+	if c1 != c2 {
+		t.Fatalf("non-deterministic: %d vs %d", c1, c2)
+	}
+}
+
+func TestEventSimMergeBackpressure(t *testing.T) {
+	// Starving the merge network (1 port, tiny queue) must cost cycles
+	// relative to the balanced configuration.
+	r := tensor.NewRNG(9)
+	a := sparse.Random(r, 64, 64, 0.2)
+	b := sparse.Random(r, 64, 64, 0.2)
+	fast, _, err := evSim().RunTiled(a, b, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowCfg := DefaultConfig()
+	slowCfg.MergePorts = 1
+	slow, _, err := EventSim{Cfg: slowCfg, MemLatency: 100, LoadBW: 64, StoreBW: 32, MergeQueueCap: 2}.RunTiled(a, b, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow <= 2*fast {
+		t.Fatalf("merge backpressure unmodeled: 1-port %d vs 64-port %d cycles", slow, fast)
+	}
+}

@@ -1,0 +1,92 @@
+// Package systolic models the weight-stationary systolic array dataflow unit
+// (§3.5 of the paper): a functional model used by the functional simulator,
+// and a cycle-accurate ready-time model used by the core timing simulator.
+//
+// The array talks to the vector units through a VCIX-like interface: weight
+// rows arrive via wvpush, input-activation rows via ivpush, and output rows
+// drain through a deserializer FIFO via vpop. Each PE holds two weights
+// (double buffering), so the next tile's weights can be loaded while the
+// current tile computes.
+package systolic
+
+import "fmt"
+
+// Array is the functional model. Weight rows accumulate in a staging plane;
+// the staged set becomes active when the first input row after a weight load
+// arrives (the code generator always loads a full weight set before
+// streaming inputs, matching the static scheduling described in §3.5).
+type Array struct {
+	Rows, Cols int // physical PE grid (e.g. 128x128)
+
+	active  [][]float32 // K x N active weight set
+	staging [][]float32
+	out     [][]float32 // deserializer FIFO contents
+}
+
+// New returns a functional systolic array with the given PE grid.
+func New(rows, cols int) *Array {
+	if rows <= 0 || cols <= 0 {
+		panic("systolic: non-positive array dimensions")
+	}
+	return &Array{Rows: rows, Cols: cols}
+}
+
+// PushWeight stages the next weight row (wvpush). Row length must not exceed
+// Cols, and at most Rows rows may be staged.
+func (a *Array) PushWeight(row []float32) error {
+	if len(row) > a.Cols {
+		return fmt.Errorf("systolic: weight row length %d exceeds %d columns", len(row), a.Cols)
+	}
+	if len(a.staging) >= a.Rows {
+		return fmt.Errorf("systolic: staged weight set already has %d rows", a.Rows)
+	}
+	a.staging = append(a.staging, append([]float32(nil), row...))
+	return nil
+}
+
+// PushInput streams one input-activation row (ivpush), producing one output
+// row in the deserializer. If a staged weight set is pending it is committed
+// first. The input length must not exceed the active weight set's row count.
+func (a *Array) PushInput(row []float32) error {
+	if len(a.staging) > 0 {
+		a.active = a.staging
+		a.staging = nil
+	}
+	if a.active == nil {
+		return fmt.Errorf("systolic: input pushed before any weights were loaded")
+	}
+	if len(row) > len(a.active) {
+		return fmt.Errorf("systolic: input row length %d exceeds weight set depth %d", len(row), len(a.active))
+	}
+	n := len(a.active[0])
+	out := make([]float32, n)
+	for k, x := range row {
+		if x == 0 {
+			continue
+		}
+		wrow := a.active[k]
+		for j := 0; j < n; j++ {
+			out[j] += x * wrow[j]
+		}
+	}
+	a.out = append(a.out, out)
+	return nil
+}
+
+// PopOutput dequeues the oldest output row (vpop). ok is false when the
+// deserializer is empty.
+func (a *Array) PopOutput() (row []float32, ok bool) {
+	if len(a.out) == 0 {
+		return nil, false
+	}
+	row = a.out[0]
+	a.out = a.out[1:]
+	return row, true
+}
+
+// Pending returns the number of output rows waiting in the deserializer.
+func (a *Array) Pending() int { return len(a.out) }
+
+// ActiveDepth returns the number of weight rows in the active set (the K of
+// the current tile), or 0 before the first commit.
+func (a *Array) ActiveDepth() int { return len(a.active) }

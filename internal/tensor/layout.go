@@ -1,0 +1,229 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Layout names a memory layout for a 4-D activation tensor. The compiler's
+// layout pass (§3.6.3 of the paper) picks among these to keep the systolic
+// array utilized; the transpose-capable DMA engine performs the conversion
+// on the fly during mvin.
+type Layout int
+
+const (
+	// NCHW is PyTorch's default DRAM layout for conv activations.
+	NCHW Layout = iota
+	// HWNC is the default scratchpad tile layout for typical convolutions:
+	// the two innermost dims (N, C) form a single GEMM tile.
+	HWNC
+	// HWC drops the batch dim; used when N == 1 so a WxC tile feeds the SA.
+	HWC
+	// HNWC is used when C is small: the input tile is N x (Kw*C).
+	HNWC
+	// NSH is the Transformer layout (batch, sequence, hidden).
+	NSH
+)
+
+// String implements fmt.Stringer.
+func (l Layout) String() string {
+	switch l {
+	case NCHW:
+		return "NCHW"
+	case HWNC:
+		return "HWNC"
+	case HWC:
+		return "HWC"
+	case HNWC:
+		return "HNWC"
+	case NSH:
+		return "NSH"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// ConvShape describes a 2-D convolution problem. Stride and padding are
+// symmetric in H and W.
+type ConvShape struct {
+	N, C, H, W  int // input: batch, channels, height, width
+	K           int // output channels
+	KH, KW      int // kernel height/width
+	Stride, Pad int
+}
+
+// OutH returns the output height.
+func (c ConvShape) OutH() int { return (c.H+2*c.Pad-c.KH)/c.Stride + 1 }
+
+// OutW returns the output width.
+func (c ConvShape) OutW() int { return (c.W+2*c.Pad-c.KW)/c.Stride + 1 }
+
+// MACs returns the number of multiply-accumulate operations.
+func (c ConvShape) MACs() int64 {
+	return int64(c.N) * int64(c.K) * int64(c.OutH()) * int64(c.OutW()) *
+		int64(c.C) * int64(c.KH) * int64(c.KW)
+}
+
+// GEMMDims returns the (M, K, N) dimensions of the implicit-im2col GEMM that
+// implements this convolution.
+func (c ConvShape) GEMMDims() (m, k, n int) {
+	return c.N * c.OutH() * c.OutW(), c.C * c.KH * c.KW, c.K
+}
+
+// Im2Col expands an NCHW input tensor into the (N*OH*OW, C*KH*KW) matrix so
+// that convolution becomes a GEMM against a (C*KH*KW, K) filter matrix.
+func Im2Col(in *Tensor, cs ConvShape) *Tensor {
+	if in.Rank() != 4 || in.Shape[0] != cs.N || in.Shape[1] != cs.C || in.Shape[2] != cs.H || in.Shape[3] != cs.W {
+		panic(fmt.Sprintf("tensor: Im2Col input shape %v does not match %+v", in.Shape, cs))
+	}
+	oh, ow := cs.OutH(), cs.OutW()
+	rows := cs.N * oh * ow
+	cols := cs.C * cs.KH * cs.KW
+	out := New(rows, cols)
+	for n := 0; n < cs.N; n++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				r := (n*oh+y)*ow + x
+				for c := 0; c < cs.C; c++ {
+					for ky := 0; ky < cs.KH; ky++ {
+						iy := y*cs.Stride + ky - cs.Pad
+						for kx := 0; kx < cs.KW; kx++ {
+							ix := x*cs.Stride + kx - cs.Pad
+							col := (c*cs.KH+ky)*cs.KW + kx
+							var v float32
+							if iy >= 0 && iy < cs.H && ix >= 0 && ix < cs.W {
+								v = in.At(n, c, iy, ix)
+							}
+							out.Data[r*cols+col] = v
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FilterToMatrix reshapes a (K, C, KH, KW) filter tensor into the
+// (C*KH*KW, K) matrix used by the im2col GEMM.
+func FilterToMatrix(f *Tensor, cs ConvShape) *Tensor {
+	if f.Rank() != 4 || f.Shape[0] != cs.K || f.Shape[1] != cs.C || f.Shape[2] != cs.KH || f.Shape[3] != cs.KW {
+		panic(fmt.Sprintf("tensor: FilterToMatrix shape %v does not match %+v", f.Shape, cs))
+	}
+	cols := cs.C * cs.KH * cs.KW
+	out := New(cols, cs.K)
+	for k := 0; k < cs.K; k++ {
+		for c := 0; c < cs.C; c++ {
+			for ky := 0; ky < cs.KH; ky++ {
+				for kx := 0; kx < cs.KW; kx++ {
+					row := (c*cs.KH+ky)*cs.KW + kx
+					out.Data[row*cs.K+k] = f.At(k, c, ky, kx)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Conv2D computes a reference convolution via im2col + GEMM. Input is NCHW,
+// filter is KCHW; output is (N, K, OH, OW).
+func Conv2D(in, filter *Tensor, cs ConvShape) *Tensor {
+	cols := Im2Col(in, cs)
+	fm := FilterToMatrix(filter, cs)
+	prod := MatMul(cols, fm) // (N*OH*OW, K)
+	oh, ow := cs.OutH(), cs.OutW()
+	out := New(cs.N, cs.K, oh, ow)
+	for n := 0; n < cs.N; n++ {
+		for y := 0; y < oh; y++ {
+			for x := 0; x < ow; x++ {
+				r := (n*oh+y)*ow + x
+				for k := 0; k < cs.K; k++ {
+					out.Set(prod.Data[r*cs.K+k], n, k, y, x)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MaxPool2D applies max pooling with the given window and stride over NCHW.
+func MaxPool2D(in *Tensor, window, stride int) *Tensor {
+	n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	oh := (h-window)/stride + 1
+	ow := (w-window)/stride + 1
+	out := New(n, c, oh, ow)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					m := float32(math.Inf(-1))
+					for ky := 0; ky < window; ky++ {
+						for kx := 0; kx < window; kx++ {
+							v := in.At(ni, ci, y*stride+ky, x*stride+kx)
+							if v > m {
+								m = v
+							}
+						}
+					}
+					out.Set(m, ni, ci, y, x)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// GlobalAvgPool2D averages over the spatial dimensions of NCHW, returning
+// an (N, C) tensor.
+func GlobalAvgPool2D(in *Tensor) *Tensor {
+	n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	out := New(n, c)
+	inv := 1 / float32(h*w)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			var s float32
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					s += in.At(ni, ci, y, x)
+				}
+			}
+			out.Set(s*inv, ni, ci)
+		}
+	}
+	return out
+}
+
+// ToHWNC converts an NCHW tensor to HWNC order (contiguous).
+func ToHWNC(in *Tensor) *Tensor {
+	n, c, h, w := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	out := New(h, w, n, c)
+	for ni := 0; ni < n; ni++ {
+		for ci := 0; ci < c; ci++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					out.Set(in.At(ni, ci, y, x), y, x, ni, ci)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FromHWNC converts an HWNC tensor back to NCHW.
+func FromHWNC(in *Tensor) *Tensor {
+	h, w, n, c := in.Shape[0], in.Shape[1], in.Shape[2], in.Shape[3]
+	out := New(n, c, h, w)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			for ni := 0; ni < n; ni++ {
+				for ci := 0; ci < c; ci++ {
+					out.Set(in.At(y, x, ni, ci), ni, ci, y, x)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func exp32(x float32) float32  { return float32(math.Exp(float64(x))) }
+func sqrt32(x float32) float32 { return float32(math.Sqrt(float64(x))) }

@@ -1,0 +1,170 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConvShapeDims(t *testing.T) {
+	cs := ConvShape{N: 1, C: 64, H: 56, W: 56, K: 64, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if cs.OutH() != 56 || cs.OutW() != 56 {
+		t.Fatalf("padded 3x3 stride-1 conv must preserve spatial dims, got %dx%d", cs.OutH(), cs.OutW())
+	}
+	m, k, n := cs.GEMMDims()
+	if m != 56*56 || k != 64*9 || n != 64 {
+		t.Fatalf("GEMMDims = (%d,%d,%d)", m, k, n)
+	}
+	if cs.MACs() != int64(56*56)*int64(64*9)*64 {
+		t.Fatalf("MACs = %d", cs.MACs())
+	}
+}
+
+// direct convolution used as an independent oracle for Im2Col+GEMM.
+func convDirect(in, filter *Tensor, cs ConvShape) *Tensor {
+	oh, ow := cs.OutH(), cs.OutW()
+	out := New(cs.N, cs.K, oh, ow)
+	for n := 0; n < cs.N; n++ {
+		for k := 0; k < cs.K; k++ {
+			for y := 0; y < oh; y++ {
+				for x := 0; x < ow; x++ {
+					var acc float32
+					for c := 0; c < cs.C; c++ {
+						for ky := 0; ky < cs.KH; ky++ {
+							for kx := 0; kx < cs.KW; kx++ {
+								iy := y*cs.Stride + ky - cs.Pad
+								ix := x*cs.Stride + kx - cs.Pad
+								if iy < 0 || iy >= cs.H || ix < 0 || ix >= cs.W {
+									continue
+								}
+								acc += in.At(n, c, iy, ix) * filter.At(k, c, ky, kx)
+							}
+						}
+					}
+					out.Set(acc, n, k, y, x)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestConv2DMatchesDirect(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		cs := ConvShape{
+			N: 1 + r.Intn(2), C: 1 + r.Intn(4), H: 4 + r.Intn(5), W: 4 + r.Intn(5),
+			K: 1 + r.Intn(4), KH: 3, KW: 3, Stride: 1 + r.Intn(2), Pad: r.Intn(2),
+		}
+		in := RandNormal(r, 0, 1, cs.N, cs.C, cs.H, cs.W)
+		filt := RandNormal(r, 0, 1, cs.K, cs.C, cs.KH, cs.KW)
+		return AllClose(Conv2D(in, filt, cs), convDirect(in, filt, cs), 1e-4, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHWNCRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		in := RandNormal(r, 0, 1, 1+r.Intn(3), 1+r.Intn(4), 1+r.Intn(5), 1+r.Intn(5))
+		return AllClose(FromHWNC(ToHWNC(in)), in, 0, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxPool2D(t *testing.T) {
+	in := FromSlice([]float32{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	out := MaxPool2D(in, 2, 2)
+	want := []float32{6, 8, 14, 16}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("MaxPool2D[%d] = %g, want %g", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestGlobalAvgPool2D(t *testing.T) {
+	in := FromSlice([]float32{1, 2, 3, 4}, 1, 1, 2, 2)
+	out := GlobalAvgPool2D(in)
+	if out.At(0, 0) != 2.5 {
+		t.Fatalf("GlobalAvgPool2D = %g, want 2.5", out.At(0, 0))
+	}
+}
+
+func TestLayoutString(t *testing.T) {
+	cases := map[Layout]string{NCHW: "NCHW", HWNC: "HWNC", HWC: "HWC", HNWC: "HNWC", NSH: "NSH"}
+	for l, want := range cases {
+		if l.String() != want {
+			t.Fatalf("Layout(%d).String() = %q, want %q", int(l), l.String(), want)
+		}
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("RNG must be deterministic for equal seeds")
+		}
+	}
+}
+
+func TestRNGUniformRange(t *testing.T) {
+	r := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		v := r.Float32()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float32 out of range: %g", v)
+		}
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(9)
+	var sum, sumsq float64
+	const n = 20000
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if mean < -0.05 || mean > 0.05 {
+		t.Fatalf("normal mean = %g", mean)
+	}
+	if variance < 0.9 || variance > 1.1 {
+		t.Fatalf("normal variance = %g", variance)
+	}
+}
+
+func TestRNGPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm produced invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestXavierInitBounds(t *testing.T) {
+	r := NewRNG(13)
+	w := XavierInit(r, 100, 50)
+	bound := float32(0.2) // sqrt(6/150) ~ 0.2
+	for _, v := range w.Data {
+		if v < -bound-1e-6 || v > bound+1e-6 {
+			t.Fatalf("Xavier value %g outside +-%g", v, bound)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package tensor
+
+import "fmt"
+
+// MatMul returns a @ b for 2-D tensors of shapes (M,K) x (K,N).
+func MatMul(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMul requires 2-D tensors, got %v x %v", a.Shape, b.Shape))
+	}
+	m, k := a.Shape[0], a.Shape[1]
+	k2, n := b.Shape[0], b.Shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dims mismatch %v x %v", a.Shape, b.Shape))
+	}
+	out := New(m, n)
+	// ikj loop order for cache friendliness on row-major data.
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := out.Data[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// MatMulTransB returns a @ b^T for shapes (M,K) x (N,K).
+func MatMulTransB(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || a.Shape[1] != b.Shape[1] {
+		panic(fmt.Sprintf("tensor: MatMulTransB shape mismatch %v x %v", a.Shape, b.Shape))
+	}
+	m, k, n := a.Shape[0], a.Shape[1], b.Shape[0]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			var acc float32
+			for kk := 0; kk < k; kk++ {
+				acc += arow[kk] * brow[kk]
+			}
+			out.Data[i*n+j] = acc
+		}
+	}
+	return out
+}
+
+// Transpose2D returns the transpose of a 2-D tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose2D requires a 2-D tensor")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+	return out
+}
+
+// AddBiasRows adds a length-N bias vector to every row of an (M,N) tensor.
+func AddBiasRows(a, bias *Tensor) *Tensor {
+	if a.Rank() != 2 || bias.Rank() != 1 || a.Shape[1] != bias.Shape[0] {
+		panic(fmt.Sprintf("tensor: AddBiasRows shape mismatch %v + %v", a.Shape, bias.Shape))
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			out.Data[i*n+j] = a.Data[i*n+j] + bias.Data[j]
+		}
+	}
+	return out
+}
+
+// Softmax computes a row-wise numerically-stable softmax over the last
+// dimension of a 2-D tensor.
+func Softmax(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Softmax requires a 2-D tensor")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		orow := out.Data[i*n : (i+1)*n]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		var sum float32
+		for j, v := range row {
+			e := exp32(v - maxv)
+			orow[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range orow {
+			orow[j] *= inv
+		}
+	}
+	return out
+}
+
+// LayerNorm normalizes each row of a 2-D tensor to zero mean and unit
+// variance, then applies gamma and beta (both length-N vectors).
+func LayerNorm(a, gamma, beta *Tensor, eps float32) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: LayerNorm requires a 2-D tensor")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	if gamma.Len() != n || beta.Len() != n {
+		panic("tensor: LayerNorm gamma/beta size mismatch")
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		var mean float32
+		for _, v := range row {
+			mean += v
+		}
+		mean /= float32(n)
+		var varsum float32
+		for _, v := range row {
+			d := v - mean
+			varsum += d * d
+		}
+		inv := 1 / sqrt32(varsum/float32(n)+eps)
+		orow := out.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			orow[j] = (v-mean)*inv*gamma.Data[j] + beta.Data[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+// Package tensor implements the dense tensor substrate used throughout the
+// simulator: shapes, strides, elementwise math, reference GEMM/CONV, layout
+// transforms (NCHW/HWNC/NSH) and im2col. It plays the role of the numeric
+// core of the ML framework (the paper builds on PyTorch; we build on this).
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Tensor is a dense row-major float32 tensor. The zero value is an empty
+// scalar-less tensor; use New or FromSlice to construct one.
+type Tensor struct {
+	Shape  []int
+	Stride []int
+	Data   []float32
+}
+
+// New returns a zero-filled tensor of the given shape.
+func New(shape ...int) *Tensor {
+	n := NumElements(shape)
+	return &Tensor{
+		Shape:  append([]int(nil), shape...),
+		Stride: contiguousStrides(shape),
+		Data:   make([]float32, n),
+	}
+}
+
+// FromSlice wraps data (not copied) in a tensor of the given shape.
+// It panics if len(data) does not match the shape volume.
+func FromSlice(data []float32, shape ...int) *Tensor {
+	if len(data) != NumElements(shape) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v", len(data), shape))
+	}
+	return &Tensor{
+		Shape:  append([]int(nil), shape...),
+		Stride: contiguousStrides(shape),
+		Data:   data,
+	}
+}
+
+// Full returns a tensor of the given shape with every element set to v.
+func Full(v float32, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data {
+		t.Data[i] = v
+	}
+	return t
+}
+
+// NumElements returns the number of elements implied by shape.
+func NumElements(shape []int) int {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+func contiguousStrides(shape []int) []int {
+	s := make([]int, len(shape))
+	acc := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= shape[i]
+	}
+	return s
+}
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.Shape) }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return NumElements(t.Shape) }
+
+// SizeBytes returns the footprint in bytes (4 bytes per element).
+func (t *Tensor) SizeBytes() int { return 4 * t.Len() }
+
+// Clone returns a deep copy of t (always contiguous).
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.Shape...)
+	copy(c.Data, t.Data)
+	return c
+}
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float32 {
+	return t.Data[t.offset(idx)]
+}
+
+// Set stores v at the given multi-index.
+func (t *Tensor) Set(v float32, idx ...int) {
+	t.Data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.Shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.Shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.Shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.Shape))
+		}
+		off += x * t.Stride[i]
+	}
+	return off
+}
+
+// Reshape returns a view with a new shape covering the same data. The volume
+// must match. The receiver must be contiguous.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	if NumElements(shape) != t.Len() {
+		panic(fmt.Sprintf("tensor: cannot reshape %v to %v", t.Shape, shape))
+	}
+	return &Tensor{
+		Shape:  append([]int(nil), shape...),
+		Stride: contiguousStrides(shape),
+		Data:   t.Data,
+	}
+}
+
+// SameShape reports whether a and b have identical shapes.
+func SameShape(a, b *Tensor) bool {
+	if len(a.Shape) != len(b.Shape) {
+		return false
+	}
+	for i := range a.Shape {
+		if a.Shape[i] != b.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short description (shape plus leading values).
+func (t *Tensor) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tensor%v[", t.Shape)
+	n := t.Len()
+	show := n
+	if show > 8 {
+		show = 8
+	}
+	for i := 0; i < show; i++ {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%.4g", t.Data[i])
+	}
+	if show < n {
+		fmt.Fprintf(&b, " ... (%d)", n)
+	}
+	b.WriteString("]")
+	return b.String()
+}
+
+// --- Elementwise operations ---------------------------------------------
+
+func checkSame(op string, a, b *Tensor) {
+	if !SameShape(a, b) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.Shape, b.Shape))
+	}
+}
+
+// Add returns a + b elementwise.
+func Add(a, b *Tensor) *Tensor {
+	checkSame("add", a, b)
+	out := New(a.Shape...)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + b.Data[i]
+	}
+	return out
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Tensor) *Tensor {
+	checkSame("sub", a, b)
+	out := New(a.Shape...)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] - b.Data[i]
+	}
+	return out
+}
+
+// Mul returns a * b elementwise (Hadamard product).
+func Mul(a, b *Tensor) *Tensor {
+	checkSame("mul", a, b)
+	out := New(a.Shape...)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * b.Data[i]
+	}
+	return out
+}
+
+// Div returns a / b elementwise.
+func Div(a, b *Tensor) *Tensor {
+	checkSame("div", a, b)
+	out := New(a.Shape...)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] / b.Data[i]
+	}
+	return out
+}
+
+// Scale returns s * a.
+func Scale(a *Tensor, s float32) *Tensor {
+	out := New(a.Shape...)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] * s
+	}
+	return out
+}
+
+// AddScalar returns a + s.
+func AddScalar(a *Tensor, s float32) *Tensor {
+	out := New(a.Shape...)
+	for i := range out.Data {
+		out.Data[i] = a.Data[i] + s
+	}
+	return out
+}
+
+// Map applies f to every element.
+func Map(a *Tensor, f func(float32) float32) *Tensor {
+	out := New(a.Shape...)
+	for i := range out.Data {
+		out.Data[i] = f(a.Data[i])
+	}
+	return out
+}
+
+// ReLU returns max(0, a) elementwise.
+func ReLU(a *Tensor) *Tensor {
+	return Map(a, func(x float32) float32 {
+		if x < 0 {
+			return 0
+		}
+		return x
+	})
+}
+
+// GELU returns the tanh-approximation GELU of a, matching the activation
+// used in BERT.
+func GELU(a *Tensor) *Tensor {
+	const c = 0.7978845608028654 // sqrt(2/pi)
+	return Map(a, func(x float32) float32 {
+		x64 := float64(x)
+		return float32(0.5 * x64 * (1 + math.Tanh(c*(x64+0.044715*x64*x64*x64))))
+	})
+}
+
+// Exp returns e^a elementwise.
+func Exp(a *Tensor) *Tensor {
+	return Map(a, func(x float32) float32 { return float32(math.Exp(float64(x))) })
+}
+
+// Tanh returns tanh(a) elementwise.
+func Tanh(a *Tensor) *Tensor {
+	return Map(a, func(x float32) float32 { return float32(math.Tanh(float64(x))) })
+}
+
+// Sqrt returns sqrt(a) elementwise.
+func Sqrt(a *Tensor) *Tensor {
+	return Map(a, func(x float32) float32 { return float32(math.Sqrt(float64(x))) })
+}
+
+// Sum returns the sum of all elements (accumulated in float64 for stability).
+func Sum(a *Tensor) float32 {
+	var s float64
+	for _, v := range a.Data {
+		s += float64(v)
+	}
+	return float32(s)
+}
+
+// Max returns the maximum element. It panics on an empty tensor.
+func Max(a *Tensor) float32 {
+	if a.Len() == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := a.Data[0]
+	for _, v := range a.Data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// ArgMaxRow returns the index of the maximum in row r of a 2-D tensor.
+func ArgMaxRow(a *Tensor, r int) int {
+	if a.Rank() != 2 {
+		panic("tensor: ArgMaxRow requires a 2-D tensor")
+	}
+	cols := a.Shape[1]
+	best, bestIdx := a.Data[r*cols], 0
+	for c := 1; c < cols; c++ {
+		if v := a.Data[r*cols+c]; v > best {
+			best, bestIdx = v, c
+		}
+	}
+	return bestIdx
+}
+
+// AllClose reports whether all elements of a and b are within atol + rtol*|b|.
+func AllClose(a, b *Tensor, rtol, atol float64) bool {
+	if !SameShape(a, b) {
+		return false
+	}
+	for i := range a.Data {
+		x, y := float64(a.Data[i]), float64(b.Data[i])
+		if math.IsNaN(x) != math.IsNaN(y) {
+			return false
+		}
+		if math.Abs(x-y) > atol+rtol*math.Abs(y) {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbsDiff returns the maximum absolute elementwise difference.
+func MaxAbsDiff(a, b *Tensor) float64 {
+	checkSame("MaxAbsDiff", a, b)
+	var m float64
+	for i := range a.Data {
+		d := math.Abs(float64(a.Data[i]) - float64(b.Data[i]))
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

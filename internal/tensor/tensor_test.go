@@ -1,0 +1,295 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapeAndZero(t *testing.T) {
+	a := New(2, 3, 4)
+	if a.Len() != 24 {
+		t.Fatalf("Len = %d, want 24", a.Len())
+	}
+	if a.Rank() != 3 {
+		t.Fatalf("Rank = %d, want 3", a.Rank())
+	}
+	for _, v := range a.Data {
+		if v != 0 {
+			t.Fatal("New must zero-fill")
+		}
+	}
+	if a.SizeBytes() != 96 {
+		t.Fatalf("SizeBytes = %d, want 96", a.SizeBytes())
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	a := New(3, 4)
+	a.Set(7.5, 1, 2)
+	if got := a.At(1, 2); got != 7.5 {
+		t.Fatalf("At(1,2) = %g, want 7.5", got)
+	}
+	if got := a.Data[1*4+2]; got != 7.5 {
+		t.Fatalf("row-major offset wrong: %g", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	New(2, 2).At(2, 0)
+}
+
+func TestFromSliceValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	FromSlice([]float32{1, 2, 3}, 2, 2)
+}
+
+func TestReshapeSharesData(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := a.Reshape(3, 2)
+	b.Set(99, 0, 1)
+	if a.At(0, 1) != 99 {
+		t.Fatal("Reshape must be a view over the same data")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := a.Clone()
+	b.Data[0] = 42
+	if a.Data[0] != 1 {
+		t.Fatal("Clone must copy data")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	b := FromSlice([]float32{4, 3, 2, 1}, 2, 2)
+	if got := Add(a, b).Data; got[0] != 5 || got[3] != 5 {
+		t.Fatalf("Add wrong: %v", got)
+	}
+	if got := Sub(a, b).Data; got[0] != -3 || got[3] != 3 {
+		t.Fatalf("Sub wrong: %v", got)
+	}
+	if got := Mul(a, b).Data; got[1] != 6 {
+		t.Fatalf("Mul wrong: %v", got)
+	}
+	if got := Div(a, b).Data; got[3] != 4 {
+		t.Fatalf("Div wrong: %v", got)
+	}
+	if got := Scale(a, 2).Data; got[2] != 6 {
+		t.Fatalf("Scale wrong: %v", got)
+	}
+	if got := AddScalar(a, 1).Data; got[0] != 2 {
+		t.Fatalf("AddScalar wrong: %v", got)
+	}
+}
+
+func TestReLUAndActivations(t *testing.T) {
+	a := FromSlice([]float32{-1, 0, 2}, 3)
+	r := ReLU(a)
+	if r.Data[0] != 0 || r.Data[1] != 0 || r.Data[2] != 2 {
+		t.Fatalf("ReLU wrong: %v", r.Data)
+	}
+	g := GELU(FromSlice([]float32{0}, 1))
+	if g.Data[0] != 0 {
+		t.Fatalf("GELU(0) = %g, want 0", g.Data[0])
+	}
+	// GELU(x) ~ x for large positive x.
+	gl := GELU(FromSlice([]float32{10}, 1))
+	if math.Abs(float64(gl.Data[0])-10) > 1e-3 {
+		t.Fatalf("GELU(10) = %g, want ~10", gl.Data[0])
+	}
+	th := Tanh(FromSlice([]float32{0}, 1))
+	if th.Data[0] != 0 {
+		t.Fatal("Tanh(0) != 0")
+	}
+}
+
+func TestSumMaxArgMax(t *testing.T) {
+	a := FromSlice([]float32{1, 5, 3, 2, 9, 4}, 2, 3)
+	if Sum(a) != 24 {
+		t.Fatalf("Sum = %g", Sum(a))
+	}
+	if Max(a) != 9 {
+		t.Fatalf("Max = %g", Max(a))
+	}
+	if ArgMaxRow(a, 0) != 1 {
+		t.Fatalf("ArgMaxRow(0) = %d", ArgMaxRow(a, 0))
+	}
+	if ArgMaxRow(a, 1) != 1 {
+		t.Fatalf("ArgMaxRow(1) = %d", ArgMaxRow(a, 1))
+	}
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4, 5, 6}, 2, 3)
+	b := FromSlice([]float32{7, 8, 9, 10, 11, 12}, 3, 2)
+	c := MatMul(a, b)
+	want := []float32{58, 64, 139, 154}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("MatMul[%d] = %g, want %g", i, c.Data[i], w)
+		}
+	}
+}
+
+func TestMatMulTransBMatchesMatMul(t *testing.T) {
+	r := NewRNG(1)
+	a := RandNormal(r, 0, 1, 5, 7)
+	b := RandNormal(r, 0, 1, 4, 7)
+	got := MatMulTransB(a, b)
+	want := MatMul(a, Transpose2D(b))
+	if !AllClose(got, want, 1e-5, 1e-5) {
+		t.Fatal("MatMulTransB disagrees with MatMul(a, b^T)")
+	}
+}
+
+func TestTranspose2DInvolution(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, n := 1+r.Intn(10), 1+r.Intn(10)
+		a := RandNormal(r, 0, 1, m, n)
+		return AllClose(Transpose2D(Transpose2D(a)), a, 0, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulIdentityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		n := 1 + r.Intn(12)
+		a := RandNormal(r, 0, 1, n, n)
+		id := New(n, n)
+		for i := 0; i < n; i++ {
+			id.Set(1, i, i)
+		}
+		return AllClose(MatMul(a, id), a, 1e-6, 1e-6) && AllClose(MatMul(id, a), a, 1e-6, 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatMulDistributesOverAdd(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, k, n := 1+r.Intn(8), 1+r.Intn(8), 1+r.Intn(8)
+		a := RandNormal(r, 0, 1, m, k)
+		b := RandNormal(r, 0, 1, k, n)
+		c := RandNormal(r, 0, 1, k, n)
+		lhs := MatMul(a, Add(b, c))
+		rhs := Add(MatMul(a, b), MatMul(a, c))
+		return AllClose(lhs, rhs, 1e-4, 1e-4)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRNG(seed)
+		m, n := 1+r.Intn(6), 1+r.Intn(20)
+		a := RandNormal(r, 0, 5, m, n)
+		s := Softmax(a)
+		for i := 0; i < m; i++ {
+			var sum float64
+			for j := 0; j < n; j++ {
+				v := float64(s.At(i, j))
+				if v < 0 || v > 1 {
+					return false
+				}
+				sum += v
+			}
+			if math.Abs(sum-1) > 1e-4 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSoftmaxShiftInvariance(t *testing.T) {
+	r := NewRNG(3)
+	a := RandNormal(r, 0, 1, 4, 8)
+	b := AddScalar(a, 100)
+	if !AllClose(Softmax(a), Softmax(b), 1e-4, 1e-5) {
+		t.Fatal("softmax must be invariant to constant shifts")
+	}
+}
+
+func TestLayerNormStatistics(t *testing.T) {
+	r := NewRNG(4)
+	a := RandNormal(r, 3, 2, 5, 64)
+	gamma := Full(1, 64)
+	beta := New(64)
+	out := LayerNorm(a, gamma, beta, 1e-5)
+	for i := 0; i < 5; i++ {
+		var mean, varsum float64
+		for j := 0; j < 64; j++ {
+			mean += float64(out.At(i, j))
+		}
+		mean /= 64
+		for j := 0; j < 64; j++ {
+			d := float64(out.At(i, j)) - mean
+			varsum += d * d
+		}
+		varsum /= 64
+		if math.Abs(mean) > 1e-4 {
+			t.Fatalf("row %d mean = %g, want ~0", i, mean)
+		}
+		if math.Abs(varsum-1) > 1e-2 {
+			t.Fatalf("row %d var = %g, want ~1", i, varsum)
+		}
+	}
+}
+
+func TestAddBiasRows(t *testing.T) {
+	a := FromSlice([]float32{1, 2, 3, 4}, 2, 2)
+	bias := FromSlice([]float32{10, 20}, 2)
+	out := AddBiasRows(a, bias)
+	want := []float32{11, 22, 13, 24}
+	for i, w := range want {
+		if out.Data[i] != w {
+			t.Fatalf("AddBiasRows[%d] = %g, want %g", i, out.Data[i], w)
+		}
+	}
+}
+
+func TestAllCloseAndMaxAbsDiff(t *testing.T) {
+	a := FromSlice([]float32{1, 2}, 2)
+	b := FromSlice([]float32{1, 2.0001}, 2)
+	if !AllClose(a, b, 1e-3, 1e-3) {
+		t.Fatal("AllClose should accept small diffs")
+	}
+	if AllClose(a, b, 0, 1e-6) {
+		t.Fatal("AllClose should reject with tight tolerance")
+	}
+	if d := MaxAbsDiff(a, b); math.Abs(d-0.0001) > 1e-5 {
+		t.Fatalf("MaxAbsDiff = %g", d)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on shape mismatch")
+		}
+	}()
+	Add(New(2), New(3))
+}

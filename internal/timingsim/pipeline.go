@@ -1,0 +1,323 @@
+// Package timingsim is the cycle-level NPU core timing model (the paper's
+// extended Gem5 in-order pipeline). It replays the dynamic instruction
+// stream produced by the functional simulator through a scoreboarded
+// in-order pipeline with per-unit occupancy (scalar ALU, FPU, vector units,
+// SFU, scratchpad ports) and the systolic-array ready-time model, producing
+// the deterministic tile compute latencies recorded in the TOG (§3.8).
+package timingsim
+
+import (
+	"repro/internal/funcsim"
+	"repro/internal/isa"
+	"repro/internal/npu"
+	"repro/internal/systolic"
+)
+
+// regFile identifies a register file for scoreboard dependencies.
+type regFile uint8
+
+const (
+	fileX regFile = iota
+	fileF
+	fileV
+)
+
+type regRef struct {
+	file regFile
+	idx  uint8
+}
+
+// Pipeline is a single-issue, in-order core timing model with a scoreboard.
+// Instructions issue in order when their operands and functional unit are
+// ready; completion latencies depend on the unit and the active vector
+// length.
+type Pipeline struct {
+	cfg npu.CoreConfig
+
+	xReady [32]int64
+	fReady [32]int64
+	vReady [32]int64
+
+	unitFree  [8]int64 // indexed by isa.Class
+	lastIssue int64
+	cycles    int64 // completion time of the latest instruction
+
+	// Per-class issue slots: the core issues in order, but instructions
+	// bound for different functional units may share a cycle (the VLIW-
+	// style parallel scalar/vector/matrix issue of TPU-like cores, §3.4).
+	slotCycle [8]int64
+	slotCount [8]int
+
+	sa *systolic.Timing
+
+	// BranchPenalty is the redirect penalty of a taken branch (cycles).
+	BranchPenalty int64
+
+	// Stats.
+	Issued    int64
+	StallRAW  int64 // cycles lost waiting on operands
+	StallUnit int64 // cycles lost waiting on busy units
+	ClassBusy [8]int64
+}
+
+// NewPipeline returns a timing model for the given core configuration.
+func NewPipeline(cfg npu.CoreConfig) *Pipeline {
+	return &Pipeline{
+		cfg:           cfg,
+		sa:            systolic.NewTiming(cfg.SARows, cfg.SACols, cfg.DesFIFORows),
+		BranchPenalty: 3,
+	}
+}
+
+// Cycles returns the cycle at which all issued instructions have completed.
+func (p *Pipeline) Cycles() int64 { return p.cycles }
+
+// classIssueCap is how many instructions of each class may issue in the
+// same cycle (independent decode slots per functional unit).
+var classIssueCap = [8]int{
+	isa.ClassScalar:    2,
+	isa.ClassScalarMem: 1,
+	isa.ClassFloat:     1,
+	isa.ClassVector:    1,
+	isa.ClassVectorMem: 2, // two scratchpad ports
+	isa.ClassSFU:       1,
+	isa.ClassDMA:       1,
+	isa.ClassSA:        2, // serializer push + deserializer pop ports
+}
+
+// Consume accounts one dynamically executed instruction.
+func (p *Pipeline) Consume(e funcsim.TraceEvent) {
+	in := e.Instr
+	class := isa.ClassOf(in.Op)
+
+	// In-order issue: never before the previous instruction's issue cycle,
+	// but same-cycle issue to a different (or multi-slot) unit is allowed.
+	issue := p.lastIssue
+
+	// Operand dependencies (RAW and WAW via dest ready times).
+	opsReady := issue
+	for _, r := range readRegs(in) {
+		if t := p.readyTime(r); t > opsReady {
+			opsReady = t
+		}
+	}
+	for _, r := range writeRegs(in) {
+		if t := p.readyTime(r); t > opsReady {
+			opsReady = t // WAW: do not complete before prior writer
+		}
+	}
+	p.StallRAW += opsReady - issue
+	issue = opsReady
+
+	// Structural hazard: functional unit availability.
+	if t := p.unitFree[class]; t > issue {
+		p.StallUnit += t - issue
+		issue = t
+	}
+
+	// Per-class issue slot availability.
+	cap := classIssueCap[class]
+	if cap < 1 {
+		cap = 1
+	}
+	if p.slotCycle[class] == issue && p.slotCount[class] >= cap {
+		issue++
+	}
+
+	var complete int64
+	switch in.Op {
+	case isa.OpWVPUSH:
+		complete = p.sa.PushWeight(issue)
+	case isa.OpIVPUSH:
+		complete = p.sa.PushInput(issue)
+	case isa.OpVPOP:
+		complete = p.sa.Pop(issue)
+	default:
+		lat, occ := p.latency(in, e.VL)
+		complete = issue + lat
+		p.unitFree[class] = issue + occ
+		p.ClassBusy[class] += occ
+	}
+
+	// Writeback.
+	for _, r := range writeRegs(in) {
+		p.setReady(r, complete)
+	}
+
+	if p.slotCycle[class] != issue {
+		p.slotCycle[class] = issue
+		p.slotCount[class] = 0
+	}
+	p.slotCount[class]++
+	p.lastIssue = issue
+	if isa.IsBranch(in.Op) && e.Taken {
+		p.lastIssue = issue + p.BranchPenalty
+	}
+	if complete > p.cycles {
+		p.cycles = complete
+	}
+	p.Issued++
+}
+
+// latency returns (result latency, unit occupancy) for a non-SA instruction.
+func (p *Pipeline) latency(in isa.Instr, vl int) (lat, occ int64) {
+	c := p.cfg
+	switch isa.ClassOf(in.Op) {
+	case isa.ClassScalar:
+		return int64(c.ScalarLatency), 1
+	case isa.ClassScalarMem:
+		return int64(c.MemLatency), 1
+	case isa.ClassFloat:
+		if in.Op == isa.OpFDIV || in.Op == isa.OpFSQRT {
+			return int64(c.FloatLatency) * 4, int64(c.FloatLatency) * 4 // unpipelined
+		}
+		return int64(c.FloatLatency), 1
+	case isa.ClassVector:
+		occ = ceilDiv(vl, c.VectorThroughput())
+		if in.Op == isa.OpVREDSUM || in.Op == isa.OpVREDMAX {
+			// Tree reduction: log2(lanes) extra stages.
+			return int64(c.VectorLatency) + occ - 1 + int64(log2(c.LanesPerUnit)+log2(c.NumVectorUnits)), occ
+		}
+		if in.Op == isa.OpVDIV {
+			return int64(c.VectorLatency)*4 + occ - 1, occ * 4
+		}
+		return int64(c.VectorLatency) + occ - 1, occ
+	case isa.ClassVectorMem:
+		occ = ceilDiv(vl, c.VectorThroughput())
+		if in.Op == isa.OpVLSE32 || in.Op == isa.OpVSSE32 {
+			occ *= 2 // strided access halves scratchpad throughput
+		}
+		return int64(c.MemLatency) + occ - 1, occ
+	case isa.ClassSFU:
+		// SFU has a quarter of the vector ALU throughput.
+		occ = ceilDiv(vl*4, c.VectorThroughput())
+		return int64(c.SFULatency) + occ - 1, occ
+	case isa.ClassDMA:
+		// In kernel-timing mode DMAs are ignored (§3.8): the Gem5 analog
+		// measures only the deterministic compute latency; DMA time is
+		// modelled online by TOGSim.
+		return 1, 1
+	default:
+		return 1, 1
+	}
+}
+
+func (p *Pipeline) readyTime(r regRef) int64 {
+	switch r.file {
+	case fileX:
+		if r.idx == 0 {
+			return 0
+		}
+		return p.xReady[r.idx]
+	case fileF:
+		return p.fReady[r.idx]
+	default:
+		return p.vReady[r.idx]
+	}
+}
+
+func (p *Pipeline) setReady(r regRef, t int64) {
+	switch r.file {
+	case fileX:
+		if r.idx != 0 {
+			p.xReady[r.idx] = t
+		}
+	case fileF:
+		p.fReady[r.idx] = t
+	default:
+		p.vReady[r.idx] = t
+	}
+}
+
+// readRegs returns the registers an instruction reads.
+func readRegs(in isa.Instr) []regRef {
+	switch in.Op {
+	case isa.OpADDI, isa.OpSLLI, isa.OpSRLI:
+		return []regRef{{fileX, in.Rs1}}
+	case isa.OpADD, isa.OpSUB, isa.OpMUL, isa.OpAND, isa.OpOR, isa.OpXOR,
+		isa.OpBEQ, isa.OpBNE, isa.OpBLT, isa.OpBGE:
+		return []regRef{{fileX, in.Rs1}, {fileX, in.Rs2}}
+	case isa.OpLUI, isa.OpJAL, isa.OpHALT, isa.OpFLI:
+		return nil
+	case isa.OpLW, isa.OpFLW:
+		return []regRef{{fileX, in.Rs1}}
+	case isa.OpSW:
+		return []regRef{{fileX, in.Rs1}, {fileX, in.Rs2}}
+	case isa.OpFSW:
+		return []regRef{{fileX, in.Rs1}, {fileF, in.Rs2}}
+	case isa.OpFADD, isa.OpFSUB, isa.OpFMUL, isa.OpFDIV, isa.OpFMIN, isa.OpFMAX:
+		return []regRef{{fileF, in.Rs1}, {fileF, in.Rs2}}
+	case isa.OpFSQRT:
+		return []regRef{{fileF, in.Rs1}}
+	case isa.OpFMVXF:
+		return []regRef{{fileF, in.Rs1}}
+	case isa.OpFMVFX, isa.OpSETVL:
+		return []regRef{{fileX, in.Rs1}}
+	case isa.OpVLE32:
+		return []regRef{{fileX, in.Rs1}}
+	case isa.OpVSE32:
+		return []regRef{{fileX, in.Rs1}, {fileV, in.Rs2}}
+	case isa.OpVLSE32:
+		return []regRef{{fileX, in.Rs1}, {fileX, in.Rs2}}
+	case isa.OpVSSE32:
+		return []regRef{{fileX, in.Rs1}, {fileX, in.Rs2}, {fileV, in.Funct}}
+	case isa.OpVADD, isa.OpVSUB, isa.OpVMUL, isa.OpVDIV, isa.OpVMAX, isa.OpVMIN:
+		return []regRef{{fileV, in.Rs1}, {fileV, in.Rs2}}
+	case isa.OpVMACC:
+		return []regRef{{fileV, in.Rd}, {fileV, in.Rs1}, {fileV, in.Rs2}}
+	case isa.OpVADDVF, isa.OpVSUBVF, isa.OpVRSUBVF, isa.OpVMULVF, isa.OpVMAXVF:
+		return []regRef{{fileV, in.Rs1}, {fileF, in.Rs2}}
+	case isa.OpVMACCVF:
+		return []regRef{{fileV, in.Rd}, {fileV, in.Rs1}, {fileF, in.Rs2}}
+	case isa.OpVBCAST:
+		return []regRef{{fileF, in.Rs1}}
+	case isa.OpVMV, isa.OpVREDSUM, isa.OpVREDMAX, isa.OpSFU:
+		return []regRef{{fileV, in.Rs1}}
+	case isa.OpCONFIG, isa.OpMVIN, isa.OpMVOUT:
+		return []regRef{{fileX, in.Rs1}, {fileX, in.Rs2}}
+	case isa.OpWAITDMA:
+		return []regRef{{fileX, in.Rs1}}
+	case isa.OpWVPUSH, isa.OpIVPUSH:
+		return []regRef{{fileV, in.Rs1}}
+	case isa.OpVPOP:
+		return nil
+	default:
+		return nil
+	}
+}
+
+// writeRegs returns the registers an instruction writes.
+func writeRegs(in isa.Instr) []regRef {
+	switch in.Op {
+	case isa.OpADDI, isa.OpADD, isa.OpSUB, isa.OpMUL, isa.OpSLLI, isa.OpSRLI,
+		isa.OpAND, isa.OpOR, isa.OpXOR, isa.OpLUI, isa.OpJAL, isa.OpLW,
+		isa.OpFMVXF, isa.OpSETVL:
+		return []regRef{{fileX, in.Rd}}
+	case isa.OpFLW, isa.OpFADD, isa.OpFSUB, isa.OpFMUL, isa.OpFDIV, isa.OpFSQRT,
+		isa.OpFMIN, isa.OpFMAX, isa.OpFLI, isa.OpFMVFX, isa.OpVREDSUM, isa.OpVREDMAX:
+		return []regRef{{fileF, in.Rd}}
+	case isa.OpVLE32, isa.OpVLSE32, isa.OpVADD, isa.OpVSUB, isa.OpVMUL, isa.OpVDIV,
+		isa.OpVMAX, isa.OpVMIN, isa.OpVMACC, isa.OpVADDVF, isa.OpVSUBVF,
+		isa.OpVRSUBVF, isa.OpVMULVF, isa.OpVMAXVF, isa.OpVMACCVF,
+		isa.OpVBCAST, isa.OpVMV, isa.OpSFU, isa.OpVPOP:
+		return []regRef{{fileV, in.Rd}}
+	default:
+		return nil
+	}
+}
+
+func ceilDiv(a, b int) int64 {
+	if b <= 0 {
+		return int64(a)
+	}
+	return int64((a + b - 1) / b)
+}
+
+func log2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,103 @@
+package tog
+
+import "repro/internal/npu"
+
+// Builder constructs TOGs incrementally; the compiler backend's TOG lowering
+// pass uses it.
+type Builder struct {
+	g      TOG
+	nextID int
+}
+
+// NewBuilder starts a TOG with the given name and declared tensors.
+func NewBuilder(name string, tensors ...string) *Builder {
+	return &Builder{g: TOG{
+		Name:          name,
+		Tensors:       append([]string(nil), tensors...),
+		TileLatencies: map[string]int64{},
+	}}
+}
+
+func (b *Builder) add(n Node) *Builder {
+	n.ID = b.nextID
+	b.nextID++
+	b.g.Nodes = append(b.g.Nodes, n)
+	return b
+}
+
+// DeclareTensor adds a tensor name (idempotent).
+func (b *Builder) DeclareTensor(name string) *Builder {
+	for _, t := range b.g.Tensors {
+		if t == name {
+			return b
+		}
+	}
+	b.g.Tensors = append(b.g.Tensors, name)
+	return b
+}
+
+// Loop opens a loop over v in [init, limit) with the given step.
+func (b *Builder) Loop(v string, init, limit, step int64) *Builder {
+	return b.add(Node{Kind: LoopBegin, Var: v, Init: init, Limit: limit, Step: step})
+}
+
+// EndLoop closes the innermost open loop.
+func (b *Builder) EndLoop() *Builder {
+	return b.add(Node{Kind: LoopEnd})
+}
+
+// Load emits an asynchronous loadDMA.
+func (b *Builder) Load(tensor string, desc npu.DMADesc, off AddrExpr, tag int, spadOff int64) *Builder {
+	return b.add(Node{Kind: LoadDMA, Tensor: tensor, Desc: desc, Off: off, Tag: tag, SpadOff: spadOff})
+}
+
+// Store emits an asynchronous storeDMA.
+func (b *Builder) Store(tensor string, desc npu.DMADesc, off AddrExpr, tag int, spadOff int64) *Builder {
+	return b.add(Node{Kind: StoreDMA, Tensor: tensor, Desc: desc, Off: off, Tag: tag, SpadOff: spadOff})
+}
+
+// Wait emits a waitDMA on the given tag.
+func (b *Builder) Wait(tag int) *Builder {
+	return b.add(Node{Kind: WaitDMA, Tag: tag})
+}
+
+// Compute emits a fixed-latency compute node.
+func (b *Builder) Compute(unit Unit, cycles int64) *Builder {
+	return b.add(Node{Kind: Compute, Unit: unit, Cycles: cycles})
+}
+
+// ComputeKernel emits a fixed-latency compute node that references the
+// machine-code kernel implementing it (for functional TOG execution).
+func (b *Builder) ComputeKernel(unit Unit, cycles int64, kernelID string) *Builder {
+	return b.add(Node{Kind: Compute, Unit: unit, Cycles: cycles, Kernel: kernelID})
+}
+
+// ComputeKeyed emits a data-dependent compute node whose latency is looked
+// up in the tile-latency table under key (after {var} substitution).
+func (b *Builder) ComputeKeyed(unit Unit, key string) *Builder {
+	return b.add(Node{Kind: Compute, Unit: unit, LatKey: key})
+}
+
+// SetTileLatency records an offline-measured per-tile latency.
+func (b *Builder) SetTileLatency(key string, cycles int64) *Builder {
+	b.g.TileLatencies[key] = cycles
+	return b
+}
+
+// SetSpadBytes records the context scratchpad footprint.
+func (b *Builder) SetSpadBytes(n int64) *Builder {
+	b.g.SpadBytes = n
+	return b
+}
+
+// Build validates and returns the TOG.
+func (b *Builder) Build() (*TOG, error) {
+	g := b.g
+	if len(g.TileLatencies) == 0 {
+		g.TileLatencies = nil
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}

@@ -1,0 +1,226 @@
+package tog
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/npu"
+	"repro/internal/tensor"
+)
+
+// simpleGEMMTOG builds a canonical tiled-GEMM-shaped TOG used across tests:
+// for i in [0,ni): load tile; wait; compute; store.
+func simpleGEMMTOG(t *testing.T, ni int64, cycles int64) *TOG {
+	t.Helper()
+	desc := npu.DMADesc{Rows: 4, Cols: 4}
+	b := NewBuilder("gemm", "in", "out")
+	b.Loop("i", 0, ni, 1)
+	b.Load("in", desc, AddrExpr{Terms: []AddrTerm{{Var: "i", Coeff: 64}}}, 1, 0)
+	b.Wait(1)
+	b.Compute(UnitSA, cycles)
+	b.Store("out", desc, AddrExpr{Terms: []AddrTerm{{Var: "i", Coeff: 64}}}, 2, 0)
+	b.EndLoop()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestBuilderAndValidate(t *testing.T) {
+	g := simpleGEMMTOG(t, 8, 100)
+	if len(g.Nodes) != 6 {
+		t.Fatalf("nodes = %d, want 6", len(g.Nodes))
+	}
+	if g.Nodes[0].Kind != LoopBegin || g.Nodes[5].Kind != LoopEnd {
+		t.Fatal("loop structure wrong")
+	}
+}
+
+func TestValidateRejectsBadGraphs(t *testing.T) {
+	desc := npu.DMADesc{Rows: 2, Cols: 2}
+	cases := []struct {
+		name string
+		g    TOG
+	}{
+		{"unclosed loop", TOG{Nodes: []Node{{Kind: LoopBegin, Var: "i", Limit: 4, Step: 1}}}},
+		{"loopEnd without begin", TOG{Nodes: []Node{{Kind: LoopEnd}}}},
+		{"bad bounds", TOG{Nodes: []Node{{Kind: LoopBegin, Var: "i", Init: 4, Limit: 0, Step: 1}, {Kind: LoopEnd}}}},
+		{"zero step", TOG{Nodes: []Node{{Kind: LoopBegin, Var: "i", Limit: 4}, {Kind: LoopEnd}}}},
+		{"compute no latency", TOG{Nodes: []Node{{Kind: Compute, Unit: UnitSA}}}},
+		{"compute no unit", TOG{Nodes: []Node{{Kind: Compute, Cycles: 5}}}},
+		{"undeclared tensor", TOG{Nodes: []Node{{Kind: LoadDMA, Tensor: "x", Desc: desc}}}},
+		{"wait without dma", TOG{Nodes: []Node{{Kind: WaitDMA, Tag: 3}}}},
+		{"inactive loop var", TOG{
+			Tensors: []string{"x"},
+			Nodes:   []Node{{Kind: LoadDMA, Tensor: "x", Desc: desc, Off: AddrExpr{Terms: []AddrTerm{{Var: "i", Coeff: 4}}}}},
+		}},
+		{"shadowed loop var", TOG{Nodes: []Node{
+			{Kind: LoopBegin, Var: "i", Limit: 2, Step: 1},
+			{Kind: LoopBegin, Var: "i", Limit: 2, Step: 1},
+			{Kind: LoopEnd}, {Kind: LoopEnd},
+		}}},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); err == nil {
+			t.Fatalf("%s: expected validation error", c.name)
+		}
+	}
+}
+
+func TestAddrExprEval(t *testing.T) {
+	e := AddrExpr{Const: 100, Terms: []AddrTerm{{Var: "i", Coeff: 64}, {Var: "j", Coeff: 4}}}
+	v, err := e.Eval(map[string]int64{"i": 2, "j": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 100+128+12 {
+		t.Fatalf("Eval = %d", v)
+	}
+	if _, err := e.Eval(map[string]int64{"i": 2}); err == nil {
+		t.Fatal("unbound variable must error")
+	}
+}
+
+func TestSubstituteKey(t *testing.T) {
+	vars := map[string]int64{"i": 3, "j": 7}
+	if got := SubstituteKey("tile_{i}_{j}", vars); got != "tile_3_7" {
+		t.Fatalf("SubstituteKey = %q", got)
+	}
+	if got := SubstituteKey("fixed", vars); got != "fixed" {
+		t.Fatalf("no-placeholder key changed: %q", got)
+	}
+}
+
+func TestCollectStatsExpandsLoops(t *testing.T) {
+	g := simpleGEMMTOG(t, 8, 100)
+	s, err := g.CollectStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ComputeNodes != 8 || s.LoadNodes != 8 || s.StoreNodes != 8 || s.WaitNodes != 8 {
+		t.Fatalf("node counts wrong: %+v", s)
+	}
+	if s.ComputeCycles != 800 {
+		t.Fatalf("ComputeCycles = %d", s.ComputeCycles)
+	}
+	if s.LoadBytes != 8*64 || s.StoreBytes != 8*64 {
+		t.Fatalf("bytes wrong: %+v", s)
+	}
+}
+
+func TestCollectStatsNestedLoops(t *testing.T) {
+	b := NewBuilder("nested", "x")
+	b.Loop("i", 0, 3, 1)
+	b.Loop("j", 0, 4, 1)
+	b.Compute(UnitVector, 10)
+	b.EndLoop()
+	b.EndLoop()
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.CollectStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ComputeNodes != 12 || s.ComputeCycles != 120 {
+		t.Fatalf("nested stats wrong: %+v", s)
+	}
+}
+
+func TestDataDependentLatencies(t *testing.T) {
+	b := NewBuilder("sparse", "a")
+	b.Loop("i", 0, 3, 1)
+	b.ComputeKeyed(UnitSparse, "tile_{i}")
+	b.EndLoop()
+	b.SetTileLatency("tile_0", 10)
+	b.SetTileLatency("tile_1", 20)
+	b.SetTileLatency("tile_2", 30)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := g.CollectStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.ComputeCycles != 60 {
+		t.Fatalf("data-dependent cycles = %d, want 60", s.ComputeCycles)
+	}
+	// A missing key must surface as an error.
+	delete(g.TileLatencies, "tile_2")
+	if _, err := g.CollectStats(); err == nil {
+		t.Fatal("missing tile latency must error")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	g := simpleGEMMTOG(t, 4, 42)
+	g.TileLatencies = map[string]int64{"k": 9}
+	g.SpadBytes = 1024
+	data, err := Encode(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != g.Name || len(back.Nodes) != len(g.Nodes) {
+		t.Fatal("round trip lost structure")
+	}
+	for i := range g.Nodes {
+		a, b := g.Nodes[i], back.Nodes[i]
+		if a.Kind != b.Kind || a.Cycles != b.Cycles || a.Tag != b.Tag || a.Tensor != b.Tensor {
+			t.Fatalf("node %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	if back.TileLatencies["k"] != 9 || back.SpadBytes != 1024 {
+		t.Fatal("aux data lost")
+	}
+	s1, _ := g.CollectStats()
+	s2, _ := back.CollectStats()
+	if s1 != s2 {
+		t.Fatal("stats differ after round trip")
+	}
+}
+
+func TestDecodeRejectsInvalid(t *testing.T) {
+	if _, err := Decode([]byte("{not json")); err == nil {
+		t.Fatal("bad JSON must error")
+	}
+	if _, err := Decode([]byte(`{"name":"x","nodes":[{"id":0,"kind":"loopEnd"}]}`)); err == nil {
+		t.Fatal("invalid graph must error")
+	}
+}
+
+func TestStatsLinearInTripCount(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		n := int64(1 + r.Intn(20))
+		cyc := int64(1 + r.Intn(1000))
+		g := simpleGEMMTOG(&testing.T{}, n, cyc)
+		s, err := g.CollectStats()
+		if err != nil {
+			return false
+		}
+		return s.ComputeCycles == n*cyc && s.LoadBytes == n*64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeclareTensorIdempotent(t *testing.T) {
+	b := NewBuilder("x", "a")
+	b.DeclareTensor("a").DeclareTensor("b").DeclareTensor("b")
+	b.Compute(UnitSA, 1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tensors) != 2 {
+		t.Fatalf("tensors = %v", g.Tensors)
+	}
+}

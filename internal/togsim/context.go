@@ -1,0 +1,241 @@
+package togsim
+
+import (
+	"fmt"
+
+	"repro/internal/tog"
+)
+
+// context walks one job's TOG sequence node by node, maintaining the loop
+// stack, issuing DMAs to the fabric, and occupying the core's compute units.
+type context struct {
+	job    *job2
+	coreID int
+	budget int
+	burst  int // memory request granularity (DRAM burst bytes)
+
+	togIdx  int
+	pc      int
+	vars    map[string]int64
+	loops   []loopFrame
+	readyAt int64 // context blocked until this cycle
+
+	// DMA bookkeeping.
+	pendingTag map[int]int
+	issueQueue []*MemReq // bursts of the current DMA not yet accepted
+	waitTag    int       // -1 when not waiting
+	waitAll    bool      // final drain before a TOG completes
+
+	computeBusy int64
+	dmaBytes    int64
+}
+
+// job2 aliases Job to keep struct embedding simple.
+type job2 = Job
+
+type loopFrame struct {
+	beginPC int
+	endPC   int
+	v       string
+}
+
+func newContext(j *Job, coreID, budget, burst int) *context {
+	return &context{
+		job:        j,
+		coreID:     coreID,
+		budget:     budget,
+		burst:      burst,
+		vars:       map[string]int64{},
+		pendingTag: map[int]int{},
+		waitTag:    -1,
+	}
+}
+
+func (c *context) finished() bool { return c.togIdx >= len(c.job.TOGs) }
+
+// dmaDone is called by the engine when one of this context's bursts
+// completes.
+func (c *context) dmaDone(r *MemReq) {
+	c.pendingTag[r.tag]--
+	c.dmaBytes += int64(r.Bytes)
+}
+
+// step advances the context as far as it can within one cycle. A non-nil
+// error (unbound tensor, missing tile latency) aborts the run.
+func (c *context) step(cycle int64, cs *coreState, fabric Fabric) error {
+	if c.finished() || cycle < c.readyAt {
+		return nil
+	}
+	// Flush bursts the fabric previously refused.
+	for len(c.issueQueue) > 0 {
+		if !fabric.Submit(c.issueQueue[0]) {
+			return nil // fabric full; retry next cycle
+		}
+		c.issueQueue = c.issueQueue[1:]
+	}
+	// Blocked on a waitDMA?
+	if c.waitTag >= 0 {
+		if c.pendingTag[c.waitTag] > 0 {
+			return nil
+		}
+		c.waitTag = -1
+	}
+	if c.waitAll {
+		for _, n := range c.pendingTag {
+			if n > 0 {
+				return nil
+			}
+		}
+		c.waitAll = false
+		c.togIdx++
+		c.pc = 0
+		c.vars = map[string]int64{}
+		c.loops = nil
+		return nil
+	}
+
+	g := c.job.TOGs[c.togIdx]
+	for steps := 0; steps < c.budget; steps++ {
+		if c.pc >= len(g.Nodes) {
+			// TOG body done; drain outstanding DMAs before moving on.
+			c.waitAll = true
+			return nil
+		}
+		n := &g.Nodes[c.pc]
+		switch n.Kind {
+		case tog.LoopBegin:
+			end := c.findEnd(g, c.pc)
+			if n.Init >= n.Limit {
+				c.pc = end + 1
+				continue
+			}
+			c.vars[n.Var] = n.Init
+			c.loops = append(c.loops, loopFrame{beginPC: c.pc, endPC: end, v: n.Var})
+			c.pc++
+		case tog.LoopEnd:
+			fr := &c.loops[len(c.loops)-1]
+			begin := &g.Nodes[fr.beginPC]
+			c.vars[fr.v] += begin.Step
+			if c.vars[fr.v] < begin.Limit {
+				c.pc = fr.beginPC + 1
+			} else {
+				delete(c.vars, fr.v)
+				c.loops = c.loops[:len(c.loops)-1]
+				c.pc++
+			}
+		case tog.Compute:
+			lat := n.Cycles
+			if n.LatKey != "" {
+				key := tog.SubstituteKey(n.LatKey, c.vars)
+				l, ok := g.TileLatencies[key]
+				if !ok {
+					return fmt.Errorf("togsim: missing tile latency %q in %q", key, g.Name)
+				}
+				lat = l
+			}
+			var unitFree *int64
+			var busy *int64
+			switch n.Unit {
+			case tog.UnitSA:
+				// Pick the earliest-free systolic array on this core.
+				best := 0
+				for i := 1; i < len(cs.saFree); i++ {
+					if cs.saFree[i] < cs.saFree[best] {
+						best = i
+					}
+				}
+				unitFree = &cs.saFree[best]
+				busy = &cs.stats.SABusy
+			case tog.UnitSparse:
+				unitFree = &cs.sparseFree
+				busy = &cs.stats.SparseBusy
+			default:
+				unitFree = &cs.vecFree
+				busy = &cs.stats.VectorBusy
+			}
+			start := cycle
+			if *unitFree > start {
+				start = *unitFree
+			}
+			finish := start + lat
+			*unitFree = finish
+			*busy += lat
+			c.computeBusy += lat
+			c.readyAt = finish
+			c.pc++
+			return nil
+		case tog.LoadDMA, tog.StoreDMA:
+			if err := c.issueDMA(g, n, fabric); err != nil {
+				return fmt.Errorf("togsim: %w", err)
+			}
+			c.pc++
+			if len(c.issueQueue) > 0 {
+				return nil // fabric backpressure
+			}
+		case tog.WaitDMA:
+			c.pc++
+			if c.pendingTag[n.Tag] > 0 {
+				c.waitTag = n.Tag
+				return nil
+			}
+		}
+	}
+	return nil
+}
+
+// issueDMA expands a DMA node into burst requests and submits them.
+func (c *context) issueDMA(g *tog.TOG, n *tog.Node, fabric Fabric) error {
+	base, ok := c.baseOf(n.Tensor)
+	if !ok {
+		return fmt.Errorf("unbound tensor %q in %q", n.Tensor, g.Name)
+	}
+	off, err := n.Off.Eval(c.vars)
+	if err != nil {
+		return err
+	}
+	addr := base + uint64(off)
+	burst := c.burst
+	for _, rg := range n.Desc.DRAMRanges(addr) {
+		for b := 0; b < rg.Bytes; b += burst {
+			sz := burst
+			if rg.Bytes-b < sz {
+				sz = rg.Bytes - b
+			}
+			req := &MemReq{
+				Addr:    rg.Addr + uint64(b),
+				Bytes:   sz,
+				IsWrite: n.Kind == tog.StoreDMA,
+				Src:     c.job.Src,
+				Core:    c.coreID,
+				owner:   c,
+				tag:     n.Tag,
+			}
+			c.pendingTag[n.Tag]++
+			if len(c.issueQueue) > 0 || !fabric.Submit(req) {
+				c.issueQueue = append(c.issueQueue, req)
+			}
+		}
+	}
+	return nil
+}
+
+func (c *context) baseOf(tensor string) (uint64, bool) {
+	b, ok := c.job.Bases[c.togIdx][tensor]
+	return b, ok
+}
+
+func (c *context) findEnd(g *tog.TOG, begin int) int {
+	depth := 0
+	for j := begin; j < len(g.Nodes); j++ {
+		switch g.Nodes[j].Kind {
+		case tog.LoopBegin:
+			depth++
+		case tog.LoopEnd:
+			depth--
+			if depth == 0 {
+				return j
+			}
+		}
+	}
+	panic("togsim: unmatched loop (validated TOG should not reach here)")
+}

@@ -1,0 +1,165 @@
+package togsim
+
+import (
+	"fmt"
+
+	"repro/internal/npu"
+	"repro/internal/tog"
+)
+
+// Job is one unit of scheduled work: a sequence of TOGs (e.g. a model's
+// layers) executed in order on a specific core. Bases gives each TOG its
+// tensor base addresses in DRAM; Src tags the job's memory traffic for
+// fairness accounting (multi-tenancy, §5.2).
+type Job struct {
+	Name  string
+	TOGs  []*tog.TOG
+	Bases []map[string]uint64
+	Core  int
+	Src   int
+	// Arrival is the cycle the job becomes eligible to start (load
+	// generator arrival time, §3.10); 0 = immediately.
+	Arrival int64
+}
+
+// JobResult reports one job's timing.
+type JobResult struct {
+	Name        string
+	Start, End  int64
+	ComputeBusy int64 // cycles any compute node of this job was executing
+	DMABytes    int64
+}
+
+// CoreStats reports one core's compute-unit busy cycles.
+type CoreStats struct {
+	SABusy     int64 // summed across the core's systolic arrays
+	VectorBusy int64
+	SparseBusy int64
+}
+
+// SAUtil returns SA busy fraction over the run (per SA).
+func (c CoreStats) SAUtil(totalCycles int64, numSAs int) float64 {
+	if totalCycles == 0 || numSAs == 0 {
+		return 0
+	}
+	return float64(c.SABusy) / float64(totalCycles*int64(numSAs))
+}
+
+// Result is the outcome of an engine run.
+type Result struct {
+	Cycles int64
+	Jobs   []JobResult
+	Cores  []CoreStats
+}
+
+// Engine executes jobs on a multi-core NPU against a memory fabric.
+type Engine struct {
+	Cfg    npu.Config
+	Fabric Fabric
+
+	// MaxCycles guards against deadlock (0 = default).
+	MaxCycles int64
+	// NodesPerCycle bounds zero-cost node processing per context per cycle.
+	NodesPerCycle int
+}
+
+// NewEngine returns an engine over the given fabric.
+func NewEngine(cfg npu.Config, fabric Fabric) *Engine {
+	return &Engine{Cfg: cfg, Fabric: fabric, NodesPerCycle: 256}
+}
+
+// core-local shared compute units.
+type coreState struct {
+	saFree     []int64 // one entry per systolic array
+	vecFree    int64
+	sparseFree int64
+	contexts   []*context
+	queue      []*Job // jobs waiting for a free context slot
+	maxCtx     int
+	stats      CoreStats
+}
+
+// Run executes all jobs to completion and returns timing results.
+func (e *Engine) Run(jobs []*Job) (Result, error) {
+	maxCycles := e.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = 20_000_000_000
+	}
+	cores := make([]*coreState, e.Cfg.Cores)
+	for i := range cores {
+		cores[i] = &coreState{
+			saFree: make([]int64, e.Cfg.Core.NumSAs),
+			maxCtx: 2, // double-buffered contexts (§3.3.1)
+		}
+	}
+	results := map[*Job]*JobResult{}
+	for _, j := range jobs {
+		if j.Core < 0 || j.Core >= len(cores) {
+			return Result{}, fmt.Errorf("togsim: job %q assigned to invalid core %d", j.Name, j.Core)
+		}
+		if len(j.Bases) != len(j.TOGs) {
+			return Result{}, fmt.Errorf("togsim: job %q has %d TOGs but %d base maps", j.Name, len(j.TOGs), len(j.Bases))
+		}
+		for _, g := range j.TOGs {
+			if err := g.Validate(); err != nil {
+				return Result{}, fmt.Errorf("togsim: job %q: %w", j.Name, err)
+			}
+		}
+		cores[j.Core].queue = append(cores[j.Core].queue, j)
+		results[j] = &JobResult{Name: j.Name, Start: -1}
+	}
+
+	var cycle int64
+	remaining := len(jobs)
+	for remaining > 0 {
+		cycle++
+		if cycle > maxCycles {
+			return Result{}, fmt.Errorf("togsim: exceeded %d cycles with %d jobs unfinished", maxCycles, remaining)
+		}
+		for ci, cs := range cores {
+			// Admit queued jobs into free context slots (FCFS per core;
+			// jobs wait for their arrival time).
+			for len(cs.contexts) < cs.maxCtx && len(cs.queue) > 0 && cs.queue[0].Arrival <= cycle {
+				j := cs.queue[0]
+				cs.queue = cs.queue[1:]
+				ctx := newContext(j, ci, e.NodesPerCycle, e.Cfg.Mem.BurstBytes)
+				cs.contexts = append(cs.contexts, ctx)
+				results[j].Start = cycle
+			}
+			// Step active contexts.
+			live := cs.contexts[:0]
+			for _, ctx := range cs.contexts {
+				if err := ctx.step(cycle, cs, e.Fabric); err != nil {
+					return Result{}, fmt.Errorf("job %q: %w", ctx.job.Name, err)
+				}
+				if ctx.finished() {
+					r := results[ctx.job]
+					r.End = cycle
+					r.ComputeBusy = ctx.computeBusy
+					r.DMABytes = ctx.dmaBytes
+					remaining--
+				} else {
+					live = append(live, ctx)
+				}
+			}
+			cs.contexts = live
+		}
+		e.Fabric.Tick()
+		for _, req := range e.Fabric.Completed() {
+			req.owner.dmaDone(req)
+		}
+	}
+	res := Result{Cycles: cycle}
+	for _, j := range jobs {
+		res.Jobs = append(res.Jobs, *results[j])
+	}
+	for _, cs := range cores {
+		res.Cores = append(res.Cores, cs.stats)
+	}
+	return res, nil
+}
+
+// RunSingle is a convenience wrapper: one TOG, one core, one base map.
+func (e *Engine) RunSingle(g *tog.TOG, bases map[string]uint64) (Result, error) {
+	return e.Run([]*Job{{Name: g.Name, TOGs: []*tog.TOG{g}, Bases: []map[string]uint64{bases}, Core: 0}})
+}

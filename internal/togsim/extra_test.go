@@ -1,0 +1,134 @@
+package togsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dram"
+	"repro/internal/npu"
+	"repro/internal/tensor"
+	"repro/internal/tog"
+)
+
+// TestCyclesMonotonicInComputeLatency: inflating any compute node's latency
+// must never reduce total cycles.
+func TestCyclesMonotonicInComputeLatency(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := tensor.NewRNG(seed)
+		base := int64(10 + r.Intn(200))
+		run := func(lat int64) int64 {
+			g := tiledTOG("m", 8, 4, 32, lat, false)
+			s := NewStandard(npu.SmallConfig(), SimpleNet, dram.FRFCFS)
+			res, err := s.Engine.RunSingle(g, map[string]uint64{"in": 0, "out": 1 << 20})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res.Cycles
+		}
+		return run(base*2) >= run(base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEngineDeterministic: identical job sets simulate to identical cycles.
+func TestEngineDeterministic(t *testing.T) {
+	run := func() int64 {
+		cfg := npu.SmallConfig()
+		cfg.Cores = 2
+		s := NewStandard(cfg, CycleNet, dram.FRFCFS)
+		jobs := []*Job{
+			{Name: "a", TOGs: []*tog.TOG{tiledTOG("a", 16, 8, 64, 40, false)},
+				Bases: []map[string]uint64{{"in": 0, "out": 1 << 22}}, Core: 0, Src: 0},
+			{Name: "b", TOGs: []*tog.TOG{tiledTOG("b", 16, 8, 64, 40, false)},
+				Bases: []map[string]uint64{{"in": 1 << 23, "out": 1 << 24}}, Core: 1, Src: 1},
+		}
+		res, err := s.Engine.Run(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	if run() != run() {
+		t.Fatal("engine must be deterministic")
+	}
+}
+
+// TestJobArrivalDelaysStart: a job cannot start before its arrival cycle.
+func TestJobArrivalDelaysStart(t *testing.T) {
+	s := NewStandard(npu.SmallConfig(), SimpleNet, dram.FRFCFS)
+	j := &Job{
+		Name:    "late",
+		TOGs:    []*tog.TOG{computeOnlyTOG("c", 4, 50, tog.UnitSA)},
+		Bases:   []map[string]uint64{{"x": 0}},
+		Core:    0,
+		Arrival: 5000,
+	}
+	res, err := s.Engine.Run([]*Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs[0].Start < 5000 {
+		t.Fatalf("job started at %d before arrival 5000", res.Jobs[0].Start)
+	}
+}
+
+func TestCoreUtilizationStats(t *testing.T) {
+	s := NewStandard(npu.SmallConfig(), SimpleNet, dram.FRFCFS)
+	g := computeOnlyTOG("u", 10, 100, tog.UnitSA)
+	res, err := s.Engine.RunSingle(g, map[string]uint64{"x": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cores) != 1 {
+		t.Fatalf("core stats missing: %+v", res.Cores)
+	}
+	if res.Cores[0].SABusy != 1000 {
+		t.Fatalf("SABusy = %d, want 1000", res.Cores[0].SABusy)
+	}
+	util := res.Cores[0].SAUtil(res.Cycles, 1)
+	if util <= 0.9 || util > 1.0 {
+		t.Fatalf("SA utilization = %.2f, want ~1.0 for a compute-only run", util)
+	}
+	if res.Cores[0].VectorBusy != 0 || res.Cores[0].SparseBusy != 0 {
+		t.Fatalf("other units should be idle: %+v", res.Cores[0])
+	}
+}
+
+func TestRunReturnsErrorOnUnboundTensor(t *testing.T) {
+	b := tog.NewBuilder("bad", "x")
+	b.Load("x", npu.DMADesc{Rows: 1, Cols: 16}, tog.AddrExpr{}, 1, 0)
+	b.Wait(1)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStandard(npu.SmallConfig(), SimpleNet, dram.FRFCFS)
+	_, err = s.Engine.Run([]*Job{{
+		Name: "bad", TOGs: []*tog.TOG{g},
+		Bases: []map[string]uint64{{}}, // x unbound
+	}})
+	if err == nil {
+		t.Fatal("expected unbound-tensor error, not a panic or success")
+	}
+}
+
+func TestRunReturnsErrorOnMissingTileLatency(t *testing.T) {
+	b := tog.NewBuilder("bad", "x")
+	b.Loop("i", 0, 2, 1)
+	b.ComputeKeyed(tog.UnitSparse, "tile_$i")
+	b.EndLoop()
+	b.SetTileLatency("tile_0", 10) // tile_1 missing
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewStandard(npu.SmallConfig(), SimpleNet, dram.FRFCFS)
+	_, err = s.Engine.Run([]*Job{{
+		Name: "bad", TOGs: []*tog.TOG{g}, Bases: []map[string]uint64{{"x": 0}},
+	}})
+	if err == nil {
+		t.Fatal("expected missing-latency error")
+	}
+}

@@ -1,0 +1,225 @@
+// Package togsim implements Tile-Level Simulation (TLS, §3.7-3.8): it
+// executes compiler-generated Tile Operation Graphs on a multi-core NPU
+// model at tile granularity. Compute nodes consume offline-measured
+// latencies; DMA nodes are expanded into burst-granularity requests and
+// simulated online against cycle-accurate NoC and DRAM models, capturing
+// the shared-resource contention that analytical models miss.
+package togsim
+
+import (
+	"repro/internal/dram"
+	"repro/internal/noc"
+	"repro/internal/npu"
+)
+
+// MemReq is one burst-granularity memory access issued by a context's DMA.
+type MemReq struct {
+	Addr    uint64
+	Bytes   int
+	IsWrite bool
+	Src     int // requestor id for fairness accounting (job source)
+	Core    int // issuing core (NoC endpoint)
+
+	owner *context
+	tag   int
+}
+
+// Fabric is the memory subsystem seen by the TOG engine: it accepts burst
+// requests and later reports their completion. Implementations compose NoC
+// and DRAM models; the chiplet package provides a NUMA implementation.
+type Fabric interface {
+	// Submit hands over one request; false means "retry later".
+	Submit(r *MemReq) bool
+	// Tick advances the fabric one cycle.
+	Tick()
+	// Completed drains finished requests.
+	Completed() []*MemReq
+	// Pending reports requests in flight.
+	Pending() int
+}
+
+// StdFabric is the standard single-package fabric: a NoC (SN or CN) in
+// front of a multi-channel DRAM. Loads traverse: request delay -> DRAM ->
+// NoC (data back to the core). Stores traverse: NoC (data to memory) ->
+// DRAM. Only the data-carrying direction consumes NoC bandwidth; the
+// header-only direction is a fixed pipeline delay.
+type StdFabric struct {
+	Mem dram.Controller
+	Net noc.Network
+
+	cores    int
+	channels int
+	burst    int
+	reqDelay int64
+
+	cycle     int64
+	delayed   []delayedReq           // loads waiting out the request-path delay
+	toMem     [][]*dram.Request      // per-channel staging for DRAM submission
+	staged    map[int][]*noc.Message // per-source NoC responses refused by a full queue
+	reqByDram map[*dram.Request]*MemReq
+	reqByMsg  map[*noc.Message]*MemReq
+	done      []*MemReq
+	pending   int
+}
+
+type delayedReq struct {
+	at  int64
+	req *dram.Request
+}
+
+// NewStdFabric builds the standard fabric from an NPU config, a DRAM
+// controller, and a network model.
+func NewStdFabric(cfg npu.Config, mem dram.Controller, net noc.Network) *StdFabric {
+	return &StdFabric{
+		Mem:       mem,
+		Net:       net,
+		cores:     cfg.Cores,
+		channels:  cfg.Mem.Channels,
+		burst:     cfg.Mem.BurstBytes,
+		reqDelay:  int64(cfg.NoC.LatencyCycle),
+		toMem:     make([][]*dram.Request, cfg.Mem.Channels),
+		staged:    map[int][]*noc.Message{},
+		reqByDram: map[*dram.Request]*MemReq{},
+		reqByMsg:  map[*noc.Message]*MemReq{},
+	}
+}
+
+// memPort returns the NoC endpoint of the channel serving addr.
+func (f *StdFabric) memPort(addr uint64) int {
+	return f.cores + f.chanOf(addr)
+}
+
+// chanOf mirrors the DRAM controller's channel interleave.
+func (f *StdFabric) chanOf(addr uint64) int {
+	return int(addr/uint64(f.burst)) % f.channels
+}
+
+// stage queues a dram request on its channel's submission FIFO.
+func (f *StdFabric) stage(dr *dram.Request) {
+	ch := f.chanOf(dr.Addr)
+	f.toMem[ch] = append(f.toMem[ch], dr)
+}
+
+// Submit implements Fabric.
+func (f *StdFabric) Submit(r *MemReq) bool {
+	if r.IsWrite {
+		// Data flows core -> memory through the NoC first.
+		msg := &noc.Message{Src: r.Core, Dst: f.memPort(r.Addr), Bytes: r.Bytes}
+		if !f.Net.Submit(msg) {
+			return false
+		}
+		f.reqByMsg[msg] = r
+		f.pending++
+		return true
+	}
+	// Loads: header-only request path is a fixed delay before the DRAM.
+	dr := &dram.Request{Addr: r.Addr, Src: r.Src}
+	f.reqByDram[dr] = r
+	f.delayed = append(f.delayed, delayedReq{at: f.cycle + f.reqDelay, req: dr})
+	f.pending++
+	return true
+}
+
+// Tick implements Fabric.
+func (f *StdFabric) Tick() {
+	f.cycle++
+
+	// Release delayed load requests into the DRAM submission queues.
+	rem := f.delayed[:0]
+	for _, d := range f.delayed {
+		if d.at <= f.cycle {
+			f.stage(d.req)
+		} else {
+			rem = append(rem, d)
+		}
+	}
+	f.delayed = rem
+
+	// NoC deliveries: store data reaching memory, or load data reaching the
+	// core (request complete).
+	f.Net.Tick()
+	for _, msg := range f.Net.Completed() {
+		r := f.reqByMsg[msg]
+		delete(f.reqByMsg, msg)
+		if r == nil {
+			continue
+		}
+		if r.IsWrite {
+			dr := &dram.Request{Addr: r.Addr, IsWrite: true, Src: r.Src}
+			f.reqByDram[dr] = r
+			f.stage(dr)
+		} else {
+			f.done = append(f.done, r)
+			f.pending--
+		}
+	}
+
+	// Push staged requests into the DRAM controller, per channel, stopping
+	// at the first refusal (the channel queue preserves FIFO order and a
+	// full queue this cycle stays full for the rest of it).
+	for ch := range f.toMem {
+		q := f.toMem[ch]
+		i := 0
+		for ; i < len(q); i++ {
+			if !f.Mem.Submit(q[i]) {
+				break
+			}
+		}
+		if i > 0 {
+			f.toMem[ch] = append(q[:0], q[i:]...)
+		}
+	}
+
+	// DRAM completions: loads send data back through the NoC; writes are
+	// complete once the column write finishes.
+	f.Mem.Tick()
+	for _, dr := range f.Mem.Completed() {
+		r := f.reqByDram[dr]
+		delete(f.reqByDram, dr)
+		if r == nil {
+			continue
+		}
+		if r.IsWrite {
+			f.done = append(f.done, r)
+			f.pending--
+			continue
+		}
+		msg := &noc.Message{Src: f.memPort(r.Addr), Dst: r.Core, Bytes: r.Bytes}
+		f.reqByMsg[msg] = r
+		// The NoC response port may be busy; stage in the port's FIFO (it
+		// must drain in order behind earlier responses).
+		if len(f.staged[msg.Src]) > 0 || !f.Net.Submit(msg) {
+			f.staged[msg.Src] = append(f.staged[msg.Src], msg)
+		}
+	}
+	// Retry staged responses, per port, stopping at the first refusal.
+	f.retryResponses()
+}
+
+var _ Fabric = (*StdFabric)(nil)
+
+func (f *StdFabric) retryResponses() {
+	for src, q := range f.staged {
+		i := 0
+		for ; i < len(q); i++ {
+			if !f.Net.Submit(q[i]) {
+				break
+			}
+		}
+		if i == len(q) {
+			delete(f.staged, src)
+		} else if i > 0 {
+			f.staged[src] = append(q[:0], q[i:]...)
+		}
+	}
+}
+
+// Completed implements Fabric.
+func (f *StdFabric) Completed() []*MemReq {
+	out := f.done
+	f.done = nil
+	return out
+}
+
+// Pending implements Fabric.
+func (f *StdFabric) Pending() int { return f.pending }

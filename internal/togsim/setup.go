@@ -1,0 +1,54 @@
+package togsim
+
+import (
+	"repro/internal/dram"
+	"repro/internal/noc"
+	"repro/internal/npu"
+)
+
+// NetKind selects the interconnect model (§4.1): SN is the simple
+// latency-bandwidth model, CN the cycle-accurate crossbar.
+type NetKind int
+
+const (
+	// SimpleNet is PyTorchSim-SN.
+	SimpleNet NetKind = iota
+	// CycleNet is PyTorchSim-CN.
+	CycleNet
+)
+
+// Setup bundles a ready-to-run engine with access to its components' stats.
+type Setup struct {
+	Engine *Engine
+	Mem    *dram.Memory
+	Net    noc.Network
+}
+
+// NewStandard builds the standard TLS stack: cycle-accurate DRAM with the
+// given scheduler, the selected NoC model, and an engine over them.
+func NewStandard(cfg npu.Config, kind NetKind, sched dram.SchedulerKind) *Setup {
+	mem := dram.New(cfg.Mem, sched)
+	var net noc.Network
+	switch kind {
+	case CycleNet:
+		net = noc.NewCrossbar(cfg.NoC.FlitBytes, int64(cfg.NoC.LatencyCycle), 4096)
+	default:
+		net = noc.NewSimple(cfg.NoC.FlitBytes, int64(cfg.NoC.LatencyCycle))
+	}
+	// A core's memory interface spans every channel: its NoC port carries
+	// one flit per channel per cycle (full HBM bandwidth).
+	for c := 0; c < cfg.Cores; c++ {
+		net.SetPortWidth(c, cfg.Mem.Channels)
+	}
+	fabric := NewStdFabric(cfg, mem, net)
+	return &Setup{Engine: NewEngine(cfg, fabric), Mem: mem, Net: net}
+}
+
+// NewFlatLatency builds an engine over a flat-latency memory (no NoC
+// contention), used for the sparse-core validation (§5.1).
+func NewFlatLatency(cfg npu.Config, latencyCycles int64) *Setup {
+	mem := dram.NewSimple(latencyCycles)
+	net := noc.NewSimple(cfg.NoC.FlitBytes, 0)
+	fabric := NewStdFabric(cfg, mem, net)
+	return &Setup{Engine: NewEngine(cfg, fabric), Net: net}
+}

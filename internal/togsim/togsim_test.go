@@ -1,0 +1,306 @@
+package togsim
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/npu"
+	"repro/internal/tog"
+)
+
+func computeOnlyTOG(name string, n int64, cyclesEach int64, unit tog.Unit) *tog.TOG {
+	b := tog.NewBuilder(name, "x")
+	b.Loop("i", 0, n, 1)
+	b.Compute(unit, cyclesEach)
+	b.EndLoop()
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// tiledTOG models a tiled kernel: per iteration, load a tile, wait, compute,
+// store. With prefetch=true, the body is unrolled by two with ping-pong DMA
+// tags (double buffering): the next tile's load is in flight while the
+// current tile computes. iters must be even when prefetch is set.
+func tiledTOG(name string, iters int64, tileRows, tileCols int, computeCycles int64, prefetch bool) *tog.TOG {
+	desc := npu.DMADesc{Rows: tileRows, Cols: tileCols}
+	tileBytes := int64(desc.TotalBytes())
+	b := tog.NewBuilder(name, "in", "out")
+	inAddr := func(delta int64) tog.AddrExpr {
+		return tog.AddrExpr{Const: delta * tileBytes, Terms: []tog.AddrTerm{{Var: "i", Coeff: tileBytes}}}
+	}
+	outAddr := func(delta int64) tog.AddrExpr {
+		return tog.AddrExpr{Const: delta * tileBytes, Terms: []tog.AddrTerm{{Var: "i", Coeff: tileBytes}}}
+	}
+	if prefetch {
+		if iters%2 != 0 {
+			panic("tiledTOG: prefetch requires even iters")
+		}
+		b.Load("in", desc, tog.AddrExpr{}, 0, 0) // prologue: tile 0 -> buffer A
+		b.Loop("i", 0, iters, 2)
+		b.Load("in", desc, inAddr(1), 1, 0) // prefetch tile i+1 -> buffer B
+		b.Wait(0)
+		b.Compute(tog.UnitSA, computeCycles)
+		b.Store("out", desc, outAddr(0), 2, 0)
+		b.Load("in", desc, inAddr(2), 0, 0) // prefetch tile i+2 -> buffer A
+		b.Wait(1)
+		b.Compute(tog.UnitSA, computeCycles)
+		b.Store("out", desc, outAddr(1), 2, 0)
+		b.EndLoop()
+	} else {
+		b.Loop("i", 0, iters, 1)
+		b.Load("in", desc, inAddr(0), 0, 0)
+		b.Wait(0)
+		b.Compute(tog.UnitSA, computeCycles)
+		b.Store("out", desc, outAddr(0), 1, 0)
+		b.EndLoop()
+	}
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+func smallSetup() *Setup {
+	cfg := npu.SmallConfig()
+	return NewStandard(cfg, SimpleNet, dram.FRFCFS)
+}
+
+func TestComputeOnlySumsLatencies(t *testing.T) {
+	s := smallSetup()
+	g := computeOnlyTOG("c", 10, 50, tog.UnitSA)
+	res, err := s.Engine.RunSingle(g, map[string]uint64{"x": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < 500 || res.Cycles > 520 {
+		t.Fatalf("cycles = %d, want ~500", res.Cycles)
+	}
+	if res.Jobs[0].ComputeBusy != 500 {
+		t.Fatalf("ComputeBusy = %d", res.Jobs[0].ComputeBusy)
+	}
+}
+
+func TestDMAOnlyRespectsBandwidth(t *testing.T) {
+	s := smallSetup()
+	// 64 KiB of loads through a 2-channel, 32 B/burst... burstBytes=64
+	// engine granularity: 1024 bursts. Peak 2x64B per DRAM cycle.
+	b := tog.NewBuilder("dma", "in")
+	b.Loop("i", 0, 64, 1)
+	b.Load("in", npu.DMADesc{Rows: 1, Cols: 256}, tog.AddrExpr{Terms: []tog.AddrTerm{{Var: "i", Coeff: 1024}}}, 0, 0)
+	b.EndLoop()
+	b.Wait(0)
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Engine.RunSingle(g, map[string]uint64{"in": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 65536 bytes / (2 channels * 32B) = 1024 cycles minimum.
+	if res.Cycles < 1024 {
+		t.Fatalf("cycles = %d below DRAM bandwidth bound 1024", res.Cycles)
+	}
+	if res.Cycles > 1024*3 {
+		t.Fatalf("cycles = %d unreasonably above bound", res.Cycles)
+	}
+	if res.Jobs[0].DMABytes != 65536 {
+		t.Fatalf("DMABytes = %d", res.Jobs[0].DMABytes)
+	}
+}
+
+func TestPrefetchOverlapsComputeAndDMA(t *testing.T) {
+	// With compute ~ DMA time per tile, prefetching should approach
+	// max(compute, dma) while the naive version pays compute + dma.
+	mk := func(prefetch bool) int64 {
+		s := smallSetup()
+		g := tiledTOG("t", 16, 8, 128, 200, prefetch) // 4 KiB tiles
+		res, err := s.Engine.RunSingle(g, map[string]uint64{"in": 0, "out": 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	naive := mk(false)
+	pre := mk(true)
+	if pre >= naive {
+		t.Fatalf("prefetch (%d) must beat naive (%d)", pre, naive)
+	}
+	improvement := float64(naive-pre) / float64(naive)
+	if improvement < 0.15 {
+		t.Fatalf("prefetch improvement only %.1f%%", improvement*100)
+	}
+}
+
+func TestTwoCoresShareDRAMBandwidth(t *testing.T) {
+	cfg := npu.SmallConfig()
+	cfg.Cores = 2
+	mkJob := func(core, src int) *Job {
+		g := tiledTOG("j", 32, 8, 128, 10, false) // DMA-bound
+		return &Job{
+			Name:  "j",
+			TOGs:  []*tog.TOG{g},
+			Bases: []map[string]uint64{{"in": uint64(src) << 24, "out": uint64(src)<<24 + (1 << 22)}},
+			Core:  core,
+			Src:   src,
+		}
+	}
+	solo := NewStandard(cfg, SimpleNet, dram.FRFCFS)
+	resSolo, err := solo.Engine.Run([]*Job{mkJob(0, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := NewStandard(cfg, SimpleNet, dram.FRFCFS)
+	resBoth, err := both.Engine.Run([]*Job{mkJob(0, 0), mkJob(1, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBoth.Cycles <= resSolo.Cycles {
+		t.Fatalf("contended run (%d) must be slower than solo (%d)", resBoth.Cycles, resSolo.Cycles)
+	}
+	// Both jobs' traffic shows up in per-source stats.
+	if both.Mem.Stats.BytesBySrc[0] == 0 || both.Mem.Stats.BytesBySrc[1] == 0 {
+		t.Fatalf("per-source bytes missing: %v", both.Mem.Stats.BytesBySrc)
+	}
+}
+
+func TestSameCoreContextsShareComputeUnit(t *testing.T) {
+	// Two compute-bound jobs on one core using the same SA serialize; using
+	// different units (SA vs vector) they overlap.
+	cfg := npu.SmallConfig()
+	run := func(unitB tog.Unit) int64 {
+		s := NewStandard(cfg, SimpleNet, dram.FRFCFS)
+		a := &Job{Name: "a", TOGs: []*tog.TOG{computeOnlyTOG("a", 50, 100, tog.UnitSA)},
+			Bases: []map[string]uint64{{"x": 0}}, Core: 0, Src: 0}
+		b := &Job{Name: "b", TOGs: []*tog.TOG{computeOnlyTOG("b", 50, 100, unitB)},
+			Bases: []map[string]uint64{{"x": 0}}, Core: 0, Src: 1}
+		res, err := s.Engine.Run([]*Job{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	sameUnit := run(tog.UnitSA)
+	diffUnit := run(tog.UnitVector)
+	if diffUnit >= sameUnit {
+		t.Fatalf("different units (%d) must overlap better than same unit (%d)", diffUnit, sameUnit)
+	}
+	if sameUnit < 10000 { // 2 jobs x 50 x 100 cycles serialized
+		t.Fatalf("same-unit jobs must serialize: %d", sameUnit)
+	}
+}
+
+func TestMultipleSAsOverlap(t *testing.T) {
+	cfg := npu.SmallConfig()
+	cfg.Core.NumSAs = 2
+	s := NewStandard(cfg, SimpleNet, dram.FRFCFS)
+	a := &Job{Name: "a", TOGs: []*tog.TOG{computeOnlyTOG("a", 50, 100, tog.UnitSA)},
+		Bases: []map[string]uint64{{"x": 0}}, Core: 0, Src: 0}
+	b := &Job{Name: "b", TOGs: []*tog.TOG{computeOnlyTOG("b", 50, 100, tog.UnitSA)},
+		Bases: []map[string]uint64{{"x": 0}}, Core: 0, Src: 1}
+	res, err := s.Engine.Run([]*Job{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles > 7500 { // two SAs: ~5000, one SA: ~10000
+		t.Fatalf("two SAs should overlap SA jobs: %d cycles", res.Cycles)
+	}
+}
+
+func TestCycleNetMatchesSimpleNetShape(t *testing.T) {
+	// CN and SN must agree within a reasonable factor on a DMA-heavy TOG
+	// (CN adds switch-allocation detail, not orders of magnitude).
+	cfg := npu.SmallConfig()
+	g := tiledTOG("t", 16, 8, 128, 50, true)
+	run := func(kind NetKind) int64 {
+		s := NewStandard(cfg, kind, dram.FRFCFS)
+		res, err := s.Engine.RunSingle(g, map[string]uint64{"in": 0, "out": 1 << 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Cycles
+	}
+	sn, cn := run(SimpleNet), run(CycleNet)
+	if cn < sn/2 || cn > sn*3 {
+		t.Fatalf("CN (%d) diverges too far from SN (%d)", cn, sn)
+	}
+}
+
+func TestSequentialTOGsInOneJob(t *testing.T) {
+	s := smallSetup()
+	g1 := computeOnlyTOG("l1", 5, 100, tog.UnitSA)
+	g2 := computeOnlyTOG("l2", 5, 100, tog.UnitVector)
+	j := &Job{
+		Name:  "model",
+		TOGs:  []*tog.TOG{g1, g2},
+		Bases: []map[string]uint64{{"x": 0}, {"x": 0}},
+		Core:  0,
+	}
+	res, err := s.Engine.Run([]*Job{j})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layers run sequentially: >= 1000 cycles.
+	if res.Cycles < 1000 {
+		t.Fatalf("sequential TOGs must not overlap: %d", res.Cycles)
+	}
+}
+
+func TestDataDependentTileLatencies(t *testing.T) {
+	s := smallSetup()
+	b := tog.NewBuilder("sparse", "a")
+	b.Loop("i", 0, 4, 1)
+	b.ComputeKeyed(tog.UnitSparse, "t{i}")
+	b.EndLoop()
+	for i, lat := range []int64{10, 200, 30, 400} {
+		b.SetTileLatency(tog.SubstituteKey("t{i}", map[string]int64{"i": int64(i)}), lat)
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Engine.RunSingle(g, map[string]uint64{"a": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < 640 || res.Cycles > 660 {
+		t.Fatalf("cycles = %d, want ~640", res.Cycles)
+	}
+}
+
+func TestUnboundTensorIsAnError(t *testing.T) {
+	s := smallSetup()
+	g := tiledTOG("t", 1, 2, 2, 10, false)
+	if _, err := s.Engine.RunSingle(g, map[string]uint64{"in": 0}); err == nil { // "out" missing
+		t.Fatal("expected error for unbound tensor base")
+	}
+}
+
+func TestFlatLatencySetup(t *testing.T) {
+	cfg := npu.SmallConfig()
+	s := NewFlatLatency(cfg, 100)
+	g := tiledTOG("t", 4, 2, 16, 10, false)
+	res, err := s.Engine.RunSingle(g, map[string]uint64{"in": 0, "out": 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each iteration: ~100-cycle load + 10 compute + store (async).
+	if res.Cycles < 4*100 {
+		t.Fatalf("flat latency not applied: %d", res.Cycles)
+	}
+}
+
+func TestEngineValidatesJobs(t *testing.T) {
+	s := smallSetup()
+	g := computeOnlyTOG("c", 1, 10, tog.UnitSA)
+	if _, err := s.Engine.Run([]*Job{{Name: "bad", TOGs: []*tog.TOG{g}, Bases: nil, Core: 0}}); err == nil {
+		t.Fatal("mismatched bases must error")
+	}
+	if _, err := s.Engine.Run([]*Job{{Name: "bad", TOGs: []*tog.TOG{g}, Bases: []map[string]uint64{{}}, Core: 9}}); err == nil {
+		t.Fatal("invalid core must error")
+	}
+}

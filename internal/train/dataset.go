@@ -1,0 +1,92 @@
+// Package train implements the DNN training study of §5.5: a training loop
+// over the MLP (28x28 inputs, hidden 256, 10 classes) that can execute each
+// step either on the host CPU (the reference) or on the simulated NPU
+// through the compiled training-step graph, with TLS providing per-
+// iteration cycle counts. The MNIST dataset is replaced by a deterministic
+// synthetic set with the same shape and cardinality structure (see
+// DESIGN.md substitutions).
+package train
+
+import (
+	"repro/internal/tensor"
+)
+
+// Dataset is a labelled image set: Images is (N, dim), Labels is (N,) with
+// float-encoded class indices.
+type Dataset struct {
+	Images  *tensor.Tensor
+	Labels  *tensor.Tensor
+	Classes int
+}
+
+// N returns the number of examples.
+func (d *Dataset) N() int { return d.Images.Shape[0] }
+
+// SyntheticMNIST generates n 28x28 examples across 10 classes: each class
+// has a random prototype "digit" pattern; examples are the prototype plus
+// Gaussian pixel noise. The classes are separable but overlapping, so the
+// training dynamics (loss convergence vs batch size) behave like the real
+// dataset's.
+func SyntheticMNIST(seed uint64, n int) *Dataset {
+	const dim = 28 * 28
+	const classes = 10
+	r := tensor.NewRNG(seed)
+	protos := make([]*tensor.Tensor, classes)
+	for c := range protos {
+		protos[c] = tensor.RandNormal(r, 0, 1, dim)
+	}
+	images := tensor.New(n, dim)
+	labels := tensor.New(n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		labels.Data[i] = float32(c)
+		for j := 0; j < dim; j++ {
+			// Heavy pixel noise keeps the classes overlapping enough that
+			// convergence takes many optimizer steps (the regime the batch-
+			// size study of §5.5 probes); the 0.25 scale keeps input
+			// magnitudes in a stable range for the fixed learning rate.
+			images.Data[i*dim+j] = 0.25 * (protos[c].Data[j] + 4.0*float32(r.Norm()))
+		}
+	}
+	// Shuffle deterministically.
+	perm := r.Perm(n)
+	shImages := tensor.New(n, dim)
+	shLabels := tensor.New(n)
+	for i, p := range perm {
+		copy(shImages.Data[i*dim:(i+1)*dim], images.Data[p*dim:(p+1)*dim])
+		shLabels.Data[i] = labels.Data[p]
+	}
+	return &Dataset{Images: shImages, Labels: shLabels, Classes: classes}
+}
+
+// Split partitions the dataset at example k into train/eval shares that
+// keep the same class prototypes.
+func (d *Dataset) Split(k int) (train, eval *Dataset) {
+	dim := d.Images.Shape[1]
+	train = &Dataset{
+		Images:  tensor.FromSlice(d.Images.Data[:k*dim], k, dim),
+		Labels:  tensor.FromSlice(d.Labels.Data[:k], k),
+		Classes: d.Classes,
+	}
+	rest := d.N() - k
+	eval = &Dataset{
+		Images:  tensor.FromSlice(d.Images.Data[k*dim:], rest, dim),
+		Labels:  tensor.FromSlice(d.Labels.Data[k:], rest),
+		Classes: d.Classes,
+	}
+	return
+}
+
+// BatchAt returns the b-th batch of the given size (wrapping).
+func (d *Dataset) BatchAt(b, size int) (x, y *tensor.Tensor) {
+	n := d.N()
+	dim := d.Images.Shape[1]
+	x = tensor.New(size, dim)
+	y = tensor.New(size)
+	for i := 0; i < size; i++ {
+		idx := (b*size + i) % n
+		copy(x.Data[i*dim:(i+1)*dim], d.Images.Data[idx*dim:(idx+1)*dim])
+		y.Data[i] = d.Labels.Data[idx]
+	}
+	return
+}

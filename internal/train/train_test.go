@@ -1,0 +1,148 @@
+package train
+
+import (
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/npu"
+	"repro/internal/tensor"
+)
+
+func tinyMLP(batch int) nn.MLPConfig {
+	return nn.MLPConfig{Batch: batch, In: 28 * 28, Hidden: 32, Classes: 10}
+}
+
+func TestSyntheticMNISTStructure(t *testing.T) {
+	ds := SyntheticMNIST(1, 100)
+	if ds.N() != 100 || ds.Images.Shape[1] != 784 {
+		t.Fatalf("dataset shape wrong: %v", ds.Images.Shape)
+	}
+	counts := make([]int, 10)
+	for _, l := range ds.Labels.Data {
+		if l < 0 || l > 9 {
+			t.Fatalf("label out of range: %g", l)
+		}
+		counts[int(l)]++
+	}
+	for c, n := range counts {
+		if n != 10 {
+			t.Fatalf("class %d has %d examples, want 10", c, n)
+		}
+	}
+	// Determinism.
+	ds2 := SyntheticMNIST(1, 100)
+	for i := range ds.Images.Data {
+		if ds.Images.Data[i] != ds2.Images.Data[i] {
+			t.Fatal("dataset must be deterministic")
+		}
+	}
+}
+
+func TestBatchAtWraps(t *testing.T) {
+	ds := SyntheticMNIST(2, 10)
+	x, y := ds.BatchAt(1, 8) // examples 8,9,0,1,...
+	if x.Shape[0] != 8 || y.Shape[0] != 8 {
+		t.Fatal("batch shape wrong")
+	}
+	if y.Data[2] != ds.Labels.Data[0] {
+		t.Fatal("wrapping wrong")
+	}
+}
+
+func TestCPUTrainingConverges(t *testing.T) {
+	ds, eval := SyntheticMNIST(3, 300).Split(200)
+	res, err := Run(Config{
+		MLP: tinyMLP(16), LR: 0.05, Steps: 60, Backend: CPU, Seed: 5,
+	}, ds, eval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, last := res.Losses[0], res.Losses[len(res.Losses)-1]
+	if last >= first {
+		t.Fatalf("loss did not decrease: %g -> %g", first, last)
+	}
+	if res.FinalAccuracy < 0.5 {
+		t.Fatalf("accuracy only %.2f after training", res.FinalAccuracy)
+	}
+}
+
+func TestNPUTrainingMatchesCPULosses(t *testing.T) {
+	// Fig. 10a: "training loss curves from PyTorchSim are identical to
+	// those from a real CPU". Small config for speed.
+	mlp := nn.MLPConfig{Batch: 4, In: 16, Hidden: 8, Classes: 4}
+	full := SyntheticMNIST(6, 64)
+	// Shrink inputs to 16 dims and relabel over 4 classes.
+	small := make([]float32, 64*16)
+	for i := 0; i < 64; i++ {
+		copy(small[i*16:(i+1)*16], full.Images.Data[i*784:i*784+16])
+	}
+	labels := make([]float32, 64)
+	for i := range labels {
+		labels[i] = float32(i % 4)
+	}
+	ds2 := &Dataset{Classes: 4, Images: tensorFrom(small, 64, 16), Labels: tensorFrom(labels, 64)}
+
+	steps := 5
+	cpu, err := Run(Config{MLP: mlp, LR: 0.1, Steps: steps, Backend: CPU, Seed: 7}, ds2, ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	npuRes, err := Run(Config{MLP: mlp, LR: 0.1, Steps: steps, Backend: NPU, NPUCfg: npu.SmallConfig(), Seed: 7}, ds2, ds2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cpu.Losses {
+		d := cpu.Losses[i] - npuRes.Losses[i]
+		if d > 1e-3 || d < -1e-3 {
+			t.Fatalf("step %d: CPU loss %g vs NPU loss %g", i, cpu.Losses[i], npuRes.Losses[i])
+		}
+	}
+}
+
+func TestMeasureIterationCyclesScalesWithBatch(t *testing.T) {
+	cfg := npu.SmallConfig()
+	small, err := MeasureIterationCycles(nn.MLPConfig{Batch: 4, In: 32, Hidden: 16, Classes: 8}, 0.1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := MeasureIterationCycles(nn.MLPConfig{Batch: 16, In: 32, Hidden: 16, Classes: 8}, 0.1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Fatalf("larger batch must cost more per iteration: %d vs %d", big, small)
+	}
+	// But less than linearly (amortized weight traffic), so per-sample
+	// cost drops.
+	if float64(big) >= float64(small)*4 {
+		t.Fatalf("per-iteration cost should grow sub-linearly: %d vs %d", big, small)
+	}
+}
+
+func TestStepsToLoss(t *testing.T) {
+	losses := []float32{2.0, 1.5, 0.9, 0.5}
+	if StepsToLoss(losses, 1.0) != 3 {
+		t.Fatalf("StepsToLoss = %d", StepsToLoss(losses, 1.0))
+	}
+	if StepsToLoss(losses, 0.1) != 4 {
+		t.Fatal("unreached threshold must return len")
+	}
+}
+
+// tensorFrom is a small wrapper to keep test setup terse.
+func tensorFrom(data []float32, shape ...int) *tensor.Tensor {
+	return tensor.FromSlice(data, shape...)
+}
+
+func TestStepsToLossSmoothedFiltersNoise(t *testing.T) {
+	// A single lucky dip below threshold must not count as convergence.
+	noisy := []float32{2, 1.9, 0.4, 1.8, 1.7, 1.6, 1.0, 0.9, 0.7, 0.6, 0.5, 0.5}
+	raw := StepsToLoss(noisy, 0.8)
+	smooth := StepsToLossSmoothed(noisy, 0.8, 0.2)
+	if raw != 3 {
+		t.Fatalf("raw crossing = %d, want 3", raw)
+	}
+	if smooth <= raw {
+		t.Fatalf("smoothed crossing (%d) must ignore the lucky dip at %d", smooth, raw)
+	}
+}
