@@ -1,0 +1,33 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The experiment suite (internal/exp) simulates full workloads and runs
+# well past go test's default 10m per-package budget under the race
+# detector, hence the raised -timeout.
+race:
+	$(GO) test -race -timeout 3600s ./...
+
+# The full gate: everything CI (and the acceptance criteria) require.
+check:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race -timeout 3600s ./...
+
+# Engine micro-benchmarks, including the event-vs-strict TLS comparison.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkTLSEngine' -benchtime 1x .
+
+clean:
+	$(GO) clean ./...

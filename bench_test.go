@@ -24,6 +24,93 @@ import (
 	"repro/internal/togsim"
 )
 
+// --- TLS engine micro-benchmarks ------------------------------------------
+//
+// One benchmark per engine mode and workload shape. The idle-heavy cases
+// (sparse arrivals, million-cycle compute nodes) are where the
+// discrete-event kernel's cycle-skipping pays off: the strict variants
+// tick through every idle cycle, the event variants jump them.
+
+// tlsIdleHeavyJobs builds a workload dominated by idle stretches: long
+// compute nodes separated by small DMAs, plus jobs arriving far apart.
+func tlsIdleHeavyJobs(cfg npu.Config) []*togsim.Job {
+	mk := func(name string, computeCycles int64, iters int64) *tog.TOG {
+		b := tog.NewBuilder(name, "in", "out")
+		desc := npu.DMADesc{Rows: 2, Cols: 128}
+		b.Loop("i", 0, iters, 1)
+		b.Load("in", desc, tog.AddrExpr{Terms: []tog.AddrTerm{{Var: "i", Coeff: 4096}}}, 0, 0)
+		b.Wait(0)
+		b.Compute(tog.UnitSA, computeCycles)
+		b.Store("out", desc, tog.AddrExpr{Terms: []tog.AddrTerm{{Var: "i", Coeff: 4096}}}, 1, 0)
+		b.EndLoop()
+		g, err := b.Build()
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+	var jobs []*togsim.Job
+	for c := 0; c < cfg.Cores; c++ {
+		jobs = append(jobs,
+			&togsim.Job{
+				Name: "long", TOGs: []*tog.TOG{mk("long", 1_000_000, 8)},
+				Bases: []map[string]uint64{{"in": uint64(c) << 30, "out": uint64(c)<<30 + (1 << 24)}},
+				Core:  c, Src: c,
+			},
+			&togsim.Job{
+				Name: "late", TOGs: []*tog.TOG{mk("late", 500_000, 4)},
+				Bases:   []map[string]uint64{{"in": uint64(c)<<30 + (1 << 25), "out": uint64(c)<<30 + (1 << 26)}},
+				Core:    c, Src: cfg.Cores + c,
+				Arrival: 5_000_000, // sparse load-generator arrival
+			})
+	}
+	return jobs
+}
+
+// tlsBusyJobs is the contrasting DMA-bound shape: little idle time, so
+// cycle-skipping should roughly match (not beat) strict ticking.
+func tlsBusyJobs(cfg npu.Config) []*togsim.Job {
+	b := tog.NewBuilder("busy", "in", "out")
+	desc := npu.DMADesc{Rows: 8, Cols: 256}
+	b.Loop("i", 0, 64, 1)
+	b.Load("in", desc, tog.AddrExpr{Terms: []tog.AddrTerm{{Var: "i", Coeff: 2048}}}, 0, 0)
+	b.Wait(0)
+	b.Compute(tog.UnitSA, 100)
+	b.Store("out", desc, tog.AddrExpr{Terms: []tog.AddrTerm{{Var: "i", Coeff: 2048}}}, 1, 0)
+	b.EndLoop()
+	g, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return []*togsim.Job{{
+		Name: "busy", TOGs: []*tog.TOG{g},
+		Bases: []map[string]uint64{{"in": 0, "out": 1 << 26}},
+	}}
+}
+
+func benchTLSEngine(b *testing.B, strict bool, mkJobs func(npu.Config) []*togsim.Job) {
+	b.Helper()
+	cfg := benchCfg()
+	cfg.Cores = 2
+	var cycles int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := togsim.NewStandard(cfg, togsim.SimpleNet, dram.FRFCFS)
+		s.Engine.StrictTick = strict
+		res, err := s.Engine.Run(mkJobs(cfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+func BenchmarkTLSEngineIdleHeavyEvent(b *testing.B)  { benchTLSEngine(b, false, tlsIdleHeavyJobs) }
+func BenchmarkTLSEngineIdleHeavyStrict(b *testing.B) { benchTLSEngine(b, true, tlsIdleHeavyJobs) }
+func BenchmarkTLSEngineBusyEvent(b *testing.B)       { benchTLSEngine(b, false, tlsBusyJobs) }
+func BenchmarkTLSEngineBusyStrict(b *testing.B)      { benchTLSEngine(b, true, tlsBusyJobs) }
+
 func benchCfg() npu.Config { return npu.TPUv3Config() }
 
 // --- Figure/table reproductions ------------------------------------------

@@ -24,6 +24,7 @@ func main() {
 	netKind := flag.String("net", "sn", "interconnect model: sn (simple) or cn (cycle-accurate crossbar)")
 	sched := flag.String("sched", "frfcfs", "memory scheduler: frfcfs or fcfs")
 	small := flag.Bool("small", false, "use the small NPU config instead of TPUv3")
+	strict := flag.Bool("strict", false, "tick every cycle instead of event-driven cycle skipping (results are identical; slower)")
 	dump := flag.Bool("stats", false, "print TOG static statistics only (no simulation)")
 	flag.Parse()
 
@@ -62,6 +63,7 @@ func main() {
 		policy = dram.FCFS
 	}
 	s := togsim.NewStandard(cfg, kind, policy)
+	s.Engine.StrictTick = *strict
 	// Bind every tensor to a distinct region.
 	bases := map[string]uint64{}
 	var next uint64

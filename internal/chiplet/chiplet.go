@@ -9,6 +9,7 @@ package chiplet
 import (
 	"repro/internal/dram"
 	"repro/internal/npu"
+	"repro/internal/sim"
 	"repro/internal/togsim"
 )
 
@@ -50,9 +51,9 @@ type Fabric struct {
 	linkFree [][]int64
 
 	// Per-chiplet FIFOs of requests staged for DRAM submission after link
-	// traversal, and delivery buckets for load data returning over the link.
+	// traversal, and the queue of load data returning over the link.
 	toMem   [][]stagedReq
-	returns map[int64][]*togsim.MemReq
+	returns sim.EventQueue[*togsim.MemReq]
 	byDram  map[*dram.Request]*togsim.MemReq
 	done    []*togsim.MemReq
 	pending int
@@ -70,10 +71,9 @@ type stagedReq struct {
 // NewFabric builds the chiplet fabric with FR-FCFS controllers.
 func NewFabric(cfg Config) *Fabric {
 	f := &Fabric{
-		cfg:     cfg,
-		byDram:  map[*dram.Request]*togsim.MemReq{},
-		toMem:   make([][]stagedReq, cfg.Chiplets),
-		returns: map[int64][]*togsim.MemReq{},
+		cfg:    cfg,
+		byDram: map[*dram.Request]*togsim.MemReq{},
+		toMem:  make([][]stagedReq, cfg.Chiplets),
 	}
 	for i := 0; i < cfg.Chiplets; i++ {
 		f.mems = append(f.mems, dram.New(cfg.MemPerChiplet, dram.FRFCFS))
@@ -180,19 +180,57 @@ func (f *Fabric) Tick() {
 				f.pending--
 				continue
 			}
-			// Load data returns over the link; bucket by arrival cycle.
+			// Load data returns over the link; queue by arrival cycle.
 			at := f.linkDelay(ch, src, r.Bytes, f.cycle)
 			if at <= f.cycle {
 				at = f.cycle + 1
 			}
-			f.returns[at] = append(f.returns[at], r)
+			f.returns.Push(at, r)
 		}
 	}
 	// Deliver link-returned loads due this cycle.
-	if rs, ok := f.returns[f.cycle]; ok {
-		f.done = append(f.done, rs...)
-		f.pending -= len(rs)
-		delete(f.returns, f.cycle)
+	n := len(f.done)
+	f.done = f.returns.PopDue(f.cycle, f.done)
+	f.pending -= len(f.done) - n
+}
+
+// NextEvent implements togsim.Fabric. Each per-chiplet link FIFO's next
+// activity is its head entry's arrival time (or next cycle when the head
+// is already due but stalled on a full controller); beyond that the
+// fabric wakes for link returns and the chiplet DRAM controllers.
+func (f *Fabric) NextEvent() int64 {
+	if len(f.done) > 0 {
+		return f.cycle + 1
+	}
+	next := f.returns.NextCycle()
+	for ch := range f.toMem {
+		if q := f.toMem[ch]; len(q) > 0 {
+			at := q[0].at
+			if at <= f.cycle {
+				return f.cycle + 1
+			}
+			if at < next {
+				next = at
+			}
+		}
+	}
+	for _, m := range f.mems {
+		if e := m.NextEvent(); e < next {
+			next = e
+		}
+	}
+	if next <= f.cycle {
+		return f.cycle + 1
+	}
+	return next
+}
+
+// SkipTo implements togsim.Fabric, advancing every chiplet controller's
+// clock in lock-step (link occupancy is kept in absolute cycles).
+func (f *Fabric) SkipTo(cycle int64) {
+	f.cycle = cycle
+	for _, m := range f.mems {
+		m.SkipTo(cycle)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/npu"
+	"repro/internal/sim"
 )
 
 // Request is one burst-granularity memory access.
@@ -70,7 +71,7 @@ type Memory struct {
 	sched        SchedulerKind
 	chans        []channel
 	cycle        int64
-	inFlight     []*Request // issued, waiting for Finish
+	inFlight     sim.EventQueue[*Request] // issued, keyed by Finish
 	done         []*Request
 	queueCap     int
 	burstsPerRow int64
@@ -155,15 +156,54 @@ func (m *Memory) Tick() {
 		m.issueOne(ci)
 	}
 	// Deliver completions.
-	remaining := m.inFlight[:0]
-	for _, r := range m.inFlight {
-		if r.Finish <= m.cycle {
-			m.done = append(m.done, r)
-		} else {
-			remaining = append(remaining, r)
+	m.done = m.inFlight.PopDue(m.cycle, m.done)
+}
+
+// NextEvent implements the event-kernel contract: with queued requests a
+// command may issue next cycle; otherwise the next observable change is
+// the earliest in-flight completion. All-bank refresh is deliberately not
+// an event — SkipTo replays the refreshes that fall inside a jump, so
+// idle stretches can be skipped across refresh boundaries bit-identically.
+func (m *Memory) NextEvent() int64 {
+	if len(m.done) > 0 {
+		return m.cycle + 1
+	}
+	for i := range m.chans {
+		if len(m.chans[i].queue) > 0 {
+			return m.cycle + 1
 		}
 	}
-	m.inFlight = remaining
+	next := m.inFlight.NextCycle()
+	if next <= m.cycle {
+		return m.cycle + 1
+	}
+	return next
+}
+
+// SkipTo advances the controller's clock to cycle without per-cycle
+// ticking. Legal only when every channel queue is empty and no in-flight
+// request finishes at or before cycle (guaranteed by NextEvent). The
+// tREFI-periodic all-bank refreshes that per-cycle ticking would have
+// performed in the skipped range are replayed exactly: same refresh
+// cycles, same bank-state updates, same counters.
+func (m *Memory) SkipTo(cycle int64) {
+	if m.cfg.TREFI > 0 {
+		for ci := range m.chans {
+			c := &m.chans[ci]
+			for c.nextRefresh <= cycle {
+				m.refreshes++
+				until := c.nextRefresh + int64(m.cfg.TRFC)
+				for b := range c.banks {
+					c.banks[b].openRow = -1
+					if c.banks[b].readyAt < until {
+						c.banks[b].readyAt = until
+					}
+				}
+				c.nextRefresh += int64(m.cfg.TREFI)
+			}
+		}
+	}
+	m.cycle = cycle
 }
 
 // Completed drains and returns requests whose data transfer has finished.
@@ -270,7 +310,7 @@ func (m *Memory) serve(ci int, r *Request) {
 	b.wrLast = r.IsWrite
 	r.Finish = dataAt + 1
 	r.issued = true
-	m.inFlight = append(m.inFlight, r)
+	m.inFlight.Push(r.Finish, r)
 
 	// Stats.
 	if r.IsWrite {
@@ -285,7 +325,7 @@ func (m *Memory) serve(ci int, r *Request) {
 
 // Pending returns the number of requests queued or in flight.
 func (m *Memory) Pending() int {
-	n := len(m.inFlight) + len(m.done)
+	n := m.inFlight.Len() + len(m.done)
 	for i := range m.chans {
 		n += len(m.chans[i].queue)
 	}

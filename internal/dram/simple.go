@@ -1,5 +1,7 @@
 package dram
 
+import "repro/internal/sim"
+
 // Simple is a fixed-latency, bandwidth-unlimited memory model, used for the
 // §5.1 sparse-core validation ("a simple 100 ns DRAM latency model") and as
 // a fast stand-in in unit tests. It implements the same Submit/Tick/
@@ -7,7 +9,7 @@ package dram
 type Simple struct {
 	Latency  int64 // cycles from submit to completion
 	cycle    int64
-	inFlight []*Request
+	inFlight sim.EventQueue[*Request]
 	done     []*Request
 
 	Stats Stats
@@ -28,7 +30,11 @@ func (s *Simple) CanAccept(addr uint64) bool { return true }
 func (s *Simple) Submit(r *Request) bool {
 	r.Arrive = s.cycle
 	r.Finish = s.cycle + s.Latency
-	s.inFlight = append(s.inFlight, r)
+	slot := r.Finish
+	if slot <= s.cycle {
+		slot = s.cycle + 1 // zero-latency models still take one cycle
+	}
+	s.inFlight.Push(slot, r)
 	if r.IsWrite {
 		s.Stats.Writes++
 	} else {
@@ -40,16 +46,23 @@ func (s *Simple) Submit(r *Request) bool {
 // Tick advances one cycle.
 func (s *Simple) Tick() {
 	s.cycle++
-	remaining := s.inFlight[:0]
-	for _, r := range s.inFlight {
-		if r.Finish <= s.cycle {
-			s.done = append(s.done, r)
-		} else {
-			remaining = append(remaining, r)
-		}
-	}
-	s.inFlight = remaining
+	s.done = s.inFlight.PopDue(s.cycle, s.done)
 }
+
+// NextEvent implements sim.Component: the earliest in-flight completion.
+func (s *Simple) NextEvent() int64 {
+	if len(s.done) > 0 {
+		return s.cycle + 1
+	}
+	next := s.inFlight.NextCycle()
+	if next <= s.cycle {
+		return s.cycle + 1
+	}
+	return next
+}
+
+// SkipTo implements sim.Component (all state is absolute-cycle keyed).
+func (s *Simple) SkipTo(cycle int64) { s.cycle = cycle }
 
 // Completed drains finished requests.
 func (s *Simple) Completed() []*Request {
@@ -59,14 +72,15 @@ func (s *Simple) Completed() []*Request {
 }
 
 // Pending returns requests not yet delivered.
-func (s *Simple) Pending() int { return len(s.inFlight) + len(s.done) }
+func (s *Simple) Pending() int { return s.inFlight.Len() + len(s.done) }
 
 // Controller is the interface shared by Memory and Simple; TOGSim programs
-// against it so experiments can swap models.
+// against it so experiments can swap models. It embeds the discrete-event
+// kernel contract so fabrics can propagate NextEvent/SkipTo.
 type Controller interface {
+	sim.Component
 	Submit(r *Request) bool
 	CanAccept(addr uint64) bool
-	Tick()
 	Completed() []*Request
 	Cycle() int64
 	Pending() int

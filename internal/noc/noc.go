@@ -5,7 +5,11 @@
 // round-robin allocation, and bounded queues (the Booksim role).
 package noc
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
 
 // Message is one network transfer between ports (a memory request or
 // response payload).
@@ -17,10 +21,11 @@ type Message struct {
 	Finish   int64
 }
 
-// Network is the interface shared by both models.
+// Network is the interface shared by both models. It embeds the
+// discrete-event kernel contract so engines can skip idle stretches.
 type Network interface {
+	sim.Component
 	Submit(m *Message) bool
-	Tick()
 	Completed() []*Message
 	Cycle() int64
 	Pending() int
@@ -42,9 +47,8 @@ type Simple struct {
 	// messages per cycle. Receive ports are ideal (never the bottleneck in
 	// this model — CN models them).
 	srcClock map[int]int64
-	width    map[int]int          // flits per cycle per port (default 1)
-	byFinish map[int64][]*Message // delivery buckets keyed by finish cycle
-	pending  int
+	width    map[int]int              // flits per cycle per port (default 1)
+	inFlight sim.EventQueue[*Message] // deliveries keyed by finish cycle
 	done     []*Message
 }
 
@@ -58,7 +62,6 @@ func NewSimple(flitBytes int, latency int64) *Simple {
 		Latency:   latency,
 		srcClock:  map[int]int64{},
 		width:     map[int]int{},
-		byFinish:  map[int64][]*Message{},
 	}
 }
 
@@ -104,20 +107,33 @@ func (s *Simple) Submit(m *Message) bool {
 	if slot <= s.cycle {
 		slot = s.cycle + 1
 	}
-	s.byFinish[slot] = append(s.byFinish[slot], m)
-	s.pending++
+	s.inFlight.Push(slot, m)
 	return true
 }
 
 // Tick advances one cycle, delivering due messages.
 func (s *Simple) Tick() {
 	s.cycle++
-	if ms, ok := s.byFinish[s.cycle]; ok {
-		s.done = append(s.done, ms...)
-		s.pending -= len(ms)
-		delete(s.byFinish, s.cycle)
-	}
+	s.done = s.inFlight.PopDue(s.cycle, s.done)
 }
+
+// NextEvent implements sim.Component: the next delivery, or Never when
+// nothing is in flight. Undrained completions pin the event to the next
+// cycle so a caller never skips past them.
+func (s *Simple) NextEvent() int64 {
+	if len(s.done) > 0 {
+		return s.cycle + 1
+	}
+	next := s.inFlight.NextCycle()
+	if next <= s.cycle {
+		return s.cycle + 1
+	}
+	return next
+}
+
+// SkipTo implements sim.Component. All SN state is kept in absolute
+// cycles, so an idle jump is just a clock update.
+func (s *Simple) SkipTo(cycle int64) { s.cycle = cycle }
 
 // Completed drains delivered messages.
 func (s *Simple) Completed() []*Message {
@@ -127,7 +143,7 @@ func (s *Simple) Completed() []*Message {
 }
 
 // Pending returns undelivered message count.
-func (s *Simple) Pending() int { return s.pending + len(s.done) }
+func (s *Simple) Pending() int { return s.inFlight.Len() + len(s.done) }
 
 // --- CN: cycle-accurate input-queued crossbar ------------------------------
 
@@ -159,7 +175,7 @@ type Crossbar struct {
 	inIDs   []int       // stable order of known input ports
 	pending map[*Message]int
 	done    []*Message
-	delayed []*Message // waiting out the pipeline latency
+	delayed sim.EventQueue[*Message] // waiting out the pipeline latency
 
 	// Scratch reused across ticks to avoid per-cycle allocation.
 	reqScratch map[int][]int
@@ -331,21 +347,36 @@ func (x *Crossbar) Tick() {
 			if f.last {
 				f.msg.Finish = x.cycle + x.Latency
 				delete(x.pending, f.msg)
-				x.delayed = append(x.delayed, f.msg)
+				x.delayed.Push(f.msg.Finish, f.msg)
 			}
 		}
 	}
 	// Deliver messages whose pipeline latency elapsed.
-	rem := x.delayed[:0]
-	for _, m := range x.delayed {
-		if m.Finish <= x.cycle {
-			x.done = append(x.done, m)
-		} else {
-			rem = append(rem, m)
+	x.done = x.delayed.PopDue(x.cycle, x.done)
+}
+
+// NextEvent implements sim.Component. Any queued flit means allocation
+// work next cycle; otherwise the next event is the earliest pipeline
+// delivery.
+func (x *Crossbar) NextEvent() int64 {
+	if len(x.done) > 0 {
+		return x.cycle + 1
+	}
+	for _, id := range x.inIDs {
+		if len(x.inputs[id].queue) > 0 {
+			return x.cycle + 1
 		}
 	}
-	x.delayed = rem
+	next := x.delayed.NextCycle()
+	if next <= x.cycle {
+		return x.cycle + 1
+	}
+	return next
 }
+
+// SkipTo implements sim.Component: with empty input queues, the only
+// time-dependent state is the absolute-cycle delivery queue.
+func (x *Crossbar) SkipTo(cycle int64) { x.cycle = cycle }
 
 // Completed drains delivered messages.
 func (x *Crossbar) Completed() []*Message {
@@ -356,7 +387,7 @@ func (x *Crossbar) Completed() []*Message {
 
 // Pending returns messages not yet delivered.
 func (x *Crossbar) Pending() int {
-	return len(x.pending) + len(x.delayed) + len(x.done)
+	return len(x.pending) + x.delayed.Len() + len(x.done)
 }
 
 var (

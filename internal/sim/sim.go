@@ -1,0 +1,170 @@
+// Package sim provides the discrete-event simulation kernel shared by the
+// TLS engine and its component models (DRAM controllers, NoC models, the
+// chiplet NUMA fabric). Instead of polling every component every cycle, the
+// engine asks each component for the earliest future cycle at which its
+// observable state can change (NextEvent) and jumps the clock straight
+// there (SkipTo), skipping idle stretches entirely. The contract is
+// designed so that cycle-skipping is *observationally equivalent* to
+// per-cycle ticking: a component may only be skipped across cycles in
+// which ticking it would have been a no-op, and SkipTo must leave it in
+// exactly the state per-cycle ticking would have (including time-keyed
+// side effects such as DRAM refresh, which implementations replay).
+package sim
+
+import "math"
+
+// Never is the NextEvent value of a component with no scheduled work: the
+// engine may skip it entirely until some other event feeds it new input.
+const Never = int64(math.MaxInt64)
+
+// Component is the clocked-model contract. All components sharing an
+// engine advance in lock-step: one Tick per simulated cycle, or one SkipTo
+// when the engine proves the intervening cycles are idle.
+type Component interface {
+	// Tick advances the component one cycle.
+	Tick()
+	// NextEvent returns the earliest future cycle (in the shared clock
+	// domain, i.e. strictly greater than the current cycle) at which the
+	// component's observable state can change, or Never when idle. A
+	// component that cannot cheaply bound its next event must return
+	// current cycle + 1; returning too small a value only costs speed,
+	// returning too large a value breaks equivalence.
+	NextEvent() int64
+	// SkipTo advances the component's clock to cycle without simulating
+	// the intermediate cycles. Only legal when cycle < NextEvent(); the
+	// resulting state must be bit-identical to calling Tick repeatedly.
+	SkipTo(cycle int64)
+}
+
+// Clock tracks simulated time for an engine driving Components.
+type Clock struct {
+	now int64
+}
+
+// Now returns the current cycle.
+func (c *Clock) Now() int64 { return c.now }
+
+// Tick advances one cycle and returns the new time.
+func (c *Clock) Tick() int64 {
+	c.now++
+	return c.now
+}
+
+// SkipTo jumps the clock forward to cycle. Jumping backwards is a kernel
+// misuse and panics rather than silently corrupting time.
+func (c *Clock) SkipTo(cycle int64) {
+	if cycle < c.now {
+		panic("sim: clock skipped backwards")
+	}
+	c.now = cycle
+}
+
+// Earliest returns the minimum of the given event cycles (Never when
+// called with none). Engines use it to fold component NextEvents.
+func Earliest(cycles ...int64) int64 {
+	next := Never
+	for _, c := range cycles {
+		if c < next {
+			next = c
+		}
+	}
+	return next
+}
+
+// event is one queue entry: a payload due at a cycle, with an insertion
+// sequence number so same-cycle events pop in FIFO order (components rely
+// on this to keep completion order bit-identical to per-cycle scanning).
+type event[T any] struct {
+	cycle int64
+	seq   uint64
+	v     T
+}
+
+// EventQueue is a stable min-heap of cycle-keyed events. The zero value is
+// an empty queue ready for use.
+type EventQueue[T any] struct {
+	h   []event[T]
+	seq uint64
+}
+
+// Len returns the number of queued events.
+func (q *EventQueue[T]) Len() int { return len(q.h) }
+
+// NextCycle returns the due cycle of the earliest event, or Never when
+// empty.
+func (q *EventQueue[T]) NextCycle() int64 {
+	if len(q.h) == 0 {
+		return Never
+	}
+	return q.h[0].cycle
+}
+
+// Push schedules v at the given cycle.
+func (q *EventQueue[T]) Push(cycle int64, v T) {
+	q.h = append(q.h, event[T]{cycle: cycle, seq: q.seq, v: v})
+	q.seq++
+	q.up(len(q.h) - 1)
+}
+
+// Pop removes and returns the earliest event's payload (FIFO among events
+// sharing a cycle). ok is false when the queue is empty.
+func (q *EventQueue[T]) Pop() (v T, ok bool) {
+	if len(q.h) == 0 {
+		return v, false
+	}
+	v = q.h[0].v
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	var zero event[T]
+	q.h[last] = zero // release the payload for GC
+	q.h = q.h[:last]
+	if len(q.h) > 0 {
+		q.down(0)
+	}
+	return v, true
+}
+
+// PopDue appends to out every event due at or before cycle, in due-cycle
+// then FIFO order, and returns the extended slice.
+func (q *EventQueue[T]) PopDue(cycle int64, out []T) []T {
+	for len(q.h) > 0 && q.h[0].cycle <= cycle {
+		v, _ := q.Pop()
+		out = append(out, v)
+	}
+	return out
+}
+
+func (q *EventQueue[T]) less(i, j int) bool {
+	a, b := &q.h[i], &q.h[j]
+	return a.cycle < b.cycle || (a.cycle == b.cycle && a.seq < b.seq)
+}
+
+func (q *EventQueue[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *EventQueue[T]) down(i int) {
+	n := len(q.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && q.less(l, min) {
+			min = l
+		}
+		if r < n && q.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		q.h[i], q.h[min] = q.h[min], q.h[i]
+		i = min
+	}
+}

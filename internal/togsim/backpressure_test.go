@@ -1,0 +1,86 @@
+package togsim
+
+import (
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/noc"
+	"repro/internal/npu"
+)
+
+// TestStdFabricBackpressure fills the NoC input queues until Submit
+// refuses, then drains and verifies the fabric's conservation property:
+// nothing accepted is dropped, nothing completes twice, and Pending
+// returns to zero.
+func TestStdFabricBackpressure(t *testing.T) {
+	cfg := npu.SmallConfig()
+	// A tiny crossbar queue so write submissions hit backpressure fast.
+	net := noc.NewCrossbar(cfg.NoC.FlitBytes, int64(cfg.NoC.LatencyCycle), 8)
+	mem := dram.New(cfg.Mem, dram.FRFCFS)
+	f := NewStdFabric(cfg, mem, net)
+
+	var accepted []*MemReq
+	refused := 0
+	for i := 0; i < 256; i++ {
+		r := &MemReq{
+			Addr:    uint64(i) * uint64(cfg.Mem.BurstBytes),
+			Bytes:   cfg.Mem.BurstBytes,
+			IsWrite: true, // writes traverse the NoC first: the bounded path
+			Core:    0,
+		}
+		if f.Submit(r) {
+			accepted = append(accepted, r)
+		} else {
+			refused++
+		}
+	}
+	if refused == 0 {
+		t.Fatal("expected Submit to refuse once the NoC input queue filled")
+	}
+	if len(accepted) == 0 {
+		t.Fatal("expected some submissions to be accepted")
+	}
+	if got := f.Pending(); got != len(accepted) {
+		t.Fatalf("Pending = %d, want %d accepted", got, len(accepted))
+	}
+
+	// Drain: every accepted request must complete exactly once.
+	seen := map[*MemReq]int{}
+	for guard := 0; f.Pending() > 0; guard++ {
+		if guard > 1_000_000 {
+			t.Fatalf("fabric did not drain: %d pending", f.Pending())
+		}
+		f.Tick()
+		for _, r := range f.Completed() {
+			seen[r]++
+		}
+	}
+	if f.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", f.Pending())
+	}
+	for _, r := range accepted {
+		if seen[r] != 1 {
+			t.Fatalf("request %p completed %d times, want exactly once", r, seen[r])
+		}
+	}
+	if len(seen) != len(accepted) {
+		t.Fatalf("%d distinct completions, want %d", len(seen), len(accepted))
+	}
+
+	// Refused requests may be resubmitted later and must complete too.
+	r := &MemReq{Addr: 0, Bytes: cfg.Mem.BurstBytes, IsWrite: true, Core: 0}
+	if !f.Submit(r) {
+		t.Fatal("drained fabric must accept again")
+	}
+	for guard := 0; f.Pending() > 0; guard++ {
+		if guard > 1_000_000 {
+			t.Fatal("resubmitted request never completed")
+		}
+		f.Tick()
+		for _, got := range f.Completed() {
+			if got != r {
+				t.Fatalf("unexpected completion %p", got)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package togsim
 import (
 	"fmt"
 
+	"repro/internal/sim"
 	"repro/internal/tog"
 )
 
@@ -26,6 +27,11 @@ type context struct {
 	waitTag    int       // -1 when not waiting
 	waitAll    bool      // final drain before a TOG completes
 
+	// Deadlock diagnostics: bursts outstanding and the issue cycle of the
+	// oldest window of in-flight DMAs (-1 when none).
+	pendingTotal int
+	oldestIssue  int64
+
 	computeBusy int64
 	dmaBytes    int64
 }
@@ -41,13 +47,14 @@ type loopFrame struct {
 
 func newContext(j *Job, coreID, budget, burst int) *context {
 	return &context{
-		job:        j,
-		coreID:     coreID,
-		budget:     budget,
-		burst:      burst,
-		vars:       map[string]int64{},
-		pendingTag: map[int]int{},
-		waitTag:    -1,
+		job:         j,
+		coreID:      coreID,
+		budget:      budget,
+		burst:       burst,
+		vars:        map[string]int64{},
+		pendingTag:  map[int]int{},
+		waitTag:     -1,
+		oldestIssue: -1,
 	}
 }
 
@@ -57,7 +64,67 @@ func (c *context) finished() bool { return c.togIdx >= len(c.job.TOGs) }
 // completes.
 func (c *context) dmaDone(r *MemReq) {
 	c.pendingTag[r.tag]--
+	c.pendingTotal--
+	if c.pendingTotal == 0 {
+		c.oldestIssue = -1
+	}
 	c.dmaBytes += int64(r.Bytes)
+}
+
+// nextWake reports the earliest future cycle at which stepping this
+// context could do anything, mirroring step's entry checks exactly:
+// sim.Never means "only a fabric completion can unblock it" (the engine
+// folds the fabric's NextEvent in separately). The value must never
+// overshoot — an undershoot only costs speed, an overshoot breaks the
+// bit-identical equivalence with per-cycle ticking.
+func (c *context) nextWake(cycle int64) int64 {
+	switch {
+	case c.finished():
+		return sim.Never
+	case cycle < c.readyAt:
+		return c.readyAt
+	case len(c.issueQueue) > 0:
+		// Backpressured bursts retry Submit every cycle; Submit reads the
+		// fabric's current occupancy clocks, so no cycle may be skipped.
+		return cycle + 1
+	case c.waitTag >= 0:
+		if c.pendingTag[c.waitTag] > 0 {
+			return sim.Never
+		}
+		return cycle + 1
+	case c.waitAll:
+		for _, n := range c.pendingTag {
+			if n > 0 {
+				return sim.Never
+			}
+		}
+		return cycle + 1
+	default:
+		return cycle + 1 // runnable (e.g. node budget exhausted mid-TOG)
+	}
+}
+
+// stall describes why the context is not finished, for deadlock reports.
+func (c *context) stall(cycle int64) string {
+	oldest := ""
+	if c.pendingTotal > 0 && c.oldestIssue >= 0 {
+		oldest = fmt.Sprintf(", oldest issued at cycle %d", c.oldestIssue)
+	}
+	switch {
+	case cycle < c.readyAt:
+		return fmt.Sprintf("computing until cycle %d", c.readyAt)
+	case len(c.issueQueue) > 0:
+		return fmt.Sprintf("backpressured (%d bursts refused by fabric, %d in flight%s)",
+			len(c.issueQueue), c.pendingTotal, oldest)
+	case c.waitTag >= 0 && c.pendingTag[c.waitTag] > 0:
+		return fmt.Sprintf("waiting on DMA tag %d (%d bursts in flight%s)",
+			c.waitTag, c.pendingTotal, oldest)
+	case c.waitAll && c.pendingTotal > 0:
+		return fmt.Sprintf("draining TOG %d/%d (%d bursts in flight%s)",
+			c.togIdx+1, len(c.job.TOGs), c.pendingTotal, oldest)
+	default:
+		return fmt.Sprintf("runnable at TOG %d/%d pc %d", c.togIdx+1, len(c.job.TOGs), c.pc)
+	}
 }
 
 // step advances the context as far as it can within one cycle. A non-nil
@@ -165,7 +232,7 @@ func (c *context) step(cycle int64, cs *coreState, fabric Fabric) error {
 			c.pc++
 			return nil
 		case tog.LoadDMA, tog.StoreDMA:
-			if err := c.issueDMA(g, n, fabric); err != nil {
+			if err := c.issueDMA(g, n, fabric, cycle); err != nil {
 				return fmt.Errorf("togsim: %w", err)
 			}
 			c.pc++
@@ -184,7 +251,7 @@ func (c *context) step(cycle int64, cs *coreState, fabric Fabric) error {
 }
 
 // issueDMA expands a DMA node into burst requests and submits them.
-func (c *context) issueDMA(g *tog.TOG, n *tog.Node, fabric Fabric) error {
+func (c *context) issueDMA(g *tog.TOG, n *tog.Node, fabric Fabric, cycle int64) error {
 	base, ok := c.baseOf(n.Tensor)
 	if !ok {
 		return fmt.Errorf("unbound tensor %q in %q", n.Tensor, g.Name)
@@ -211,6 +278,10 @@ func (c *context) issueDMA(g *tog.TOG, n *tog.Node, fabric Fabric) error {
 				tag:     n.Tag,
 			}
 			c.pendingTag[n.Tag]++
+			c.pendingTotal++
+			if c.oldestIssue < 0 {
+				c.oldestIssue = cycle
+			}
 			if len(c.issueQueue) > 0 || !fabric.Submit(req) {
 				c.issueQueue = append(c.issueQueue, req)
 			}

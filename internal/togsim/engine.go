@@ -2,10 +2,17 @@ package togsim
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/npu"
+	"repro/internal/sim"
 	"repro/internal/tog"
 )
+
+// DefaultMaxCycles is the deadlock guard: a run exceeding this many
+// simulated cycles aborts with a diagnostic error listing the stuck jobs.
+// Override per engine via Engine.MaxCycles.
+const DefaultMaxCycles = 20_000_000_000
 
 // Job is one unit of scheduled work: a sequence of TOGs (e.g. a model's
 // layers) executed in order on a specific core. Bases gives each TOG its
@@ -53,11 +60,23 @@ type Result struct {
 }
 
 // Engine executes jobs on a multi-core NPU against a memory fabric.
+//
+// By default it runs event-driven: each iteration it computes the earliest
+// cycle at which anything can happen — a context wake-up, a job arrival,
+// or a fabric event — and jumps the clock straight there, skipping the
+// idle cycles a polling loop would burn. The skip logic is conservative
+// by construction (components report cycle+1 whenever they cannot bound
+// their next event), so results are bit-identical to per-cycle polling.
 type Engine struct {
 	Cfg    npu.Config
 	Fabric Fabric
 
-	// MaxCycles guards against deadlock (0 = default).
+	// StrictTick disables cycle-skipping and advances the clock one cycle
+	// at a time (the original polling loop). Results are identical either
+	// way; the flag exists for equivalence testing and debugging.
+	StrictTick bool
+
+	// MaxCycles guards against deadlock (0 = DefaultMaxCycles).
 	MaxCycles int64
 	// NodesPerCycle bounds zero-cost node processing per context per cycle.
 	NodesPerCycle int
@@ -83,7 +102,7 @@ type coreState struct {
 func (e *Engine) Run(jobs []*Job) (Result, error) {
 	maxCycles := e.MaxCycles
 	if maxCycles == 0 {
-		maxCycles = 20_000_000_000
+		maxCycles = DefaultMaxCycles
 	}
 	cores := make([]*coreState, e.Cfg.Cores)
 	for i := range cores {
@@ -109,12 +128,27 @@ func (e *Engine) Run(jobs []*Job) (Result, error) {
 		results[j] = &JobResult{Name: j.Name, Start: -1}
 	}
 
-	var cycle int64
+	var clk sim.Clock
 	remaining := len(jobs)
 	for remaining > 0 {
-		cycle++
+		if !e.StrictTick {
+			// Event-driven advance: find the earliest cycle at which any
+			// context wakes, any job becomes admissible, or the fabric has
+			// work, and jump the clock to just before it so the normal
+			// per-cycle body below executes exactly the cycles that matter.
+			next := e.nextEventCycle(clk.Now(), cores)
+			if next == sim.Never {
+				return Result{}, e.deadlockError(clk.Now(), remaining, cores, "no future event")
+			}
+			if next > clk.Now()+1 {
+				e.Fabric.SkipTo(next - 1)
+				clk.SkipTo(next - 1)
+			}
+		}
+		cycle := clk.Tick()
 		if cycle > maxCycles {
-			return Result{}, fmt.Errorf("togsim: exceeded %d cycles with %d jobs unfinished", maxCycles, remaining)
+			return Result{}, e.deadlockError(cycle, remaining, cores,
+				fmt.Sprintf("exceeded max cycles (%d)", maxCycles))
 		}
 		for ci, cs := range cores {
 			// Admit queued jobs into free context slots (FCFS per core;
@@ -149,7 +183,7 @@ func (e *Engine) Run(jobs []*Job) (Result, error) {
 			req.owner.dmaDone(req)
 		}
 	}
-	res := Result{Cycles: cycle}
+	res := Result{Cycles: clk.Now()}
 	for _, j := range jobs {
 		res.Jobs = append(res.Jobs, *results[j])
 	}
@@ -157,6 +191,64 @@ func (e *Engine) Run(jobs []*Job) (Result, error) {
 		res.Cores = append(res.Cores, cs.stats)
 	}
 	return res, nil
+}
+
+// nextEventCycle folds the next-event estimates of every model: blocked
+// contexts report their wake-up cycle, cores with free slots report the
+// head queued job's arrival, and the fabric reports its own earliest
+// activity (which also covers contexts blocked on DMA completions). The
+// returned cycle is > cycle; sim.Never means nothing can ever happen.
+func (e *Engine) nextEventCycle(cycle int64, cores []*coreState) int64 {
+	next := e.Fabric.NextEvent()
+	if next <= cycle+1 {
+		return cycle + 1
+	}
+	for _, cs := range cores {
+		if len(cs.queue) > 0 && len(cs.contexts) < cs.maxCtx {
+			at := cs.queue[0].Arrival
+			if at <= cycle {
+				return cycle + 1
+			}
+			if at < next {
+				next = at
+			}
+		}
+		for _, ctx := range cs.contexts {
+			if w := ctx.nextWake(cycle); w < next {
+				if w <= cycle+1 {
+					return cycle + 1
+				}
+				next = w
+			}
+		}
+	}
+	if next < cycle+1 {
+		next = cycle + 1
+	}
+	return next
+}
+
+// deadlockError reports which jobs are stuck and why (including each
+// context's oldest pending DMA), so hangs are diagnosable instead of a
+// bare cycle count.
+func (e *Engine) deadlockError(cycle int64, remaining int, cores []*coreState, cause string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "togsim: %s at cycle %d with %d jobs unfinished", cause, cycle, remaining)
+	sep := ": "
+	for ci, cs := range cores {
+		for _, ctx := range cs.contexts {
+			fmt.Fprintf(&b, "%sjob %q (core %d) %s", sep, ctx.job.Name, ci, ctx.stall(cycle))
+			sep = "; "
+		}
+		for _, j := range cs.queue {
+			fmt.Fprintf(&b, "%sjob %q queued on core %d (arrival %d)", sep, j.Name, ci, j.Arrival)
+			sep = "; "
+		}
+	}
+	if p := e.Fabric.Pending(); p > 0 {
+		fmt.Fprintf(&b, "%sfabric has %d requests in flight", sep, p)
+	}
+	return fmt.Errorf("%s", b.String())
 }
 
 // RunSingle is a convenience wrapper: one TOG, one core, one base map.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/noc"
 	"repro/internal/npu"
+	"repro/internal/sim"
 )
 
 // MemReq is one burst-granularity memory access issued by a context's DMA.
@@ -27,11 +28,13 @@ type MemReq struct {
 // Fabric is the memory subsystem seen by the TOG engine: it accepts burst
 // requests and later reports their completion. Implementations compose NoC
 // and DRAM models; the chiplet package provides a NUMA implementation.
+// The embedded sim.Component contract (Tick/NextEvent/SkipTo) lets the
+// engine jump the clock across cycles in which the fabric provably does
+// nothing, instead of ticking it through every idle cycle.
 type Fabric interface {
+	sim.Component
 	// Submit hands over one request; false means "retry later".
 	Submit(r *MemReq) bool
-	// Tick advances the fabric one cycle.
-	Tick()
 	// Completed drains finished requests.
 	Completed() []*MemReq
 	// Pending reports requests in flight.
@@ -52,19 +55,15 @@ type StdFabric struct {
 	burst    int
 	reqDelay int64
 
-	cycle     int64
-	delayed   []delayedReq           // loads waiting out the request-path delay
-	toMem     [][]*dram.Request      // per-channel staging for DRAM submission
-	staged    map[int][]*noc.Message // per-source NoC responses refused by a full queue
-	reqByDram map[*dram.Request]*MemReq
-	reqByMsg  map[*noc.Message]*MemReq
-	done      []*MemReq
-	pending   int
-}
-
-type delayedReq struct {
-	at  int64
-	req *dram.Request
+	cycle      int64
+	delayed    sim.EventQueue[*dram.Request] // loads waiting out the request-path delay
+	toMem      [][]*dram.Request             // per-channel staging for DRAM submission
+	staged     map[int][]*noc.Message        // per-source NoC responses refused by a full queue
+	reqByDram  map[*dram.Request]*MemReq
+	reqByMsg   map[*noc.Message]*MemReq
+	delayedDue []*dram.Request // scratch for draining delayed each tick
+	done       []*MemReq
+	pending    int
 }
 
 // NewStdFabric builds the standard fabric from an NPU config, a DRAM
@@ -115,7 +114,7 @@ func (f *StdFabric) Submit(r *MemReq) bool {
 	// Loads: header-only request path is a fixed delay before the DRAM.
 	dr := &dram.Request{Addr: r.Addr, Src: r.Src}
 	f.reqByDram[dr] = r
-	f.delayed = append(f.delayed, delayedReq{at: f.cycle + f.reqDelay, req: dr})
+	f.delayed.Push(f.cycle+f.reqDelay, dr)
 	f.pending++
 	return true
 }
@@ -125,15 +124,10 @@ func (f *StdFabric) Tick() {
 	f.cycle++
 
 	// Release delayed load requests into the DRAM submission queues.
-	rem := f.delayed[:0]
-	for _, d := range f.delayed {
-		if d.at <= f.cycle {
-			f.stage(d.req)
-		} else {
-			rem = append(rem, d)
-		}
+	f.delayedDue = f.delayed.PopDue(f.cycle, f.delayedDue[:0])
+	for _, dr := range f.delayedDue {
+		f.stage(dr)
 	}
-	f.delayed = rem
 
 	// NoC deliveries: store data reaching memory, or load data reaching the
 	// core (request complete).
@@ -194,6 +188,35 @@ func (f *StdFabric) Tick() {
 	}
 	// Retry staged responses, per port, stopping at the first refusal.
 	f.retryResponses()
+}
+
+// NextEvent implements Fabric. Any staged work that is retried per cycle
+// (channel submission FIFOs, refused NoC responses, undrained completions)
+// pins the next event to cycle+1; otherwise the fabric's next activity is
+// the earliest of the request-path delay queue, the DRAM controller, and
+// the NoC.
+func (f *StdFabric) NextEvent() int64 {
+	if len(f.done) > 0 || len(f.staged) > 0 {
+		return f.cycle + 1
+	}
+	for ch := range f.toMem {
+		if len(f.toMem[ch]) > 0 {
+			return f.cycle + 1
+		}
+	}
+	next := sim.Earliest(f.delayed.NextCycle(), f.Mem.NextEvent(), f.Net.NextEvent())
+	if next <= f.cycle {
+		return f.cycle + 1
+	}
+	return next
+}
+
+// SkipTo implements Fabric, advancing the composed NoC and DRAM clocks in
+// lock-step with the fabric's own.
+func (f *StdFabric) SkipTo(cycle int64) {
+	f.cycle = cycle
+	f.Net.SkipTo(cycle)
+	f.Mem.SkipTo(cycle)
 }
 
 var _ Fabric = (*StdFabric)(nil)
