@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet test race check bench service-smoke clean
 
 all: check
 
@@ -24,6 +24,13 @@ check:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race -timeout 3600s ./...
+	$(MAKE) service-smoke
+
+# End-to-end daemon check: start ptsimd on an ephemeral port, submit a
+# GEMM job over HTTP, poll to completion, and diff the cycle count against
+# a direct ptsim run (must be bit-identical).
+service-smoke:
+	bash scripts/service_smoke.sh
 
 # Engine micro-benchmarks, including the event-vs-strict TLS comparison.
 bench:

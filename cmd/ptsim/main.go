@@ -3,6 +3,10 @@
 // printing cycles, simulated time, and compiler statistics — the
 // PyTorchSim workflow of Fig. 1 from the command line.
 //
+// Model building and NPU selection live in internal/service/modelzoo, the
+// same path the ptsimd daemon uses, so a CLI run and a service job of the
+// same spec are bit-identical.
+//
 // Usage:
 //
 //	ptsim -model resnet18 -batch 1
@@ -17,45 +21,22 @@ import (
 	"path/filepath"
 	"strings"
 
-	"repro/internal/autograd"
 	"repro/internal/compiler"
 	"repro/internal/core"
-	"repro/internal/exp"
-	"repro/internal/graph"
-	"repro/internal/nn"
-	"repro/internal/npu"
+	"repro/internal/service/modelzoo"
 	"repro/internal/tog"
 )
 
-func buildModel(model string, batch, n, seq int) (*graph.Graph, error) {
-	switch model {
-	case "gemm":
-		return exp.GEMMGraph(n), nil
-	case "mlp":
-		return nn.MLP(nn.DefaultMLP(batch)).Graph, nil
-	case "resnet18":
-		return nn.ResNet(nn.ResNet18Config(batch)).Graph, nil
-	case "resnet50":
-		return nn.ResNet(nn.ResNet50Config(batch)).Graph, nil
-	case "bert-base":
-		return nn.BERT(nn.BERTBaseConfig(batch, seq)).Graph, nil
-	case "bert-large":
-		return nn.BERT(nn.BERTLargeConfig(batch, seq)).Graph, nil
-	case "mlp-train":
-		// One full training step (forward + backward + SGD updates), the
-		// §5.5 per-iteration workload.
-		m, lossID := nn.MLPWithLoss(nn.DefaultMLP(batch))
-		ts, err := autograd.Build(m.Graph, lossID, 0.05)
-		if err != nil {
-			return nil, err
-		}
-		return ts.Graph, nil
-	default:
-		return nil, fmt.Errorf("unknown model %q (gemm, mlp, mlp-train, resnet18, resnet50, bert-base, bert-large)", model)
+func main() {
+	// All failure paths funnel through run's error: print to stderr, exit
+	// non-zero. No fmt.Print-and-fall-through.
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ptsim:", err)
+		os.Exit(1)
 	}
 }
 
-func main() {
+func run() error {
 	model := flag.String("model", "gemm", "model to simulate")
 	batch := flag.Int("batch", 1, "batch size")
 	n := flag.Int("n", 512, "GEMM dimension (model=gemm)")
@@ -66,18 +47,23 @@ func main() {
 	fusion := flag.Bool("fusion", true, "enable operator fusion")
 	convOpt := flag.Bool("convopt", true, "enable conv layout optimization")
 	dmaMode := flag.String("dma", "selective", "DMA mode: coarse, fine, selective")
+	maxCycles := flag.Int64("max-cycles", 0, "deadlock guard: abort past this many simulated cycles (0 = default)")
 	dumpTOG := flag.String("dump-tog", "", "write the first TOG to this JSON file")
 	dumpKernels := flag.String("dump-kernels", "", "write each compiled kernel's assembly into this directory")
 	autotune := flag.Bool("autotune", false, "sweep tile-size candidates through TLS and report the best (tls mode)")
 	flag.Parse()
 
-	g, err := buildModel(*model, *batch, *n, *seq)
+	g, err := modelzoo.BuildGraph(modelzoo.Spec{Model: *model, Batch: *batch, N: *n, Seq: *seq})
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	cfg := npu.TPUv3Config()
+	npuName := "tpuv3"
 	if *small {
-		cfg = npu.SmallConfig()
+		npuName = "small"
+	}
+	cfg, err := modelzoo.NPUConfig(npuName)
+	if err != nil {
+		return err
 	}
 	opts := compiler.DefaultOptions()
 	opts.Fusion = *fusion
@@ -87,12 +73,16 @@ func main() {
 		opts.DMA = compiler.DMACoarse
 	case "fine":
 		opts.DMA = compiler.DMAFine
+	case "selective":
+	default:
+		return fmt.Errorf("unknown dma mode %q (coarse, fine, selective)", *dmaMode)
 	}
 
 	sim := core.NewSimulator(cfg, opts)
+	sim.MaxCycles = *maxCycles
 	comp, err := sim.Compile(g)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	fmt.Printf("compiled %q: %d layers, %d unique kernels measured, %.1f MB DRAM footprint\n",
 		g.Name, len(comp.TOGs), sim.Compiler.MeasureCount, float64(comp.TotalBytes)/1e6)
@@ -100,47 +90,51 @@ func main() {
 	if *dumpTOG != "" && len(comp.TOGs) > 0 {
 		data, err := tog.Encode(comp.TOGs[0])
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if err := os.WriteFile(*dumpTOG, data, 0o644); err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("wrote first TOG to %s\n", *dumpTOG)
 	}
 	if *dumpKernels != "" {
 		if err := os.MkdirAll(*dumpKernels, 0o755); err != nil {
-			fatal(err)
+			return err
 		}
 		for id, p := range comp.Kernels {
 			path := filepath.Join(*dumpKernels, sanitize(id)+".s")
 			if err := os.WriteFile(path, []byte(p.Dump()), 0o644); err != nil {
-				fatal(err)
+				return err
 			}
 		}
 		fmt.Printf("wrote %d kernels to %s (reassemble with cmd/asm)\n", len(comp.Kernels), *dumpKernels)
 	}
 
 	kind := core.SimpleNet
-	if *netKind == "cn" {
+	switch *netKind {
+	case "cn":
 		kind = core.CycleNet
+	case "sn":
+	default:
+		return fmt.Errorf("unknown net %q (sn, cn)", *netKind)
 	}
 	switch *mode {
 	case "ils":
 		rep, ils, err := sim.SimulateILS(comp, kind)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		fmt.Printf("ILS: %s; %d dynamic instructions across %d kernel instances\n",
 			rep.String(), ils.Instrs, ils.KernelRuns)
-	default:
+	case "tls":
 		rep, err := sim.SimulateTLS(comp, kind)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		if *autotune {
 			opts, _, tuned, err := sim.AutoTune(g, nil, kind)
 			if err != nil {
-				fatal(err)
+				return err
 			}
 			fmt.Printf("autotune: best MaxMt=%d -> %d cycles (heuristic: %d, %+.1f%%)\n",
 				opts.MaxMt, tuned.Cycles, rep.Cycles,
@@ -160,7 +154,10 @@ func main() {
 			fmt.Printf("DRAM: %d reads, %d writes, row hits %d / misses %d\n",
 				rep.MemStats.Reads, rep.MemStats.Writes, rep.MemStats.RowHits, rep.MemStats.RowMisses)
 		}
+	default:
+		return fmt.Errorf("unknown mode %q (tls, ils)", *mode)
 	}
+	return nil
 }
 
 // sanitize maps a kernel id to a safe filename.
@@ -174,9 +171,4 @@ func sanitize(id string) string {
 			return '_'
 		}
 	}, id)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ptsim:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,76 @@
+// Command ptsimd is the simulation daemon: a long-running service that
+// accepts simulation jobs over HTTP/JSON, runs them concurrently on a
+// worker pool of independent TLS engines, and serves every repeated
+// configuration from a content-addressed compile cache. It is the
+// "simulation as a service" deployment of the framework — start it once,
+// then sweep models, batch sizes, and NPU configs against it.
+//
+//	ptsimd -addr 127.0.0.1:8726 -workers 8 -queue 128
+//
+//	curl -X POST http://127.0.0.1:8726/jobs -d '{"model":"gemm","n":1024}'
+//	curl http://127.0.0.1:8726/jobs/job-1
+//	curl http://127.0.0.1:8726/stats
+//
+// Submissions beyond the queue capacity are rejected immediately with
+// HTTP 429 (the service's typed overload error), never by blocking.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ptsimd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8726", "listen address (port 0 = ephemeral)")
+	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 64, "job queue capacity (admission control bound)")
+	maxCycles := flag.Int64("max-cycles", 0, "default per-job deadlock guard in simulated cycles (0 = package default)")
+	flag.Parse()
+
+	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue, MaxCycles: *maxCycles})
+	svc.Start()
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	// The listening line is machine-readable on purpose: the smoke test
+	// (scripts/service_smoke.sh) starts us on an ephemeral port and scrapes
+	// the URL from it.
+	fmt.Printf("ptsimd: listening on http://%s\n", ln.Addr())
+	st := svc.Stats()
+	fmt.Printf("ptsimd: %d workers, queue depth %d\n", st.Workers, st.QueueDepth)
+
+	srv := &http.Server{Handler: service.NewHandler(svc)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		fmt.Printf("ptsimd: %v, draining\n", s)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		return srv.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,84 @@
+// Concurrency-safety regression: independent togsim.Engine instances
+// share no mutable state, so simulations of different models may run in
+// parallel goroutines (the worker pool of internal/service does exactly
+// this) and must produce Results bit-identical to serial runs. Run under
+// -race (the Makefile's check target does) to catch any shared state the
+// engines might grow.
+package main
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/dram"
+	"repro/internal/npu"
+	"repro/internal/service/modelzoo"
+	"repro/internal/togsim"
+)
+
+func TestParallelEnginesMatchSerial(t *testing.T) {
+	cfg, err := modelzoo.NPUConfig("small")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two different models, compiled once each; the compiled artifacts
+	// (TOGs, base maps, tile-latency tables) are shared read-only by the
+	// serial and parallel runs below.
+	specs := []modelzoo.Spec{
+		{Model: "gemm", N: 64},
+		{Model: "mlp", Batch: 2},
+	}
+	comps := make([]*compiler.Compiled, len(specs))
+	for i, s := range specs {
+		g, err := modelzoo.BuildGraph(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comps[i], err = compiler.New(cfg, compiler.DefaultOptions()).Compile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	run := func(comp *compiler.Compiled, c npu.Config) togsim.Result {
+		setup := togsim.NewStandard(c, togsim.SimpleNet, dram.FRFCFS)
+		res, err := setup.Engine.Run([]*togsim.Job{comp.Job(comp.Name, 0, 0)})
+		if err != nil {
+			t.Error(err)
+		}
+		return res
+	}
+
+	// Serial baselines.
+	serial := make([]togsim.Result, len(comps))
+	for i, comp := range comps {
+		serial[i] = run(comp, cfg)
+	}
+
+	// Parallel: one engine per goroutine, several rounds to give the race
+	// detector interleavings to chew on.
+	const rounds = 4
+	parallel := make([][]togsim.Result, rounds)
+	for r := range parallel {
+		parallel[r] = make([]togsim.Result, len(comps))
+		var wg sync.WaitGroup
+		for i, comp := range comps {
+			wg.Add(1)
+			go func(r, i int, comp *compiler.Compiled) {
+				defer wg.Done()
+				parallel[r][i] = run(comp, cfg)
+			}(r, i, comp)
+		}
+		wg.Wait()
+	}
+	for r := range parallel {
+		for i := range comps {
+			if !reflect.DeepEqual(parallel[r][i], serial[i]) {
+				t.Fatalf("round %d model %s: parallel result differs from serial:\nparallel: %+v\nserial:   %+v",
+					r, specs[i].Model, parallel[r][i], serial[i])
+			}
+		}
+	}
+}

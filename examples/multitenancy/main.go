@@ -9,33 +9,38 @@ import (
 	"log"
 
 	"repro/internal/compiler"
-	"repro/internal/core"
 	"repro/internal/dram"
+	"repro/internal/graph"
 	"repro/internal/nn"
 	"repro/internal/npu"
 	"repro/internal/sched"
+	"repro/internal/service"
 	"repro/internal/togsim"
 )
 
 func main() {
 	cfg := npu.TPUv3Config()
 	cfg.Cores = 2
-	sim := core.NewSimulator(cfg, compiler.DefaultOptions())
+	opts := compiler.DefaultOptions()
 
-	// The TOG cache: each (model, batch) compiles once; later requests
-	// with the same shape reuse the compiled TOGs (§3.10).
-	compile := func(model string, batch int) (sched.CompiledJob, error) {
-		var m *nn.Model
-		switch model {
-		case "mlp-small":
-			m = nn.MLP(nn.MLPConfig{Batch: batch, In: 784, Hidden: 256, Classes: 10})
-		case "mlp-wide":
-			m = nn.MLP(nn.MLPConfig{Batch: batch, In: 784, Hidden: 1024, Classes: 10})
-		default:
-			return nil, fmt.Errorf("unknown model %q", model)
-		}
-		return sim.Compile(m.Graph)
-	}
+	// The TOG cache (§3.10), now the service's content-addressed compile
+	// cache: each (model, batch, NPU, options) compiles once, and because
+	// the cache outlives a single Schedule call, the spatial-policy pass
+	// below reuses every compilation from the temporal pass.
+	cache := service.NewCache()
+	compile := service.SchedCompileFn(cache, cfg, opts,
+		func(model string, batch int) (*graph.Graph, error) {
+			var m *nn.Model
+			switch model {
+			case "mlp-small":
+				m = nn.MLP(nn.MLPConfig{Batch: batch, In: 784, Hidden: 256, Classes: 10})
+			case "mlp-wide":
+				m = nn.MLP(nn.MLPConfig{Batch: batch, In: 784, Hidden: 1024, Classes: 10})
+			default:
+				return nil, fmt.Errorf("unknown model %q", model)
+			}
+			return m.Graph, nil
+		})
 
 	// Load generator: two request streams with Poisson arrivals.
 	// High enough load that queues form and the sharing policy matters.
@@ -67,4 +72,6 @@ func main() {
 				l.Model, l.Count, l.MeanCycles, l.P95Cycles, l.MaxCycles)
 		}
 	}
+	hits, misses := cache.Stats()
+	fmt.Printf("\ncompile cache: %d hits / %d misses across both policies\n", hits, misses)
 }

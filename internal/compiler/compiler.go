@@ -138,6 +138,28 @@ func New(cfg npu.Config, opts Options) *Compiler {
 	return &Compiler{Cfg: cfg, Opts: opts, latCache: map[string]int64{}}
 }
 
+// Latencies returns a copy of the kernel-latency cache — the tile-latency
+// table measured so far. Together with the TOGs it is the whole compiled
+// artifact, so a service-level cache can persist both and reseed a fresh
+// compiler without re-running the timing simulator.
+func (c *Compiler) Latencies() map[string]int64 {
+	out := make(map[string]int64, len(c.latCache))
+	for k, v := range c.latCache {
+		out[k] = v
+	}
+	return out
+}
+
+// SeedLatencies merges previously measured kernel latencies into the cache
+// so matching kernels skip the timing simulator. Signatures encode the full
+// kernel spec but not the core configuration: only seed tables measured on
+// the same npu.CoreConfig.
+func (c *Compiler) SeedLatencies(lat map[string]int64) {
+	for k, v := range lat {
+		c.latCache[k] = v
+	}
+}
+
 // measure returns the cycle count for the kernel with the given signature,
 // generating and timing it only on cache miss.
 func (c *Compiler) measure(sig string, gen func() *isa.Program) (int64, error) {

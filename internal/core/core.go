@@ -38,6 +38,11 @@ const (
 type Simulator struct {
 	Cfg      npu.Config
 	Compiler *compiler.Compiler
+
+	// MaxCycles bounds every timing simulation this simulator runs — the
+	// deadlock guard, configurable per run instead of only the package
+	// constant (0 = togsim.DefaultMaxCycles).
+	MaxCycles int64
 }
 
 // NewSimulator returns a simulator for the given NPU and compiler options.
@@ -80,6 +85,7 @@ func (s *Simulator) SimulateTLS(comp *compiler.Compiled, kind NetKind) (Report, 
 // SimulateJobs runs an arbitrary multi-core, multi-tenant job set (§5.2).
 func (s *Simulator) SimulateJobs(jobs []*togsim.Job, kind NetKind) (Report, error) {
 	setup := togsim.NewStandard(s.Cfg, kind, dram.FRFCFS)
+	setup.Engine.MaxCycles = s.MaxCycles
 	start := time.Now()
 	res, err := setup.Engine.Run(jobs)
 	if err != nil {
@@ -122,6 +128,7 @@ func (s *Simulator) AutoTune(g *graph.Graph, candidates []compiler.Options, kind
 			continue
 		}
 		setup := togsim.NewStandard(s.Cfg, kind, dram.FRFCFS)
+		setup.Engine.MaxCycles = s.MaxCycles
 		start := time.Now()
 		res, err := setup.Engine.Run([]*togsim.Job{comp.Job(comp.Name, 0, 0)})
 		if err != nil {

@@ -88,6 +88,28 @@ type CompiledJob interface {
 // batch size.
 type CompileFn func(model string, batch int) (CompiledJob, error)
 
+// Memoize wraps a CompileFn with a per-(model, batch) memo table — the
+// in-process ancestor of the content-addressed cache in internal/service.
+// Schedule memoizes internally per call; wrap once and reuse the returned
+// fn across Schedule invocations to also share compilations between them,
+// or use service.SchedCompileFn for the daemon's shared cache (canonical
+// hashing over model, shape, NPU config, and compiler options).
+func Memoize(fn CompileFn) CompileFn {
+	cache := map[string]CompiledJob{}
+	return func(model string, batch int) (CompiledJob, error) {
+		key := fmt.Sprintf("%s@%d", model, batch)
+		if cj, ok := cache[key]; ok {
+			return cj, nil
+		}
+		cj, err := fn(model, batch)
+		if err != nil {
+			return nil, fmt.Errorf("sched: compiling %s: %w", key, err)
+		}
+		cache[key] = cj
+		return cj, nil
+	}
+}
+
 // Batch groups consecutive same-model requests within window cycles into
 // batches of at most maxBatch (the scheduler "creates a batch of requests
 // that use the same DNN", §3.10).
@@ -125,19 +147,13 @@ func Schedule(batches []BatchedRequest, cores int, policy Policy, compile Compil
 			modelIdx[b.Model] = len(modelIdx)
 		}
 	}
-	cache := map[string]CompiledJob{}
+	compile = Memoize(compile)
 	rr := 0
 	var jobs []*togsim.Job
 	for i, b := range batches {
-		key := fmt.Sprintf("%s@%d", b.Model, b.Size)
-		cj, ok := cache[key]
-		if !ok {
-			var err error
-			cj, err = compile(b.Model, b.Size)
-			if err != nil {
-				return nil, fmt.Errorf("sched: compiling %s: %w", key, err)
-			}
-			cache[key] = cj
+		cj, err := compile(b.Model, b.Size)
+		if err != nil {
+			return nil, err
 		}
 		src := modelIdx[b.Model]
 		var core int

@@ -1,0 +1,63 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// NewHandler wraps a service in its HTTP/JSON API:
+//
+//	POST /jobs      submit a JobSpec; 202 with the job snapshot,
+//	                429 when the queue is full (admission control),
+//	                400 on an invalid spec
+//	GET  /jobs/{id} job snapshot (state, result once done); 404 if unknown
+//	GET  /stats     service counters (queue, cache, simulation rate)
+//
+// The handler is what cmd/ptsimd serves; tests drive it via httptest so
+// the daemon binary stays a thin main.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			writeErr(w, http.StatusBadRequest, "invalid JSON: "+err.Error())
+			return
+		}
+		job, err := s.Submit(spec)
+		if err != nil {
+			var over *OverloadError
+			if errors.As(err, &over) {
+				writeErr(w, http.StatusTooManyRequests, err.Error())
+				return
+			}
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeJSON(w, http.StatusAccepted, job)
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Get(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "unknown job "+r.PathValue("id"))
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,0 +1,115 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/compiler"
+	"repro/internal/graph"
+	"repro/internal/npu"
+	"repro/internal/service/modelzoo"
+)
+
+// CompileKey returns the content address of one compilation: the canonical
+// hash of (model spec, NPU configuration, compiler options). Anything that
+// changes the compiled TOGs or their tile latencies is in the key; anything
+// that only changes how the result is simulated (interconnect model, cycle
+// limits) is not.
+func CompileKey(spec modelzoo.Spec, cfg npu.Config, opts compiler.Options) string {
+	return CanonicalHash(spec.Normalize(), cfg, opts)
+}
+
+// cacheEntry is one in-flight or finished compilation. ready is closed when
+// comp/err are set; waiters block on it, giving singleflight semantics —
+// N concurrent identical submissions compile exactly once.
+type cacheEntry struct {
+	ready chan struct{}
+	comp  *compiler.Compiled
+	err   error
+}
+
+// Cache is the content-addressed compile cache of the simulation service:
+// it stores, per CompileKey, the compiled TOGs plus the tile-latency table,
+// so repeated or swept requests skip compilation (and even distinct models
+// on the same core configuration reuse each other's kernel measurements
+// through the shared per-core latency table).
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	// lat shares measured kernel latencies across compilations, keyed by
+	// the core configuration they were measured on (latencies depend only
+	// on npu.CoreConfig, not on the full machine).
+	lat          map[string]map[string]int64
+	hits, misses int64
+}
+
+// NewCache returns an empty compile cache.
+func NewCache() *Cache {
+	return &Cache{entries: map[string]*cacheEntry{}, lat: map[string]map[string]int64{}}
+}
+
+// Stats reports cache hits and misses so far. A hit is any Compile call
+// served by a finished or in-flight entry; a miss is a call that ran the
+// compiler.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Compile returns the compilation for key, building it at most once per
+// key across all concurrent callers. Errors are not cached: a failed build
+// clears the entry so a later call can retry, and waiters on the failed
+// entry receive the error without being counted as hits.
+func (c *Cache) Compile(key string, cfg npu.Config, opts compiler.Options,
+	build func() (*graph.Graph, error)) (*compiler.Compiled, bool, error) {
+
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			return nil, false, e.err
+		}
+		c.mu.Lock()
+		c.hits++
+		c.mu.Unlock()
+		return e.comp, true, nil
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	c.entries[key] = e
+	c.misses++
+	coreKey := CanonicalHash(cfg.Core)
+	comp := compiler.New(cfg, opts)
+	comp.SeedLatencies(c.lat[coreKey])
+	c.mu.Unlock()
+
+	e.comp, e.err = c.build(comp, build)
+	c.mu.Lock()
+	if e.err != nil {
+		delete(c.entries, key)
+	} else {
+		// Fold this compilation's measurements into the shared table.
+		tbl := c.lat[coreKey]
+		if tbl == nil {
+			tbl = map[string]int64{}
+			c.lat[coreKey] = tbl
+		}
+		for k, v := range comp.Latencies() {
+			tbl[k] = v
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	if e.err != nil {
+		return nil, false, e.err
+	}
+	return e.comp, false, nil
+}
+
+func (c *Cache) build(comp *compiler.Compiler, build func() (*graph.Graph, error)) (*compiler.Compiled, error) {
+	g, err := build()
+	if err != nil {
+		return nil, err
+	}
+	return comp.Compile(g)
+}

@@ -1,0 +1,112 @@
+// Package modelzoo is the shared model-building and compile path used by
+// both the ptsim CLI and the ptsimd simulation service: it maps a small,
+// serializable Spec (model name + shape parameters) to a captured graph
+// and a target NPU configuration, so every front end compiles and
+// simulates through one code path.
+package modelzoo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/autograd"
+	"repro/internal/exp"
+	"repro/internal/graph"
+	"repro/internal/nn"
+	"repro/internal/npu"
+)
+
+// Spec identifies a built-in workload by name and shape. The zero values
+// of Batch/N/Seq mean "default"; Normalize resolves them so that two specs
+// describing the same workload compare (and hash) identically.
+type Spec struct {
+	Model string // gemm, mlp, mlp-train, resnet18, resnet50, bert-base, bert-large
+	Batch int    // batch size (default 1)
+	N     int    // GEMM dimension (model=gemm, default 512)
+	Seq   int    // sequence length (BERT models, default 512)
+}
+
+// Normalize fills defaults and drops shape parameters the model ignores,
+// so e.g. {Model: "gemm", Seq: 384} and {Model: "gemm"} produce the same
+// canonical spec (Seq only matters to BERT).
+func (s Spec) Normalize() Spec {
+	if s.Batch <= 0 {
+		s.Batch = 1
+	}
+	if s.N <= 0 {
+		s.N = 512
+	}
+	if s.Seq <= 0 {
+		s.Seq = 512
+	}
+	switch s.Model {
+	case "gemm":
+		s.Batch, s.Seq = 1, 0
+	case "bert-base", "bert-large":
+		s.N = 0
+	default:
+		s.N, s.Seq = 0, 0
+	}
+	return s
+}
+
+// Models lists the built-in model names, sorted.
+func Models() []string {
+	out := []string{"gemm", "mlp", "mlp-train", "resnet18", "resnet50", "bert-base", "bert-large"}
+	sort.Strings(out)
+	return out
+}
+
+// Known reports whether model names a built-in workload, without building
+// anything (cheap admission-time validation).
+func Known(model string) bool {
+	for _, m := range Models() {
+		if m == model {
+			return true
+		}
+	}
+	return false
+}
+
+// BuildGraph captures the graph for a spec (the model zoo of Fig. 1).
+func BuildGraph(s Spec) (*graph.Graph, error) {
+	s = s.Normalize()
+	switch s.Model {
+	case "gemm":
+		return exp.GEMMGraph(s.N), nil
+	case "mlp":
+		return nn.MLP(nn.DefaultMLP(s.Batch)).Graph, nil
+	case "resnet18":
+		return nn.ResNet(nn.ResNet18Config(s.Batch)).Graph, nil
+	case "resnet50":
+		return nn.ResNet(nn.ResNet50Config(s.Batch)).Graph, nil
+	case "bert-base":
+		return nn.BERT(nn.BERTBaseConfig(s.Batch, s.Seq)).Graph, nil
+	case "bert-large":
+		return nn.BERT(nn.BERTLargeConfig(s.Batch, s.Seq)).Graph, nil
+	case "mlp-train":
+		// One full training step (forward + backward + SGD updates), the
+		// §5.5 per-iteration workload.
+		m, lossID := nn.MLPWithLoss(nn.DefaultMLP(s.Batch))
+		ts, err := autograd.Build(m.Graph, lossID, 0.05)
+		if err != nil {
+			return nil, err
+		}
+		return ts.Graph, nil
+	default:
+		return nil, fmt.Errorf("modelzoo: unknown model %q (have %v)", s.Model, Models())
+	}
+}
+
+// NPUConfig resolves a named target NPU ("" and "tpuv3" → the paper's
+// TPUv3-like machine, "small" → the scaled-down test machine).
+func NPUConfig(name string) (npu.Config, error) {
+	switch name {
+	case "", "tpuv3":
+		return npu.TPUv3Config(), nil
+	case "small":
+		return npu.SmallConfig(), nil
+	default:
+		return npu.Config{}, fmt.Errorf("modelzoo: unknown NPU config %q (tpuv3, small)", name)
+	}
+}

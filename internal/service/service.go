@@ -1,0 +1,392 @@
+// Package service is the simulation-as-a-service subsystem: a bounded job
+// queue feeding a pool of workers that each run an independent
+// togsim.Engine, in front of a content-addressed compile cache
+// (CompileKey → compiled TOGs + tile-latency table). TLS is fast precisely
+// so that many simulations become cheap (§3.8, §3.10); this package turns
+// that into throughput — a long-running daemon (cmd/ptsimd) amortizes
+// compilation across requests and saturates cores with concurrent runs.
+//
+// Engines share no mutable state: each job gets its own fabric, memory and
+// NoC via togsim.NewStandard, and the cached *compiler.Compiled artifacts
+// (TOGs, base maps, latency tables) are read-only during simulation, so
+// any number of jobs over the same compilation run race-free in parallel.
+package service
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/dram"
+	"repro/internal/graph"
+	"repro/internal/npu"
+	"repro/internal/service/modelzoo"
+	"repro/internal/togsim"
+)
+
+// OverloadError is the typed admission-control failure: the queue was full
+// at submission time. Submissions never block and never panic — callers
+// (e.g. the HTTP layer, which maps it to 429) get this immediately.
+type OverloadError struct {
+	Capacity int // configured queue depth
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("service: overloaded, job queue full (capacity %d)", e.Capacity)
+}
+
+// JobSpec is a simulation request as submitted by a client (JSON over the
+// daemon API, or directly in-process). Zero values mean defaults.
+type JobSpec struct {
+	Model string `json:"model"`
+	Batch int    `json:"batch,omitempty"`
+	N     int    `json:"n,omitempty"`     // GEMM dimension
+	Seq   int    `json:"seq,omitempty"`   // BERT sequence length
+	NPU   string `json:"npu,omitempty"`   // "tpuv3" (default) or "small"
+	Net   string `json:"net,omitempty"`   // "sn" (default) or "cn"
+	DMA   string `json:"dma,omitempty"`   // "selective" (default), "coarse", "fine"
+	MaxMt int    `json:"max_mt,omitempty"` // cap on M-tile rows (0 = compiler default)
+	// Fusion/ConvOpt are tri-state so that absent JSON fields keep the
+	// paper's defaults (both enabled).
+	Fusion  *bool `json:"fusion,omitempty"`
+	ConvOpt *bool `json:"convopt,omitempty"`
+	// MaxCycles overrides the engine's deadlock guard for this job
+	// (0 = the service default, which itself defaults to
+	// togsim.DefaultMaxCycles).
+	MaxCycles int64 `json:"max_cycles,omitempty"`
+}
+
+// resolve maps the wire spec onto the internal compile/simulate inputs.
+func (s JobSpec) resolve() (resolved, error) {
+	var r resolved
+	r.Spec = modelzoo.Spec{Model: s.Model, Batch: s.Batch, N: s.N, Seq: s.Seq}.Normalize()
+	cfg, err := modelzoo.NPUConfig(s.NPU)
+	if err != nil {
+		return r, err
+	}
+	r.Cfg = cfg
+	switch s.Net {
+	case "", "sn":
+		r.Net = togsim.SimpleNet
+	case "cn":
+		r.Net = togsim.CycleNet
+	default:
+		return r, fmt.Errorf("service: unknown net %q (sn, cn)", s.Net)
+	}
+	r.Opts = compiler.DefaultOptions()
+	switch s.DMA {
+	case "", "selective":
+	case "coarse":
+		r.Opts.DMA = compiler.DMACoarse
+	case "fine":
+		r.Opts.DMA = compiler.DMAFine
+	default:
+		return r, fmt.Errorf("service: unknown dma mode %q (coarse, fine, selective)", s.DMA)
+	}
+	if s.Fusion != nil {
+		r.Opts.Fusion = *s.Fusion
+	}
+	if s.ConvOpt != nil {
+		r.Opts.ConvLayoutOpt = *s.ConvOpt
+	}
+	r.Opts.MaxMt = s.MaxMt
+	r.MaxCycles = s.MaxCycles
+	return r, nil
+}
+
+type resolved struct {
+	Spec      modelzoo.Spec
+	Cfg       npu.Config
+	Opts      compiler.Options
+	Net       togsim.NetKind
+	MaxCycles int64
+}
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// JobResult is the outcome of a finished simulation.
+type JobResult struct {
+	Cycles      int64   `json:"cycles"`
+	FreqMHz     int     `json:"freq_mhz"`
+	SimulatedMs float64 `json:"simulated_ms"`
+	WallMs      float64 `json:"wall_ms"`    // host time of the simulation run
+	CompileMs   float64 `json:"compile_ms"` // host time spent compiling (0 on cache hit)
+	CacheHit    bool    `json:"cache_hit"`  // compilation served from the cache
+	CompileKey  string  `json:"compile_key"`
+}
+
+// Job is the service's record of one submission. Snapshot copies are
+// returned to callers; the live record is only mutated by the service.
+type Job struct {
+	ID        string     `json:"id"`
+	Spec      JobSpec    `json:"spec"`
+	State     State      `json:"state"`
+	Error     string     `json:"error,omitempty"`
+	Result    *JobResult `json:"result,omitempty"`
+	Submitted time.Time  `json:"submitted"`
+	Started   time.Time  `json:"started,omitempty"`
+	Finished  time.Time  `json:"finished,omitempty"`
+
+	done chan struct{}
+}
+
+// Config sizes the service.
+type Config struct {
+	Workers    int   // concurrent simulations (default: GOMAXPROCS)
+	QueueDepth int   // bounded queue capacity (default 64)
+	MaxCycles  int64 // default per-job deadlock guard (0 = togsim.DefaultMaxCycles)
+}
+
+// Stats is the service's observability surface.
+type Stats struct {
+	Queued  int64 `json:"queued"`
+	Running int64 `json:"running"`
+	Done    int64 `json:"done"`
+	Failed  int64 `json:"failed"`
+
+	CacheHits   int64 `json:"cache_hits"`
+	CacheMisses int64 `json:"cache_misses"`
+
+	// TotalCycles sums simulated cycles over finished jobs; WallSeconds
+	// sums the host time those simulations took; CyclesPerSecond is their
+	// ratio — the aggregate simulation rate the paper's speed argument is
+	// about.
+	TotalCycles     int64   `json:"total_cycles"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	CyclesPerSecond float64 `json:"cycles_per_second"`
+
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+}
+
+// Service runs simulations from a bounded queue on a fixed worker pool.
+type Service struct {
+	cfg   Config
+	cache *Cache
+
+	mu      sync.Mutex
+	byID    map[string]*Job
+	nextID  int64
+	closed  bool
+	queued  int64
+	running int64
+	done    int64
+	failed  int64
+	cycles  int64
+	wallNs  int64
+
+	queue chan *Job
+	wg    sync.WaitGroup
+}
+
+// New returns a stopped service; call Start to launch the worker pool.
+// (The split lets tests fill the queue deterministically first.)
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	return &Service{
+		cfg:   cfg,
+		cache: NewCache(),
+		byID:  map[string]*Job{},
+		queue: make(chan *Job, cfg.QueueDepth),
+	}
+}
+
+// Cache exposes the compile cache (shared with e.g. sched adapters).
+func (s *Service) Cache() *Cache { return s.cache }
+
+// Start launches the worker pool. It is idempotent per service lifetime:
+// call once.
+func (s *Service) Start() {
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+}
+
+// Close stops admission, drains the queue, and waits for in-flight jobs.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Submit validates and enqueues a job. It never blocks: a full queue
+// returns *OverloadError immediately (admission control), an invalid spec
+// returns the validation error, and otherwise the queued job's snapshot is
+// returned.
+func (s *Service) Submit(spec JobSpec) (Job, error) {
+	if _, err := spec.resolve(); err != nil {
+		return Job{}, err
+	}
+	if !modelzoo.Known(spec.Model) {
+		// Reject unknown models at admission rather than at run time.
+		return Job{}, fmt.Errorf("service: unknown model %q (have %v)", spec.Model, modelzoo.Models())
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return Job{}, fmt.Errorf("service: closed")
+	}
+	s.nextID++
+	j := &Job{
+		ID:        fmt.Sprintf("job-%d", s.nextID),
+		Spec:      spec,
+		State:     StateQueued,
+		Submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+	select {
+	case s.queue <- j:
+	default:
+		s.nextID--
+		s.mu.Unlock()
+		return Job{}, &OverloadError{Capacity: s.cfg.QueueDepth}
+	}
+	s.byID[j.ID] = j
+	s.queued++
+	snap := *j
+	s.mu.Unlock()
+	return snap, nil
+}
+
+// Get returns a snapshot of the job with the given id.
+func (s *Service) Get(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	if !ok {
+		return Job{}, false
+	}
+	return *j, true
+}
+
+// Wait blocks until the job finishes (done or failed) and returns its
+// final snapshot.
+func (s *Service) Wait(id string) (Job, error) {
+	s.mu.Lock()
+	j, ok := s.byID[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	<-j.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return *j, nil
+}
+
+// Stats returns the current counters.
+func (s *Service) Stats() Stats {
+	hits, misses := s.cache.Stats()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Queued: s.queued, Running: s.running, Done: s.done, Failed: s.failed,
+		CacheHits: hits, CacheMisses: misses,
+		TotalCycles: s.cycles, WallSeconds: float64(s.wallNs) / 1e9,
+		Workers: s.cfg.Workers, QueueDepth: s.cfg.QueueDepth,
+	}
+	if st.WallSeconds > 0 {
+		st.CyclesPerSecond = float64(st.TotalCycles) / st.WallSeconds
+	}
+	return st
+}
+
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.run(j)
+	}
+}
+
+func (s *Service) run(j *Job) {
+	s.mu.Lock()
+	s.queued--
+	s.running++
+	j.State = StateRunning
+	j.Started = time.Now()
+	s.mu.Unlock()
+
+	res, err := s.simulate(j.Spec)
+
+	s.mu.Lock()
+	s.running--
+	j.Finished = time.Now()
+	if err != nil {
+		s.failed++
+		j.State = StateFailed
+		j.Error = err.Error()
+	} else {
+		s.done++
+		j.State = StateDone
+		j.Result = &res
+		s.cycles += res.Cycles
+		s.wallNs += int64(res.WallMs * 1e6)
+	}
+	s.mu.Unlock()
+	close(j.done)
+}
+
+// simulate is one job's whole pipeline: resolve, compile-or-fetch, run.
+// Everything here is also what a standalone ptsim run does, so service
+// cycles are bit-identical to the CLI's for the same spec.
+func (s *Service) simulate(spec JobSpec) (JobResult, error) {
+	r, err := spec.resolve()
+	if err != nil {
+		return JobResult{}, err
+	}
+	key := CompileKey(r.Spec, r.Cfg, r.Opts)
+	compileStart := time.Now()
+	comp, hit, err := s.cache.Compile(key, r.Cfg, r.Opts, func() (*graph.Graph, error) {
+		return modelzoo.BuildGraph(r.Spec)
+	})
+	if err != nil {
+		return JobResult{}, err
+	}
+	compileMs := float64(time.Since(compileStart)) / 1e6
+	if hit {
+		compileMs = 0
+	}
+
+	setup := togsim.NewStandard(r.Cfg, r.Net, dram.FRFCFS)
+	setup.Engine.MaxCycles = r.MaxCycles
+	if setup.Engine.MaxCycles == 0 {
+		setup.Engine.MaxCycles = s.cfg.MaxCycles
+	}
+	start := time.Now()
+	res, err := setup.Engine.Run([]*togsim.Job{comp.Job(comp.Name, 0, 0)})
+	if err != nil {
+		return JobResult{}, err
+	}
+	wall := time.Since(start)
+	return JobResult{
+		Cycles:      res.Cycles,
+		FreqMHz:     r.Cfg.FreqMHz,
+		SimulatedMs: float64(res.Cycles) / float64(r.Cfg.FreqMHz) / 1e3,
+		WallMs:      float64(wall) / 1e6,
+		CompileMs:   compileMs,
+		CacheHit:    hit,
+		CompileKey:  key,
+	}, nil
+}

@@ -1,0 +1,273 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/service/modelzoo"
+)
+
+// A batch of N identical submissions compiles exactly once (cache hit
+// count N-1), every job reports the same cycle count, and that count is
+// bit-identical to a standalone run through the same path ptsim uses.
+func TestServiceCompilesOnceAndMatchesStandalone(t *testing.T) {
+	svc := New(Config{Workers: 4, QueueDepth: 16})
+	svc.Start()
+	defer svc.Close()
+
+	const n = 6
+	spec := JobSpec{Model: "gemm", N: 64, NPU: "small"}
+	ids := make([]string, n)
+	for i := range ids {
+		j, err := svc.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = j.ID
+	}
+	var cycles []int64
+	for _, id := range ids {
+		j, err := svc.Wait(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State != StateDone {
+			t.Fatalf("job %s: state %s, error %q", id, j.State, j.Error)
+		}
+		cycles = append(cycles, j.Result.Cycles)
+	}
+	for i, c := range cycles {
+		if c != cycles[0] {
+			t.Fatalf("job %d: %d cycles, want %d", i, c, cycles[0])
+		}
+	}
+	st := svc.Stats()
+	if st.CacheMisses != 1 || st.CacheHits != n-1 {
+		t.Fatalf("cache hits=%d misses=%d, want hits=%d misses=1", st.CacheHits, st.CacheMisses, n-1)
+	}
+	if st.Done != n || st.Failed != 0 || st.Running != 0 || st.Queued != 0 {
+		t.Fatalf("stats %+v: want %d done and nothing else", st, n)
+	}
+	if st.TotalCycles != int64(n)*cycles[0] {
+		t.Fatalf("TotalCycles=%d, want %d", st.TotalCycles, int64(n)*cycles[0])
+	}
+
+	// Standalone: exactly what cmd/ptsim -model gemm -n 64 -small does.
+	cfg, _ := modelzoo.NPUConfig("small")
+	g, err := modelzoo.BuildGraph(modelzoo.Spec{Model: "gemm", N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := core.NewSimulator(cfg, compiler.DefaultOptions())
+	comp, err := sim.Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.SimulateTLS(comp, core.SimpleNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cycles[0] != rep.Cycles {
+		t.Fatalf("service reported %d cycles, standalone %d — must be bit-identical", cycles[0], rep.Cycles)
+	}
+}
+
+// Submissions beyond queue capacity fail fast with the typed overload
+// error — never by blocking. Workers are not started, so the queue cannot
+// drain under us.
+func TestServiceOverload(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 2})
+	// No Start(): the queue fills deterministically.
+	spec := JobSpec{Model: "gemm", N: 64, NPU: "small"}
+	for i := 0; i < 2; i++ {
+		if _, err := svc.Submit(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := svc.Submit(spec)
+	var over *OverloadError
+	if !errors.As(err, &over) {
+		t.Fatalf("third submission: got %v, want *OverloadError", err)
+	}
+	if over.Capacity != 2 {
+		t.Fatalf("overload capacity %d, want 2", over.Capacity)
+	}
+	// Draining the queue restores admission.
+	svc.Start()
+	st, err := svc.Submit(spec)
+	if err == nil {
+		if _, err := svc.Wait(st.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svc.Close()
+}
+
+func TestSubmitValidation(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 2})
+	for _, spec := range []JobSpec{
+		{Model: "no-such-model"},
+		{Model: "gemm", NPU: "no-such-npu"},
+		{Model: "gemm", Net: "no-such-net"},
+		{Model: "gemm", DMA: "no-such-dma"},
+	} {
+		if _, err := svc.Submit(spec); err == nil {
+			t.Errorf("spec %+v: accepted, want validation error", spec)
+		}
+	}
+	if st := svc.Stats(); st.Queued != 0 {
+		t.Fatalf("invalid specs consumed queue slots: %+v", st)
+	}
+}
+
+// The HTTP layer: submit, poll to done, stats; 429 on overload, 400 on
+// invalid specs, 404 on unknown ids.
+func TestHTTPAPI(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueDepth: 8})
+	svc.Start()
+	defer svc.Close()
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	post := func(body string) (*http.Response, map[string]any) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewBufferString(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var m map[string]any
+		_ = json.NewDecoder(resp.Body).Decode(&m)
+		return resp, m
+	}
+
+	resp, m := post(`{"model":"gemm","n":64,"npu":"small"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /jobs: %d, want 202 (%v)", resp.StatusCode, m)
+	}
+	id, _ := m["id"].(string)
+	if id == "" {
+		t.Fatalf("no job id in %v", m)
+	}
+	if _, err := svc.Wait(id); err != nil {
+		t.Fatal(err)
+	}
+	get, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var job Job
+	if err := json.NewDecoder(get.Body).Decode(&job); err != nil {
+		t.Fatal(err)
+	}
+	get.Body.Close()
+	if job.State != StateDone || job.Result == nil || job.Result.Cycles <= 0 {
+		t.Fatalf("GET /jobs/%s: %+v", id, job)
+	}
+
+	if resp, _ := post(`{"model":"no-such-model"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid model: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post(`{broken json`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("broken JSON: %d, want 400", resp.StatusCode)
+	}
+	if get, _ := http.Get(ts.URL + "/jobs/job-999"); get.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %d, want 404", get.StatusCode)
+	}
+	stats, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st Stats
+	if err := json.NewDecoder(stats.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	stats.Body.Close()
+	if st.Done < 1 || st.TotalCycles <= 0 {
+		t.Fatalf("GET /stats: %+v", st)
+	}
+}
+
+// A full queue surfaces as HTTP 429 through the daemon API.
+func TestHTTPOverload(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 1})
+	// Workers not started: the one queue slot fills and stays full.
+	ts := httptest.NewServer(NewHandler(svc))
+	defer ts.Close()
+
+	body := `{"model":"gemm","n":64,"npu":"small"}`
+	first, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first.Body.Close()
+	if first.StatusCode != http.StatusAccepted {
+		t.Fatalf("first POST: %d, want 202", first.StatusCode)
+	}
+	second, err := http.Post(ts.URL+"/jobs", "application/json", bytes.NewBufferString(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.Body.Close()
+	if second.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second POST: %d, want 429", second.StatusCode)
+	}
+	svc.Start()
+	svc.Close()
+}
+
+// BenchmarkServiceWorkers compares serial (1 worker) against parallel
+// simulation of the same distinct-job sweep — ≥2 workers beat serial
+// wherever the host grants more than one hardware thread (on a 1-CPU
+// container the lines coincide; the engines still interleave race-free).
+// The cache is pre-warmed so the benchmark isolates simulation throughput.
+func BenchmarkServiceWorkers(b *testing.B) {
+	specs := make([]JobSpec, 8)
+	for i := range specs {
+		// N ≤ 80: larger tiles exceed the small config's scratchpad.
+		specs[i] = JobSpec{Model: "gemm", N: 24 + 8*i, NPU: "small"}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			svc := New(Config{Workers: workers, QueueDepth: len(specs) * (b.N + 1)})
+			svc.Start()
+			defer svc.Close()
+			warm := make([]string, len(specs))
+			for i, s := range specs {
+				j, err := svc.Submit(s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				warm[i] = j.ID
+			}
+			for _, id := range warm {
+				if j, err := svc.Wait(id); err != nil || j.State != StateDone {
+					b.Fatalf("warmup %s: %v %+v", id, err, j)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids := make([]string, len(specs))
+				for k, s := range specs {
+					j, err := svc.Submit(s)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ids[k] = j.ID
+				}
+				for _, id := range ids {
+					if _, err := svc.Wait(id); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}

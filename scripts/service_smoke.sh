@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# service-smoke: end-to-end check of the ptsimd daemon against the ptsim
+# CLI. Starts ptsimd on an ephemeral port, submits a GEMM job over HTTP,
+# polls it to completion, and requires the service-reported cycle count to
+# be bit-identical to a direct ptsim run of the same configuration.
+# Wired into `make check` via the service-smoke target.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "service-smoke: building ptsimd and ptsim"
+go build -o "$tmp/ptsimd" ./cmd/ptsimd
+go build -o "$tmp/ptsim" ./cmd/ptsim
+
+"$tmp/ptsimd" -addr 127.0.0.1:0 -workers 2 -queue 8 >"$tmp/ptsimd.log" 2>&1 &
+pid=$!
+
+url=""
+for _ in $(seq 1 100); do
+  url=$(sed -n 's/^ptsimd: listening on \(.*\)$/\1/p' "$tmp/ptsimd.log" | head -1)
+  [ -n "$url" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "service-smoke: daemon died:"; cat "$tmp/ptsimd.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$url" ] || { echo "service-smoke: daemon never reported its address"; cat "$tmp/ptsimd.log"; exit 1; }
+echo "service-smoke: daemon at $url"
+
+spec='{"model":"gemm","n":64,"npu":"small"}'
+id=$(curl -sf -X POST "$url/jobs" -d "$spec" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$id" ] || { echo "service-smoke: submission returned no job id"; exit 1; }
+echo "service-smoke: submitted $id"
+
+state=""
+for _ in $(seq 1 300); do
+  job=$(curl -sf "$url/jobs/$id")
+  state=$(printf '%s' "$job" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+  case "$state" in
+    done) break ;;
+    failed) echo "service-smoke: job failed: $job"; exit 1 ;;
+  esac
+  sleep 0.1
+done
+[ "$state" = "done" ] || { echo "service-smoke: job did not finish (state=$state)"; exit 1; }
+svc_cycles=$(printf '%s' "$job" | sed -n 's/.*"cycles": *\([0-9]*\).*/\1/p')
+[ -n "$svc_cycles" ] || { echo "service-smoke: no cycle count in $job"; exit 1; }
+
+cli_cycles=$("$tmp/ptsim" -model gemm -n 64 -small | sed -n 's/^TLS: \([0-9]*\) cycles.*/\1/p')
+[ -n "$cli_cycles" ] || { echo "service-smoke: could not parse ptsim output"; exit 1; }
+
+if [ "$svc_cycles" != "$cli_cycles" ]; then
+  echo "service-smoke: FAIL — service reported $svc_cycles cycles, ptsim $cli_cycles"
+  exit 1
+fi
+echo "service-smoke: cycles match ($svc_cycles)"
+curl -sf "$url/stats"
+echo "service-smoke: OK"
