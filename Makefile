@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench service-smoke clean
+.PHONY: all build vet test race check bench service-smoke trace-smoke clean
 
 all: check
 
@@ -25,12 +25,19 @@ check:
 	$(GO) vet ./...
 	$(GO) test -race -timeout 3600s ./...
 	$(MAKE) service-smoke
+	$(MAKE) trace-smoke
 
 # End-to-end daemon check: start ptsimd on an ephemeral port, submit a
 # GEMM job over HTTP, poll to completion, and diff the cycle count against
 # a direct ptsim run (must be bit-identical).
 service-smoke:
 	bash scripts/service_smoke.sh
+
+# End-to-end observability check: run a small model with -trace, require
+# the instrumented cycle count to equal the uninstrumented one, and
+# validate the emitted Perfetto JSON (scripts/tracecheck).
+trace-smoke:
+	bash scripts/trace_smoke.sh
 
 # Engine micro-benchmarks, including the event-vs-strict TLS comparison.
 bench:

@@ -16,6 +16,7 @@ import (
 	"repro/internal/funcsim"
 	"repro/internal/noc"
 	"repro/internal/npu"
+	"repro/internal/obs"
 	"repro/internal/sparse"
 	"repro/internal/sparsecore"
 	"repro/internal/tensor"
@@ -89,14 +90,22 @@ func tlsBusyJobs(cfg npu.Config) []*togsim.Job {
 }
 
 func benchTLSEngine(b *testing.B, strict bool, mkJobs func(npu.Config) []*togsim.Job) {
+	benchTLSEngineProbe(b, strict, mkJobs, nil)
+}
+
+func benchTLSEngineProbe(b *testing.B, strict bool, mkJobs func(npu.Config) []*togsim.Job, mkProbe func() obs.Probe) {
 	b.Helper()
 	cfg := benchCfg()
 	cfg.Cores = 2
 	var cycles int64
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := togsim.NewStandard(cfg, togsim.SimpleNet, dram.FRFCFS)
 		s.Engine.StrictTick = strict
+		if mkProbe != nil {
+			s.AttachProbe(mkProbe())
+		}
 		res, err := s.Engine.Run(mkJobs(cfg))
 		if err != nil {
 			b.Fatal(err)
@@ -110,6 +119,18 @@ func BenchmarkTLSEngineIdleHeavyEvent(b *testing.B)  { benchTLSEngine(b, false, 
 func BenchmarkTLSEngineIdleHeavyStrict(b *testing.B) { benchTLSEngine(b, true, tlsIdleHeavyJobs) }
 func BenchmarkTLSEngineBusyEvent(b *testing.B)       { benchTLSEngine(b, false, tlsBusyJobs) }
 func BenchmarkTLSEngineBusyStrict(b *testing.B)      { benchTLSEngine(b, true, tlsBusyJobs) }
+
+// The nil-probe benchmark is byte-for-byte the engine configuration the
+// plain benchmarks above run (probes default to nil) — compare allocs/op
+// against BenchmarkTLSEngineTraced to see the cost of instrumentation, and
+// against historical BusyEvent numbers to confirm a nil probe added none.
+func BenchmarkTLSEngineNilProbe(b *testing.B) {
+	benchTLSEngineProbe(b, false, tlsBusyJobs, func() obs.Probe { return nil })
+}
+
+func BenchmarkTLSEngineTraced(b *testing.B) {
+	benchTLSEngineProbe(b, false, tlsBusyJobs, func() obs.Probe { return obs.NewTraceWriter() })
+}
 
 func benchCfg() npu.Config { return npu.TPUv3Config() }
 

@@ -12,19 +12,25 @@
 //	ptsim -model resnet18 -batch 1
 //	ptsim -model gemm -n 1024 -mode ils
 //	ptsim -model bert-base -seq 512 -net cn -dump-tog out.json
+//	ptsim -model gemm -n 512 -small -report -trace gemm.trace.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/report"
 	"repro/internal/service/modelzoo"
 	"repro/internal/tog"
+	"repro/internal/togsim"
 )
 
 func main() {
@@ -51,7 +57,20 @@ func run() error {
 	dumpTOG := flag.String("dump-tog", "", "write the first TOG to this JSON file")
 	dumpKernels := flag.String("dump-kernels", "", "write each compiled kernel's assembly into this directory")
 	autotune := flag.Bool("autotune", false, "sweep tile-size candidates through TLS and report the best (tls mode)")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the TLS run to this JSON file")
+	showReport := flag.Bool("report", false, "print the full utilization and stall breakdown (tls mode)")
+	jsonOut := flag.Bool("json", false, "print the run report as JSON on stdout (tls mode)")
 	flag.Parse()
+
+	if *mode != "tls" && (*traceOut != "" || *showReport || *jsonOut) {
+		return fmt.Errorf("-trace, -report, and -json require -mode tls")
+	}
+	// With -json, stdout carries exactly one JSON document; progress and
+	// compiler chatter move to stderr.
+	var logw io.Writer = os.Stdout
+	if *jsonOut {
+		logw = os.Stderr
+	}
 
 	g, err := modelzoo.BuildGraph(modelzoo.Spec{Model: *model, Batch: *batch, N: *n, Seq: *seq})
 	if err != nil {
@@ -80,11 +99,16 @@ func run() error {
 
 	sim := core.NewSimulator(cfg, opts)
 	sim.MaxCycles = *maxCycles
+	var tw *obs.TraceWriter
+	if *traceOut != "" {
+		tw = obs.NewTraceWriter()
+		sim.Probe = tw
+	}
 	comp, err := sim.Compile(g)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("compiled %q: %d layers, %d unique kernels measured, %.1f MB DRAM footprint\n",
+	fmt.Fprintf(logw, "compiled %q: %d layers, %d unique kernels measured, %.1f MB DRAM footprint\n",
 		g.Name, len(comp.TOGs), sim.Compiler.MeasureCount, float64(comp.TotalBytes)/1e6)
 
 	if *dumpTOG != "" && len(comp.TOGs) > 0 {
@@ -95,7 +119,7 @@ func run() error {
 		if err := os.WriteFile(*dumpTOG, data, 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote first TOG to %s\n", *dumpTOG)
+		fmt.Fprintf(logw, "wrote first TOG to %s\n", *dumpTOG)
 	}
 	if *dumpKernels != "" {
 		if err := os.MkdirAll(*dumpKernels, 0o755); err != nil {
@@ -107,7 +131,7 @@ func run() error {
 				return err
 			}
 		}
-		fmt.Printf("wrote %d kernels to %s (reassemble with cmd/asm)\n", len(comp.Kernels), *dumpKernels)
+		fmt.Fprintf(logw, "wrote %d kernels to %s (reassemble with cmd/asm)\n", len(comp.Kernels), *dumpKernels)
 	}
 
 	kind := core.SimpleNet
@@ -136,23 +160,38 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("autotune: best MaxMt=%d -> %d cycles (heuristic: %d, %+.1f%%)\n",
+			fmt.Fprintf(logw, "autotune: best MaxMt=%d -> %d cycles (heuristic: %d, %+.1f%%)\n",
 				opts.MaxMt, tuned.Cycles, rep.Cycles,
 				100*float64(tuned.Cycles-rep.Cycles)/float64(rep.Cycles))
 			rep = tuned
 		}
-		fmt.Printf("TLS: %s\n", rep.String())
-		for ci, cs := range rep.Cores {
-			if cs.SABusy == 0 && cs.VectorBusy == 0 {
-				continue
+		// One formatter for every surface: the CLI summary, -report, -json,
+		// and the ptsimd job response all render the same report.Report.
+		full := report.Build(cfg, togsim.Result{Cycles: rep.Cycles, Jobs: rep.Jobs, Cores: rep.Cores},
+			rep.MemStats, rep.WallClock)
+		if *jsonOut {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			if err := enc.Encode(full); err != nil {
+				return err
 			}
-			fmt.Printf("core %d: SA %.1f%% busy, vector %.1f%% busy\n", ci,
-				100*cs.SAUtil(rep.Cycles, cfg.Core.NumSAs),
-				100*float64(cs.VectorBusy)/float64(rep.Cycles))
+		} else {
+			fmt.Printf("TLS: %s\n", full.Summary())
+			if *showReport {
+				fmt.Print(full.Text())
+			} else {
+				// Compact default: utilization and DRAM lines, no per-job
+				// breakdown (that is what -report adds).
+				brief := full
+				brief.Jobs = nil
+				fmt.Print(brief.Text())
+			}
 		}
-		if rep.MemStats != nil {
-			fmt.Printf("DRAM: %d reads, %d writes, row hits %d / misses %d\n",
-				rep.MemStats.Reads, rep.MemStats.Writes, rep.MemStats.RowHits, rep.MemStats.RowMisses)
+		if tw != nil {
+			if err := tw.WriteFile(*traceOut); err != nil {
+				return err
+			}
+			fmt.Fprintf(logw, "wrote trace (%d events) to %s\n", tw.Len(), *traceOut)
 		}
 	default:
 		return fmt.Errorf("unknown mode %q (tls, ils)", *mode)

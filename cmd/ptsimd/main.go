@@ -10,6 +10,7 @@
 //	curl -X POST http://127.0.0.1:8726/jobs -d '{"model":"gemm","n":1024}'
 //	curl http://127.0.0.1:8726/jobs/job-1
 //	curl http://127.0.0.1:8726/stats
+//	curl http://127.0.0.1:8726/metrics
 //
 // Submissions beyond the queue capacity are rejected immediately with
 // HTTP 429 (the service's typed overload error), never by blocking.
@@ -56,7 +57,8 @@ func run() error {
 	// the URL from it.
 	fmt.Printf("ptsimd: listening on http://%s\n", ln.Addr())
 	st := svc.Stats()
-	fmt.Printf("ptsimd: %d workers, queue depth %d\n", st.Workers, st.QueueDepth)
+	fmt.Printf("ptsimd: %d workers, queue depth %d; endpoints: POST /jobs, GET /jobs/{id}, GET /stats, GET /metrics\n",
+		st.Workers, st.QueueDepth)
 
 	srv := &http.Server{Handler: service.NewHandler(svc)}
 	errc := make(chan error, 1)

@@ -1,20 +1,27 @@
 // Command togsim executes a Tile Operation Graph file (the JSON
 // serialization of §3.7's ONNX-like format) on the TLS engine and prints
-// the simulated cycle count and memory statistics — the standalone TOGSim
-// of Fig. 1, usable with TOGs produced by other compilers.
+// the simulated cycle count, utilization breakdown, and memory statistics
+// — the standalone TOGSim of Fig. 1, usable with TOGs produced by other
+// compilers.
 //
 // Usage:
 //
-//	togsim -tog model.tog.json [-net cn] [-sched fcfs] [-cores 2]
+//	togsim -tog model.tog.json [-net cn] [-sched fcfs]
+//	togsim -tog model.tog.json -trace model.trace.json -json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"repro/internal/dram"
 	"repro/internal/npu"
+	"repro/internal/obs"
+	"repro/internal/obs/report"
 	"repro/internal/tog"
 	"repro/internal/togsim"
 )
@@ -26,11 +33,19 @@ func main() {
 	small := flag.Bool("small", false, "use the small NPU config instead of TPUv3")
 	strict := flag.Bool("strict", false, "tick every cycle instead of event-driven cycle skipping (results are identical; slower)")
 	dump := flag.Bool("stats", false, "print TOG static statistics only (no simulation)")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this JSON file")
+	jsonOut := flag.Bool("json", false, "print the run report as JSON on stdout")
 	flag.Parse()
 
 	if *togPath == "" {
-		fmt.Fprintln(os.Stderr, "usage: togsim -tog <file> [-net sn|cn] [-sched frfcfs|fcfs] [-stats]")
+		fmt.Fprintln(os.Stderr, "usage: togsim -tog <file> [-net sn|cn] [-sched frfcfs|fcfs] [-trace out.json] [-json] [-stats]")
 		os.Exit(2)
+	}
+	// With -json, stdout carries exactly one JSON document; the static
+	// statistics and trace confirmation move to stderr.
+	var logw io.Writer = os.Stdout
+	if *jsonOut {
+		logw = os.Stderr
 	}
 	data, err := os.ReadFile(*togPath)
 	if err != nil {
@@ -44,7 +59,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("TOG %q: %d compute nodes (%d cycles), %d loads (%d bytes), %d stores (%d bytes)\n",
+	fmt.Fprintf(logw, "TOG %q: %d compute nodes (%d cycles), %d loads (%d bytes), %d stores (%d bytes)\n",
 		g.Name, stats.ComputeNodes, stats.ComputeCycles, stats.LoadNodes, stats.LoadBytes, stats.StoreNodes, stats.StoreBytes)
 	if *dump {
 		return
@@ -64,6 +79,11 @@ func main() {
 	}
 	s := togsim.NewStandard(cfg, kind, policy)
 	s.Engine.StrictTick = *strict
+	var tw *obs.TraceWriter
+	if *traceOut != "" {
+		tw = obs.NewTraceWriter()
+		s.AttachProbe(tw)
+	}
 	// Bind every tensor to a distinct region.
 	bases := map[string]uint64{}
 	var next uint64
@@ -71,15 +91,29 @@ func main() {
 		bases[t] = next
 		next += 1 << 28
 	}
+	start := time.Now()
 	res, err := s.Engine.RunSingle(g, bases)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("simulated: %d cycles (%.3f ms @ %d MHz)\n",
-		res.Cycles, float64(res.Cycles)/float64(cfg.FreqMHz)/1e3, cfg.FreqMHz)
-	fmt.Printf("DRAM: %d reads, %d writes, row hits %d / misses %d, achieved %.1f B/cycle (peak %.1f)\n",
-		s.Mem.Stats.Reads, s.Mem.Stats.Writes, s.Mem.Stats.RowHits, s.Mem.Stats.RowMisses,
-		s.Mem.AchievedBandwidth(), s.Mem.PeakBandwidth())
+	// The same report.Report that ptsim and the ptsimd job response render.
+	rep := report.Build(cfg, res, &s.Mem.Stats, time.Since(start))
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("simulated: %s\n", rep.Summary())
+		fmt.Print(rep.Text())
+	}
+	if tw != nil {
+		if err := tw.WriteFile(*traceOut); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(logw, "wrote trace (%d events) to %s\n", tw.Len(), *traceOut)
+	}
 }
 
 func fatal(err error) {

@@ -12,29 +12,43 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/dram"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/togsim"
 )
 
-// runModes executes the same jobs on fresh setups in event-driven and
-// strict modes and requires identical Results.
+// runModes executes the same jobs on fresh setups in event-driven mode,
+// strict mode, and event-driven mode with a trace probe attached, and
+// requires all three Results to be identical — cycle-skipping and
+// observability must both be invisible in the numbers.
 func runModes(t *testing.T, kind togsim.NetKind, mkJobs func() []*togsim.Job, cores int) togsim.Result {
 	t.Helper()
 	cfg := benchCfg()
 	if cores > 0 {
 		cfg.Cores = cores
 	}
-	run := func(strict bool) togsim.Result {
+	run := func(strict bool, probe obs.Probe) togsim.Result {
 		s := togsim.NewStandard(cfg, kind, dram.FRFCFS)
 		s.Engine.StrictTick = strict
+		if probe != nil {
+			s.AttachProbe(probe)
+		}
 		res, err := s.Engine.Run(mkJobs())
 		if err != nil {
 			t.Fatal(err)
 		}
 		return res
 	}
-	event, strict := run(false), run(true)
+	event, strict := run(false, nil), run(true, nil)
 	if !reflect.DeepEqual(event, strict) {
 		t.Fatalf("event-driven engine diverges from strict ticking:\nevent:  %+v\nstrict: %+v", event, strict)
+	}
+	tw := obs.NewTraceWriter()
+	traced := run(false, tw)
+	if !reflect.DeepEqual(event, traced) {
+		t.Fatalf("attaching a trace probe changed the result:\nplain:  %+v\ntraced: %+v", event, traced)
+	}
+	if tw.Len() == 0 {
+		t.Fatal("instrumented run produced an empty trace")
 	}
 	return event
 }

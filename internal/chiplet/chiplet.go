@@ -9,6 +9,7 @@ package chiplet
 import (
 	"repro/internal/dram"
 	"repro/internal/npu"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/togsim"
 )
@@ -60,6 +61,12 @@ type Fabric struct {
 
 	// Stats.
 	LocalBytes, RemoteBytes int64
+
+	// Probe receives link traffic and occupancy counters on obs.LinkTrack
+	// when non-nil (change-triggered; never affects timing).
+	Probe       obs.Probe
+	lastPending int
+	lastBytes   int64
 }
 
 type stagedReq struct {
@@ -192,6 +199,16 @@ func (f *Fabric) Tick() {
 	n := len(f.done)
 	f.done = f.returns.PopDue(f.cycle, f.done)
 	f.pending -= len(f.done) - n
+	if f.Probe != nil {
+		if f.pending != f.lastPending {
+			f.Probe.Counter(obs.LinkTrack, "chiplet.inflight", f.cycle, float64(f.pending))
+			f.lastPending = f.pending
+		}
+		if b := f.LocalBytes + f.RemoteBytes; b != f.lastBytes {
+			f.Probe.Counter(obs.LinkTrack, "chiplet.bytes_total", f.cycle, float64(b))
+			f.lastBytes = b
+		}
+	}
 }
 
 // NextEvent implements togsim.Fabric. Each per-chiplet link FIFO's next

@@ -20,6 +20,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/graph"
 	"repro/internal/npu"
+	"repro/internal/obs"
 	"repro/internal/tensor"
 	"repro/internal/togsim"
 )
@@ -43,6 +44,11 @@ type Simulator struct {
 	// deadlock guard, configurable per run instead of only the package
 	// constant (0 = togsim.DefaultMaxCycles).
 	MaxCycles int64
+
+	// Probe, when non-nil, is attached to every TLS stack this simulator
+	// builds (engine spans plus fabric/NoC/DRAM counters). It never changes
+	// simulation results.
+	Probe obs.Probe
 }
 
 // NewSimulator returns a simulator for the given NPU and compiler options.
@@ -86,6 +92,9 @@ func (s *Simulator) SimulateTLS(comp *compiler.Compiled, kind NetKind) (Report, 
 func (s *Simulator) SimulateJobs(jobs []*togsim.Job, kind NetKind) (Report, error) {
 	setup := togsim.NewStandard(s.Cfg, kind, dram.FRFCFS)
 	setup.Engine.MaxCycles = s.MaxCycles
+	if s.Probe != nil {
+		setup.AttachProbe(s.Probe)
+	}
 	start := time.Now()
 	res, err := setup.Engine.Run(jobs)
 	if err != nil {

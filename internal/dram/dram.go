@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"repro/internal/npu"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -78,6 +79,13 @@ type Memory struct {
 	refreshes    int64
 
 	Stats Stats
+
+	// Probe receives occupancy and bandwidth counters on obs.DRAMTrack when
+	// non-nil. Counters are emitted only when the value changes, and never
+	// influence timing.
+	Probe       obs.Probe
+	lastPending int
+	lastBytes   int64
 }
 
 // Refreshes counts all-bank refreshes performed.
@@ -157,6 +165,16 @@ func (m *Memory) Tick() {
 	}
 	// Deliver completions.
 	m.done = m.inFlight.PopDue(m.cycle, m.done)
+	if m.Probe != nil {
+		if p := m.Pending(); p != m.lastPending {
+			m.Probe.Counter(obs.DRAMTrack, "dram.inflight", m.cycle, float64(p))
+			m.lastPending = p
+		}
+		if m.Stats.TotalBytes != m.lastBytes {
+			m.Probe.Counter(obs.DRAMTrack, "dram.bytes_total", m.cycle, float64(m.Stats.TotalBytes))
+			m.lastBytes = m.Stats.TotalBytes
+		}
+	}
 }
 
 // NextEvent implements the event-kernel contract: with queued requests a

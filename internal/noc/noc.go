@@ -8,6 +8,7 @@ package noc
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -31,6 +32,9 @@ type Network interface {
 	Pending() int
 	// SetPortWidth configures a port's bandwidth in flits per cycle.
 	SetPortWidth(port, width int)
+	// SetProbe attaches an observability probe (nil detaches). Probes
+	// receive occupancy counters on obs.NoCTrack and never affect timing.
+	SetProbe(p obs.Probe)
 }
 
 // --- SN: simple latency + bandwidth model ---------------------------------
@@ -50,6 +54,9 @@ type Simple struct {
 	width    map[int]int              // flits per cycle per port (default 1)
 	inFlight sim.EventQueue[*Message] // deliveries keyed by finish cycle
 	done     []*Message
+
+	probe       obs.Probe
+	lastPending int
 }
 
 // NewSimple returns the SN model.
@@ -111,10 +118,19 @@ func (s *Simple) Submit(m *Message) bool {
 	return true
 }
 
+// SetProbe implements Network.
+func (s *Simple) SetProbe(p obs.Probe) { s.probe = p }
+
 // Tick advances one cycle, delivering due messages.
 func (s *Simple) Tick() {
 	s.cycle++
 	s.done = s.inFlight.PopDue(s.cycle, s.done)
+	if s.probe != nil {
+		if p := s.Pending(); p != s.lastPending {
+			s.probe.Counter(obs.NoCTrack, "noc.inflight", s.cycle, float64(p))
+			s.lastPending = p
+		}
+	}
 }
 
 // NextEvent implements sim.Component: the next delivery, or Never when
@@ -186,6 +202,10 @@ type Crossbar struct {
 	// Stats.
 	FlitsSwitched  int64
 	AllocConflicts int64
+
+	probe       obs.Probe
+	lastPending int
+	lastFlits   int64
 }
 
 // NewCrossbar returns the CN model.
@@ -353,6 +373,16 @@ func (x *Crossbar) Tick() {
 	}
 	// Deliver messages whose pipeline latency elapsed.
 	x.done = x.delayed.PopDue(x.cycle, x.done)
+	if x.probe != nil {
+		if p := x.Pending(); p != x.lastPending {
+			x.probe.Counter(obs.NoCTrack, "noc.inflight", x.cycle, float64(p))
+			x.lastPending = p
+		}
+		if x.FlitsSwitched != x.lastFlits {
+			x.probe.Counter(obs.NoCTrack, "noc.flits_total", x.cycle, float64(x.FlitsSwitched))
+			x.lastFlits = x.FlitsSwitched
+		}
+	}
 }
 
 // NextEvent implements sim.Component. Any queued flit means allocation
@@ -377,6 +407,9 @@ func (x *Crossbar) NextEvent() int64 {
 // SkipTo implements sim.Component: with empty input queues, the only
 // time-dependent state is the absolute-cycle delivery queue.
 func (x *Crossbar) SkipTo(cycle int64) { x.cycle = cycle }
+
+// SetProbe implements Network.
+func (x *Crossbar) SetProbe(p obs.Probe) { x.probe = p }
 
 // Completed drains delivered messages.
 func (x *Crossbar) Completed() []*Message {

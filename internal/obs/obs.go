@@ -1,0 +1,78 @@
+// Package obs is the simulation-wide observability layer: a Probe
+// interface that simulation components emit trace spans and counter
+// samples into, plus the exporters built on it (the Perfetto trace writer
+// here, the Prometheus-style registry in obs/metrics, and the derived
+// utilization/stall reports in obs/report).
+//
+// The contract is deliberately asymmetric: instrumentation sites pay for
+// observability only when someone is watching. Every probe call site in
+// the simulators is guarded by a nil check, and every Probe method takes
+// value arguments only, so a disabled (nil) probe adds zero allocations
+// and a handful of predicted branches to the engine hot path. Attaching a
+// probe must never change simulation results — probes are read-only
+// observers, enforced by the equivalence tests in internal/togsim and at
+// the repository root.
+package obs
+
+// Track identifies one timeline row: a (process, lane) pair in the
+// Chrome/Perfetto trace model. Simulators use core ids as PIDs (one
+// process group per core, with one lane per compute unit plus DMA and
+// stall lanes) and PIDMemory for the shared memory system.
+type Track struct {
+	PID int32
+	TID int32
+}
+
+// Lane ids within a core's track group.
+const (
+	LaneJobs int32 = iota
+	LaneSA
+	LaneVector
+	LaneSparse
+	LaneDMA
+	LaneStall
+)
+
+// PIDMemory groups the shared memory-system tracks (fabric, DRAM, NoC,
+// chiplet link) under one Perfetto process, away from the core pids.
+const PIDMemory int32 = 1 << 20
+
+// Shared memory-system tracks.
+var (
+	FabricTrack = Track{PID: PIDMemory, TID: 0}
+	DRAMTrack   = Track{PID: PIDMemory, TID: 1}
+	NoCTrack    = Track{PID: PIDMemory, TID: 2}
+	LinkTrack   = Track{PID: PIDMemory, TID: 3}
+)
+
+// CoreTrack returns the track for one lane of one core.
+func CoreTrack(core int, lane int32) Track {
+	return Track{PID: int32(core), TID: lane}
+}
+
+// SpanInfo carries optional span detail by value (no allocation at the
+// call site). Zero fields are omitted from exported traces.
+type SpanInfo struct {
+	// Wait is the leading portion of the span spent queued (e.g. a tile
+	// waiting for a busy systolic array) rather than executing.
+	Wait int64
+	// Bytes is the payload size for DMA/transfer spans.
+	Bytes int64
+}
+
+// Probe receives simulation trace events. All cycle arguments are in the
+// emitting engine's clock domain. Implementations must tolerate events
+// arriving out of timestamp order (components complete work at different
+// times) and concurrent use is not required — one probe instance observes
+// one engine run.
+//
+// A nil Probe means "disabled"; call sites guard with `if p != nil` so the
+// instrumented hot path costs nothing when tracing is off.
+type Probe interface {
+	// TrackName attaches human-readable names to a track; idempotent.
+	TrackName(t Track, process, lane string)
+	// Span records a completed interval [start, end) on a track.
+	Span(t Track, name string, start, end int64, info SpanInfo)
+	// Counter records an instantaneous sample of a named counter series.
+	Counter(t Track, name string, cycle int64, value float64)
+}

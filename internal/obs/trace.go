@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Event is one Chrome trace-event JSON object, the subset Perfetto's
+// legacy JSON importer understands: "M" metadata (process/thread names),
+// "X" complete spans (ts + dur), and "C" counter samples. Timestamps are
+// simulated cycles exported as microseconds, so 1 trace µs = 1 cycle.
+type Event struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	PID  int32          `json:"pid"`
+	TID  int32          `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level JSON document ui.perfetto.dev accepts.
+type traceFile struct {
+	TraceEvents     []Event `json:"traceEvents"`
+	DisplayTimeUnit string  `json:"displayTimeUnit"`
+}
+
+// TraceWriter is a Probe that buffers events in memory and exports them as
+// Chrome trace-event JSON loadable by ui.perfetto.dev (or
+// chrome://tracing). It is safe for concurrent emission.
+type TraceWriter struct {
+	mu     sync.Mutex
+	procs  map[int32]string
+	lanes  map[Track]string
+	events []Event
+}
+
+// NewTraceWriter returns an empty trace buffer.
+func NewTraceWriter() *TraceWriter {
+	return &TraceWriter{
+		procs: map[int32]string{},
+		lanes: map[Track]string{},
+	}
+}
+
+// TrackName implements Probe.
+func (t *TraceWriter) TrackName(tr Track, process, lane string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.procs[tr.PID] = process
+	t.lanes[tr] = lane
+}
+
+// Span implements Probe.
+func (t *TraceWriter) Span(tr Track, name string, start, end int64, info SpanInfo) {
+	if end <= start {
+		end = start + 1 // Perfetto hides zero-width spans; clamp to one cycle
+	}
+	ev := Event{Name: name, Ph: "X", TS: start, Dur: end - start, PID: tr.PID, TID: tr.TID}
+	if info.Wait != 0 || info.Bytes != 0 {
+		args := make(map[string]any, 3)
+		if info.Wait != 0 {
+			args["wait_cycles"] = info.Wait
+			args["exec_cycles"] = (end - start) - info.Wait
+		}
+		if info.Bytes != 0 {
+			args["bytes"] = info.Bytes
+		}
+		ev.Args = args
+	}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Counter implements Probe.
+func (t *TraceWriter) Counter(tr Track, name string, cycle int64, value float64) {
+	ev := Event{Name: name, Ph: "C", TS: cycle, PID: tr.PID, TID: tr.TID,
+		Args: map[string]any{"value": value}}
+	t.mu.Lock()
+	t.events = append(t.events, ev)
+	t.mu.Unlock()
+}
+
+// Events returns the buffered span/counter events sorted by timestamp
+// (metadata excluded), mainly for tests.
+func (t *TraceWriter) Events() []Event {
+	t.mu.Lock()
+	out := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TS < out[j].TS })
+	return out
+}
+
+// Len returns the number of buffered span/counter events.
+func (t *TraceWriter) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// WriteTo exports the trace as a single JSON document: metadata events
+// first (processes by pid, lanes by pid/tid), then all span and counter
+// events in monotonically non-decreasing timestamp order.
+func (t *TraceWriter) WriteTo(w io.Writer) (int64, error) {
+	t.mu.Lock()
+	all := make([]Event, 0, len(t.procs)+len(t.lanes)+len(t.events))
+	pids := make([]int32, 0, len(t.procs))
+	for pid := range t.procs {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool { return pids[i] < pids[j] })
+	for _, pid := range pids {
+		all = append(all, Event{Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": t.procs[pid]}})
+	}
+	tracks := make([]Track, 0, len(t.lanes))
+	for tr := range t.lanes {
+		tracks = append(tracks, tr)
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		a, b := tracks[i], tracks[j]
+		return a.PID < b.PID || (a.PID == b.PID && a.TID < b.TID)
+	})
+	for _, tr := range tracks {
+		all = append(all, Event{Name: "thread_name", Ph: "M", PID: tr.PID, TID: tr.TID,
+			Args: map[string]any{"name": t.lanes[tr]}})
+	}
+	body := append([]Event(nil), t.events...)
+	t.mu.Unlock()
+
+	sort.SliceStable(body, func(i, j int) bool { return body[i].TS < body[j].TS })
+	all = append(all, body...)
+
+	cw := &countingWriter{w: w}
+	enc := json.NewEncoder(cw)
+	err := enc.Encode(traceFile{TraceEvents: all, DisplayTimeUnit: "ms"})
+	return cw.n, err
+}
+
+// WriteFile exports the trace to path.
+func (t *TraceWriter) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := t.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+var _ Probe = (*TraceWriter)(nil)

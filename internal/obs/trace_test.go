@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestTraceWriterGolden pins the exact JSON a small trace exports to: the
+// Perfetto-loadable envelope, metadata first, then events sorted by
+// timestamp even when emitted out of order.
+func TestTraceWriterGolden(t *testing.T) {
+	tw := NewTraceWriter()
+	tw.TrackName(CoreTrack(0, LaneSA), "core 0", "SA")
+	tw.TrackName(CoreTrack(0, LaneDMA), "core 0", "DMA")
+	// Emit out of timestamp order on purpose.
+	tw.Span(CoreTrack(0, LaneSA), "gemm_128", 50, 80, SpanInfo{Wait: 10})
+	tw.Span(CoreTrack(0, LaneDMA), "load in", 5, 40, SpanInfo{Bytes: 4096})
+	tw.Counter(DRAMTrack, "dram.inflight", 20, 3)
+
+	var buf bytes.Buffer
+	if _, err := tw.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `{"traceEvents":[` +
+		`{"name":"process_name","ph":"M","ts":0,"pid":0,"tid":0,"args":{"name":"core 0"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":1,"args":{"name":"SA"}},` +
+		`{"name":"thread_name","ph":"M","ts":0,"pid":0,"tid":4,"args":{"name":"DMA"}},` +
+		`{"name":"load in","ph":"X","ts":5,"dur":35,"pid":0,"tid":4,"args":{"bytes":4096}},` +
+		`{"name":"dram.inflight","ph":"C","ts":20,"pid":1048576,"tid":1,"args":{"value":3}},` +
+		`{"name":"gemm_128","ph":"X","ts":50,"dur":30,"pid":0,"tid":1,"args":{"exec_cycles":20,"wait_cycles":10}}` +
+		`],"displayTimeUnit":"ms"}` + "\n"
+	if got := buf.String(); got != want {
+		t.Fatalf("golden mismatch:\ngot:  %s\nwant: %s", got, want)
+	}
+}
+
+// TestTraceWriterValidEvents checks the structural invariants any exported
+// trace must satisfy: the document parses, every event has a valid ph,
+// complete events carry ts and positive dur, and non-metadata events are
+// monotonically ordered by ts.
+func TestTraceWriterValidEvents(t *testing.T) {
+	tw := NewTraceWriter()
+	tw.TrackName(CoreTrack(1, LaneVector), "core 1", "vector")
+	for i := int64(10); i > 0; i-- {
+		tw.Span(CoreTrack(1, LaneVector), "op", i*100, i*100+37, SpanInfo{})
+		tw.Counter(NoCTrack, "noc.inflight", i*50, float64(i))
+	}
+	tw.Span(CoreTrack(1, LaneVector), "instant", 7, 7, SpanInfo{}) // zero-width clamps to 1
+
+	var buf bytes.Buffer
+	if _, err := tw.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []Event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 2+21 {
+		t.Fatalf("event count = %d, want 23", len(doc.TraceEvents))
+	}
+	last := int64(-1)
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if i > 0 && doc.TraceEvents[i-1].Ph != "M" {
+				t.Fatalf("metadata event %d after non-metadata", i)
+			}
+			continue
+		case "X":
+			if ev.Dur <= 0 {
+				t.Fatalf("complete event %q has dur %d", ev.Name, ev.Dur)
+			}
+		case "C":
+			if _, ok := ev.Args["value"]; !ok {
+				t.Fatalf("counter event %q missing value", ev.Name)
+			}
+		default:
+			t.Fatalf("unknown ph %q", ev.Ph)
+		}
+		if ev.TS < last {
+			t.Fatalf("event %d (%q) ts %d < previous %d: not monotonic", i, ev.Name, ev.TS, last)
+		}
+		last = ev.TS
+	}
+}

@@ -13,6 +13,8 @@ import (
 //	                400 on an invalid spec
 //	GET  /jobs/{id} job snapshot (state, result once done); 404 if unknown
 //	GET  /stats     service counters (queue, cache, simulation rate)
+//	GET  /metrics   the same counters in Prometheus text exposition
+//	                format, plus queue-wait and job-latency histograms
 //
 // The handler is what cmd/ptsimd serves; tests drive it via httptest so
 // the daemon binary stays a thin main.
@@ -46,6 +48,10 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = s.Metrics().WriteTo(w)
 	})
 	return mux
 }

@@ -22,6 +22,8 @@ import (
 	"repro/internal/dram"
 	"repro/internal/graph"
 	"repro/internal/npu"
+	"repro/internal/obs/metrics"
+	"repro/internal/obs/report"
 	"repro/internal/service/modelzoo"
 	"repro/internal/togsim"
 )
@@ -123,6 +125,11 @@ type JobResult struct {
 	CompileMs   float64 `json:"compile_ms"` // host time spent compiling (0 on cache hit)
 	CacheHit    bool    `json:"cache_hit"`  // compilation served from the cache
 	CompileKey  string  `json:"compile_key"`
+
+	// Report is the derived observability breakdown (per-core utilization,
+	// per-job cycle classes, memory bandwidth) — the same formatter ptsim
+	// -report prints, so the daemon response and the CLI can never drift.
+	Report *report.Report `json:"report,omitempty"`
 }
 
 // Job is the service's record of one submission. Snapshot copies are
@@ -147,12 +154,17 @@ type Config struct {
 	MaxCycles  int64 // default per-job deadlock guard (0 = togsim.DefaultMaxCycles)
 }
 
-// Stats is the service's observability surface.
+// Stats is the service's observability surface. Every field is captured
+// under one lock in a single snapshot, so the numbers are mutually
+// consistent: queue depth, in-flight jobs, and the cumulative counters all
+// describe the same instant (the /metrics endpoint renders the same
+// snapshot, so the two surfaces can never disagree mid-scrape).
 type Stats struct {
-	Queued  int64 `json:"queued"`
-	Running int64 `json:"running"`
-	Done    int64 `json:"done"`
-	Failed  int64 `json:"failed"`
+	Submitted int64 `json:"submitted"` // cumulative jobs accepted
+	Queued    int64 `json:"queued"`    // current queue depth
+	Running   int64 `json:"running"`   // jobs currently simulating
+	Done      int64 `json:"done"`
+	Failed    int64 `json:"failed"`
 
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
@@ -174,16 +186,23 @@ type Service struct {
 	cfg   Config
 	cache *Cache
 
-	mu      sync.Mutex
-	byID    map[string]*Job
-	nextID  int64
-	closed  bool
-	queued  int64
-	running int64
-	done    int64
-	failed  int64
-	cycles  int64
-	wallNs  int64
+	mu          sync.Mutex
+	byID        map[string]*Job
+	nextID      int64
+	closed      bool
+	submitted   int64
+	queued      int64
+	running     int64
+	done        int64
+	failed      int64
+	cycles      int64
+	wallNs      int64
+	cacheHits   int64 // compile-cache accounting under s.mu, so Stats()
+	cacheMisses int64 // is one consistent snapshot (the cache has its own lock)
+
+	reg       *metrics.Registry
+	queueWait *metrics.Histogram
+	jobLat    *metrics.Histogram
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -198,12 +217,49 @@ func New(cfg Config) *Service {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
-	return &Service{
+	s := &Service{
 		cfg:   cfg,
 		cache: NewCache(),
 		byID:  map[string]*Job{},
 		queue: make(chan *Job, cfg.QueueDepth),
+		reg:   metrics.NewRegistry(),
 	}
+	s.queueWait = s.reg.NewHistogram("ptsimd_queue_wait_seconds",
+		"Time jobs spend queued before a worker picks them up.",
+		metrics.ExpBuckets(0.001, 4, 10))
+	s.jobLat = s.reg.NewHistogram("ptsimd_job_duration_seconds",
+		"End-to-end job latency from submission to completion.",
+		metrics.ExpBuckets(0.001, 4, 12))
+	s.reg.Register(metrics.CollectorFunc(s.collect))
+	return s
+}
+
+// Metrics returns the registry backing GET /metrics. The histograms are
+// fed by the workers; everything else is emitted at scrape time from one
+// Stats snapshot.
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// collect emits every point-in-time family from a single Stats snapshot,
+// so one scrape can never observe counters that disagree with each other
+// or with /stats.
+func (s *Service) collect(e *metrics.Emitter) {
+	st := s.Stats()
+	e.Gauge("ptsimd_jobs_queued", "Jobs waiting in the bounded queue.", float64(st.Queued))
+	e.Gauge("ptsimd_jobs_running", "Jobs currently simulating.", float64(st.Running))
+	e.Counter("ptsimd_jobs_submitted_total", "Jobs accepted by admission control.", float64(st.Submitted))
+	e.Counter("ptsimd_jobs_done_total", "Jobs finished successfully.", float64(st.Done))
+	e.Counter("ptsimd_jobs_failed_total", "Jobs that ended in an error.", float64(st.Failed))
+	e.Counter("ptsimd_compile_cache_hits_total", "Compilations served from the content-addressed cache.", float64(st.CacheHits))
+	e.Counter("ptsimd_compile_cache_misses_total", "Compilations that ran the compiler.", float64(st.CacheMisses))
+	e.Counter("ptsimd_simulated_cycles_total", "Simulated cycles summed over finished jobs.", float64(st.TotalCycles))
+	e.Gauge("ptsimd_simulation_cycles_per_second", "Aggregate simulation rate: simulated cycles per host second.", st.CyclesPerSecond)
+	e.Gauge("ptsimd_workers", "Size of the worker pool.", float64(st.Workers))
+	e.Gauge("ptsimd_queue_capacity", "Bounded job queue capacity.", float64(st.QueueDepth))
+	busy := 0.0
+	if st.Workers > 0 {
+		busy = float64(st.Running) / float64(st.Workers)
+	}
+	e.Gauge("ptsimd_worker_busy_fraction", "Fraction of workers currently simulating.", busy)
 }
 
 // Cache exposes the compile cache (shared with e.g. sched adapters).
@@ -264,6 +320,7 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 		return Job{}, &OverloadError{Capacity: s.cfg.QueueDepth}
 	}
 	s.byID[j.ID] = j
+	s.submitted++
 	s.queued++
 	snap := *j
 	s.mu.Unlock()
@@ -296,14 +353,15 @@ func (s *Service) Wait(id string) (Job, error) {
 	return *j, nil
 }
 
-// Stats returns the current counters.
+// Stats returns the current counters as one consistent snapshot: every
+// field is read under the same lock acquisition.
 func (s *Service) Stats() Stats {
-	hits, misses := s.cache.Stats()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := Stats{
-		Queued: s.queued, Running: s.running, Done: s.done, Failed: s.failed,
-		CacheHits: hits, CacheMisses: misses,
+		Submitted: s.submitted,
+		Queued:    s.queued, Running: s.running, Done: s.done, Failed: s.failed,
+		CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
 		TotalCycles: s.cycles, WallSeconds: float64(s.wallNs) / 1e9,
 		Workers: s.cfg.Workers, QueueDepth: s.cfg.QueueDepth,
 	}
@@ -327,6 +385,7 @@ func (s *Service) run(j *Job) {
 	j.State = StateRunning
 	j.Started = time.Now()
 	s.mu.Unlock()
+	s.queueWait.Observe(j.Started.Sub(j.Submitted).Seconds())
 
 	res, err := s.simulate(j.Spec)
 
@@ -345,6 +404,7 @@ func (s *Service) run(j *Job) {
 		s.wallNs += int64(res.WallMs * 1e6)
 	}
 	s.mu.Unlock()
+	s.jobLat.Observe(j.Finished.Sub(j.Submitted).Seconds())
 	close(j.done)
 }
 
@@ -364,6 +424,13 @@ func (s *Service) simulate(spec JobSpec) (JobResult, error) {
 	if err != nil {
 		return JobResult{}, err
 	}
+	s.mu.Lock()
+	if hit {
+		s.cacheHits++
+	} else {
+		s.cacheMisses++
+	}
+	s.mu.Unlock()
 	compileMs := float64(time.Since(compileStart)) / 1e6
 	if hit {
 		compileMs = 0
@@ -380,6 +447,7 @@ func (s *Service) simulate(spec JobSpec) (JobResult, error) {
 		return JobResult{}, err
 	}
 	wall := time.Since(start)
+	rep := report.Build(r.Cfg, res, &setup.Mem.Stats, wall)
 	return JobResult{
 		Cycles:      res.Cycles,
 		FreqMHz:     r.Cfg.FreqMHz,
@@ -388,5 +456,6 @@ func (s *Service) simulate(spec JobSpec) (JobResult, error) {
 		CompileMs:   compileMs,
 		CacheHit:    hit,
 		CompileKey:  key,
+		Report:      &rep,
 	}, nil
 }

@@ -71,6 +71,43 @@ func Earliest(cycles ...int64) int64 {
 	return next
 }
 
+// Meter wraps a Component and accounts busy versus skipped cycles at the
+// kernel boundary: every Tick is one busy cycle, every SkipTo jump is
+// skipped idle time. Engines drive the wrapped component through the
+// meter and read Ticked/Skipped afterwards — the raw data behind
+// "cycle-skipping made this run N× cheaper" and the per-component
+// occupancy counters the observability layer exports. The wrapper is two
+// integer updates per call; it is cheap enough to leave permanently
+// installed.
+type Meter struct {
+	C       Component
+	Ticked  int64 // cycles advanced one at a time (the component did work)
+	Skipped int64 // cycles jumped over (provably idle)
+
+	now int64
+}
+
+// Tick implements Component.
+func (m *Meter) Tick() {
+	m.C.Tick()
+	m.now++
+	m.Ticked++
+}
+
+// NextEvent implements Component.
+func (m *Meter) NextEvent() int64 { return m.C.NextEvent() }
+
+// SkipTo implements Component.
+func (m *Meter) SkipTo(cycle int64) {
+	if cycle > m.now {
+		m.Skipped += cycle - m.now
+		m.now = cycle
+	}
+	m.C.SkipTo(cycle)
+}
+
+var _ Component = (*Meter)(nil)
+
 // event is one queue entry: a payload due at a cycle, with an insertion
 // sequence number so same-cycle events pop in FIFO order (components rely
 // on this to keep completion order bit-identical to per-cycle scanning).

@@ -121,3 +121,40 @@ func TestEarliest(t *testing.T) {
 		t.Fatal("Earliest picked wrong minimum")
 	}
 }
+
+// countingComponent records Tick/SkipTo calls for Meter tests.
+type countingComponent struct {
+	ticks     int
+	skippedTo int64
+}
+
+func (c *countingComponent) Tick()              { c.ticks++ }
+func (c *countingComponent) NextEvent() int64   { return Never }
+func (c *countingComponent) SkipTo(cycle int64) { c.skippedTo = cycle }
+
+func TestMeter(t *testing.T) {
+	inner := &countingComponent{}
+	m := Meter{C: inner}
+	m.Tick()
+	m.Tick()
+	m.Tick()
+	if m.Ticked != 3 || inner.ticks != 3 {
+		t.Fatalf("Ticked = %d (inner %d), want 3", m.Ticked, inner.ticks)
+	}
+	m.SkipTo(10) // now = 3, so 7 cycles skipped
+	if m.Skipped != 7 || inner.skippedTo != 10 {
+		t.Fatalf("Skipped = %d (inner at %d), want 7 at 10", m.Skipped, inner.skippedTo)
+	}
+	m.SkipTo(10) // same-cycle skip adds nothing
+	m.SkipTo(9)  // backwards skip is forwarded but counts nothing
+	if m.Skipped != 7 {
+		t.Fatalf("redundant skips changed the count: %d", m.Skipped)
+	}
+	m.Tick()
+	if m.Ticked != 4 || m.Skipped != 7 {
+		t.Fatalf("after mixed use: Ticked=%d Skipped=%d, want 4/7", m.Ticked, m.Skipped)
+	}
+	if m.NextEvent() != Never {
+		t.Fatal("NextEvent must delegate to the wrapped component")
+	}
+}

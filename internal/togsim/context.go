@@ -3,6 +3,7 @@ package togsim
 import (
 	"fmt"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tog"
 )
@@ -32,8 +33,25 @@ type context struct {
 	pendingTotal int
 	oldestIssue  int64
 
-	computeBusy int64
-	dmaBytes    int64
+	// Cycle-class accounting (always on; timestamp-based so the numbers
+	// are identical under event-driven and strict execution).
+	computeBusy  int64
+	unitWait     int64
+	dmaWait      int64
+	blockedSince int64 // first cycle of the current DMA stall, -1 when none
+	dmaBytes     int64
+
+	// Tracing (nil/empty unless a probe is attached).
+	probe   obs.Probe
+	dmaOpen map[int]*dmaSpan // open DMA window per tag
+}
+
+// dmaSpan tracks one open DMA window (first burst issued → last burst
+// completed) for trace emission.
+type dmaSpan struct {
+	start int64
+	bytes int64
+	name  string
 }
 
 // job2 aliases Job to keep struct embedding simple.
@@ -45,30 +63,66 @@ type loopFrame struct {
 	v       string
 }
 
-func newContext(j *Job, coreID, budget, burst int) *context {
-	return &context{
-		job:         j,
-		coreID:      coreID,
-		budget:      budget,
-		burst:       burst,
-		vars:        map[string]int64{},
-		pendingTag:  map[int]int{},
-		waitTag:     -1,
-		oldestIssue: -1,
+func newContext(j *Job, coreID, budget, burst int, probe obs.Probe) *context {
+	c := &context{
+		job:          j,
+		coreID:       coreID,
+		budget:       budget,
+		burst:        burst,
+		vars:         map[string]int64{},
+		pendingTag:   map[int]int{},
+		waitTag:      -1,
+		oldestIssue:  -1,
+		blockedSince: -1,
+		probe:        probe,
 	}
+	if probe != nil {
+		c.dmaOpen = map[int]*dmaSpan{}
+	}
+	return c
+}
+
+// block marks the start of a DMA stall (idempotent while already stalled).
+func (c *context) block(cycle int64) {
+	if c.blockedSince < 0 {
+		c.blockedSince = cycle
+	}
+}
+
+// unblock closes the current DMA stall window, accounting its cycles and
+// emitting a stall span when tracing.
+func (c *context) unblock(cycle int64) {
+	if c.blockedSince < 0 {
+		return
+	}
+	if cycle > c.blockedSince {
+		c.dmaWait += cycle - c.blockedSince
+		if c.probe != nil {
+			c.probe.Span(obs.CoreTrack(c.coreID, obs.LaneStall), "dma-stall",
+				c.blockedSince, cycle, obs.SpanInfo{})
+		}
+	}
+	c.blockedSince = -1
 }
 
 func (c *context) finished() bool { return c.togIdx >= len(c.job.TOGs) }
 
 // dmaDone is called by the engine when one of this context's bursts
 // completes.
-func (c *context) dmaDone(r *MemReq) {
+func (c *context) dmaDone(r *MemReq, cycle int64) {
 	c.pendingTag[r.tag]--
 	c.pendingTotal--
 	if c.pendingTotal == 0 {
 		c.oldestIssue = -1
 	}
 	c.dmaBytes += int64(r.Bytes)
+	if c.probe != nil && c.pendingTag[r.tag] == 0 {
+		if ds, ok := c.dmaOpen[r.tag]; ok {
+			c.probe.Span(obs.CoreTrack(c.coreID, obs.LaneDMA), ds.name,
+				ds.start, cycle, obs.SpanInfo{Bytes: ds.bytes})
+			delete(c.dmaOpen, r.tag)
+		}
+	}
 }
 
 // nextWake reports the earliest future cycle at which stepping this
@@ -136,6 +190,7 @@ func (c *context) step(cycle int64, cs *coreState, fabric Fabric) error {
 	// Flush bursts the fabric previously refused.
 	for len(c.issueQueue) > 0 {
 		if !fabric.Submit(c.issueQueue[0]) {
+			c.block(cycle)
 			return nil // fabric full; retry next cycle
 		}
 		c.issueQueue = c.issueQueue[1:]
@@ -143,6 +198,7 @@ func (c *context) step(cycle int64, cs *coreState, fabric Fabric) error {
 	// Blocked on a waitDMA?
 	if c.waitTag >= 0 {
 		if c.pendingTag[c.waitTag] > 0 {
+			c.block(cycle)
 			return nil
 		}
 		c.waitTag = -1
@@ -150,9 +206,11 @@ func (c *context) step(cycle int64, cs *coreState, fabric Fabric) error {
 	if c.waitAll {
 		for _, n := range c.pendingTag {
 			if n > 0 {
+				c.block(cycle)
 				return nil
 			}
 		}
+		c.unblock(cycle)
 		c.waitAll = false
 		c.togIdx++
 		c.pc = 0
@@ -160,12 +218,19 @@ func (c *context) step(cycle int64, cs *coreState, fabric Fabric) error {
 		c.loops = nil
 		return nil
 	}
+	c.unblock(cycle)
 
 	g := c.job.TOGs[c.togIdx]
 	for steps := 0; steps < c.budget; steps++ {
 		if c.pc >= len(g.Nodes) {
-			// TOG body done; drain outstanding DMAs before moving on.
+			// TOG body done; drain outstanding DMAs before moving on. The
+			// stall clock starts here, not at the next step call — strict and
+			// event-driven execution reach this point on the same cycle but
+			// revisit the context on different ones.
 			c.waitAll = true
+			if c.pendingTotal > 0 {
+				c.block(cycle)
+			}
 			return nil
 		}
 		n := &g.Nodes[c.pc]
@@ -192,8 +257,9 @@ func (c *context) step(cycle int64, cs *coreState, fabric Fabric) error {
 			}
 		case tog.Compute:
 			lat := n.Cycles
+			key := ""
 			if n.LatKey != "" {
-				key := tog.SubstituteKey(n.LatKey, c.vars)
+				key = tog.SubstituteKey(n.LatKey, c.vars)
 				l, ok := g.TileLatencies[key]
 				if !ok {
 					return fmt.Errorf("togsim: missing tile latency %q in %q", key, g.Name)
@@ -228,8 +294,20 @@ func (c *context) step(cycle int64, cs *coreState, fabric Fabric) error {
 			*unitFree = finish
 			*busy += lat
 			c.computeBusy += lat
+			c.unitWait += start - cycle
 			c.readyAt = finish
 			c.pc++
+			if c.probe != nil {
+				name := key
+				if name == "" {
+					name = string(n.Unit)
+				}
+				if name == "" {
+					name = "compute"
+				}
+				c.probe.Span(obs.CoreTrack(c.coreID, laneOfUnit(n.Unit)), name,
+					cycle, finish, obs.SpanInfo{Wait: start - cycle})
+			}
 			return nil
 		case tog.LoadDMA, tog.StoreDMA:
 			if err := c.issueDMA(g, n, fabric, cycle); err != nil {
@@ -237,17 +315,31 @@ func (c *context) step(cycle int64, cs *coreState, fabric Fabric) error {
 			}
 			c.pc++
 			if len(c.issueQueue) > 0 {
+				c.block(cycle)
 				return nil // fabric backpressure
 			}
 		case tog.WaitDMA:
 			c.pc++
 			if c.pendingTag[n.Tag] > 0 {
 				c.waitTag = n.Tag
+				c.block(cycle)
 				return nil
 			}
 		}
 	}
 	return nil
+}
+
+// laneOfUnit maps a compute unit to its trace lane on the core's track.
+func laneOfUnit(u tog.Unit) int32 {
+	switch u {
+	case tog.UnitSA:
+		return obs.LaneSA
+	case tog.UnitSparse:
+		return obs.LaneSparse
+	default:
+		return obs.LaneVector
+	}
 }
 
 // issueDMA expands a DMA node into burst requests and submits them.
@@ -262,12 +354,14 @@ func (c *context) issueDMA(g *tog.TOG, n *tog.Node, fabric Fabric, cycle int64) 
 	}
 	addr := base + uint64(off)
 	burst := c.burst
+	var issued int64
 	for _, rg := range n.Desc.DRAMRanges(addr) {
 		for b := 0; b < rg.Bytes; b += burst {
 			sz := burst
 			if rg.Bytes-b < sz {
 				sz = rg.Bytes - b
 			}
+			issued += int64(sz)
 			req := &MemReq{
 				Addr:    rg.Addr + uint64(b),
 				Bytes:   sz,
@@ -285,6 +379,17 @@ func (c *context) issueDMA(g *tog.TOG, n *tog.Node, fabric Fabric, cycle int64) 
 			if len(c.issueQueue) > 0 || !fabric.Submit(req) {
 				c.issueQueue = append(c.issueQueue, req)
 			}
+		}
+	}
+	if c.probe != nil && issued > 0 {
+		if ds, ok := c.dmaOpen[n.Tag]; ok {
+			ds.bytes += issued
+		} else {
+			name := "load " + n.Tensor
+			if n.Kind == tog.StoreDMA {
+				name = "store " + n.Tensor
+			}
+			c.dmaOpen[n.Tag] = &dmaSpan{start: cycle, bytes: issued, name: name}
 		}
 	}
 	return nil

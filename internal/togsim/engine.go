@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/npu"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tog"
 )
@@ -29,11 +30,16 @@ type Job struct {
 	Arrival int64
 }
 
-// JobResult reports one job's timing.
+// JobResult reports one job's timing. The cycle-class fields are
+// accounted from state-transition timestamps, so they are identical under
+// event-driven and strict per-cycle execution (the equivalence tests
+// compare them bit-for-bit).
 type JobResult struct {
 	Name        string
 	Start, End  int64
 	ComputeBusy int64 // cycles any compute node of this job was executing
+	UnitWait    int64 // cycles compute nodes queued for a busy unit
+	DMAWait     int64 // cycles blocked on DMA: wait nodes, drains, backpressure
 	DMABytes    int64
 }
 
@@ -80,6 +86,12 @@ type Engine struct {
 	MaxCycles int64
 	// NodesPerCycle bounds zero-cost node processing per context per cycle.
 	NodesPerCycle int
+
+	// Probe receives trace spans (per compute node, per DMA, per job) and
+	// counters when non-nil. A nil probe adds no allocations to the hot
+	// path, and an attached probe never changes the Result — both enforced
+	// by the equivalence tests and the TLS engine benchmarks.
+	Probe obs.Probe
 }
 
 // NewEngine returns an engine over the given fabric.
@@ -127,8 +139,14 @@ func (e *Engine) Run(jobs []*Job) (Result, error) {
 		cores[j.Core].queue = append(cores[j.Core].queue, j)
 		results[j] = &JobResult{Name: j.Name, Start: -1}
 	}
+	if e.Probe != nil {
+		e.registerTracks(len(cores))
+	}
 
 	var clk sim.Clock
+	// The fabric is driven through a kernel meter so every run knows how
+	// many cycles the memory system was actually ticked versus skipped.
+	meter := sim.Meter{C: e.Fabric}
 	remaining := len(jobs)
 	for remaining > 0 {
 		if !e.StrictTick {
@@ -141,7 +159,7 @@ func (e *Engine) Run(jobs []*Job) (Result, error) {
 				return Result{}, e.deadlockError(clk.Now(), remaining, cores, "no future event")
 			}
 			if next > clk.Now()+1 {
-				e.Fabric.SkipTo(next - 1)
+				meter.SkipTo(next - 1)
 				clk.SkipTo(next - 1)
 			}
 		}
@@ -156,7 +174,7 @@ func (e *Engine) Run(jobs []*Job) (Result, error) {
 			for len(cs.contexts) < cs.maxCtx && len(cs.queue) > 0 && cs.queue[0].Arrival <= cycle {
 				j := cs.queue[0]
 				cs.queue = cs.queue[1:]
-				ctx := newContext(j, ci, e.NodesPerCycle, e.Cfg.Mem.BurstBytes)
+				ctx := newContext(j, ci, e.NodesPerCycle, e.Cfg.Mem.BurstBytes, e.Probe)
 				cs.contexts = append(cs.contexts, ctx)
 				results[j].Start = cycle
 			}
@@ -170,18 +188,28 @@ func (e *Engine) Run(jobs []*Job) (Result, error) {
 					r := results[ctx.job]
 					r.End = cycle
 					r.ComputeBusy = ctx.computeBusy
+					r.UnitWait = ctx.unitWait
+					r.DMAWait = ctx.dmaWait
 					r.DMABytes = ctx.dmaBytes
 					remaining--
+					if e.Probe != nil {
+						e.Probe.Span(obs.CoreTrack(ci, obs.LaneJobs), ctx.job.Name,
+							r.Start, cycle, obs.SpanInfo{Bytes: r.DMABytes})
+					}
 				} else {
 					live = append(live, ctx)
 				}
 			}
 			cs.contexts = live
 		}
-		e.Fabric.Tick()
+		meter.Tick()
 		for _, req := range e.Fabric.Completed() {
-			req.owner.dmaDone(req)
+			req.owner.dmaDone(req, cycle)
 		}
+	}
+	if e.Probe != nil {
+		e.Probe.Counter(obs.FabricTrack, "fabric.busy_cycles", clk.Now(), float64(meter.Ticked))
+		e.Probe.Counter(obs.FabricTrack, "fabric.skipped_cycles", clk.Now(), float64(meter.Skipped))
 	}
 	res := Result{Cycles: clk.Now()}
 	for _, j := range jobs {
@@ -191,6 +219,25 @@ func (e *Engine) Run(jobs []*Job) (Result, error) {
 		res.Cores = append(res.Cores, cs.stats)
 	}
 	return res, nil
+}
+
+// registerTracks names the Perfetto track rows once per run: one process
+// group per core with a lane per compute unit plus DMA and stall lanes,
+// and the shared fabric track.
+func (e *Engine) registerTracks(cores int) {
+	for ci := 0; ci < cores; ci++ {
+		proc := fmt.Sprintf("core %d", ci)
+		e.Probe.TrackName(obs.CoreTrack(ci, obs.LaneJobs), proc, "jobs")
+		e.Probe.TrackName(obs.CoreTrack(ci, obs.LaneSA), proc, "SA")
+		e.Probe.TrackName(obs.CoreTrack(ci, obs.LaneVector), proc, "vector")
+		e.Probe.TrackName(obs.CoreTrack(ci, obs.LaneSparse), proc, "sparse")
+		e.Probe.TrackName(obs.CoreTrack(ci, obs.LaneDMA), proc, "DMA")
+		e.Probe.TrackName(obs.CoreTrack(ci, obs.LaneStall), proc, "stall")
+	}
+	e.Probe.TrackName(obs.FabricTrack, "memory", "fabric")
+	e.Probe.TrackName(obs.DRAMTrack, "memory", "DRAM")
+	e.Probe.TrackName(obs.NoCTrack, "memory", "NoC")
+	e.Probe.TrackName(obs.LinkTrack, "memory", "link")
 }
 
 // nextEventCycle folds the next-event estimates of every model: blocked

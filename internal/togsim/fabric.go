@@ -10,6 +10,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/noc"
 	"repro/internal/npu"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -49,6 +50,11 @@ type Fabric interface {
 type StdFabric struct {
 	Mem dram.Controller
 	Net noc.Network
+
+	// Probe receives in-flight occupancy counters on obs.FabricTrack when
+	// non-nil (emitted only when the value changes; never affects timing).
+	Probe       obs.Probe
+	lastPending int
 
 	cores    int
 	channels int
@@ -188,6 +194,10 @@ func (f *StdFabric) Tick() {
 	}
 	// Retry staged responses, per port, stopping at the first refusal.
 	f.retryResponses()
+	if f.Probe != nil && f.pending != f.lastPending {
+		f.Probe.Counter(obs.FabricTrack, "fabric.inflight", f.cycle, float64(f.pending))
+		f.lastPending = f.pending
+	}
 }
 
 // NextEvent implements Fabric. Any staged work that is retried per cycle

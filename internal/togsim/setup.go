@@ -4,6 +4,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/noc"
 	"repro/internal/npu"
+	"repro/internal/obs"
 )
 
 // NetKind selects the interconnect model (§4.1): SN is the simple
@@ -22,6 +23,24 @@ type Setup struct {
 	Engine *Engine
 	Mem    *dram.Memory
 	Net    noc.Network
+}
+
+// AttachProbe wires an observability probe into every layer of the stack:
+// the engine (compute/DMA/job spans), the fabric, the NoC, and the DRAM
+// controller (occupancy and bandwidth counters). Attaching a probe never
+// changes simulation results — the equivalence tests run instrumented and
+// uninstrumented side by side and compare bit-for-bit.
+func (s *Setup) AttachProbe(p obs.Probe) {
+	s.Engine.Probe = p
+	if s.Mem != nil {
+		s.Mem.Probe = p
+	}
+	if s.Net != nil {
+		s.Net.SetProbe(p)
+	}
+	if f, ok := s.Engine.Fabric.(*StdFabric); ok {
+		f.Probe = p
+	}
 }
 
 // NewStandard builds the standard TLS stack: cycle-accurate DRAM with the

@@ -48,7 +48,9 @@ for _ in $(seq 1 300); do
   sleep 0.1
 done
 [ "$state" = "done" ] || { echo "service-smoke: job did not finish (state=$state)"; exit 1; }
-svc_cycles=$(printf '%s' "$job" | sed -n 's/.*"cycles": *\([0-9]*\).*/\1/p')
+# The result now embeds the derived report, which repeats "cycles"; the
+# top-level raw count comes first.
+svc_cycles=$(printf '%s' "$job" | sed -n 's/.*"cycles": *\([0-9]*\).*/\1/p' | head -1)
 [ -n "$svc_cycles" ] || { echo "service-smoke: no cycle count in $job"; exit 1; }
 
 cli_cycles=$("$tmp/ptsim" -model gemm -n 64 -small | sed -n 's/^TLS: \([0-9]*\) cycles.*/\1/p')

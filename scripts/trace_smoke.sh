@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# trace-smoke: end-to-end check of the observability layer. Runs a small
+# GEMM through ptsim twice — once plain, once with -trace — requires the
+# two cycle counts to be bit-identical (probes must never perturb the
+# simulation), and validates the emitted Perfetto JSON with tracecheck.
+# Wired into `make check` via the trace-smoke target.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "trace-smoke: building ptsim and tracecheck"
+go build -o "$tmp/ptsim" ./cmd/ptsim
+go build -o "$tmp/tracecheck" ./scripts/tracecheck
+
+plain=$("$tmp/ptsim" -model gemm -n 64 -small | sed -n 's/^TLS: \([0-9]*\) cycles.*/\1/p')
+traced=$("$tmp/ptsim" -model gemm -n 64 -small -trace "$tmp/gemm.trace.json" |
+  sed -n 's/^TLS: \([0-9]*\) cycles.*/\1/p')
+[ -n "$plain" ] && [ -n "$traced" ] || { echo "trace-smoke: could not parse ptsim output"; exit 1; }
+
+if [ "$plain" != "$traced" ]; then
+  echo "trace-smoke: FAIL — tracing changed the cycle count ($plain plain vs $traced traced)"
+  exit 1
+fi
+echo "trace-smoke: cycle counts match ($plain)"
+
+"$tmp/tracecheck" "$tmp/gemm.trace.json"
+echo "trace-smoke: OK"

@@ -1,0 +1,80 @@
+// Command tracecheck validates a Chrome/Perfetto trace-event JSON file
+// produced by ptsim -trace or togsim -trace: the document must parse, name
+// its tracks with metadata events, and contain at least one compute span,
+// one DMA span, and one counter series. scripts/trace_smoke.sh (the
+// `make trace-smoke` target) runs it against a fresh trace.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+		os.Exit(2)
+	}
+	if err := check(os.Args[1]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func check(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var doc struct {
+		TraceEvents     []obs.Event `json:"traceEvents"`
+		DisplayTimeUnit string      `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("%s: not valid trace JSON: %w", path, err)
+	}
+	var meta, counters, compute, dma, jobs int
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+		case "C":
+			counters++
+		case "X":
+			if ev.TS < 0 || ev.Dur < 1 {
+				return fmt.Errorf("event %d: span %q has ts=%d dur=%d", i, ev.Name, ev.TS, ev.Dur)
+			}
+			if ev.PID == obs.PIDMemory {
+				continue
+			}
+			switch ev.TID {
+			case obs.LaneSA, obs.LaneVector, obs.LaneSparse:
+				compute++
+			case obs.LaneDMA:
+				dma++
+			case obs.LaneJobs:
+				jobs++
+			}
+		default:
+			return fmt.Errorf("event %d: unknown phase %q", i, ev.Ph)
+		}
+	}
+	switch {
+	case meta == 0:
+		return fmt.Errorf("%s: no track metadata events", path)
+	case compute == 0:
+		return fmt.Errorf("%s: no compute spans", path)
+	case dma == 0:
+		return fmt.Errorf("%s: no DMA spans", path)
+	case jobs == 0:
+		return fmt.Errorf("%s: no job spans", path)
+	case counters == 0:
+		return fmt.Errorf("%s: no counter samples", path)
+	}
+	fmt.Printf("tracecheck: %s OK — %d events (%d tracks, %d compute spans, %d DMA spans, %d job spans, %d counter samples)\n",
+		path, len(doc.TraceEvents), meta, compute, dma, jobs, counters)
+	return nil
+}
