@@ -1,11 +1,16 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench service-smoke trace-smoke clean
+.PHONY: all build fmt vet test race check bench bench-compile service-smoke trace-smoke cache-smoke clean
 
 all: check
 
 build:
 	$(GO) build ./...
+
+# Formatting gate: fails listing any file gofmt would rewrite.
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -22,10 +27,12 @@ race:
 # The full gate: everything CI (and the acceptance criteria) require.
 check:
 	$(GO) build ./...
+	$(MAKE) fmt
 	$(GO) vet ./...
 	$(GO) test -race -timeout 3600s ./...
 	$(MAKE) service-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) cache-smoke
 
 # End-to-end daemon check: start ptsimd on an ephemeral port, submit a
 # GEMM job over HTTP, poll to completion, and diff the cycle count against
@@ -39,9 +46,19 @@ service-smoke:
 trace-smoke:
 	bash scripts/trace_smoke.sh
 
+# End-to-end persistence check: ptsim twice against one -cache-dir must
+# give identical cycles, with the warm run measuring zero kernels and
+# hitting the disk store (scripts/cache_smoke.sh).
+cache-smoke:
+	bash scripts/cache_smoke.sh
+
 # Engine micro-benchmarks, including the event-vs-strict TLS comparison.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkTLSEngine' -benchtime 1x .
+
+# Compiler pipeline benchmarks (cold/parallel/warm-disk) -> BENCH_compile.json.
+bench-compile:
+	bash scripts/bench_compile.sh
 
 clean:
 	$(GO) clean ./...

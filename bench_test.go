@@ -14,9 +14,12 @@ import (
 	"repro/internal/dram"
 	"repro/internal/exp"
 	"repro/internal/funcsim"
+	"repro/internal/graph"
 	"repro/internal/noc"
 	"repro/internal/npu"
 	"repro/internal/obs"
+	servicecache "repro/internal/service/cache"
+	"repro/internal/service/modelzoo"
 	"repro/internal/sparse"
 	"repro/internal/sparsecore"
 	"repro/internal/tensor"
@@ -60,8 +63,8 @@ func tlsIdleHeavyJobs(cfg npu.Config) []*togsim.Job {
 			},
 			&togsim.Job{
 				Name: "late", TOGs: []*tog.TOG{mk("late", 500_000, 4)},
-				Bases:   []map[string]uint64{{"in": uint64(c)<<30 + (1 << 25), "out": uint64(c)<<30 + (1 << 26)}},
-				Core:    c, Src: cfg.Cores + c,
+				Bases: []map[string]uint64{{"in": uint64(c)<<30 + (1 << 25), "out": uint64(c)<<30 + (1 << 26)}},
+				Core:  c, Src: cfg.Cores + c,
 				Arrival: 5_000_000, // sparse load-generator arrival
 			})
 	}
@@ -449,3 +452,72 @@ func ablationDesFIFO(b *testing.B, rows int) {
 
 func BenchmarkAblationDesFIFO256(b *testing.B) { ablationDesFIFO(b, 256) }
 func BenchmarkAblationDesFIFO8(b *testing.B)   { ablationDesFIFO(b, 8) }
+
+// --- Compiler pipeline benchmarks -----------------------------------------
+//
+// Cold vs parallel vs warm-disk compilation of resnet18 (batch 1). Cold
+// with Workers=1 is the old serial compiler's cost; Parallel fans codegen
+// and measurement across GOMAXPROCS workers; WarmDisk compiles against a
+// pre-warmed persistent latency table and must invoke the measurer zero
+// times (asserted, not just benchmarked).
+
+func benchCompileGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	g, err := modelzoo.BuildGraph(modelzoo.Spec{Model: "resnet18", Batch: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func BenchmarkCompileCold(b *testing.B) {
+	g := benchCompileGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := compiler.New(benchCfg(), compiler.DefaultOptions())
+		c.Workers = 1
+		if _, err := c.Compile(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileParallel(b *testing.B) {
+	g := benchCompileGraph(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := compiler.New(benchCfg(), compiler.DefaultOptions())
+		if _, err := c.Compile(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileWarmDisk(b *testing.B) {
+	g := benchCompileGraph(b)
+	dir := b.TempDir()
+	warm := core.NewSimulator(benchCfg(), compiler.DefaultOptions())
+	disk, err := servicecache.NewDisk(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warm.AttachStore(disk)
+	if _, err := warm.Compile(g); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := core.NewSimulator(benchCfg(), compiler.DefaultOptions())
+		d, err := servicecache.NewDisk(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim.AttachStore(d)
+		if _, err := sim.Compile(g); err != nil {
+			b.Fatal(err)
+		}
+		if n := sim.Compiler.MeasureCount(); n != 0 {
+			b.Fatalf("warm-disk compile measured %d kernels", n)
+		}
+	}
+}

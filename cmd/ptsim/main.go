@@ -28,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/report"
+	"repro/internal/service/cache"
 	"repro/internal/service/modelzoo"
 	"repro/internal/tog"
 	"repro/internal/togsim"
@@ -58,6 +59,7 @@ func run() error {
 	dumpKernels := flag.String("dump-kernels", "", "write each compiled kernel's assembly into this directory")
 	autotune := flag.Bool("autotune", false, "sweep tile-size candidates through TLS and report the best (tls mode)")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the TLS run to this JSON file")
+	cacheDir := flag.String("cache-dir", "", "persist the kernel-latency cache under this directory (reused across runs)")
 	showReport := flag.Bool("report", false, "print the full utilization and stall breakdown (tls mode)")
 	jsonOut := flag.Bool("json", false, "print the run report as JSON on stdout (tls mode)")
 	flag.Parse()
@@ -99,6 +101,13 @@ func run() error {
 
 	sim := core.NewSimulator(cfg, opts)
 	sim.MaxCycles = *maxCycles
+	if *cacheDir != "" {
+		disk, err := cache.NewDisk(*cacheDir)
+		if err != nil {
+			return fmt.Errorf("opening cache dir: %w", err)
+		}
+		sim.AttachStore(disk)
+	}
 	var tw *obs.TraceWriter
 	if *traceOut != "" {
 		tw = obs.NewTraceWriter()
@@ -109,7 +118,11 @@ func run() error {
 		return err
 	}
 	fmt.Fprintf(logw, "compiled %q: %d layers, %d unique kernels measured, %.1f MB DRAM footprint\n",
-		g.Name, len(comp.TOGs), sim.Compiler.MeasureCount, float64(comp.TotalBytes)/1e6)
+		g.Name, len(comp.TOGs), sim.Compiler.MeasureCount(), float64(comp.TotalBytes)/1e6)
+	if *cacheDir != "" {
+		hits, misses := sim.DiskStats()
+		fmt.Fprintf(logw, "disk cache: %d hits, %d misses (%s)\n", hits, misses, *cacheDir)
+	}
 
 	if *dumpTOG != "" && len(comp.TOGs) > 0 {
 		data, err := tog.Encode(comp.TOGs[0])

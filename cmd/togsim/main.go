@@ -22,6 +22,7 @@ import (
 	"repro/internal/npu"
 	"repro/internal/obs"
 	"repro/internal/obs/report"
+	"repro/internal/service/cache"
 	"repro/internal/tog"
 	"repro/internal/togsim"
 )
@@ -35,6 +36,7 @@ func main() {
 	dump := flag.Bool("stats", false, "print TOG static statistics only (no simulation)")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this JSON file")
 	jsonOut := flag.Bool("json", false, "print the run report as JSON on stdout")
+	cacheDir := flag.String("cache-dir", "", "cache run reports under this directory, keyed by TOG content and configuration (ignored with -trace)")
 	flag.Parse()
 
 	if *togPath == "" {
@@ -77,6 +79,27 @@ func main() {
 	if *sched == "fcfs" {
 		policy = dram.FCFS
 	}
+	// The run is deterministic in (TOG, config, net, scheduler, strictness),
+	// so the finished report can be served content-addressed from disk. A
+	// trace request always simulates for real: the trace IS the run.
+	var store *cache.Disk
+	var reportKey string
+	if *cacheDir != "" && *traceOut == "" {
+		store, err = cache.NewDisk(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		reportKey = "report-" + cache.CanonicalHash(string(data), cfg, *netKind, *sched, *strict)
+		if blob, ok := store.Get(reportKey); ok {
+			var rep report.Report
+			if err := json.Unmarshal(blob, &rep); err == nil {
+				fmt.Fprintf(logw, "run report served from cache (%s)\n", *cacheDir)
+				render(rep, *jsonOut)
+				return
+			}
+		}
+	}
+
 	s := togsim.NewStandard(cfg, kind, policy)
 	s.Engine.StrictTick = *strict
 	var tw *obs.TraceWriter
@@ -98,22 +121,34 @@ func main() {
 	}
 	// The same report.Report that ptsim and the ptsimd job response render.
 	rep := report.Build(cfg, res, &s.Mem.Stats, time.Since(start))
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			fatal(err)
+	if store != nil {
+		// Strip host wall time so the cached artifact is fully deterministic.
+		canonical := rep
+		canonical.WallMs = 0
+		if blob, err := json.Marshal(canonical); err == nil {
+			_ = store.Put(reportKey, blob)
 		}
-	} else {
-		fmt.Printf("simulated: %s\n", rep.Summary())
-		fmt.Print(rep.Text())
 	}
+	render(rep, *jsonOut)
 	if tw != nil {
 		if err := tw.WriteFile(*traceOut); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(logw, "wrote trace (%d events) to %s\n", tw.Len(), *traceOut)
 	}
+}
+
+func render(rep report.Report, jsonOut bool) {
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	fmt.Printf("simulated: %s\n", rep.Summary())
+	fmt.Print(rep.Text())
 }
 
 func fatal(err error) {

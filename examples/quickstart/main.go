@@ -37,7 +37,7 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("compiled: %d TOG(s), %d kernels timed, %.2f MB DRAM\n",
-		len(comp.TOGs), sim.Compiler.MeasureCount, float64(comp.TotalBytes)/1e6)
+		len(comp.TOGs), sim.Compiler.MeasureCount(), float64(comp.TotalBytes)/1e6)
 
 	// 3. Tile-Level Simulation: compute nodes use the offline latencies;
 	// DMAs run against the cycle-accurate DRAM + NoC models.

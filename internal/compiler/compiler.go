@@ -13,12 +13,14 @@ package compiler
 
 import (
 	"fmt"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/codegen"
 	"repro/internal/graph"
 	"repro/internal/isa"
 	"repro/internal/npu"
-	"repro/internal/timingsim"
+	"repro/internal/obs"
 	"repro/internal/tog"
 	"repro/internal/togsim"
 )
@@ -121,21 +123,77 @@ func (c *Compiled) Job(name string, core, src int) *togsim.Job {
 	return &togsim.Job{Name: name, TOGs: c.TOGs, Bases: bases, Core: core, Src: src}
 }
 
-// Compiler caches kernel latencies across compilations (the paper's TOG
-// cache, §3.10: latencies measured offline are reused over simulations).
+// Compiler lowers graphs through the staged pass pipeline (lower → codegen
+// → measure → emit) and caches kernel latencies across compilations (the
+// paper's TOG cache, §3.10: latencies measured offline are reused over
+// simulations). A Compiler is safe for concurrent Compile calls: per-call
+// state lives in the pass pipeline's state value, the latency cache is
+// thread-safe with per-signature singleflight, and the counters are atomic.
 type Compiler struct {
 	Cfg  npu.Config
 	Opts Options
 
-	latCache map[string]int64
-	// MeasureCount counts actual timing-simulator invocations (cache
-	// misses), exposed for tests and reporting.
-	MeasureCount int
+	// Workers caps the codegen/measure fan-out (0 = GOMAXPROCS). The
+	// output is bit-identical for every worker count — parallelism only
+	// changes wall-clock time.
+	Workers int
+	// Measurer times kernels on the core model; nil selects
+	// TimingMeasurer (the real timing simulator). Tests substitute fakes.
+	Measurer Measurer
+	// Probe, when non-nil, receives per-pass host-time spans on
+	// obs.CompileTrack (microseconds since the Compile call began).
+	Probe obs.Probe
+	// PhaseHook, when non-nil, is called after each pass with its host
+	// duration — the service uses it to feed compile-phase histograms.
+	PhaseHook func(Phase, time.Duration)
+
+	lat      *LatencyCache
+	measured atomic.Int64 // timing-simulator invocations by this compiler
+	lookups  atomic.Int64 // signature resolutions requested (incl. hits)
 }
 
-// New returns a compiler for the target NPU.
+// New returns a compiler for the target NPU with a private latency cache.
 func New(cfg npu.Config, opts Options) *Compiler {
-	return &Compiler{Cfg: cfg, Opts: opts, latCache: map[string]int64{}}
+	return NewShared(cfg, opts, NewLatencyCache())
+}
+
+// NewShared returns a compiler backed by an existing latency cache, so
+// several compilers (autotune candidates, a service's per-core pool) share
+// measurements. All sharers must target the same npu.CoreConfig.
+func NewShared(cfg npu.Config, opts Options, lc *LatencyCache) *Compiler {
+	if lc == nil {
+		lc = NewLatencyCache()
+	}
+	return &Compiler{Cfg: cfg, Opts: opts, lat: lc}
+}
+
+// Cache exposes the compiler's latency cache for sharing via NewShared.
+func (c *Compiler) Cache() *LatencyCache { return c.lat }
+
+// MeasureCount reports actual timing-simulator invocations by this compiler
+// (cache misses it resolved itself), exposed for tests and reporting.
+func (c *Compiler) MeasureCount() int64 { return c.measured.Load() }
+
+// Stats is a concurrency-safe snapshot of the compiler's measurement work.
+type Stats struct {
+	// MeasureCount is the number of timing-simulator invocations performed
+	// by this compiler (signatures it resolved itself).
+	MeasureCount int64
+	// SigLookups is the number of signature resolutions requested,
+	// including cache hits and waits on another compiler's measurement.
+	SigLookups int64
+	// CachedSigs is the number of signatures resident in the (possibly
+	// shared) latency cache.
+	CachedSigs int
+}
+
+// Stats returns a consistent snapshot of the measurement counters.
+func (c *Compiler) Stats() Stats {
+	return Stats{
+		MeasureCount: c.measured.Load(),
+		SigLookups:   c.lookups.Load(),
+		CachedSigs:   c.lat.Len(),
+	}
 }
 
 // Latencies returns a copy of the kernel-latency cache — the tile-latency
@@ -143,11 +201,7 @@ func New(cfg npu.Config, opts Options) *Compiler {
 // artifact, so a service-level cache can persist both and reseed a fresh
 // compiler without re-running the timing simulator.
 func (c *Compiler) Latencies() map[string]int64 {
-	out := make(map[string]int64, len(c.latCache))
-	for k, v := range c.latCache {
-		out[k] = v
-	}
-	return out
+	return c.lat.Snapshot()
 }
 
 // SeedLatencies merges previously measured kernel latencies into the cache
@@ -155,28 +209,14 @@ func (c *Compiler) Latencies() map[string]int64 {
 // kernel spec but not the core configuration: only seed tables measured on
 // the same npu.CoreConfig.
 func (c *Compiler) SeedLatencies(lat map[string]int64) {
-	for k, v := range lat {
-		c.latCache[k] = v
-	}
+	c.lat.Seed(lat)
 }
 
-// measure returns the cycle count for the kernel with the given signature,
-// generating and timing it only on cache miss.
-func (c *Compiler) measure(sig string, gen func() *isa.Program) (int64, error) {
-	if lat, ok := c.latCache[sig]; ok {
-		return lat, nil
-	}
-	prog := gen()
-	res, err := timingsim.MeasureKernel(c.Cfg.Core, prog, nil)
-	if err != nil {
-		return 0, fmt.Errorf("compiler: measuring %q: %w", sig, err)
-	}
-	c.latCache[sig] = res.Cycles
-	c.MeasureCount++
-	return res.Cycles, nil
-}
-
-// state carries per-compilation context.
+// state carries per-compilation context. One state lives for one Compile
+// call and is handed from pass to pass: the lower pass fills the pending
+// TOGs and the kernel/measure work lists, codegen and measure consume the
+// lists in parallel, and the emit pass assembles the output — so concurrent
+// Compile calls on one Compiler never share mutable per-call state.
 type state struct {
 	c    *Compiler
 	g    *graph.Graph
@@ -189,6 +229,19 @@ type state struct {
 	// fusion results.
 	fusedInto map[int]int      // member node -> group root
 	groupEpi  map[int]groupEpi // root -> epilogue info
+
+	// pending holds lowered TOG builders awaiting latency patching, in
+	// graph order; curPatches accumulates the patches of the TOG being
+	// lowered right now (moved into pending by addTOG).
+	pending    []pendingTOG
+	curPatches []latPatch
+	// kernelReqs / measureReqs are the deduplicated work lists for the
+	// codegen and measure passes, in first-occurrence (lowering) order so
+	// the schedule — and therefore error selection — is deterministic.
+	kernelReqs  []kernelReq
+	seenKernel  map[string]bool
+	measureReqs []measureReq
+	seenMeasure map[string]bool
 }
 
 type groupEpi struct {
@@ -227,7 +280,11 @@ func (st *state) spadBudget() int64 {
 	return int64(st.c.Cfg.Core.SpadBytes) / 2
 }
 
-// Compile lowers g for the target NPU.
+// Compile lowers g for the target NPU through the four-pass pipeline. The
+// result is bit-identical regardless of Workers and of what the latency
+// cache already contains: lowering fixes the TOG structure and the work
+// lists, parallel passes only fill pre-assigned slots, and the emit pass
+// assembles everything in graph order.
 func (c *Compiler) Compile(g *graph.Graph) (*Compiled, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
@@ -244,14 +301,39 @@ func (c *Compiler) Compile(g *graph.Graph) (*Compiled, error) {
 			FunctionalOK:  true,
 			cfg:           c.Cfg,
 		},
-		tensorOf:  map[int]string{},
-		fusedInto: map[int]int{},
-		groupEpi:  map[int]groupEpi{},
+		tensorOf:    map[int]string{},
+		fusedInto:   map[int]int{},
+		groupEpi:    map[int]groupEpi{},
+		seenKernel:  map[string]bool{},
+		seenMeasure: map[string]bool{},
 	}
+	t0 := time.Now()
+	for _, p := range []struct {
+		name Phase
+		run  func(*state) error
+	}{
+		{PhaseLower, c.lowerPass},
+		{PhaseCodegen, c.codegenPass},
+		{PhaseMeasure, c.measurePass},
+		{PhaseEmit, c.emitPass},
+	} {
+		run := p.run
+		if err := c.phase(t0, p.name, func() error { return run(st) }); err != nil {
+			return nil, err
+		}
+	}
+	return st.out, nil
+}
+
+// lowerPass walks the graph: fusion analysis, tensor allocation, and TOG
+// structure building. It records every kernel/measure request but invokes
+// neither codegen nor the timing simulator.
+func (c *Compiler) lowerPass(st *state) error {
+	g := st.g
 	st.analyzeFusion()
 
-	// Pass 1: allocate all leaf tensors up front — fused epilogues may
-	// reference parameters declared after their group root in graph order.
+	// Allocate all leaf tensors up front — fused epilogues may reference
+	// parameters declared after their group root in graph order.
 	for _, n := range g.Nodes {
 		switch n.Op {
 		case graph.OpInput, graph.OpParam, graph.OpConst:
@@ -260,21 +342,21 @@ func (c *Compiler) Compile(g *graph.Graph) (*Compiled, error) {
 			st.alloc(name, st.storageBytes(n))
 		}
 	}
-	// Pass 2: lower compute nodes.
+	// Lower compute nodes.
 	for _, n := range g.Nodes {
 		switch n.Op {
 		case graph.OpInput, graph.OpParam, graph.OpConst:
 			continue
 		}
 		if err := st.lowerNode(n); err != nil {
-			return nil, fmt.Errorf("compiler: node %d (%s %q): %w", n.ID, n.Op, n.Name, err)
+			return fmt.Errorf("compiler: node %d (%s %q): %w", n.ID, n.Op, n.Name, err)
 		}
 	}
 	for _, o := range g.Outputs {
 		st.out.OutputTensors[o] = st.tensorOf[o]
 	}
 	st.out.TotalBytes = st.next
-	return st.out, nil
+	return nil
 }
 
 // analyzeFusion groups GEMM/CONV roots with single-consumer epilogue chains
@@ -438,17 +520,28 @@ func (st *state) allocOut(n *graph.Node) (string, groupEpi) {
 	return name, ge
 }
 
-// addTOG validates and records a TOG plus its kernels.
-func (st *state) addTOG(b *tog.Builder, node int, kernels map[string]*isa.Program) error {
-	g, err := b.Build()
-	if err != nil {
-		return err
+// computeKernel emits a compute node with a zero-cycle placeholder and
+// registers the work it depends on: its kernel id for the codegen pass,
+// its signature for the measure pass (both deduplicated, in lowering
+// order), and a latency patch the emit pass applies once measured.
+func (st *state) computeKernel(b *tog.Builder, unit tog.Unit, sig, id string, gen func() *isa.Program) {
+	if !st.seenKernel[id] {
+		st.seenKernel[id] = true
+		st.kernelReqs = append(st.kernelReqs, kernelReq{id: id, gen: gen})
 	}
-	st.out.TOGs = append(st.out.TOGs, g)
-	st.out.LayerOf = append(st.out.LayerOf, node)
-	for id, p := range kernels {
-		st.out.Kernels[id] = p
+	if !st.seenMeasure[sig] {
+		st.seenMeasure[sig] = true
+		st.measureReqs = append(st.measureReqs, measureReq{sig: sig, gen: gen})
 	}
+	b.ComputeKernel(unit, 0, id)
+	st.curPatches = append(st.curPatches, latPatch{node: b.LastNodeID(), sig: sig})
+}
+
+// addTOG records a lowered TOG (with its accumulated latency patches) for
+// the emit pass, which patches, validates, and appends it in graph order.
+func (st *state) addTOG(b *tog.Builder, node int) error {
+	st.pending = append(st.pending, pendingTOG{b: b, node: node, patches: st.curPatches})
+	st.curPatches = nil
 	return nil
 }
 

@@ -375,7 +375,7 @@ func TestKernelLatencyCacheIsShared(t *testing.T) {
 	if _, err := c.Compile(linearGraph(16, 24, 12, false)); err != nil {
 		t.Fatal(err)
 	}
-	first := c.MeasureCount
+	first := c.MeasureCount()
 	if first == 0 {
 		t.Fatal("expected kernel measurements")
 	}
@@ -383,8 +383,8 @@ func TestKernelLatencyCacheIsShared(t *testing.T) {
 	if _, err := c.Compile(linearGraph(16, 24, 12, false)); err != nil {
 		t.Fatal(err)
 	}
-	if c.MeasureCount != first {
-		t.Fatalf("second compile re-measured kernels: %d -> %d", first, c.MeasureCount)
+	if c.MeasureCount() != first {
+		t.Fatalf("second compile re-measured kernels: %d -> %d", first, c.MeasureCount())
 	}
 }
 

@@ -1,0 +1,97 @@
+package compiler
+
+import "sync"
+
+// LatencyCache is the thread-safe kernel-latency table (the paper's
+// tile-latency / TOG cache, §3.10): measured cycle counts keyed by kernel
+// signature. One cache can back any number of Compilers concurrently — the
+// autotune sweep and the service's per-core tables share a single instance
+// so a kernel shape is measured at most once per process, with singleflight
+// so concurrent compilations needing the same signature block on one
+// measurement instead of duplicating it.
+//
+// Signatures encode the full kernel spec but not the core configuration:
+// share a cache only between compilers targeting the same npu.CoreConfig.
+type LatencyCache struct {
+	mu       sync.Mutex
+	m        map[string]int64
+	inflight map[string]chan struct{}
+}
+
+// NewLatencyCache returns an empty latency cache.
+func NewLatencyCache() *LatencyCache {
+	return &LatencyCache{m: map[string]int64{}, inflight: map[string]chan struct{}{}}
+}
+
+// Get returns the cached latency for a signature.
+func (lc *LatencyCache) Get(sig string) (int64, bool) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	v, ok := lc.m[sig]
+	return v, ok
+}
+
+// Len reports the number of cached signatures.
+func (lc *LatencyCache) Len() int {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	return len(lc.m)
+}
+
+// Snapshot returns a copy of the table — together with the TOGs it is the
+// whole compiled artifact, so persistent tiers serialize exactly this.
+func (lc *LatencyCache) Snapshot() map[string]int64 {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	out := make(map[string]int64, len(lc.m))
+	for k, v := range lc.m {
+		out[k] = v
+	}
+	return out
+}
+
+// Seed merges previously measured latencies (e.g. a table loaded from the
+// persistent artifact store) into the cache.
+func (lc *LatencyCache) Seed(m map[string]int64) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	for k, v := range m {
+		lc.m[k] = v
+	}
+}
+
+// resolve returns the latency for sig, running measure at most once across
+// all concurrent callers (singleflight). measured reports whether THIS call
+// performed the measurement; waiters served by another caller's result (or
+// by the cache) return measured=false. A failed measurement is not cached:
+// each waiter retries, so transient errors do not poison the signature.
+func (lc *LatencyCache) resolve(sig string, measure func() (int64, error)) (lat int64, measured bool, err error) {
+	for {
+		lc.mu.Lock()
+		if v, ok := lc.m[sig]; ok {
+			lc.mu.Unlock()
+			return v, false, nil
+		}
+		if done, ok := lc.inflight[sig]; ok {
+			lc.mu.Unlock()
+			<-done
+			continue // winner stored a value or failed; re-check
+		}
+		done := make(chan struct{})
+		lc.inflight[sig] = done
+		lc.mu.Unlock()
+
+		v, err := measure()
+		lc.mu.Lock()
+		delete(lc.inflight, sig)
+		if err == nil {
+			lc.m[sig] = v
+		}
+		lc.mu.Unlock()
+		close(done)
+		if err != nil {
+			return 0, false, err
+		}
+		return v, true, nil
+	}
+}

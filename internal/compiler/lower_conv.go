@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/codegen"
 	"repro/internal/graph"
-	"repro/internal/isa"
 	"repro/internal/npu"
 	"repro/internal/tog"
 )
@@ -146,7 +145,6 @@ func (st *state) lowerConv(n *graph.Node) error {
 	if ge.epi.Bias {
 		b.DeclareTensor(st.tensorOf[ge.biasNode])
 	}
-	kernels := map[string]*isa.Program{}
 
 	rowBytes := int64(cs.W*cs.N*cs.C) * 4 // one input spatial row
 	outPosBytes := int64(cs.N*cs.Kout) * 4
@@ -219,9 +217,7 @@ func (st *state) lowerConv(n *graph.Node) error {
 				spec.GammaOff = offGamma
 				spec.BetaOff = offBeta
 			}
-			if err := st.emitComputeGEMM(b, kernels, spec); err != nil {
-				panic(err)
-			}
+			st.emitComputeGEMM(b, spec)
 		}
 		b.Store(outName, npu.DMADesc{Rows: storeRows, Cols: nt, DRAMStride: int(outPosBytes) / cs.N}, storeOff, tagStore, offOut)
 	}
@@ -275,7 +271,7 @@ func (st *state) lowerConv(n *graph.Node) error {
 		})
 	}
 	b.SetSpadBytes(st.spadBudget())
-	return st.addTOG(b, n.ID, kernels)
+	return st.addTOG(b, n.ID)
 }
 
 func maxInt(a, b int) int {

@@ -131,7 +131,6 @@ const (
 // on the last panel, asynchronous output stores.
 func (st *state) emitGEMMTOG(e gemmEmit) error {
 	b := tog.NewBuilder(e.name, e.a.tensor, e.b.tensor, e.out)
-	kernels := map[string]*isa.Program{}
 	t := e.tiles
 	epi := e.epi.epi
 	if epi.Bias {
@@ -251,9 +250,7 @@ func (st *state) emitGEMMTOG(e gemmEmit) error {
 					spec.GammaOff = t.offGamma
 					spec.BetaOff = t.offBeta
 				}
-				if err := st.emitComputeGEMM(b, kernels, spec); err != nil {
-					panic(err) // surfaced by addTOG caller via recover-free contract
-				}
+				st.emitComputeGEMM(b, spec)
 			}
 			// Store the finished tile.
 			desc := npu.DMADesc{Rows: mt, Cols: nt, DRAMStride: int(e.outPitch)}
@@ -262,25 +259,15 @@ func (st *state) emitGEMMTOG(e gemmEmit) error {
 		})
 	})
 	b.SetSpadBytes(st.spadBudget())
-	return st.addTOG(b, e.node, kernels)
+	return st.addTOG(b, e.node)
 }
 
-// emitComputeGEMM measures (or reuses) the panel kernel's latency and emits
-// the compute node.
-func (st *state) emitComputeGEMM(b *tog.Builder, kernels map[string]*isa.Program, spec codegen.GEMMSpec) error {
+// emitComputeGEMM emits the panel kernel's compute node, deferring codegen
+// and latency measurement to the parallel passes.
+func (st *state) emitComputeGEMM(b *tog.Builder, spec codegen.GEMMSpec) {
 	sig := spec.Signature()
-	lat, err := st.c.measure(sig, func() *isa.Program { return codegen.GEMM(spec) })
-	if err != nil {
-		return err
-	}
 	id := fmt.Sprintf("%s@%d_%d_%d", sig, spec.InOff, spec.WOff, spec.OutOff)
-	if _, ok := kernels[id]; !ok {
-		if _, ok := st.out.Kernels[id]; !ok {
-			kernels[id] = codegen.GEMM(spec)
-		}
-	}
-	b.ComputeKernel(tog.UnitSA, lat, id)
-	return nil
+	st.computeKernel(b, tog.UnitSA, sig, id, func() *isa.Program { return codegen.GEMM(spec) })
 }
 
 // panelSizes splits K into SA-depth panels.

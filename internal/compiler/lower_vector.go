@@ -18,19 +18,10 @@ const (
 	tagVecSt = 13
 )
 
-// emitComputeKernel measures a vector kernel and emits its compute node.
-func (st *state) emitComputeKernel(b *tog.Builder, kernels map[string]*isa.Program, sig, id string, gen func() *isa.Program) error {
-	lat, err := st.c.measure(sig, gen)
-	if err != nil {
-		return err
-	}
-	if _, ok := kernels[id]; !ok {
-		if _, ok := st.out.Kernels[id]; !ok {
-			kernels[id] = gen()
-		}
-	}
-	b.ComputeKernel(tog.UnitVector, lat, id)
-	return nil
+// emitComputeKernel emits a vector-unit compute node, deferring codegen and
+// latency measurement to the parallel passes.
+func (st *state) emitComputeKernel(b *tog.Builder, sig, id string, gen func() *isa.Program) {
+	st.computeKernel(b, tog.UnitVector, sig, id, gen)
 }
 
 // flatTilePlan splits a flat elementwise workload of total elements into
@@ -80,8 +71,6 @@ func (st *state) lowerEltwiseBinary(n *graph.Node, op codegen.EltOp) error {
 	}
 	vlen := st.c.Cfg.Core.VLEN()
 	b := tog.NewBuilder(fmt.Sprintf("%s_n%d", op, n.ID), aName, bName, outName)
-	kernels := map[string]*isa.Program{}
-	var firstErr error
 	emitDim(b, "i", total, plan.tileElems, func(i idx, sz int) {
 		b.Load(aName, npu.DMADesc{Rows: 1, Cols: sz}, i.addr(int64(plan.tileElems)*4), tagVecA, plan.offs[0])
 		b.Load(bName, npu.DMADesc{Rows: 1, Cols: sz}, i.addr(int64(plan.tileElems)*4), tagVecB, plan.offs[1])
@@ -90,15 +79,10 @@ func (st *state) lowerEltwiseBinary(n *graph.Node, op codegen.EltOp) error {
 		spec := codegen.EltSpec{Op: op, Rows: 1, Cols: sz, VLEN: vlen,
 			AOff: plan.offs[0], BOff: plan.offs[1], OutOff: plan.offs[2]}
 		id := spec.Signature() + "@0"
-		if err := st.emitComputeKernel(b, kernels, spec.Signature(), id, func() *isa.Program { return codegen.Eltwise(spec) }); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		st.emitComputeKernel(b, spec.Signature(), id, func() *isa.Program { return codegen.Eltwise(spec) })
 		b.Store(outName, npu.DMADesc{Rows: 1, Cols: sz}, i.addr(int64(plan.tileElems)*4), tagVecSt, plan.offs[2])
 	})
-	if firstErr != nil {
-		return firstErr
-	}
-	return st.addTOG(b, n.ID, kernels)
+	return st.addTOG(b, n.ID)
 }
 
 // lowerEltwiseUnary lowers relu/gelu/tanh/scale over flattened tensors.
@@ -112,24 +96,17 @@ func (st *state) lowerEltwiseUnary(n *graph.Node, op codegen.EltOp, scale float3
 	}
 	vlen := st.c.Cfg.Core.VLEN()
 	b := tog.NewBuilder(fmt.Sprintf("%s_n%d", op, n.ID), aName, outName)
-	kernels := map[string]*isa.Program{}
-	var firstErr error
 	emitDim(b, "i", total, plan.tileElems, func(i idx, sz int) {
 		b.Load(aName, npu.DMADesc{Rows: 1, Cols: sz}, i.addr(int64(plan.tileElems)*4), tagVecA, plan.offs[0])
 		b.Wait(tagVecA)
 		spec := codegen.EltSpec{Op: op, Rows: 1, Cols: sz, ScaleF: scale, VLEN: vlen,
 			AOff: plan.offs[0], OutOff: plan.offs[1]}
 		id := spec.Signature() + fmt.Sprintf("@s%g", scale)
-		if err := st.emitComputeKernel(b, kernels, spec.Signature()+fmt.Sprintf("_s%g", scale), id,
-			func() *isa.Program { return codegen.Eltwise(spec) }); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		st.emitComputeKernel(b, spec.Signature()+fmt.Sprintf("_s%g", scale), id,
+			func() *isa.Program { return codegen.Eltwise(spec) })
 		b.Store(outName, npu.DMADesc{Rows: 1, Cols: sz}, i.addr(int64(plan.tileElems)*4), tagVecSt, plan.offs[1])
 	})
-	if firstErr != nil {
-		return firstErr
-	}
-	return st.addTOG(b, n.ID, kernels)
+	return st.addTOG(b, n.ID)
 }
 
 // lowerRowwise is the shared shape for layers that process row tiles of a
@@ -174,12 +151,10 @@ func (st *state) lowerRowwise(
 	for _, av := range aux {
 		b.DeclareTensor(av.tensor)
 	}
-	kernels := map[string]*isa.Program{}
 	// Aux vectors load once, before the tile loop.
 	for i, av := range aux {
 		b.Load(av.tensor, npu.DMADesc{Rows: 1, Cols: cols}, tog.AddrExpr{}, tagVecC, offs.aux[i])
 	}
-	var firstErr error
 	emitDim(b, "r", rows, rt, func(r idx, sz int) {
 		b.Load(aName, npu.DMADesc{Rows: sz, Cols: cols}, r.addr(int64(rt)*rowBytes), tagVecA, offs.a)
 		b.Wait(tagVecA)
@@ -187,15 +162,10 @@ func (st *state) lowerRowwise(
 			b.Wait(tagVecC)
 		}
 		sig, id, gen := mk(sz, offs)
-		if err := st.emitComputeKernel(b, kernels, sig, id, gen); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		st.emitComputeKernel(b, sig, id, gen)
 		b.Store(outName, npu.DMADesc{Rows: sz, Cols: cols}, r.addr(int64(rt)*rowBytes), tagVecSt, offs.out)
 	})
-	if firstErr != nil {
-		return firstErr
-	}
-	return st.addTOG(b, n.ID, kernels)
+	return st.addTOG(b, n.ID)
 }
 
 type auxVec struct{ tensor string }
@@ -244,29 +214,22 @@ func (st *state) lowerScaleShift(n *graph.Node) error {
 	offGB := offOut + ((int64(rt)*rowBytes + 255) &^ 255)
 
 	b := tog.NewBuilder(fmt.Sprintf("scale_shift_n%d", n.ID), aName, gName, bName, outName)
-	kernels := map[string]*isa.Program{}
 	// Replicate gamma and beta N times into one (2, N*C) block.
 	for rep := 0; rep < N; rep++ {
 		b.Load(gName, npu.DMADesc{Rows: 1, Cols: C}, tog.AddrExpr{}, tagVecC, offGB+int64(rep*C*4))
 		b.Load(bName, npu.DMADesc{Rows: 1, Cols: C}, tog.AddrExpr{}, tagVecC, offGB+rowBytes+int64(rep*C*4))
 	}
-	var firstErr error
 	emitDim(b, "r", rows, rt, func(r idx, sz int) {
 		b.Load(aName, npu.DMADesc{Rows: sz, Cols: cols}, r.addr(int64(rt)*rowBytes), tagVecA, offA)
 		b.Wait(tagVecA)
 		b.Wait(tagVecC)
 		spec := codegen.EltSpec{Op: codegen.EltScaleSh, Rows: sz, Cols: cols, VLEN: vlen,
 			AOff: offA, BOff: offGB, OutOff: offOut}
-		if err := st.emitComputeKernel(b, kernels, spec.Signature(), spec.Signature()+"@r",
-			func() *isa.Program { return codegen.Eltwise(spec) }); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		st.emitComputeKernel(b, spec.Signature(), spec.Signature()+"@r",
+			func() *isa.Program { return codegen.Eltwise(spec) })
 		b.Store(outName, npu.DMADesc{Rows: sz, Cols: cols}, r.addr(int64(rt)*rowBytes), tagVecSt, offOut)
 	})
-	if firstErr != nil {
-		return firstErr
-	}
-	return st.addTOG(b, n.ID, kernels)
+	return st.addTOG(b, n.ID)
 }
 
 // lowerSoftmax lowers a row-wise softmax (wide rows use the multi-pass
@@ -313,16 +276,13 @@ func (st *state) lowerColSum(n *graph.Node) error {
 	aName := st.tensorOf[n.Inputs[0]]
 	offA, offOut := int64(0), (inBytes+255)&^255
 	b := tog.NewBuilder(fmt.Sprintf("col_sum_n%d", n.ID), aName, outName)
-	kernels := map[string]*isa.Program{}
 	b.Load(aName, npu.DMADesc{Rows: rows, Cols: cols}, tog.AddrExpr{}, tagVecA, offA)
 	b.Wait(tagVecA)
 	spec := codegen.ColSumSpec{Rows: rows, Cols: cols, VLEN: vlen, AOff: offA, OutOff: offOut}
-	if err := st.emitComputeKernel(b, kernels, spec.Signature(), spec.Signature()+"@r",
-		func() *isa.Program { return codegen.ColSum(spec) }); err != nil {
-		return err
-	}
+	st.emitComputeKernel(b, spec.Signature(), spec.Signature()+"@r",
+		func() *isa.Program { return codegen.ColSum(spec) })
 	b.Store(outName, npu.DMADesc{Rows: 1, Cols: cols}, tog.AddrExpr{}, tagVecSt, offOut)
-	return st.addTOG(b, n.ID, kernels)
+	return st.addTOG(b, n.ID)
 }
 
 // lowerSGD lowers the optimizer update over flattened parameters.
@@ -337,8 +297,6 @@ func (st *state) lowerSGD(n *graph.Node) error {
 	}
 	vlen := st.c.Cfg.Core.VLEN()
 	b := tog.NewBuilder(fmt.Sprintf("sgd_n%d", n.ID), wName, gName, outName)
-	kernels := map[string]*isa.Program{}
-	var firstErr error
 	emitDim(b, "i", total, plan.tileElems, func(i idx, sz int) {
 		b.Load(wName, npu.DMADesc{Rows: 1, Cols: sz}, i.addr(int64(plan.tileElems)*4), tagVecA, plan.offs[0])
 		b.Load(gName, npu.DMADesc{Rows: 1, Cols: sz}, i.addr(int64(plan.tileElems)*4), tagVecB, plan.offs[1])
@@ -347,16 +305,11 @@ func (st *state) lowerSGD(n *graph.Node) error {
 		spec := codegen.SGDSpec{N: sz, LR: n.ScaleF, VLEN: vlen,
 			WOff: plan.offs[0], GOff: plan.offs[1], OutOff: plan.offs[2]}
 		id := spec.Signature() + fmt.Sprintf("@lr%g", n.ScaleF)
-		if err := st.emitComputeKernel(b, kernels, spec.Signature()+fmt.Sprintf("_lr%g", n.ScaleF), id,
-			func() *isa.Program { return codegen.SGD(spec) }); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		st.emitComputeKernel(b, spec.Signature()+fmt.Sprintf("_lr%g", n.ScaleF), id,
+			func() *isa.Program { return codegen.SGD(spec) })
 		b.Store(outName, npu.DMADesc{Rows: 1, Cols: sz}, i.addr(int64(plan.tileElems)*4), tagVecSt, plan.offs[2])
 	})
-	if firstErr != nil {
-		return firstErr
-	}
-	return st.addTOG(b, n.ID, kernels)
+	return st.addTOG(b, n.ID)
 }
 
 // lowerAXPBY lowers the fused blend alpha*a + beta*b over flattened
@@ -373,8 +326,6 @@ func (st *state) lowerAXPBY(n *graph.Node) error {
 	vlen := st.c.Cfg.Core.VLEN()
 	alpha, beta := n.Alpha, n.Beta
 	b := tog.NewBuilder(fmt.Sprintf("axpby_n%d", n.ID), aName, bName, outName)
-	kernels := map[string]*isa.Program{}
-	var firstErr error
 	emitDim(b, "i", total, plan.tileElems, func(i idx, sz int) {
 		b.Load(aName, npu.DMADesc{Rows: 1, Cols: sz}, i.addr(int64(plan.tileElems)*4), tagVecA, plan.offs[0])
 		b.Load(bName, npu.DMADesc{Rows: 1, Cols: sz}, i.addr(int64(plan.tileElems)*4), tagVecB, plan.offs[1])
@@ -383,16 +334,11 @@ func (st *state) lowerAXPBY(n *graph.Node) error {
 		spec := codegen.AXPBYSpec{N: sz, Alpha: alpha, Beta: beta, VLEN: vlen,
 			AOff: plan.offs[0], BOff: plan.offs[1], OutOff: plan.offs[2]}
 		id := spec.Signature() + fmt.Sprintf("@a%g_b%g", alpha, beta)
-		if err := st.emitComputeKernel(b, kernels, spec.Signature(), id,
-			func() *isa.Program { return codegen.AXPBY(spec) }); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		st.emitComputeKernel(b, spec.Signature(), id,
+			func() *isa.Program { return codegen.AXPBY(spec) })
 		b.Store(outName, npu.DMADesc{Rows: 1, Cols: sz}, i.addr(int64(plan.tileElems)*4), tagVecSt, plan.offs[2])
 	})
-	if firstErr != nil {
-		return firstErr
-	}
-	return st.addTOG(b, n.ID, kernels)
+	return st.addTOG(b, n.ID)
 }
 
 // lowerAdam lowers the fused Adam parameter step. The 2-element coef
@@ -411,11 +357,9 @@ func (st *state) lowerAdam(n *graph.Node) error {
 	}
 	vlen := st.c.Cfg.Core.VLEN()
 	b := tog.NewBuilder(fmt.Sprintf("adam_n%d", n.ID), pName, mName, vName, cName, outName)
-	kernels := map[string]*isa.Program{}
 	// Coefficients occupy the tail buffer slot; loaded once.
 	coefOff := plan.offs[4]
 	b.Load(cName, npu.DMADesc{Rows: 1, Cols: 2}, tog.AddrExpr{}, tagVecC, coefOff)
-	var firstErr error
 	emitDim(b, "i", total, plan.tileElems, func(i idx, sz int) {
 		b.Load(pName, npu.DMADesc{Rows: 1, Cols: sz}, i.addr(int64(plan.tileElems)*4), tagVecA, plan.offs[0])
 		b.Load(mName, npu.DMADesc{Rows: 1, Cols: sz}, i.addr(int64(plan.tileElems)*4), tagVecB, plan.offs[1])
@@ -427,16 +371,11 @@ func (st *state) lowerAdam(n *graph.Node) error {
 			POff: plan.offs[0], MOff: plan.offs[1], VOff: plan.offs[2],
 			CoefOff: coefOff, OutOff: plan.offs[3]}
 		id := spec.Signature() + fmt.Sprintf("@d%g", n.ScaleF)
-		if err := st.emitComputeKernel(b, kernels, spec.Signature(), id,
-			func() *isa.Program { return codegen.AdamStep(spec) }); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		st.emitComputeKernel(b, spec.Signature(), id,
+			func() *isa.Program { return codegen.AdamStep(spec) })
 		b.Store(outName, npu.DMADesc{Rows: 1, Cols: sz}, i.addr(int64(plan.tileElems)*4), tagVecSt, plan.offs[3])
 	})
-	if firstErr != nil {
-		return firstErr
-	}
-	return st.addTOG(b, n.ID, kernels)
+	return st.addTOG(b, n.ID)
 }
 
 // lowerSoftmaxCE lowers the fused loss (and gradient) layer; logits and
@@ -467,23 +406,20 @@ func (st *state) lowerSoftmaxCE(n *graph.Node, withGrad bool) error {
 	offGrad := take(inBytes)                 // probability rows (grad when WithGrad)
 
 	b := tog.NewBuilder(fmt.Sprintf("softmax_ce_n%d", n.ID), aName, lName, outName)
-	kernels := map[string]*isa.Program{}
 	b.Load(aName, npu.DMADesc{Rows: rows, Cols: cols}, tog.AddrExpr{}, tagVecA, offA)
 	b.Load(lName, npu.DMADesc{Rows: 1, Cols: rows}, tog.AddrExpr{}, tagVecB, offLabels)
 	b.Wait(tagVecA)
 	b.Wait(tagVecB)
 	spec := codegen.SoftmaxCESpec{Rows: rows, Cols: cols, VLEN: vlen, WithGrad: withGrad,
 		AOff: offA, LabelOff: offLabels, LossOff: offLoss, GradOff: offGrad}
-	if err := st.emitComputeKernel(b, kernels, spec.Signature(), spec.Signature()+"@r",
-		func() *isa.Program { return codegen.SoftmaxCE(spec) }); err != nil {
-		return err
-	}
+	st.emitComputeKernel(b, spec.Signature(), spec.Signature()+"@r",
+		func() *isa.Program { return codegen.SoftmaxCE(spec) })
 	if withGrad {
 		b.Store(outName, npu.DMADesc{Rows: rows, Cols: cols}, tog.AddrExpr{}, tagVecSt, offGrad)
 	} else {
 		b.Store(outName, npu.DMADesc{Rows: 1, Cols: 1}, tog.AddrExpr{}, tagVecSt, offLoss)
 	}
-	return st.addTOG(b, n.ID, kernels)
+	return st.addTOG(b, n.ID)
 }
 
 // lowerMaxPool lowers spatial max pooling over (H*W*N, C)-laid-out data:
@@ -513,8 +449,6 @@ func (st *state) lowerMaxPool(n *graph.Node) error {
 	offOut := (int64(regionRows)*rowBytes + 255) &^ 255
 
 	b := tog.NewBuilder(fmt.Sprintf("maxpool_n%d", n.ID), aName, outName)
-	kernels := map[string]*isa.Program{}
-	var firstErr error
 	emitDim(b, "oyg", OH, g, func(oyg idx, rows int) {
 		rr := (rows-1)*stride + window
 		b.Load(aName, npu.DMADesc{Rows: rr, Cols: W * N * C}, oyg.addr(int64(g*stride)*rowBytes), tagVecA, offIn)
@@ -527,17 +461,12 @@ func (st *state) lowerMaxPool(n *graph.Node) error {
 				AOff: offIn + int64(nc*4), OutOff: offOut + int64(nc*4),
 			}
 			id := fmt.Sprintf("%s@%d", spec.Signature(), nc)
-			if err := st.emitComputeKernel(b, kernels, spec.Signature(), id,
-				func() *isa.Program { return spec.build() }); err != nil && firstErr == nil {
-				firstErr = err
-			}
+			st.emitComputeKernel(b, spec.Signature(), id,
+				func() *isa.Program { return spec.build() })
 		}
 		b.Store(outName, npu.DMADesc{Rows: rows, Cols: OW * N * C}, oyg.addr(int64(g)*outRowBytes), tagVecSt, offOut)
 	})
-	if firstErr != nil {
-		return firstErr
-	}
-	return st.addTOG(b, n.ID, kernels)
+	return st.addTOG(b, n.ID)
 }
 
 // strided2DPool adapts the pooling kernel to the interleaved (pos, n*c)
@@ -580,22 +509,17 @@ func (st *state) lowerAvgPool(n *graph.Node) error {
 	offOut := offSum + 256 + int64(cols)*4
 
 	b := tog.NewBuilder(fmt.Sprintf("avgpool_n%d", n.ID), aName, outName)
-	kernels := map[string]*isa.Program{}
 	b.Load(aName, npu.DMADesc{Rows: rows, Cols: cols}, tog.AddrExpr{}, tagVecA, offA)
 	b.Wait(tagVecA)
 	csSpec := codegen.ColSumSpec{Rows: rows, Cols: cols, VLEN: vlen, AOff: offA, OutOff: offSum}
-	if err := st.emitComputeKernel(b, kernels, csSpec.Signature(), csSpec.Signature()+"@g",
-		func() *isa.Program { return codegen.ColSum(csSpec) }); err != nil {
-		return err
-	}
+	st.emitComputeKernel(b, csSpec.Signature(), csSpec.Signature()+"@g",
+		func() *isa.Program { return codegen.ColSum(csSpec) })
 	scSpec := codegen.EltSpec{Op: codegen.EltScale, Rows: 1, Cols: cols, ScaleF: 1 / float32(rows),
 		VLEN: vlen, AOff: offSum, OutOff: offOut}
-	if err := st.emitComputeKernel(b, kernels, scSpec.Signature()+fmt.Sprintf("_s%g", scSpec.ScaleF),
-		scSpec.Signature()+"@g", func() *isa.Program { return codegen.Eltwise(scSpec) }); err != nil {
-		return err
-	}
+	st.emitComputeKernel(b, scSpec.Signature()+fmt.Sprintf("_s%g", scSpec.ScaleF),
+		scSpec.Signature()+"@g", func() *isa.Program { return codegen.Eltwise(scSpec) })
 	b.Store(outName, npu.DMADesc{Rows: 1, Cols: cols}, tog.AddrExpr{}, tagVecSt, offOut)
-	return st.addTOG(b, n.ID, kernels)
+	return st.addTOG(b, n.ID)
 }
 
 // lowerTranspose lowers a 2-D transpose as a pure DMA layer through the
@@ -614,7 +538,7 @@ func (st *state) lowerTranspose(n *graph.Node) error {
 	b.Load(aName, npu.DMADesc{Rows: rows, Cols: cols, Transpose: true}, tog.AddrExpr{}, tagVecA, 0)
 	b.Wait(tagVecA)
 	b.Store(outName, npu.DMADesc{Rows: cols, Cols: rows}, tog.AddrExpr{}, tagVecSt, 0)
-	return st.addTOG(b, n.ID, nil)
+	return st.addTOG(b, n.ID)
 }
 
 func (st *state) lowerTransposeTiled(n *graph.Node, rows, cols int) error {
@@ -635,7 +559,7 @@ func (st *state) lowerTransposeTiled(n *graph.Node, rows, cols int) error {
 		b.Wait(tagVecA)
 		b.Store(outName, npu.DMADesc{Rows: sz, Cols: rows}, c.addr(int64(ct*rows)*4), tagVecSt, 0)
 	})
-	return st.addTOG(b, n.ID, nil)
+	return st.addTOG(b, n.ID)
 }
 
 func elems(shape []int) int {

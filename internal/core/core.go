@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/compiler"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/npu"
 	"repro/internal/obs"
+	"repro/internal/service/cache"
 	"repro/internal/tensor"
 	"repro/internal/togsim"
 )
@@ -46,9 +48,13 @@ type Simulator struct {
 	MaxCycles int64
 
 	// Probe, when non-nil, is attached to every TLS stack this simulator
-	// builds (engine spans plus fabric/NoC/DRAM counters). It never changes
-	// simulation results.
+	// builds (engine spans plus fabric/NoC/DRAM counters) and to the
+	// compiler (compile-phase spans). It never changes simulation results.
 	Probe obs.Probe
+
+	// store, when attached, persists the kernel-latency table across
+	// processes (the offline TOG cache of §3.10 on disk).
+	store cache.Store
 }
 
 // NewSimulator returns a simulator for the given NPU and compiler options.
@@ -56,9 +62,47 @@ func NewSimulator(cfg npu.Config, opts compiler.Options) *Simulator {
 	return &Simulator{Cfg: cfg, Compiler: compiler.New(cfg, opts)}
 }
 
+// AttachStore connects a persistent artifact store: the compiler's latency
+// cache is seeded from the store's table for this core configuration
+// immediately, and Compile writes the grown table back whenever it measured
+// new kernels. Corrupt or stale-schema entries are ignored (clean
+// recompile).
+func (s *Simulator) AttachStore(st cache.Store) {
+	s.store = st
+	if data, ok := st.Get(cache.LatencyKey(s.Cfg.Core)); ok {
+		if m, err := cache.DecodeLatencies(data); err == nil {
+			s.Compiler.SeedLatencies(m)
+		}
+	}
+}
+
+// DiskStats reports the attached store's hits and misses (zeros without a
+// store).
+func (s *Simulator) DiskStats() (hits, misses int64) {
+	if s.store == nil {
+		return 0, 0
+	}
+	return s.store.Stats()
+}
+
 // Compile lowers a captured graph to kernels and TOGs.
 func (s *Simulator) Compile(g *graph.Graph) (*compiler.Compiled, error) {
-	return s.Compiler.Compile(g)
+	if s.Compiler.Probe == nil {
+		s.Compiler.Probe = s.Probe
+	}
+	before := s.Compiler.MeasureCount()
+	comp, err := s.Compiler.Compile(g)
+	if err != nil {
+		return nil, err
+	}
+	if s.store != nil && s.Compiler.MeasureCount() > before {
+		// Best-effort persistence of the grown latency table; a failed
+		// write only costs a future re-measure.
+		if data, encErr := cache.EncodeLatencies(s.Compiler.Latencies()); encErr == nil {
+			_ = s.store.Put(cache.LatencyKey(s.Cfg.Core), data)
+		}
+	}
+	return comp, nil
 }
 
 // Report summarizes a timing simulation.
@@ -112,10 +156,12 @@ func (s *Simulator) SimulateJobs(jobs []*togsim.Job, kind NetKind) (Report, erro
 
 // AutoTune compiles the graph under each candidate option set, simulates
 // each in TLS, and returns the fastest (options, compilation, report).
-// A nil candidates slice sweeps compiler.TileCandidates(). Each candidate
-// compiles with its own kernel-latency cache, so the sweep costs one
-// compile + one TLS run per candidate — cheap enough that the paper's
-// "compile once, reuse the TOG cache" story still holds for the winner.
+// A nil candidates slice sweeps compiler.TileCandidates(). Candidates run
+// concurrently and all share the simulator's kernel-latency cache, so a
+// tile shape common to several candidates (and to any earlier Compile on
+// this simulator) is measured exactly once across the whole sweep. The
+// winner is deterministic: fewest cycles, earliest candidate on ties —
+// identical to what the old serial loop picked.
 func (s *Simulator) AutoTune(g *graph.Graph, candidates []compiler.Options, kind NetKind) (compiler.Options, *compiler.Compiled, Report, error) {
 	if candidates == nil {
 		candidates = compiler.TileCandidates()
@@ -123,36 +169,61 @@ func (s *Simulator) AutoTune(g *graph.Graph, candidates []compiler.Options, kind
 	if len(candidates) == 0 {
 		return compiler.Options{}, nil, Report{}, fmt.Errorf("core: no autotune candidates")
 	}
-	var (
-		bestOpts compiler.Options
-		bestComp *compiler.Compiled
-		bestRep  Report
-	)
-	for _, opts := range candidates {
-		c := compiler.New(s.Cfg, opts)
-		comp, err := c.Compile(g)
-		if err != nil {
-			// A candidate that does not fit (e.g. tile exceeds scratchpad)
-			// is skipped, not fatal.
+	type outcome struct {
+		comp     *compiler.Compiled
+		rep      Report
+		measured int64
+	}
+	results := make([]*outcome, len(candidates))
+	var wg sync.WaitGroup
+	for i, opts := range candidates {
+		wg.Add(1)
+		go func(i int, opts compiler.Options) {
+			defer wg.Done()
+			c := compiler.NewShared(s.Cfg, opts, s.Compiler.Cache())
+			comp, err := c.Compile(g)
+			if err != nil {
+				// A candidate that does not fit (e.g. tile exceeds
+				// scratchpad) is skipped, not fatal.
+				return
+			}
+			setup := togsim.NewStandard(s.Cfg, kind, dram.FRFCFS)
+			setup.Engine.MaxCycles = s.MaxCycles
+			start := time.Now()
+			res, err := setup.Engine.Run([]*togsim.Job{comp.Job(comp.Name, 0, 0)})
+			if err != nil {
+				return
+			}
+			results[i] = &outcome{
+				comp: comp,
+				rep: Report{Cycles: res.Cycles, FreqMHz: s.Cfg.FreqMHz, Jobs: res.Jobs,
+					Cores: res.Cores, MemStats: &setup.Mem.Stats, WallClock: time.Since(start)},
+				measured: c.MeasureCount(),
+			}
+		}(i, opts)
+	}
+	wg.Wait()
+
+	best := -1
+	var sweepMeasured int64
+	for i, r := range results {
+		if r == nil {
 			continue
 		}
-		setup := togsim.NewStandard(s.Cfg, kind, dram.FRFCFS)
-		setup.Engine.MaxCycles = s.MaxCycles
-		start := time.Now()
-		res, err := setup.Engine.Run([]*togsim.Job{comp.Job(comp.Name, 0, 0)})
-		if err != nil {
-			continue
-		}
-		rep := Report{Cycles: res.Cycles, FreqMHz: s.Cfg.FreqMHz, Jobs: res.Jobs,
-			Cores: res.Cores, MemStats: &setup.Mem.Stats, WallClock: time.Since(start)}
-		if bestComp == nil || rep.Cycles < bestRep.Cycles {
-			bestOpts, bestComp, bestRep = opts, comp, rep
+		sweepMeasured += r.measured
+		if best < 0 || r.rep.Cycles < results[best].rep.Cycles {
+			best = i
 		}
 	}
-	if bestComp == nil {
+	if best < 0 {
 		return compiler.Options{}, nil, Report{}, fmt.Errorf("core: no autotune candidate compiled successfully")
 	}
-	return bestOpts, bestComp, bestRep, nil
+	if s.store != nil && sweepMeasured > 0 {
+		if data, err := cache.EncodeLatencies(s.Compiler.Latencies()); err == nil {
+			_ = s.store.Put(cache.LatencyKey(s.Cfg.Core), data)
+		}
+	}
+	return candidates[best], results[best].comp, results[best].rep, nil
 }
 
 // SimulateILS runs the compiled model in Instruction-Level Simulation mode:

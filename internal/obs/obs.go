@@ -37,6 +37,15 @@ const (
 // chiplet link) under one Perfetto process, away from the core pids.
 const PIDMemory int32 = 1 << 20
 
+// PIDCompile groups the compiler's pass spans (lower, codegen, measure,
+// emit) under their own Perfetto process. Unlike the simulation tracks,
+// compile spans are host-time: start/end are microseconds since the
+// beginning of the Compile call, not simulated cycles.
+const PIDCompile int32 = 1 << 21
+
+// CompileTrack is the timeline row carrying compiler pass spans.
+var CompileTrack = Track{PID: PIDCompile, TID: 0}
+
 // Shared memory-system tracks.
 var (
 	FabricTrack = Track{PID: PIDMemory, TID: 0}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/graph"
 	"repro/internal/npu"
+	"repro/internal/service/cache"
 	"repro/internal/service/modelzoo"
 )
 
@@ -31,20 +32,66 @@ type cacheEntry struct {
 // it stores, per CompileKey, the compiled TOGs plus the tile-latency table,
 // so repeated or swept requests skip compilation (and even distinct models
 // on the same core configuration reuse each other's kernel measurements
-// through the shared per-core latency table).
+// through the shared per-core latency cache). With a persistent Store
+// attached, each per-core latency table is seeded from disk on first use
+// and written back after every compilation that measured new kernels — the
+// paper's offline tile-latency cache surviving process restarts.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
 	// lat shares measured kernel latencies across compilations, keyed by
 	// the core configuration they were measured on (latencies depend only
-	// on npu.CoreConfig, not on the full machine).
-	lat          map[string]map[string]int64
+	// on npu.CoreConfig, not on the full machine). The caches are the
+	// compiler's own thread-safe singleflight tables, so compilations on
+	// different workers dedupe measurements live, not just after the fact.
+	lat    map[string]*compiler.LatencyCache
+	seeded map[string]bool
+	store  cache.Store
+	hook   func(*compiler.Compiler)
+
 	hits, misses int64
 }
 
 // NewCache returns an empty compile cache.
 func NewCache() *Cache {
-	return &Cache{entries: map[string]*cacheEntry{}, lat: map[string]map[string]int64{}}
+	return &Cache{
+		entries: map[string]*cacheEntry{},
+		lat:     map[string]*compiler.LatencyCache{},
+		seeded:  map[string]bool{},
+	}
+}
+
+// SetStore attaches the persistent artifact tier. Latency tables load from
+// it lazily (first compilation per core configuration) and persist back
+// after compilations that measured new kernels. Call before serving.
+func (c *Cache) SetStore(st cache.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.store = st
+	// Re-seed on the next use of each core table in case the store knows
+	// more than what has been measured so far.
+	c.seeded = map[string]bool{}
+}
+
+// SetCompilerHook registers a function applied to every compiler the cache
+// creates — the service uses it to attach phase-latency metrics and worker
+// limits. Call before serving.
+func (c *Cache) SetCompilerHook(f func(*compiler.Compiler)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hook = f
+}
+
+// StoreStats reports the persistent tier's hits and misses (zeros when no
+// store is attached).
+func (c *Cache) StoreStats() (hits, misses int64) {
+	c.mu.Lock()
+	st := c.store
+	c.mu.Unlock()
+	if st == nil {
+		return 0, 0
+	}
+	return st.Stats()
 }
 
 // Stats reports cache hits and misses so far. A hit is any Compile call
@@ -54,6 +101,27 @@ func (c *Cache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// latFor returns the shared latency cache for one core configuration,
+// seeding it from the persistent store on first use. Callers hold c.mu.
+func (c *Cache) latFor(coreKey string) *compiler.LatencyCache {
+	lc := c.lat[coreKey]
+	if lc == nil {
+		lc = compiler.NewLatencyCache()
+		c.lat[coreKey] = lc
+	}
+	if c.store != nil && !c.seeded[coreKey] {
+		c.seeded[coreKey] = true
+		if data, ok := c.store.Get(cache.LatencyKeyForHash(coreKey)); ok {
+			if m, err := cache.DecodeLatencies(data); err == nil {
+				lc.Seed(m)
+			}
+			// A decode error means a stale-schema entry: treat as a miss
+			// and let the write-back below replace it.
+		}
+	}
+	return lc
 }
 
 // Compile returns the compilation for key, building it at most once per
@@ -79,29 +147,31 @@ func (c *Cache) Compile(key string, cfg npu.Config, opts compiler.Options,
 	c.entries[key] = e
 	c.misses++
 	coreKey := CanonicalHash(cfg.Core)
-	comp := compiler.New(cfg, opts)
-	comp.SeedLatencies(c.lat[coreKey])
+	lc := c.latFor(coreKey)
+	comp := compiler.NewShared(cfg, opts, lc)
+	if c.hook != nil {
+		c.hook(comp)
+	}
+	st := c.store
 	c.mu.Unlock()
 
 	e.comp, e.err = c.build(comp, build)
 	c.mu.Lock()
 	if e.err != nil {
 		delete(c.entries, key)
-	} else {
-		// Fold this compilation's measurements into the shared table.
-		tbl := c.lat[coreKey]
-		if tbl == nil {
-			tbl = map[string]int64{}
-			c.lat[coreKey] = tbl
-		}
-		for k, v := range comp.Latencies() {
-			tbl[k] = v
-		}
 	}
 	c.mu.Unlock()
 	close(e.ready)
 	if e.err != nil {
 		return nil, false, e.err
+	}
+	// Persist the (grown) latency table when this build measured kernels
+	// the store had not seen. Best-effort: a failed write only costs a
+	// future recompute, never correctness.
+	if st != nil && comp.MeasureCount() > 0 {
+		if data, err := cache.EncodeLatencies(lc.Snapshot()); err == nil {
+			_ = st.Put(cache.LatencyKeyForHash(coreKey), data)
+		}
 	}
 	return e.comp, false, nil
 }

@@ -1,0 +1,37 @@
+package cache
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// latSchema versions the latency-table payload independently of the disk
+// envelope: bumping it makes old tables decode as errors (callers treat
+// that as a miss and re-measure) even though their checksums still verify.
+const latSchema = 1
+
+type latEnvelope struct {
+	Schema    int              `json:"schema"`
+	Latencies map[string]int64 `json:"latencies"`
+}
+
+// EncodeLatencies serializes a kernel-latency table for the store.
+func EncodeLatencies(m map[string]int64) ([]byte, error) {
+	return json.Marshal(latEnvelope{Schema: latSchema, Latencies: m})
+}
+
+// DecodeLatencies parses a stored latency table, rejecting payloads written
+// under a different schema version.
+func DecodeLatencies(data []byte) (map[string]int64, error) {
+	var env latEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("cache: latency table: %w", err)
+	}
+	if env.Schema != latSchema {
+		return nil, fmt.Errorf("cache: latency table schema %d, want %d", env.Schema, latSchema)
+	}
+	if env.Latencies == nil {
+		env.Latencies = map[string]int64{}
+	}
+	return env.Latencies, nil
+}

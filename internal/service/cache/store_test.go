@@ -1,0 +1,238 @@
+package cache
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMemoryRoundTrip(t *testing.T) {
+	s := NewMemory()
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	if err := s.Put("k", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := s.Get("k")
+	if !ok || string(data) != "payload" {
+		t.Fatalf("Get = %q, %v", data, ok)
+	}
+	// The returned slice is a copy: mutating it must not poison the store.
+	data[0] = 'X'
+	again, _ := s.Get("k")
+	if string(again) != "payload" {
+		t.Fatalf("store mutated through returned slice: %q", again)
+	}
+	hits, misses := s.Stats()
+	if hits != 2 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 2, 1", hits, misses)
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	s, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CanonicalHash("some", "content")
+	if _, ok := s.Get(key); ok {
+		t.Fatal("empty store reported a hit")
+	}
+	want := []byte("artifact bytes\nwith newlines\x00and zeros")
+	if err := s.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(key)
+	if !ok || !bytes.Equal(got, want) {
+		t.Fatalf("Get = %q, %v; want %q", got, ok, want)
+	}
+}
+
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CanonicalHash("persisted")
+	if err := s1.Put(key, []byte("value")); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(key)
+	if !ok || string(got) != "value" {
+		t.Fatalf("reopened Get = %q, %v", got, ok)
+	}
+}
+
+// entryFile locates the single entry file written for key.
+func entryFile(t *testing.T, dir, key string) string {
+	t.Helper()
+	p := filepath.Join(dir, diskVersion, key[:2], key)
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("entry file missing: %v", err)
+	}
+	return p
+}
+
+func TestDiskCorruptEntryIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CanonicalHash("corrupt-me")
+	if err := s.Put(key, []byte("good payload")); err != nil {
+		t.Fatal(err)
+	}
+	p := entryFile(t, dir, key)
+
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte: checksum mismatch.
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+
+	// Truncated file: no complete envelope.
+	if err := os.WriteFile(p, []byte(diskMagic+"\nabc"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("truncated entry served as a hit")
+	}
+
+	// A fresh Put repairs the entry.
+	if err := s.Put(key, []byte("repaired")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || string(got) != "repaired" {
+		t.Fatalf("repaired Get = %q, %v", got, ok)
+	}
+}
+
+func TestDiskWrongMagicIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := CanonicalHash("wrong-magic")
+	if err := s.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	p := entryFile(t, dir, key)
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale := []byte("ptsimc0\n" + strings.SplitN(string(raw), "\n", 2)[1])
+	if err := os.WriteFile(p, stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Fatal("wrong-magic entry served as a hit")
+	}
+}
+
+func TestDiskRejectsTraversalKeys(t *testing.T) {
+	s, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"", "..", "a/b", `a\b`, "x:y"} {
+		if err := s.Put(key, []byte("v")); err == nil {
+			t.Errorf("Put(%q) accepted an unsafe key", key)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("Get(%q) reported a hit", key)
+		}
+	}
+}
+
+func TestLayeredBackfill(t *testing.T) {
+	fast, slow := NewMemory(), NewMemory()
+	s := NewLayered(fast, slow)
+
+	// Seed only the slow tier (a disk entry from a previous process).
+	if err := slow.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("layered Get = %q, %v", got, ok)
+	}
+	// The hit must have backfilled the fast tier.
+	if _, ok := fast.Get("k"); !ok {
+		t.Fatal("slow-tier hit did not backfill the fast tier")
+	}
+
+	// Put writes through to both tiers.
+	if err := s.Put("w", []byte("both")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fast.Get("w"); !ok {
+		t.Fatal("Put missed the fast tier")
+	}
+	if _, ok := slow.Get("w"); !ok {
+		t.Fatal("Put missed the slow tier")
+	}
+
+	if _, ok := s.Get("absent"); ok {
+		t.Fatal("miss reported as hit")
+	}
+	hits, misses := s.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits, %d misses; want 1, 1", hits, misses)
+	}
+}
+
+func TestLatencyCodecRoundTrip(t *testing.T) {
+	in := map[string]int64{"gemm_m8_k8_n8": 123, "elt_add_r1_c64": 7}
+	data, err := EncodeLatencies(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeLatencies(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) || out["gemm_m8_k8_n8"] != 123 || out["elt_add_r1_c64"] != 7 {
+		t.Fatalf("round trip = %v", out)
+	}
+}
+
+func TestLatencyCodecRejectsWrongSchema(t *testing.T) {
+	if _, err := DecodeLatencies([]byte(`{"schema":99,"latencies":{}}`)); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := DecodeLatencies([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLatencyKeyDistinguishesCores(t *testing.T) {
+	type core struct{ SARows, SACols int }
+	a := LatencyKey(core{8, 8})
+	b := LatencyKey(core{16, 16})
+	if a == b {
+		t.Fatal("different cores share a latency key")
+	}
+	if a != LatencyKey(core{8, 8}) {
+		t.Fatal("latency key not stable")
+	}
+	if !strings.HasPrefix(a, "lat-") {
+		t.Fatalf("latency key %q lacks prefix", a)
+	}
+}

@@ -191,7 +191,7 @@ func TestSeededCompilerSkipsMeasurement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c1.MeasureCount == 0 {
+	if c1.MeasureCount() == 0 {
 		t.Fatal("first compile measured nothing")
 	}
 
@@ -201,8 +201,8 @@ func TestSeededCompilerSkipsMeasurement(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if c2.MeasureCount != 0 {
-		t.Fatalf("seeded compile ran the timing simulator %d times, want 0", c2.MeasureCount)
+	if c2.MeasureCount() != 0 {
+		t.Fatalf("seeded compile ran the timing simulator %d times, want 0", c2.MeasureCount())
 	}
 	for i := range a.TOGs {
 		for k, v := range a.TOGs[i].TileLatencies {

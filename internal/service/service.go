@@ -24,6 +24,7 @@ import (
 	"repro/internal/npu"
 	"repro/internal/obs/metrics"
 	"repro/internal/obs/report"
+	"repro/internal/service/cache"
 	"repro/internal/service/modelzoo"
 	"repro/internal/togsim"
 )
@@ -44,11 +45,11 @@ func (e *OverloadError) Error() string {
 type JobSpec struct {
 	Model string `json:"model"`
 	Batch int    `json:"batch,omitempty"`
-	N     int    `json:"n,omitempty"`     // GEMM dimension
-	Seq   int    `json:"seq,omitempty"`   // BERT sequence length
-	NPU   string `json:"npu,omitempty"`   // "tpuv3" (default) or "small"
-	Net   string `json:"net,omitempty"`   // "sn" (default) or "cn"
-	DMA   string `json:"dma,omitempty"`   // "selective" (default), "coarse", "fine"
+	N     int    `json:"n,omitempty"`      // GEMM dimension
+	Seq   int    `json:"seq,omitempty"`    // BERT sequence length
+	NPU   string `json:"npu,omitempty"`    // "tpuv3" (default) or "small"
+	Net   string `json:"net,omitempty"`    // "sn" (default) or "cn"
+	DMA   string `json:"dma,omitempty"`    // "selective" (default), "coarse", "fine"
 	MaxMt int    `json:"max_mt,omitempty"` // cap on M-tile rows (0 = compiler default)
 	// Fusion/ConvOpt are tri-state so that absent JSON fields keep the
 	// paper's defaults (both enabled).
@@ -169,6 +170,11 @@ type Stats struct {
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 
+	// DiskHits/DiskMisses count lookups against the persistent artifact
+	// store (always zero until EnableDiskCache).
+	DiskHits   int64 `json:"disk_hits"`
+	DiskMisses int64 `json:"disk_misses"`
+
 	// TotalCycles sums simulated cycles over finished jobs; WallSeconds
 	// sums the host time those simulations took; CyclesPerSecond is their
 	// ratio — the aggregate simulation rate the paper's speed argument is
@@ -200,9 +206,10 @@ type Service struct {
 	cacheHits   int64 // compile-cache accounting under s.mu, so Stats()
 	cacheMisses int64 // is one consistent snapshot (the cache has its own lock)
 
-	reg       *metrics.Registry
-	queueWait *metrics.Histogram
-	jobLat    *metrics.Histogram
+	reg          *metrics.Registry
+	queueWait    *metrics.Histogram
+	jobLat       *metrics.Histogram
+	compilePhase map[compiler.Phase]*metrics.Histogram
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -230,8 +237,38 @@ func New(cfg Config) *Service {
 	s.jobLat = s.reg.NewHistogram("ptsimd_job_duration_seconds",
 		"End-to-end job latency from submission to completion.",
 		metrics.ExpBuckets(0.001, 4, 12))
+	s.compilePhase = map[compiler.Phase]*metrics.Histogram{}
+	for _, ph := range compiler.Phases() {
+		s.compilePhase[ph] = s.reg.NewHistogram(
+			fmt.Sprintf("ptsimd_compile_%s_seconds", ph),
+			fmt.Sprintf("Host time of the compiler's %s pass.", ph),
+			metrics.ExpBuckets(0.0001, 4, 10))
+	}
+	// Every compiler the cache creates reports its pass latencies into the
+	// phase histograms.
+	s.cache.SetCompilerHook(func(c *compiler.Compiler) {
+		c.PhaseHook = func(ph compiler.Phase, d time.Duration) {
+			if h := s.compilePhase[ph]; h != nil {
+				h.Observe(d.Seconds())
+			}
+		}
+	})
 	s.reg.Register(metrics.CollectorFunc(s.collect))
 	return s
+}
+
+// EnableDiskCache attaches the persistent compile-cache tier rooted at dir
+// (layered: in-memory over versioned on-disk entries). Kernel-latency
+// tables measured by this or any previous process become warm-start seeds,
+// so a daemon restart re-measures nothing already covered. Call before
+// Start.
+func (s *Service) EnableDiskCache(dir string) error {
+	disk, err := cache.NewDisk(dir)
+	if err != nil {
+		return err
+	}
+	s.cache.SetStore(cache.NewLayered(cache.NewMemory(), disk))
+	return nil
 }
 
 // Metrics returns the registry backing GET /metrics. The histograms are
@@ -251,6 +288,8 @@ func (s *Service) collect(e *metrics.Emitter) {
 	e.Counter("ptsimd_jobs_failed_total", "Jobs that ended in an error.", float64(st.Failed))
 	e.Counter("ptsimd_compile_cache_hits_total", "Compilations served from the content-addressed cache.", float64(st.CacheHits))
 	e.Counter("ptsimd_compile_cache_misses_total", "Compilations that ran the compiler.", float64(st.CacheMisses))
+	e.Counter("ptsimd_compile_disk_hits_total", "Persistent-store lookups that found a valid artifact.", float64(st.DiskHits))
+	e.Counter("ptsimd_compile_disk_misses_total", "Persistent-store lookups that missed (absent, corrupt, or stale).", float64(st.DiskMisses))
 	e.Counter("ptsimd_simulated_cycles_total", "Simulated cycles summed over finished jobs.", float64(st.TotalCycles))
 	e.Gauge("ptsimd_simulation_cycles_per_second", "Aggregate simulation rate: simulated cycles per host second.", st.CyclesPerSecond)
 	e.Gauge("ptsimd_workers", "Size of the worker pool.", float64(st.Workers))
@@ -368,6 +407,7 @@ func (s *Service) Stats() Stats {
 	if st.WallSeconds > 0 {
 		st.CyclesPerSecond = float64(st.TotalCycles) / st.WallSeconds
 	}
+	st.DiskHits, st.DiskMisses = s.cache.StoreStats()
 	return st
 }
 

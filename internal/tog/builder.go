@@ -1,6 +1,10 @@
 package tog
 
-import "repro/internal/npu"
+import (
+	"fmt"
+
+	"repro/internal/npu"
+)
 
 // Builder constructs TOGs incrementally; the compiler backend's TOG lowering
 // pass uses it.
@@ -88,6 +92,29 @@ func (b *Builder) SetTileLatency(key string, cycles int64) *Builder {
 func (b *Builder) SetSpadBytes(n int64) *Builder {
 	b.g.SpadBytes = n
 	return b
+}
+
+// LastNodeID returns the id of the most recently added node (-1 before any
+// node is added). Pass-structured compilers use it to remember compute nodes
+// whose latencies are resolved after structure building (PatchComputeCycles).
+func (b *Builder) LastNodeID() int {
+	return b.nextID - 1
+}
+
+// PatchComputeCycles sets the fixed latency of the compute node with the
+// given id. It exists for staged compilation pipelines that emit the TOG
+// structure first and measure kernel latencies later: nodes are emitted with
+// a zero placeholder and patched before Build (whose validation rejects
+// unresolved compute nodes).
+func (b *Builder) PatchComputeCycles(id int, cycles int64) error {
+	if id < 0 || id >= len(b.g.Nodes) {
+		return fmt.Errorf("tog: patch of unknown node %d", id)
+	}
+	if b.g.Nodes[id].Kind != Compute {
+		return fmt.Errorf("tog: patch of non-compute node %d (%s)", id, b.g.Nodes[id].Kind)
+	}
+	b.g.Nodes[id].Cycles = cycles
+	return nil
 }
 
 // Build validates and returns the TOG.

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench_compile: run the compiler pipeline benchmarks (cold serial,
+# parallel, warm-disk) and write the raw results plus a small JSON summary
+# to BENCH_compile.json in the repo root. The warm-disk benchmark asserts
+# zero measurer invocations internally, so a passing run is also a
+# correctness signal.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+count=${1:-3}
+out=BENCH_compile.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "bench_compile: running BenchmarkCompile{Cold,Parallel,WarmDisk} (count=$count)"
+go test -run xxx -bench 'BenchmarkCompile(Cold|Parallel|WarmDisk)$' \
+  -benchtime 1x -count "$count" . | tee "$raw"
+
+python3 - "$raw" "$out" <<'EOF'
+import json, re, sys
+raw, out = sys.argv[1], sys.argv[2]
+runs = {}
+for line in open(raw):
+    m = re.match(r'^(BenchmarkCompile\w+)\S*\s+\d+\s+(\d+) ns/op', line)
+    if m:
+        runs.setdefault(m.group(1), []).append(int(m.group(2)))
+summary = {
+    name: {
+        "runs_ns": ns,
+        "best_ns": min(ns),
+        "best_ms": round(min(ns) / 1e6, 3),
+    }
+    for name, ns in sorted(runs.items())
+}
+if "BenchmarkCompileCold" in summary and "BenchmarkCompileParallel" in summary:
+    summary["speedup_parallel_vs_cold"] = round(
+        summary["BenchmarkCompileCold"]["best_ns"]
+        / summary["BenchmarkCompileParallel"]["best_ns"], 3)
+if "BenchmarkCompileCold" in summary and "BenchmarkCompileWarmDisk" in summary:
+    summary["speedup_warmdisk_vs_cold"] = round(
+        summary["BenchmarkCompileCold"]["best_ns"]
+        / summary["BenchmarkCompileWarmDisk"]["best_ns"], 3)
+json.dump(summary, open(out, "w"), indent=2)
+print(f"bench_compile: wrote {out}")
+EOF

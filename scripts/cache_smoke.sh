@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# cache-smoke: end-to-end check of the persistent compile cache. Runs ptsim
+# twice against the same temporary -cache-dir and requires (1) bit-identical
+# cycle counts, (2) the second run to measure zero kernels (everything
+# served from the persisted latency table), and (3) the second run to
+# report at least one disk hit. Wired into `make check` via the cache-smoke
+# target.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+cleanup() { rm -rf "$tmp"; }
+trap cleanup EXIT
+
+echo "cache-smoke: building ptsim"
+go build -o "$tmp/ptsim" ./cmd/ptsim
+
+args=(-model gemm -n 512 -small -cache-dir "$tmp/cache")
+
+echo "cache-smoke: cold run"
+"$tmp/ptsim" "${args[@]}" >"$tmp/run1.log" 2>&1
+echo "cache-smoke: warm run"
+"$tmp/ptsim" "${args[@]}" >"$tmp/run2.log" 2>&1
+
+cycles1=$(sed -n 's/^TLS: \([0-9]*\) cycles.*/\1/p' "$tmp/run1.log" | head -1)
+cycles2=$(sed -n 's/^TLS: \([0-9]*\) cycles.*/\1/p' "$tmp/run2.log" | head -1)
+if [ -z "$cycles1" ] || [ -z "$cycles2" ]; then
+  echo "cache-smoke: FAIL: could not parse cycle counts"
+  cat "$tmp/run1.log" "$tmp/run2.log"
+  exit 1
+fi
+if [ "$cycles1" != "$cycles2" ]; then
+  echo "cache-smoke: FAIL: cycles diverge with a warm cache: $cycles1 vs $cycles2"
+  exit 1
+fi
+
+measured1=$(sed -n 's/.* \([0-9]*\) unique kernels measured.*/\1/p' "$tmp/run1.log" | head -1)
+measured2=$(sed -n 's/.* \([0-9]*\) unique kernels measured.*/\1/p' "$tmp/run2.log" | head -1)
+if [ "${measured1:-0}" -eq 0 ]; then
+  echo "cache-smoke: FAIL: cold run measured no kernels"
+  cat "$tmp/run1.log"
+  exit 1
+fi
+if [ "${measured2:-1}" -ne 0 ]; then
+  echo "cache-smoke: FAIL: warm run re-measured $measured2 kernels"
+  cat "$tmp/run2.log"
+  exit 1
+fi
+
+hits2=$(sed -n 's/^disk cache: \([0-9]*\) hits.*/\1/p' "$tmp/run2.log" | head -1)
+if [ "${hits2:-0}" -eq 0 ]; then
+  echo "cache-smoke: FAIL: warm run reported no disk hits"
+  cat "$tmp/run2.log"
+  exit 1
+fi
+
+echo "cache-smoke: OK ($cycles1 cycles both runs; cold measured $measured1, warm measured 0, $hits2 disk hits)"
