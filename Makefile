@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race check bench bench-compile service-smoke trace-smoke cache-smoke clean
+.PHONY: all build fmt vet test race check bench bench-compile service-smoke trace-smoke cache-smoke fuzz-smoke crosscheck cover clean
 
 all: check
 
@@ -33,6 +33,8 @@ check:
 	$(MAKE) service-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) cache-smoke
+	$(MAKE) fuzz-smoke
+	$(MAKE) crosscheck
 
 # End-to-end daemon check: start ptsimd on an ephemeral port, submit a
 # GEMM job over HTTP, poll to completion, and diff the cycle count against
@@ -51,6 +53,26 @@ trace-smoke:
 # hitting the disk store (scripts/cache_smoke.sh).
 cache-smoke:
 	bash scripts/cache_smoke.sh
+
+# Bounded coverage-guided fuzzing over every native fuzz target, seeded from
+# the checked-in corpora (scripts/fuzz_smoke.sh; FUZZTIME overrides the
+# per-target budget).
+fuzz-smoke:
+	bash scripts/fuzz_smoke.sh
+
+# Cross-simulator differential gate: 200 seeded random workloads through
+# every oracle (zero divergences required), then the fault-injection
+# self-test, which passes only if a deliberate +1-cycle perturbation is
+# detected and shrunk to a replayable repro.
+crosscheck:
+	$(GO) run ./cmd/ptsimcheck -seed 1 -n 200
+	@tmp=$$(mktemp -d); \
+		$(GO) run ./cmd/ptsimcheck -seed 1 -n 20 -fault -out $$tmp && rm -rf $$tmp
+
+# Coverage summary per package, with a hard floor on internal/crosscheck
+# (scripts/cover.sh).
+cover:
+	bash scripts/cover.sh
 
 # Engine micro-benchmarks, including the event-vs-strict TLS comparison.
 bench:

@@ -41,6 +41,9 @@ func buildModel(t *testing.T, spec modelzoo.Spec) *graph.Graph {
 // (Workers=8) compilation of the same model must produce identical
 // Compiled values, including kernel programs and TOG latencies.
 func TestCompileDeterminismAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2: repeated full compiles, ~1s (DESIGN.md \"Test tiers\")")
+	}
 	for _, spec := range determinismModels {
 		t.Run(spec.Model, func(t *testing.T) {
 			g := buildModel(t, spec)
@@ -72,6 +75,9 @@ func TestCompileDeterminismAcrossWorkers(t *testing.T) {
 // TestCompileWarmDiskIdentical: a compile against a pre-warmed disk cache
 // must measure zero kernels and still produce a bit-identical artifact.
 func TestCompileWarmDiskIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2: cold+warm disk-cache compiles, ~1s (DESIGN.md \"Test tiers\")")
+	}
 	for _, spec := range determinismModels {
 		t.Run(spec.Model, func(t *testing.T) {
 			g := buildModel(t, spec)

@@ -19,6 +19,9 @@ import (
 )
 
 func TestParallelEnginesMatchSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2: many engine instances racing, ~1s (DESIGN.md \"Test tiers\")")
+	}
 	cfg, err := modelzoo.NPUConfig("small")
 	if err != nil {
 		t.Fatal(err)

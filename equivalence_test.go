@@ -56,6 +56,9 @@ func runModes(t *testing.T, kind togsim.NetKind, mkJobs func() []*togsim.Job, co
 // TestEquivalenceQuickstartGEMM runs the quickstart GEMM (compiled through
 // the real compiler, like examples/quickstart) under both engine modes.
 func TestEquivalenceQuickstartGEMM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2: full TPUv3 GEMM under three engine modes, ~2s (DESIGN.md \"Test tiers\")")
+	}
 	c := compiler.New(benchCfg(), compiler.DefaultOptions())
 	comp, err := c.Compile(exp.GEMMGraph(512))
 	if err != nil {
@@ -72,6 +75,9 @@ func TestEquivalenceQuickstartGEMM(t *testing.T) {
 // arrivals on separate cores (the §5.2 shape): shared-DRAM contention plus
 // idle admission gaps, both of which the skip logic must not disturb.
 func TestEquivalenceMultiTenant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2: three-tenant TPUv3 mix under three engine modes, ~1s (DESIGN.md \"Test tiers\")")
+	}
 	cfg := benchCfg()
 	cfg.Cores = 2
 	c := compiler.New(cfg, compiler.DefaultOptions())

@@ -1,0 +1,121 @@
+// Golden-file regression for the user-facing report surfaces: the text
+// report ptsim -report prints, the JSON ptsim -json emits, and the JSON
+// togsim -json emits. All three render the same report.Report through the
+// same code paths the CLIs use, built with zero wall time so the bytes are
+// fully deterministic. Regenerate after an intentional format change with
+//
+//	go test -run TestGolden -update .
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/core"
+	"repro/internal/dram"
+	"repro/internal/exp"
+	"repro/internal/npu"
+	"repro/internal/obs/report"
+	"repro/internal/togsim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenCompare diffs got against testdata/golden/<name>, rewriting the
+// file instead when -update is set.
+func goldenCompare(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "golden", name)
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test -run TestGolden -update .`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s\nIf the change is intentional, regenerate with `go test -run TestGolden -update .`",
+			name, got, want)
+	}
+}
+
+// goldenReport produces the deterministic report both golden tests render:
+// the quickstart GEMM on the small machine, wall time zeroed.
+func goldenReport(t *testing.T) (npu.Config, report.Report) {
+	t.Helper()
+	cfg := npu.SmallConfig()
+	sim := core.NewSimulator(cfg, compiler.DefaultOptions())
+	comp, err := sim.Compile(exp.GEMMGraph(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sim.SimulateTLS(comp, core.SimpleNet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := report.Build(cfg, togsim.Result{Cycles: rep.Cycles, Jobs: rep.Jobs, Cores: rep.Cores},
+		rep.MemStats, 0)
+	return cfg, full
+}
+
+// TestGoldenPtsimReport pins the text rendering of ptsim -report.
+func TestGoldenPtsimReport(t *testing.T) {
+	_, full := goldenReport(t)
+	goldenCompare(t, "ptsim_report.txt", []byte(full.Text()))
+}
+
+// TestGoldenPtsimJSON pins the JSON rendering of ptsim -json (indented
+// encoder, exactly like the CLI).
+func TestGoldenPtsimJSON(t *testing.T) {
+	_, full := goldenReport(t)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(full); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "ptsim_report.json", buf.Bytes())
+}
+
+// TestGoldenTogsimJSON pins the JSON rendering of togsim -json: the first
+// TOG of the compiled quickstart GEMM run standalone with togsim's tensor
+// placement (one 256 MiB region per tensor, in TOG order).
+func TestGoldenTogsimJSON(t *testing.T) {
+	cfg := npu.SmallConfig()
+	c := compiler.New(cfg, compiler.DefaultOptions())
+	comp, err := c.Compile(exp.GEMMGraph(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := comp.TOGs[0]
+	bases := map[string]uint64{}
+	var next uint64
+	for _, tn := range g.Tensors {
+		bases[tn] = next
+		next += 1 << 28
+	}
+	s := togsim.NewStandard(cfg, togsim.SimpleNet, dram.FRFCFS)
+	res, err := s.Engine.RunSingle(g, bases)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := report.Build(cfg, res, &s.Mem.Stats, 0)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "togsim_report.json", buf.Bytes())
+}

@@ -101,12 +101,14 @@ func emitSpadBase(b *isa.Builder) {
 }
 
 // emitSpadAddr materializes SpadBase+off into rd in a constant number of
-// instructions: one ADDI for 12-bit offsets, LUI+ADDI+ADD otherwise.
+// instructions: always LUI+ADDI+ADD (hi is simply 0 for 12-bit offsets).
+// Constant length is load-bearing: kernel signatures exclude scratchpad
+// offsets, so the latency cache assumes placement never changes the
+// instruction stream's shape. A short-form ADDI for small offsets would
+// make two same-signature kernels differ in length once one of them is
+// placed past the 12-bit boundary, and the cached latency would be wrong
+// for the other — breaking ILS/TLS cycle agreement.
 func emitSpadAddr(b *isa.Builder, rd uint8, off int64) {
-	if off >= -2048 && off <= 2047 {
-		b.Emit(isa.Instr{Op: isa.OpADDI, Rd: rd, Rs1: rBase, Imm: int32(off)})
-		return
-	}
 	hi := (off + 0x800) >> 12
 	lo := off - hi<<12
 	b.Emit(isa.Instr{Op: isa.OpLUI, Rd: rOffTmp, Imm: int32(hi)})

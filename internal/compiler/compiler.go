@@ -286,6 +286,9 @@ func (st *state) spadBudget() int64 {
 // lists, parallel passes only fill pre-assigned slots, and the emit pass
 // assembles everything in graph order.
 func (c *Compiler) Compile(g *graph.Graph) (*Compiled, error) {
+	if err := c.Cfg.Core.Validate(); err != nil {
+		return nil, err
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,293 @@
+// Package crosscheck is the cross-simulator differential checker: a
+// seeded, deterministic random-workload generator feeding a set of oracles
+// that hold the simulators against each other — ILS vs TLS cycle agreement
+// (the §3.8 determinism claim), funcsim numerics vs the host reference,
+// and a family of metamorphic invariants that must be bit-identical
+// (event-driven vs strict-tick engine, serial vs parallel compile, cold vs
+// warm artifact store, instrumented vs plain runs). On divergence a greedy
+// shrinker minimizes the failing case to a small repro serialized as JSON
+// and replayable with `ptsimcheck -replay`.
+//
+// Everything is derived from (seed, index): generating the same case twice
+// yields byte-identical workloads, configurations, and input tensors, so a
+// divergence found on one machine replays exactly on another.
+package crosscheck
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/graph"
+	"repro/internal/npu"
+	"repro/internal/tensor"
+)
+
+// WorkloadSpec describes one generated model fragment. It is a closed,
+// serializable description (never a raw graph) so cases round-trip through
+// the repro JSON and rebuild bit-identically.
+type WorkloadSpec struct {
+	// Kind selects the fragment family: gemm, gemm-epi, chain, mlp,
+	// softmax, layernorm.
+	Kind string `json:"kind"`
+	// GEMM-family dimensions (gemm, gemm-epi, chain, softmax, layernorm).
+	M int `json:"m,omitempty"`
+	K int `json:"k,omitempty"`
+	N int `json:"n,omitempty"`
+	// Epilogue for gemm-epi: bias, relu, bias-relu, gelu.
+	Epilogue string `json:"epilogue,omitempty"`
+	// Depth is the number of chained matmuls (chain).
+	Depth int `json:"depth,omitempty"`
+	// MLP shape (mlp).
+	Batch   int `json:"batch,omitempty"`
+	In      int `json:"in,omitempty"`
+	Hidden  int `json:"hidden,omitempty"`
+	Classes int `json:"classes,omitempty"`
+}
+
+// Build captures the fragment as a compiler-ready graph. Every fragment is
+// convolution-free so the compiled program stays functionally executable
+// (convolutions lower to timing-only TOGs; see DESIGN.md).
+func (w WorkloadSpec) Build() (*graph.Graph, error) {
+	switch w.Kind {
+	case "gemm":
+		g := graph.New(fmt.Sprintf("xc-gemm-%dx%dx%d", w.M, w.K, w.N))
+		x := g.Input("x", w.M, w.K)
+		wt := g.Param("w", w.K, w.N)
+		mm := g.Add(&graph.Node{Op: graph.OpMatMul, Name: "mm", Inputs: []int{x.ID, wt.ID}, Shape: []int{w.M, w.N}})
+		g.Outputs = []int{mm.ID}
+		return g, nil
+	case "gemm-epi":
+		g := graph.New(fmt.Sprintf("xc-gemm-epi-%s-%dx%dx%d", w.Epilogue, w.M, w.K, w.N))
+		x := g.Input("x", w.M, w.K)
+		wt := g.Param("w", w.K, w.N)
+		cur := g.Add(&graph.Node{Op: graph.OpMatMul, Name: "mm", Inputs: []int{x.ID, wt.ID}, Shape: []int{w.M, w.N}})
+		switch w.Epilogue {
+		case "bias", "bias-relu":
+			b := g.Param("b", w.N)
+			cur = g.Add(&graph.Node{Op: graph.OpBiasAdd, Name: "bias", Inputs: []int{cur.ID, b.ID}, Shape: []int{w.M, w.N}})
+		case "relu", "gelu":
+		default:
+			return nil, fmt.Errorf("crosscheck: unknown epilogue %q", w.Epilogue)
+		}
+		switch w.Epilogue {
+		case "relu", "bias-relu":
+			cur = g.Add(&graph.Node{Op: graph.OpReLU, Name: "act", Inputs: []int{cur.ID}, Shape: []int{w.M, w.N}})
+		case "gelu":
+			cur = g.Add(&graph.Node{Op: graph.OpGELU, Name: "act", Inputs: []int{cur.ID}, Shape: []int{w.M, w.N}})
+		}
+		g.Outputs = []int{cur.ID}
+		return g, nil
+	case "chain":
+		// Depth matmuls through square KxK weights, ReLU between stages:
+		// exercises multi-TOG programs and inter-layer tensor reuse.
+		if w.Depth < 1 {
+			return nil, fmt.Errorf("crosscheck: chain depth %d", w.Depth)
+		}
+		g := graph.New(fmt.Sprintf("xc-chain-%d-%dx%d", w.Depth, w.M, w.K))
+		cur := g.Input("x", w.M, w.K)
+		for i := 0; i < w.Depth; i++ {
+			wt := g.Param(fmt.Sprintf("w%d", i), w.K, w.K)
+			cur = g.Add(&graph.Node{Op: graph.OpMatMul, Name: fmt.Sprintf("mm%d", i),
+				Inputs: []int{cur.ID, wt.ID}, Shape: []int{w.M, w.K}})
+			if i < w.Depth-1 {
+				cur = g.Add(&graph.Node{Op: graph.OpReLU, Name: fmt.Sprintf("relu%d", i),
+					Inputs: []int{cur.ID}, Shape: []int{w.M, w.K}})
+			}
+		}
+		g.Outputs = []int{cur.ID}
+		return g, nil
+	case "mlp":
+		g := graph.New(fmt.Sprintf("xc-mlp-%d-%d-%d-%d", w.Batch, w.In, w.Hidden, w.Classes))
+		x := g.Input("x", w.Batch, w.In)
+		w1 := g.Param("w1", w.In, w.Hidden)
+		b1 := g.Param("b1", w.Hidden)
+		w2 := g.Param("w2", w.Hidden, w.Classes)
+		b2 := g.Param("b2", w.Classes)
+		h := g.Add(&graph.Node{Op: graph.OpMatMul, Name: "fc1", Inputs: []int{x.ID, w1.ID}, Shape: []int{w.Batch, w.Hidden}})
+		h = g.Add(&graph.Node{Op: graph.OpBiasAdd, Name: "fc1b", Inputs: []int{h.ID, b1.ID}, Shape: []int{w.Batch, w.Hidden}})
+		h = g.Add(&graph.Node{Op: graph.OpReLU, Name: "act1", Inputs: []int{h.ID}, Shape: []int{w.Batch, w.Hidden}})
+		o := g.Add(&graph.Node{Op: graph.OpMatMul, Name: "fc2", Inputs: []int{h.ID, w2.ID}, Shape: []int{w.Batch, w.Classes}})
+		o = g.Add(&graph.Node{Op: graph.OpBiasAdd, Name: "fc2b", Inputs: []int{o.ID, b2.ID}, Shape: []int{w.Batch, w.Classes}})
+		g.Outputs = []int{o.ID}
+		return g, nil
+	case "softmax":
+		g := graph.New(fmt.Sprintf("xc-softmax-%dx%dx%d", w.M, w.K, w.N))
+		x := g.Input("x", w.M, w.K)
+		wt := g.Param("w", w.K, w.N)
+		mm := g.Add(&graph.Node{Op: graph.OpMatMul, Name: "mm", Inputs: []int{x.ID, wt.ID}, Shape: []int{w.M, w.N}})
+		sm := g.Add(&graph.Node{Op: graph.OpSoftmax, Name: "sm", Inputs: []int{mm.ID}, Shape: []int{w.M, w.N}})
+		g.Outputs = []int{sm.ID}
+		return g, nil
+	case "layernorm":
+		g := graph.New(fmt.Sprintf("xc-ln-%dx%dx%d", w.M, w.K, w.N))
+		x := g.Input("x", w.M, w.K)
+		wt := g.Param("w", w.K, w.N)
+		gam := g.Param("gamma", w.N)
+		bet := g.Param("beta", w.N)
+		mm := g.Add(&graph.Node{Op: graph.OpMatMul, Name: "mm", Inputs: []int{x.ID, wt.ID}, Shape: []int{w.M, w.N}})
+		ln := g.Add(&graph.Node{Op: graph.OpLayerNorm, Name: "ln", Eps: 1e-5,
+			Inputs: []int{mm.ID, gam.ID, bet.ID}, Shape: []int{w.M, w.N}})
+		g.Outputs = []int{ln.ID}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("crosscheck: unknown workload kind %q", w.Kind)
+	}
+}
+
+// Case is one fully specified differential-check input: a workload, a
+// target NPU, compiler options, and the run shape. Cases serialize to JSON
+// (the repro format) and rebuild deterministically.
+type Case struct {
+	// Seed is the per-case tensor seed (inputs, parameters).
+	Seed uint64 `json:"seed"`
+	// Index is the case's position in its generation stream (diagnostic).
+	Index int `json:"index"`
+
+	Workload WorkloadSpec     `json:"workload"`
+	NPU      npu.Config       `json:"npu"`
+	Opts     compiler.Options `json:"opts"`
+
+	// Net selects the interconnect model: "sn" or "cn".
+	Net string `json:"net"`
+	// Workers is the parallel compile width the compile-workers oracle
+	// compares against a serial compile (>= 2).
+	Workers int `json:"workers"`
+	// Jobs is the number of concurrent TLS jobs (1 or 2; 2 places a second
+	// copy of the model on core 1 with the given arrival offset).
+	Jobs    int   `json:"jobs"`
+	Arrival int64 `json:"arrival,omitempty"`
+}
+
+// Generate derives case `index` of stream `seed`. The mapping is pure:
+// the same (seed, index) always yields the same case.
+func Generate(seed uint64, index int) Case {
+	// Mix stream seed and index through SplitMix so neighbouring indices
+	// produce unrelated cases.
+	r := tensor.NewRNG(seed ^ (uint64(index)+1)*0x9e3779b97f4a7c15)
+	cs := Case{
+		Seed:     r.Uint64(),
+		Index:    index,
+		Workload: genWorkload(r),
+		NPU:      genConfig(r),
+		Opts:     genOptions(r),
+		Net:      "sn",
+		Workers:  2 + r.Intn(6),
+		Jobs:     1,
+	}
+	if r.Intn(4) == 0 {
+		cs.Net = "cn"
+	}
+	if r.Intn(3) == 0 {
+		cs.Jobs = 2
+		cs.Arrival = int64(r.Intn(20000))
+	}
+	if cs.Jobs > cs.NPU.Cores {
+		cs.NPU.Cores = cs.Jobs
+	}
+	return cs
+}
+
+// dim draws a matrix dimension: usually mid-sized, often tiny so the
+// single-tile and partial-tile edge cases stay hot.
+func dim(r *tensor.RNG) int {
+	if r.Intn(3) == 0 {
+		return 1 + r.Intn(8)
+	}
+	return 1 + r.Intn(96)
+}
+
+func genWorkload(r *tensor.RNG) WorkloadSpec {
+	switch r.Intn(6) {
+	case 0:
+		return WorkloadSpec{Kind: "gemm", M: dim(r), K: dim(r), N: dim(r)}
+	case 1:
+		epis := []string{"bias", "relu", "bias-relu", "gelu"}
+		return WorkloadSpec{Kind: "gemm-epi", M: dim(r), K: dim(r), N: dim(r), Epilogue: epis[r.Intn(len(epis))]}
+	case 2:
+		return WorkloadSpec{Kind: "chain", M: dim(r), K: 1 + r.Intn(64), Depth: 2 + r.Intn(3)}
+	case 3:
+		return WorkloadSpec{Kind: "mlp", Batch: 1 + r.Intn(16), In: 1 + r.Intn(64),
+			Hidden: 1 + r.Intn(64), Classes: 1 + r.Intn(32)}
+	case 4:
+		return WorkloadSpec{Kind: "softmax", M: dim(r), K: 1 + r.Intn(64), N: 2 + r.Intn(64)}
+	default:
+		return WorkloadSpec{Kind: "layernorm", M: dim(r), K: 1 + r.Intn(64), N: 2 + r.Intn(64)}
+	}
+}
+
+// genConfig perturbs the small test machine: every draw keeps the machine
+// valid (scratchpad large enough for the generated shapes, NoC flit ==
+// DRAM burst) while sweeping the dimensions that historically shift
+// timing — SA geometry, vector width, scratchpad, channel count, and the
+// unit/memory latencies.
+func genConfig(r *tensor.RNG) npu.Config {
+	cfg := npu.SmallConfig()
+	sa := []int{4, 8, 16}[r.Intn(3)]
+	cfg.Core.SARows, cfg.Core.SACols = sa, sa
+	cfg.Core.NumSAs = 1 + r.Intn(2)
+	cfg.Core.NumVectorUnits = []int{2, 4, 8}[r.Intn(3)]
+	cfg.Core.LanesPerUnit = []int{2, 4, 8}[r.Intn(3)]
+	// Keep the machine targetable: GEMM kernels stage one SA row per vector
+	// load, so VLEN must cover the array (npu.CoreConfig.Validate).
+	for cfg.Core.VLEN() < sa {
+		cfg.Core.LanesPerUnit *= 2
+	}
+	cfg.Core.SpadBytes = []int{64 << 10, 128 << 10, 256 << 10}[r.Intn(3)]
+	cfg.Core.DesFIFORows = []int{32, 64, 128}[r.Intn(3)]
+	cfg.Core.VectorLatency = 1 + r.Intn(4)
+	cfg.Core.SFULatency = 4 + r.Intn(8)
+	cfg.Core.MemLatency = 1 + r.Intn(4)
+	cfg.Core.FloatLatency = 2 + r.Intn(4)
+	cfg.Mem.Channels = []int{1, 2, 4}[r.Intn(3)]
+	cfg.Mem.BanksPerChan = []int{2, 4, 8}[r.Intn(3)]
+	cfg.Mem.RowBytes = []int{256, 512, 1024}[r.Intn(3)]
+	cfg.Mem.TCL = 4 + r.Intn(8)
+	cfg.Mem.TRCD = 4 + r.Intn(8)
+	cfg.Mem.TRP = 4 + r.Intn(8)
+	cfg.NoC.LatencyCycle = 1 + r.Intn(8)
+	return cfg
+}
+
+func genOptions(r *tensor.RNG) compiler.Options {
+	opts := compiler.DefaultOptions()
+	opts.Fusion = r.Intn(4) != 0
+	opts.DMA = []compiler.DMAMode{compiler.DMASelective, compiler.DMACoarse, compiler.DMAFine}[r.Intn(3)]
+	opts.MaxMt = []int{0, 32, 64, 128}[r.Intn(4)]
+	if r.Intn(4) == 0 {
+		opts.FineThresholdBytes = 4096
+	}
+	return opts
+}
+
+// Env builds the seeded input/parameter binding for the case's graph: every
+// leaf tensor gets unit-normal values from the case seed, so a replayed
+// case sees byte-identical data.
+func (cs Case) Env(g *graph.Graph) *graph.Env {
+	r := tensor.NewRNG(cs.Seed)
+	env := graph.NewEnv()
+	for _, n := range g.Nodes {
+		switch n.Op {
+		case graph.OpInput, graph.OpParam:
+			env.Set(n.Name, tensor.RandNormal(r, 0, 1, n.Shape...))
+		}
+	}
+	return env
+}
+
+// String is a compact one-line description for logs.
+func (cs Case) String() string {
+	w := cs.Workload
+	shape := ""
+	switch w.Kind {
+	case "mlp":
+		shape = fmt.Sprintf("%d/%d/%d/%d", w.Batch, w.In, w.Hidden, w.Classes)
+	case "chain":
+		shape = fmt.Sprintf("%dx%d depth=%d", w.M, w.K, w.Depth)
+	default:
+		shape = fmt.Sprintf("%dx%dx%d", w.M, w.K, w.N)
+	}
+	return fmt.Sprintf("case %d [%s %s] sa=%dx%d vec=%dx%d spad=%dK ch=%d net=%s jobs=%d opts{fusion=%v dma=%s mt=%d}",
+		cs.Index, w.Kind, shape, cs.NPU.Core.SARows, cs.NPU.Core.SACols,
+		cs.NPU.Core.NumVectorUnits, cs.NPU.Core.LanesPerUnit, cs.NPU.Core.SpadBytes>>10,
+		cs.NPU.Mem.Channels, cs.Net, cs.Jobs, cs.Opts.Fusion, cs.Opts.DMA, cs.Opts.MaxMt)
+}

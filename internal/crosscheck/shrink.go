@@ -1,0 +1,223 @@
+package crosscheck
+
+import (
+	"fmt"
+
+	"repro/internal/compiler"
+	"repro/internal/npu"
+)
+
+// DefaultMaxShrinkSteps bounds accepted reductions per shrink.
+const DefaultMaxShrinkSteps = 64
+
+// size scores a case for the shrinker: smaller is simpler. Every candidate
+// move strictly reduces it, so greedy shrinking terminates.
+func size(cs Case) int {
+	w := cs.Workload
+	s := w.M + w.K + w.N + w.Batch + w.In + w.Hidden + w.Classes + 16*w.Depth
+	if w.Kind != "gemm" {
+		s += 32
+	}
+	if w.Epilogue != "" {
+		s += 8
+	}
+	if cs.Jobs > 1 {
+		s += 24
+	}
+	if cs.Net == "cn" {
+		s += 8
+	}
+	if cs.Workers > 2 {
+		s += cs.Workers
+	}
+	s += 4 * configDeviation(cs.NPU)
+	s += 4 * optionsDeviation(cs.Opts)
+	return s
+}
+
+// configDeviation counts fields differing from the small reference machine.
+func configDeviation(cfg npu.Config) int {
+	ref := npu.SmallConfig()
+	ref.Cores = cfg.Cores // core count is the job shape's business
+	n := 0
+	for _, d := range []bool{
+		cfg.Core.SARows != ref.Core.SARows,
+		cfg.Core.SACols != ref.Core.SACols,
+		cfg.Core.NumSAs != ref.Core.NumSAs,
+		cfg.Core.NumVectorUnits != ref.Core.NumVectorUnits,
+		cfg.Core.LanesPerUnit != ref.Core.LanesPerUnit,
+		cfg.Core.SpadBytes != ref.Core.SpadBytes,
+		cfg.Core.DesFIFORows != ref.Core.DesFIFORows,
+		cfg.Core.VectorLatency != ref.Core.VectorLatency,
+		cfg.Core.SFULatency != ref.Core.SFULatency,
+		cfg.Core.MemLatency != ref.Core.MemLatency,
+		cfg.Core.FloatLatency != ref.Core.FloatLatency,
+		cfg.Mem.Channels != ref.Mem.Channels,
+		cfg.Mem.BanksPerChan != ref.Mem.BanksPerChan,
+		cfg.Mem.RowBytes != ref.Mem.RowBytes,
+		cfg.Mem.TCL != ref.Mem.TCL,
+		cfg.Mem.TRCD != ref.Mem.TRCD,
+		cfg.Mem.TRP != ref.Mem.TRP,
+		cfg.NoC.LatencyCycle != ref.NoC.LatencyCycle,
+	} {
+		if d {
+			n++
+		}
+	}
+	return n
+}
+
+func optionsDeviation(o compiler.Options) int {
+	def := compiler.DefaultOptions()
+	n := 0
+	if o.Fusion != def.Fusion {
+		n++
+	}
+	if o.DMA != def.DMA {
+		n++
+	}
+	if o.MaxMt != def.MaxMt {
+		n++
+	}
+	if o.FineThresholdBytes != def.FineThresholdBytes {
+		n++
+	}
+	return n
+}
+
+// candidates proposes strictly smaller variants of cs, most aggressive
+// first: collapse the workload to a plain GEMM, zero out run-shape
+// complexity, reset the machine, then chip away at individual dimensions.
+func candidates(cs Case) []Case {
+	var out []Case
+	add := func(mut func(*Case)) {
+		c := cs
+		mut(&c)
+		if size(c) < size(cs) {
+			out = append(out, c)
+		}
+	}
+	w := cs.Workload
+
+	// Collapse the workload family to a plain GEMM of comparable shape.
+	if w.Kind != "gemm" {
+		add(func(c *Case) {
+			g := WorkloadSpec{Kind: "gemm", M: w.M, K: w.K, N: w.N}
+			switch w.Kind {
+			case "mlp":
+				g.M, g.K, g.N = w.Batch, w.In, w.Hidden
+			case "chain":
+				g.N = w.K
+			}
+			if g.M < 1 {
+				g.M = 1
+			}
+			if g.K < 1 {
+				g.K = 1
+			}
+			if g.N < 1 {
+				g.N = 1
+			}
+			c.Workload = g
+		})
+	}
+	if w.Epilogue != "" {
+		add(func(c *Case) { c.Workload.Epilogue = "" })
+	}
+	if w.Depth > 1 {
+		add(func(c *Case) { c.Workload.Depth = 1 })
+		add(func(c *Case) { c.Workload.Depth-- })
+	}
+	// Run-shape simplifications.
+	if cs.Jobs > 1 {
+		add(func(c *Case) { c.Jobs, c.Arrival = 1, 0 })
+	}
+	if cs.Net == "cn" {
+		add(func(c *Case) { c.Net = "sn" })
+	}
+	if cs.Workers > 2 {
+		add(func(c *Case) { c.Workers = 2 })
+	}
+	// Machine and compiler-option resets: whole, then field by field.
+	if configDeviation(cs.NPU) > 0 {
+		add(func(c *Case) {
+			ref := npu.SmallConfig()
+			ref.Cores = c.NPU.Cores
+			c.NPU = ref
+		})
+		ref := npu.SmallConfig()
+		add(func(c *Case) { c.NPU.Core = ref.Core })
+		add(func(c *Case) { c.NPU.Mem = ref.Mem })
+		add(func(c *Case) { c.NPU.NoC = ref.NoC })
+	}
+	if optionsDeviation(cs.Opts) > 0 {
+		add(func(c *Case) { c.Opts = compiler.DefaultOptions() })
+	}
+	// Dimension reductions: aim for 1 first, then halve, per dimension.
+	for _, dim := range []struct {
+		get func(*WorkloadSpec) *int
+		min int
+	}{
+		{func(w *WorkloadSpec) *int { return &w.M }, 1},
+		{func(w *WorkloadSpec) *int { return &w.K }, 1},
+		{func(w *WorkloadSpec) *int { return &w.N }, minN(w.Kind)},
+		{func(w *WorkloadSpec) *int { return &w.Batch }, 1},
+		{func(w *WorkloadSpec) *int { return &w.In }, 1},
+		{func(w *WorkloadSpec) *int { return &w.Hidden }, 1},
+		{func(w *WorkloadSpec) *int { return &w.Classes }, 1},
+	} {
+		d := dim
+		cur := *d.get(&w)
+		if cur > d.min {
+			add(func(c *Case) { *d.get(&c.Workload) = d.min })
+			if cur/2 > d.min {
+				add(func(c *Case) { *d.get(&c.Workload) = cur / 2 })
+			}
+		}
+	}
+	return out
+}
+
+// minN is the smallest legal last dimension for a workload kind (softmax
+// and layernorm rows need at least two elements to be interesting and the
+// reference executors require >= 2 columns for layernorm variance).
+func minN(kind string) int {
+	switch kind {
+	case "softmax", "layernorm":
+		return 2
+	default:
+		return 1
+	}
+}
+
+// Shrink greedily minimizes a failing case: it repeatedly tries candidate
+// reductions and accepts any that still fails the same oracle, until no
+// candidate helps or the step budget is spent. The result is a Failure
+// with the smallest case found (possibly the original) and that case's
+// up-to-date divergence detail.
+func (ck *Checker) Shrink(fail Failure) Failure {
+	budget := ck.MaxShrinkSteps
+	if budget <= 0 {
+		budget = DefaultMaxShrinkSteps
+	}
+	cur := fail
+	for budget > 0 {
+		improved := false
+		for _, cand := range candidates(cur.Case) {
+			got := ck.RunCase(cand)
+			if got != nil && got.Oracle == cur.Oracle {
+				if ck.Log != nil {
+					fmt.Fprintf(ck.Log, "shrink: %d -> %d (%s)\n", size(cur.Case), size(cand), cand.String())
+				}
+				cur = *got
+				improved = true
+				budget--
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return cur
+}

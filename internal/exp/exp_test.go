@@ -24,6 +24,9 @@ func TestWorkloadsBuild(t *testing.T) {
 }
 
 func TestFig5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2: full accuracy sweep, ~60s (DESIGN.md \"Test tiers\")")
+	}
 	res, err := Fig5(expCfg(), true)
 	if err != nil {
 		t.Fatal(err)
@@ -69,6 +72,9 @@ func TestFig6Quick(t *testing.T) {
 }
 
 func TestFig7aQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2: heterogeneous co-location sweep, ~7s (DESIGN.md \"Test tiers\")")
+	}
 	res, err := Fig7a(expCfg(), true)
 	if err != nil {
 		t.Fatal(err)
@@ -84,6 +90,9 @@ func TestFig7aQuick(t *testing.T) {
 }
 
 func TestFig7bQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2: multi-tenant BERT+ResNet sweep, ~60s (DESIGN.md \"Test tiers\")")
+	}
 	res, err := Fig7b(expCfg(), true)
 	if err != nil {
 		t.Fatal(err)
@@ -115,6 +124,9 @@ func TestFig8aQuick(t *testing.T) {
 }
 
 func TestFig8bQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2: conv tiling sweep, ~30s (DESIGN.md \"Test tiers\")")
+	}
 	res, err := Fig8b(expCfg(), true)
 	if err != nil {
 		t.Fatal(err)
@@ -141,6 +153,9 @@ func TestFig8cQuick(t *testing.T) {
 }
 
 func TestFig9Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2: chiplet mapping sweep, ~7s (DESIGN.md \"Test tiers\")")
+	}
 	res, err := Fig9(expCfg(), true)
 	if err != nil {
 		t.Fatal(err)
@@ -155,6 +170,9 @@ func TestFig9Quick(t *testing.T) {
 }
 
 func TestFig10Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2: training batch sweep, ~7s (DESIGN.md \"Test tiers\")")
+	}
 	res, err := Fig10(expCfg(), true)
 	if err != nil {
 		t.Fatal(err)

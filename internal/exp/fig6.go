@@ -35,6 +35,17 @@ func Fig6(cfg npu.Config, quick bool) (*Fig6Result, error) {
 	if quick {
 		sizes = []int{128, 256}
 	}
+	// Untimed warmup so the first timed row does not absorb one-time process
+	// costs (page faults, heap growth, cold code paths): on the quick sizes
+	// those costs rival the measurement itself.
+	if warm, err := sim.Compile(GEMMGraph(64)); err == nil {
+		if _, err := sim.SimulateTLS(warm, core.SimpleNet); err != nil {
+			return nil, err
+		}
+		if _, _, err := sim.SimulateILS(warm, core.SimpleNet); err != nil {
+			return nil, err
+		}
+	}
 	res := &Fig6Result{}
 	for _, n := range sizes {
 		g := GEMMGraph(n)

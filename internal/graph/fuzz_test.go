@@ -1,0 +1,40 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The native fuzz target promotes the package's testing/quick property:
+// the same seed-driven body runs under quick.Check in the unit suite, over
+// the checked-in corpus (testdata/fuzz) in every plain `go test`, and under
+// coverage-guided mutation via `go test -fuzz` / `make fuzz-smoke`.
+
+// propSoftmaxGraph: executing a softmax node matches the tensor-level
+// reference for any shape and input scale.
+func propSoftmaxGraph(seed uint64) bool {
+	r := tensor.NewRNG(seed)
+	m, n := 1+r.Intn(5), 2+r.Intn(16)
+	x := tensor.RandNormal(r, 0, 3, m, n)
+	g := New("sm")
+	xn := g.Input("x", m, n)
+	sm := g.Add(&Node{Op: OpSoftmax, Inputs: []int{xn.ID}, Shape: []int{m, n}})
+	g.Outputs = []int{sm.ID}
+	vals, err := Execute(g, NewEnv().Set("x", x))
+	if err != nil {
+		return false
+	}
+	return tensor.AllClose(vals[sm.ID], tensor.Softmax(x), 1e-5, 1e-5)
+}
+
+func FuzzSoftmaxGraph(f *testing.F) {
+	for s := uint64(0); s < 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if !propSoftmaxGraph(seed) {
+			t.Fatalf("graph softmax diverges from tensor.Softmax (seed %d)", seed)
+		}
+	})
+}

@@ -266,21 +266,8 @@ func TestUnboundInputErrors(t *testing.T) {
 }
 
 func TestSoftmaxGraphMatchesReference(t *testing.T) {
-	f := func(seed uint64) bool {
-		r := tensor.NewRNG(seed)
-		m, n := 1+r.Intn(5), 2+r.Intn(16)
-		x := tensor.RandNormal(r, 0, 3, m, n)
-		g := New("sm")
-		xn := g.Input("x", m, n)
-		sm := g.Add(&Node{Op: OpSoftmax, Inputs: []int{xn.ID}, Shape: []int{m, n}})
-		g.Outputs = []int{sm.ID}
-		vals, err := Execute(g, NewEnv().Set("x", x))
-		if err != nil {
-			return false
-		}
-		return tensor.AllClose(vals[sm.ID], tensor.Softmax(x), 1e-5, 1e-5)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+	// Property body shared with FuzzSoftmaxGraph (fuzz_test.go).
+	if err := quick.Check(propSoftmaxGraph, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -3,6 +3,8 @@
 // functional simulator, the core timing simulator, and TOGSim.
 package npu
 
+import "fmt"
+
 // CoreConfig describes one NPU core (Fig. 2 of the paper): scalar unit,
 // N vector units of L lanes each, one or more weight-stationary systolic
 // arrays behind a VCIX-like interface, a software-managed scratchpad, and a
@@ -30,6 +32,26 @@ func (c CoreConfig) VLEN() int { return c.NumVectorUnits * c.LanesPerUnit }
 
 // VectorThroughput returns elements processed per cycle by the vector ALUs.
 func (c CoreConfig) VectorThroughput() int { return c.VLEN() }
+
+// Validate rejects core shapes the code generator cannot target. GEMM
+// kernels stage one systolic-array row (up to SARows input elements) or one
+// output row (up to SACols elements) per vector instruction, so VLEN must
+// cover both array dimensions. SETVL silently clamps to VLEN, so an
+// undersized vector unit would drop tail elements and corrupt results
+// rather than merely run slowly.
+func (c CoreConfig) Validate() error {
+	if c.SARows <= 0 || c.SACols <= 0 || c.NumSAs <= 0 {
+		return fmt.Errorf("npu: systolic array shape %dx%d x%d must be positive", c.SARows, c.SACols, c.NumSAs)
+	}
+	if c.NumVectorUnits <= 0 || c.LanesPerUnit <= 0 {
+		return fmt.Errorf("npu: vector shape %d units x %d lanes must be positive", c.NumVectorUnits, c.LanesPerUnit)
+	}
+	if v := c.VLEN(); v < c.SARows || v < c.SACols {
+		return fmt.Errorf("npu: VLEN %d (%d units x %d lanes) is smaller than the %dx%d systolic array: a tile row must fit one vector load",
+			v, c.NumVectorUnits, c.LanesPerUnit, c.SARows, c.SACols)
+	}
+	return nil
+}
 
 // MACsPerCycle returns peak MACs per cycle across the core's SAs.
 func (c CoreConfig) MACsPerCycle() int64 {

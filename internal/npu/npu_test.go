@@ -118,37 +118,8 @@ func TestDMADescNormalizeDefaults(t *testing.T) {
 }
 
 func TestDMARunInOutRoundTrip(t *testing.T) {
-	f := func(seed uint64) bool {
-		r := tensor.NewRNG(seed)
-		rows, cols := 1+r.Intn(8), 1+r.Intn(8)
-		stride := cols*4 + 4*r.Intn(4)
-		dram := NewPagedMem()
-		spad := NewScratchpad(64 << 10)
-		src := tensor.RandNormal(r, 0, 1, rows, cols)
-		for i := 0; i < rows; i++ {
-			for j := 0; j < cols; j++ {
-				dram.StoreF(uint64(i*stride+j*4), src.At(i, j))
-			}
-		}
-		d := DMADesc{Rows: rows, Cols: cols, DRAMStride: stride}
-		if d.RunIn(dram, spad, 0, isa.SpadBase) != nil {
-			return false
-		}
-		// Copy back to a different DRAM region and compare.
-		outBase := uint64(1 << 20)
-		if d.RunOut(dram, spad, outBase, isa.SpadBase) != nil {
-			return false
-		}
-		for i := 0; i < rows; i++ {
-			for j := 0; j < cols; j++ {
-				if dram.LoadF(outBase+uint64(i*stride+j*4)) != src.At(i, j) {
-					return false
-				}
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+	// Property body shared with FuzzDMARoundTrip (fuzz_test.go).
+	if err := quick.Check(propDMARoundTrip, &quick.Config{MaxCount: 30}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -227,24 +198,31 @@ func TestDMARangesCoalesced(t *testing.T) {
 }
 
 func TestDMARangesTotalMatchesTotalBytes(t *testing.T) {
-	f := func(seed uint64) bool {
-		r := tensor.NewRNG(seed)
-		d := DMADesc{
-			Rows:       1 + r.Intn(6),
-			Cols:       1 + r.Intn(6),
-			DRAMStride: 0,
-			Outer:      1 + r.Intn(3),
-		}
-		if r.Intn(2) == 0 {
-			d.DRAMStride = d.Cols*4 + 4*(1+r.Intn(3))
-		}
-		total := 0
-		for _, rg := range d.DRAMRanges(0) {
-			total += rg.Bytes
-		}
-		return total == d.TotalBytes()
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	// Property body shared with FuzzDMARangesTotal (fuzz_test.go).
+	if err := quick.Check(propDMARangesTotal, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestCoreConfigValidate(t *testing.T) {
+	for _, cfg := range []CoreConfig{SmallConfig().Core, TPUv3Config().Core} {
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("stock config invalid: %v", err)
+		}
+	}
+	bad := SmallConfig().Core
+	bad.NumVectorUnits, bad.LanesPerUnit = 1, bad.SARows-1
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("VLEN %d < SA %dx%d accepted", bad.VLEN(), bad.SARows, bad.SACols)
+	}
+	bad = SmallConfig().Core
+	bad.SARows = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("zero SARows accepted")
+	}
+	bad = SmallConfig().Core
+	bad.LanesPerUnit = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatalf("zero LanesPerUnit accepted")
 	}
 }

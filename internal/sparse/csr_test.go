@@ -8,18 +8,8 @@ import (
 )
 
 func TestFromDenseToDenseRoundTrip(t *testing.T) {
-	f := func(seed uint64) bool {
-		r := tensor.NewRNG(seed)
-		rows, cols := 1+r.Intn(12), 1+r.Intn(12)
-		d := tensor.New(rows, cols)
-		for i := range d.Data {
-			if r.Float64() < 0.3 {
-				d.Data[i] = float32(r.Norm())
-			}
-		}
-		return tensor.AllClose(FromDense(d).ToDense(), d, 0, 0)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	// Property body shared with FuzzDenseRoundTrip (fuzz_test.go).
+	if err := quick.Check(propDenseRoundTrip, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -80,16 +70,8 @@ func TestTransposeMatchesDense(t *testing.T) {
 }
 
 func TestSpMMMatchesDense(t *testing.T) {
-	f := func(seed uint64) bool {
-		r := tensor.NewRNG(seed)
-		m, k, n := 1+r.Intn(10), 1+r.Intn(10), 1+r.Intn(10)
-		a := Random(r, m, k, 0.4)
-		b := tensor.RandNormal(r, 0, 1, k, n)
-		got := SpMM(a, b)
-		want := tensor.MatMul(a.ToDense(), b)
-		return tensor.AllClose(got, want, 1e-4, 1e-4)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	// Property body shared with FuzzSpMM (fuzz_test.go).
+	if err := quick.Check(propSpMM, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,0 +1,56 @@
+package sparse
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The native fuzz targets promote the package's testing/quick properties:
+// the same seed-driven bodies run under quick.Check in the unit suite, over
+// the checked-in corpus (testdata/fuzz) in every plain `go test`, and under
+// coverage-guided mutation via `go test -fuzz` / `make fuzz-smoke`.
+
+// propDenseRoundTrip: CSR conversion is lossless for any density pattern.
+func propDenseRoundTrip(seed uint64) bool {
+	r := tensor.NewRNG(seed)
+	rows, cols := 1+r.Intn(12), 1+r.Intn(12)
+	d := tensor.New(rows, cols)
+	for i := range d.Data {
+		if r.Float64() < 0.3 {
+			d.Data[i] = float32(r.Norm())
+		}
+	}
+	return tensor.AllClose(FromDense(d).ToDense(), d, 0, 0)
+}
+
+// propSpMM: sparse-dense multiply matches the dense product.
+func propSpMM(seed uint64) bool {
+	r := tensor.NewRNG(seed)
+	m, k, n := 1+r.Intn(10), 1+r.Intn(10), 1+r.Intn(10)
+	a := Random(r, m, k, 0.4)
+	b := tensor.RandNormal(r, 0, 1, k, n)
+	return tensor.AllClose(SpMM(a, b), tensor.MatMul(a.ToDense(), b), 1e-4, 1e-4)
+}
+
+func FuzzDenseRoundTrip(f *testing.F) {
+	for s := uint64(0); s < 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if !propDenseRoundTrip(seed) {
+			t.Fatalf("FromDense/ToDense round trip lost values (seed %d)", seed)
+		}
+	})
+}
+
+func FuzzSpMM(f *testing.F) {
+	for s := uint64(0); s < 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if !propSpMM(seed) {
+			t.Fatalf("SpMM diverges from dense product (seed %d)", seed)
+		}
+	})
+}

@@ -1,0 +1,60 @@
+package systolic
+
+import (
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// The native fuzz targets promote the package's testing/quick properties:
+// the same seed-driven bodies run under quick.Check in the unit suite, over
+// the checked-in corpus (testdata/fuzz) in every plain `go test`, and under
+// coverage-guided mutation via `go test -fuzz` / `make fuzz-smoke`.
+
+// propFunctionalGEMM: any GEMM whose tile fits the array matches the dense
+// reference within float32 noise.
+func propFunctionalGEMM(seed uint64) bool {
+	r := tensor.NewRNG(seed)
+	m, k, n := 1+r.Intn(10), 1+r.Intn(8), 1+r.Intn(8)
+	in := tensor.RandNormal(r, 0, 1, m, k)
+	w := tensor.RandNormal(r, 0, 1, k, n)
+	a := New(8, 8)
+	got := pushGEMMQuiet(a, in, w)
+	if got == nil {
+		return false
+	}
+	return tensor.AllClose(got, tensor.MatMul(in, w), 1e-4, 1e-4)
+}
+
+// propTileCyclesMonotonic: growing any GEMM dimension strictly increases
+// the analytic tile latency.
+func propTileCyclesMonotonic(seed uint64) bool {
+	r := tensor.NewRNG(seed)
+	m, k, n := 1+r.Intn(100), 1+r.Intn(100), 1+r.Intn(100)
+	base := GEMMTileCycles(m, k, n)
+	return GEMMTileCycles(m+1, k, n) > base &&
+		GEMMTileCycles(m, k+1, n) > base &&
+		GEMMTileCycles(m, k, n+1) > base
+}
+
+func FuzzFunctionalGEMM(f *testing.F) {
+	for s := uint64(0); s < 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if !propFunctionalGEMM(seed) {
+			t.Fatalf("functional GEMM diverges from dense reference (seed %d)", seed)
+		}
+	})
+}
+
+func FuzzGEMMTileCyclesMonotonic(f *testing.F) {
+	for s := uint64(0); s < 8; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		if !propTileCyclesMonotonic(seed) {
+			t.Fatalf("GEMMTileCycles is not strictly monotonic (seed %d)", seed)
+		}
+	})
+}

@@ -33,19 +33,8 @@ func pushGEMM(t *testing.T, a *Array, in, w *tensor.Tensor) *tensor.Tensor {
 }
 
 func TestFunctionalGEMMMatchesReference(t *testing.T) {
-	f := func(seed uint64) bool {
-		r := tensor.NewRNG(seed)
-		m, k, n := 1+r.Intn(10), 1+r.Intn(8), 1+r.Intn(8)
-		in := tensor.RandNormal(r, 0, 1, m, k)
-		w := tensor.RandNormal(r, 0, 1, k, n)
-		a := New(8, 8)
-		got := pushGEMMQuiet(a, in, w)
-		if got == nil {
-			return false
-		}
-		return tensor.AllClose(got, tensor.MatMul(in, w), 1e-4, 1e-4)
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+	// Property body shared with FuzzFunctionalGEMM (fuzz_test.go).
+	if err := quick.Check(propFunctionalGEMM, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -233,15 +222,8 @@ func TestTimingPopEmptyIsTotal(t *testing.T) {
 }
 
 func TestGEMMTileCyclesMonotonic(t *testing.T) {
-	f := func(seed uint64) bool {
-		r := tensor.NewRNG(seed)
-		m, k, n := 1+r.Intn(100), 1+r.Intn(100), 1+r.Intn(100)
-		base := GEMMTileCycles(m, k, n)
-		return GEMMTileCycles(m+1, k, n) > base &&
-			GEMMTileCycles(m, k+1, n) > base &&
-			GEMMTileCycles(m, k, n+1) > base
-	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+	// Property body shared with FuzzGEMMTileCyclesMonotonic (fuzz_test.go).
+	if err := quick.Check(propTileCyclesMonotonic, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
 	}
 	if GEMMTileCycles(0, 4, 4) != 0 {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# cover.sh -- per-package statement coverage summary with a hard floor on
+# internal/crosscheck (the differential checker must itself be well tested:
+# a checker bug silently weakens every oracle).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CROSSCHECK_FLOOR="${CROSSCHECK_FLOOR:-80}"
+
+out=$(go test -short -cover ./internal/... . 2>&1 | grep -v '\[no test files\]')
+echo "$out"
+
+fail=$(echo "$out" | grep -c '^FAIL' || true)
+if [ "$fail" -gt 0 ]; then
+    echo "cover: tests failed"
+    exit 1
+fi
+
+pct=$(echo "$out" | awk '/repro\/internal\/crosscheck/ { for (i=1;i<=NF;i++) if ($i ~ /%$/) { gsub(/%/,"",$i); print $i } }')
+if [ -z "$pct" ]; then
+    echo "cover: no coverage figure for internal/crosscheck"
+    exit 1
+fi
+if awk -v p="$pct" -v f="$CROSSCHECK_FLOOR" 'BEGIN { exit !(p < f) }'; then
+    echo "cover: internal/crosscheck at ${pct}% — below the ${CROSSCHECK_FLOOR}% floor"
+    exit 1
+fi
+echo "cover: internal/crosscheck at ${pct}% (floor ${CROSSCHECK_FLOOR}%)"
