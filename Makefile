@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race check bench bench-compile service-smoke trace-smoke cache-smoke fuzz-smoke crosscheck cover clean
+.PHONY: all build fmt vet test race check bench bench-compile bench-engine service-smoke trace-smoke cache-smoke fuzz-smoke crosscheck cover clean
 
 all: check
 
@@ -25,10 +25,14 @@ race:
 	$(GO) test -race -timeout 3600s ./...
 
 # The full gate: everything CI (and the acceptance criteria) require.
+# The targeted -race run of the parallel-engine equivalence tests comes
+# first as a fast fail: a data race in the windowed engine surfaces in
+# seconds instead of after the full suite.
 check:
 	$(GO) build ./...
 	$(MAKE) fmt
 	$(GO) vet ./...
+	$(GO) test -race -short -run 'TestEquivalence|TestParallel' ./internal/togsim/
 	$(GO) test -race -timeout 3600s ./...
 	$(MAKE) service-smoke
 	$(MAKE) trace-smoke
@@ -62,12 +66,15 @@ fuzz-smoke:
 
 # Cross-simulator differential gate: 200 seeded random workloads through
 # every oracle (zero divergences required), then the fault-injection
-# self-test, which passes only if a deliberate +1-cycle perturbation is
+# self-tests, which pass only if a deliberate fault — a +1-cycle latency
+# perturbation, or a corrupted parallel-engine barrier ordering — is
 # detected and shrunk to a replayable repro.
 crosscheck:
 	$(GO) run ./cmd/ptsimcheck -seed 1 -n 200
 	@tmp=$$(mktemp -d); \
 		$(GO) run ./cmd/ptsimcheck -seed 1 -n 20 -fault -out $$tmp && rm -rf $$tmp
+	@tmp=$$(mktemp -d); \
+		$(GO) run ./cmd/ptsimcheck -seed 1 -n 20 -fault-engine -out $$tmp && rm -rf $$tmp
 
 # Coverage summary per package, with a hard floor on internal/crosscheck
 # (scripts/cover.sh).
@@ -81,6 +88,11 @@ bench:
 # Compiler pipeline benchmarks (cold/parallel/warm-disk) -> BENCH_compile.json.
 bench-compile:
 	bash scripts/bench_compile.sh
+
+# Parallel-engine benchmarks (serial vs windowed, 1/4/8 simulated cores,
+# plus the compute-resident multi-tenant shape) -> BENCH_engine.json.
+bench-engine:
+	bash scripts/bench_engine.sh
 
 clean:
 	$(GO) clean ./...

@@ -5,6 +5,8 @@
 package main
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"repro/internal/baseline"
@@ -96,6 +98,28 @@ func benchTLSEngine(b *testing.B, strict bool, mkJobs func(npu.Config) []*togsim
 	benchTLSEngineProbe(b, strict, mkJobs, nil)
 }
 
+// benchTLSEngineParallel is the windowed-engine variant of the same
+// workloads; allocs/op here is the pooled event-path number the freelist
+// tests pin down.
+func benchTLSEngineParallel(b *testing.B, mkJobs func(npu.Config) []*togsim.Job) {
+	b.Helper()
+	cfg := benchCfg()
+	cfg.Cores = 2
+	var cycles int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := togsim.NewStandard(cfg, togsim.SimpleNet, dram.FRFCFS)
+		s.Engine.Workers = engineWorkers()
+		res, err := s.Engine.Run(mkJobs(cfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
 func benchTLSEngineProbe(b *testing.B, strict bool, mkJobs func(npu.Config) []*togsim.Job, mkProbe func() obs.Probe) {
 	b.Helper()
 	cfg := benchCfg()
@@ -122,6 +146,10 @@ func BenchmarkTLSEngineIdleHeavyEvent(b *testing.B)  { benchTLSEngine(b, false, 
 func BenchmarkTLSEngineIdleHeavyStrict(b *testing.B) { benchTLSEngine(b, true, tlsIdleHeavyJobs) }
 func BenchmarkTLSEngineBusyEvent(b *testing.B)       { benchTLSEngine(b, false, tlsBusyJobs) }
 func BenchmarkTLSEngineBusyStrict(b *testing.B)      { benchTLSEngine(b, true, tlsBusyJobs) }
+func BenchmarkTLSEngineIdleHeavyParallel(b *testing.B) {
+	benchTLSEngineParallel(b, tlsIdleHeavyJobs)
+}
+func BenchmarkTLSEngineBusyParallel(b *testing.B) { benchTLSEngineParallel(b, tlsBusyJobs) }
 
 // The nil-probe benchmark is byte-for-byte the engine configuration the
 // plain benchmarks above run (probes default to nil) — compare allocs/op
@@ -521,3 +549,163 @@ func BenchmarkCompileWarmDisk(b *testing.B) {
 		}
 	}
 }
+
+// --- Engine scaling benchmarks (serial vs parallel windows) ---------------
+//
+// One multi-core workload per model: the compiled model replicated on every
+// simulated core, all sharing one fabric — the shape the parallel engine
+// exists for. Serial and parallel variants report identical sim-cycles
+// (bit-identity is asserted by the equivalence tests and the crosscheck
+// oracle; here it is only visible). scripts/bench_engine.sh turns these
+// into BENCH_engine.json.
+
+var engineBenchCompiled = map[string]*compiler.Compiled{}
+
+func engineBenchComp(b *testing.B, model string) *compiler.Compiled {
+	b.Helper()
+	if c, ok := engineBenchCompiled[model]; ok {
+		return c
+	}
+	g, err := modelzoo.BuildGraph(modelzoo.Spec{Model: model, Batch: 1, Seq: 128})
+	if err != nil {
+		b.Fatal(err)
+	}
+	comp, err := compiler.New(benchCfg(), compiler.DefaultOptions()).Compile(g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engineBenchCompiled[model] = comp
+	return comp
+}
+
+func benchEngineScale(b *testing.B, model string, cores, workers int) {
+	b.Helper()
+	comp := engineBenchComp(b, model)
+	cfg := benchCfg()
+	cfg.Cores = cores
+	var cycles int64
+	var rounds togsim.RoundStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jobs := make([]*togsim.Job, cores)
+		for ci := 0; ci < cores; ci++ {
+			jobs[ci] = comp.Job(fmt.Sprintf("%s-c%d", model, ci), ci, ci)
+		}
+		s := togsim.NewStandard(cfg, togsim.SimpleNet, dram.FRFCFS)
+		s.Engine.Workers = workers
+		res, err := s.Engine.Run(jobs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+		rounds = s.Engine.Rounds
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+	reportRounds(b, rounds)
+}
+
+// reportRounds exports the parallel engine's round split so the bench
+// trajectory records *why* a workload speeds up (window rounds dominate)
+// or cannot (delivery-dense: serial rounds dominate). Zero for serial runs.
+func reportRounds(b *testing.B, r togsim.RoundStats) {
+	b.ReportMetric(float64(r.Window), "window-rounds")
+	b.ReportMetric(float64(r.Serial), "serial-rounds")
+}
+
+// engineWorkers picks the worker count for the parallel benchmarks: the
+// host's CPUs, but at least two so the windowed path (not the Workers<=1
+// serial fallback) is what gets measured even on a one-CPU host.
+func engineWorkers() int {
+	if w := runtime.GOMAXPROCS(0); w > 2 {
+		return w
+	}
+	return 2
+}
+
+func BenchmarkEngineResnet18C1Serial(b *testing.B) { benchEngineScale(b, "resnet18", 1, 1) }
+func BenchmarkEngineResnet18C1Parallel(b *testing.B) {
+	benchEngineScale(b, "resnet18", 1, engineWorkers())
+}
+func BenchmarkEngineResnet18C4Serial(b *testing.B) { benchEngineScale(b, "resnet18", 4, 1) }
+func BenchmarkEngineResnet18C4Parallel(b *testing.B) {
+	benchEngineScale(b, "resnet18", 4, engineWorkers())
+}
+func BenchmarkEngineResnet18C8Serial(b *testing.B) { benchEngineScale(b, "resnet18", 8, 1) }
+func BenchmarkEngineResnet18C8Parallel(b *testing.B) {
+	benchEngineScale(b, "resnet18", 8, engineWorkers())
+}
+func BenchmarkEngineBertBaseC1Serial(b *testing.B) { benchEngineScale(b, "bert-base", 1, 1) }
+func BenchmarkEngineBertBaseC1Parallel(b *testing.B) {
+	benchEngineScale(b, "bert-base", 1, engineWorkers())
+}
+func BenchmarkEngineBertBaseC4Serial(b *testing.B) { benchEngineScale(b, "bert-base", 4, 1) }
+func BenchmarkEngineBertBaseC4Parallel(b *testing.B) {
+	benchEngineScale(b, "bert-base", 4, engineWorkers())
+}
+func BenchmarkEngineBertBaseC8Serial(b *testing.B) { benchEngineScale(b, "bert-base", 8, 1) }
+func BenchmarkEngineBertBaseC8Parallel(b *testing.B) {
+	benchEngineScale(b, "bert-base", 8, engineWorkers())
+}
+
+// tlsResidentJobs is the scratchpad-resident multi-tenant shape: each core
+// runs a long compute-dense kernel sequence touching DRAM only at tile
+// boundaries, so cores couple through the fabric rarely. This is where
+// conservative time windows pay: between DMAs every core's events are
+// provably local, and the engine steps all cores concurrently.
+func tlsResidentJobs(cfg npu.Config) []*togsim.Job {
+	mk := func(name string, iters int64) *tog.TOG {
+		b := tog.NewBuilder(name, "in", "out")
+		desc := npu.DMADesc{Rows: 4, Cols: 128}
+		b.Loop("i", 0, iters, 1)
+		b.Load("in", desc, tog.AddrExpr{Terms: []tog.AddrTerm{{Var: "i", Coeff: 4096}}}, 0, 0)
+		b.Wait(0)
+		// One resident tile: many short dependent compute nodes (the
+		// per-node event cost dominates, not idle cycles).
+		for k := 0; k < 512; k++ {
+			b.Compute(tog.UnitSA, 120)
+			b.Compute(tog.UnitVector, 40)
+		}
+		b.Store("out", desc, tog.AddrExpr{Terms: []tog.AddrTerm{{Var: "i", Coeff: 4096}}}, 1, 0)
+		b.EndLoop()
+		g, err := b.Build()
+		if err != nil {
+			panic(err)
+		}
+		return g
+	}
+	var jobs []*togsim.Job
+	for c := 0; c < cfg.Cores; c++ {
+		jobs = append(jobs, &togsim.Job{
+			Name: "resident", TOGs: []*tog.TOG{mk("resident", 32)},
+			Bases: []map[string]uint64{{"in": uint64(c) << 30, "out": uint64(c)<<30 + (1 << 26)}},
+			Core:  c, Src: c,
+		})
+	}
+	return jobs
+}
+
+func benchEngineResident(b *testing.B, workers int) {
+	b.Helper()
+	cfg := benchCfg()
+	cfg.Cores = 8
+	var cycles int64
+	var rounds togsim.RoundStats
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := togsim.NewStandard(cfg, togsim.SimpleNet, dram.FRFCFS)
+		s.Engine.Workers = workers
+		res, err := s.Engine.Run(tlsResidentJobs(cfg))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+		rounds = s.Engine.Rounds
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+	reportRounds(b, rounds)
+}
+
+func BenchmarkEngineResident8CSerial(b *testing.B)   { benchEngineResident(b, 1) }
+func BenchmarkEngineResident8CParallel(b *testing.B) { benchEngineResident(b, engineWorkers()) }

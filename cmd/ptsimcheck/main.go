@@ -15,6 +15,8 @@
 //	ptsimcheck -replay repro.json        # re-run a recorded divergence
 //	ptsimcheck -seed 1 -n 20 -fault      # self-test: inject a ±1-cycle
 //	                                     # latency fault; MUST be detected
+//	ptsimcheck -seed 1 -n 20 -fault-engine  # self-test: corrupt the parallel
+//	                                        # engine barrier; MUST be detected
 package main
 
 import (
@@ -41,6 +43,7 @@ func run() error {
 	n := flag.Int("n", 200, "number of cases to generate and check")
 	replay := flag.String("replay", "", "replay a recorded repro JSON file instead of generating")
 	fault := flag.Bool("fault", false, "self-test: perturb one tile latency by +1 cycle after every compile; the run SUCCEEDS only if an oracle detects it")
+	faultEngine := flag.Bool("fault-engine", false, "self-test: corrupt the parallel engine's barrier ordering; the run SUCCEEDS only if the serial-vs-parallel oracle detects it")
 	out := flag.String("out", ".", "directory for divergence repro files")
 	verbose := flag.Bool("v", false, "log every generated case")
 	flag.Parse()
@@ -52,6 +55,8 @@ func run() error {
 	if *fault {
 		ck.Fault = crosscheck.PerturbTileLatency(1)
 	}
+	ck.EngineFault = *faultEngine
+	faulted := *fault || *faultEngine
 
 	if *replay != "" {
 		return runReplay(ck, *replay)
@@ -60,7 +65,7 @@ func run() error {
 	start := time.Now()
 	fail, stats := ck.Run(*seed, *n)
 	if fail == nil {
-		if *fault {
+		if faulted {
 			return fmt.Errorf("fault injection escaped: %d faulted cases passed every oracle — the oracles have no teeth", stats.Cases)
 		}
 		fmt.Printf("ok: %d cases, 0 divergences across oracles [%s] in %v (%s)\n",
@@ -74,14 +79,14 @@ func run() error {
 	fmt.Printf("shrunk: %s\n  %s\n", shrunk.Case.String(), shrunk.Detail)
 
 	path := filepath.Join(*out, fmt.Sprintf("ptsimcheck-repro-%s-seed%d.json", shrunk.Oracle, *seed))
-	if err := crosscheck.NewRepro(shrunk, *fault).Write(path); err != nil {
+	if err := crosscheck.NewRepro(shrunk, *fault, *faultEngine).Write(path); err != nil {
 		return fmt.Errorf("writing repro: %w", err)
 	}
 	fmt.Printf("repro written to %s (replay: ptsimcheck -replay %s)\n", path, path)
 
-	if *fault {
+	if faulted {
 		// Self-test succeeded: the deliberate fault was detected and shrunk.
-		fmt.Printf("fault-injection self-test passed: oracle %q caught the +1 cycle perturbation\n", shrunk.Oracle)
+		fmt.Printf("fault-injection self-test passed: oracle %q caught the injected fault\n", shrunk.Oracle)
 		return nil
 	}
 	return fmt.Errorf("simulators diverge (oracle %s)", shrunk.Oracle)

@@ -42,10 +42,11 @@ func run() error {
 	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "job queue capacity (admission control bound)")
 	maxCycles := flag.Int64("max-cycles", 0, "default per-job deadlock guard in simulated cycles (0 = package default)")
+	engineWorkers := flag.Int("engine-workers", 0, "default TLS engine goroutine count per job (0 or 1 = serial; jobs may override via engine_workers)")
 	cacheDir := flag.String("cache-dir", "", "persist kernel-latency tables under this directory (reused across restarts)")
 	flag.Parse()
 
-	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue, MaxCycles: *maxCycles})
+	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue, MaxCycles: *maxCycles, EngineWorkers: *engineWorkers})
 	if *cacheDir != "" {
 		if err := svc.EnableDiskCache(*cacheDir); err != nil {
 			return fmt.Errorf("opening cache dir: %w", err)

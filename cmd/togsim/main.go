@@ -33,6 +33,7 @@ func main() {
 	sched := flag.String("sched", "frfcfs", "memory scheduler: frfcfs or fcfs")
 	small := flag.Bool("small", false, "use the small NPU config instead of TPUv3")
 	strict := flag.Bool("strict", false, "tick every cycle instead of event-driven cycle skipping (results are identical; slower)")
+	engineWorkers := flag.Int("engine-workers", 0, "host goroutines stepping simulated cores in parallel (0 or 1 = serial; results are bit-identical, so the report cache key is unchanged)")
 	dump := flag.Bool("stats", false, "print TOG static statistics only (no simulation)")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the run to this JSON file")
 	jsonOut := flag.Bool("json", false, "print the run report as JSON on stdout")
@@ -102,6 +103,7 @@ func main() {
 
 	s := togsim.NewStandard(cfg, kind, policy)
 	s.Engine.StrictTick = *strict
+	s.Engine.Workers = *engineWorkers
 	var tw *obs.TraceWriter
 	if *traceOut != "" {
 		tw = obs.NewTraceWriter()

@@ -47,6 +47,11 @@ type Simulator struct {
 	// constant (0 = togsim.DefaultMaxCycles).
 	MaxCycles int64
 
+	// EngineWorkers sets the TLS engine's host goroutine count for every
+	// timing simulation (0 or 1 = serial). Results are bit-identical at
+	// any worker count; see togsim.Engine.Workers.
+	EngineWorkers int
+
 	// Probe, when non-nil, is attached to every TLS stack this simulator
 	// builds (engine spans plus fabric/NoC/DRAM counters) and to the
 	// compiler (compile-phase spans). It never changes simulation results.
@@ -136,6 +141,7 @@ func (s *Simulator) SimulateTLS(comp *compiler.Compiled, kind NetKind) (Report, 
 func (s *Simulator) SimulateJobs(jobs []*togsim.Job, kind NetKind) (Report, error) {
 	setup := togsim.NewStandard(s.Cfg, kind, dram.FRFCFS)
 	setup.Engine.MaxCycles = s.MaxCycles
+	setup.Engine.Workers = s.EngineWorkers
 	if s.Probe != nil {
 		setup.AttachProbe(s.Probe)
 	}
@@ -189,6 +195,7 @@ func (s *Simulator) AutoTune(g *graph.Graph, candidates []compiler.Options, kind
 			}
 			setup := togsim.NewStandard(s.Cfg, kind, dram.FRFCFS)
 			setup.Engine.MaxCycles = s.MaxCycles
+			setup.Engine.Workers = s.EngineWorkers
 			start := time.Now()
 			res, err := setup.Engine.Run([]*togsim.Job{comp.Job(comp.Name, 0, 0)})
 			if err != nil {

@@ -21,13 +21,17 @@ type Repro struct {
 	// Fault records that the divergence was produced by the deliberate
 	// fault-injection self-test, so a replay re-arms the same fault.
 	Fault bool `json:"fault,omitempty"`
-	Case  Case `json:"case"`
+	// EngineFault records the parallel-barrier fault hook, re-armed the
+	// same way on replay.
+	EngineFault bool `json:"engine_fault,omitempty"`
+	Case        Case `json:"case"`
 }
 
-// NewRepro packages a failure for serialization. faulted records whether
-// the checker had a fault hook armed.
-func NewRepro(f Failure, faulted bool) Repro {
-	return Repro{FormatVersion: ReproVersion, Oracle: f.Oracle, Detail: f.Detail, Fault: faulted, Case: f.Case}
+// NewRepro packages a failure for serialization, recording which
+// deliberate-defect hooks the checker had armed so a replay re-arms them.
+func NewRepro(f Failure, faulted, engineFaulted bool) Repro {
+	return Repro{FormatVersion: ReproVersion, Oracle: f.Oracle, Detail: f.Detail,
+		Fault: faulted, EngineFault: engineFaulted, Case: f.Case}
 }
 
 // Write serializes the repro to path as indented JSON.
@@ -63,6 +67,9 @@ func LoadRepro(path string) (Repro, error) {
 func (ck *Checker) Replay(r Repro) *Failure {
 	if r.Fault && ck.Fault == nil {
 		ck.Fault = PerturbTileLatency(1)
+	}
+	if r.EngineFault {
+		ck.EngineFault = true
 	}
 	return ck.RunCase(r.Case)
 }

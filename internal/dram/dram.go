@@ -68,12 +68,16 @@ type channel struct {
 
 // Memory is the multi-channel DRAM controller model.
 type Memory struct {
-	cfg          npu.MemConfig
-	sched        SchedulerKind
-	chans        []channel
-	cycle        int64
-	inFlight     sim.EventQueue[*Request] // issued, keyed by Finish
+	cfg   npu.MemConfig
+	sched SchedulerKind
+	chans []channel
+	cycle int64
+	// Issued requests keyed by Finish. Each channel's data bus serializes
+	// transfers, so Finish is strictly monotone per channel — one
+	// MonotonicQueue lane per channel.
+	inFlight     *sim.MonotonicQueue[*Request]
 	done         []*Request
+	spare        []*Request // double buffer swapped with done at Completed
 	queueCap     int
 	burstsPerRow int64
 	refreshes    int64
@@ -100,6 +104,7 @@ func New(cfg npu.MemConfig, sched SchedulerKind) *Memory {
 		cfg:          cfg,
 		sched:        sched,
 		chans:        make([]channel, cfg.Channels),
+		inFlight:     sim.NewMonotonicQueue[*Request](cfg.Channels),
 		queueCap:     64,
 		burstsPerRow: int64(cfg.RowBytes / cfg.BurstBytes),
 	}
@@ -227,7 +232,8 @@ func (m *Memory) SkipTo(cycle int64) {
 // Completed drains and returns requests whose data transfer has finished.
 func (m *Memory) Completed() []*Request {
 	out := m.done
-	m.done = nil
+	m.done = m.spare[:0]
+	m.spare = out
 	return out
 }
 
@@ -328,7 +334,7 @@ func (m *Memory) serve(ci int, r *Request) {
 	b.wrLast = r.IsWrite
 	r.Finish = dataAt + 1
 	r.issued = true
-	m.inFlight.Push(r.Finish, r)
+	m.inFlight.Push(ci, r.Finish, r)
 
 	// Stats.
 	if r.IsWrite {

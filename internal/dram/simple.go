@@ -11,6 +11,7 @@ type Simple struct {
 	cycle    int64
 	inFlight sim.EventQueue[*Request]
 	done     []*Request
+	spare    []*Request // double buffer swapped with done at Completed
 
 	Stats Stats
 }
@@ -67,7 +68,8 @@ func (s *Simple) SkipTo(cycle int64) { s.cycle = cycle }
 // Completed drains finished requests.
 func (s *Simple) Completed() []*Request {
 	out := s.done
-	s.done = nil
+	s.done = s.spare[:0]
+	s.spare = out
 	return out
 }
 

@@ -49,11 +49,19 @@ type Simple struct {
 	// srcClock tracks each source port's occupancy in flit-time units
 	// (cycle * width + flits), so wide ports move many single-flit
 	// messages per cycle. Receive ports are ideal (never the bottleneck in
-	// this model — CN models them).
-	srcClock map[int]int64
-	width    map[int]int              // flits per cycle per port (default 1)
-	inFlight sim.EventQueue[*Message] // deliveries keyed by finish cycle
-	done     []*Message
+	// this model — CN models them). Ports are small dense integers, so
+	// per-port state lives in slices grown on demand, not maps.
+	srcClock []int64
+	width    []int // flits per cycle per port (0 = default 1)
+
+	// In-flight deliveries. Per-source delivery slots are monotone (the
+	// serialization clock only moves forward), so each source is a lane of
+	// a MonotonicQueue instead of a shared heap.
+	inFlight *sim.MonotonicQueue[*Message]
+	laneOf   []int // source port -> lane index + 1 (0 = none yet)
+
+	done  []*Message
+	spare []*Message // double buffer swapped with done at Completed
 
 	probe       obs.Probe
 	lastPending int
@@ -67,8 +75,7 @@ func NewSimple(flitBytes int, latency int64) *Simple {
 	return &Simple{
 		FlitBytes: flitBytes,
 		Latency:   latency,
-		srcClock:  map[int]int64{},
-		width:     map[int]int{},
+		inFlight:  sim.NewMonotonicQueue[*Message](0),
 	}
 }
 
@@ -81,12 +88,15 @@ func (s *Simple) SetPortWidth(port, width int) {
 	if width < 1 {
 		width = 1
 	}
+	for port >= len(s.width) {
+		s.width = append(s.width, 0)
+	}
 	s.width[port] = width
 }
 
 func (s *Simple) portWidth(port int) int {
-	if w, ok := s.width[port]; ok {
-		return w
+	if port < len(s.width) && s.width[port] > 0 {
+		return s.width[port]
 	}
 	return 1
 }
@@ -101,6 +111,9 @@ func (s *Simple) Submit(m *Message) bool {
 		flits = 1
 	}
 	w := int64(s.portWidth(m.Src))
+	for m.Src >= len(s.srcClock) {
+		s.srcClock = append(s.srcClock, 0)
+	}
 	startFlit := s.cycle * w
 	if t := s.srcClock[m.Src]; t > startFlit {
 		startFlit = t
@@ -114,7 +127,15 @@ func (s *Simple) Submit(m *Message) bool {
 	if slot <= s.cycle {
 		slot = s.cycle + 1
 	}
-	s.inFlight.Push(slot, m)
+	for m.Src >= len(s.laneOf) {
+		s.laneOf = append(s.laneOf, 0)
+	}
+	lane := s.laneOf[m.Src] - 1
+	if lane < 0 {
+		lane = s.inFlight.AddLane()
+		s.laneOf[m.Src] = lane + 1
+	}
+	s.inFlight.Push(lane, slot, m)
 	return true
 }
 
@@ -154,7 +175,8 @@ func (s *Simple) SkipTo(cycle int64) { s.cycle = cycle }
 // Completed drains delivered messages.
 func (s *Simple) Completed() []*Message {
 	out := s.done
-	s.done = nil
+	s.done = s.spare[:0]
+	s.spare = out
 	return out
 }
 
@@ -191,6 +213,7 @@ type Crossbar struct {
 	inIDs   []int       // stable order of known input ports
 	pending map[*Message]int
 	done    []*Message
+	spare   []*Message               // double buffer swapped with done at Completed
 	delayed sim.EventQueue[*Message] // waiting out the pipeline latency
 
 	// Scratch reused across ticks to avoid per-cycle allocation.
@@ -414,7 +437,8 @@ func (x *Crossbar) SetProbe(p obs.Probe) { x.probe = p }
 // Completed drains delivered messages.
 func (x *Crossbar) Completed() []*Message {
 	out := x.done
-	x.done = nil
+	x.done = x.spare[:0]
+	x.spare = out
 	return out
 }
 

@@ -1,0 +1,102 @@
+package obs
+
+// Recorder is a buffering Probe for engines that step simulation domains
+// in parallel goroutines: each domain writes into its own Recorder
+// (single-threaded by construction), and the engine merges the buffers
+// into the real probe at a barrier, in deterministic time-then-domain
+// order. That keeps the exported trace independent of goroutine
+// interleaving without putting a lock on the instrumentation hot path.
+//
+// Entries are ordered by the recorder's Now cycle, which the owning
+// domain advances as it executes events; within one cycle, insertion
+// order is preserved.
+type Recorder struct {
+	// Now is the ordering key stamped on every recorded call. The owner
+	// sets it to the cycle being executed before emitting.
+	Now int64
+
+	entries []recEntry
+}
+
+// recKind discriminates the buffered call types.
+type recKind uint8
+
+const (
+	recTrackName recKind = iota
+	recSpan
+	recCounter
+)
+
+type recEntry struct {
+	at   int64 // Recorder.Now at emission time
+	kind recKind
+	t    Track
+
+	name    string
+	process string // TrackName only
+	start   int64
+	end     int64
+	info    SpanInfo
+	value   float64
+}
+
+// TrackName implements Probe.
+func (r *Recorder) TrackName(t Track, process, lane string) {
+	r.entries = append(r.entries, recEntry{at: r.Now, kind: recTrackName, t: t, process: process, name: lane})
+}
+
+// Span implements Probe.
+func (r *Recorder) Span(t Track, name string, start, end int64, info SpanInfo) {
+	r.entries = append(r.entries, recEntry{at: r.Now, kind: recSpan, t: t, name: name, start: start, end: end, info: info})
+}
+
+// Counter implements Probe.
+func (r *Recorder) Counter(t Track, name string, cycle int64, value float64) {
+	r.entries = append(r.entries, recEntry{at: r.Now, kind: recCounter, t: t, name: name, start: cycle, value: value})
+}
+
+// Len returns the number of buffered calls.
+func (r *Recorder) Len() int { return len(r.entries) }
+
+var _ Probe = (*Recorder)(nil)
+
+// MergeRecorders replays the buffered calls of every recorder into dst in
+// (cycle, recorder index, insertion order) order. Each recorder's entries
+// must be in nondecreasing cycle order (true when the owning domain
+// executed its events in time order), so the merge preserves global trace
+// ordering: what a serial engine would have emitted cycle by cycle, with
+// same-cycle events grouped by domain index. Buffers are consumed.
+func MergeRecorders(dst Probe, recs ...*Recorder) {
+	if dst == nil {
+		return
+	}
+	idx := make([]int, len(recs))
+	for {
+		best := -1
+		var bestAt int64
+		for i, r := range recs {
+			if idx[i] >= len(r.entries) {
+				continue
+			}
+			if at := r.entries[idx[i]].at; best < 0 || at < bestAt {
+				best, bestAt = i, at
+			}
+		}
+		if best < 0 {
+			break
+		}
+		e := &recs[best].entries[idx[best]]
+		idx[best]++
+		switch e.kind {
+		case recTrackName:
+			dst.TrackName(e.t, e.process, e.name)
+		case recSpan:
+			dst.Span(e.t, e.name, e.start, e.end, e.info)
+		case recCounter:
+			dst.Counter(e.t, e.name, e.start, e.value)
+		}
+	}
+	for _, r := range recs {
+		r.entries = r.entries[:0]
+	}
+}

@@ -13,6 +13,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -59,6 +60,13 @@ type JobSpec struct {
 	// (0 = the service default, which itself defaults to
 	// togsim.DefaultMaxCycles).
 	MaxCycles int64 `json:"max_cycles,omitempty"`
+	// NodesPerCycle overrides the engine's zero-cost node budget per
+	// context per cycle (0 = the engine default).
+	NodesPerCycle int `json:"nodes_per_cycle,omitempty"`
+	// EngineWorkers sets the TLS engine's host goroutine count for this
+	// job (0 = the service default; 1 = serial). Results are bit-identical
+	// at any worker count.
+	EngineWorkers int `json:"engine_workers,omitempty"`
 }
 
 // resolve maps the wire spec onto the internal compile/simulate inputs.
@@ -95,16 +103,29 @@ func (s JobSpec) resolve() (resolved, error) {
 		r.Opts.ConvLayoutOpt = *s.ConvOpt
 	}
 	r.Opts.MaxMt = s.MaxMt
+	if s.MaxCycles < 0 {
+		return r, fmt.Errorf("service: negative max_cycles %d", s.MaxCycles)
+	}
 	r.MaxCycles = s.MaxCycles
+	if s.NodesPerCycle < 0 {
+		return r, fmt.Errorf("service: negative nodes_per_cycle %d", s.NodesPerCycle)
+	}
+	r.NodesPerCycle = s.NodesPerCycle
+	if s.EngineWorkers < 0 {
+		return r, fmt.Errorf("service: negative engine_workers %d", s.EngineWorkers)
+	}
+	r.EngineWorkers = s.EngineWorkers
 	return r, nil
 }
 
 type resolved struct {
-	Spec      modelzoo.Spec
-	Cfg       npu.Config
-	Opts      compiler.Options
-	Net       togsim.NetKind
-	MaxCycles int64
+	Spec          modelzoo.Spec
+	Cfg           npu.Config
+	Opts          compiler.Options
+	Net           togsim.NetKind
+	MaxCycles     int64
+	NodesPerCycle int
+	EngineWorkers int
 }
 
 // State is a job's lifecycle position.
@@ -136,10 +157,13 @@ type JobResult struct {
 // Job is the service's record of one submission. Snapshot copies are
 // returned to callers; the live record is only mutated by the service.
 type Job struct {
-	ID        string     `json:"id"`
-	Spec      JobSpec    `json:"spec"`
-	State     State      `json:"state"`
-	Error     string     `json:"error,omitempty"`
+	ID    string  `json:"id"`
+	Spec  JobSpec `json:"spec"`
+	State State   `json:"state"`
+	Error string  `json:"error,omitempty"`
+	// ErrorKind classifies failures machine-readably; "deadlock" carries
+	// the engine's full stuck-job diagnostic in Error.
+	ErrorKind string     `json:"error_kind,omitempty"`
 	Result    *JobResult `json:"result,omitempty"`
 	Submitted time.Time  `json:"submitted"`
 	Started   time.Time  `json:"started,omitempty"`
@@ -153,6 +177,9 @@ type Config struct {
 	Workers    int   // concurrent simulations (default: GOMAXPROCS)
 	QueueDepth int   // bounded queue capacity (default 64)
 	MaxCycles  int64 // default per-job deadlock guard (0 = togsim.DefaultMaxCycles)
+	// EngineWorkers is the default per-job TLS engine goroutine count when
+	// the spec leaves engine_workers unset (0 or 1 = serial).
+	EngineWorkers int
 }
 
 // Stats is the service's observability surface. Every field is captured
@@ -436,6 +463,10 @@ func (s *Service) run(j *Job) {
 		s.failed++
 		j.State = StateFailed
 		j.Error = err.Error()
+		var dl *togsim.DeadlockError
+		if errors.As(err, &dl) {
+			j.ErrorKind = "deadlock"
+		}
 	} else {
 		s.done++
 		j.State = StateDone
@@ -480,6 +511,13 @@ func (s *Service) simulate(spec JobSpec) (JobResult, error) {
 	setup.Engine.MaxCycles = r.MaxCycles
 	if setup.Engine.MaxCycles == 0 {
 		setup.Engine.MaxCycles = s.cfg.MaxCycles
+	}
+	if r.NodesPerCycle > 0 {
+		setup.Engine.NodesPerCycle = r.NodesPerCycle
+	}
+	setup.Engine.Workers = r.EngineWorkers
+	if setup.Engine.Workers == 0 {
+		setup.Engine.Workers = s.cfg.EngineWorkers
 	}
 	start := time.Now()
 	res, err := setup.Engine.Run([]*togsim.Job{comp.Job(comp.Name, 0, 0)})

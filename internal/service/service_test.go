@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"repro/internal/compiler"
@@ -269,5 +270,61 @@ func BenchmarkServiceWorkers(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// TestServiceEngineKnobs: engine_workers must not change reported cycles
+// (bit-identical parallel engine), nodes_per_cycle must plumb through, and
+// a job hitting its max_cycles guard must fail with error_kind "deadlock"
+// and the full stuck-job diagnostic in the error body.
+func TestServiceEngineKnobs(t *testing.T) {
+	svc := New(Config{Workers: 2, QueueDepth: 16})
+	svc.Start()
+	defer svc.Close()
+
+	base := JobSpec{Model: "gemm", N: 64, NPU: "small"}
+	run := func(spec JobSpec) Job {
+		j, err := svc.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err = svc.Wait(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j
+	}
+
+	serial := run(base)
+	if serial.State != StateDone {
+		t.Fatalf("serial job failed: %q", serial.Error)
+	}
+	withKnobs := base
+	withKnobs.EngineWorkers = 4
+	withKnobs.NodesPerCycle = 512
+	par := run(withKnobs)
+	if par.State != StateDone {
+		t.Fatalf("parallel job failed: %q", par.Error)
+	}
+	if par.Result.Cycles != serial.Result.Cycles {
+		t.Fatalf("engine_workers=4 reported %d cycles, serial %d — must be bit-identical",
+			par.Result.Cycles, serial.Result.Cycles)
+	}
+
+	stuck := base
+	stuck.MaxCycles = 3 // guaranteed to trip the deadlock guard
+	dead := run(stuck)
+	if dead.State != StateFailed {
+		t.Fatalf("max_cycles=3 job did not fail: state %s", dead.State)
+	}
+	if dead.ErrorKind != "deadlock" {
+		t.Fatalf("error_kind = %q, want \"deadlock\" (error: %q)", dead.ErrorKind, dead.Error)
+	}
+	if !strings.Contains(dead.Error, "exceeded max cycles") {
+		t.Fatalf("deadlock diagnostic missing from error body: %q", dead.Error)
+	}
+
+	if _, err := svc.Submit(JobSpec{Model: "gemm", N: 8, EngineWorkers: -1}); err == nil {
+		t.Fatal("negative engine_workers accepted")
 	}
 }

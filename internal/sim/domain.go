@@ -1,0 +1,141 @@
+package sim
+
+import "sync"
+
+// Domain is one independently steppable partition of a simulation: it owns
+// its own clock position, event sources, and component state, and promises
+// that stepping it never touches another domain's mutable state. Cross-
+// domain effects must be staged locally and applied by the engine at a
+// barrier between windows — that confinement is what makes it legal to
+// step domains in parallel goroutines.
+//
+// The time model is the conservative window scheme: the engine computes a
+// safe horizon (no cross-domain effect can become visible inside the
+// window, bounded by the coupling fabric's lookahead), then every domain
+// executes its local events inside the window independently.
+type Domain interface {
+	// NextEvent returns the earliest cycle strictly greater than now at
+	// which the domain has local work, or Never. Like Component.NextEvent,
+	// the value must never overshoot: undershooting only costs speed,
+	// overshooting breaks equivalence with serial execution.
+	NextEvent(now int64) int64
+	// StepTo executes the domain's local events in (now, limit] and
+	// returns the cycle actually reached. A domain may stop early
+	// (reached < limit) when it stages a cross-domain effect whose
+	// lookahead expires before the window does; it must then not have
+	// executed any event beyond the returned cycle. On error the returned
+	// cycle is the cycle at which the error occurred.
+	StepTo(now, limit int64) (int64, error)
+}
+
+// DomainError is a stepping failure tagged with where it happened, so an
+// engine can pick the same error a serial execution would have hit first
+// (lowest cycle, then lowest domain index) regardless of goroutine timing.
+type DomainError struct {
+	Domain int
+	Cycle  int64
+	Err    error
+}
+
+func (e *DomainError) Error() string { return e.Err.Error() }
+func (e *DomainError) Unwrap() error { return e.Err }
+
+// WindowPool runs domain windows on a fixed set of persistent worker
+// goroutines. Reusing workers keeps the per-window cost to a channel
+// send/receive pair per active domain, which matters because conservative
+// windows can be short when cross-domain traffic is dense.
+type WindowPool struct {
+	workers int
+	tasks   chan func()
+	wg      sync.WaitGroup
+}
+
+// NewWindowPool starts workers goroutines (minimum 1).
+func NewWindowPool(workers int) *WindowPool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &WindowPool{workers: workers, tasks: make(chan func(), workers)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for f := range p.tasks {
+				f()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *WindowPool) Workers() int { return p.workers }
+
+// Close stops the workers. The pool must be idle (no StepAll in flight).
+func (p *WindowPool) Close() {
+	close(p.tasks)
+	p.wg.Wait()
+}
+
+// StepAll advances every domain through the window ending at limit: domain
+// i starts from now[i] (its own watermark — domains are allowed to run
+// ahead of each other between barriers). Domains with no local event in
+// the window are not stepped and report reached = limit, which is sound
+// because having no event ≤ limit means stepping would be a no-op.
+//
+// reached[i] is written for every domain. The returned error is
+// deterministic: among failing domains, the one with the lowest error
+// cycle wins, ties broken by the lowest domain index — the same error a
+// serial sweep in index order would have hit first.
+func (p *WindowPool) StepAll(domains []Domain, now []int64, limit int64, reached []int64) error {
+	errs := make([]error, len(domains))
+	// Collect the active domains first; a window with zero or one active
+	// domain runs inline (no cross-goroutine handoff to amortize).
+	active := 0
+	last := -1
+	for i, d := range domains {
+		if now[i] >= limit {
+			reached[i] = now[i]
+			continue
+		}
+		if d.NextEvent(now[i]) > limit {
+			reached[i] = limit
+			continue
+		}
+		reached[i] = -1 // marks "step me"
+		active++
+		last = i
+	}
+	switch {
+	case active == 0:
+	case active == 1:
+		reached[last], errs[last] = domains[last].StepTo(now[last], limit)
+	default:
+		var wg sync.WaitGroup
+		wg.Add(active)
+		for i := range domains {
+			if reached[i] != -1 {
+				continue
+			}
+			i := i
+			p.tasks <- func() {
+				defer wg.Done()
+				reached[i], errs[i] = domains[i].StepTo(now[i], limit)
+			}
+		}
+		wg.Wait()
+	}
+	var worst *DomainError
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if worst == nil || reached[i] < worst.Cycle {
+			worst = &DomainError{Domain: i, Cycle: reached[i], Err: err}
+		}
+	}
+	if worst != nil {
+		return worst
+	}
+	return nil
+}

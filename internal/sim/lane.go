@@ -1,0 +1,134 @@
+package sim
+
+// MonotonicQueue is an event queue for producers whose due cycles are
+// monotone nondecreasing within each lane — the common shape of pipelined
+// hardware models, where each channel's data bus or each port's
+// serialization clock only moves forward. Each lane is a head-indexed
+// FIFO, so Push and Pop are O(1) plus a merge across the (few) lane
+// heads; under saturation this replaces O(log n) heap sifts over
+// thousands of in-flight events with a scan of per-lane heads.
+//
+// Pops come out ordered by (due cycle, global insertion sequence) — the
+// exact order EventQueue produces — so swapping one for the other never
+// changes simulation results, only the cost of reaching them.
+type MonotonicQueue[T any] struct {
+	lanes []laneFIFO[T]
+	n     int
+	seq   uint64
+	next  int64 // exact earliest queued cycle; Never when empty
+}
+
+type laneEv[T any] struct {
+	cycle int64
+	seq   uint64
+	v     T
+}
+
+type laneFIFO[T any] struct {
+	q    []laneEv[T]
+	head int
+}
+
+// NewMonotonicQueue returns a queue with the given number of lanes.
+func NewMonotonicQueue[T any](lanes int) *MonotonicQueue[T] {
+	return &MonotonicQueue[T]{lanes: make([]laneFIFO[T], lanes), next: Never}
+}
+
+// AddLane grows the queue by one lane and returns its index.
+func (q *MonotonicQueue[T]) AddLane() int {
+	q.lanes = append(q.lanes, laneFIFO[T]{})
+	return len(q.lanes) - 1
+}
+
+// Len returns the number of queued events.
+func (q *MonotonicQueue[T]) Len() int { return q.n }
+
+// NextCycle returns the due cycle of the earliest event, or Never when
+// empty.
+func (q *MonotonicQueue[T]) NextCycle() int64 { return q.next }
+
+// Push schedules v at the given cycle on a lane. Cycles must be monotone
+// nondecreasing per lane; a violation panics rather than silently
+// reordering deliveries.
+func (q *MonotonicQueue[T]) Push(lane int, cycle int64, v T) {
+	l := &q.lanes[lane]
+	if k := len(l.q); k > l.head && cycle < l.q[k-1].cycle {
+		panic("sim: MonotonicQueue lane cycle decreased")
+	}
+	l.q = append(l.q, laneEv[T]{cycle: cycle, seq: q.seq, v: v})
+	q.seq++
+	q.n++
+	if cycle < q.next {
+		q.next = cycle
+	}
+}
+
+// PopDue appends to out every event due at or before cycle, in due-cycle
+// then insertion order, and returns the extended slice.
+func (q *MonotonicQueue[T]) PopDue(cycle int64, out []T) []T {
+	if q.next > cycle {
+		return out
+	}
+	for q.n > 0 {
+		// One scan finds the winning lane and the runner-up bound; the
+		// winner then drains its whole run (consecutive events that stay
+		// globally minimal) without rescanning — bursty hardware delivers
+		// runs from one lane, so most pops cost O(1), not O(lanes).
+		best := -1
+		var bCycle, sCycle int64
+		var bSeq, sSeq uint64
+		sCycle = Never
+		for i := range q.lanes {
+			l := &q.lanes[i]
+			if l.head < len(l.q) {
+				e := &l.q[l.head]
+				switch {
+				case best < 0 || e.cycle < bCycle || (e.cycle == bCycle && e.seq < bSeq):
+					if best >= 0 {
+						sCycle, sSeq = bCycle, bSeq
+					}
+					best, bCycle, bSeq = i, e.cycle, e.seq
+				case e.cycle < sCycle || (e.cycle == sCycle && e.seq < sSeq):
+					sCycle, sSeq = e.cycle, e.seq
+				}
+			}
+		}
+		if best < 0 || bCycle > cycle {
+			break
+		}
+		l := &q.lanes[best]
+		for l.head < len(l.q) {
+			e := &l.q[l.head]
+			if e.cycle > cycle || e.cycle > sCycle || (e.cycle == sCycle && e.seq > sSeq) {
+				break
+			}
+			out = append(out, e.v)
+			l.q[l.head] = laneEv[T]{} // release the payload for GC
+			l.head++
+			q.n--
+		}
+		switch {
+		case l.head == len(l.q):
+			l.q, l.head = l.q[:0], 0
+		case l.head >= 1024 && 2*l.head >= len(l.q):
+			// Amortized compaction: shift the (smaller) tail once per
+			// >=1024 pops so saturated lanes do not grow without bound.
+			l.q, l.head = l.q[:copy(l.q, l.q[l.head:])], 0
+		}
+	}
+	q.recompute()
+	return out
+}
+
+func (q *MonotonicQueue[T]) recompute() {
+	q.next = Never
+	if q.n == 0 {
+		return
+	}
+	for i := range q.lanes {
+		l := &q.lanes[i]
+		if l.head < len(l.q) && l.q[l.head].cycle < q.next {
+			q.next = l.q[l.head].cycle
+		}
+	}
+}

@@ -118,7 +118,12 @@ type event[T any] struct {
 }
 
 // EventQueue is a stable min-heap of cycle-keyed events. The zero value is
-// an empty queue ready for use.
+// an empty queue ready for use. Internally a 4-ary heap: pops are the hot
+// operation in DMA-heavy runs (pushes arrive nearly sorted and exit up()
+// immediately), and the wider node halves the sift-down depth while
+// keeping the four children on one cache line pair. The pop order — due
+// cycle, then insertion order — is a total order, so it is independent of
+// the internal arity.
 type EventQueue[T any] struct {
 	h   []event[T]
 	seq uint64
@@ -171,37 +176,46 @@ func (q *EventQueue[T]) PopDue(cycle int64, out []T) []T {
 	return out
 }
 
-func (q *EventQueue[T]) less(i, j int) bool {
-	a, b := &q.h[i], &q.h[j]
+func lessEv[T any](a, b *event[T]) bool {
 	return a.cycle < b.cycle || (a.cycle == b.cycle && a.seq < b.seq)
 }
 
 func (q *EventQueue[T]) up(i int) {
+	e := q.h[i]
 	for i > 0 {
-		parent := (i - 1) / 2
-		if !q.less(i, parent) {
-			return
+		parent := (i - 1) / 4
+		if !lessEv(&e, &q.h[parent]) {
+			break
 		}
-		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		q.h[i] = q.h[parent]
 		i = parent
 	}
+	q.h[i] = e
 }
 
 func (q *EventQueue[T]) down(i int) {
 	n := len(q.h)
+	e := q.h[i]
 	for {
-		l, r := 2*i+1, 2*i+2
-		min := i
-		if l < n && q.less(l, min) {
-			min = l
+		c := 4*i + 1
+		if c >= n {
+			break
 		}
-		if r < n && q.less(r, min) {
-			min = r
+		end := c + 4
+		if end > n {
+			end = n
 		}
-		if min == i {
-			return
+		min := c
+		for j := c + 1; j < end; j++ {
+			if lessEv(&q.h[j], &q.h[min]) {
+				min = j
+			}
 		}
-		q.h[i], q.h[min] = q.h[min], q.h[i]
+		if !lessEv(&q.h[min], &e) {
+			break
+		}
+		q.h[i] = q.h[min]
 		i = min
 	}
+	q.h[i] = e
 }

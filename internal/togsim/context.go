@@ -310,7 +310,7 @@ func (c *context) step(cycle int64, cs *coreState, fabric Fabric) error {
 			}
 			return nil
 		case tog.LoadDMA, tog.StoreDMA:
-			if err := c.issueDMA(g, n, fabric, cycle); err != nil {
+			if err := c.issueDMA(g, n, cs, fabric, cycle); err != nil {
 				return fmt.Errorf("togsim: %w", err)
 			}
 			c.pc++
@@ -342,8 +342,11 @@ func laneOfUnit(u tog.Unit) int32 {
 	}
 }
 
-// issueDMA expands a DMA node into burst requests and submits them.
-func (c *context) issueDMA(g *tog.TOG, n *tog.Node, fabric Fabric, cycle int64) error {
+// issueDMA expands a DMA node into burst requests and submits them. Burst
+// records come from the core's freelist: the engine returns them to the
+// pool at delivery time, which always happens on the engine's own
+// goroutine (serial loop or parallel barrier), so the pool is unshared.
+func (c *context) issueDMA(g *tog.TOG, n *tog.Node, cs *coreState, fabric Fabric, cycle int64) error {
 	base, ok := c.baseOf(n.Tensor)
 	if !ok {
 		return fmt.Errorf("unbound tensor %q in %q", n.Tensor, g.Name)
@@ -362,7 +365,14 @@ func (c *context) issueDMA(g *tog.TOG, n *tog.Node, fabric Fabric, cycle int64) 
 				sz = rg.Bytes - b
 			}
 			issued += int64(sz)
-			req := &MemReq{
+			var req *MemReq
+			if np := len(cs.reqPool); np > 0 {
+				req = cs.reqPool[np-1]
+				cs.reqPool = cs.reqPool[:np-1]
+			} else {
+				req = &MemReq{}
+			}
+			*req = MemReq{
 				Addr:    rg.Addr + uint64(b),
 				Bytes:   sz,
 				IsWrite: n.Kind == tog.StoreDMA,

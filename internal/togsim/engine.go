@@ -10,6 +10,16 @@ import (
 	"repro/internal/tog"
 )
 
+// RoundStats counts the scheduling rounds of a parallel run: Window
+// rounds step every core concurrently across WindowedCycles total safe
+// cycles; Serial rounds execute one globally ordered cycle (a delivery or
+// tightly coupled submission) on the coordinating goroutine.
+type RoundStats struct {
+	Window         int64
+	Serial         int64
+	WindowedCycles int64
+}
+
 // DefaultMaxCycles is the deadlock guard: a run exceeding this many
 // simulated cycles aborts with a diagnostic error listing the stuck jobs.
 // Override per engine via Engine.MaxCycles.
@@ -73,6 +83,12 @@ type Result struct {
 // idle cycles a polling loop would burn. The skip logic is conservative
 // by construction (components report cycle+1 whenever they cannot bound
 // their next event), so results are bit-identical to per-cycle polling.
+//
+// With Workers > 1 and a fabric that supports conservative windows
+// (WindowFabric), one simulation is executed across host goroutines: each
+// simulated core owns a domain stepped independently inside safe time
+// windows, with core↔fabric traffic replayed at a deterministic barrier.
+// Results remain bit-identical to serial execution (see parallel.go).
 type Engine struct {
 	Cfg    npu.Config
 	Fabric Fabric
@@ -81,6 +97,11 @@ type Engine struct {
 	// at a time (the original polling loop). Results are identical either
 	// way; the flag exists for equivalence testing and debugging.
 	StrictTick bool
+
+	// Workers is the number of host goroutines a single run may use.
+	// 0 or 1 = serial. Values > 1 enable the windowed parallel engine
+	// when the fabric supports it; results are bit-identical regardless.
+	Workers int
 
 	// MaxCycles guards against deadlock (0 = DefaultMaxCycles).
 	MaxCycles int64
@@ -92,12 +113,36 @@ type Engine struct {
 	// path, and an attached probe never changes the Result — both enforced
 	// by the equivalence tests and the TLS engine benchmarks.
 	Probe obs.Probe
+
+	// Rounds reports how the last parallel Run split its work between
+	// parallel window rounds and serialized single-cycle rounds (always
+	// zero after a serial run). Purely diagnostic.
+	Rounds RoundStats
+
+	// PerturbBarrier is a fault-injection hook for the crosscheck
+	// self-test: it deliberately corrupts the parallel barrier (staged
+	// requests replay one cycle late, in reversed core order), which MUST
+	// make the serial-vs-parallel oracle fire. Never set in production.
+	PerturbBarrier bool
 }
 
 // NewEngine returns an engine over the given fabric.
 func NewEngine(cfg npu.Config, fabric Fabric) *Engine {
 	return &Engine{Cfg: cfg, Fabric: fabric, NodesPerCycle: 256}
 }
+
+// DeadlockError is the typed run-cannot-finish failure: the simulation
+// either ran out of future events or exceeded MaxCycles. Detail carries
+// the full per-job diagnostic (stuck jobs, their oldest pending DMAs,
+// fabric occupancy) so callers can surface it verbatim — the daemon puts
+// it in the job's error body rather than a bare status string.
+type DeadlockError struct {
+	Cycle     int64
+	Remaining int
+	Detail    string
+}
+
+func (e *DeadlockError) Error() string { return e.Detail }
 
 // core-local shared compute units.
 type coreState struct {
@@ -108,14 +153,16 @@ type coreState struct {
 	queue      []*Job // jobs waiting for a free context slot
 	maxCtx     int
 	stats      CoreStats
+
+	// reqPool recycles this core's completed burst requests. Contexts
+	// allocate from it while stepping (possibly inside the core's own
+	// domain goroutine) and the engine returns requests to it at delivery
+	// time (always serial), so the pool needs no lock.
+	reqPool []*MemReq
 }
 
-// Run executes all jobs to completion and returns timing results.
-func (e *Engine) Run(jobs []*Job) (Result, error) {
-	maxCycles := e.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = DefaultMaxCycles
-	}
+// prepare validates the job set and builds fresh per-core state.
+func (e *Engine) prepare(jobs []*Job) ([]*coreState, map[*Job]*JobResult, error) {
 	cores := make([]*coreState, e.Cfg.Cores)
 	for i := range cores {
 		cores[i] = &coreState{
@@ -126,23 +173,98 @@ func (e *Engine) Run(jobs []*Job) (Result, error) {
 	results := map[*Job]*JobResult{}
 	for _, j := range jobs {
 		if j.Core < 0 || j.Core >= len(cores) {
-			return Result{}, fmt.Errorf("togsim: job %q assigned to invalid core %d", j.Name, j.Core)
+			return nil, nil, fmt.Errorf("togsim: job %q assigned to invalid core %d", j.Name, j.Core)
 		}
 		if len(j.Bases) != len(j.TOGs) {
-			return Result{}, fmt.Errorf("togsim: job %q has %d TOGs but %d base maps", j.Name, len(j.TOGs), len(j.Bases))
+			return nil, nil, fmt.Errorf("togsim: job %q has %d TOGs but %d base maps", j.Name, len(j.TOGs), len(j.Bases))
 		}
 		for _, g := range j.TOGs {
 			if err := g.Validate(); err != nil {
-				return Result{}, fmt.Errorf("togsim: job %q: %w", j.Name, err)
+				return nil, nil, fmt.Errorf("togsim: job %q: %w", j.Name, err)
 			}
 		}
 		cores[j.Core].queue = append(cores[j.Core].queue, j)
 		results[j] = &JobResult{Name: j.Name, Start: -1}
 	}
+	return cores, results, nil
+}
+
+// stepCore executes one core's slice of one simulated cycle: admit queued
+// jobs into free context slots (FCFS, respecting arrival times), then step
+// every active context against the given fabric, retiring finished jobs.
+// It is the single per-cycle body shared by the serial loop, the strict
+// loop, and the per-domain stepping of the parallel engine — equivalence
+// across modes holds by construction because they all run this code.
+func (e *Engine) stepCore(ci int, cs *coreState, cycle int64, fabric Fabric,
+	results map[*Job]*JobResult, remaining *int, probe obs.Probe) error {
+	for len(cs.contexts) < cs.maxCtx && len(cs.queue) > 0 && cs.queue[0].Arrival <= cycle {
+		j := cs.queue[0]
+		cs.queue = cs.queue[1:]
+		ctx := newContext(j, ci, e.NodesPerCycle, e.Cfg.Mem.BurstBytes, probe)
+		cs.contexts = append(cs.contexts, ctx)
+		results[j].Start = cycle
+	}
+	live := cs.contexts[:0]
+	for _, ctx := range cs.contexts {
+		if err := ctx.step(cycle, cs, fabric); err != nil {
+			return fmt.Errorf("job %q: %w", ctx.job.Name, err)
+		}
+		if ctx.finished() {
+			r := results[ctx.job]
+			r.End = cycle
+			r.ComputeBusy = ctx.computeBusy
+			r.UnitWait = ctx.unitWait
+			r.DMAWait = ctx.dmaWait
+			r.DMABytes = ctx.dmaBytes
+			*remaining--
+			if probe != nil {
+				probe.Span(obs.CoreTrack(ci, obs.LaneJobs), ctx.job.Name,
+					r.Start, cycle, obs.SpanInfo{Bytes: r.DMABytes})
+			}
+		} else {
+			live = append(live, ctx)
+		}
+	}
+	cs.contexts = live
+	return nil
+}
+
+// deliver hands completed bursts back to their owning contexts and
+// recycles the request records into the issuing core's pool.
+func (e *Engine) deliver(cores []*coreState, cycle int64) {
+	for _, req := range e.Fabric.Completed() {
+		owner := req.owner
+		owner.dmaDone(req, cycle)
+		req.owner = nil
+		cores[req.Core].reqPool = append(cores[req.Core].reqPool, req)
+	}
+}
+
+// Run executes all jobs to completion and returns timing results.
+func (e *Engine) Run(jobs []*Job) (Result, error) {
+	cores, results, err := e.prepare(jobs)
+	if err != nil {
+		return Result{}, err
+	}
 	if e.Probe != nil {
 		e.registerTracks(len(cores))
 	}
+	if e.Workers > 1 && !e.StrictTick {
+		if wf, ok := e.Fabric.(WindowFabric); ok && wf.WindowSafe() {
+			return e.runParallel(jobs, cores, results, wf)
+		}
+	}
+	return e.runSerial(jobs, cores, results)
+}
 
+// runSerial is the single-threaded engine: the event-driven loop (or, with
+// StrictTick, the per-cycle polling loop). It is kept verbatim as the
+// oracle the parallel engine is checked against.
+func (e *Engine) runSerial(jobs []*Job, cores []*coreState, results map[*Job]*JobResult) (Result, error) {
+	maxCycles := e.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = DefaultMaxCycles
+	}
 	var clk sim.Clock
 	// The fabric is driven through a kernel meter so every run knows how
 	// many cycles the memory system was actually ticked versus skipped.
@@ -169,43 +291,12 @@ func (e *Engine) Run(jobs []*Job) (Result, error) {
 				fmt.Sprintf("exceeded max cycles (%d)", maxCycles))
 		}
 		for ci, cs := range cores {
-			// Admit queued jobs into free context slots (FCFS per core;
-			// jobs wait for their arrival time).
-			for len(cs.contexts) < cs.maxCtx && len(cs.queue) > 0 && cs.queue[0].Arrival <= cycle {
-				j := cs.queue[0]
-				cs.queue = cs.queue[1:]
-				ctx := newContext(j, ci, e.NodesPerCycle, e.Cfg.Mem.BurstBytes, e.Probe)
-				cs.contexts = append(cs.contexts, ctx)
-				results[j].Start = cycle
+			if err := e.stepCore(ci, cs, cycle, e.Fabric, results, &remaining, e.Probe); err != nil {
+				return Result{}, err
 			}
-			// Step active contexts.
-			live := cs.contexts[:0]
-			for _, ctx := range cs.contexts {
-				if err := ctx.step(cycle, cs, e.Fabric); err != nil {
-					return Result{}, fmt.Errorf("job %q: %w", ctx.job.Name, err)
-				}
-				if ctx.finished() {
-					r := results[ctx.job]
-					r.End = cycle
-					r.ComputeBusy = ctx.computeBusy
-					r.UnitWait = ctx.unitWait
-					r.DMAWait = ctx.dmaWait
-					r.DMABytes = ctx.dmaBytes
-					remaining--
-					if e.Probe != nil {
-						e.Probe.Span(obs.CoreTrack(ci, obs.LaneJobs), ctx.job.Name,
-							r.Start, cycle, obs.SpanInfo{Bytes: r.DMABytes})
-					}
-				} else {
-					live = append(live, ctx)
-				}
-			}
-			cs.contexts = live
 		}
 		meter.Tick()
-		for _, req := range e.Fabric.Completed() {
-			req.owner.dmaDone(req, cycle)
-		}
+		e.deliver(cores, cycle)
 	}
 	if e.Probe != nil {
 		e.Probe.Counter(obs.FabricTrack, "fabric.busy_cycles", clk.Now(), float64(meter.Ticked))
@@ -251,26 +342,40 @@ func (e *Engine) nextEventCycle(cycle int64, cores []*coreState) int64 {
 		return cycle + 1
 	}
 	for _, cs := range cores {
-		if len(cs.queue) > 0 && len(cs.contexts) < cs.maxCtx {
-			at := cs.queue[0].Arrival
-			if at <= cycle {
+		if n := coreNextEvent(cs, cycle); n < next {
+			if n <= cycle+1 {
 				return cycle + 1
 			}
-			if at < next {
-				next = at
-			}
-		}
-		for _, ctx := range cs.contexts {
-			if w := ctx.nextWake(cycle); w < next {
-				if w <= cycle+1 {
-					return cycle + 1
-				}
-				next = w
-			}
+			next = n
 		}
 	}
 	if next < cycle+1 {
 		next = cycle + 1
+	}
+	return next
+}
+
+// coreNextEvent is one core's slice of nextEventCycle: the earliest cycle
+// > cycle at which stepCore for this core would not be a no-op — a queued
+// job becoming admissible into a free slot, or a context wake-up. The
+// parallel engine uses it per domain; the serial engine folds it across
+// cores.
+func coreNextEvent(cs *coreState, cycle int64) int64 {
+	next := sim.Never
+	if len(cs.queue) > 0 && len(cs.contexts) < cs.maxCtx {
+		at := cs.queue[0].Arrival
+		if at <= cycle {
+			return cycle + 1
+		}
+		next = at
+	}
+	for _, ctx := range cs.contexts {
+		if w := ctx.nextWake(cycle); w < next {
+			if w <= cycle+1 {
+				return cycle + 1
+			}
+			next = w
+		}
 	}
 	return next
 }
@@ -295,7 +400,7 @@ func (e *Engine) deadlockError(cycle int64, remaining int, cores []*coreState, c
 	if p := e.Fabric.Pending(); p > 0 {
 		fmt.Fprintf(&b, "%sfabric has %d requests in flight", sep, p)
 	}
-	return fmt.Errorf("%s", b.String())
+	return &DeadlockError{Cycle: cycle, Remaining: remaining, Detail: b.String()}
 }
 
 // RunSingle is a convenience wrapper: one TOG, one core, one base map.

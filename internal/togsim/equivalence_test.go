@@ -10,10 +10,11 @@ import (
 	"repro/internal/tog"
 )
 
-// runBothModes executes the same job set under the event-driven engine and
-// the strict per-cycle polling loop (fresh setup each time — engines and
-// fabrics are stateful) and asserts the two Results are bit-identical:
-// total cycles, per-job Start/End/busy/bytes, and per-core unit stats.
+// runBothModes executes the same job set under the event-driven engine,
+// the strict per-cycle polling loop, and the windowed parallel engine
+// (fresh setup each time — engines and fabrics are stateful) and asserts
+// all Results are bit-identical: total cycles, per-job Start/End/busy/
+// bytes, and per-core unit stats.
 func runBothModes(t *testing.T, mkSetup func() *Setup, mkJobs func() []*Job) Result {
 	t.Helper()
 	event := mkSetup()
@@ -29,6 +30,17 @@ func runBothModes(t *testing.T, mkSetup func() *Setup, mkJobs func() []*Job) Res
 	}
 	if !reflect.DeepEqual(evRes, stRes) {
 		t.Fatalf("event-driven result diverges from strict ticking:\nevent:  %+v\nstrict: %+v", evRes, stRes)
+	}
+	for _, workers := range []int{2, 4} {
+		par := mkSetup()
+		par.Engine.Workers = workers
+		pRes, err := par.Engine.Run(mkJobs())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(evRes, pRes) {
+			t.Fatalf("parallel (workers=%d) result diverges from serial:\nserial:   %+v\nparallel: %+v", workers, evRes, pRes)
+		}
 	}
 	return evRes
 }

@@ -36,10 +36,36 @@ type Fabric interface {
 	sim.Component
 	// Submit hands over one request; false means "retry later".
 	Submit(r *MemReq) bool
-	// Completed drains finished requests.
+	// Completed drains finished requests. The returned slice is valid
+	// until the next Completed call (implementations may recycle it), and
+	// after a request is returned the fabric holds no reference to it.
 	Completed() []*MemReq
 	// Pending reports requests in flight.
 	Pending() int
+}
+
+// WindowFabric is the optional capability that lets the engine run one
+// simulation across goroutines with conservative time windows (see
+// parallel.go). A fabric that implements it promises two timing bounds —
+// Lookahead and NextDelivery — that the engine uses to compute horizons
+// inside which core domains provably cannot observe each other. Fabrics
+// that do not implement it (or report WindowSafe false) simply run on the
+// serial path; correctness never depends on this interface, only speed.
+type WindowFabric interface {
+	Fabric
+	// Lookahead returns L >= 1 such that a request submitted at engine
+	// cycle c can never appear in Completed before cycle c+L.
+	Lookahead() int64
+	// NextDelivery returns a conservative lower bound on the earliest
+	// engine cycle at which any in-flight request can appear in Completed,
+	// or sim.Never when nothing is in flight. Undershooting only shrinks
+	// windows; overshooting would break serial equivalence.
+	NextDelivery() int64
+	// WindowSafe reports whether Submit is refusal-free in the fabric's
+	// current configuration. Windows execute cores optimistically against
+	// a staging proxy, so a Submit that the real fabric would have refused
+	// cannot be replayed faithfully; such configurations run serially.
+	WindowSafe() bool
 }
 
 // StdFabric is the standard single-package fabric: a NoC (SN or CN) in
@@ -61,31 +87,79 @@ type StdFabric struct {
 	burst    int
 	reqDelay int64
 
-	cycle      int64
-	delayed    sim.EventQueue[*dram.Request] // loads waiting out the request-path delay
-	toMem      [][]*dram.Request             // per-channel staging for DRAM submission
-	staged     map[int][]*noc.Message        // per-source NoC responses refused by a full queue
-	reqByDram  map[*dram.Request]*MemReq
-	reqByMsg   map[*noc.Message]*MemReq
+	cycle int64
+	// Loads waiting out the request-path delay: due cycles are submit
+	// cycle + constant, hence monotone — a single MonotonicQueue lane.
+	delayed *sim.MonotonicQueue[*dram.Request]
+
+	// Per-channel staging for DRAM submission: head-indexed FIFOs so the
+	// per-cycle drain pops O(accepted) instead of shifting the whole queue
+	// (under backpressure these queues hold thousands of bursts).
+	toMem     [][]*dram.Request
+	toMemHead []int
+	toMemCnt  int
+
+	// Per-port NoC responses refused by a full queue, plus the total count
+	// so the hot NextEvent/NextDelivery checks are O(1).
+	stagedResp [][]*noc.Message
+	stagedCnt  int
+
+	// In-flight request registry. The fabric owns the Tag field of every
+	// dram.Request / noc.Message it creates: Tag-1 indexes the MemReq slot,
+	// replacing per-burst map traffic on the tick path.
+	slots     []*MemReq
+	freeSlots []int32
+
 	delayedDue []*dram.Request // scratch for draining delayed each tick
 	done       []*MemReq
+	doneSpare  []*MemReq // double buffer swapped with done at Completed
 	pending    int
+
+	// Freelists for the per-burst bookkeeping records. DMA-heavy runs
+	// create one dram.Request and up to one noc.Message per burst; both are
+	// fully owned by the fabric once created and fully released at
+	// completion, so they recycle through these pools instead of the
+	// allocator (pinned by the allocs/op benchmark assertion).
+	drPool  []*dram.Request
+	msgPool []*noc.Message
+}
+
+// newDram takes a request record from the pool (or allocates one) and
+// fully reinitializes it, including the controller's private fields.
+func (f *StdFabric) newDram(addr uint64, isWrite bool, src int) *dram.Request {
+	if n := len(f.drPool); n > 0 {
+		dr := f.drPool[n-1]
+		f.drPool = f.drPool[:n-1]
+		*dr = dram.Request{Addr: addr, IsWrite: isWrite, Src: src}
+		return dr
+	}
+	return &dram.Request{Addr: addr, IsWrite: isWrite, Src: src}
+}
+
+func (f *StdFabric) newMsg(src, dst, bytes int) *noc.Message {
+	if n := len(f.msgPool); n > 0 {
+		msg := f.msgPool[n-1]
+		f.msgPool = f.msgPool[:n-1]
+		*msg = noc.Message{Src: src, Dst: dst, Bytes: bytes}
+		return msg
+	}
+	return &noc.Message{Src: src, Dst: dst, Bytes: bytes}
 }
 
 // NewStdFabric builds the standard fabric from an NPU config, a DRAM
 // controller, and a network model.
 func NewStdFabric(cfg npu.Config, mem dram.Controller, net noc.Network) *StdFabric {
 	return &StdFabric{
-		Mem:       mem,
-		Net:       net,
-		cores:     cfg.Cores,
-		channels:  cfg.Mem.Channels,
-		burst:     cfg.Mem.BurstBytes,
-		reqDelay:  int64(cfg.NoC.LatencyCycle),
-		toMem:     make([][]*dram.Request, cfg.Mem.Channels),
-		staged:    map[int][]*noc.Message{},
-		reqByDram: map[*dram.Request]*MemReq{},
-		reqByMsg:  map[*noc.Message]*MemReq{},
+		Mem:        mem,
+		Net:        net,
+		delayed:    sim.NewMonotonicQueue[*dram.Request](1),
+		cores:      cfg.Cores,
+		channels:   cfg.Mem.Channels,
+		burst:      cfg.Mem.BurstBytes,
+		reqDelay:   int64(cfg.NoC.LatencyCycle),
+		toMem:      make([][]*dram.Request, cfg.Mem.Channels),
+		toMemHead:  make([]int, cfg.Mem.Channels),
+		stagedResp: make([][]*noc.Message, cfg.Cores+cfg.Mem.Channels),
 	}
 }
 
@@ -103,24 +177,48 @@ func (f *StdFabric) chanOf(addr uint64) int {
 func (f *StdFabric) stage(dr *dram.Request) {
 	ch := f.chanOf(dr.Addr)
 	f.toMem[ch] = append(f.toMem[ch], dr)
+	f.toMemCnt++
+}
+
+// newSlot registers the in-flight MemReq and returns the tag carried by
+// its dram.Request / noc.Message through the fabric stages.
+func (f *StdFabric) newSlot(r *MemReq) int64 {
+	if n := len(f.freeSlots); n > 0 {
+		i := f.freeSlots[n-1]
+		f.freeSlots = f.freeSlots[:n-1]
+		f.slots[i] = r
+		return int64(i) + 1
+	}
+	f.slots = append(f.slots, r)
+	return int64(len(f.slots))
+}
+
+// takeSlot resolves a tag back to its MemReq and frees the slot.
+func (f *StdFabric) takeSlot(tag int64) *MemReq {
+	i := int32(tag - 1)
+	r := f.slots[i]
+	f.slots[i] = nil
+	f.freeSlots = append(f.freeSlots, i)
+	return r
 }
 
 // Submit implements Fabric.
 func (f *StdFabric) Submit(r *MemReq) bool {
 	if r.IsWrite {
 		// Data flows core -> memory through the NoC first.
-		msg := &noc.Message{Src: r.Core, Dst: f.memPort(r.Addr), Bytes: r.Bytes}
+		msg := f.newMsg(r.Core, f.memPort(r.Addr), r.Bytes)
 		if !f.Net.Submit(msg) {
+			f.msgPool = append(f.msgPool, msg)
 			return false
 		}
-		f.reqByMsg[msg] = r
+		msg.Tag = f.newSlot(r)
 		f.pending++
 		return true
 	}
 	// Loads: header-only request path is a fixed delay before the DRAM.
-	dr := &dram.Request{Addr: r.Addr, Src: r.Src}
-	f.reqByDram[dr] = r
-	f.delayed.Push(f.cycle+f.reqDelay, dr)
+	dr := f.newDram(r.Addr, false, r.Src)
+	dr.Tag = f.newSlot(r)
+	f.delayed.Push(0, f.cycle+f.reqDelay, dr)
 	f.pending++
 	return true
 }
@@ -139,17 +237,15 @@ func (f *StdFabric) Tick() {
 	// core (request complete).
 	f.Net.Tick()
 	for _, msg := range f.Net.Completed() {
-		r := f.reqByMsg[msg]
-		delete(f.reqByMsg, msg)
-		if r == nil {
-			continue
-		}
+		tag := msg.Tag
+		f.msgPool = append(f.msgPool, msg)
+		r := f.slots[tag-1]
 		if r.IsWrite {
-			dr := &dram.Request{Addr: r.Addr, IsWrite: true, Src: r.Src}
-			f.reqByDram[dr] = r
+			dr := f.newDram(r.Addr, true, r.Src)
+			dr.Tag = tag
 			f.stage(dr)
 		} else {
-			f.done = append(f.done, r)
+			f.done = append(f.done, f.takeSlot(tag))
 			f.pending--
 		}
 	}
@@ -157,16 +253,22 @@ func (f *StdFabric) Tick() {
 	// Push staged requests into the DRAM controller, per channel, stopping
 	// at the first refusal (the channel queue preserves FIFO order and a
 	// full queue this cycle stays full for the rest of it).
-	for ch := range f.toMem {
-		q := f.toMem[ch]
-		i := 0
-		for ; i < len(q); i++ {
-			if !f.Mem.Submit(q[i]) {
-				break
+	if f.toMemCnt > 0 {
+		for ch := range f.toMem {
+			q, h := f.toMem[ch], f.toMemHead[ch]
+			for h < len(q) && f.Mem.Submit(q[h]) {
+				h++
+				f.toMemCnt--
 			}
-		}
-		if i > 0 {
-			f.toMem[ch] = append(q[:0], q[i:]...)
+			switch {
+			case h == len(q):
+				f.toMem[ch], h = q[:0], 0
+			case h >= 1024 && 2*h >= len(q):
+				// Amortized compaction: shift the (smaller) tail once per
+				// >=1024 consumed entries instead of every cycle.
+				f.toMem[ch], h = q[:copy(q, q[h:])], 0
+			}
+			f.toMemHead[ch] = h
 		}
 	}
 
@@ -174,22 +276,21 @@ func (f *StdFabric) Tick() {
 	// complete once the column write finishes.
 	f.Mem.Tick()
 	for _, dr := range f.Mem.Completed() {
-		r := f.reqByDram[dr]
-		delete(f.reqByDram, dr)
-		if r == nil {
-			continue
-		}
+		tag := dr.Tag
+		f.drPool = append(f.drPool, dr)
+		r := f.slots[tag-1]
 		if r.IsWrite {
-			f.done = append(f.done, r)
+			f.done = append(f.done, f.takeSlot(tag))
 			f.pending--
 			continue
 		}
-		msg := &noc.Message{Src: f.memPort(r.Addr), Dst: r.Core, Bytes: r.Bytes}
-		f.reqByMsg[msg] = r
+		msg := f.newMsg(f.memPort(r.Addr), r.Core, r.Bytes)
+		msg.Tag = tag
 		// The NoC response port may be busy; stage in the port's FIFO (it
 		// must drain in order behind earlier responses).
-		if len(f.staged[msg.Src]) > 0 || !f.Net.Submit(msg) {
-			f.staged[msg.Src] = append(f.staged[msg.Src], msg)
+		if len(f.stagedResp[msg.Src]) > 0 || !f.Net.Submit(msg) {
+			f.stagedResp[msg.Src] = append(f.stagedResp[msg.Src], msg)
+			f.stagedCnt++
 		}
 	}
 	// Retry staged responses, per port, stopping at the first refusal.
@@ -206,13 +307,8 @@ func (f *StdFabric) Tick() {
 // the earliest of the request-path delay queue, the DRAM controller, and
 // the NoC.
 func (f *StdFabric) NextEvent() int64 {
-	if len(f.done) > 0 || len(f.staged) > 0 {
+	if len(f.done) > 0 || f.stagedCnt > 0 || f.toMemCnt > 0 {
 		return f.cycle + 1
-	}
-	for ch := range f.toMem {
-		if len(f.toMem[ch]) > 0 {
-			return f.cycle + 1
-		}
 	}
 	next := sim.Earliest(f.delayed.NextCycle(), f.Mem.NextEvent(), f.Net.NextEvent())
 	if next <= f.cycle {
@@ -232,27 +328,89 @@ func (f *StdFabric) SkipTo(cycle int64) {
 var _ Fabric = (*StdFabric)(nil)
 
 func (f *StdFabric) retryResponses() {
-	for src, q := range f.staged {
+	if f.stagedCnt == 0 {
+		return
+	}
+	for src, q := range f.stagedResp {
 		i := 0
 		for ; i < len(q); i++ {
 			if !f.Net.Submit(q[i]) {
 				break
 			}
 		}
-		if i == len(q) {
-			delete(f.staged, src)
-		} else if i > 0 {
-			f.staged[src] = append(q[:0], q[i:]...)
+		if i > 0 {
+			f.stagedResp[src] = append(q[:0], q[i:]...)
+			f.stagedCnt -= i
 		}
 	}
 }
 
-// Completed implements Fabric.
+// Completed implements Fabric. The returned slice is valid until the next
+// Completed call: the fabric keeps two buffers and swaps them, so the
+// steady state performs no allocation.
 func (f *StdFabric) Completed() []*MemReq {
 	out := f.done
-	f.done = nil
+	f.done = f.doneSpare[:0]
+	f.doneSpare = out
 	return out
 }
 
 // Pending implements Fabric.
 func (f *StdFabric) Pending() int { return f.pending }
+
+// WindowSafe implements WindowFabric: the simple network never refuses a
+// submission, so optimistic window execution can always be replayed
+// faithfully. The crossbar can refuse under extreme queue pressure, which
+// a staging proxy cannot predict, so CN configurations run serially.
+func (f *StdFabric) WindowSafe() bool {
+	_, ok := f.Net.(*noc.Simple)
+	return ok
+}
+
+// Lookahead implements WindowFabric. Loads spend the header request-path
+// delay before reaching DRAM and at least one DRAM cycle; stores spend at
+// least one serialization cycle plus the NoC latency before DRAM. The
+// lookahead is the smaller of the two paths.
+func (f *StdFabric) Lookahead() int64 {
+	loadL := f.reqDelay
+	if loadL < 1 {
+		loadL = 1
+	}
+	var netLat int64
+	if s, ok := f.Net.(*noc.Simple); ok {
+		netLat = s.Latency
+	}
+	if writeL := netLat + 1; writeL < loadL {
+		return writeL
+	}
+	return loadL
+}
+
+// NextDelivery implements WindowFabric. Same-tick retried work (undrained
+// completions, staged responses, channel FIFOs) pins it to the next cycle;
+// otherwise the earliest of the composed models' next events bounds the
+// earliest completion, because both NoC models and both DRAM controllers
+// report NextEvent at or before their next delivery.
+func (f *StdFabric) NextDelivery() int64 {
+	if len(f.done) > 0 || f.stagedCnt > 0 || f.toMemCnt > 0 {
+		return f.cycle + 1
+	}
+	if f.pending == 0 {
+		return sim.Never
+	}
+	next := sim.Earliest(f.Mem.NextEvent(), f.Net.NextEvent())
+	if d := f.delayed.NextCycle(); d != sim.Never && d+1 < next {
+		// A delayed load released at d completes no earlier than d+1.
+		next = d + 1
+	}
+	if next <= f.cycle {
+		next = f.cycle + 1
+	}
+	if next == sim.Never {
+		// pending > 0 guarantees some model holds work; never unbounded.
+		return f.cycle + 1
+	}
+	return next
+}
+
+var _ WindowFabric = (*StdFabric)(nil)

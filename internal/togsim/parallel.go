@@ -1,0 +1,418 @@
+package togsim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// This file implements the parallel TLS engine: one simulation executed
+// across host goroutines with results bit-identical to the serial engine.
+//
+// The scheme is conservative parallel discrete-event simulation with time
+// windows. Each simulated core is a sim.Domain owning its contexts, unit
+// timestamps, and stats; the fabric (NoC + DRAM) is its own serial domain
+// advanced only on the engine goroutine. Rounds alternate between two
+// shapes:
+//
+//   - Window rounds: when the fabric provably delivers nothing before
+//     horizon H (bounded by NextDelivery and by staged-submission cycle +
+//     Lookahead), every core domain steps its local events up to H in
+//     parallel, submitting DMA bursts into a per-core staging outbox
+//     instead of the real fabric. A core that submits inside a window
+//     stops at firstSubmit+L-1, because its own submission could produce
+//     a delivery to itself L cycles later.
+//
+//   - Serial rounds: when the next global event may couple domains (a
+//     delivery is imminent), the engine executes exactly that cycle the
+//     way the serial loop would: staged submissions replay into the real
+//     fabric in (cycle, core, issue order), due cores step against the
+//     real fabric, the fabric ticks, and completions are delivered.
+//
+// Between rounds, staged submissions no core can pre-empt (cycle <= min
+// watermark) are replayed at a deterministic barrier, so fabric-side
+// contention is computed in exactly the serial order regardless of which
+// goroutine staged what. All deliveries happen in serial rounds or not at
+// all — that is the invariant the horizon computation enforces, and the
+// engine turns any violation into an error rather than a wrong Result.
+
+// windowCap bounds a single window's length, which bounds staged-outbox
+// memory between barriers.
+const windowCap = 1 << 20
+
+// stagedReq is one Submit captured by a core's proxy fabric.
+type stagedReq struct {
+	cycle int64
+	req   *MemReq
+}
+
+// proxyFabric is the Fabric a core domain sees inside a window: it accepts
+// every submission and records it for ordered replay at the barrier. The
+// engine only enters windows when the real fabric is WindowSafe (never
+// refuses), so unconditional acceptance is faithful.
+type proxyFabric struct {
+	lookahead   int64
+	now         int64 // cycle the owning domain is executing
+	firstSubmit int64 // first submission cycle this window (Never if none)
+	entries     []stagedReq
+}
+
+func (p *proxyFabric) Submit(r *MemReq) bool {
+	if p.firstSubmit == sim.Never {
+		p.firstSubmit = p.now
+	}
+	p.entries = append(p.entries, stagedReq{cycle: p.now, req: r})
+	return true
+}
+
+// The component half of the Fabric interface is inert: domains never tick
+// the fabric — only the engine goroutine advances the real one.
+func (p *proxyFabric) Tick()                {}
+func (p *proxyFabric) SkipTo(int64)         {}
+func (p *proxyFabric) NextEvent() int64     { return sim.Never }
+func (p *proxyFabric) Completed() []*MemReq { return nil }
+func (p *proxyFabric) Pending() int         { return len(p.entries) }
+
+var _ Fabric = (*proxyFabric)(nil)
+
+// coreDomain adapts one core's state to sim.Domain. Everything it touches
+// while stepping — coreState, contexts, its proxy, its recorder, its share
+// of the results map values — is owned by this domain alone.
+type coreDomain struct {
+	eng     *Engine
+	ci      int
+	cs      *coreState
+	proxy   *proxyFabric
+	results map[*Job]*JobResult
+
+	rec   *obs.Recorder
+	probe obs.Probe // rec when tracing, nil otherwise
+
+	remaining int // unfinished jobs assigned to this core
+}
+
+// NextEvent implements sim.Domain.
+func (d *coreDomain) NextEvent(now int64) int64 { return coreNextEvent(d.cs, now) }
+
+// StepTo implements sim.Domain: execute this core's events in (now, limit],
+// shrinking the limit to firstSubmit+L-1 once the domain stages a
+// cross-domain submission (its own request could complete L cycles later).
+func (d *coreDomain) StepTo(now, limit int64) (int64, error) {
+	p := d.proxy
+	p.firstSubmit = sim.Never // prior windows' submissions already bound this round's horizon
+	cur := now
+	for {
+		lim := limit
+		if p.firstSubmit != sim.Never && p.firstSubmit+p.lookahead-1 < lim {
+			lim = p.firstSubmit + p.lookahead - 1
+		}
+		if cur >= lim {
+			return cur, nil
+		}
+		next := coreNextEvent(d.cs, cur)
+		if next > lim {
+			return lim, nil
+		}
+		cur = next
+		p.now = cur
+		if d.rec != nil {
+			d.rec.Now = cur
+		}
+		if err := d.eng.stepCore(d.ci, d.cs, cur, p, d.results, &d.remaining, d.probe); err != nil {
+			return cur, err
+		}
+	}
+}
+
+var _ sim.Domain = (*coreDomain)(nil)
+
+// replayEntry is a staged submission tagged for deterministic ordering.
+type replayEntry struct {
+	cycle int64
+	core  int
+	seq   int
+	req   *MemReq
+}
+
+// runParallel executes the jobs with the windowed scheme described above.
+func (e *Engine) runParallel(jobs []*Job, cores []*coreState, results map[*Job]*JobResult, wf WindowFabric) (Result, error) {
+	maxCycles := e.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = DefaultMaxCycles
+	}
+	L := wf.Lookahead()
+	if L < 1 {
+		L = 1
+	}
+	n := len(cores)
+	doms := make([]*coreDomain, n)
+	sdoms := make([]sim.Domain, n)
+	var recs []*obs.Recorder
+	for i, cs := range cores {
+		d := &coreDomain{
+			eng: e, ci: i, cs: cs, results: results,
+			proxy: &proxyFabric{lookahead: L, firstSubmit: sim.Never},
+		}
+		if e.Probe != nil {
+			d.rec = &obs.Recorder{}
+			d.probe = d.rec
+			recs = append(recs, d.rec)
+		}
+		doms[i], sdoms[i] = d, d
+	}
+	for _, j := range jobs {
+		doms[j.Core].remaining++
+	}
+	pool := sim.NewWindowPool(e.Workers)
+	defer pool.Close()
+
+	w := make([]int64, n)       // per-domain watermark: executed through w[i]
+	reached := make([]int64, n) // StepAll out-param
+	nexts := make([]int64, n)   // per-domain next event, recomputed each round
+	meter := sim.Meter{C: wf}
+	var ft int64 // fabric executed through ft
+	var scratch []replayEntry
+
+	// advance executes the real fabric through cycle `to`, ticking through
+	// its internal events and skipping provably idle stretches — the same
+	// tick/skip contract the serial loop uses. No request may complete in
+	// the advanced range (the horizon computation guarantees it; a
+	// completion here means a soundness bug, surfaced as an error).
+	advance := func(to int64) error {
+		for ft < to {
+			next := wf.NextEvent()
+			if next > to {
+				meter.SkipTo(to)
+				ft = to
+				break
+			}
+			if next > ft+1 {
+				meter.SkipTo(next - 1)
+				ft = next - 1
+			}
+			meter.Tick()
+			ft++
+			if len(wf.Completed()) > 0 {
+				return fmt.Errorf("togsim: internal: fabric delivered a request at cycle %d inside a parallel window", ft)
+			}
+		}
+		return nil
+	}
+
+	// flushStaged replays every staged submission with cycle <= bound into
+	// the real fabric in (cycle, core, issue order) — the order the serial
+	// engine would have performed the same Submits. PerturbBarrier is the
+	// crosscheck fault hook: it replays one cycle late in reversed core
+	// order, which must be caught by the serial-vs-parallel oracle.
+	flushStaged := func(bound int64) error {
+		scratch = scratch[:0]
+		for ci, d := range doms {
+			ent := d.proxy.entries
+			k := 0
+			for k < len(ent) && ent[k].cycle <= bound {
+				scratch = append(scratch, replayEntry{cycle: ent[k].cycle, core: ci, seq: k, req: ent[k].req})
+				k++
+			}
+			if k > 0 {
+				d.proxy.entries = ent[:copy(ent, ent[k:])]
+			}
+		}
+		if len(scratch) == 0 {
+			return nil
+		}
+		sort.Slice(scratch, func(a, b int) bool {
+			ea, eb := scratch[a], scratch[b]
+			if ea.cycle != eb.cycle {
+				return ea.cycle < eb.cycle
+			}
+			if ea.core != eb.core {
+				if e.PerturbBarrier {
+					return ea.core > eb.core
+				}
+				return ea.core < eb.core
+			}
+			return ea.seq < eb.seq
+		})
+		for _, en := range scratch {
+			// A Submit executed at core cycle c reaches the fabric while it
+			// sits at c-1 (it ticks to c afterwards), exactly like the
+			// serial loop's cores-then-fabric cycle order.
+			at := en.cycle - 1
+			if e.PerturbBarrier {
+				at = en.cycle
+			}
+			if err := advance(at); err != nil {
+				return err
+			}
+			if !wf.Submit(en.req) {
+				return fmt.Errorf("togsim: internal: fabric refused a replayed submission at cycle %d", en.cycle)
+			}
+		}
+		return nil
+	}
+
+	total := len(jobs)
+	e.Rounds = RoundStats{}
+	for total > 0 {
+		// Barrier: replay everything no domain can pre-empt, then bring the
+		// fabric to the global minimum watermark.
+		minW := w[0]
+		for _, wi := range w[1:] {
+			if wi < minW {
+				minW = wi
+			}
+		}
+		if err := flushStaged(minW); err != nil {
+			return Result{}, err
+		}
+		if err := advance(minW); err != nil {
+			return Result{}, err
+		}
+
+		// S: earliest unexecuted event anywhere — core local events, fabric
+		// internal events, or a staged submission awaiting replay.
+		S := sim.Never
+		for i, d := range doms {
+			nexts[i] = d.NextEvent(w[i])
+			if nexts[i] < S {
+				S = nexts[i]
+			}
+		}
+		if fn := wf.NextEvent(); fn < S {
+			S = fn
+		}
+		stagedMin := sim.Never
+		for _, d := range doms {
+			if len(d.proxy.entries) > 0 && d.proxy.entries[0].cycle < stagedMin {
+				stagedMin = d.proxy.entries[0].cycle
+			}
+		}
+		if stagedMin < S {
+			S = stagedMin
+		}
+		if S == sim.Never {
+			return Result{}, e.deadlockError(minW, total, cores, "no future event")
+		}
+		if S > maxCycles {
+			return Result{}, e.deadlockError(S, total, cores,
+				fmt.Sprintf("exceeded max cycles (%d)", maxCycles))
+		}
+
+		// D: conservative earliest cycle any delivery could reach a core —
+		// from requests inside the fabric, or from staged submissions that
+		// will enter it (each completes no earlier than cycle+L).
+		D := wf.NextDelivery()
+		for _, d := range doms {
+			if len(d.proxy.entries) > 0 {
+				if c := d.proxy.entries[0].cycle + L; c < D {
+					D = c
+				}
+			}
+		}
+		H := D - 1
+		if hi := S + windowCap; hi < H {
+			H = hi
+		}
+		if maxCycles < H {
+			H = maxCycles
+		}
+
+		if H >= S {
+			// Window round: every domain runs its local events to H in
+			// parallel; nothing crosses the fabric boundary until the next
+			// barrier.
+			e.Rounds.Window++
+			e.Rounds.WindowedCycles += H - S + 1
+			if err := pool.StepAll(sdoms, w, H, reached); err != nil {
+				var de *sim.DomainError
+				if errors.As(err, &de) {
+					return Result{}, de.Err
+				}
+				return Result{}, err
+			}
+			copy(w, reached)
+		} else {
+			e.Rounds.Serial++
+			// Serial round: execute global cycle S exactly as the serial
+			// loop would. Ahead domains (w >= S) already executed S and
+			// only replay their staged submissions for it; due domains step
+			// against the real fabric in core order between them.
+			s := S
+			if err := advance(s - 1); err != nil {
+				return Result{}, err
+			}
+			for ci, d := range doms {
+				if w[ci] >= s {
+					ent := d.proxy.entries
+					k := 0
+					for k < len(ent) && ent[k].cycle == s {
+						if !wf.Submit(ent[k].req) {
+							return Result{}, fmt.Errorf("togsim: internal: fabric refused a replayed submission at cycle %d", s)
+						}
+						k++
+					}
+					if k > 0 {
+						d.proxy.entries = ent[:copy(ent, ent[k:])]
+					}
+					continue
+				}
+				if nexts[ci] != s {
+					continue
+				}
+				if d.rec != nil {
+					d.rec.Now = s
+				}
+				if err := e.stepCore(ci, d.cs, s, wf, results, &d.remaining, d.probe); err != nil {
+					return Result{}, err
+				}
+			}
+			meter.Tick()
+			ft = s
+			for _, req := range wf.Completed() {
+				d := doms[req.Core]
+				if w[req.Core] > s {
+					return Result{}, fmt.Errorf("togsim: internal: delivery at cycle %d to core %d already at cycle %d", s, req.Core, w[req.Core])
+				}
+				if d.rec != nil {
+					d.rec.Now = s
+				}
+				req.owner.dmaDone(req, s)
+				req.owner = nil
+				d.cs.reqPool = append(d.cs.reqPool, req)
+			}
+			for i := range w {
+				if w[i] < s {
+					w[i] = s
+				}
+			}
+		}
+
+		total = 0
+		for _, d := range doms {
+			total += d.remaining
+		}
+	}
+
+	var last int64
+	for _, r := range results {
+		if r.End > last {
+			last = r.End
+		}
+	}
+	if e.Probe != nil {
+		obs.MergeRecorders(e.Probe, recs...)
+		e.Probe.Counter(obs.FabricTrack, "fabric.busy_cycles", last, float64(meter.Ticked))
+		e.Probe.Counter(obs.FabricTrack, "fabric.skipped_cycles", last, float64(meter.Skipped))
+	}
+	res := Result{Cycles: last}
+	for _, j := range jobs {
+		res.Jobs = append(res.Jobs, *results[j])
+	}
+	for _, cs := range cores {
+		res.Cores = append(res.Cores, cs.stats)
+	}
+	return res, nil
+}

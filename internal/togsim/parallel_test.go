@@ -1,0 +1,148 @@
+package togsim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/npu"
+	"repro/internal/obs"
+	"repro/internal/tog"
+)
+
+// contentionJobs builds one DMA-heavy job per core, all hammering nearby
+// DRAM regions with staggered arrivals, so the cores couple tightly
+// through fabric contention — the hardest shape for a parallel engine to
+// get bit-identical.
+func contentionJobs(cores int) []*Job {
+	jobs := make([]*Job, 0, cores)
+	for ci := 0; ci < cores; ci++ {
+		jobs = append(jobs, &Job{
+			Name:    "j" + string(rune('a'+ci)),
+			TOGs:    []*tog.TOG{tiledTOG("j", 12, 8, 128, 30, ci%2 == 0)},
+			Bases:   []map[string]uint64{{"in": uint64(ci) << 14, "out": 1<<22 + uint64(ci)<<14}},
+			Core:    ci,
+			Src:     ci,
+			Arrival: int64(ci * 97),
+		})
+	}
+	return jobs
+}
+
+// TestParallelContention runs tightly coupled multi-core workloads and
+// checks the windowed engine stays bit-identical to serial across core
+// counts and worker counts.
+func TestParallelContention(t *testing.T) {
+	for _, cores := range []int{1, 2, 4, 8} {
+		cfg := npu.SmallConfig()
+		cfg.Cores = cores
+		mk := func() *Setup { return NewStandard(cfg, SimpleNet, dram.FRFCFS) }
+
+		serial := mk()
+		want, err := serial.Engine.Run(contentionJobs(cores))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			par := mk()
+			par.Engine.Workers = workers
+			got, err := par.Engine.Run(contentionJobs(cores))
+			if err != nil {
+				t.Fatalf("cores=%d workers=%d: %v", cores, workers, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("cores=%d workers=%d diverged:\nserial:   %+v\nparallel: %+v", cores, workers, want, got)
+			}
+		}
+	}
+}
+
+// TestParallelPerturbBarrierDiverges is the fault-injection self-test: a
+// deliberately corrupted barrier (late replay, reversed core order) MUST
+// change the Result on a DMA-carrying workload, otherwise the
+// serial-vs-parallel crosscheck oracle would be checking nothing.
+func TestParallelPerturbBarrierDiverges(t *testing.T) {
+	cfg := npu.SmallConfig()
+	cfg.Cores = 2
+	mk := func() *Setup { return NewStandard(cfg, SimpleNet, dram.FRFCFS) }
+
+	serial := mk()
+	want, err := serial.Engine.Run(contentionJobs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := mk()
+	par.Engine.Workers = 2
+	par.Engine.PerturbBarrier = true
+	got, err := par.Engine.Run(contentionJobs(2))
+	if err == nil && reflect.DeepEqual(want, got) {
+		t.Fatalf("perturbed barrier produced a bit-identical result; the parallel oracle cannot detect divergence")
+	}
+}
+
+// TestParallelTracedEquivalence: attaching a probe to the parallel engine
+// must not change the Result, and the per-domain recorders must fan their
+// buffered spans into the shared trace.
+func TestParallelTracedEquivalence(t *testing.T) {
+	cfg := npu.SmallConfig()
+	cfg.Cores = 4
+	mk := func() *Setup { return NewStandard(cfg, SimpleNet, dram.FRFCFS) }
+
+	plain := mk()
+	plain.Engine.Workers = 4
+	want, err := plain.Engine.Run(contentionJobs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	traced := mk()
+	traced.Engine.Workers = 4
+	tw := obs.NewTraceWriter()
+	traced.AttachProbe(tw)
+	got, err := traced.Engine.Run(contentionJobs(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("probe changed the parallel result:\nplain:  %+v\ntraced: %+v", want, got)
+	}
+	if tw.Len() == 0 {
+		t.Fatal("traced parallel run emitted no events")
+	}
+	// Job spans for every job must have survived the recorder merge.
+	names := map[string]bool{}
+	for _, ev := range tw.Events() {
+		names[ev.Name] = true
+	}
+	for _, j := range contentionJobs(4) {
+		if !names[j.Name] {
+			t.Fatalf("trace missing job span %q", j.Name)
+		}
+	}
+}
+
+// TestParallelFallbackUnsafeFabric: a fabric that cannot window (the
+// crossbar can refuse submissions) must silently run serial and still
+// produce the serial result.
+func TestParallelFallbackUnsafeFabric(t *testing.T) {
+	cfg := npu.SmallConfig()
+	cfg.Cores = 2
+	mk := func() *Setup { return NewStandard(cfg, CycleNet, dram.FRFCFS) }
+	serial := mk()
+	want, err := serial.Engine.Run(contentionJobs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := mk()
+	if par.Engine.Fabric.(WindowFabric).WindowSafe() {
+		t.Fatal("crossbar fabric unexpectedly reports WindowSafe")
+	}
+	par.Engine.Workers = 4
+	got, err := par.Engine.Run(contentionJobs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("fallback run diverged:\nserial: %+v\ngot:    %+v", want, got)
+	}
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# bench_engine: run the parallel-engine benchmarks (serial vs windowed on
+# resnet18/bert-base at 1/4/8 simulated cores, plus the compute-resident
+# 8-core multi-tenant shape) and write the raw results and a JSON summary
+# to BENCH_engine.json in the repo root. The summary records, per workload,
+# the serial and parallel wall time, the simulated cycle counts (which must
+# be bit-identical — the script fails on any mismatch, so a passing run is
+# also a correctness signal), the window/serial round split explaining
+# whether the workload parallelizes, and the speedup. Host CPU count is
+# recorded alongside: on a one-CPU host the windowed engine can still win
+# on window-dominated workloads (domain-local stepping beats the serial
+# loop's global next-event scans), while delivery-dense workloads report
+# speedup ~1.0 by construction.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+count=${1:-1}
+out=BENCH_engine.json
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "bench_engine: running BenchmarkEngine{Resnet18,BertBase}C{1,4,8}{Serial,Parallel} + BenchmarkEngineResident8C{Serial,Parallel} (count=$count)"
+go test -run xxx -bench 'BenchmarkEngine(Resnet18|BertBase)C(1|4|8)(Serial|Parallel)$|BenchmarkEngineResident8C(Serial|Parallel)$' \
+  -benchtime 1x -count "$count" -timeout 7200s . | tee "$raw"
+
+python3 - "$raw" "$out" <<'EOF'
+import json, os, re, sys
+raw, out = sys.argv[1], sys.argv[2]
+runs = {}
+for line in open(raw):
+    m = re.match(r'^(BenchmarkEngine\w+?)(?:-\d+)?\s+\d+\s+(.*)', line)
+    if not m:
+        continue
+    name, rest = m.group(1), m.group(2)
+    r = runs.setdefault(name, {"ns": [], "metrics": {}})
+    for val, unit in re.findall(r'([\d.]+) ([\w\-/]+)', rest):
+        if unit == "ns/op":
+            r["ns"].append(int(float(val)))
+        elif unit in ("sim-cycles", "window-rounds", "serial-rounds"):
+            r["metrics"][unit] = int(float(val))
+
+workloads = {}
+fail = False
+for name, r in sorted(runs.items()):
+    m = re.match(r'Benchmark(Engine\w+?)(Serial|Parallel)$', name)
+    if not m or not r["ns"]:
+        continue
+    wl, mode = m.group(1), m.group(2).lower()
+    best = min(r["ns"])
+    entry = workloads.setdefault(wl, {})
+    entry[mode] = {
+        "runs_ns": r["ns"],
+        "best_ns": best,
+        "best_s": round(best / 1e9, 3),
+        "sim_cycles": r["metrics"].get("sim-cycles"),
+        "sim_cycles_per_sec": round(r["metrics"].get("sim-cycles", 0) / (best / 1e9)),
+    }
+    if mode == "parallel":
+        entry[mode]["window_rounds"] = r["metrics"].get("window-rounds")
+        entry[mode]["serial_rounds"] = r["metrics"].get("serial-rounds")
+for wl, entry in workloads.items():
+    if "serial" in entry and "parallel" in entry:
+        entry["cycles_match"] = entry["serial"]["sim_cycles"] == entry["parallel"]["sim_cycles"]
+        entry["speedup"] = round(entry["serial"]["best_ns"] / entry["parallel"]["best_ns"], 3)
+        if not entry["cycles_match"]:
+            print(f"bench_engine: FAIL: {wl} cycles diverge between serial and parallel", file=sys.stderr)
+            fail = True
+summary = {
+    "host_cpus": os.cpu_count(),
+    "workloads": workloads,
+}
+json.dump(summary, open(out, "w"), indent=2)
+print(f"bench_engine: wrote {out}")
+if fail:
+    sys.exit(1)
+EOF
