@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race check bench bench-compile bench-engine service-smoke trace-smoke cache-smoke fuzz-smoke crosscheck cover clean
+.PHONY: all build fmt vet test race check bench bench-compile bench-engine bench-serve service-smoke trace-smoke cache-smoke fuzz-smoke serve-smoke crosscheck cover clean
 
 all: check
 
@@ -38,6 +38,7 @@ check:
 	$(MAKE) trace-smoke
 	$(MAKE) cache-smoke
 	$(MAKE) fuzz-smoke
+	$(MAKE) serve-smoke
 	$(MAKE) crosscheck
 
 # End-to-end daemon check: start ptsimd on an ephemeral port, submit a
@@ -64,6 +65,13 @@ cache-smoke:
 fuzz-smoke:
 	bash scripts/fuzz_smoke.sh
 
+# End-to-end LLM serving check: ptserve on the tiny decoder must finish
+# every request with nonzero tokens/sec, and every decode step past the
+# first at a given shape must be a compile-cache hit
+# (scripts/serve_smoke.sh).
+serve-smoke:
+	bash scripts/serve_smoke.sh
+
 # Cross-simulator differential gate: 200 seeded random workloads through
 # every oracle (zero divergences required), then the fault-injection
 # self-tests, which pass only if a deliberate fault — a +1-cycle latency
@@ -71,6 +79,7 @@ fuzz-smoke:
 # detected and shrunk to a replayable repro.
 crosscheck:
 	$(GO) run ./cmd/ptsimcheck -seed 1 -n 200
+	$(GO) run ./cmd/ptsimcheck -serve -seed 1
 	@tmp=$$(mktemp -d); \
 		$(GO) run ./cmd/ptsimcheck -seed 1 -n 20 -fault -out $$tmp && rm -rf $$tmp
 	@tmp=$$(mktemp -d); \
@@ -93,6 +102,12 @@ bench-compile:
 # plus the compute-resident multi-tenant shape) -> BENCH_engine.json.
 bench-engine:
 	bash scripts/bench_engine.sh
+
+# LLM inference benchmarks: per-iteration prefill/decode cycles swept over
+# batch and context, plus a continuous-batching serving run with latency
+# percentiles -> BENCH_serve.json.
+bench-serve:
+	bash scripts/bench_serve.sh
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,130 @@
+// Command ptserve is the LLM serving simulator: it synthesizes a seeded
+// Poisson trace of generation requests and replays it through the
+// continuous-batching scheduler, simulating every prefill pass and decode
+// step on the NPU timing model. The report is serving-shaped — TTFT and
+// per-token latency percentiles, tokens/sec, batch occupancy — plus the
+// compile-cache behaviour of the autoregressive loop (decode steps after
+// the first at a given shape are 100% cache hits).
+//
+// Usage:
+//
+//	ptserve -model decoder-small -requests 8 -rate 2000 -gen 16
+//	ptserve -model decoder-tiny -small -requests 4 -prompt 8 -gen 8 -json
+//	ptserve -model decoder-base -max-batch 8 -kv-block 128 -cache-dir ~/.ptsim-cache
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/compiler"
+	"repro/internal/graph"
+	"repro/internal/serve"
+	"repro/internal/service"
+	"repro/internal/service/cache"
+	"repro/internal/service/modelzoo"
+	"repro/internal/togsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ptserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	model := flag.String("model", "decoder-small", "decoder model to serve (decoder-tiny, decoder-small, decoder-base)")
+	requests := flag.Int("requests", 8, "number of requests in the arrival trace")
+	rate := flag.Float64("rate", 1000, "Poisson arrival rate in requests per simulated second")
+	seed := flag.Int64("seed", 1, "arrival-trace seed (same seed, same trace, same report)")
+	prompt := flag.Int("prompt", 16, "prompt tokens per request")
+	gen := flag.Int("gen", 8, "tokens to generate per request")
+	maxBatch := flag.Int("max-batch", 4, "continuous-batch capacity")
+	kvBlock := flag.Int("kv-block", 64, "KV-cache page size in tokens (decode shapes pad up to this)")
+	netKind := flag.String("net", "sn", "interconnect: sn or cn")
+	small := flag.Bool("small", false, "use the small NPU config")
+	engineWorkers := flag.Int("engine-workers", 0, "host goroutines stepping simulated cores per iteration (0 or 1 = serial; results are bit-identical)")
+	maxCycles := flag.Int64("max-cycles", 0, "per-iteration deadlock guard (0 = engine default)")
+	cacheDir := flag.String("cache-dir", "", "persist compile artifacts and kernel latencies under this directory")
+	showReport := flag.Bool("report", false, "print the per-request breakdown")
+	jsonOut := flag.Bool("json", false, "print the serving report as JSON on stdout")
+	flag.Parse()
+
+	if !strings.HasPrefix(*model, "decoder-") || !modelzoo.Known(*model) {
+		return fmt.Errorf("serving needs a decoder model, got %q", *model)
+	}
+	npuName := "tpuv3"
+	if *small {
+		npuName = "small"
+	}
+	npuCfg, err := modelzoo.NPUConfig(npuName)
+	if err != nil {
+		return err
+	}
+	net := togsim.SimpleNet
+	switch *netKind {
+	case "sn":
+	case "cn":
+		net = togsim.CycleNet
+	default:
+		return fmt.Errorf("unknown net %q (sn, cn)", *netKind)
+	}
+
+	// The same content-addressed compile cache the daemon uses: prefill
+	// compiles once per prompt shape, decode once per (batch, padded-KV)
+	// shape, and with -cache-dir the artifacts outlive this process.
+	cc := service.NewCache()
+	if *cacheDir != "" {
+		disk, err := cache.NewDisk(*cacheDir)
+		if err != nil {
+			return fmt.Errorf("opening cache dir: %w", err)
+		}
+		cc.SetStore(cache.NewLayered(cache.NewMemory(), disk))
+	}
+	opts := compiler.DefaultOptions()
+	compile := func(spec modelzoo.Spec) (*compiler.Compiled, bool, error) {
+		key := service.CompileKey(spec, npuCfg, opts)
+		return cc.Compile(key, npuCfg, opts, func() (*graph.Graph, error) {
+			return modelzoo.BuildGraph(spec)
+		})
+	}
+
+	cfg := serve.Config{
+		Model:         *model,
+		NPU:           npuCfg,
+		Net:           net,
+		MaxBatch:      *maxBatch,
+		KVBlock:       *kvBlock,
+		EngineWorkers: *engineWorkers,
+		MaxCycles:     *maxCycles,
+		Compile:       compile,
+	}
+	reqs := serve.PoissonTrace(*seed, *requests, *rate, npuCfg.FreqMHz, *prompt, *gen)
+	start := time.Now()
+	rep, err := serve.Run(cfg, reqs)
+	if err != nil {
+		return err
+	}
+	rep.NPU = npuName
+	rep.WallMs = float64(time.Since(start)) / 1e6
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	if *showReport {
+		fmt.Print(rep.Text())
+	} else {
+		brief := rep
+		brief.PerRequest = nil
+		fmt.Print(brief.Text())
+	}
+	fmt.Printf("host: %.0f ms wall\n", rep.WallMs)
+	return nil
+}

@@ -48,6 +48,8 @@ func run() error {
 	batch := flag.Int("batch", 1, "batch size")
 	n := flag.Int("n", 512, "GEMM dimension (model=gemm)")
 	seq := flag.Int("seq", 512, "sequence length (BERT models)")
+	ctx := flag.Int("ctx", 128, "context length (decoder models)")
+	prefill := flag.Bool("prefill", false, "decoder models: simulate the prompt prefill pass instead of a decode step")
 	mode := flag.String("mode", "tls", "simulation mode: tls or ils")
 	netKind := flag.String("net", "sn", "interconnect: sn or cn")
 	small := flag.Bool("small", false, "use the small NPU config")
@@ -75,7 +77,7 @@ func run() error {
 		logw = os.Stderr
 	}
 
-	g, err := modelzoo.BuildGraph(modelzoo.Spec{Model: *model, Batch: *batch, N: *n, Seq: *seq})
+	g, err := modelzoo.BuildGraph(modelzoo.Spec{Model: *model, Batch: *batch, N: *n, Seq: *seq, Ctx: *ctx, Prefill: *prefill})
 	if err != nil {
 		return err
 	}

@@ -42,6 +42,7 @@ func run() error {
 	seed := flag.Uint64("seed", 1, "generation stream seed")
 	n := flag.Int("n", 200, "number of cases to generate and check")
 	replay := flag.String("replay", "", "replay a recorded repro JSON file instead of generating")
+	serveCheck := flag.Bool("serve", false, "run the serve-determinism oracle (same seed twice, serial vs parallel engine) instead of the case generator")
 	fault := flag.Bool("fault", false, "self-test: perturb one tile latency by +1 cycle after every compile; the run SUCCEEDS only if an oracle detects it")
 	faultEngine := flag.Bool("fault-engine", false, "self-test: corrupt the parallel engine's barrier ordering; the run SUCCEEDS only if the serial-vs-parallel oracle detects it")
 	out := flag.String("out", ".", "directory for divergence repro files")
@@ -60,6 +61,15 @@ func run() error {
 
 	if *replay != "" {
 		return runReplay(ck, *replay)
+	}
+	if *serveCheck {
+		start := time.Now()
+		if err := crosscheck.CheckServe(int64(*seed)); err != nil {
+			return err
+		}
+		fmt.Printf("ok: serve-determinism (seed %d, replay + serial-vs-parallel) in %v\n",
+			*seed, time.Since(start).Round(time.Millisecond))
+		return nil
 	}
 
 	start := time.Now()

@@ -11,6 +11,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"flag"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
@@ -21,6 +22,8 @@ import (
 	"repro/internal/exp"
 	"repro/internal/npu"
 	"repro/internal/obs/report"
+	"repro/internal/serve"
+	"repro/internal/service/modelzoo"
 	"repro/internal/togsim"
 )
 
@@ -118,4 +121,63 @@ func TestGoldenTogsimJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	goldenCompare(t, "togsim_report.json", buf.Bytes())
+}
+
+// goldenServeReport produces the deterministic serving report both serve
+// golden tests render: a seeded 3-request continuous-batching run of the
+// tiny decoder on the small machine. The generator never records host
+// time, so the bytes are fully deterministic.
+func goldenServeReport(t *testing.T) report.ServeReport {
+	t.Helper()
+	cfg := npu.SmallConfig()
+	comp := compiler.New(cfg, compiler.DefaultOptions())
+	memo := map[string]*compiler.Compiled{}
+	sc := serve.Config{
+		Model:    "decoder-tiny",
+		NPU:      cfg,
+		Net:      togsim.SimpleNet,
+		MaxBatch: 2,
+		KVBlock:  16,
+		Compile: func(spec modelzoo.Spec) (*compiler.Compiled, bool, error) {
+			key := fmt.Sprintf("%+v", spec.Normalize())
+			if c, ok := memo[key]; ok {
+				return c, true, nil
+			}
+			g, err := modelzoo.BuildGraph(spec)
+			if err != nil {
+				return nil, false, err
+			}
+			c, err := comp.Compile(g)
+			if err != nil {
+				return nil, false, err
+			}
+			memo[key] = c
+			return c, false, nil
+		},
+	}
+	reqs := serve.PoissonTrace(1, 3, 2e5, cfg.FreqMHz, 4, 4)
+	rep, err := serve.Run(sc, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestGoldenServeReport pins the text rendering of ptserve -report.
+func TestGoldenServeReport(t *testing.T) {
+	rep := goldenServeReport(t)
+	goldenCompare(t, "serve_report.txt", []byte(rep.Text()))
+}
+
+// TestGoldenServeJSON pins the JSON rendering of ptserve -json (indented
+// encoder, exactly like the CLI).
+func TestGoldenServeJSON(t *testing.T) {
+	rep := goldenServeReport(t)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "serve_report.json", buf.Bytes())
 }

@@ -191,3 +191,37 @@ func TestWideLayerNormMatchesReference(t *testing.T) {
 		t.Fatalf("wide layernorm kernel wrong (max diff %g)", tensor.MaxAbsDiff(got, want))
 	}
 }
+
+func TestRMSNormMatchesReference(t *testing.T) {
+	r := tensor.NewRNG(12)
+	rows, cols := 4, 12 // Cols <= VLEN exercises the single-pass kernel
+	a := tensor.RandNormal(r, 0.5, 2, rows, cols)
+	gamma := tensor.RandNormal(r, 1, 0.2, cols)
+	spec := RMSNormSpec{Rows: rows, Cols: cols, VLEN: 16, AOff: 0, GOff: 4096, OutOff: 8192}
+	core := runKernel(t, RMSNorm(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, a.Data)
+		writeSpad(fc, spec.GOff, gamma.Data)
+	})
+	got := tensor.FromSlice(readSpad(core, spec.OutOff, rows*cols), rows, cols)
+	want := tensor.RMSNorm(a, gamma, 1e-5)
+	if !tensor.AllClose(got, want, 1e-3, 1e-3) {
+		t.Fatalf("rmsnorm kernel wrong (max diff %g)", tensor.MaxAbsDiff(got, want))
+	}
+}
+
+func TestWideRMSNormMatchesReference(t *testing.T) {
+	r := tensor.NewRNG(13)
+	rows, cols := 3, 48 // Cols > SmallConfig VLEN = 16 exercises the multi-pass path
+	a := tensor.RandNormal(r, 0.5, 2, rows, cols)
+	gamma := tensor.RandNormal(r, 1, 0.2, cols)
+	spec := RMSNormSpec{Rows: rows, Cols: cols, VLEN: 16, AOff: 0, GOff: 4096, OutOff: 8192}
+	core := runKernel(t, RMSNorm(spec), func(fc *funcsim.Core) {
+		writeSpad(fc, spec.AOff, a.Data)
+		writeSpad(fc, spec.GOff, gamma.Data)
+	})
+	got := tensor.FromSlice(readSpad(core, spec.OutOff, rows*cols), rows, cols)
+	want := tensor.RMSNorm(a, gamma, 1e-5)
+	if !tensor.AllClose(got, want, 1e-3, 1e-3) {
+		t.Fatalf("wide rmsnorm kernel wrong (max diff %g)", tensor.MaxAbsDiff(got, want))
+	}
+}

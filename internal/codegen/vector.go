@@ -242,6 +242,61 @@ func LayerNorm(s LayerNormSpec) *isa.Program {
 	return b.Build()
 }
 
+// RMSNormSpec describes a row-wise RMS normalization tile kernel (the
+// decoder-block norm): out = x / sqrt(mean(x^2) + eps) * gamma. Unlike
+// layernorm there is no mean subtraction and no beta shift.
+type RMSNormSpec struct {
+	Rows, Cols         int
+	VLEN               int
+	Eps                float32
+	AOff, GOff, OutOff int64
+}
+
+// Signature is the kernel cache key.
+func (s RMSNormSpec) Signature() string {
+	return fmt.Sprintf("rmsnorm_r%d_c%d_v%d", s.Rows, s.Cols, s.VLEN)
+}
+
+// RMSNorm generates the row-wise RMS-norm kernel: mean square, rsqrt,
+// scale by gamma. Rows wider than VLEN use the multi-pass lowering.
+func RMSNorm(s RMSNormSpec) *isa.Program {
+	if s.Cols > s.VLEN {
+		return rmsNormWide(s)
+	}
+	eps := s.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	emitSetVL(b, s.Cols)
+	b.Emit(isa.FLI(2, 1/float32(s.Cols))) // f2 = 1/n
+	b.Emit(isa.FLI(3, eps))               // f3 = eps
+	emitSpadAddr(b, rTmp, s.GOff)
+	b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vBias, Rs1: rTmp}) // gamma
+	for r := 0; r < s.Rows; r++ {
+		off := int64(r * s.Cols * 4)
+		emitSpadAddr(b, rTmp, s.AOff+off)
+		b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+		// ms = sum(x^2)/n
+		b.Emit(isa.Instr{Op: isa.OpVMUL, Rd: vAcc, Rs1: vIn, Rs2: vIn})
+		b.Emit(isa.Instr{Op: isa.OpVREDSUM, Rd: fZero, Rs1: vAcc})
+		b.Emit(isa.Instr{Op: isa.OpFMUL, Rd: fZero, Rs1: fZero, Rs2: 2})
+		// inv = 1/sqrt(ms + eps)
+		b.Emit(isa.Instr{Op: isa.OpFADD, Rd: fZero, Rs1: fZero, Rs2: 3})
+		b.Emit(isa.Instr{Op: isa.OpFSQRT, Rd: fZero, Rs1: fZero})
+		b.Emit(isa.Instr{Op: isa.OpFLI, Rd: 4, Imm: isa.FLI(4, 1).Imm})
+		b.Emit(isa.Instr{Op: isa.OpFDIV, Rd: fZero, Rs1: 4, Rs2: fZero})
+		// out = x*inv*gamma
+		b.Emit(isa.Instr{Op: isa.OpVMULVF, Rd: vIn, Rs1: vIn, Rs2: fZero})
+		b.Emit(isa.Instr{Op: isa.OpVMUL, Rd: vOut, Rs1: vIn, Rs2: vBias})
+		emitSpadAddr(b, rTmp, s.OutOff+off)
+		b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vOut, Rs1: rTmp})
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}
+
 // ColSumSpec describes the column-sum reduction (M,N) -> (N,) used for bias
 // gradients.
 type ColSumSpec struct {

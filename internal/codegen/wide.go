@@ -137,6 +137,63 @@ func layerNormWide(s LayerNormSpec) *isa.Program {
 	return b.Build()
 }
 
+// rmsNormWide emits the multi-pass RMS norm for Cols > VLEN.
+func rmsNormWide(s RMSNormSpec) *isa.Program {
+	eps := s.Eps
+	if eps == 0 {
+		eps = 1e-5
+	}
+	b := isa.NewBuilder(s.Signature())
+	emitSpadBase(b)
+	const (
+		fMS   = 1
+		fTmp  = 2
+		fInvN = 3
+		fEps  = 4
+		fOne  = 5
+	)
+	b.Emit(isa.FLI(fInvN, 1/float32(s.Cols)))
+	b.Emit(isa.FLI(fEps, eps))
+	b.Emit(isa.FLI(fOne, 1))
+	chunks := chunkSizes(s.Cols, s.VLEN)
+	for r := 0; r < s.Rows; r++ {
+		rowOff := int64(r * s.Cols * 4)
+		// Pass 1: mean square.
+		b.Emit(isa.FLI(fMS, 0))
+		off := 0
+		for _, cs := range chunks {
+			emitSetVL(b, cs)
+			emitSpadAddr(b, rTmp, s.AOff+rowOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+			b.Emit(isa.Instr{Op: isa.OpVMUL, Rd: vAcc, Rs1: vIn, Rs2: vIn})
+			b.Emit(isa.Instr{Op: isa.OpVREDSUM, Rd: fTmp, Rs1: vAcc})
+			b.Emit(isa.Instr{Op: isa.OpFADD, Rd: fMS, Rs1: fMS, Rs2: fTmp})
+			off += cs
+		}
+		// inv = 1/sqrt(ms/n + eps)
+		b.Emit(isa.Instr{Op: isa.OpFMUL, Rd: fMS, Rs1: fMS, Rs2: fInvN})
+		b.Emit(isa.Instr{Op: isa.OpFADD, Rd: fMS, Rs1: fMS, Rs2: fEps})
+		b.Emit(isa.Instr{Op: isa.OpFSQRT, Rd: fMS, Rs1: fMS})
+		b.Emit(isa.Instr{Op: isa.OpFDIV, Rd: fMS, Rs1: fOne, Rs2: fMS})
+		// Pass 2: scale by inv and gamma (chunked row operand).
+		off = 0
+		for _, cs := range chunks {
+			emitSetVL(b, cs)
+			emitSpadAddr(b, rTmp, s.AOff+rowOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vIn, Rs1: rTmp})
+			b.Emit(isa.Instr{Op: isa.OpVMULVF, Rd: vIn, Rs1: vIn, Rs2: fMS})
+			emitSpadAddr(b, rTmp2, s.GOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVLE32, Rd: vBias, Rs1: rTmp2})
+			b.Emit(isa.Instr{Op: isa.OpVMUL, Rd: vIn, Rs1: vIn, Rs2: vBias})
+			emitSpadAddr(b, rTmp, s.OutOff+rowOff+int64(off*4))
+			b.Emit(isa.Instr{Op: isa.OpVSE32, Rs2: vIn, Rs1: rTmp})
+			off += cs
+		}
+	}
+	b.Emit(isa.Instr{Op: isa.OpHALT})
+	return b.Build()
+}
+
 func chunkSizes(total, vlen int) []int {
 	var out []int
 	for c := 0; c < total; c += vlen {

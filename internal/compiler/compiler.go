@@ -475,6 +475,8 @@ func (st *state) lowerNode(n *graph.Node) error {
 		return st.lowerSoftmax(n)
 	case graph.OpLayerNorm:
 		return st.lowerLayerNorm(n)
+	case graph.OpRMSNorm:
+		return st.lowerRMSNorm(n)
 	case graph.OpColSum:
 		return st.lowerColSum(n)
 	case graph.OpSGDUpdate:

@@ -261,6 +261,22 @@ func (st *state) lowerLayerNorm(n *graph.Node) error {
 		})
 }
 
+// lowerRMSNorm lowers a row-wise RMS norm with a gamma vector (wide rows
+// use the multi-pass kernel automatically).
+func (st *state) lowerRMSNorm(n *graph.Node) error {
+	rows, cols := n.Shape[0], n.Shape[1]
+	vlen := st.c.Cfg.Core.VLEN()
+	gName := st.tensorOf[n.Inputs[1]]
+	eps := n.Eps
+	return st.lowerRowwise(n, "rmsnorm", rows, cols,
+		[]auxVec{{tensor: gName}},
+		func(rt int, offs rowOffsets) (string, string, func() *isa.Program) {
+			spec := codegen.RMSNormSpec{Rows: rt, Cols: cols, VLEN: vlen, Eps: eps,
+				AOff: offs.a, GOff: offs.aux[0], OutOff: offs.out}
+			return spec.Signature(), spec.Signature() + "@r", func() *isa.Program { return codegen.RMSNorm(spec) }
+		})
+}
+
 // lowerColSum lowers the (M,N)->(N,) reduction. The whole input must fit in
 // scratchpad (true for every workload in the evaluation).
 func (st *state) lowerColSum(n *graph.Node) error {

@@ -1,0 +1,78 @@
+package crosscheck
+
+import (
+	"fmt"
+	"reflect"
+
+	"repro/internal/compiler"
+	"repro/internal/npu"
+	"repro/internal/obs/report"
+	"repro/internal/serve"
+	"repro/internal/service/modelzoo"
+	"repro/internal/togsim"
+)
+
+// CheckServe is the serve-determinism oracle: a seeded serving scenario
+// (Poisson arrivals, continuous batching, prefill + decode iterations)
+// must produce a bit-identical report when replayed — once more with the
+// same seed, and once with the TLS engine stepping cores on 4 host
+// goroutines. Each run gets a fresh compile cache, so cache-hit accounting
+// is part of the comparison: the prefill-per-shape / decode-replay
+// behaviour must reproduce too.
+func CheckServe(seed int64) error {
+	base, err := runServeScenario(seed, 0)
+	if err != nil {
+		return fmt.Errorf("serve scenario failed: %w", err)
+	}
+	again, err := runServeScenario(seed, 0)
+	if err != nil {
+		return fmt.Errorf("serve replay failed: %w", err)
+	}
+	if !reflect.DeepEqual(base, again) {
+		return fmt.Errorf("serve-determinism: same seed %d, different reports:\nfirst:  %+v\nsecond: %+v", seed, base, again)
+	}
+	par, err := runServeScenario(seed, 4)
+	if err != nil {
+		return fmt.Errorf("serve parallel run failed: %w", err)
+	}
+	if !reflect.DeepEqual(base, par) {
+		return fmt.Errorf("serve-determinism: serial vs engine-workers=4 reports differ:\nserial:   %+v\nparallel: %+v", base, par)
+	}
+	return nil
+}
+
+// runServeScenario replays the standing serving scenario with a fresh
+// compiler and memoized compile results (the cache-hit semantics of the
+// service's content-addressed cache, minus persistence).
+func runServeScenario(seed int64, engineWorkers int) (report.ServeReport, error) {
+	cfg := npu.SmallConfig()
+	comp := compiler.New(cfg, compiler.DefaultOptions())
+	memo := map[string]*compiler.Compiled{}
+	compile := func(spec modelzoo.Spec) (*compiler.Compiled, bool, error) {
+		key := fmt.Sprintf("%+v", spec.Normalize())
+		if c, ok := memo[key]; ok {
+			return c, true, nil
+		}
+		g, err := modelzoo.BuildGraph(spec)
+		if err != nil {
+			return nil, false, err
+		}
+		c, err := comp.Compile(g)
+		if err != nil {
+			return nil, false, err
+		}
+		memo[key] = c
+		return c, false, nil
+	}
+	sc := serve.Config{
+		Model:         "decoder-tiny",
+		NPU:           cfg,
+		Net:           togsim.SimpleNet,
+		MaxBatch:      2,
+		KVBlock:       16,
+		EngineWorkers: engineWorkers,
+		Compile:       compile,
+	}
+	reqs := serve.PoissonTrace(seed, 3, 2e5, cfg.FreqMHz, 4, 4)
+	return serve.Run(sc, reqs)
+}

@@ -108,6 +108,12 @@ func evalNode(g *Graph, n *Node, vals map[int]*tensor.Tensor, env *Env) (*tensor
 			eps = 1e-5
 		}
 		return tensor.LayerNorm(in(0), in(1), in(2), eps), nil
+	case OpRMSNorm:
+		eps := n.Eps
+		if eps == 0 {
+			eps = 1e-5
+		}
+		return tensor.RMSNorm(in(0), in(1), eps), nil
 	case OpMaxPool:
 		return tensor.MaxPool2D(in(0), n.Window, n.Stride), nil
 	case OpAvgPool:

@@ -42,6 +42,7 @@ const (
 	// Normalization / softmax (vector + SFU).
 	OpSoftmax   OpKind = "softmax"   // row-wise over last dim of 2-D
 	OpLayerNorm OpKind = "layernorm" // row-wise, with gamma/beta inputs
+	OpRMSNorm   OpKind = "rmsnorm"   // row-wise RMS norm, gamma input only
 
 	// Pooling / shape.
 	OpMaxPool   OpKind = "maxpool"   // window/stride attrs, NCHW
@@ -244,6 +245,15 @@ func InferShape(g *Graph, n *Node) ([]int, error) {
 		a := in(0).Shape
 		if len(a) != 2 || in(1).Shape[0] != a[1] || in(2).Shape[0] != a[1] {
 			return nil, fmt.Errorf("layernorm shapes %v, %v, %v", a, in(1).Shape, in(2).Shape)
+		}
+		return a, nil
+	case OpRMSNorm:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		a := in(0).Shape
+		if len(a) != 2 || in(1).Shape[0] != a[1] {
+			return nil, fmt.Errorf("rmsnorm shapes %v, %v", a, in(1).Shape)
 		}
 		return a, nil
 	case OpMaxPool:

@@ -1,0 +1,324 @@
+// Package serve is the LLM inference serving subsystem: it replays a trace
+// of generation requests through an iteration-level continuous-batching
+// scheduler, simulating every prefill pass and decode step on the NPU
+// timing model and accounting tokens, latencies, and compile-cache
+// behaviour per request.
+//
+// The scheduler is the vLLM/Orca-style loop at iteration granularity:
+// between any two NPU iterations, newly arrived requests are admitted (up
+// to MaxBatch) and finished requests leave, so the decode batch grows and
+// shrinks continuously instead of waiting for a full batch to drain.
+//
+// Every NPU iteration is one compiled graph simulated by a fresh TLS
+// engine, so serving cycles are bit-identical to a standalone ptsim run of
+// the same shape. Decode graphs are shaped by the KV length padded up to
+// Config.KVBlock — the paged-KV trick that makes decode steps at nearby
+// context lengths share one compiled artifact: the first step at a given
+// (batch, padded-KV) shape compiles, every later step at that shape is a
+// content-addressed cache hit.
+//
+// All scheduling happens in simulated cycles; the report contains no host
+// time, so a seeded scenario reproduces exactly (the serve-determinism
+// crosscheck oracle relies on this).
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/compiler"
+	"repro/internal/dram"
+	"repro/internal/npu"
+	"repro/internal/obs/report"
+	"repro/internal/service/modelzoo"
+	"repro/internal/togsim"
+)
+
+// CompileFn resolves a model spec to its compiled artifact, reporting
+// whether the compilation was served from a cache. The service layer
+// adapts its content-addressed compile cache to this signature; tests can
+// substitute a plain compiler.
+type CompileFn func(spec modelzoo.Spec) (*compiler.Compiled, bool, error)
+
+// Request is one generation request in the arrival trace.
+type Request struct {
+	ID      string `json:"id"`
+	Arrival int64  `json:"arrival"` // simulated cycle the request arrives
+	Prompt  int    `json:"prompt"`  // prompt tokens (prefill length)
+	Output  int    `json:"output"`  // tokens to generate (>= 1; first comes from prefill)
+}
+
+// Config parameterizes a serving run.
+type Config struct {
+	Model string     // decoder model name (modelzoo)
+	NPU   npu.Config // target machine
+	Net   togsim.NetKind
+
+	MaxBatch int // continuous-batch capacity (default 4)
+	KVBlock  int // KV-cache page size in tokens; decode KV lengths pad up to this (default 64)
+
+	EngineWorkers int   // TLS engine host goroutines per iteration (0/1 = serial)
+	MaxCycles     int64 // per-iteration deadlock guard (0 = engine default)
+
+	Compile CompileFn // required
+}
+
+func (c *Config) defaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4
+	}
+	if c.KVBlock <= 0 {
+		c.KVBlock = 64
+	}
+}
+
+// PoissonTrace synthesizes n requests with exponential inter-arrival times
+// at ratePerSec (simulated seconds, so arrival cycles scale with freqMHz),
+// each with the given prompt and output lengths. The same seed always
+// yields the same trace.
+func PoissonTrace(seed int64, n int, ratePerSec float64, freqMHz, prompt, output int) []Request {
+	r := rand.New(rand.NewSource(seed))
+	cyclesPerSec := float64(freqMHz) * 1e6
+	var now float64
+	reqs := make([]Request, n)
+	for i := range reqs {
+		if ratePerSec > 0 {
+			now += r.ExpFloat64() / ratePerSec * cyclesPerSec
+		}
+		reqs[i] = Request{
+			ID:      fmt.Sprintf("r%d", i),
+			Arrival: int64(now),
+			Prompt:  prompt,
+			Output:  output,
+		}
+	}
+	return reqs
+}
+
+// reqState is one admitted request's progress.
+type reqState struct {
+	Request
+	firstToken int64 // cycle the prefill finished (first token)
+	finished   int64
+	generated  int // tokens produced so far (prefill yields the first)
+}
+
+// Run replays reqs through the continuous-batching scheduler and returns
+// the serving report. It is deterministic: same config and trace, same
+// report, at any EngineWorkers setting.
+func Run(cfg Config, reqs []Request) (report.ServeReport, error) {
+	cfg.defaults()
+	if cfg.Compile == nil {
+		return report.ServeReport{}, fmt.Errorf("serve: Config.Compile is required")
+	}
+	if cfg.NPU.FreqMHz <= 0 {
+		return report.ServeReport{}, fmt.Errorf("serve: NPU config has no clock frequency")
+	}
+	for i, r := range reqs {
+		if r.Prompt <= 0 || r.Output <= 0 {
+			return report.ServeReport{}, fmt.Errorf("serve: request %d (%q) needs positive prompt and output", i, r.ID)
+		}
+	}
+
+	waiting := append([]Request(nil), reqs...)
+	sort.SliceStable(waiting, func(i, j int) bool {
+		if waiting[i].Arrival != waiting[j].Arrival {
+			return waiting[i].Arrival < waiting[j].Arrival
+		}
+		return waiting[i].ID < waiting[j].ID
+	})
+
+	s := &runState{cfg: cfg}
+	var (
+		running []*reqState
+		done    []*reqState
+		now     int64
+	)
+	for len(waiting) > 0 || len(running) > 0 {
+		// Idle: jump to the next arrival.
+		if len(running) == 0 && len(waiting) > 0 && waiting[0].Arrival > now {
+			now = waiting[0].Arrival
+		}
+		// Admission: arrived requests join up to capacity. Each admission
+		// runs its prompt prefill immediately (batch-1 pass), which advances
+		// the clock and may make further requests eligible — hence the loop.
+		admitted := false
+		for len(waiting) > 0 && len(running) < cfg.MaxBatch && waiting[0].Arrival <= now {
+			req := &reqState{Request: waiting[0]}
+			waiting = waiting[1:]
+			cycles, err := s.prefill(req.Prompt)
+			if err != nil {
+				return report.ServeReport{}, err
+			}
+			now += cycles
+			req.firstToken = now
+			req.generated = 1
+			if req.generated >= req.Output {
+				req.finished = now
+				done = append(done, req)
+			} else {
+				running = append(running, req)
+			}
+			admitted = true
+		}
+		if admitted {
+			continue // re-check arrivals before committing to a decode batch
+		}
+		if len(running) == 0 {
+			continue
+		}
+		// One decode iteration over the whole batch at the padded KV length.
+		kvCtx := 0
+		for _, r := range running {
+			if c := r.Prompt + r.generated; c > kvCtx {
+				kvCtx = c
+			}
+		}
+		kvLen := (kvCtx + cfg.KVBlock - 1) / cfg.KVBlock * cfg.KVBlock
+		cycles, err := s.decode(len(running), kvLen)
+		if err != nil {
+			return report.ServeReport{}, err
+		}
+		now += cycles
+		s.timeline = append(s.timeline, report.BatchSample{Cycle: now, Batch: len(running)})
+		s.occCycles += cycles
+		s.occWeighted += cycles * int64(len(running))
+		keep := running[:0]
+		for _, r := range running {
+			r.generated++
+			if r.generated >= r.Output {
+				r.finished = now
+				done = append(done, r)
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		running = keep
+	}
+	return s.report(cfg, done, now), nil
+}
+
+// runState accumulates per-iteration accounting across the run.
+type runState struct {
+	cfg Config
+
+	prefillRuns, prefillHits int64
+	decodeSteps, decodeHits  int64
+	prefillShapes            map[string]bool
+	decodeShapes             map[string]bool
+
+	timeline    []report.BatchSample
+	occCycles   int64
+	occWeighted int64
+}
+
+// prefill simulates one request's prompt pass and returns its cycles.
+func (s *runState) prefill(prompt int) (int64, error) {
+	if s.prefillShapes == nil {
+		s.prefillShapes = map[string]bool{}
+	}
+	s.prefillRuns++
+	s.prefillShapes[fmt.Sprintf("ctx%d", prompt)] = true
+	cycles, hit, err := s.iterate(modelzoo.Spec{Model: s.cfg.Model, Batch: 1, Ctx: prompt, Prefill: true})
+	if hit {
+		s.prefillHits++
+	}
+	return cycles, err
+}
+
+// decode simulates one continuous-batch decode iteration.
+func (s *runState) decode(batch, kvLen int) (int64, error) {
+	if s.decodeShapes == nil {
+		s.decodeShapes = map[string]bool{}
+	}
+	s.decodeSteps++
+	s.decodeShapes[fmt.Sprintf("b%d_kv%d", batch, kvLen)] = true
+	cycles, hit, err := s.iterate(modelzoo.Spec{Model: s.cfg.Model, Batch: batch, Ctx: kvLen})
+	if hit {
+		s.decodeHits++
+	}
+	return cycles, err
+}
+
+// iterate compiles (or fetches) one iteration's graph and runs it on a
+// fresh TLS engine — the same compile-then-simulate pipeline as a
+// standalone run, so iteration cycles are bit-identical to ptsim's.
+func (s *runState) iterate(spec modelzoo.Spec) (int64, bool, error) {
+	comp, hit, err := s.cfg.Compile(spec)
+	if err != nil {
+		return 0, false, err
+	}
+	setup := togsim.NewStandard(s.cfg.NPU, s.cfg.Net, dram.FRFCFS)
+	if s.cfg.MaxCycles > 0 {
+		setup.Engine.MaxCycles = s.cfg.MaxCycles
+	}
+	setup.Engine.Workers = s.cfg.EngineWorkers
+	res, err := setup.Engine.Run([]*togsim.Job{comp.Job(comp.Name, 0, 0)})
+	if err != nil {
+		return 0, hit, err
+	}
+	return res.Cycles, hit, nil
+}
+
+// report assembles the final ServeReport (no host time: deterministic).
+func (s *runState) report(cfg Config, done []*reqState, end int64) report.ServeReport {
+	sort.Slice(done, func(i, j int) bool {
+		if done[i].Arrival != done[j].Arrival {
+			return done[i].Arrival < done[j].Arrival
+		}
+		return done[i].ID < done[j].ID
+	})
+	freq := float64(cfg.NPU.FreqMHz) // cycles per microsecond
+	toMs := func(cycles int64) float64 { return float64(cycles) / freq / 1e3 }
+
+	r := report.ServeReport{
+		Model:    cfg.Model,
+		FreqMHz:  cfg.NPU.FreqMHz,
+		MaxBatch: cfg.MaxBatch,
+		KVBlock:  cfg.KVBlock,
+
+		Requests:    len(done),
+		Cycles:      end,
+		SimulatedMs: toMs(end),
+
+		PrefillRuns:   s.prefillRuns,
+		PrefillHits:   s.prefillHits,
+		PrefillShapes: len(s.prefillShapes),
+		DecodeSteps:   s.decodeSteps,
+		DecodeHits:    s.decodeHits,
+		DecodeShapes:  len(s.decodeShapes),
+
+		Timeline: s.timeline,
+	}
+	if s.occCycles > 0 {
+		r.AvgBatchOccupancy = float64(s.occWeighted) / float64(s.occCycles)
+	}
+	var ttfts, tpots []float64
+	for _, d := range done {
+		rr := report.ServeRequestReport{
+			ID:           d.ID,
+			ArrivalCycle: d.Arrival,
+			Prompt:       d.Prompt,
+			Output:       d.Output,
+			FirstToken:   d.firstToken,
+			Finished:     d.finished,
+			TTFTMs:       toMs(d.firstToken - d.Arrival),
+		}
+		if d.Output > 1 {
+			rr.TPOTMs = toMs(d.finished-d.firstToken) / float64(d.Output-1)
+			tpots = append(tpots, rr.TPOTMs)
+		}
+		ttfts = append(ttfts, rr.TTFTMs)
+		r.TokensOut += int64(d.Output)
+		r.PerRequest = append(r.PerRequest, rr)
+	}
+	if r.SimulatedMs > 0 {
+		r.TokensPerSec = float64(r.TokensOut) / (r.SimulatedMs / 1e3)
+	}
+	r.TTFTp50Ms = report.Percentile(ttfts, 50)
+	r.TTFTp99Ms = report.Percentile(ttfts, 99)
+	r.TPOTp50Ms = report.Percentile(tpots, 50)
+	r.TPOTp99Ms = report.Percentile(tpots, 99)
+	return r
+}

@@ -1,0 +1,192 @@
+package serve_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/compiler"
+	"repro/internal/npu"
+	"repro/internal/serve"
+	"repro/internal/service/modelzoo"
+	"repro/internal/togsim"
+)
+
+// memoCompile is the minimal content-addressed compile path for tests: one
+// compiler, results memoized by normalized spec. It mirrors the service
+// cache's hit/miss semantics and exposes MeasureCount directly.
+type memoCompile struct {
+	comp *compiler.Compiler
+	memo map[string]*compiler.Compiled
+}
+
+func newMemoCompile(cfg npu.Config) *memoCompile {
+	return &memoCompile{
+		comp: compiler.New(cfg, compiler.DefaultOptions()),
+		memo: map[string]*compiler.Compiled{},
+	}
+}
+
+func (m *memoCompile) fn(spec modelzoo.Spec) (*compiler.Compiled, bool, error) {
+	key := fmt.Sprintf("%+v", spec.Normalize())
+	if c, ok := m.memo[key]; ok {
+		return c, true, nil
+	}
+	g, err := modelzoo.BuildGraph(spec)
+	if err != nil {
+		return nil, false, err
+	}
+	c, err := m.comp.Compile(g)
+	if err != nil {
+		return nil, false, err
+	}
+	m.memo[key] = c
+	return c, false, nil
+}
+
+func tinyConfig(t *testing.T) (serve.Config, *memoCompile) {
+	t.Helper()
+	mc := newMemoCompile(npu.SmallConfig())
+	return serve.Config{
+		Model:    "decoder-tiny",
+		NPU:      npu.SmallConfig(),
+		Net:      togsim.SimpleNet,
+		MaxBatch: 2,
+		KVBlock:  16,
+		Compile:  mc.fn,
+	}, mc
+}
+
+func TestPoissonTraceDeterministic(t *testing.T) {
+	a := serve.PoissonTrace(42, 16, 1000, 940, 8, 4)
+	b := serve.PoissonTrace(42, 16, 1000, 940, 8, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c := serve.PoissonTrace(43, 16, 1000, 940, 8, 4)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Arrival < a[i-1].Arrival {
+			t.Fatalf("arrivals not monotonic at %d: %d < %d", i, a[i].Arrival, a[i-1].Arrival)
+		}
+	}
+}
+
+func TestServeSingleRequest(t *testing.T) {
+	cfg, _ := tinyConfig(t)
+	reqs := []serve.Request{{ID: "r0", Arrival: 0, Prompt: 8, Output: 4}}
+	rep, err := serve.Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 1 || rep.TokensOut != 4 {
+		t.Fatalf("requests %d tokens %d", rep.Requests, rep.TokensOut)
+	}
+	if rep.PrefillRuns != 1 || rep.DecodeSteps != 3 {
+		t.Fatalf("prefill %d decode %d (want 1 prefill + 3 decode for 4 tokens)",
+			rep.PrefillRuns, rep.DecodeSteps)
+	}
+	rr := rep.PerRequest[0]
+	if rr.FirstToken <= 0 || rr.Finished <= rr.FirstToken {
+		t.Fatalf("request timeline not monotonic: first %d finished %d", rr.FirstToken, rr.Finished)
+	}
+	if rr.TTFTMs <= 0 || rr.TPOTMs <= 0 || rep.TokensPerSec <= 0 {
+		t.Fatalf("latencies must be positive: ttft %v tpot %v tok/s %v",
+			rr.TTFTMs, rr.TPOTMs, rep.TokensPerSec)
+	}
+}
+
+// The satellite guarantee: at a fixed (batch, padded-KV) shape, only the
+// first decode step compiles — every later step is a cache hit and the
+// compiler measures no new kernels.
+func TestServeDecodeStepsAreCacheHits(t *testing.T) {
+	cfg, mc := tinyConfig(t)
+	// One request, 8 generated tokens, KVBlock 16 covers prompt+output:
+	// all 7 decode steps share one shape.
+	reqs := []serve.Request{{ID: "r0", Arrival: 0, Prompt: 4, Output: 8}}
+
+	// Prime prefill and the first decode shape, then snapshot MeasureCount.
+	if _, _, err := mc.fn(modelzoo.Spec{Model: cfg.Model, Batch: 1, Ctx: 4, Prefill: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := mc.fn(modelzoo.Spec{Model: cfg.Model, Batch: 1, Ctx: 16}); err != nil {
+		t.Fatal(err)
+	}
+	before := mc.comp.MeasureCount()
+
+	rep, err := serve.Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.DecodeSteps != 7 || rep.DecodeShapes != 1 {
+		t.Fatalf("decode steps %d shapes %d (want 7 steps over 1 shape)", rep.DecodeSteps, rep.DecodeShapes)
+	}
+	if rep.DecodeHits != rep.DecodeSteps {
+		t.Fatalf("decode hits %d of %d steps: primed shape must always hit", rep.DecodeHits, rep.DecodeSteps)
+	}
+	if got := mc.comp.MeasureCount(); got != before {
+		t.Fatalf("MeasureCount grew %d -> %d during replayed decode steps", before, got)
+	}
+}
+
+func TestServeContinuousBatching(t *testing.T) {
+	cfg, _ := tinyConfig(t)
+	reqs := []serve.Request{
+		{ID: "r0", Arrival: 0, Prompt: 4, Output: 6},
+		{ID: "r1", Arrival: 1, Prompt: 4, Output: 6},
+		{ID: "r2", Arrival: 2, Prompt: 4, Output: 3},
+	}
+	rep, err := serve.Run(cfg, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 3 || rep.TokensOut != 15 {
+		t.Fatalf("requests %d tokens %d", rep.Requests, rep.TokensOut)
+	}
+	maxBatch := 0
+	for _, s := range rep.Timeline {
+		if s.Batch > maxBatch {
+			maxBatch = s.Batch
+		}
+		if s.Batch > cfg.MaxBatch {
+			t.Fatalf("batch %d exceeds MaxBatch %d", s.Batch, cfg.MaxBatch)
+		}
+	}
+	if maxBatch < 2 {
+		t.Fatalf("overlapping requests never batched together (max batch %d)", maxBatch)
+	}
+	if rep.AvgBatchOccupancy <= 1 {
+		t.Fatalf("avg occupancy %v: continuous batching had no effect", rep.AvgBatchOccupancy)
+	}
+	for _, rr := range rep.PerRequest {
+		if rr.Finished <= rr.ArrivalCycle {
+			t.Fatalf("request %s finished before it arrived", rr.ID)
+		}
+	}
+}
+
+// Two runs of the same seeded scenario must produce identical reports —
+// the property the serve-determinism crosscheck oracle enforces at scale.
+func TestServeDeterministic(t *testing.T) {
+	run := func() report1 {
+		cfg, _ := tinyConfig(t)
+		reqs := serve.PoissonTrace(7, 3, 2e5, cfg.NPU.FreqMHz, 4, 3)
+		rep, err := serve.Run(cfg, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return report1{rep.Cycles, rep.TokensOut, rep.TTFTp99Ms, rep.TPOTp50Ms}
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic serving run: %+v vs %+v", a, b)
+	}
+}
+
+type report1 struct {
+	Cycles  int64
+	Tokens  int64
+	TTFTp99 float64
+	TPOTp50 float64
+}

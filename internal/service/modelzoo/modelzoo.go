@@ -20,10 +20,12 @@ import (
 // of Batch/N/Seq mean "default"; Normalize resolves them so that two specs
 // describing the same workload compare (and hash) identically.
 type Spec struct {
-	Model string // gemm, mlp, mlp-train, resnet18, resnet50, bert-base, bert-large
-	Batch int    // batch size (default 1)
-	N     int    // GEMM dimension (model=gemm, default 512)
-	Seq   int    // sequence length (BERT models, default 512)
+	Model   string // gemm, mlp, mlp-train, resnet18, resnet50, bert-base, bert-large, decoder-{tiny,small,base}
+	Batch   int    // batch size (default 1)
+	N       int    // GEMM dimension (model=gemm, default 512)
+	Seq     int    // sequence length (BERT models, default 512)
+	Ctx     int    // context length (decoder models, default 128)
+	Prefill bool   // decoder models: prompt pass instead of a decode step
 }
 
 // Normalize fills defaults and drops shape parameters the model ignores,
@@ -39,20 +41,26 @@ func (s Spec) Normalize() Spec {
 	if s.Seq <= 0 {
 		s.Seq = 512
 	}
+	if s.Ctx <= 0 {
+		s.Ctx = 128
+	}
 	switch s.Model {
 	case "gemm":
-		s.Batch, s.Seq = 1, 0
+		s.Batch, s.Seq, s.Ctx, s.Prefill = 1, 0, 0, false
 	case "bert-base", "bert-large":
-		s.N = 0
-	default:
+		s.N, s.Ctx, s.Prefill = 0, 0, false
+	case "decoder-tiny", "decoder-small", "decoder-base":
 		s.N, s.Seq = 0, 0
+	default:
+		s.N, s.Seq, s.Ctx, s.Prefill = 0, 0, 0, false
 	}
 	return s
 }
 
 // Models lists the built-in model names, sorted.
 func Models() []string {
-	out := []string{"gemm", "mlp", "mlp-train", "resnet18", "resnet50", "bert-base", "bert-large"}
+	out := []string{"gemm", "mlp", "mlp-train", "resnet18", "resnet50", "bert-base", "bert-large",
+		"decoder-tiny", "decoder-small", "decoder-base"}
 	sort.Strings(out)
 	return out
 }
@@ -84,6 +92,12 @@ func BuildGraph(s Spec) (*graph.Graph, error) {
 		return nn.BERT(nn.BERTBaseConfig(s.Batch, s.Seq)).Graph, nil
 	case "bert-large":
 		return nn.BERT(nn.BERTLargeConfig(s.Batch, s.Seq)).Graph, nil
+	case "decoder-tiny":
+		return nn.Decoder(nn.DecoderTinyConfig(s.Batch, s.Ctx, s.Prefill)).Graph, nil
+	case "decoder-small":
+		return nn.Decoder(nn.DecoderSmallConfig(s.Batch, s.Ctx, s.Prefill)).Graph, nil
+	case "decoder-base":
+		return nn.Decoder(nn.DecoderBaseConfig(s.Batch, s.Ctx, s.Prefill)).Graph, nil
 	case "mlp-train":
 		// One full training step (forward + backward + SGD updates), the
 		// §5.5 per-iteration workload.

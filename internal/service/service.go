@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -25,6 +26,7 @@ import (
 	"repro/internal/npu"
 	"repro/internal/obs/metrics"
 	"repro/internal/obs/report"
+	"repro/internal/serve"
 	"repro/internal/service/cache"
 	"repro/internal/service/modelzoo"
 	"repro/internal/togsim"
@@ -46,12 +48,16 @@ func (e *OverloadError) Error() string {
 type JobSpec struct {
 	Model string `json:"model"`
 	Batch int    `json:"batch,omitempty"`
-	N     int    `json:"n,omitempty"`      // GEMM dimension
-	Seq   int    `json:"seq,omitempty"`    // BERT sequence length
-	NPU   string `json:"npu,omitempty"`    // "tpuv3" (default) or "small"
-	Net   string `json:"net,omitempty"`    // "sn" (default) or "cn"
-	DMA   string `json:"dma,omitempty"`    // "selective" (default), "coarse", "fine"
-	MaxMt int    `json:"max_mt,omitempty"` // cap on M-tile rows (0 = compiler default)
+	N     int    `json:"n,omitempty"`   // GEMM dimension
+	Seq   int    `json:"seq,omitempty"` // BERT sequence length
+	// Ctx/Prefill shape the decoder models: context length and whether to
+	// run the prompt prefill pass instead of a single decode step.
+	Ctx     int    `json:"ctx,omitempty"`
+	Prefill bool   `json:"prefill,omitempty"`
+	NPU     string `json:"npu,omitempty"`    // "tpuv3" (default) or "small"
+	Net     string `json:"net,omitempty"`    // "sn" (default) or "cn"
+	DMA     string `json:"dma,omitempty"`    // "selective" (default), "coarse", "fine"
+	MaxMt   int    `json:"max_mt,omitempty"` // cap on M-tile rows (0 = compiler default)
 	// Fusion/ConvOpt are tri-state so that absent JSON fields keep the
 	// paper's defaults (both enabled).
 	Fusion  *bool `json:"fusion,omitempty"`
@@ -67,12 +73,53 @@ type JobSpec struct {
 	// job (0 = the service default; 1 = serial). Results are bit-identical
 	// at any worker count.
 	EngineWorkers int `json:"engine_workers,omitempty"`
+	// Serve turns the job into an LLM serving run: instead of simulating
+	// the model once, the worker replays a seeded arrival trace through the
+	// continuous-batching scheduler (decoder models only).
+	Serve *ServeSpec `json:"serve,omitempty"`
+}
+
+// ServeSpec parameterizes a serving job's synthetic workload. Zero values
+// mean defaults.
+type ServeSpec struct {
+	Requests   int     `json:"requests,omitempty"`     // trace length (default 4)
+	RatePerSec float64 `json:"rate_per_sec,omitempty"` // Poisson arrival rate in simulated seconds (default 1000)
+	Seed       int64   `json:"seed,omitempty"`         // trace seed (default 1)
+	Prompt     int     `json:"prompt,omitempty"`       // prompt tokens per request (default 16)
+	Output     int     `json:"output,omitempty"`       // generated tokens per request (default 8)
+	MaxBatch   int     `json:"max_batch,omitempty"`    // continuous-batch capacity (default 4)
+	KVBlock    int     `json:"kv_block,omitempty"`     // KV-cache page size in tokens (default 64)
+}
+
+func (sv ServeSpec) withDefaults() ServeSpec {
+	if sv.Requests <= 0 {
+		sv.Requests = 4
+	}
+	if sv.RatePerSec <= 0 {
+		sv.RatePerSec = 1000
+	}
+	if sv.Seed == 0 {
+		sv.Seed = 1
+	}
+	if sv.Prompt <= 0 {
+		sv.Prompt = 16
+	}
+	if sv.Output <= 0 {
+		sv.Output = 8
+	}
+	if sv.MaxBatch <= 0 {
+		sv.MaxBatch = 4
+	}
+	if sv.KVBlock <= 0 {
+		sv.KVBlock = 64
+	}
+	return sv
 }
 
 // resolve maps the wire spec onto the internal compile/simulate inputs.
 func (s JobSpec) resolve() (resolved, error) {
 	var r resolved
-	r.Spec = modelzoo.Spec{Model: s.Model, Batch: s.Batch, N: s.N, Seq: s.Seq}.Normalize()
+	r.Spec = modelzoo.Spec{Model: s.Model, Batch: s.Batch, N: s.N, Seq: s.Seq, Ctx: s.Ctx, Prefill: s.Prefill}.Normalize()
 	cfg, err := modelzoo.NPUConfig(s.NPU)
 	if err != nil {
 		return r, err
@@ -115,6 +162,17 @@ func (s JobSpec) resolve() (resolved, error) {
 		return r, fmt.Errorf("service: negative engine_workers %d", s.EngineWorkers)
 	}
 	r.EngineWorkers = s.EngineWorkers
+	if s.Serve != nil {
+		if !strings.HasPrefix(s.Model, "decoder-") {
+			return r, fmt.Errorf("service: serve jobs need a decoder model, got %q", s.Model)
+		}
+		if s.Serve.Requests < 0 || s.Serve.Prompt < 0 || s.Serve.Output < 0 ||
+			s.Serve.MaxBatch < 0 || s.Serve.KVBlock < 0 || s.Serve.RatePerSec < 0 {
+			return r, fmt.Errorf("service: negative serve parameter in %+v", *s.Serve)
+		}
+		sv := s.Serve.withDefaults()
+		r.Serve = &sv
+	}
 	return r, nil
 }
 
@@ -126,6 +184,7 @@ type resolved struct {
 	MaxCycles     int64
 	NodesPerCycle int
 	EngineWorkers int
+	Serve         *ServeSpec
 }
 
 // State is a job's lifecycle position.
@@ -152,6 +211,11 @@ type JobResult struct {
 	// per-job cycle classes, memory bandwidth) — the same formatter ptsim
 	// -report prints, so the daemon response and the CLI can never drift.
 	Report *report.Report `json:"report,omitempty"`
+
+	// ServeReport is set instead of Report for serving jobs: request
+	// latency percentiles, tokens/sec, and the prefill/decode compile-cache
+	// breakdown.
+	ServeReport *report.ServeReport `json:"serve_report,omitempty"`
 }
 
 // Job is the service's record of one submission. Snapshot copies are
@@ -210,6 +274,12 @@ type Stats struct {
 	WallSeconds     float64 `json:"wall_seconds"`
 	CyclesPerSecond float64 `json:"cycles_per_second"`
 
+	// ServeRequests/ServeTokens accumulate over finished serving jobs:
+	// requests completed and tokens generated by the continuous-batching
+	// scheduler.
+	ServeRequests int64 `json:"serve_requests"`
+	ServeTokens   int64 `json:"serve_tokens"`
+
 	Workers    int `json:"workers"`
 	QueueDepth int `json:"queue_depth"`
 }
@@ -232,10 +302,13 @@ type Service struct {
 	wallNs      int64
 	cacheHits   int64 // compile-cache accounting under s.mu, so Stats()
 	cacheMisses int64 // is one consistent snapshot (the cache has its own lock)
+	serveReqs   int64
+	serveTokens int64
 
 	reg          *metrics.Registry
 	queueWait    *metrics.Histogram
 	jobLat       *metrics.Histogram
+	serveTTFT    *metrics.Histogram
 	compilePhase map[compiler.Phase]*metrics.Histogram
 
 	queue chan *Job
@@ -264,6 +337,9 @@ func New(cfg Config) *Service {
 	s.jobLat = s.reg.NewHistogram("ptsimd_job_duration_seconds",
 		"End-to-end job latency from submission to completion.",
 		metrics.ExpBuckets(0.001, 4, 12))
+	s.serveTTFT = s.reg.NewHistogram("ptsimd_serve_ttft_seconds",
+		"Simulated time-to-first-token of serving-job requests.",
+		metrics.ExpBuckets(1e-6, 4, 12))
 	s.compilePhase = map[compiler.Phase]*metrics.Histogram{}
 	for _, ph := range compiler.Phases() {
 		s.compilePhase[ph] = s.reg.NewHistogram(
@@ -318,6 +394,8 @@ func (s *Service) collect(e *metrics.Emitter) {
 	e.Counter("ptsimd_compile_disk_hits_total", "Persistent-store lookups that found a valid artifact.", float64(st.DiskHits))
 	e.Counter("ptsimd_compile_disk_misses_total", "Persistent-store lookups that missed (absent, corrupt, or stale).", float64(st.DiskMisses))
 	e.Counter("ptsimd_simulated_cycles_total", "Simulated cycles summed over finished jobs.", float64(st.TotalCycles))
+	e.Counter("ptsimd_serve_requests_total", "Requests completed by serving jobs.", float64(st.ServeRequests))
+	e.Counter("ptsimd_serve_tokens_generated_total", "Tokens generated by serving jobs.", float64(st.ServeTokens))
 	e.Gauge("ptsimd_simulation_cycles_per_second", "Aggregate simulation rate: simulated cycles per host second.", st.CyclesPerSecond)
 	e.Gauge("ptsimd_workers", "Size of the worker pool.", float64(st.Workers))
 	e.Gauge("ptsimd_queue_capacity", "Bounded job queue capacity.", float64(st.QueueDepth))
@@ -429,6 +507,7 @@ func (s *Service) Stats() Stats {
 		Queued:    s.queued, Running: s.running, Done: s.done, Failed: s.failed,
 		CacheHits: s.cacheHits, CacheMisses: s.cacheMisses,
 		TotalCycles: s.cycles, WallSeconds: float64(s.wallNs) / 1e9,
+		ServeRequests: s.serveReqs, ServeTokens: s.serveTokens,
 		Workers: s.cfg.Workers, QueueDepth: s.cfg.QueueDepth,
 	}
 	if st.WallSeconds > 0 {
@@ -487,6 +566,9 @@ func (s *Service) simulate(spec JobSpec) (JobResult, error) {
 	if err != nil {
 		return JobResult{}, err
 	}
+	if r.Serve != nil {
+		return s.runServe(r)
+	}
 	key := CompileKey(r.Spec, r.Cfg, r.Opts)
 	compileStart := time.Now()
 	comp, hit, err := s.cache.Compile(key, r.Cfg, r.Opts, func() (*graph.Graph, error) {
@@ -535,5 +617,75 @@ func (s *Service) simulate(spec JobSpec) (JobResult, error) {
 		CacheHit:    hit,
 		CompileKey:  key,
 		Report:      &rep,
+	}, nil
+}
+
+// ServeCompileFn adapts the service's content-addressed compile cache to
+// the serving loop's compile interface: every prefill pass and decode step
+// resolves through the same CompileKey path as a plain job, with hits and
+// misses accounted in the service stats.
+func (s *Service) ServeCompileFn(cfg npu.Config, opts compiler.Options) serve.CompileFn {
+	return func(spec modelzoo.Spec) (*compiler.Compiled, bool, error) {
+		key := CompileKey(spec, cfg, opts)
+		comp, hit, err := s.cache.Compile(key, cfg, opts, func() (*graph.Graph, error) {
+			return modelzoo.BuildGraph(spec)
+		})
+		if err == nil {
+			s.mu.Lock()
+			if hit {
+				s.cacheHits++
+			} else {
+				s.cacheMisses++
+			}
+			s.mu.Unlock()
+		}
+		return comp, hit, err
+	}
+}
+
+// runServe is a serving job's whole pipeline: synthesize the seeded
+// arrival trace and replay it through the continuous-batching scheduler,
+// with every iteration compiled through the shared cache.
+func (s *Service) runServe(r resolved) (JobResult, error) {
+	sv := *r.Serve
+	workers := r.EngineWorkers
+	if workers == 0 {
+		workers = s.cfg.EngineWorkers
+	}
+	maxCycles := r.MaxCycles
+	if maxCycles == 0 {
+		maxCycles = s.cfg.MaxCycles
+	}
+	cfg := serve.Config{
+		Model:         r.Spec.Model,
+		NPU:           r.Cfg,
+		Net:           r.Net,
+		MaxBatch:      sv.MaxBatch,
+		KVBlock:       sv.KVBlock,
+		EngineWorkers: workers,
+		MaxCycles:     maxCycles,
+		Compile:       s.ServeCompileFn(r.Cfg, r.Opts),
+	}
+	reqs := serve.PoissonTrace(sv.Seed, sv.Requests, sv.RatePerSec, r.Cfg.FreqMHz, sv.Prompt, sv.Output)
+	start := time.Now()
+	rep, err := serve.Run(cfg, reqs)
+	if err != nil {
+		return JobResult{}, err
+	}
+	wall := time.Since(start)
+	rep.WallMs = float64(wall) / 1e6
+	for _, rr := range rep.PerRequest {
+		s.serveTTFT.Observe(rr.TTFTMs / 1e3)
+	}
+	s.mu.Lock()
+	s.serveReqs += int64(rep.Requests)
+	s.serveTokens += rep.TokensOut
+	s.mu.Unlock()
+	return JobResult{
+		Cycles:      rep.Cycles,
+		FreqMHz:     r.Cfg.FreqMHz,
+		SimulatedMs: rep.SimulatedMs,
+		WallMs:      rep.WallMs,
+		ServeReport: &rep,
 	}, nil
 }

@@ -328,3 +328,49 @@ func TestServiceEngineKnobs(t *testing.T) {
 		t.Fatal("negative engine_workers accepted")
 	}
 }
+
+// A serving job runs the continuous-batching loop through the shared
+// compile cache and reports serving metrics: replayed decode steps at a
+// settled shape must all be cache hits, and the serve counters accumulate.
+func TestServiceServeJob(t *testing.T) {
+	svc := New(Config{Workers: 1, QueueDepth: 4})
+	svc.Start()
+	defer svc.Close()
+
+	j, err := svc.Submit(JobSpec{Model: "decoder-tiny", NPU: "small",
+		Serve: &ServeSpec{Requests: 2, Prompt: 4, Output: 4, MaxBatch: 2, KVBlock: 16, Seed: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := svc.Wait(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateDone {
+		t.Fatalf("serve job failed: %s %q", fin.State, fin.Error)
+	}
+	rep := fin.Result.ServeReport
+	if rep == nil {
+		t.Fatal("serve job has no ServeReport")
+	}
+	if rep.Requests != 2 || rep.TokensOut != 8 {
+		t.Fatalf("requests %d tokens %d", rep.Requests, rep.TokensOut)
+	}
+	if rep.TokensPerSec <= 0 || rep.TTFTp50Ms <= 0 {
+		t.Fatalf("degenerate serving report: %+v", rep)
+	}
+	// Every decode step past the first at a given shape hits the cache.
+	if want := rep.DecodeSteps - int64(rep.DecodeShapes); rep.DecodeHits != want {
+		t.Fatalf("decode hits %d, want %d (%d steps over %d shapes)",
+			rep.DecodeHits, want, rep.DecodeSteps, rep.DecodeShapes)
+	}
+	st := svc.Stats()
+	if st.ServeRequests != 2 || st.ServeTokens != 8 {
+		t.Fatalf("serve stats %d/%d, want 2/8", st.ServeRequests, st.ServeTokens)
+	}
+
+	// Serve jobs are decoder-only; anything else is rejected at admission.
+	if _, err := svc.Submit(JobSpec{Model: "gemm", Serve: &ServeSpec{}}); err == nil {
+		t.Fatal("serve job on a non-decoder model must be rejected")
+	}
+}

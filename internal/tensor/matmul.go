@@ -144,3 +144,30 @@ func LayerNorm(a, gamma, beta *Tensor, eps float32) *Tensor {
 	}
 	return out
 }
+
+// RMSNorm scales each row of a 2-D tensor by the reciprocal of its root
+// mean square, then applies gamma (a length-N vector) — the decoder-block
+// normalization (no mean subtraction, no shift).
+func RMSNorm(a, gamma *Tensor, eps float32) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: RMSNorm requires a 2-D tensor")
+	}
+	m, n := a.Shape[0], a.Shape[1]
+	if gamma.Len() != n {
+		panic("tensor: RMSNorm gamma size mismatch")
+	}
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		var ms float32
+		for _, v := range row {
+			ms += v * v
+		}
+		inv := 1 / sqrt32(ms/float32(n)+eps)
+		orow := out.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			orow[j] = v * inv * gamma.Data[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# bench_serve: the LLM inference benchmark. Two parts, one JSON summary
+# (BENCH_serve.json in the repo root):
+#
+#  1. Iteration sweep — per-iteration cycles of decoder-small over
+#     batch x context x {prefill, decode}, each via `ptsim -json` (the
+#     exact single-iteration path the serving loop replays). Prefill cost
+#     grows ~quadratically with context (full attention), decode cost
+#     grows with the KV length being streamed — the two regimes the
+#     serving simulator exists to expose.
+#
+#  2. Serving run — a seeded Poisson trace through the continuous-batching
+#     scheduler via `ptserve -json`: TTFT/TPOT percentiles, tokens/sec,
+#     batch occupancy, and the decode compile-cache hit rate.
+#
+# All runs share one -cache-dir, so kernel latencies measured once are
+# reused across the sweep (the compile cache the serving loop banks on).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_serve.json
+model=${MODEL:-decoder-small}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "bench_serve: building ptsim and ptserve"
+go build -o "$tmp/ptsim" ./cmd/ptsim
+go build -o "$tmp/ptserve" ./cmd/ptserve
+
+i=0
+for batch in 1 4; do
+  for ctx in 64 128 256; do
+    for phase in prefill decode; do
+      args=(-model "$model" -batch "$batch" -ctx "$ctx" -cache-dir "$tmp/cache" -json)
+      [ "$phase" = prefill ] && args+=(-prefill)
+      echo "bench_serve: $model batch=$batch ctx=$ctx $phase"
+      "$tmp/ptsim" "${args[@]}" 2>"$tmp/iter.log" >"$tmp/iter_$i.json"
+      echo "{\"batch\": $batch, \"ctx\": $ctx, \"phase\": \"$phase\"}" >"$tmp/iter_${i}_meta.json"
+      i=$((i + 1))
+    done
+  done
+done
+
+echo "bench_serve: serving 8 requests through the continuous-batching scheduler"
+"$tmp/ptserve" -model "$model" -requests 8 -prompt 64 -gen 16 -rate 2000 \
+  -max-batch 4 -kv-block 64 -seed 1 -cache-dir "$tmp/cache" -json >"$tmp/serve.json"
+
+python3 - "$tmp" "$out" "$model" <<'EOF'
+import glob, json, os, sys
+tmp, out, model = sys.argv[1], sys.argv[2], sys.argv[3]
+
+iters = []
+for meta_path in sorted(glob.glob(os.path.join(tmp, "iter_*_meta.json")),
+                        key=lambda p: int(p.split("_")[-2])):
+    meta = json.load(open(meta_path))
+    rep = json.load(open(meta_path.replace("_meta", "")))
+    tokens = meta["batch"] * (meta["ctx"] if meta["phase"] == "prefill" else 1)
+    iters.append({
+        **meta,
+        "cycles": rep["cycles"],
+        "simulated_ms": rep["simulated_ms"],
+        "tokens_per_iteration": tokens,
+        "cycles_per_token": round(rep["cycles"] / tokens, 1),
+    })
+
+serve = json.load(open(os.path.join(tmp, "serve.json")))
+summary = {
+    "model": model,
+    "iteration_sweep": iters,
+    "serving": {
+        "requests": serve["requests"],
+        "tokens_out": serve["tokens_out"],
+        "simulated_ms": serve["simulated_ms"],
+        "tokens_per_sec": round(serve["tokens_per_sec"], 1),
+        "ttft_p50_ms": serve["ttft_p50_ms"],
+        "ttft_p99_ms": serve["ttft_p99_ms"],
+        "tpot_p50_ms": serve["tpot_p50_ms"],
+        "tpot_p99_ms": serve["tpot_p99_ms"],
+        "avg_batch_occupancy": serve["avg_batch_occupancy"],
+        "max_batch": serve["max_batch"],
+        "kv_block": serve["kv_block"],
+        "prefill_runs": serve["prefill_runs"],
+        "decode_steps": serve["decode_steps"],
+        "decode_cache_hits": serve["decode_cache_hits"],
+        "decode_shapes": serve["decode_shapes"],
+        "wall_ms": serve.get("wall_ms"),
+    },
+}
+if serve["tokens_per_sec"] <= 0:
+    sys.exit("bench_serve: FAIL: serving run produced no throughput")
+json.dump(summary, open(out, "w"), indent=2)
+print(f"bench_serve: wrote {out} "
+      f"({serve['tokens_per_sec']:.0f} tokens/s, TTFT p99 {serve['ttft_p99_ms']:.3f} ms)")
+EOF
