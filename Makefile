@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race check bench bench-compile bench-engine bench-serve service-smoke trace-smoke cache-smoke fuzz-smoke serve-smoke crosscheck cover clean
+.PHONY: all build fmt vet test race check bench bench-compile bench-engine bench-serve bench-energy service-smoke trace-smoke cache-smoke fuzz-smoke serve-smoke energy-smoke crosscheck cover clean
 
 all: check
 
@@ -39,6 +39,7 @@ check:
 	$(MAKE) cache-smoke
 	$(MAKE) fuzz-smoke
 	$(MAKE) serve-smoke
+	$(MAKE) energy-smoke
 	$(MAKE) crosscheck
 
 # End-to-end daemon check: start ptsimd on an ephemeral port, submit a
@@ -71,6 +72,14 @@ fuzz-smoke:
 # (scripts/serve_smoke.sh).
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# End-to-end energy-accounting check: the activity counters and derived
+# energy breakdowns must be bit-identical across serial/parallel and
+# event/strict engines, per-unit energies must sum exactly to the total,
+# and ptserve must report per-phase energy and mJ/token
+# (scripts/energy_smoke.sh).
+energy-smoke:
+	bash scripts/energy_smoke.sh
 
 # Cross-simulator differential gate: 200 seeded random workloads through
 # every oracle (zero divergences required), then the fault-injection
@@ -108,6 +117,12 @@ bench-engine:
 # percentiles -> BENCH_serve.json.
 bench-serve:
 	bash scripts/bench_serve.sh
+
+# Energy-efficiency benchmarks: decode energy-per-token swept over batch
+# and context on decoder-small, plus the end-to-end serving mJ/token
+# figure -> BENCH_energy.json.
+bench-energy:
+	bash scripts/bench_energy.sh
 
 clean:
 	$(GO) clean ./...

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/compiler"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/serve"
 	"repro/internal/service"
 	"repro/internal/service/cache"
@@ -51,6 +52,7 @@ func run() error {
 	engineWorkers := flag.Int("engine-workers", 0, "host goroutines stepping simulated cores per iteration (0 or 1 = serial; results are bit-identical)")
 	maxCycles := flag.Int64("max-cycles", 0, "per-iteration deadlock guard (0 = engine default)")
 	cacheDir := flag.String("cache-dir", "", "persist compile artifacts and kernel latencies under this directory")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the whole serving run to this JSON file (per-iteration spans stitched onto one timeline)")
 	showReport := flag.Bool("report", false, "print the per-request breakdown")
 	jsonOut := flag.Bool("json", false, "print the serving report as JSON on stdout")
 	flag.Parse()
@@ -104,6 +106,11 @@ func run() error {
 		MaxCycles:     *maxCycles,
 		Compile:       compile,
 	}
+	var tw *obs.TraceWriter
+	if *traceOut != "" {
+		tw = obs.NewTraceWriter()
+		cfg.Probe = tw
+	}
 	reqs := serve.PoissonTrace(*seed, *requests, *rate, npuCfg.FreqMHz, *prompt, *gen)
 	start := time.Now()
 	rep, err := serve.Run(cfg, reqs)
@@ -112,6 +119,12 @@ func run() error {
 	}
 	rep.NPU = npuName
 	rep.WallMs = float64(time.Since(start)) / 1e6
+	if tw != nil {
+		if err := tw.WriteFile(*traceOut); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote trace (%d events) to %s\n", tw.Len(), *traceOut)
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)

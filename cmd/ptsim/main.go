@@ -61,6 +61,7 @@ func run() error {
 	dumpTOG := flag.String("dump-tog", "", "write the first TOG to this JSON file")
 	dumpKernels := flag.String("dump-kernels", "", "write each compiled kernel's assembly into this directory")
 	autotune := flag.Bool("autotune", false, "sweep tile-size candidates through TLS and report the best (tls mode)")
+	tuneObjective := flag.String("autotune-objective", "cycles", "autotune winner metric: cycles or energy-delay (cycles x total energy)")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of the TLS run to this JSON file")
 	cacheDir := flag.String("cache-dir", "", "persist the kernel-latency cache under this directory (reused across runs)")
 	showReport := flag.Bool("report", false, "print the full utilization and stall breakdown (tls mode)")
@@ -105,6 +106,13 @@ func run() error {
 	sim := core.NewSimulator(cfg, opts)
 	sim.MaxCycles = *maxCycles
 	sim.EngineWorkers = *engineWorkers
+	switch *tuneObjective {
+	case "cycles":
+	case "energy-delay":
+		sim.Objective = core.TuneEnergyDelay
+	default:
+		return fmt.Errorf("unknown autotune objective %q (cycles, energy-delay)", *tuneObjective)
+	}
 	if *cacheDir != "" {
 		disk, err := cache.NewDisk(*cacheDir)
 		if err != nil {
@@ -184,8 +192,13 @@ func run() error {
 		}
 		// One formatter for every surface: the CLI summary, -report, -json,
 		// and the ptsimd job response all render the same report.Report.
-		full := report.Build(cfg, togsim.Result{Cycles: rep.Cycles, Jobs: rep.Jobs, Cores: rep.Cores},
-			rep.MemStats, rep.WallClock)
+		full := report.Build(cfg, report.Inputs{
+			Res:      togsim.Result{Cycles: rep.Cycles, Jobs: rep.Jobs, Cores: rep.Cores},
+			Mem:      rep.MemStats,
+			NoCFlits: rep.NoCFlits,
+			Rounds:   rep.Rounds,
+			Wall:     rep.WallClock,
+		})
 		if *jsonOut {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", "  ")

@@ -122,11 +122,21 @@ func main() {
 		fatal(err)
 	}
 	// The same report.Report that ptsim and the ptsimd job response render.
-	rep := report.Build(cfg, res, &s.Mem.Stats, time.Since(start))
+	rep := report.Build(cfg, report.Inputs{
+		Res:      res,
+		Mem:      s.MemStats(),
+		NoCFlits: s.NetFlits(),
+		Rounds:   s.Engine.Rounds,
+		Wall:     time.Since(start),
+	})
 	if store != nil {
-		// Strip host wall time so the cached artifact is fully deterministic.
+		// Strip host wall time and parallel-engine round counts so the cached
+		// artifact is fully deterministic: the cache key deliberately excludes
+		// -engine-workers (results are bit-identical), but round counts differ
+		// between serial and parallel runs.
 		canonical := rep
 		canonical.WallMs = 0
+		canonical.Rounds = nil
 		if blob, err := json.Marshal(canonical); err == nil {
 			_ = store.Put(reportKey, blob)
 		}

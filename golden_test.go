@@ -67,8 +67,11 @@ func goldenReport(t *testing.T) (npu.Config, report.Report) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	full := report.Build(cfg, togsim.Result{Cycles: rep.Cycles, Jobs: rep.Jobs, Cores: rep.Cores},
-		rep.MemStats, 0)
+	full := report.Build(cfg, report.Inputs{
+		Res:      togsim.Result{Cycles: rep.Cycles, Jobs: rep.Jobs, Cores: rep.Cores},
+		Mem:      rep.MemStats,
+		NoCFlits: rep.NoCFlits,
+	})
 	return cfg, full
 }
 
@@ -113,7 +116,7 @@ func TestGoldenTogsimJSON(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rep := report.Build(cfg, res, &s.Mem.Stats, 0)
+	rep := report.Build(cfg, report.Inputs{Res: res, Mem: s.MemStats(), NoCFlits: s.NetFlits()})
 	var buf bytes.Buffer
 	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")

@@ -61,12 +61,16 @@ type Fabric struct {
 
 	// Stats.
 	LocalBytes, RemoteBytes int64
+	// LinkFlits counts link serialization slots (LinkBytesPerCycle bytes
+	// each, minimum one per traversal), both directions summed.
+	LinkFlits int64
 
 	// Probe receives link traffic and occupancy counters on obs.LinkTrack
 	// when non-nil (change-triggered; never affects timing).
 	Probe       obs.Probe
 	lastPending int
 	lastBytes   int64
+	lastFlits   int64
 }
 
 type stagedReq struct {
@@ -114,6 +118,7 @@ func (f *Fabric) linkDelay(a, b int, bytes int, now int64) int64 {
 	if ser < 1 {
 		ser = 1
 	}
+	f.LinkFlits += ser
 	f.linkFree[a][b] = start + ser
 	return start + ser + f.cfg.LinkLatency
 }
@@ -207,6 +212,10 @@ func (f *Fabric) Tick() {
 		if b := f.LocalBytes + f.RemoteBytes; b != f.lastBytes {
 			f.Probe.Counter(obs.LinkTrack, "chiplet.bytes_total", f.cycle, float64(b))
 			f.lastBytes = b
+		}
+		if f.LinkFlits != f.lastFlits {
+			f.Probe.Counter(obs.LinkTrack, "chiplet.link_flits_total", f.cycle, float64(f.LinkFlits))
+			f.lastFlits = f.LinkFlits
 		}
 	}
 }

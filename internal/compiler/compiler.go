@@ -289,6 +289,9 @@ func (c *Compiler) Compile(g *graph.Graph) (*Compiled, error) {
 	if err := c.Cfg.Core.Validate(); err != nil {
 		return nil, err
 	}
+	if err := c.Cfg.Energy.Validate(); err != nil {
+		return nil, err
+	}
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}

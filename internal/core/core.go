@@ -22,6 +22,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/npu"
 	"repro/internal/obs"
+	"repro/internal/obs/report"
 	"repro/internal/service/cache"
 	"repro/internal/tensor"
 	"repro/internal/togsim"
@@ -56,6 +57,9 @@ type Simulator struct {
 	// builds (engine spans plus fabric/NoC/DRAM counters) and to the
 	// compiler (compile-phase spans). It never changes simulation results.
 	Probe obs.Probe
+
+	// Objective selects what AutoTune minimizes (default TuneCycles).
+	Objective TuneObjective
 
 	// store, when attached, persists the kernel-latency table across
 	// processes (the offline TOG cache of §3.10 on disk).
@@ -110,6 +114,18 @@ func (s *Simulator) Compile(g *graph.Graph) (*compiler.Compiled, error) {
 	return comp, nil
 }
 
+// TuneObjective selects AutoTune's winner metric.
+type TuneObjective int
+
+const (
+	// TuneCycles picks the candidate with the fewest cycles (default).
+	TuneCycles TuneObjective = iota
+	// TuneEnergyDelay minimizes cycles x total energy (an energy-delay
+	// product), falling back to cycles when the configuration has no
+	// energy table. Tie-break is the earliest candidate either way.
+	TuneEnergyDelay
+)
+
 // Report summarizes a timing simulation.
 type Report struct {
 	Cycles    int64
@@ -117,6 +133,8 @@ type Report struct {
 	Jobs      []togsim.JobResult
 	Cores     []togsim.CoreStats
 	MemStats  *dram.Stats
+	NoCFlits  int64
+	Rounds    togsim.RoundStats
 	WallClock time.Duration
 }
 
@@ -156,6 +174,8 @@ func (s *Simulator) SimulateJobs(jobs []*togsim.Job, kind NetKind) (Report, erro
 		Jobs:      res.Jobs,
 		Cores:     res.Cores,
 		MemStats:  &setup.Mem.Stats,
+		NoCFlits:  setup.NetFlits(),
+		Rounds:    setup.Engine.Rounds,
 		WallClock: time.Since(start),
 	}, nil
 }
@@ -204,7 +224,8 @@ func (s *Simulator) AutoTune(g *graph.Graph, candidates []compiler.Options, kind
 			results[i] = &outcome{
 				comp: comp,
 				rep: Report{Cycles: res.Cycles, FreqMHz: s.Cfg.FreqMHz, Jobs: res.Jobs,
-					Cores: res.Cores, MemStats: &setup.Mem.Stats, WallClock: time.Since(start)},
+					Cores: res.Cores, MemStats: &setup.Mem.Stats, NoCFlits: setup.NetFlits(),
+					Rounds: setup.Engine.Rounds, WallClock: time.Since(start)},
 				measured: c.MeasureCount(),
 			}
 		}(i, opts)
@@ -212,14 +233,16 @@ func (s *Simulator) AutoTune(g *graph.Graph, candidates []compiler.Options, kind
 	wg.Wait()
 
 	best := -1
+	var bestScore float64
 	var sweepMeasured int64
 	for i, r := range results {
 		if r == nil {
 			continue
 		}
 		sweepMeasured += r.measured
-		if best < 0 || r.rep.Cycles < results[best].rep.Cycles {
-			best = i
+		score := s.tuneScore(r.rep)
+		if best < 0 || score < bestScore {
+			best, bestScore = i, score
 		}
 	}
 	if best < 0 {
@@ -231,6 +254,21 @@ func (s *Simulator) AutoTune(g *graph.Graph, candidates []compiler.Options, kind
 		}
 	}
 	return candidates[best], results[best].comp, results[best].rep, nil
+}
+
+// tuneScore is the metric AutoTune minimizes for one candidate's report.
+// It is a deterministic function of the candidate's int64 counters (the
+// energy derivation is post-hoc float math over identical inputs), so the
+// sweep picks the same winner on every run and at every worker count.
+func (s *Simulator) tuneScore(rep Report) float64 {
+	if s.Objective == TuneEnergyDelay {
+		totals := report.Totals(togsim.Result{Cycles: rep.Cycles, Jobs: rep.Jobs, Cores: rep.Cores},
+			rep.MemStats, rep.NoCFlits, 0)
+		if e := report.BuildEnergy(s.Cfg, totals); e != nil {
+			return float64(rep.Cycles) * e.TotalMilliJ
+		}
+	}
+	return float64(rep.Cycles)
 }
 
 // SimulateILS runs the compiled model in Instruction-Level Simulation mode:

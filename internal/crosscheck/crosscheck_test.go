@@ -227,7 +227,7 @@ func TestLoadReproRejects(t *testing.T) {
 // TestOracleNames: the oracle set is stable and leads with the §3.8 claim.
 func TestOracleNames(t *testing.T) {
 	names := OracleNames()
-	if len(names) != 7 || names[0] != "ils-tls" {
+	if len(names) != 8 || names[0] != "ils-tls" {
 		t.Fatalf("unexpected oracle set %v", names)
 	}
 }

@@ -160,6 +160,7 @@ var oracleList = []oracle{
 	{"funcsim", (*Checker).checkFuncsim},
 	{"engine-strict", (*Checker).checkStrictTick},
 	{"engine-parallel", (*Checker).checkParallel},
+	{"energy-determinism", (*Checker).checkEnergy},
 	{"probe", (*Checker).checkProbe},
 	{"compile-workers", (*Checker).checkWorkers},
 	{"compile-store", (*Checker).checkStore},

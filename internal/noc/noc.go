@@ -30,6 +30,10 @@ type Network interface {
 	Completed() []*Message
 	Cycle() int64
 	Pending() int
+	// Flits returns the cumulative flit count the network has carried
+	// (accepted for SN, switched for CN) — the activity counter energy
+	// accounting prices per flit-hop.
+	Flits() int64
 	// SetPortWidth configures a port's bandwidth in flits per cycle.
 	SetPortWidth(port, width int)
 	// SetProbe attaches an observability probe (nil detaches). Probes
@@ -63,8 +67,12 @@ type Simple struct {
 	done  []*Message
 	spare []*Message // double buffer swapped with done at Completed
 
+	// FlitsSent counts flits accepted for serialization (always on).
+	FlitsSent int64
+
 	probe       obs.Probe
 	lastPending int
+	lastFlits   int64
 }
 
 // NewSimple returns the SN model.
@@ -110,6 +118,7 @@ func (s *Simple) Submit(m *Message) bool {
 	if flits == 0 {
 		flits = 1
 	}
+	s.FlitsSent += flits
 	w := int64(s.portWidth(m.Src))
 	for m.Src >= len(s.srcClock) {
 		s.srcClock = append(s.srcClock, 0)
@@ -151,6 +160,10 @@ func (s *Simple) Tick() {
 			s.probe.Counter(obs.NoCTrack, "noc.inflight", s.cycle, float64(p))
 			s.lastPending = p
 		}
+		if s.FlitsSent != s.lastFlits {
+			s.probe.Counter(obs.NoCTrack, "noc.flits_total", s.cycle, float64(s.FlitsSent))
+			s.lastFlits = s.FlitsSent
+		}
 	}
 }
 
@@ -182,6 +195,9 @@ func (s *Simple) Completed() []*Message {
 
 // Pending returns undelivered message count.
 func (s *Simple) Pending() int { return s.inFlight.Len() + len(s.done) }
+
+// Flits implements Network.
+func (s *Simple) Flits() int64 { return s.FlitsSent }
 
 // --- CN: cycle-accurate input-queued crossbar ------------------------------
 
@@ -446,6 +462,9 @@ func (x *Crossbar) Completed() []*Message {
 func (x *Crossbar) Pending() int {
 	return len(x.pending) + x.delayed.Len() + len(x.done)
 }
+
+// Flits implements Network.
+func (x *Crossbar) Flits() int64 { return x.FlitsSwitched }
 
 var (
 	_ Network = (*Simple)(nil)

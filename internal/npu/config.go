@@ -24,6 +24,12 @@ type CoreConfig struct {
 	VectorLatency int // base latency of a vector ALU op
 	SFULatency    int // special-function unit latency
 	MemLatency    int // scratchpad access latency
+
+	// Area estimates (mm²) per hardware block, combined by AreaMM2.
+	// Zero entries simply contribute nothing.
+	SAAreaMM2         float64 // one systolic array
+	VectorAreaMM2     float64 // one vector unit (all lanes)
+	SpadAreaMM2PerMiB float64 // scratchpad SRAM per MiB
 }
 
 // VLEN returns the maximum logical vector length in 32-bit elements
@@ -87,6 +93,10 @@ type Config struct {
 	Core    CoreConfig
 	Mem     MemConfig
 	NoC     NoCConfig
+
+	// Energy prices the activity counters in pJ per event; the zero table
+	// disables energy reporting. See energy.go.
+	Energy EnergyTable
 }
 
 // TPUv3Config returns the Google TPUv3-like configuration used for the
@@ -113,6 +123,12 @@ func TPUv3Config() Config {
 			VectorLatency:  2,
 			SFULatency:     8,
 			MemLatency:     2,
+			// Rough block areas for the tpuv3-like shape: ~14 mm² per
+			// 128x128 array, ~0.05 mm² per 16-lane vector unit, ~0.85 mm²
+			// per MiB of scratchpad SRAM (~48 mm² of core logic per core).
+			SAAreaMM2:         14.0,
+			VectorAreaMM2:     0.05,
+			SpadAreaMM2PerMiB: 0.85,
 		},
 		Mem: MemConfig{
 			// 4 HBM2 stacks x 8 pseudo-channels; 32 B/cycle per channel at
@@ -128,7 +144,8 @@ func TPUv3Config() Config {
 			TREFI: 3660, TRFC: 330, // ~3.9 us / ~350 ns at 940 MHz
 			BytesPerSec: 960e9,
 		},
-		NoC: NoCConfig{FlitBytes: 32, LatencyCycle: 4, Radix: 18},
+		NoC:    NoCConfig{FlitBytes: 32, LatencyCycle: 4, Radix: 18},
+		Energy: DefaultEnergyTable(),
 	}
 }
 
@@ -154,6 +171,10 @@ func SmallConfig() Config {
 			VectorLatency:  2,
 			SFULatency:     8,
 			MemLatency:     2,
+			// Same area rates scaled to the 8x8 array (1/256 of the big SA).
+			SAAreaMM2:         0.055,
+			VectorAreaMM2:     0.013,
+			SpadAreaMM2PerMiB: 0.85,
 		},
 		Mem: MemConfig{
 			Channels:     2,
@@ -164,6 +185,7 @@ func SmallConfig() Config {
 			TCL:          8, TRCD: 8, TRP: 8, TRAS: 18, TWR: 8,
 			BytesPerSec: 32e9,
 		},
-		NoC: NoCConfig{FlitBytes: 32, LatencyCycle: 2, Radix: 4},
+		NoC:    NoCConfig{FlitBytes: 32, LatencyCycle: 2, Radix: 4},
+		Energy: DefaultEnergyTable(),
 	}
 }

@@ -1,0 +1,100 @@
+package npu
+
+import "fmt"
+
+// EnergyTable prices the simulators' activity counters in picojoules per
+// event. Energy is always derived post-hoc — report-layer code multiplies
+// the plain int64 activity counters by these entries after a run finishes,
+// so the table never enters a simulation hot path and Results stay
+// bit-identical whether or not anyone asks for energy.
+//
+// The default entries are calibrated for the tpuv3-like shape against the
+// P2-LLM exemplar (0.7 pJ/MAC for a 128x128 array) and the usual published
+// per-technology figures: on-chip SRAM around 1-2 pJ/byte, HBM2 around
+// 3.9 pJ/bit (~31 pJ/byte) plus ~0.9 nJ per row activation, and a few pJ
+// per 32-byte flit-hop on chip. They are order-of-magnitude anchors for
+// relative comparisons (energy-per-token sweeps, cycles x energy Pareto),
+// not a signed-off power model.
+type EnergyTable struct {
+	PJPerMAC        float64 // one multiply-accumulate in a systolic array PE
+	PJPerWeightLoad float64 // one weight element streamed scratchpad -> array
+	PJPerLaneOp     float64 // one 32-bit vector ALU lane operation
+	PJPerSFUOp      float64 // one special-function op (ILS-level calibration)
+	PJPerSpadRead   float64 // one scratchpad byte read (DMA store path)
+	PJPerSpadWrite  float64 // one scratchpad byte written (DMA load path)
+	PJPerDRAMAct    float64 // one DRAM row activation (row miss)
+	PJPerDRAMByte   float64 // one DRAM byte transferred (column access, amortized)
+	PJPerFlitHop    float64 // one NoC flit switched/serialized
+	PJPerLinkFlit   float64 // one chiplet-link serialization slot (LinkBytesPerCycle bytes)
+	StaticPJPerCyc  float64 // leakage per core per cycle
+}
+
+// DefaultEnergyTable returns the documented tpuv3-like table (see the type
+// comment for provenance). The small test config reuses it: absolute
+// numbers there are not meaningful, determinism and proportions are.
+func DefaultEnergyTable() EnergyTable {
+	return EnergyTable{
+		PJPerMAC:        0.7,
+		PJPerWeightLoad: 0.9,
+		PJPerLaneOp:     1.5,
+		PJPerSFUOp:      4.0,
+		PJPerSpadRead:   1.2,
+		PJPerSpadWrite:  1.5,
+		PJPerDRAMAct:    900,
+		PJPerDRAMByte:   31.2,
+		PJPerFlitHop:    6.0,
+		PJPerLinkFlit:   1470,
+		StaticPJPerCyc:  2100,
+	}
+}
+
+// IsZero reports an unset table (energy reporting disabled).
+func (t EnergyTable) IsZero() bool { return t == EnergyTable{} }
+
+// Validate rejects negative entries and, for a non-zero table, requires the
+// compute entries to be set (a table with MACs priced at zero would report
+// a misleading all-memory breakdown).
+func (t EnergyTable) Validate() error {
+	entries := []struct {
+		name string
+		v    float64
+	}{
+		{"pj_per_mac", t.PJPerMAC},
+		{"pj_per_weight_load", t.PJPerWeightLoad},
+		{"pj_per_lane_op", t.PJPerLaneOp},
+		{"pj_per_sfu_op", t.PJPerSFUOp},
+		{"pj_per_spad_read", t.PJPerSpadRead},
+		{"pj_per_spad_write", t.PJPerSpadWrite},
+		{"pj_per_dram_act", t.PJPerDRAMAct},
+		{"pj_per_dram_byte", t.PJPerDRAMByte},
+		{"pj_per_flit_hop", t.PJPerFlitHop},
+		{"pj_per_link_flit", t.PJPerLinkFlit},
+		{"static_pj_per_cycle", t.StaticPJPerCyc},
+	}
+	for _, e := range entries {
+		if e.v < 0 {
+			return fmt.Errorf("npu: energy table entry %s is negative (%g)", e.name, e.v)
+		}
+	}
+	if t.IsZero() {
+		return nil
+	}
+	if t.PJPerMAC <= 0 || t.PJPerLaneOp <= 0 {
+		return fmt.Errorf("npu: energy table must price MACs and lane ops (> 0), got %g and %g",
+			t.PJPerMAC, t.PJPerLaneOp)
+	}
+	return nil
+}
+
+// AreaMM2 returns the core's estimated silicon area from the per-block
+// entries on CoreConfig (0 when the entries are unset).
+func (c CoreConfig) AreaMM2() float64 {
+	return float64(c.NumSAs)*c.SAAreaMM2 +
+		float64(c.NumVectorUnits)*c.VectorAreaMM2 +
+		float64(c.SpadBytes)/float64(1<<20)*c.SpadAreaMM2PerMiB
+}
+
+// TotalAreaMM2 returns the package's core area (cores x per-core area).
+func (c Config) TotalAreaMM2() float64 {
+	return float64(c.Cores) * c.Core.AreaMM2()
+}

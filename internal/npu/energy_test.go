@@ -1,0 +1,73 @@
+package npu
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEnergyTableValidate(t *testing.T) {
+	if err := (EnergyTable{}).Validate(); err != nil {
+		t.Fatalf("zero table (energy disabled) must validate: %v", err)
+	}
+	if err := DefaultEnergyTable().Validate(); err != nil {
+		t.Fatalf("default table must validate: %v", err)
+	}
+
+	neg := DefaultEnergyTable()
+	neg.PJPerDRAMAct = -1
+	if err := neg.Validate(); err == nil || !strings.Contains(err.Error(), "pj_per_dram_act") {
+		t.Fatalf("negative entry must be rejected by name, got %v", err)
+	}
+
+	// A non-zero table that prices no compute would report a misleading
+	// all-memory breakdown; require the compute entries.
+	partial := EnergyTable{PJPerDRAMByte: 31.2}
+	if err := partial.Validate(); err == nil {
+		t.Fatal("table without MAC/lane prices must be rejected")
+	}
+}
+
+func TestEnergyTableIsZero(t *testing.T) {
+	if !(EnergyTable{}).IsZero() {
+		t.Fatal("zero value must report IsZero")
+	}
+	if DefaultEnergyTable().IsZero() {
+		t.Fatal("default table must not report IsZero")
+	}
+}
+
+func TestAreaMM2(t *testing.T) {
+	c := CoreConfig{
+		NumSAs: 2, SAAreaMM2: 14.0,
+		NumVectorUnits: 128, VectorAreaMM2: 0.05,
+		SpadBytes: 16 << 20, SpadAreaMM2PerMiB: 0.85,
+	}
+	want := 2*14.0 + 128*0.05 + 16*0.85
+	if got := c.AreaMM2(); got != want {
+		t.Fatalf("AreaMM2 = %v, want %v", got, want)
+	}
+	cfg := Config{Cores: 2, Core: c}
+	if got := cfg.TotalAreaMM2(); got != 2*want {
+		t.Fatalf("TotalAreaMM2 = %v, want %v", got, 2*want)
+	}
+	if (CoreConfig{NumSAs: 4}).AreaMM2() != 0 {
+		t.Fatal("unset area entries must contribute nothing")
+	}
+}
+
+// TestStockConfigsPriceEnergy: both built-in machines ship the documented
+// default table and positive area estimates, so every CLI surface reports
+// energy out of the box.
+func TestStockConfigsPriceEnergy(t *testing.T) {
+	for _, cfg := range []Config{TPUv3Config(), SmallConfig()} {
+		if cfg.Energy.IsZero() {
+			t.Fatalf("%s: no energy table", cfg.Name)
+		}
+		if err := cfg.Energy.Validate(); err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		if cfg.TotalAreaMM2() <= 0 {
+			t.Fatalf("%s: no area estimate", cfg.Name)
+		}
+	}
+}

@@ -211,6 +211,23 @@ func (e *Emitter) Gauge(name, help string, v float64) {
 	e.printf("%s %s\n", name, fmtFloat(v))
 }
 
+// LabeledSample is one sample of a labeled family: value keyed by one
+// label value.
+type LabeledSample struct {
+	Label string
+	Value float64
+}
+
+// CounterVec emits one counter family with one sample per label value
+// (e.g. ptsimd_energy_joules_total{unit="sa"}). Samples render in the
+// given order so scrapes are byte-stable.
+func (e *Emitter) CounterVec(name, help, label string, samples []LabeledSample) {
+	e.header(name, help, "counter")
+	for _, s := range samples {
+		e.printf("%s{%s=%q} %s\n", name, label, s.Label, fmtFloat(s.Value))
+	}
+}
+
 // Histogram emits one histogram family: cumulative buckets, +Inf, sum and
 // count.
 func (e *Emitter) Histogram(name, help string, buckets []float64, counts []uint64, sum float64, count uint64) {

@@ -31,6 +31,7 @@ const (
 	LaneSparse
 	LaneDMA
 	LaneStall
+	LaneEnergy // cumulative dynamic compute energy (pJ) — slope is power
 )
 
 // PIDMemory groups the shared memory-system tracks (fabric, DRAM, NoC,
@@ -84,4 +85,27 @@ type Probe interface {
 	Span(t Track, name string, start, end int64, info SpanInfo)
 	// Counter records an instantaneous sample of a named counter series.
 	Counter(t Track, name string, cycle int64, value float64)
+}
+
+// OffsetProbe shifts every event it forwards by Delta cycles. The serving
+// layer uses it to stitch per-iteration engine runs (each starting at
+// cycle 0 in its own engine) onto one continuous serve timeline.
+type OffsetProbe struct {
+	Base  Probe
+	Delta int64
+}
+
+// TrackName implements Probe (names carry no timestamps; passthrough).
+func (o OffsetProbe) TrackName(t Track, process, lane string) {
+	o.Base.TrackName(t, process, lane)
+}
+
+// Span implements Probe.
+func (o OffsetProbe) Span(t Track, name string, start, end int64, info SpanInfo) {
+	o.Base.Span(t, name, start+o.Delta, end+o.Delta, info)
+}
+
+// Counter implements Probe.
+func (o OffsetProbe) Counter(t Track, name string, cycle int64, value float64) {
+	o.Base.Counter(t, name, cycle+o.Delta, value)
 }

@@ -1,0 +1,161 @@
+package report
+
+import (
+	"fmt"
+
+	"repro/internal/dram"
+	"repro/internal/npu"
+	"repro/internal/togsim"
+)
+
+// ActivityTotals is the run-wide roll-up of the simulators' plain int64
+// activity counters — the only inputs energy derivation is allowed to use.
+// Because every field is an integer that is bit-identical across the
+// strict, event-driven, and parallel engines, the floats derived from them
+// are bit-identical too (same values through the same expressions).
+type ActivityTotals struct {
+	Cycles         int64 `json:"cycles"`
+	SAMacCycles    int64 `json:"sa_mac_cycles"`
+	SATileLoads    int64 `json:"sa_tile_loads"`
+	VectorCycles   int64 `json:"vector_cycles"`
+	SparseCycles   int64 `json:"sparse_cycles,omitempty"`
+	SpadReadBytes  int64 `json:"spad_read_bytes"`
+	SpadWriteBytes int64 `json:"spad_write_bytes"`
+	DRAMActivates  int64 `json:"dram_activates"`
+	DRAMBytes      int64 `json:"dram_bytes"`
+	NoCFlits       int64 `json:"noc_flits"`
+	LinkFlits      int64 `json:"link_flits,omitempty"`
+}
+
+// Totals aggregates one engine run: per-job activity from the Result plus
+// the memory-side counters. mem may be nil (flat-latency fabric).
+func Totals(res togsim.Result, mem *dram.Stats, nocFlits, linkFlits int64) ActivityTotals {
+	t := ActivityTotals{Cycles: res.Cycles, NoCFlits: nocFlits, LinkFlits: linkFlits}
+	for _, j := range res.Jobs {
+		t.SAMacCycles += j.Activity.SAMacCycles
+		t.SATileLoads += j.Activity.SATileLoads
+		t.VectorCycles += j.Activity.VectorCycles
+		t.SparseCycles += j.Activity.SparseCycles
+		t.SpadReadBytes += j.Activity.SpadReadBytes
+		t.SpadWriteBytes += j.Activity.SpadWriteBytes
+	}
+	if mem != nil {
+		t.DRAMActivates = mem.RowMisses
+		t.DRAMBytes = mem.TotalBytes
+	}
+	return t
+}
+
+// Add accumulates b into a (phase roll-ups in the serving layer). Cycles
+// add too: phases are disjoint slices of the serve timeline.
+func (a *ActivityTotals) Add(b ActivityTotals) {
+	a.Cycles += b.Cycles
+	a.SAMacCycles += b.SAMacCycles
+	a.SATileLoads += b.SATileLoads
+	a.VectorCycles += b.VectorCycles
+	a.SparseCycles += b.SparseCycles
+	a.SpadReadBytes += b.SpadReadBytes
+	a.SpadWriteBytes += b.SpadWriteBytes
+	a.DRAMActivates += b.DRAMActivates
+	a.DRAMBytes += b.DRAMBytes
+	a.NoCFlits += b.NoCFlits
+	a.LinkFlits += b.LinkFlits
+}
+
+// EnergyReport is the per-unit energy breakdown of one run (or one serving
+// phase). All energies are millijoules; TotalMilliJ is the exact sum of
+// the unit fields in declaration order, so "breakdown sums to total" holds
+// bitwise, not just within a tolerance.
+type EnergyReport struct {
+	SAMilliJ     float64 `json:"sa_mj"`
+	VectorMilliJ float64 `json:"vector_mj"`
+	SpadMilliJ   float64 `json:"spad_mj"`
+	DRAMMilliJ   float64 `json:"dram_mj"`
+	NoCMilliJ    float64 `json:"noc_mj"`
+	LinkMilliJ   float64 `json:"link_mj"`
+	StaticMilliJ float64 `json:"static_mj"`
+	TotalMilliJ  float64 `json:"total_mj"`
+
+	AvgPowerW  float64 `json:"avg_power_w,omitempty"`
+	PJPerCycle float64 `json:"pj_per_cycle,omitempty"`
+	AreaMM2    float64 `json:"area_mm2,omitempty"`
+}
+
+// EnergyUnits is the fixed unit-class order every exporter renders in
+// (reports, /metrics, /stats), so scrapes are byte-stable run to run.
+var EnergyUnits = []string{"sa", "vector", "spad", "dram", "noc", "link", "static"}
+
+// UnitMilliJ returns the per-unit breakdown as (class, mJ) pairs in the
+// fixed declaration order, for exporters that label by unit class.
+func (e EnergyReport) UnitMilliJ() []struct {
+	Unit string
+	MJ   float64
+} {
+	return []struct {
+		Unit string
+		MJ   float64
+	}{
+		{"sa", e.SAMilliJ},
+		{"vector", e.VectorMilliJ},
+		{"spad", e.SpadMilliJ},
+		{"dram", e.DRAMMilliJ},
+		{"noc", e.NoCMilliJ},
+		{"link", e.LinkMilliJ},
+		{"static", e.StaticMilliJ},
+	}
+}
+
+// BuildEnergy prices the activity totals with the config's energy table.
+// It returns nil when the table is zero (energy reporting disabled). The
+// derivation is strictly post-hoc: nothing here feeds back into any
+// simulator, and identical totals produce identical floats.
+func BuildEnergy(cfg npu.Config, a ActivityTotals) *EnergyReport {
+	t := cfg.Energy
+	if t.IsZero() {
+		return nil
+	}
+	pes := float64(cfg.Core.SARows) * float64(cfg.Core.SACols)
+	vlen := float64(cfg.Core.VLEN())
+	e := &EnergyReport{
+		// One SA busy cycle streams one input row across rows x cols PEs;
+		// one tile load streams a rows x cols weight set into the array.
+		SAMilliJ: (float64(a.SAMacCycles)*pes*t.PJPerMAC +
+			float64(a.SATileLoads)*pes*t.PJPerWeightLoad) / 1e9,
+		// Vector and sparse units run VLEN lanes in lockstep per busy cycle.
+		VectorMilliJ: float64(a.VectorCycles+a.SparseCycles) * vlen * t.PJPerLaneOp / 1e9,
+		SpadMilliJ: (float64(a.SpadReadBytes)*t.PJPerSpadRead +
+			float64(a.SpadWriteBytes)*t.PJPerSpadWrite) / 1e9,
+		DRAMMilliJ: (float64(a.DRAMActivates)*t.PJPerDRAMAct +
+			float64(a.DRAMBytes)*t.PJPerDRAMByte) / 1e9,
+		NoCMilliJ:    float64(a.NoCFlits) * t.PJPerFlitHop / 1e9,
+		LinkMilliJ:   float64(a.LinkFlits) * t.PJPerLinkFlit / 1e9,
+		StaticMilliJ: float64(a.Cycles) * float64(cfg.Cores) * t.StaticPJPerCyc / 1e9,
+		AreaMM2:      cfg.TotalAreaMM2(),
+	}
+	e.TotalMilliJ = e.SAMilliJ + e.VectorMilliJ + e.SpadMilliJ + e.DRAMMilliJ +
+		e.NoCMilliJ + e.LinkMilliJ + e.StaticMilliJ
+	if a.Cycles > 0 {
+		e.PJPerCycle = e.TotalMilliJ * 1e9 / float64(a.Cycles)
+		if cfg.FreqMHz > 0 {
+			// total_mJ / simulated_ms = average watts.
+			simMs := float64(a.Cycles) / float64(cfg.FreqMHz) / 1e3
+			e.AvgPowerW = e.TotalMilliJ / simMs
+		}
+	}
+	return e
+}
+
+// Text renders the one-block energy summary used by the CLI text reports.
+func (e EnergyReport) Text() string {
+	s := fmt.Sprintf("energy: %.3f mJ total = SA %.3f + vector %.3f + spad %.3f + DRAM %.3f + NoC %.3f + link %.3f + static %.3f\n",
+		e.TotalMilliJ, e.SAMilliJ, e.VectorMilliJ, e.SpadMilliJ, e.DRAMMilliJ,
+		e.NoCMilliJ, e.LinkMilliJ, e.StaticMilliJ)
+	if e.AvgPowerW > 0 {
+		s += fmt.Sprintf("power: %.2f W average (%.0f pJ/cycle)", e.AvgPowerW, e.PJPerCycle)
+		if e.AreaMM2 > 0 {
+			s += fmt.Sprintf("; core area %.1f mm²", e.AreaMM2)
+		}
+		s += "\n"
+	}
+	return s
+}

@@ -40,6 +40,24 @@ type JobReport struct {
 	DMABytes      int64   `json:"dma_bytes"`
 	ComputeFrac   float64 `json:"compute_frac"`
 	DMAWaitFrac   float64 `json:"dma_wait_frac"`
+
+	// Per-unit activity counters (see togsim.Activity).
+	SAMacCycles    int64 `json:"sa_mac_cycles,omitempty"`
+	SATileLoads    int64 `json:"sa_tile_loads,omitempty"`
+	VectorCycles   int64 `json:"vector_cycles,omitempty"`
+	SparseCycles   int64 `json:"sparse_cycles,omitempty"`
+	SpadReadBytes  int64 `json:"spad_read_bytes,omitempty"`
+	SpadWriteBytes int64 `json:"spad_write_bytes,omitempty"`
+}
+
+// RoundsReport surfaces the parallel engine's scheduling split: how much
+// of the run executed in concurrent safe windows versus globally ordered
+// serial rounds (the ROADMAP item-3 degradation mode). Present only after
+// a parallel run.
+type RoundsReport struct {
+	WindowRounds   int64 `json:"window_rounds"`
+	SerialRounds   int64 `json:"serial_rounds"`
+	WindowedCycles int64 `json:"windowed_cycles"`
 }
 
 // MemReport summarizes DRAM activity and achieved bandwidth.
@@ -57,23 +75,38 @@ type MemReport struct {
 
 // Report is the derived summary of one timing-simulation run.
 type Report struct {
-	Cycles      int64        `json:"cycles"`
-	FreqMHz     int          `json:"freq_mhz"`
-	SimulatedMs float64      `json:"simulated_ms"`
-	WallMs      float64      `json:"wall_ms,omitempty"`
-	Cores       []CoreReport `json:"cores,omitempty"`
-	Jobs        []JobReport  `json:"jobs,omitempty"`
-	Mem         *MemReport   `json:"mem,omitempty"`
+	Cycles      int64           `json:"cycles"`
+	FreqMHz     int             `json:"freq_mhz"`
+	SimulatedMs float64         `json:"simulated_ms"`
+	WallMs      float64         `json:"wall_ms,omitempty"`
+	Cores       []CoreReport    `json:"cores,omitempty"`
+	Jobs        []JobReport     `json:"jobs,omitempty"`
+	Mem         *MemReport      `json:"mem,omitempty"`
+	Activity    *ActivityTotals `json:"activity,omitempty"`
+	Energy      *EnergyReport   `json:"energy,omitempty"`
+	Rounds      *RoundsReport   `json:"parallel_rounds,omitempty"`
 }
 
-// Build derives a Report from an engine Result, the target configuration,
-// and (optionally) the DRAM controller's stats. wall may be zero when host
-// time was not measured.
-func Build(cfg npu.Config, res togsim.Result, mem *dram.Stats, wall time.Duration) Report {
+// Inputs bundles everything Build derives a Report from. Res is required;
+// the rest default sensibly: Mem may be nil (flat-latency fabric),
+// NoCFlits/LinkFlits zero when the fabric has no such model, Rounds zero
+// after a serial run, Wall zero when host time was not measured.
+type Inputs struct {
+	Res       togsim.Result
+	Mem       *dram.Stats
+	NoCFlits  int64
+	LinkFlits int64
+	Rounds    togsim.RoundStats
+	Wall      time.Duration
+}
+
+// Build derives a Report from an engine run and the target configuration.
+func Build(cfg npu.Config, in Inputs) Report {
+	res, mem := in.Res, in.Mem
 	r := Report{
 		Cycles:  res.Cycles,
 		FreqMHz: cfg.FreqMHz,
-		WallMs:  float64(wall) / 1e6,
+		WallMs:  float64(in.Wall) / 1e6,
 	}
 	if cfg.FreqMHz > 0 {
 		r.SimulatedMs = float64(res.Cycles) / float64(cfg.FreqMHz) / 1e3
@@ -96,6 +129,13 @@ func Build(cfg npu.Config, res togsim.Result, mem *dram.Stats, wall time.Duratio
 			UnitWait:      j.UnitWait,
 			DMAWait:       j.DMAWait,
 			DMABytes:      j.DMABytes,
+
+			SAMacCycles:    j.Activity.SAMacCycles,
+			SATileLoads:    j.Activity.SATileLoads,
+			VectorCycles:   j.Activity.VectorCycles,
+			SparseCycles:   j.Activity.SparseCycles,
+			SpadReadBytes:  j.Activity.SpadReadBytes,
+			SpadWriteBytes: j.Activity.SpadWriteBytes,
 		}
 		jr.OtherCycles = jr.TotalCycles - jr.ComputeCycles - jr.UnitWait - jr.DMAWait
 		if jr.OtherCycles < 0 {
@@ -121,6 +161,16 @@ func Build(cfg npu.Config, res togsim.Result, mem *dram.Stats, wall time.Duratio
 			mr.BandwidthUtil = mr.AchievedBpc / mr.PeakBpc
 		}
 		r.Mem = mr
+	}
+	totals := Totals(res, mem, in.NoCFlits, in.LinkFlits)
+	r.Activity = &totals
+	r.Energy = BuildEnergy(cfg, totals)
+	if in.Rounds.Window > 0 || in.Rounds.Serial > 0 {
+		r.Rounds = &RoundsReport{
+			WindowRounds:   in.Rounds.Window,
+			SerialRounds:   in.Rounds.Serial,
+			WindowedCycles: in.Rounds.WindowedCycles,
+		}
 	}
 	return r
 }
@@ -165,6 +215,13 @@ func (r Report) Text() string {
 	if m := r.Mem; m != nil {
 		fmt.Fprintf(&b, "DRAM: %d reads, %d writes, row hits %d / misses %d, %.1f B/cycle of %.1f peak (%.1f%% bandwidth)\n",
 			m.Reads, m.Writes, m.RowHits, m.RowMisses, m.AchievedBpc, m.PeakBpc, 100*m.BandwidthUtil)
+	}
+	if e := r.Energy; e != nil {
+		b.WriteString(e.Text())
+	}
+	if rd := r.Rounds; rd != nil {
+		fmt.Fprintf(&b, "parallel engine: %d window rounds covering %d cycles, %d serial rounds\n",
+			rd.WindowRounds, rd.WindowedCycles, rd.SerialRounds)
 	}
 	return b.String()
 }

@@ -36,7 +36,7 @@ func sampleInputs() (npu.Config, togsim.Result, *dram.Stats) {
 
 func TestBuild(t *testing.T) {
 	cfg, res, mem := sampleInputs()
-	r := Build(cfg, res, mem, 50*time.Millisecond)
+	r := Build(cfg, Inputs{Res: res, Mem: mem, Wall: 50 * time.Millisecond})
 
 	if r.Cycles != 10_000 || r.FreqMHz != 1000 {
 		t.Fatalf("header wrong: %+v", r)
@@ -73,7 +73,7 @@ func TestBuild(t *testing.T) {
 func TestBuildClampsOther(t *testing.T) {
 	cfg, res, _ := sampleInputs()
 	res.Jobs[0].DMAWait = 100_000
-	r := Build(cfg, res, nil, 0)
+	r := Build(cfg, Inputs{Res: res})
 	if r.Jobs[0].OtherCycles != 0 {
 		t.Fatalf("OtherCycles = %d, want clamped 0", r.Jobs[0].OtherCycles)
 	}
@@ -86,12 +86,12 @@ func TestBuildClampsOther(t *testing.T) {
 // the cycle count so scripts can parse `^TLS: ([0-9]*) cycles`.
 func TestSummaryFormat(t *testing.T) {
 	cfg, res, mem := sampleInputs()
-	r := Build(cfg, res, mem, 50*time.Millisecond)
+	r := Build(cfg, Inputs{Res: res, Mem: mem, Wall: 50 * time.Millisecond})
 	s := r.Summary()
 	if !regexp.MustCompile(`^10000 cycles \(0\.010 ms simulated @ 1000 MHz, 50 ms host\)$`).MatchString(s) {
 		t.Fatalf("summary format drifted: %q", s)
 	}
-	noWall := Build(cfg, res, mem, 0).Summary()
+	noWall := Build(cfg, Inputs{Res: res, Mem: mem}).Summary()
 	if strings.Contains(noWall, "host") {
 		t.Fatalf("zero wall time must omit host clause: %q", noWall)
 	}
@@ -99,7 +99,7 @@ func TestSummaryFormat(t *testing.T) {
 
 func TestTextBreakdown(t *testing.T) {
 	cfg, res, mem := sampleInputs()
-	txt := Build(cfg, res, mem, 0).Text()
+	txt := Build(cfg, Inputs{Res: res, Mem: mem}).Text()
 	for _, want := range []string{"core 0:", `job "gemm"`, "dma-stall", "DRAM:", "bandwidth"} {
 		if !strings.Contains(txt, want) {
 			t.Fatalf("Text missing %q:\n%s", want, txt)
@@ -114,7 +114,7 @@ func TestTextBreakdown(t *testing.T) {
 // serialize with stable field names.
 func TestJSONRoundTrip(t *testing.T) {
 	cfg, res, mem := sampleInputs()
-	b, err := json.Marshal(Build(cfg, res, mem, 0))
+	b, err := json.Marshal(Build(cfg, Inputs{Res: res, Mem: mem}))
 	if err != nil {
 		t.Fatal(err)
 	}

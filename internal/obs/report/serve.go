@@ -66,6 +66,18 @@ type ServeReport struct {
 	// full the continuous batch actually ran.
 	AvgBatchOccupancy float64 `json:"avg_batch_occupancy"`
 
+	// Energy, derived post-hoc from per-phase activity totals (nil when the
+	// config has no energy table). Phase energies and per-unit breakdowns
+	// are deterministic functions of the int64 activity counters, so the
+	// serve-determinism oracle's DeepEqual covers them automatically.
+	PrefillEnergy *EnergyReport `json:"prefill_energy,omitempty"`
+	DecodeEnergy  *EnergyReport `json:"decode_energy,omitempty"`
+	TotalEnergyMJ float64       `json:"total_energy_mj,omitempty"`
+	// EnergyPerTokenMJ is total serving energy amortized over every token
+	// produced — the LLM serving efficiency figure the bench sweeps.
+	EnergyPerTokenMJ float64 `json:"energy_per_token_mj,omitempty"`
+	AvgPowerW        float64 `json:"avg_power_w,omitempty"`
+
 	PerRequest []ServeRequestReport `json:"per_request,omitempty"`
 	Timeline   []BatchSample        `json:"timeline,omitempty"`
 }
@@ -106,6 +118,17 @@ func (r ServeReport) Text() string {
 		r.PrefillRuns, r.PrefillShapes, r.PrefillHits, r.DecodeSteps, r.DecodeShapes, r.DecodeHits)
 	fmt.Fprintf(&b, "batch occupancy: avg %.2f of max %d (kv block %d)\n",
 		r.AvgBatchOccupancy, r.MaxBatch, r.KVBlock)
+	if r.TotalEnergyMJ > 0 {
+		pf, dc := 0.0, 0.0
+		if r.PrefillEnergy != nil {
+			pf = r.PrefillEnergy.TotalMilliJ
+		}
+		if r.DecodeEnergy != nil {
+			dc = r.DecodeEnergy.TotalMilliJ
+		}
+		fmt.Fprintf(&b, "energy: %.3f mJ total (prefill %.3f, decode %.3f); %.4f mJ/token; %.2f W average\n",
+			r.TotalEnergyMJ, pf, dc, r.EnergyPerTokenMJ, r.AvgPowerW)
+	}
 	for _, rr := range r.PerRequest {
 		fmt.Fprintf(&b, "request %s: arrive @%d, first token @%d (TTFT %.3f ms), done @%d, %d+%d tokens\n",
 			rr.ID, rr.ArrivalCycle, rr.FirstToken, rr.TTFTMs, rr.Finished, rr.Prompt, rr.Output)

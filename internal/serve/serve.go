@@ -30,6 +30,7 @@ import (
 	"repro/internal/compiler"
 	"repro/internal/dram"
 	"repro/internal/npu"
+	"repro/internal/obs"
 	"repro/internal/obs/report"
 	"repro/internal/service/modelzoo"
 	"repro/internal/togsim"
@@ -62,6 +63,13 @@ type Config struct {
 	MaxCycles     int64 // per-iteration deadlock guard (0 = engine default)
 
 	Compile CompileFn // required
+
+	// Probe, when non-nil, receives every iteration's engine trace events
+	// shifted onto the continuous serve timeline (each iteration's engine
+	// starts at cycle 0; an obs.OffsetProbe adds the iteration's start
+	// cycle). Attaching it never changes the report — the serve-determinism
+	// oracle compares probed and unprobed runs.
+	Probe obs.Probe
 }
 
 func (c *Config) defaults() {
@@ -147,7 +155,7 @@ func Run(cfg Config, reqs []Request) (report.ServeReport, error) {
 		for len(waiting) > 0 && len(running) < cfg.MaxBatch && waiting[0].Arrival <= now {
 			req := &reqState{Request: waiting[0]}
 			waiting = waiting[1:]
-			cycles, err := s.prefill(req.Prompt)
+			cycles, err := s.prefill(req.Prompt, now)
 			if err != nil {
 				return report.ServeReport{}, err
 			}
@@ -176,7 +184,7 @@ func Run(cfg Config, reqs []Request) (report.ServeReport, error) {
 			}
 		}
 		kvLen := (kvCtx + cfg.KVBlock - 1) / cfg.KVBlock * cfg.KVBlock
-		cycles, err := s.decode(len(running), kvLen)
+		cycles, err := s.decode(len(running), kvLen, now)
 		if err != nil {
 			return report.ServeReport{}, err
 		}
@@ -211,54 +219,69 @@ type runState struct {
 	timeline    []report.BatchSample
 	occCycles   int64
 	occWeighted int64
+
+	// Per-phase activity roll-ups across every iteration's engine run, for
+	// the post-hoc energy derivation (plain int64s: deterministic).
+	prefillAct report.ActivityTotals
+	decodeAct  report.ActivityTotals
 }
 
-// prefill simulates one request's prompt pass and returns its cycles.
-func (s *runState) prefill(prompt int) (int64, error) {
+// prefill simulates one request's prompt pass (starting at serve cycle
+// `at`) and returns its cycles.
+func (s *runState) prefill(prompt int, at int64) (int64, error) {
 	if s.prefillShapes == nil {
 		s.prefillShapes = map[string]bool{}
 	}
 	s.prefillRuns++
 	s.prefillShapes[fmt.Sprintf("ctx%d", prompt)] = true
-	cycles, hit, err := s.iterate(modelzoo.Spec{Model: s.cfg.Model, Batch: 1, Ctx: prompt, Prefill: true})
+	cycles, act, hit, err := s.iterate(modelzoo.Spec{Model: s.cfg.Model, Batch: 1, Ctx: prompt, Prefill: true}, at)
 	if hit {
 		s.prefillHits++
 	}
+	s.prefillAct.Add(act)
 	return cycles, err
 }
 
-// decode simulates one continuous-batch decode iteration.
-func (s *runState) decode(batch, kvLen int) (int64, error) {
+// decode simulates one continuous-batch decode iteration starting at serve
+// cycle `at`.
+func (s *runState) decode(batch, kvLen int, at int64) (int64, error) {
 	if s.decodeShapes == nil {
 		s.decodeShapes = map[string]bool{}
 	}
 	s.decodeSteps++
 	s.decodeShapes[fmt.Sprintf("b%d_kv%d", batch, kvLen)] = true
-	cycles, hit, err := s.iterate(modelzoo.Spec{Model: s.cfg.Model, Batch: batch, Ctx: kvLen})
+	cycles, act, hit, err := s.iterate(modelzoo.Spec{Model: s.cfg.Model, Batch: batch, Ctx: kvLen}, at)
 	if hit {
 		s.decodeHits++
 	}
+	s.decodeAct.Add(act)
 	return cycles, err
 }
 
 // iterate compiles (or fetches) one iteration's graph and runs it on a
 // fresh TLS engine — the same compile-then-simulate pipeline as a
-// standalone run, so iteration cycles are bit-identical to ptsim's.
-func (s *runState) iterate(spec modelzoo.Spec) (int64, bool, error) {
+// standalone run, so iteration cycles are bit-identical to ptsim's. It
+// returns the iteration's activity totals for phase energy accounting.
+func (s *runState) iterate(spec modelzoo.Spec, at int64) (int64, report.ActivityTotals, bool, error) {
 	comp, hit, err := s.cfg.Compile(spec)
 	if err != nil {
-		return 0, false, err
+		return 0, report.ActivityTotals{}, false, err
 	}
 	setup := togsim.NewStandard(s.cfg.NPU, s.cfg.Net, dram.FRFCFS)
 	if s.cfg.MaxCycles > 0 {
 		setup.Engine.MaxCycles = s.cfg.MaxCycles
 	}
 	setup.Engine.Workers = s.cfg.EngineWorkers
+	if s.cfg.Probe != nil {
+		// Stitch this iteration's spans onto the serve timeline: the
+		// engine's cycle 0 is serve cycle `at`.
+		setup.AttachProbe(obs.OffsetProbe{Base: s.cfg.Probe, Delta: at})
+	}
 	res, err := setup.Engine.Run([]*togsim.Job{comp.Job(comp.Name, 0, 0)})
 	if err != nil {
-		return 0, hit, err
+		return 0, report.ActivityTotals{}, hit, err
 	}
-	return res.Cycles, hit, nil
+	return res.Cycles, report.Totals(res, setup.MemStats(), setup.NetFlits(), 0), hit, nil
 }
 
 // report assembles the final ServeReport (no host time: deterministic).
@@ -320,5 +343,27 @@ func (s *runState) report(cfg Config, done []*reqState, end int64) report.ServeR
 	r.TTFTp99Ms = report.Percentile(ttfts, 99)
 	r.TPOTp50Ms = report.Percentile(tpots, 50)
 	r.TPOTp99Ms = report.Percentile(tpots, 99)
+
+	// Per-phase energy, post-hoc from the accumulated activity counters.
+	// Each phase's cycles are the sum of its iterations' engine cycles, so
+	// static leakage is charged only while an engine was running (serve-
+	// level idle gaps have no simulated hardware to leak). The total is the
+	// exact sum of the two phase totals.
+	r.PrefillEnergy = report.BuildEnergy(cfg.NPU, s.prefillAct)
+	r.DecodeEnergy = report.BuildEnergy(cfg.NPU, s.decodeAct)
+	if r.PrefillEnergy != nil || r.DecodeEnergy != nil {
+		if r.PrefillEnergy != nil {
+			r.TotalEnergyMJ += r.PrefillEnergy.TotalMilliJ
+		}
+		if r.DecodeEnergy != nil {
+			r.TotalEnergyMJ += r.DecodeEnergy.TotalMilliJ
+		}
+		if r.TokensOut > 0 {
+			r.EnergyPerTokenMJ = r.TotalEnergyMJ / float64(r.TokensOut)
+		}
+		if r.SimulatedMs > 0 {
+			r.AvgPowerW = r.TotalEnergyMJ / r.SimulatedMs
+		}
+	}
 	return r
 }

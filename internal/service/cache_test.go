@@ -69,6 +69,7 @@ func TestCompileKeyCanonical(t *testing.T) {
 	b.NoC = a.NoC
 	b.Mem = a.Mem
 	b.Core = a.Core
+	b.Energy = a.Energy
 	b.FreqMHz = a.FreqMHz
 	b.Cores = a.Cores
 	b.Name = a.Name

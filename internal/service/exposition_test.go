@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"repro/internal/obs/report"
 )
 
 // expoFamily is one metric family parsed from the text exposition.
@@ -193,11 +195,23 @@ func TestMetricsExpositionParsesCompletely(t *testing.T) {
 		}
 		switch f.typ {
 		case "counter", "gauge":
-			if len(f.samples) != 1 || f.samples[0].name != name || len(f.samples[0].labels) != 0 {
+			if labeled(f) {
+				// A labeled family (e.g. ptsimd_energy_joules_total{unit=...})
+				// carries one sample per label value, all on the same key.
+				for _, s := range f.samples {
+					if s.name != name || len(s.labels) != 1 {
+						t.Errorf("%s family %q has a malformed labeled sample: %+v", f.typ, name, s)
+					}
+				}
+			} else if len(f.samples) != 1 || f.samples[0].name != name || len(f.samples[0].labels) != 0 {
 				t.Errorf("%s family %q must carry exactly one unlabeled sample, got %+v", f.typ, name, f.samples)
 			}
-			if f.typ == "counter" && f.samples[0].value < 0 {
-				t.Errorf("counter %q is negative: %g", name, f.samples[0].value)
+			if f.typ == "counter" {
+				for _, s := range f.samples {
+					if s.value < 0 {
+						t.Errorf("counter %q is negative: %g", name, s.value)
+					}
+				}
 			}
 		case "histogram":
 			checkHistogram(t, f)
@@ -222,6 +236,38 @@ func TestMetricsExpositionParsesCompletely(t *testing.T) {
 	if v := fams["ptsimd_job_duration_seconds"].sampleValue(t, "ptsimd_job_duration_seconds_count"); v != n {
 		t.Fatalf("job duration histogram count = %g, want %d", v, n)
 	}
+
+	// The small config carries the default energy table, so finished jobs
+	// must have accumulated per-unit energy: one sample per unit class in
+	// the fixed report.EnergyUnits order, with nonzero total.
+	ef := fams["ptsimd_energy_joules_total"]
+	if ef == nil {
+		t.Fatal("ptsimd_energy_joules_total missing after energy-priced jobs")
+	}
+	if len(ef.samples) != len(report.EnergyUnits) {
+		t.Fatalf("energy family has %d samples, want %d", len(ef.samples), len(report.EnergyUnits))
+	}
+	var totalJ float64
+	for i, s := range ef.samples {
+		if s.labels["unit"] != report.EnergyUnits[i] {
+			t.Fatalf("energy sample %d labeled %q, want %q", i, s.labels["unit"], report.EnergyUnits[i])
+		}
+		totalJ += s.value
+	}
+	if totalJ <= 0 {
+		t.Fatalf("energy counters sum to %g after %d jobs", totalJ, n)
+	}
+}
+
+// labeled reports whether every sample of the family carries labels (a
+// counter/gauge vector rather than a scalar).
+func labeled(f *expoFamily) bool {
+	for _, s := range f.samples {
+		if len(s.labels) == 0 {
+			return false
+		}
+	}
+	return len(f.samples) > 0
 }
 
 // checkHistogram validates bucket structure: le labels parse, buckets are

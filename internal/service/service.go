@@ -280,6 +280,18 @@ type Stats struct {
 	ServeRequests int64 `json:"serve_requests"`
 	ServeTokens   int64 `json:"serve_tokens"`
 
+	// EnergyJoules accumulates the post-hoc energy of finished jobs keyed
+	// by unit class (report.EnergyUnits order on /metrics). Empty until a
+	// job's NPU config carries a non-zero energy table.
+	EnergyJoules map[string]float64 `json:"energy_joules,omitempty"`
+
+	// WindowRounds/SerialRounds/WindowedCycles accumulate the parallel
+	// engine's scheduling split over finished jobs (all zero for serial
+	// runs; see togsim.RoundStats).
+	WindowRounds   int64 `json:"window_rounds"`
+	SerialRounds   int64 `json:"serial_rounds"`
+	WindowedCycles int64 `json:"windowed_cycles"`
+
 	Workers    int `json:"workers"`
 	QueueDepth int `json:"queue_depth"`
 }
@@ -304,6 +316,11 @@ type Service struct {
 	cacheMisses int64 // is one consistent snapshot (the cache has its own lock)
 	serveReqs   int64
 	serveTokens int64
+
+	energyJ        map[string]float64 // cumulative joules by unit class
+	windowRounds   int64              // parallel-engine scheduling split,
+	serialRounds   int64              // summed over finished jobs
+	windowedCycles int64
 
 	reg          *metrics.Registry
 	queueWait    *metrics.Histogram
@@ -397,6 +414,19 @@ func (s *Service) collect(e *metrics.Emitter) {
 	e.Counter("ptsimd_serve_requests_total", "Requests completed by serving jobs.", float64(st.ServeRequests))
 	e.Counter("ptsimd_serve_tokens_generated_total", "Tokens generated by serving jobs.", float64(st.ServeTokens))
 	e.Gauge("ptsimd_simulation_cycles_per_second", "Aggregate simulation rate: simulated cycles per host second.", st.CyclesPerSecond)
+	if len(st.EnergyJoules) > 0 {
+		// Fixed unit order keeps the scrape byte-stable.
+		samples := make([]metrics.LabeledSample, 0, len(report.EnergyUnits))
+		for _, unit := range report.EnergyUnits {
+			samples = append(samples, metrics.LabeledSample{Label: unit, Value: st.EnergyJoules[unit]})
+		}
+		e.CounterVec("ptsimd_energy_joules_total",
+			"Post-hoc simulated energy of finished jobs by unit class.",
+			"unit", samples)
+	}
+	e.Gauge("ptsimd_engine_window_rounds", "Parallel-engine window rounds summed over finished jobs.", float64(st.WindowRounds))
+	e.Gauge("ptsimd_engine_serial_rounds", "Parallel-engine serial fallback rounds summed over finished jobs.", float64(st.SerialRounds))
+	e.Gauge("ptsimd_engine_windowed_cycles", "Simulated cycles covered by parallel windows, summed over finished jobs.", float64(st.WindowedCycles))
 	e.Gauge("ptsimd_workers", "Size of the worker pool.", float64(st.Workers))
 	e.Gauge("ptsimd_queue_capacity", "Bounded job queue capacity.", float64(st.QueueDepth))
 	busy := 0.0
@@ -513,8 +543,35 @@ func (s *Service) Stats() Stats {
 	if st.WallSeconds > 0 {
 		st.CyclesPerSecond = float64(st.TotalCycles) / st.WallSeconds
 	}
+	st.WindowRounds, st.SerialRounds, st.WindowedCycles = s.windowRounds, s.serialRounds, s.windowedCycles
+	if len(s.energyJ) > 0 {
+		st.EnergyJoules = make(map[string]float64, len(s.energyJ))
+		for k, v := range s.energyJ {
+			st.EnergyJoules[k] = v
+		}
+	}
 	st.DiskHits, st.DiskMisses = s.cache.StoreStats()
 	return st
+}
+
+// accountRun folds one finished run's derived energy breakdown (nil when
+// the config has no energy table) and parallel-engine round counts into
+// the cumulative service counters.
+func (s *Service) accountRun(e *report.EnergyReport, rounds togsim.RoundStats) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.windowRounds += rounds.Window
+	s.serialRounds += rounds.Serial
+	s.windowedCycles += rounds.WindowedCycles
+	if e == nil {
+		return
+	}
+	if s.energyJ == nil {
+		s.energyJ = map[string]float64{}
+	}
+	for _, u := range e.UnitMilliJ() {
+		s.energyJ[u.Unit] += u.MJ / 1e3
+	}
 }
 
 func (s *Service) worker() {
@@ -607,7 +664,14 @@ func (s *Service) simulate(spec JobSpec) (JobResult, error) {
 		return JobResult{}, err
 	}
 	wall := time.Since(start)
-	rep := report.Build(r.Cfg, res, &setup.Mem.Stats, wall)
+	rep := report.Build(r.Cfg, report.Inputs{
+		Res:      res,
+		Mem:      setup.MemStats(),
+		NoCFlits: setup.NetFlits(),
+		Rounds:   setup.Engine.Rounds,
+		Wall:     wall,
+	})
+	s.accountRun(rep.Energy, setup.Engine.Rounds)
 	return JobResult{
 		Cycles:      res.Cycles,
 		FreqMHz:     r.Cfg.FreqMHz,
@@ -681,6 +745,10 @@ func (s *Service) runServe(r resolved) (JobResult, error) {
 	s.serveReqs += int64(rep.Requests)
 	s.serveTokens += rep.TokensOut
 	s.mu.Unlock()
+	// Serving jobs account each phase's energy; the per-iteration engines
+	// are internal to serve.Run, so round counts are not surfaced here.
+	s.accountRun(rep.PrefillEnergy, togsim.RoundStats{})
+	s.accountRun(rep.DecodeEnergy, togsim.RoundStats{})
 	return JobResult{
 		Cycles:      rep.Cycles,
 		FreqMHz:     r.Cfg.FreqMHz,

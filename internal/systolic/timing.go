@@ -18,6 +18,13 @@ type Timing struct {
 	activeK    int     // depth of the active (committed) weight set
 	readyTimes []int64 // ready times of output rows not yet popped, FIFO order
 	popFree    int64   // first cycle the deserializer port can pop again
+
+	// Activity counters (always on, plain ints — the energy model prices
+	// weight rows at Cols elements each and input rows at Cols MAC columns
+	// over the active depth).
+	WeightRows int64 // rows pushed into the serializer by wvpush
+	InputRows  int64 // rows streamed through the array by ivpush
+	OutputRows int64 // rows drained by vpop
 }
 
 // NewTiming returns a timing model for a rows x cols array with the given
@@ -36,6 +43,7 @@ func (t *Timing) PushWeight(issue int64) int64 {
 	t.serFree = start + 1
 	t.wsetRows++
 	t.wsetReady = start + 1
+	t.WeightRows++
 	return start + 1
 }
 
@@ -70,6 +78,7 @@ func (t *Timing) PushInput(issue int64) int64 {
 	// K cycles of vertical propagation plus Cols cycles of skewed drain.
 	ready := start + 1 + int64(t.activeK) + int64(t.Cols)
 	t.readyTimes = append(t.readyTimes, ready)
+	t.InputRows++
 	return start + 1
 }
 
@@ -88,6 +97,7 @@ func (t *Timing) Pop(issue int64) int64 {
 	start = maxi64(start, t.readyTimes[0])
 	t.readyTimes = t.readyTimes[1:]
 	t.popFree = start + 1
+	t.OutputRows++
 	return start + 1
 }
 

@@ -13,6 +13,7 @@ type Result struct {
 	StallRAW    int64
 	StallUnit   int64
 	ClassBusy   [8]int64
+	ClassOps    [8]int64
 	DMABytesIn  int64
 	DMABytesOut int64
 }
@@ -39,6 +40,7 @@ func MeasureKernel(cfg npu.CoreConfig, p *isa.Program, setup func(*funcsim.Core)
 		StallRAW:    pipe.StallRAW,
 		StallUnit:   pipe.StallUnit,
 		ClassBusy:   pipe.ClassBusy,
+		ClassOps:    pipe.ClassOps,
 		DMABytesIn:  core.DMABytesIn,
 		DMABytesOut: core.DMABytesOut,
 	}, nil

@@ -58,6 +58,10 @@ type Pipeline struct {
 	StallRAW  int64 // cycles lost waiting on operands
 	StallUnit int64 // cycles lost waiting on busy units
 	ClassBusy [8]int64
+	// ClassOps counts retired instructions per class (SA pushes/pops under
+	// ClassSA). ClassOps[isa.ClassSFU] is the SFU activity counter the
+	// energy model prices per op at ILS level.
+	ClassOps [8]int64
 }
 
 // NewPipeline returns a timing model for the given core configuration.
@@ -157,6 +161,7 @@ func (p *Pipeline) Consume(e funcsim.TraceEvent) {
 		p.cycles = complete
 	}
 	p.Issued++
+	p.ClassOps[class]++
 }
 
 // latency returns (result latency, unit occupancy) for a non-SA instruction.

@@ -1,0 +1,76 @@
+package togsim
+
+import (
+	"testing"
+
+	"repro/internal/tog"
+)
+
+// TestActivityComputeCounters: compute nodes land in the per-unit counters
+// — SA busy cycles plus one weight-tile load per SA node, vector cycles
+// for vector nodes — and the counters are plain sums of node latencies.
+func TestActivityComputeCounters(t *testing.T) {
+	s := smallSetup()
+	res, err := s.Engine.RunSingle(computeOnlyTOG("sa", 10, 50, tog.UnitSA), map[string]uint64{"x": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Jobs[0].Activity
+	if a.SAMacCycles != 500 {
+		t.Fatalf("SAMacCycles = %d, want 500", a.SAMacCycles)
+	}
+	if a.SATileLoads != 10 {
+		t.Fatalf("SATileLoads = %d, want 10", a.SATileLoads)
+	}
+	if a.VectorCycles != 0 || a.SparseCycles != 0 {
+		t.Fatalf("SA-only TOG counted vector/sparse cycles: %+v", a)
+	}
+
+	s = smallSetup()
+	res, err = s.Engine.RunSingle(computeOnlyTOG("v", 7, 30, tog.UnitVector), map[string]uint64{"x": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a = res.Jobs[0].Activity
+	if a.VectorCycles != 210 {
+		t.Fatalf("VectorCycles = %d, want 210", a.VectorCycles)
+	}
+	if a.SAMacCycles != 0 || a.SATileLoads != 0 {
+		t.Fatalf("vector-only TOG counted SA activity: %+v", a)
+	}
+}
+
+// TestActivitySpadBytes: every DMA delivery moves bytes through the
+// scratchpad — loads write it, stores read it — so the spad byte counters
+// must match the tiled kernel's total DMA traffic exactly.
+func TestActivitySpadBytes(t *testing.T) {
+	s := smallSetup()
+	g := tiledTOG("t", 16, 8, 128, 200, false)
+	res, err := s.Engine.RunSingle(g, map[string]uint64{"in": 0, "out": 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Jobs[0].Activity
+	tileBytes := int64(16 * 8 * 128 * 4) // iters x rows x cols x elemsize
+	if a.SpadWriteBytes != tileBytes {
+		t.Fatalf("SpadWriteBytes = %d, want %d (loads fill the scratchpad)", a.SpadWriteBytes, tileBytes)
+	}
+	if a.SpadReadBytes != tileBytes {
+		t.Fatalf("SpadReadBytes = %d, want %d (stores drain the scratchpad)", a.SpadReadBytes, tileBytes)
+	}
+	if got := a.SpadReadBytes + a.SpadWriteBytes; got != res.Jobs[0].DMABytes {
+		t.Fatalf("spad bytes %d != job DMA bytes %d", got, res.Jobs[0].DMABytes)
+	}
+}
+
+// TestActivityAddAccumulates: Activity.Add is field-wise, the contract the
+// serving layer's per-phase roll-up depends on.
+func TestActivityAddAccumulates(t *testing.T) {
+	a := Activity{SAMacCycles: 1, SATileLoads: 2, VectorCycles: 3, SparseCycles: 4, SpadReadBytes: 5, SpadWriteBytes: 6}
+	b := Activity{SAMacCycles: 10, SATileLoads: 20, VectorCycles: 30, SparseCycles: 40, SpadReadBytes: 50, SpadWriteBytes: 60}
+	a.Add(b)
+	want := Activity{SAMacCycles: 11, SATileLoads: 22, VectorCycles: 33, SparseCycles: 44, SpadReadBytes: 55, SpadWriteBytes: 66}
+	if a != want {
+		t.Fatalf("Add gave %+v, want %+v", a, want)
+	}
+}

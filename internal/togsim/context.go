@@ -41,6 +41,10 @@ type context struct {
 	blockedSince int64 // first cycle of the current DMA stall, -1 when none
 	dmaBytes     int64
 
+	// Per-unit activity counters (always on; same timestamp-based
+	// discipline as the cycle classes, copied to JobResult.Activity).
+	act Activity
+
 	// Tracing (nil/empty unless a probe is attached).
 	probe   obs.Probe
 	dmaOpen map[int]*dmaSpan // open DMA window per tag
@@ -116,6 +120,13 @@ func (c *context) dmaDone(r *MemReq, cycle int64) {
 		c.oldestIssue = -1
 	}
 	c.dmaBytes += int64(r.Bytes)
+	// A store DMA read the bytes out of the scratchpad; a load DMA wrote
+	// them in. Counted at delivery so backpressured bursts count once.
+	if r.IsWrite {
+		c.act.SpadReadBytes += int64(r.Bytes)
+	} else {
+		c.act.SpadWriteBytes += int64(r.Bytes)
+	}
 	if c.probe != nil && c.pendingTag[r.tag] == 0 {
 		if ds, ok := c.dmaOpen[r.tag]; ok {
 			c.probe.Span(obs.CoreTrack(c.coreID, obs.LaneDMA), ds.name,
@@ -297,6 +308,31 @@ func (c *context) step(cycle int64, cs *coreState, fabric Fabric) error {
 			c.unitWait += start - cycle
 			c.readyAt = finish
 			c.pc++
+			switch n.Unit {
+			case tog.UnitSA:
+				c.act.SAMacCycles += lat
+				c.act.SATileLoads++
+			case tog.UnitSparse:
+				c.act.SparseCycles += lat
+			default:
+				c.act.VectorCycles += lat
+			}
+			if cs.rates != nil && c.probe != nil {
+				// Power-over-time track: cumulative dynamic compute energy
+				// per core, sampled at every compute issue (change-triggered
+				// by construction — the counter only grows). Probe-gated:
+				// this float never exists on the untraced path.
+				switch n.Unit {
+				case tog.UnitSA:
+					cs.energyPJ += float64(lat)*cs.rates.saPJ + cs.rates.saTilePJ
+				case tog.UnitSparse:
+					cs.energyPJ += float64(lat) * cs.rates.sparsePJ
+				default:
+					cs.energyPJ += float64(lat) * cs.rates.vecPJ
+				}
+				c.probe.Counter(obs.CoreTrack(c.coreID, obs.LaneEnergy),
+					"core.energy_pj", finish, cs.energyPJ)
+			}
 			if c.probe != nil {
 				name := key
 				if name == "" {

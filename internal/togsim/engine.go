@@ -40,6 +40,30 @@ type Job struct {
 	Arrival int64
 }
 
+// Activity counts the physical work one job performed, in plain int64
+// event counts (the dram.Stats pattern): always on, no floats, no probe
+// dependency, so the values are bit-identical across event-driven, strict,
+// and parallel execution. Energy is derived from these counters post-hoc
+// by the report layer (activity x npu.EnergyTable) — never here.
+type Activity struct {
+	SAMacCycles    int64 // cycles a systolic array streamed this job's tiles (MACs = cycles x rows x cols)
+	SATileLoads    int64 // weight tiles loaded into a systolic array (one per SA compute node)
+	VectorCycles   int64 // vector-ALU busy cycles (lane-ops = cycles x VLEN)
+	SparseCycles   int64 // sparse-unit busy cycles (charged at lane-op rate)
+	SpadReadBytes  int64 // scratchpad bytes read out by store DMAs
+	SpadWriteBytes int64 // scratchpad bytes written by load DMAs
+}
+
+// Add accumulates b into a.
+func (a *Activity) Add(b Activity) {
+	a.SAMacCycles += b.SAMacCycles
+	a.SATileLoads += b.SATileLoads
+	a.VectorCycles += b.VectorCycles
+	a.SparseCycles += b.SparseCycles
+	a.SpadReadBytes += b.SpadReadBytes
+	a.SpadWriteBytes += b.SpadWriteBytes
+}
+
 // JobResult reports one job's timing. The cycle-class fields are
 // accounted from state-transition timestamps, so they are identical under
 // event-driven and strict per-cycle execution (the equivalence tests
@@ -51,6 +75,7 @@ type JobResult struct {
 	UnitWait    int64 // cycles compute nodes queued for a busy unit
 	DMAWait     int64 // cycles blocked on DMA: wait nodes, drains, backpressure
 	DMABytes    int64
+	Activity    Activity
 }
 
 // CoreStats reports one core's compute-unit busy cycles.
@@ -159,15 +184,51 @@ type coreState struct {
 	// domain goroutine) and the engine returns requests to it at delivery
 	// time (always serial), so the pool needs no lock.
 	reqPool []*MemReq
+
+	// Probe-side power track: cumulative dynamic compute energy (pJ) of
+	// this core, emitted as change-triggered counter samples. rates is nil
+	// unless a probe is attached AND the config has an energy table, so
+	// the float never exists — let alone influences anything — on the
+	// untraced path (probe invariance of Results is oracle-enforced).
+	rates    *energyRates
+	energyPJ float64
+}
+
+// energyRates pre-multiplies the per-event table entries into per-busy-cycle
+// picojoule rates for the trace power track.
+type energyRates struct {
+	saPJ     float64 // per SA busy cycle (rows x cols MACs)
+	saTilePJ float64 // per weight tile load (rows x cols elements)
+	vecPJ    float64 // per vector busy cycle (VLEN lane-ops)
+	sparsePJ float64 // per sparse busy cycle (charged at lane-op rate)
+}
+
+func newEnergyRates(cfg npu.Config) *energyRates {
+	if cfg.Energy.IsZero() {
+		return nil
+	}
+	pes := float64(cfg.Core.SARows) * float64(cfg.Core.SACols)
+	vlen := float64(cfg.Core.VLEN())
+	return &energyRates{
+		saPJ:     pes * cfg.Energy.PJPerMAC,
+		saTilePJ: pes * cfg.Energy.PJPerWeightLoad,
+		vecPJ:    vlen * cfg.Energy.PJPerLaneOp,
+		sparsePJ: vlen * cfg.Energy.PJPerLaneOp,
+	}
 }
 
 // prepare validates the job set and builds fresh per-core state.
 func (e *Engine) prepare(jobs []*Job) ([]*coreState, map[*Job]*JobResult, error) {
+	var rates *energyRates
+	if e.Probe != nil {
+		rates = newEnergyRates(e.Cfg)
+	}
 	cores := make([]*coreState, e.Cfg.Cores)
 	for i := range cores {
 		cores[i] = &coreState{
 			saFree: make([]int64, e.Cfg.Core.NumSAs),
 			maxCtx: 2, // double-buffered contexts (§3.3.1)
+			rates:  rates,
 		}
 	}
 	results := map[*Job]*JobResult{}
@@ -216,6 +277,7 @@ func (e *Engine) stepCore(ci int, cs *coreState, cycle int64, fabric Fabric,
 			r.UnitWait = ctx.unitWait
 			r.DMAWait = ctx.dmaWait
 			r.DMABytes = ctx.dmaBytes
+			r.Activity = ctx.act
 			*remaining--
 			if probe != nil {
 				probe.Span(obs.CoreTrack(ci, obs.LaneJobs), ctx.job.Name,
@@ -324,6 +386,7 @@ func (e *Engine) registerTracks(cores int) {
 		e.Probe.TrackName(obs.CoreTrack(ci, obs.LaneSparse), proc, "sparse")
 		e.Probe.TrackName(obs.CoreTrack(ci, obs.LaneDMA), proc, "DMA")
 		e.Probe.TrackName(obs.CoreTrack(ci, obs.LaneStall), proc, "stall")
+		e.Probe.TrackName(obs.CoreTrack(ci, obs.LaneEnergy), proc, "energy")
 	}
 	e.Probe.TrackName(obs.FabricTrack, "memory", "fabric")
 	e.Probe.TrackName(obs.DRAMTrack, "memory", "DRAM")

@@ -25,6 +25,22 @@ type Setup struct {
 	Net    noc.Network
 }
 
+// NetFlits returns the NoC's cumulative flit count (0 without a network).
+func (s *Setup) NetFlits() int64 {
+	if s.Net == nil {
+		return 0
+	}
+	return s.Net.Flits()
+}
+
+// MemStats returns the DRAM controller's stats (nil for flat-latency).
+func (s *Setup) MemStats() *dram.Stats {
+	if s.Mem == nil {
+		return nil
+	}
+	return &s.Mem.Stats
+}
+
 // AttachProbe wires an observability probe into every layer of the stack:
 // the engine (compute/DMA/job spans), the fabric, the NoC, and the DRAM
 // controller (occupancy and bandwidth counters). Attaching a probe never

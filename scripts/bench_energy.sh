@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# bench_energy: the energy-efficiency benchmark (BENCH_energy.json in the
+# repo root). Sweeps decoder-small decode iterations over batch x context
+# via `ptsim -json` — the exact single-iteration path the serving loop
+# replays — and reports each point's decode energy per generated token
+# (energy.total_mj / batch), its per-unit split, and pJ/cycle. Larger
+# batches amortize the weight traffic and static power over more tokens;
+# longer contexts stream more KV bytes per token — the two axes the
+# serving-efficiency story turns on. A final ptserve run reports the
+# end-to-end serving figure (mJ/token with prefill included).
+#
+# All runs share one -cache-dir, so kernel latencies measured once are
+# reused across the sweep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_energy.json
+model=${MODEL:-decoder-small}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "bench_energy: building ptsim and ptserve"
+go build -o "$tmp/ptsim" ./cmd/ptsim
+go build -o "$tmp/ptserve" ./cmd/ptserve
+
+i=0
+for batch in 1 4; do
+  for ctx in 64 128 256; do
+    echo "bench_energy: $model decode batch=$batch ctx=$ctx"
+    "$tmp/ptsim" -model "$model" -batch "$batch" -ctx "$ctx" \
+      -cache-dir "$tmp/cache" -json 2>"$tmp/iter.log" >"$tmp/iter_$i.json"
+    echo "{\"batch\": $batch, \"ctx\": $ctx}" >"$tmp/iter_${i}_meta.json"
+    i=$((i + 1))
+  done
+done
+
+echo "bench_energy: serving 8 requests end to end"
+"$tmp/ptserve" -model "$model" -requests 8 -prompt 64 -gen 16 -rate 2000 \
+  -max-batch 4 -kv-block 64 -seed 1 -cache-dir "$tmp/cache" -json >"$tmp/serve.json"
+
+python3 - "$tmp" "$out" "$model" <<'EOF'
+import glob, json, os, sys
+tmp, out, model = sys.argv[1], sys.argv[2], sys.argv[3]
+
+points = []
+for meta_path in sorted(glob.glob(os.path.join(tmp, "iter_*_meta.json")),
+                        key=lambda p: int(p.split("_")[-2])):
+    meta = json.load(open(meta_path))
+    rep = json.load(open(meta_path.replace("_meta", "")))
+    en = rep.get("energy")
+    if not en or en["total_mj"] <= 0:
+        sys.exit(f"bench_energy: FAIL: no energy for {meta}")
+    tokens = meta["batch"]  # one decode step generates one token per sequence
+    points.append({
+        **meta,
+        "cycles": rep["cycles"],
+        "decode_total_mj": en["total_mj"],
+        "energy_per_token_mj": round(en["total_mj"] / tokens, 6),
+        "pj_per_cycle": round(en["pj_per_cycle"], 1),
+        "static_frac": round(en["static_mj"] / en["total_mj"], 4),
+        "dram_frac": round(en["dram_mj"] / en["total_mj"], 4),
+        "sa_frac": round(en["sa_mj"] / en["total_mj"], 4),
+    })
+
+serve = json.load(open(os.path.join(tmp, "serve.json")))
+if serve.get("energy_per_token_mj", 0) <= 0:
+    sys.exit("bench_energy: FAIL: serving run reported no energy per token")
+summary = {
+    "model": model,
+    "decode_sweep": points,
+    "serving": {
+        "requests": serve["requests"],
+        "tokens_out": serve["tokens_out"],
+        "total_energy_mj": serve["total_energy_mj"],
+        "prefill_mj": serve["prefill_energy"]["total_mj"],
+        "decode_mj": serve["decode_energy"]["total_mj"],
+        "energy_per_token_mj": serve["energy_per_token_mj"],
+        "avg_power_w": serve["avg_power_w"],
+        "area_mm2": serve["decode_energy"]["area_mm2"],
+    },
+}
+json.dump(summary, open(out, "w"), indent=2)
+b1 = next(p for p in points if p["batch"] == 1 and p["ctx"] == 64)
+b4 = next(p for p in points if p["batch"] == 4 and p["ctx"] == 64)
+print(f"bench_energy: wrote {out} (decode ctx=64: {b1['energy_per_token_mj']:.4f} mJ/token "
+      f"@batch1 -> {b4['energy_per_token_mj']:.4f} @batch4; "
+      f"serving {serve['energy_per_token_mj']:.4f} mJ/token)")
+EOF

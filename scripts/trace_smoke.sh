@@ -2,16 +2,20 @@
 # trace-smoke: end-to-end check of the observability layer. Runs a small
 # GEMM through ptsim twice — once plain, once with -trace — requires the
 # two cycle counts to be bit-identical (probes must never perturb the
-# simulation), and validates the emitted Perfetto JSON with tracecheck.
-# Wired into `make check` via the trace-smoke target.
+# simulation), and validates the emitted Perfetto JSON with tracecheck,
+# including the power-over-time track (core.energy_pj). Then runs ptserve
+# -trace and validates the stitched serving timeline: per-iteration spans
+# shifted onto one clock, with span timestamps covering the reported
+# makespan. Wired into `make check` via the trace-smoke target.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-echo "trace-smoke: building ptsim and tracecheck"
+echo "trace-smoke: building ptsim, ptserve, and tracecheck"
 go build -o "$tmp/ptsim" ./cmd/ptsim
+go build -o "$tmp/ptserve" ./cmd/ptserve
 go build -o "$tmp/tracecheck" ./scripts/tracecheck
 
 plain=$("$tmp/ptsim" -model gemm -n 64 -small | sed -n 's/^TLS: \([0-9]*\) cycles.*/\1/p')
@@ -25,5 +29,29 @@ if [ "$plain" != "$traced" ]; then
 fi
 echo "trace-smoke: cycle counts match ($plain)"
 
-"$tmp/tracecheck" "$tmp/gemm.trace.json"
+"$tmp/tracecheck" -energy "$tmp/gemm.trace.json"
+
+echo "trace-smoke: serving 3 requests on decoder-tiny with -trace"
+"$tmp/ptserve" -model decoder-tiny -small -requests 3 -prompt 8 -gen 4 \
+  -rate 200000 -max-batch 2 -kv-block 16 -seed 1 \
+  -trace "$tmp/serve.trace.json" -json >"$tmp/serve.json" 2>/dev/null
+"$tmp/tracecheck" -energy "$tmp/serve.trace.json"
+
+# The serving trace is stitched: iteration-local spans are offset onto one
+# timeline, so the last span must end near the reported makespan, far past
+# the length of any single iteration.
+python3 - "$tmp/serve.trace.json" "$tmp/serve.json" <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+rep = json.load(open(sys.argv[2]))
+spans = [e for e in trace["traceEvents"] if e.get("ph") == "X"]
+last_end = max(e["ts"] + e["dur"] for e in spans)
+makespan = rep["cycles"]
+if not makespan * 0.5 <= last_end <= makespan:
+    sys.exit(f"trace-smoke: FAIL: stitched spans end at {last_end}, "
+             f"serving makespan is {makespan} cycles")
+print(f"trace-smoke: serving timeline stitched ({len(spans)} spans, "
+      f"last ends @{last_end} of {makespan} cycles)")
+EOF
+
 echo "trace-smoke: OK"

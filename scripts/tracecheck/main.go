@@ -1,12 +1,16 @@
 // Command tracecheck validates a Chrome/Perfetto trace-event JSON file
-// produced by ptsim -trace or togsim -trace: the document must parse, name
-// its tracks with metadata events, and contain at least one compute span,
-// one DMA span, and one counter series. scripts/trace_smoke.sh (the
-// `make trace-smoke` target) runs it against a fresh trace.
+// produced by ptsim -trace, togsim -trace, or ptserve -trace: the document
+// must parse, name its tracks with metadata events, and contain at least
+// one compute span, one DMA span, and one counter series. With -energy it
+// additionally requires the power-over-time track (cumulative
+// core.energy_pj counter samples, whose slope is power).
+// scripts/trace_smoke.sh (the `make trace-smoke` target) runs it against
+// fresh ptsim and ptserve traces.
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 
@@ -14,17 +18,19 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json>")
+	wantEnergy := flag.Bool("energy", false, "additionally require a power-over-time track (core.energy_pj counter samples)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-energy] <trace.json>")
 		os.Exit(2)
 	}
-	if err := check(os.Args[1]); err != nil {
+	if err := check(flag.Arg(0), *wantEnergy); err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
 	}
 }
 
-func check(path string) error {
+func check(path string, wantEnergy bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -36,13 +42,16 @@ func check(path string) error {
 	if err := json.Unmarshal(data, &doc); err != nil {
 		return fmt.Errorf("%s: not valid trace JSON: %w", path, err)
 	}
-	var meta, counters, compute, dma, jobs int
+	var meta, counters, compute, dma, jobs, energy int
 	for i, ev := range doc.TraceEvents {
 		switch ev.Ph {
 		case "M":
 			meta++
 		case "C":
 			counters++
+			if ev.Name == "core.energy_pj" {
+				energy++
+			}
 		case "X":
 			if ev.TS < 0 || ev.Dur < 1 {
 				return fmt.Errorf("event %d: span %q has ts=%d dur=%d", i, ev.Name, ev.TS, ev.Dur)
@@ -73,8 +82,10 @@ func check(path string) error {
 		return fmt.Errorf("%s: no job spans", path)
 	case counters == 0:
 		return fmt.Errorf("%s: no counter samples", path)
+	case wantEnergy && energy == 0:
+		return fmt.Errorf("%s: no power-over-time track (core.energy_pj counter samples)", path)
 	}
-	fmt.Printf("tracecheck: %s OK — %d events (%d tracks, %d compute spans, %d DMA spans, %d job spans, %d counter samples)\n",
-		path, len(doc.TraceEvents), meta, compute, dma, jobs, counters)
+	fmt.Printf("tracecheck: %s OK — %d events (%d tracks, %d compute spans, %d DMA spans, %d job spans, %d counter samples, %d energy samples)\n",
+		path, len(doc.TraceEvents), meta, compute, dma, jobs, counters, energy)
 	return nil
 }
