@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race check bench bench-compile bench-engine bench-serve bench-energy service-smoke trace-smoke cache-smoke fuzz-smoke serve-smoke energy-smoke crosscheck cover clean
+.PHONY: all build fmt vet test race check bench bench-compile bench-engine bench-serve bench-energy bench-topo service-smoke trace-smoke cache-smoke fuzz-smoke serve-smoke energy-smoke topo-smoke crosscheck cover clean
 
 all: check
 
@@ -40,6 +40,7 @@ check:
 	$(MAKE) fuzz-smoke
 	$(MAKE) serve-smoke
 	$(MAKE) energy-smoke
+	$(MAKE) topo-smoke
 	$(MAKE) crosscheck
 
 # End-to-end daemon check: start ptsimd on an ephemeral port, submit a
@@ -81,6 +82,13 @@ serve-smoke:
 energy-smoke:
 	bash scripts/energy_smoke.sh
 
+# End-to-end topology check: a tensor-parallel decoder over two packages
+# must move nonzero link flits, report a collective-time breakdown whose
+# per-package counters sum exactly to the fabric totals, and reproduce
+# bit-identically across engine modes (scripts/topo_smoke.sh).
+topo-smoke:
+	bash scripts/topo_smoke.sh
+
 # Cross-simulator differential gate: 200 seeded random workloads through
 # every oracle (zero divergences required), then the fault-injection
 # self-tests, which pass only if a deliberate fault — a +1-cycle latency
@@ -89,6 +97,7 @@ energy-smoke:
 crosscheck:
 	$(GO) run ./cmd/ptsimcheck -seed 1 -n 200
 	$(GO) run ./cmd/ptsimcheck -serve -seed 1
+	$(GO) run ./cmd/ptsimcheck -topo -seed 1 -n 200
 	@tmp=$$(mktemp -d); \
 		$(GO) run ./cmd/ptsimcheck -seed 1 -n 20 -fault -out $$tmp && rm -rf $$tmp
 	@tmp=$$(mktemp -d); \
@@ -123,6 +132,12 @@ bench-serve:
 # figure -> BENCH_energy.json.
 bench-energy:
 	bash scripts/bench_energy.sh
+
+# Multi-package scaling benchmarks: decoder-small decode cycles/token and
+# mJ/token over packages {1,2,4} x parallelism {data,tensor}
+# -> BENCH_topo.json.
+bench-topo:
+	bash scripts/bench_topo.sh
 
 clean:
 	$(GO) clean ./...

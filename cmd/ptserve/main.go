@@ -44,7 +44,10 @@ func run() error {
 	rate := flag.Float64("rate", 1000, "Poisson arrival rate in requests per simulated second")
 	seed := flag.Int64("seed", 1, "arrival-trace seed (same seed, same trace, same report)")
 	prompt := flag.Int("prompt", 16, "prompt tokens per request")
+	ctxDist := flag.String("ctx-dist", "", "per-request prompt-length distribution: fixed (default) or uniform:lo,hi (seeded)")
 	gen := flag.Int("gen", 8, "tokens to generate per request")
+	topology := flag.String("topology", "single", "topology preset: single, pkg2, or meshXxY")
+	parStrat := flag.String("parallel", "none", "cross-package parallelism for multi-package topologies (tensor)")
 	maxBatch := flag.Int("max-batch", 4, "continuous-batch capacity")
 	kvBlock := flag.Int("kv-block", 64, "KV-cache page size in tokens (decode shapes pad up to this)")
 	netKind := flag.String("net", "sn", "interconnect: sn or cn")
@@ -92,7 +95,7 @@ func run() error {
 	compile := func(spec modelzoo.Spec) (*compiler.Compiled, bool, error) {
 		key := service.CompileKey(spec, npuCfg, opts)
 		return cc.Compile(key, npuCfg, opts, func() (*graph.Graph, error) {
-			return modelzoo.BuildGraph(spec)
+			return modelzoo.BuildFor(spec, npuCfg.Mem)
 		})
 	}
 
@@ -106,12 +109,27 @@ func run() error {
 		MaxCycles:     *maxCycles,
 		Compile:       compile,
 	}
+	tc, err := modelzoo.Topology(modelzoo.Spec{Model: *model, Topology: *topology, Parallel: *parStrat}, npuCfg.Mem)
+	if err != nil {
+		return err
+	}
+	if tc.Packages() > 1 {
+		if *parStrat != "tensor" {
+			return fmt.Errorf("multi-package serving requires -parallel tensor, got %q", *parStrat)
+		}
+		cfg.Topo, cfg.Parallel = tc, *parStrat
+	}
 	var tw *obs.TraceWriter
 	if *traceOut != "" {
 		tw = obs.NewTraceWriter()
 		cfg.Probe = tw
 	}
 	reqs := serve.PoissonTrace(*seed, *requests, *rate, npuCfg.FreqMHz, *prompt, *gen)
+	dist, err := serve.ParseCtxDist(*ctxDist)
+	if err != nil {
+		return err
+	}
+	serve.ApplyCtxDist(reqs, dist, *seed)
 	start := time.Now()
 	rep, err := serve.Run(cfg, reqs)
 	if err != nil {

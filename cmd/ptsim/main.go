@@ -23,15 +23,19 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/compiler"
 	"repro/internal/core"
+	"repro/internal/npu"
 	"repro/internal/obs"
 	"repro/internal/obs/report"
+	"repro/internal/parallel"
 	"repro/internal/service/cache"
 	"repro/internal/service/modelzoo"
 	"repro/internal/tog"
 	"repro/internal/togsim"
+	"repro/internal/topo"
 )
 
 func main() {
@@ -50,6 +54,8 @@ func run() error {
 	seq := flag.Int("seq", 512, "sequence length (BERT models)")
 	ctx := flag.Int("ctx", 128, "context length (decoder models)")
 	prefill := flag.Bool("prefill", false, "decoder models: simulate the prompt prefill pass instead of a decode step")
+	topology := flag.String("topology", "single", "topology preset: single, pkg2, or meshXxY (e.g. mesh2x2)")
+	parStrat := flag.String("parallel", "none", "cross-package parallelism: none, data, or tensor (multi-package topologies)")
 	mode := flag.String("mode", "tls", "simulation mode: tls or ils")
 	netKind := flag.String("net", "sn", "interconnect: sn or cn")
 	small := flag.Bool("small", false, "use the small NPU config")
@@ -78,15 +84,30 @@ func run() error {
 		logw = os.Stderr
 	}
 
-	g, err := modelzoo.BuildGraph(modelzoo.Spec{Model: *model, Batch: *batch, N: *n, Seq: *seq, Ctx: *ctx, Prefill: *prefill})
-	if err != nil {
-		return err
-	}
+	spec := modelzoo.Spec{Model: *model, Batch: *batch, N: *n, Seq: *seq, Ctx: *ctx, Prefill: *prefill,
+		Topology: *topology, Parallel: *parStrat}
 	npuName := "tpuv3"
 	if *small {
 		npuName = "small"
 	}
 	cfg, err := modelzoo.NPUConfig(npuName)
+	if err != nil {
+		return err
+	}
+	tc, err := modelzoo.Topology(spec, cfg.Mem)
+	if err != nil {
+		return err
+	}
+	multi := tc.Packages() > 1
+	if multi {
+		if *mode != "tls" {
+			return fmt.Errorf("-topology %s requires -mode tls", *topology)
+		}
+		if *autotune || *traceOut != "" {
+			return fmt.Errorf("-autotune and -trace are not supported with multi-package topologies")
+		}
+	}
+	g, err := modelzoo.BuildRankGraph(spec, tc.Packages())
 	if err != nil {
 		return err
 	}
@@ -176,6 +197,9 @@ func run() error {
 		fmt.Printf("ILS: %s; %d dynamic instructions across %d kernel instances\n",
 			rep.String(), ils.Instrs, ils.KernelRuns)
 	case "tls":
+		if multi {
+			return runTopology(logw, cfg, tc, spec, comp, *engineWorkers, *showReport, *jsonOut)
+		}
 		rep, err := sim.SimulateTLS(comp, kind)
 		if err != nil {
 			return err
@@ -225,6 +249,49 @@ func run() error {
 		}
 	default:
 		return fmt.Errorf("unknown mode %q (tls, ils)", *mode)
+	}
+	return nil
+}
+
+// runTopology simulates one rank of the compiled artifact per package of
+// the topology: place ranks around the collective ring, run them on a
+// topo.Fabric (serial or parallel engine — bit-identical), and render the
+// same report.Report as the single-package path, now with the per-package
+// and collective breakdown attached.
+func runTopology(logw io.Writer, cfg npu.Config, tc topo.Config, spec modelzoo.Spec,
+	comp *compiler.Compiled, workers int, showReport, jsonOut bool) error {
+	spec = spec.Normalize()
+	jobs, err := parallel.PlaceJobs(spec.Model, comp, tc)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(logw, "topology %s: %d packages x %d cores, %s parallelism, %d ranks placed\n",
+		tc.Name, tc.Packages(), tc.CoresPerPackage, spec.Parallel, len(jobs))
+	start := time.Now()
+	res, fab, err := parallel.Simulate(cfg, tc, jobs, workers)
+	if err != nil {
+		return err
+	}
+	cfg.Cores = tc.TotalCores()
+	full := report.Build(cfg, report.Inputs{
+		Res:       res,
+		Mem:       fab.MemTotals(),
+		LinkFlits: fab.LinkFlits,
+		Wall:      time.Since(start),
+		Topo:      fab,
+	})
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(full)
+	}
+	fmt.Printf("TLS: %s\n", full.Summary())
+	if showReport {
+		fmt.Print(full.Text())
+	} else {
+		brief := full
+		brief.Jobs = nil
+		fmt.Print(brief.Text())
 	}
 	return nil
 }

@@ -43,6 +43,7 @@ func run() error {
 	n := flag.Int("n", 200, "number of cases to generate and check")
 	replay := flag.String("replay", "", "replay a recorded repro JSON file instead of generating")
 	serveCheck := flag.Bool("serve", false, "run the serve-determinism oracle (same seed twice, serial vs parallel engine) instead of the case generator")
+	topoCheck := flag.Bool("topo", false, "run the topology-parallel oracle (data/tensor-parallel numerics vs single-core funcsim + engine bit-identity on multi-package fabrics) instead of the case generator")
 	fault := flag.Bool("fault", false, "self-test: perturb one tile latency by +1 cycle after every compile; the run SUCCEEDS only if an oracle detects it")
 	faultEngine := flag.Bool("fault-engine", false, "self-test: corrupt the parallel engine's barrier ordering; the run SUCCEEDS only if the serial-vs-parallel oracle detects it")
 	out := flag.String("out", ".", "directory for divergence repro files")
@@ -69,6 +70,15 @@ func run() error {
 		}
 		fmt.Printf("ok: serve-determinism (seed %d, replay + serial-vs-parallel) in %v\n",
 			*seed, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	if *topoCheck {
+		start := time.Now()
+		if err := crosscheck.CheckTopology(*seed, *n); err != nil {
+			return err
+		}
+		fmt.Printf("ok: topology-parallel (%d cases, data/tensor over pkg2+mesh, funcsim numerics + engine bit-identity) in %v\n",
+			*n, time.Since(start).Round(time.Millisecond))
 		return nil
 	}
 

@@ -22,6 +22,7 @@ import (
 	"repro/internal/exp"
 	"repro/internal/npu"
 	"repro/internal/obs/report"
+	"repro/internal/parallel"
 	"repro/internal/serve"
 	"repro/internal/service/modelzoo"
 	"repro/internal/togsim"
@@ -124,6 +125,62 @@ func TestGoldenTogsimJSON(t *testing.T) {
 		t.Fatal(err)
 	}
 	goldenCompare(t, "togsim_report.json", buf.Bytes())
+}
+
+// goldenTopoReport produces the deterministic multi-package report the
+// topology golden tests render: a decoder-small decode step sharded
+// tensor-parallel across the four packages of a 2x2 mesh on the small
+// machine — one rank per package, ring all_reduces per layer — built with
+// zero wall time so the bytes (including the per-package breakdown and
+// collective accounting) are fully deterministic.
+func goldenTopoReport(t *testing.T) report.Report {
+	t.Helper()
+	cfg := npu.SmallConfig()
+	spec := modelzoo.Spec{Model: "decoder-small", Ctx: 8, Topology: "mesh2x2", Parallel: "tensor"}.Normalize()
+	tc, err := modelzoo.Topology(spec, cfg.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := modelzoo.BuildFor(spec, cfg.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp, err := compiler.New(cfg, compiler.DefaultOptions()).Compile(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := parallel.PlaceJobs(spec.Model, comp, tc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, fab, err := parallel.Simulate(cfg, tc, jobs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Cores = tc.TotalCores()
+	return report.Build(cfg, report.Inputs{
+		Res: res, Mem: fab.MemTotals(), LinkFlits: fab.LinkFlits, Topo: fab,
+	})
+}
+
+// TestGoldenTopoReport pins the text rendering of a mesh2x2 tensor-
+// parallel run (ptsim -topology mesh2x2 -parallel tensor -report).
+func TestGoldenTopoReport(t *testing.T) {
+	full := goldenTopoReport(t)
+	goldenCompare(t, "topo_report.txt", []byte(full.Text()))
+}
+
+// TestGoldenTopoJSON pins the JSON rendering of the same run (indented
+// encoder, exactly like the CLI).
+func TestGoldenTopoJSON(t *testing.T) {
+	full := goldenTopoReport(t)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(full); err != nil {
+		t.Fatal(err)
+	}
+	goldenCompare(t, "topo_report.json", buf.Bytes())
 }
 
 // goldenServeReport produces the deterministic serving report both serve

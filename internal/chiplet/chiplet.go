@@ -1,17 +1,18 @@
-// Package chiplet implements the NUMA memory fabric of the §5.4 case
-// study: a multi-chiplet NPU where each chiplet pairs one core with one
-// local HBM stack, and chiplets are connected by a narrow off-chip link.
-// Requests to the local stack go straight to its controller; remote
-// requests serialize over the link in both directions (request header out,
-// data back for loads; data out for stores).
+// Package chiplet is the §5.4 case-study view of the topology layer: a
+// multi-chiplet NPU where each chiplet pairs one core with one local HBM
+// stack, and chiplets are connected by a narrow off-chip link. It is now a
+// thin shim over internal/topo — a chiplet system is an N×1 package mesh
+// with one core per package — kept so the §5.4 experiment code and its
+// vocabulary survive unchanged. The timing model (and its bit-exact
+// behaviour, held by the equivalence tests in this package) lives in
+// topo.Fabric.
 package chiplet
 
 import (
 	"repro/internal/dram"
 	"repro/internal/npu"
-	"repro/internal/obs"
-	"repro/internal/sim"
 	"repro/internal/togsim"
+	"repro/internal/topo"
 )
 
 // Config describes the chiplet system.
@@ -41,236 +42,28 @@ func DefaultConfig(mem npu.MemConfig) Config {
 // ChipletBase returns the DRAM base address of chiplet c's local memory.
 func (c Config) ChipletBase(ch int) uint64 { return uint64(ch) << c.ChipletAddrBits }
 
-// Fabric implements togsim.Fabric over per-chiplet DRAM controllers and
-// inter-chiplet links.
-type Fabric struct {
-	cfg   Config
-	mems  []*dram.Memory
-	cycle int64
-
-	// Per-direction link occupancy: linkFree[from][to].
-	linkFree [][]int64
-
-	// Per-chiplet FIFOs of requests staged for DRAM submission after link
-	// traversal, and the queue of load data returning over the link.
-	toMem   [][]stagedReq
-	returns sim.EventQueue[*togsim.MemReq]
-	byDram  map[*dram.Request]*togsim.MemReq
-	done    []*togsim.MemReq
-	pending int
-
-	// Stats.
-	LocalBytes, RemoteBytes int64
-	// LinkFlits counts link serialization slots (LinkBytesPerCycle bytes
-	// each, minimum one per traversal), both directions summed.
-	LinkFlits int64
-
-	// Probe receives link traffic and occupancy counters on obs.LinkTrack
-	// when non-nil (change-triggered; never affects timing).
-	Probe       obs.Probe
-	lastPending int
-	lastBytes   int64
-	lastFlits   int64
+// Topology expresses the chiplet system in the unified topology tree: an
+// N×1 chain of single-core packages with zero extra on-package NoC latency
+// (the pre-topology chiplet fabric had no such term).
+func (c Config) Topology() topo.Config {
+	return topo.Config{
+		Name:              "chiplet",
+		MeshX:             c.Chiplets,
+		MeshY:             1,
+		CoresPerPackage:   1,
+		MemPerPackage:     c.MemPerChiplet,
+		PkgAddrBits:       c.ChipletAddrBits,
+		LinkLatency:       c.LinkLatency,
+		LinkBytesPerCycle: c.LinkBytesPerCycle,
+	}
 }
 
-type stagedReq struct {
-	at  int64
-	req *dram.Request
-	mr  *togsim.MemReq
-}
+// Fabric is the chiplet NUMA fabric — the 2-package special case of the
+// topology fabric.
+type Fabric = topo.Fabric
 
 // NewFabric builds the chiplet fabric with FR-FCFS controllers.
-func NewFabric(cfg Config) *Fabric {
-	f := &Fabric{
-		cfg:    cfg,
-		byDram: map[*dram.Request]*togsim.MemReq{},
-		toMem:  make([][]stagedReq, cfg.Chiplets),
-	}
-	for i := 0; i < cfg.Chiplets; i++ {
-		f.mems = append(f.mems, dram.New(cfg.MemPerChiplet, dram.FRFCFS))
-	}
-	f.linkFree = make([][]int64, cfg.Chiplets)
-	for i := range f.linkFree {
-		f.linkFree[i] = make([]int64, cfg.Chiplets)
-	}
-	return f
-}
-
-// Mem returns chiplet ch's controller (for stats).
-func (f *Fabric) Mem(ch int) *dram.Memory { return f.mems[ch] }
-
-func (f *Fabric) chipletOf(addr uint64) int {
-	ch := int(addr >> f.cfg.ChipletAddrBits)
-	if ch >= f.cfg.Chiplets {
-		ch = f.cfg.Chiplets - 1
-	}
-	return ch
-}
-
-// linkDelay accounts a transfer of n bytes from chiplet a to b, returning
-// the arrival time.
-func (f *Fabric) linkDelay(a, b int, bytes int, now int64) int64 {
-	start := now
-	if t := f.linkFree[a][b]; t > start {
-		start = t
-	}
-	ser := int64(bytes) / f.cfg.LinkBytesPerCycle
-	if ser < 1 {
-		ser = 1
-	}
-	f.LinkFlits += ser
-	f.linkFree[a][b] = start + ser
-	return start + ser + f.cfg.LinkLatency
-}
-
-// Submit implements togsim.Fabric.
-func (f *Fabric) Submit(r *togsim.MemReq) bool {
-	src := r.Core % f.cfg.Chiplets
-	dst := f.chipletOf(r.Addr)
-	local := src == dst
-
-	if local {
-		f.LocalBytes += int64(r.Bytes)
-	} else {
-		f.RemoteBytes += int64(r.Bytes)
-	}
-
-	// The controller sees the local offset within its chiplet's stack.
-	dr := &dram.Request{
-		Addr:    r.Addr & (1<<f.cfg.ChipletAddrBits - 1),
-		IsWrite: r.IsWrite,
-		Src:     r.Src,
-	}
-	f.byDram[dr] = r
-	at := f.cycle + 1
-	if !local {
-		// Request traverses the link; stores carry data, loads a header.
-		bytes := 8
-		if r.IsWrite {
-			bytes = r.Bytes
-		}
-		at = f.linkDelay(src, dst, bytes, f.cycle)
-	}
-	f.toMem[dst] = append(f.toMem[dst], stagedReq{at: at, req: dr, mr: r})
-	f.pending++
-	return true
-}
-
-// Tick implements togsim.Fabric.
-func (f *Fabric) Tick() {
-	f.cycle++
-	// Release staged requests whose link traversal finished, per chiplet,
-	// in FIFO order; stop at a not-yet-due entry or a full controller.
-	for ch := range f.toMem {
-		q := f.toMem[ch]
-		i := 0
-		for ; i < len(q); i++ {
-			if q[i].at > f.cycle {
-				break
-			}
-			if !f.mems[ch].Submit(q[i].req) {
-				break
-			}
-		}
-		if i > 0 {
-			f.toMem[ch] = append(q[:0], q[i:]...)
-		}
-	}
-
-	for ch, m := range f.mems {
-		m.Tick()
-		for _, dr := range m.Completed() {
-			r := f.byDram[dr]
-			delete(f.byDram, dr)
-			if r == nil {
-				continue
-			}
-			src := r.Core % f.cfg.Chiplets
-			if src == ch || r.IsWrite {
-				// Local completion, or write acknowledged at the controller.
-				f.done = append(f.done, r)
-				f.pending--
-				continue
-			}
-			// Load data returns over the link; queue by arrival cycle.
-			at := f.linkDelay(ch, src, r.Bytes, f.cycle)
-			if at <= f.cycle {
-				at = f.cycle + 1
-			}
-			f.returns.Push(at, r)
-		}
-	}
-	// Deliver link-returned loads due this cycle.
-	n := len(f.done)
-	f.done = f.returns.PopDue(f.cycle, f.done)
-	f.pending -= len(f.done) - n
-	if f.Probe != nil {
-		if f.pending != f.lastPending {
-			f.Probe.Counter(obs.LinkTrack, "chiplet.inflight", f.cycle, float64(f.pending))
-			f.lastPending = f.pending
-		}
-		if b := f.LocalBytes + f.RemoteBytes; b != f.lastBytes {
-			f.Probe.Counter(obs.LinkTrack, "chiplet.bytes_total", f.cycle, float64(b))
-			f.lastBytes = b
-		}
-		if f.LinkFlits != f.lastFlits {
-			f.Probe.Counter(obs.LinkTrack, "chiplet.link_flits_total", f.cycle, float64(f.LinkFlits))
-			f.lastFlits = f.LinkFlits
-		}
-	}
-}
-
-// NextEvent implements togsim.Fabric. Each per-chiplet link FIFO's next
-// activity is its head entry's arrival time (or next cycle when the head
-// is already due but stalled on a full controller); beyond that the
-// fabric wakes for link returns and the chiplet DRAM controllers.
-func (f *Fabric) NextEvent() int64 {
-	if len(f.done) > 0 {
-		return f.cycle + 1
-	}
-	next := f.returns.NextCycle()
-	for ch := range f.toMem {
-		if q := f.toMem[ch]; len(q) > 0 {
-			at := q[0].at
-			if at <= f.cycle {
-				return f.cycle + 1
-			}
-			if at < next {
-				next = at
-			}
-		}
-	}
-	for _, m := range f.mems {
-		if e := m.NextEvent(); e < next {
-			next = e
-		}
-	}
-	if next <= f.cycle {
-		return f.cycle + 1
-	}
-	return next
-}
-
-// SkipTo implements togsim.Fabric, advancing every chiplet controller's
-// clock in lock-step (link occupancy is kept in absolute cycles).
-func (f *Fabric) SkipTo(cycle int64) {
-	f.cycle = cycle
-	for _, m := range f.mems {
-		m.SkipTo(cycle)
-	}
-}
-
-// Completed implements togsim.Fabric.
-func (f *Fabric) Completed() []*togsim.MemReq {
-	out := f.done
-	f.done = nil
-	return out
-}
-
-// Pending implements togsim.Fabric.
-func (f *Fabric) Pending() int { return f.pending }
-
-var _ togsim.Fabric = (*Fabric)(nil)
+func NewFabric(cfg Config) *Fabric { return topo.NewFabric(cfg.Topology()) }
 
 // Monolithic builds a same-capacity single-package fabric for the Fig. 9
 // baseline: all stacks local, aggregated bandwidth.

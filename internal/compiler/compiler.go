@@ -498,6 +498,8 @@ func (st *state) lowerNode(n *graph.Node) error {
 		return st.lowerAvgPool(n)
 	case graph.OpTranspose:
 		return st.lowerTranspose(n)
+	case graph.OpAllReduce, graph.OpAllGather, graph.OpReduceScatter:
+		return st.lowerCollective(n)
 	case graph.OpSparseMM:
 		return fmt.Errorf("sparse_mm lowers through the sparse-core backend (internal/sparsecore), not the dense compiler")
 	default:

@@ -1,0 +1,178 @@
+package compiler
+
+import (
+	"fmt"
+
+	"repro/internal/codegen"
+	"repro/internal/graph"
+	"repro/internal/isa"
+	"repro/internal/npu"
+	"repro/internal/tog"
+)
+
+// PeerPrefix marks a collective TOG tensor aliasing the ring predecessor's
+// buffer: "peer:x" is tensor x on the previous rank. The compiler declares
+// the name but never allocates it — placement (internal/parallel) binds it
+// to the predecessor's base address when building the per-rank jobs.
+const PeerPrefix = "peer:"
+
+// IsPeerTensor reports whether a tensor name is a peer alias, returning
+// the underlying tensor name it references on the ring predecessor.
+func IsPeerTensor(name string) (string, bool) {
+	if len(name) > len(PeerPrefix) && name[:len(PeerPrefix)] == PeerPrefix {
+		return name[len(PeerPrefix):], true
+	}
+	return "", false
+}
+
+// lowerCollective lowers all_reduce / all_gather / reduce_scatter to a
+// rank-0-normalized ring schedule (v1): each phase is P-1 pull steps, each
+// moving one chunk from the ring predecessor over the package link, with
+// vector adds for the reduction phases. One TOG serves every rank —
+// placement binds "peer:<x>" to the predecessor's buffer and the chunk
+// offsets follow rank 0's schedule, so every rank moves the same byte
+// pattern, which is all the timing model needs. Collective TOGs are
+// timing-only (FunctionalOK=false); numerics run via graph.ExecuteSharded.
+func (st *state) lowerCollective(n *graph.Node) error {
+	st.out.FunctionalOK = false
+	p := n.Parts
+	inName := st.tensorOf[n.Inputs[0]]
+	inElems := elems(st.g.Nodes[n.Inputs[0]].Shape)
+	outName, _ := st.allocOut(n)
+
+	// The ring pulls from the predecessor's working buffer: the output for
+	// all_reduce/all_gather (it fills incrementally), the input shard for
+	// reduce_scatter v1 (partials are priced as shard pulls).
+	peerOf := outName
+	if n.Op == graph.OpReduceScatter {
+		peerOf = inName
+	}
+	peerName := PeerPrefix + peerOf
+
+	var kind tog.Kind
+	switch n.Op {
+	case graph.OpAllReduce:
+		kind = tog.AllReduce
+	case graph.OpAllGather:
+		kind = tog.AllGather
+	case graph.OpReduceScatter:
+		kind = tog.ReduceScatter
+	default:
+		return fmt.Errorf("lowerCollective: %s is not a collective", n.Op)
+	}
+
+	b := tog.NewBuilder(fmt.Sprintf("%s_n%d", n.Op, n.ID), inName, outName)
+	b.BeginCollective(kind, outName, peerName, p, int64(inElems)*4)
+
+	switch n.Op {
+	case graph.OpAllReduce:
+		// Padded equal chunks; the tail chunk may be short (or empty).
+		chunk := (inElems + p - 1) / p
+		size := func(c int) int { return minInt(chunk, inElems-c*chunk) }
+		// Seed the working buffer with the local values.
+		if err := st.collCopy(b, inName, 0, outName, 0, inElems); err != nil {
+			return err
+		}
+		// Reduce-scatter phase: pull one remote chunk per step, add it in.
+		for s := 0; s < p-1; s++ {
+			c := (p - 1 - s) % p
+			base := int64(c) * int64(chunk) * 4
+			if err := st.collAdd(b, peerName, base, outName, base, size(c)); err != nil {
+				return err
+			}
+		}
+		// All-gather phase: pull the finished chunks around the ring.
+		for s := 0; s < p-1; s++ {
+			c := (p - s) % p
+			base := int64(c) * int64(chunk) * 4
+			if err := st.collCopy(b, peerName, base, outName, base, size(c)); err != nil {
+				return err
+			}
+		}
+	case graph.OpAllGather:
+		// Own shard lands in chunk 0 (rank-0 normalized); the other P-1
+		// shards arrive around the ring, one full shard per step.
+		if err := st.collCopy(b, inName, 0, outName, 0, inElems); err != nil {
+			return err
+		}
+		for s := 0; s < p-1; s++ {
+			c := (p - 1 - s) % p
+			base := int64(c) * int64(inElems) * 4
+			if err := st.collCopy(b, peerName, base, outName, base, inElems); err != nil {
+				return err
+			}
+		}
+	case graph.OpReduceScatter:
+		outElems := inElems / p
+		// Own chunk seeds the output; P-1 remote chunks fold in.
+		if err := st.collCopy(b, inName, 0, outName, 0, outElems); err != nil {
+			return err
+		}
+		for s := 0; s < p-1; s++ {
+			c := (s + 1) % p
+			if err := st.collAdd(b, peerName, int64(c)*int64(outElems)*4, outName, 0, outElems); err != nil {
+				return err
+			}
+		}
+	}
+	b.EndCollective()
+	return st.addTOG(b, n.ID)
+}
+
+// collCopy streams total elements from src+srcOff to dst+dstOff (byte
+// offsets) through the scratchpad — pure DMA, no compute.
+func (st *state) collCopy(b *tog.Builder, src string, srcOff int64, dst string, dstOff int64, total int) error {
+	if total <= 0 {
+		return nil
+	}
+	plan, err := st.planFlat(total, 2)
+	if err != nil {
+		return err
+	}
+	tb := int64(plan.tileElems) * 4
+	b.DeclareTensor(src)
+	b.DeclareTensor(dst)
+	emitDim(b, "i", total, plan.tileElems, func(i idx, sz int) {
+		b.Load(src, npu.DMADesc{Rows: 1, Cols: sz},
+			addExpr(tog.AddrExpr{Const: srcOff}, i.addr(tb)), tagVecA, plan.offs[0])
+		b.Wait(tagVecA)
+		b.Store(dst, npu.DMADesc{Rows: 1, Cols: sz},
+			addExpr(tog.AddrExpr{Const: dstOff}, i.addr(tb)), tagVecSt, plan.offs[1])
+	})
+	b.Wait(tagVecSt)
+	return nil
+}
+
+// collAdd pulls total elements from src+srcOff, adds them elementwise into
+// dst+dstOff, and stores the result back — one ring reduction step. The
+// trailing store wait orders the steps, standing in for the per-step ring
+// dependency the independent per-rank jobs cannot express.
+func (st *state) collAdd(b *tog.Builder, src string, srcOff int64, dst string, dstOff int64, total int) error {
+	if total <= 0 {
+		return nil
+	}
+	plan, err := st.planFlat(total, 3)
+	if err != nil {
+		return err
+	}
+	vlen := st.c.Cfg.Core.VLEN()
+	tb := int64(plan.tileElems) * 4
+	b.DeclareTensor(src)
+	b.DeclareTensor(dst)
+	emitDim(b, "i", total, plan.tileElems, func(i idx, sz int) {
+		b.Load(src, npu.DMADesc{Rows: 1, Cols: sz},
+			addExpr(tog.AddrExpr{Const: srcOff}, i.addr(tb)), tagVecB, plan.offs[0])
+		b.Load(dst, npu.DMADesc{Rows: 1, Cols: sz},
+			addExpr(tog.AddrExpr{Const: dstOff}, i.addr(tb)), tagVecA, plan.offs[1])
+		b.Wait(tagVecA)
+		b.Wait(tagVecB)
+		spec := codegen.EltSpec{Op: codegen.EltAdd, Rows: 1, Cols: sz, VLEN: vlen,
+			AOff: plan.offs[0], BOff: plan.offs[1], OutOff: plan.offs[2]}
+		st.emitComputeKernel(b, spec.Signature(), spec.Signature()+"@0",
+			func() *isa.Program { return codegen.Eltwise(spec) })
+		b.Store(dst, npu.DMADesc{Rows: 1, Cols: sz},
+			addExpr(tog.AddrExpr{Const: dstOff}, i.addr(tb)), tagVecSt, plan.offs[2])
+	})
+	b.Wait(tagVecSt)
+	return nil
+}

@@ -111,6 +111,12 @@ func runTOG(c *Compiled, core *funcsim.Core, dram *npu.PagedMem, g *tog.TOG) err
 			}
 		case tog.WaitDMA:
 			// Functional DMAs are synchronous.
+		case tog.AllReduce, tog.AllGather, tog.ReduceScatter, tog.CollEnd:
+			// Collective schedules reference another rank's buffers; they
+			// only make sense under multi-rank placement. Compiled graphs
+			// containing them set FunctionalOK=false, so reaching one here
+			// means the caller skipped that gate.
+			return fmt.Errorf("collective %s cannot execute functionally (use graph.ExecuteSharded)", n.Kind)
 		case tog.Compute:
 			prog, ok := c.Kernels[n.Kernel]
 			if !ok {

@@ -10,41 +10,57 @@ import (
 	"repro/internal/serve"
 	"repro/internal/service/modelzoo"
 	"repro/internal/togsim"
+	"repro/internal/topo"
 )
 
-// CheckServe is the serve-determinism oracle: a seeded serving scenario
+// CheckServe is the serve-determinism oracle: each seeded serving scenario
 // (Poisson arrivals, continuous batching, prefill + decode iterations)
 // must produce a bit-identical report when replayed — once more with the
 // same seed, and once with the TLS engine stepping cores on 4 host
 // goroutines. Each run gets a fresh compile cache, so cache-hit accounting
 // is part of the comparison: the prefill-per-shape / decode-replay
-// behaviour must reproduce too.
+// behaviour must reproduce too. Two scenarios run: the single-package
+// baseline with fixed prompts, and a pkg2 tensor-parallel scenario with
+// per-request context lengths drawn from a seeded uniform distribution
+// (collective timing and ctx-dist draws join the determinism contract).
 func CheckServe(seed int64) error {
-	base, err := runServeScenario(seed, 0)
-	if err != nil {
-		return fmt.Errorf("serve scenario failed: %w", err)
-	}
-	again, err := runServeScenario(seed, 0)
-	if err != nil {
-		return fmt.Errorf("serve replay failed: %w", err)
-	}
-	if !reflect.DeepEqual(base, again) {
-		return fmt.Errorf("serve-determinism: same seed %d, different reports:\nfirst:  %+v\nsecond: %+v", seed, base, again)
-	}
-	par, err := runServeScenario(seed, 4)
-	if err != nil {
-		return fmt.Errorf("serve parallel run failed: %w", err)
-	}
-	if !reflect.DeepEqual(base, par) {
-		return fmt.Errorf("serve-determinism: serial vs engine-workers=4 reports differ:\nserial:   %+v\nparallel: %+v", base, par)
+	for _, sc := range []struct {
+		name string
+		topo bool
+	}{
+		{"baseline", false},
+		{"pkg2-tensor+ctx-dist", true},
+	} {
+		base, err := runServeScenario(seed, 0, sc.topo)
+		if err != nil {
+			return fmt.Errorf("serve scenario %s failed: %w", sc.name, err)
+		}
+		again, err := runServeScenario(seed, 0, sc.topo)
+		if err != nil {
+			return fmt.Errorf("serve replay %s failed: %w", sc.name, err)
+		}
+		if !reflect.DeepEqual(base, again) {
+			return fmt.Errorf("serve-determinism (%s): same seed %d, different reports:\nfirst:  %+v\nsecond: %+v",
+				sc.name, seed, base, again)
+		}
+		par, err := runServeScenario(seed, 4, sc.topo)
+		if err != nil {
+			return fmt.Errorf("serve parallel run %s failed: %w", sc.name, err)
+		}
+		if !reflect.DeepEqual(base, par) {
+			return fmt.Errorf("serve-determinism (%s): serial vs engine-workers=4 reports differ:\nserial:   %+v\nparallel: %+v",
+				sc.name, base, par)
+		}
 	}
 	return nil
 }
 
-// runServeScenario replays the standing serving scenario with a fresh
+// runServeScenario replays a standing serving scenario with a fresh
 // compiler and memoized compile results (the cache-hit semantics of the
-// service's content-addressed cache, minus persistence).
-func runServeScenario(seed int64, engineWorkers int) (report.ServeReport, error) {
+// service's content-addressed cache, minus persistence). With topoVariant
+// the decoder serves tensor-parallel over two packages and prompt lengths
+// come from a seeded uniform distribution.
+func runServeScenario(seed int64, engineWorkers int, topoVariant bool) (report.ServeReport, error) {
 	cfg := npu.SmallConfig()
 	comp := compiler.New(cfg, compiler.DefaultOptions())
 	memo := map[string]*compiler.Compiled{}
@@ -53,7 +69,7 @@ func runServeScenario(seed int64, engineWorkers int) (report.ServeReport, error)
 		if c, ok := memo[key]; ok {
 			return c, true, nil
 		}
-		g, err := modelzoo.BuildGraph(spec)
+		g, err := modelzoo.BuildFor(spec, cfg.Mem)
 		if err != nil {
 			return nil, false, err
 		}
@@ -74,5 +90,17 @@ func runServeScenario(seed int64, engineWorkers int) (report.ServeReport, error)
 		Compile:       compile,
 	}
 	reqs := serve.PoissonTrace(seed, 3, 2e5, cfg.FreqMHz, 4, 4)
+	if topoVariant {
+		tc, err := topo.Preset("pkg2", cfg.Mem)
+		if err != nil {
+			return report.ServeReport{}, err
+		}
+		sc.Topo, sc.Parallel = tc, "tensor"
+		dist, err := serve.ParseCtxDist("uniform:3,8")
+		if err != nil {
+			return report.ServeReport{}, err
+		}
+		serve.ApplyCtxDist(reqs, dist, seed)
+	}
 	return serve.Run(sc, reqs)
 }

@@ -152,6 +152,30 @@ func TestFig8cQuick(t *testing.T) {
 	}
 }
 
+// TestFig9Regression pins the §5.4 study's absolute cycle counts captured
+// on the pre-topology chiplet fabric (quick mode, TPUv3 config). The
+// topology-layer migration must reproduce them bit-identically — any drift
+// here means the refactor changed NUMA fabric timing.
+func TestFig9Regression(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tier-2: chiplet mapping sweep, ~7s (DESIGN.md \"Test tiers\")")
+	}
+	res, err := Fig9(expCfg(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Fig9Result{
+		Monolithic: 22587,
+		Best:       39652,
+		Random:     81502,
+		Worst:      117990,
+		BestLocal:  0.8, RandomLocal: 0.5, WorstLocal: 0.2,
+	}
+	if *res != want {
+		t.Fatalf("fig9 drifted from the pre-topology baseline:\ngot  %+v\nwant %+v", *res, want)
+	}
+}
+
 func TestFig9Quick(t *testing.T) {
 	if testing.Short() {
 		t.Skip("tier-2: chiplet mapping sweep, ~7s (DESIGN.md \"Test tiers\")")

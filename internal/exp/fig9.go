@@ -4,13 +4,13 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/chiplet"
 	"repro/internal/compiler"
 	"repro/internal/core"
 	"repro/internal/dram"
 	"repro/internal/graph"
 	"repro/internal/npu"
 	"repro/internal/togsim"
+	"repro/internal/topo"
 )
 
 // Fig9Result reports the chiplet weight-mapping study (§5.4): runtime of a
@@ -57,18 +57,23 @@ func Fig9(cfg npu.Config, quick bool) (*Fig9Result, error) {
 	}
 	outName := comp.OutputTensors[quarter.Outputs[0]]
 
-	chipCfg := chiplet.DefaultConfig(cfg.Mem)
-	chipCfg.MemPerChiplet.Channels = cfg.Mem.Channels / 2 // one stack per chiplet
+	// The §5.4 machine expressed in the unified topology layer: the "pkg2"
+	// preset splits the monolithic HBM stack across two single-core
+	// packages joined by the paper's narrow link.
+	topoCfg, err := topo.Preset("pkg2", cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
 
 	// Tensor placement helper: bases for quarter (i, j) with the output on
-	// chiplet `outCh`.
+	// package `outCh`.
 	iBytes := uint64(half) * uint64(n) * 4
 	wBytes := uint64(n) * uint64(half) * 4
 	bases := func(i, j, outCh, idx int) map[string]uint64 {
 		return map[string]uint64{
-			"x":     chipCfg.ChipletBase(i),
-			"w":     chipCfg.ChipletBase(j) + ((iBytes + 4095) &^ 4095),
-			outName: chipCfg.ChipletBase(outCh) + ((iBytes+wBytes+8191)&^4095 + uint64(idx)*uint64(half)*uint64(half)*4),
+			"x":     topoCfg.PackageBase(i),
+			"w":     topoCfg.PackageBase(j) + ((iBytes + 4095) &^ 4095),
+			outName: topoCfg.PackageBase(outCh) + ((iBytes+wBytes+8191)&^4095 + uint64(idx)*uint64(half)*uint64(half)*4),
 		}
 	}
 	mkJob := func(name string, coreID, i, j, outCh, idx int) *togsim.Job {
@@ -130,7 +135,7 @@ func Fig9(cfg npu.Config, quick bool) (*Fig9Result, error) {
 	baseCfg := cfg
 	baseCfg.Cores = 2
 	for _, m := range mappings {
-		fab := chiplet.NewFabric(chipCfg)
+		fab := topo.NewFabric(topoCfg)
 		eng := togsim.NewEngine(baseCfg, fab)
 		r, err := eng.Run(m.jobs())
 		if err != nil {

@@ -183,7 +183,120 @@ func evalNode(g *Graph, n *Node, vals map[int]*tensor.Tensor, env *Env) (*tensor
 			out.Data[i] = pd + negLR*m.Data[i]/den
 		}
 		return out, nil
+	case OpAllReduce, OpAllGather, OpReduceScatter:
+		return nil, fmt.Errorf("collective %s outside sharded execution (use ExecuteSharded)", n.Op)
 	default:
 		return nil, fmt.Errorf("unknown op %q", n.Op)
 	}
+}
+
+// ExecuteSharded evaluates one sharded graph replica per rank in lockstep
+// on the host CPU: non-collective nodes evaluate independently per rank,
+// and collective nodes exchange values across ranks with the canonical
+// semantics (all_reduce = elementwise sum broadcast to every rank,
+// all_gather = dim-0 concat in rank order, reduce_scatter = sum then rank
+// r keeps chunk r). All replicas must share node structure — the compiler
+// emits them rank-0-normalized, so matching IDs line up by construction.
+// It returns the per-rank node values.
+func ExecuteSharded(replicas []*Graph, envs []*Env) ([]map[int]*tensor.Tensor, error) {
+	if len(replicas) == 0 || len(replicas) != len(envs) {
+		return nil, fmt.Errorf("graph: %d replicas, %d envs", len(replicas), len(envs))
+	}
+	for r, g := range replicas {
+		if err := g.Validate(); err != nil {
+			return nil, fmt.Errorf("rank %d: %w", r, err)
+		}
+		if len(g.Nodes) != len(replicas[0].Nodes) {
+			return nil, fmt.Errorf("graph: rank %d has %d nodes, rank 0 has %d",
+				r, len(g.Nodes), len(replicas[0].Nodes))
+		}
+	}
+	ranks := len(replicas)
+	vals := make([]map[int]*tensor.Tensor, ranks)
+	for r := range vals {
+		vals[r] = make(map[int]*tensor.Tensor, len(replicas[r].Nodes))
+	}
+	for i := range replicas[0].Nodes {
+		op := replicas[0].Nodes[i].Op
+		for r := 1; r < ranks; r++ {
+			if replicas[r].Nodes[i].Op != op {
+				return nil, fmt.Errorf("graph: node %d op diverges across ranks (%s vs %s)",
+					i, op, replicas[r].Nodes[i].Op)
+			}
+		}
+		switch op {
+		case OpAllReduce, OpAllGather, OpReduceScatter:
+			// Gather every rank's input shard, combine, scatter results.
+			shards := make([]*tensor.Tensor, ranks)
+			for r := 0; r < ranks; r++ {
+				n := replicas[r].Nodes[i]
+				if n.Parts != ranks {
+					return nil, fmt.Errorf("graph: node %d %s has parts=%d, %d ranks executing",
+						i, op, n.Parts, ranks)
+				}
+				shards[r] = vals[r][n.Inputs[0]]
+			}
+			outs, err := combineShards(op, shards)
+			if err != nil {
+				return nil, fmt.Errorf("graph: node %d: %w", i, err)
+			}
+			for r := 0; r < ranks; r++ {
+				vals[r][replicas[r].Nodes[i].ID] = outs[r]
+			}
+		default:
+			for r := 0; r < ranks; r++ {
+				g, n := replicas[r], replicas[r].Nodes[i]
+				v, err := evalNode(g, n, vals[r], envs[r])
+				if err != nil {
+					return nil, fmt.Errorf("rank %d graph %q node %d (%s %q): %w",
+						r, g.Name, n.ID, n.Op, n.Name, err)
+				}
+				vals[r][n.ID] = v
+			}
+		}
+	}
+	return vals, nil
+}
+
+// combineShards applies one collective's semantics to the per-rank inputs.
+func combineShards(op OpKind, shards []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	ranks := len(shards)
+	sum := func() *tensor.Tensor {
+		acc := shards[0].Clone()
+		for r := 1; r < ranks; r++ {
+			for i := range acc.Data {
+				acc.Data[i] += shards[r].Data[i]
+			}
+		}
+		return acc
+	}
+	outs := make([]*tensor.Tensor, ranks)
+	switch op {
+	case OpAllReduce:
+		acc := sum()
+		for r := range outs {
+			outs[r] = acc.Clone()
+		}
+	case OpAllGather:
+		shape := append([]int{shards[0].Shape[0] * ranks}, shards[0].Shape[1:]...)
+		cat := tensor.New(shape...)
+		per := len(shards[0].Data)
+		for r := 0; r < ranks; r++ {
+			copy(cat.Data[r*per:(r+1)*per], shards[r].Data)
+		}
+		for r := range outs {
+			outs[r] = cat.Clone()
+		}
+	case OpReduceScatter:
+		acc := sum()
+		per := len(acc.Data) / ranks
+		shape := append([]int{shards[0].Shape[0] / ranks}, shards[0].Shape[1:]...)
+		for r := range outs {
+			outs[r] = tensor.New(shape...)
+			copy(outs[r].Data, acc.Data[r*per:(r+1)*per])
+		}
+	default:
+		return nil, fmt.Errorf("combineShards: %s is not a collective", op)
+	}
+	return outs, nil
 }

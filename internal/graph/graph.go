@@ -53,6 +53,15 @@ const (
 	// Reductions.
 	OpColSum OpKind = "col_sum" // (M,N) -> (N,) column sums (bias gradient)
 
+	// Collectives (multi-package parallelism): synchronization points
+	// between the per-rank replicas of a sharded graph. Parts gives the
+	// number of participating ranks. The host reference executes them in
+	// lockstep across replicas (ExecuteSharded); the compiler lowers them
+	// to ring schedules over the package links (internal/topo).
+	OpAllReduce     OpKind = "all_reduce"     // elementwise sum across ranks, replicated result
+	OpAllGather     OpKind = "all_gather"     // concat rank shards along dim 0
+	OpReduceScatter OpKind = "reduce_scatter" // sum across ranks, rank r keeps chunk r
+
 	// Training-specific.
 	OpSoftmaxCE     OpKind = "softmax_ce"      // logits,labels -> scalar loss
 	OpSoftmaxCEGrad OpKind = "softmax_ce_grad" // logits,labels -> dLogits
@@ -78,6 +87,7 @@ type Node struct {
 	Beta    float32          // axpby: coefficient of input 1
 	Eps     float32          // layernorm
 	Classes int              // softmax_ce: number of classes
+	Parts   int              // collectives: number of participating ranks
 }
 
 // Graph is a topologically ordered DAG of nodes.
@@ -294,6 +304,34 @@ func InferShape(g *Graph, n *Node) ([]int, error) {
 			return nil, fmt.Errorf("col_sum needs 2-D, got %v", a)
 		}
 		return []int{a[1]}, nil
+	case OpAllReduce:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if n.Parts < 2 {
+			return nil, fmt.Errorf("all_reduce needs parts >= 2, has %d", n.Parts)
+		}
+		return in(0).Shape, nil
+	case OpAllGather:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a := in(0).Shape
+		if n.Parts < 2 || len(a) == 0 {
+			return nil, fmt.Errorf("all_gather needs parts >= 2 and a shaped input, has parts=%d shape=%v", n.Parts, a)
+		}
+		out := append([]int{a[0] * n.Parts}, a[1:]...)
+		return out, nil
+	case OpReduceScatter:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		a := in(0).Shape
+		if n.Parts < 2 || len(a) == 0 || a[0]%n.Parts != 0 {
+			return nil, fmt.Errorf("reduce_scatter needs parts >= 2 dividing dim 0, has parts=%d shape=%v", n.Parts, a)
+		}
+		out := append([]int{a[0] / n.Parts}, a[1:]...)
+		return out, nil
 	case OpSoftmaxCE:
 		if err := need(2); err != nil {
 			return nil, err

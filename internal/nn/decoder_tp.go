@@ -1,0 +1,189 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/tensor"
+)
+
+// DecoderTP builds the tensor-parallel shard of a decoder block stack for
+// one of `parts` ranks, Megatron-style:
+//
+//   - Attention splits by head: each rank computes Heads/parts heads, sums
+//     its head projections locally, then an all_reduce completes the
+//     attention output across ranks.
+//   - The MLP column-shards w1 (Hidden, FFN/parts) and row-shards w2
+//     (FFN/parts, Hidden); the partial ffn2 products all_reduce.
+//   - Residual streams and RMSNorms are replicated on every rank.
+//
+// The returned graph is rank-0-normalized: every rank runs this same
+// graph, with rank r's environment binding its own weight shards (see
+// ShardDecoderEnv) and the runtime binding collective peers around the
+// ring. Activation input x is replicated.
+func DecoderTP(cfg DecoderConfig, parts int) *Model {
+	if parts < 2 {
+		panic("nn: DecoderTP needs parts >= 2")
+	}
+	if cfg.Heads%parts != 0 || cfg.FFN%parts != 0 {
+		panic(fmt.Sprintf("nn: heads (%d) and FFN (%d) must divide across %d ranks",
+			cfg.Heads, cfg.FFN, parts))
+	}
+	if cfg.Hidden%cfg.Heads != 0 {
+		panic("nn: hidden must be divisible by heads")
+	}
+	kvLen := cfg.KVLen
+	if kvLen <= 0 {
+		kvLen = cfg.Ctx
+	}
+	rows := cfg.Batch
+	pass := "decode"
+	if cfg.Prefill {
+		rows = cfg.Batch * cfg.Ctx
+		pass = "prefill"
+	}
+	headsPer := cfg.Heads / parts
+	ffnPer := cfg.FFN / parts
+	dHead := cfg.Hidden / cfg.Heads
+
+	g := graph.New(fmt.Sprintf("%s-%s-tp%d", cfg.Name, pass, parts))
+	x := g.Input("x", rows, cfg.Hidden)
+	cur := x
+	mm := func(name string, a, w *graph.Node, m, n int) *graph.Node {
+		return g.Add(&graph.Node{Op: graph.OpMatMul, Name: name, Inputs: []int{a.ID, w.ID}, Shape: []int{m, n}})
+	}
+	add := func(name string, a, b *graph.Node) *graph.Node {
+		return g.Add(&graph.Node{Op: graph.OpAdd, Name: name, Inputs: []int{a.ID, b.ID}, Shape: append([]int(nil), a.Shape...)})
+	}
+	allReduce := func(name string, a *graph.Node) *graph.Node {
+		return g.Add(&graph.Node{Op: graph.OpAllReduce, Name: name, Parts: parts,
+			Inputs: []int{a.ID}, Shape: append([]int(nil), a.Shape...)})
+	}
+
+	for l := 0; l < cfg.Layers; l++ {
+		p := func(s string) string { return fmt.Sprintf("l%d_%s", l, s) }
+		g1 := g.Param(p("attn_norm_gamma"), cfg.Hidden)
+		normed := g.Add(&graph.Node{
+			Op: graph.OpRMSNorm, Name: p("attn_norm"),
+			Inputs: []int{cur.ID, g1.ID}, Shape: []int{rows, cfg.Hidden},
+		})
+		// Local heads: h here is the rank-local head index; rank r's env
+		// binds global head r*headsPer+h under these names.
+		var attnPart *graph.Node
+		for h := 0; h < headsPer; h++ {
+			hp := func(s string) string { return fmt.Sprintf("l%d_h%d_%s", l, h, s) }
+			wq := g.Param(hp("wq"), cfg.Hidden, dHead)
+			q := mm(hp("q"), normed, wq, rows, dHead)
+			var k, v *graph.Node
+			if cfg.Prefill {
+				wk := g.Param(hp("wk"), cfg.Hidden, dHead)
+				wv := g.Param(hp("wv"), cfg.Hidden, dHead)
+				k = mm(hp("k"), normed, wk, rows, dHead)
+				v = mm(hp("v"), normed, wv, rows, dHead)
+			} else {
+				k = g.Input(hp("kcache"), kvLen, dHead)
+				v = g.Input(hp("vcache"), kvLen, dHead)
+			}
+			scores := g.Add(&graph.Node{
+				Op: graph.OpMatMulTB, Name: hp("scores"),
+				Inputs: []int{q.ID, k.ID}, Shape: []int{rows, k.Shape[0]},
+			})
+			scaled := g.Add(&graph.Node{
+				Op: graph.OpScale, Name: hp("scaled"), ScaleF: 1 / sqrtf(dHead),
+				Inputs: []int{scores.ID}, Shape: append([]int(nil), scores.Shape...),
+			})
+			probs := g.Add(&graph.Node{
+				Op: graph.OpSoftmax, Name: hp("probs"),
+				Inputs: []int{scaled.ID}, Shape: append([]int(nil), scaled.Shape...),
+			})
+			ctx := mm(hp("ctx"), probs, v, rows, dHead)
+			wo := g.Param(hp("wo"), dHead, cfg.Hidden)
+			proj := mm(hp("proj"), ctx, wo, rows, cfg.Hidden)
+			if attnPart == nil {
+				attnPart = proj
+			} else {
+				attnPart = add(hp("headsum"), attnPart, proj)
+			}
+		}
+		// Complete the head sum across ranks, then the replicated residual.
+		attnOut := allReduce(p("attn_ar"), attnPart)
+		cur = add(p("res1"), attnOut, cur)
+
+		g2 := g.Param(p("mlp_norm_gamma"), cfg.Hidden)
+		normed2 := g.Add(&graph.Node{
+			Op: graph.OpRMSNorm, Name: p("mlp_norm"),
+			Inputs: []int{cur.ID, g2.ID}, Shape: []int{rows, cfg.Hidden},
+		})
+		// Column-parallel w1, row-parallel w2, partial-product all_reduce.
+		w1 := g.Param(p("ffn_w1"), cfg.Hidden, ffnPer)
+		f1 := mm(p("ffn1"), normed2, w1, rows, ffnPer)
+		act := g.Add(&graph.Node{Op: graph.OpGELU, Name: p("gelu"), Inputs: []int{f1.ID}, Shape: []int{rows, ffnPer}})
+		w2 := g.Param(p("ffn_w2"), ffnPer, cfg.Hidden)
+		f2 := mm(p("ffn2"), act, w2, rows, cfg.Hidden)
+		mlpOut := allReduce(p("mlp_ar"), f2)
+		cur = add(p("res2"), mlpOut, cur)
+	}
+	g.Outputs = []int{cur.ID}
+	m := newModel(g.Name, g)
+	m.OutputID = cur.ID
+	return m
+}
+
+// ShardDecoderEnv slices a full decoder environment (weights from
+// Decoder(cfg).InitParams plus inputs) into the per-rank environments a
+// DecoderTP replica set executes with: rank r takes global heads
+// [r*headsPer, (r+1)*headsPer) under local head names, w1 columns and w2
+// rows [r*ffnPer, (r+1)*ffnPer), and replicated copies of everything else
+// (norm gammas, x). Decode KV-cache inputs shard by head like the head
+// weights.
+func ShardDecoderEnv(cfg DecoderConfig, full *graph.Env, parts int) []*graph.Env {
+	headsPer := cfg.Heads / parts
+	ffnPer := cfg.FFN / parts
+	envs := make([]*graph.Env, parts)
+	for r := range envs {
+		env := graph.NewEnv()
+		for l := 0; l < cfg.Layers; l++ {
+			p := func(s string) string { return fmt.Sprintf("l%d_%s", l, s) }
+			env.Set(p("attn_norm_gamma"), full.Values[p("attn_norm_gamma")])
+			env.Set(p("mlp_norm_gamma"), full.Values[p("mlp_norm_gamma")])
+			for h := 0; h < headsPer; h++ {
+				gh := r*headsPer + h
+				local := func(s string) string { return fmt.Sprintf("l%d_h%d_%s", l, h, s) }
+				global := func(s string) string { return fmt.Sprintf("l%d_h%d_%s", l, gh, s) }
+				for _, w := range []string{"wq", "wo"} {
+					env.Set(local(w), full.Values[global(w)])
+				}
+				if cfg.Prefill {
+					env.Set(local("wk"), full.Values[global("wk")])
+					env.Set(local("wv"), full.Values[global("wv")])
+				} else {
+					env.Set(local("kcache"), full.Values[global("kcache")])
+					env.Set(local("vcache"), full.Values[global("vcache")])
+				}
+			}
+			env.Set(p("ffn_w1"), sliceCols(full.Values[p("ffn_w1")], r*ffnPer, ffnPer))
+			env.Set(p("ffn_w2"), sliceRows(full.Values[p("ffn_w2")], r*ffnPer, ffnPer))
+		}
+		env.Set("x", full.Values["x"])
+		envs[r] = env
+	}
+	return envs
+}
+
+// sliceCols returns columns [off, off+n) of a 2-D tensor.
+func sliceCols(t *tensor.Tensor, off, n int) *tensor.Tensor {
+	rows, cols := t.Shape[0], t.Shape[1]
+	out := tensor.New(rows, n)
+	for i := 0; i < rows; i++ {
+		copy(out.Data[i*n:(i+1)*n], t.Data[i*cols+off:i*cols+off+n])
+	}
+	return out
+}
+
+// sliceRows returns rows [off, off+n) of a 2-D tensor.
+func sliceRows(t *tensor.Tensor, off, n int) *tensor.Tensor {
+	cols := t.Shape[1]
+	out := tensor.New(n, cols)
+	copy(out.Data, t.Data[off*cols:(off+n)*cols])
+	return out
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dram"
 	"repro/internal/npu"
 	"repro/internal/togsim"
+	"repro/internal/topo"
 )
 
 // CoreReport is one core's compute-unit utilization over the run.
@@ -40,6 +41,12 @@ type JobReport struct {
 	DMABytes      int64   `json:"dma_bytes"`
 	ComputeFrac   float64 `json:"compute_frac"`
 	DMAWaitFrac   float64 `json:"dma_wait_frac"`
+
+	// Collective time: cycles this job spent inside collective regions
+	// (all_reduce/all_gather/reduce_scatter) and how many regions ran.
+	CollectiveCycles int64   `json:"collective_cycles,omitempty"`
+	Collectives      int64   `json:"collectives,omitempty"`
+	CollectiveFrac   float64 `json:"collective_frac,omitempty"`
 
 	// Per-unit activity counters (see togsim.Activity).
 	SAMacCycles    int64 `json:"sa_mac_cycles,omitempty"`
@@ -84,6 +91,7 @@ type Report struct {
 	Mem         *MemReport      `json:"mem,omitempty"`
 	Activity    *ActivityTotals `json:"activity,omitempty"`
 	Energy      *EnergyReport   `json:"energy,omitempty"`
+	Topology    *TopologyReport `json:"topology,omitempty"`
 	Rounds      *RoundsReport   `json:"parallel_rounds,omitempty"`
 }
 
@@ -98,6 +106,11 @@ type Inputs struct {
 	LinkFlits int64
 	Rounds    togsim.RoundStats
 	Wall      time.Duration
+
+	// Topo, when the run used a multi-package topology fabric, yields the
+	// per-package breakdown (Report.Topology). Callers still pass the
+	// fabric-wide Mem/LinkFlits totals above.
+	Topo *topo.Fabric
 }
 
 // Build derives a Report from an engine run and the target configuration.
@@ -130,6 +143,9 @@ func Build(cfg npu.Config, in Inputs) Report {
 			DMAWait:       j.DMAWait,
 			DMABytes:      j.DMABytes,
 
+			CollectiveCycles: j.CollectiveCycles,
+			Collectives:      j.Collectives,
+
 			SAMacCycles:    j.Activity.SAMacCycles,
 			SATileLoads:    j.Activity.SATileLoads,
 			VectorCycles:   j.Activity.VectorCycles,
@@ -144,6 +160,7 @@ func Build(cfg npu.Config, in Inputs) Report {
 		if jr.TotalCycles > 0 {
 			jr.ComputeFrac = float64(jr.ComputeCycles) / float64(jr.TotalCycles)
 			jr.DMAWaitFrac = float64(jr.DMAWait) / float64(jr.TotalCycles)
+			jr.CollectiveFrac = float64(jr.CollectiveCycles) / float64(jr.TotalCycles)
 		}
 		r.Jobs = append(r.Jobs, jr)
 	}
@@ -165,6 +182,9 @@ func Build(cfg npu.Config, in Inputs) Report {
 	totals := Totals(res, mem, in.NoCFlits, in.LinkFlits)
 	r.Activity = &totals
 	r.Energy = BuildEnergy(cfg, totals)
+	if in.Topo != nil {
+		r.Topology = buildTopology(cfg, res, in.Topo)
+	}
 	if in.Rounds.Window > 0 || in.Rounds.Serial > 0 {
 		r.Rounds = &RoundsReport{
 			WindowRounds:   in.Rounds.Window,
@@ -204,13 +224,18 @@ func (r Report) Text() string {
 			continue
 		}
 		tot := float64(j.TotalCycles)
-		fmt.Fprintf(&b, "job %q: %d cycles = %.1f%% compute, %.1f%% unit-wait, %.1f%% dma-stall, %.1f%% other; %.1f MB DMA\n",
+		fmt.Fprintf(&b, "job %q: %d cycles = %.1f%% compute, %.1f%% unit-wait, %.1f%% dma-stall, %.1f%% other; %.1f MB DMA",
 			j.Name, j.TotalCycles,
 			100*float64(j.ComputeCycles)/tot,
 			100*float64(j.UnitWait)/tot,
 			100*float64(j.DMAWait)/tot,
 			100*float64(j.OtherCycles)/tot,
 			float64(j.DMABytes)/1e6)
+		if j.Collectives > 0 {
+			fmt.Fprintf(&b, "; collectives %d in %d cycles (%.1f%%)",
+				j.Collectives, j.CollectiveCycles, 100*float64(j.CollectiveCycles)/tot)
+		}
+		b.WriteByte('\n')
 	}
 	if m := r.Mem; m != nil {
 		fmt.Fprintf(&b, "DRAM: %d reads, %d writes, row hits %d / misses %d, %.1f B/cycle of %.1f peak (%.1f%% bandwidth)\n",
@@ -218,6 +243,9 @@ func (r Report) Text() string {
 	}
 	if e := r.Energy; e != nil {
 		b.WriteString(e.Text())
+	}
+	if t := r.Topology; t != nil {
+		b.WriteString(t.Text())
 	}
 	if rd := r.Rounds; rd != nil {
 		fmt.Fprintf(&b, "parallel engine: %d window rounds covering %d cycles, %d serial rounds\n",

@@ -1,0 +1,123 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/npu"
+	"repro/internal/togsim"
+	"repro/internal/topo"
+)
+
+// PackageReport is one package's slice of a multi-package run: the cycle
+// and traffic counters of the ranks placed on its cores, its local HBM
+// stack's traffic, the serialization slots on its outgoing mesh links, and
+// the energy those counters price to. The integer counters of all packages
+// sum exactly to the fabric-wide totals (they are disjoint int64 splits of
+// the same events); EnergyMilliJ sums to TopologyReport.EnergyMilliJ
+// bitwise because the latter is defined as the ordered sum.
+type PackageReport struct {
+	Package          int     `json:"package"`
+	ComputeCycles    int64   `json:"compute_cycles"`
+	CollectiveCycles int64   `json:"collective_cycles"`
+	Collectives      int64   `json:"collectives"`
+	LocalBytes       int64   `json:"local_bytes"`
+	RemoteBytes      int64   `json:"remote_bytes"`
+	LinkFlits        int64   `json:"link_flits"`
+	DRAMBytes        int64   `json:"dram_bytes"`
+	EnergyMilliJ     float64 `json:"energy_mj,omitempty"`
+}
+
+// TopologyReport is the multi-package breakdown of a run on a topo.Fabric:
+// per-package counters plus the collective-time roll-up. EnergyMilliJ is
+// the exact sum of the per-package energies in package order (same
+// bitwise-sums-to-total contract as EnergyReport.TotalMilliJ).
+type TopologyReport struct {
+	Name             string          `json:"name,omitempty"`
+	Packages         int             `json:"packages"`
+	PerPackage       []PackageReport `json:"per_package"`
+	CollectiveCycles int64           `json:"collective_cycles"`
+	Collectives      int64           `json:"collectives"`
+	LinkFlits        int64           `json:"link_flits"`
+	EnergyMilliJ     float64         `json:"energy_mj,omitempty"`
+}
+
+// buildTopology derives the per-package breakdown from the fabric the run
+// used. Jobs are attributed to the package owning their core; each
+// package's energy is priced from its own activity slice with the same
+// table as the run-wide EnergyReport (static leakage charged per package
+// core count, DRAM from the package's local controller, link from the
+// package's outgoing flits).
+func buildTopology(cfg npu.Config, res togsim.Result, fab *topo.Fabric) *TopologyReport {
+	tc := fab.Config()
+	parts := tc.Packages()
+	tr := &TopologyReport{
+		Name:       tc.Name,
+		Packages:   parts,
+		PerPackage: make([]PackageReport, parts),
+		LinkFlits:  fab.LinkFlits,
+	}
+	acts := make([]ActivityTotals, parts)
+	for p := 0; p < parts; p++ {
+		pr := &tr.PerPackage[p]
+		pr.Package = p
+		pr.LocalBytes = fab.Pkg[p].LocalBytes
+		pr.RemoteBytes = fab.Pkg[p].RemoteBytes
+		pr.LinkFlits = fab.Pkg[p].LinkFlits
+		ms := fab.Mem(p).Stats
+		pr.DRAMBytes = ms.TotalBytes
+		acts[p] = ActivityTotals{
+			Cycles:        res.Cycles,
+			DRAMActivates: ms.RowMisses,
+			DRAMBytes:     ms.TotalBytes,
+			LinkFlits:     fab.Pkg[p].LinkFlits,
+		}
+	}
+	for _, j := range res.Jobs {
+		p := tc.PackageOfCore(j.Core)
+		pr := &tr.PerPackage[p]
+		pr.ComputeCycles += j.ComputeBusy
+		pr.CollectiveCycles += j.CollectiveCycles
+		pr.Collectives += j.Collectives
+		tr.CollectiveCycles += j.CollectiveCycles
+		tr.Collectives += j.Collectives
+		acts[p].SAMacCycles += j.Activity.SAMacCycles
+		acts[p].SATileLoads += j.Activity.SATileLoads
+		acts[p].VectorCycles += j.Activity.VectorCycles
+		acts[p].SparseCycles += j.Activity.SparseCycles
+		acts[p].SpadReadBytes += j.Activity.SpadReadBytes
+		acts[p].SpadWriteBytes += j.Activity.SpadWriteBytes
+	}
+	// Price each package with the package-local machine: its own cores for
+	// static leakage, its own stack and links for memory traffic.
+	pkgCfg := cfg
+	pkgCfg.Cores = tc.CoresPerPackage
+	for p := 0; p < parts; p++ {
+		if e := BuildEnergy(pkgCfg, acts[p]); e != nil {
+			tr.PerPackage[p].EnergyMilliJ = e.TotalMilliJ
+			tr.EnergyMilliJ += tr.PerPackage[p].EnergyMilliJ
+		}
+	}
+	return tr
+}
+
+// Text renders the per-package block of the CLI text report.
+func (t TopologyReport) Text() string {
+	var b strings.Builder
+	for _, p := range t.PerPackage {
+		fmt.Fprintf(&b, "package %d: compute %d cycles, collective %d cycles, %.1f MB local, %.1f MB remote, %d link flits",
+			p.Package, p.ComputeCycles, p.CollectiveCycles,
+			float64(p.LocalBytes)/1e6, float64(p.RemoteBytes)/1e6, p.LinkFlits)
+		if p.EnergyMilliJ > 0 {
+			fmt.Fprintf(&b, ", %.3f mJ", p.EnergyMilliJ)
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "topology %s: %d packages, %d link flits, collective %d cycles over %d regions",
+		t.Name, t.Packages, t.LinkFlits, t.CollectiveCycles, t.Collectives)
+	if t.EnergyMilliJ > 0 {
+		fmt.Fprintf(&b, ", %.3f mJ across packages", t.EnergyMilliJ)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

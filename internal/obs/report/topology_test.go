@@ -1,0 +1,105 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dram"
+	"repro/internal/npu"
+	"repro/internal/togsim"
+	"repro/internal/topo"
+)
+
+// topoFixture fakes a finished 2-package run: one rank per package with
+// distinct activity, per-package fabric counters, and per-package DRAM
+// stats, so the breakdown's attribution and sum contracts are checkable
+// without running an engine.
+func topoFixture(t *testing.T) (npu.Config, togsim.Result, *topo.Fabric) {
+	t.Helper()
+	cfg := npu.SmallConfig()
+	tc, err := topo.Preset("pkg2", cfg.Mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fab := topo.NewFabric(tc)
+	fab.LocalBytes, fab.RemoteBytes, fab.LinkFlits = 3000, 1100, 70
+	fab.Pkg[0] = topo.PackageStats{LocalBytes: 2000, RemoteBytes: 600, LinkFlits: 30}
+	fab.Pkg[1] = topo.PackageStats{LocalBytes: 1000, RemoteBytes: 500, LinkFlits: 40}
+	fab.Mem(0).Stats = dram.Stats{Reads: 10, RowMisses: 5, TotalBytes: 2600}
+	fab.Mem(1).Stats = dram.Stats{Reads: 6, RowMisses: 3, TotalBytes: 1500}
+	res := togsim.Result{
+		Cycles: 5000,
+		Jobs: []togsim.JobResult{
+			{Name: "tp.r0", Core: 0, Start: 0, End: 4000, ComputeBusy: 1500,
+				CollectiveCycles: 400, Collectives: 2,
+				Activity: togsim.Activity{SAMacCycles: 100, VectorCycles: 50}},
+			{Name: "tp.r1", Core: 1, Start: 0, End: 4100, ComputeBusy: 1400,
+				CollectiveCycles: 500, Collectives: 2,
+				Activity: togsim.Activity{SAMacCycles: 90, VectorCycles: 60}},
+		},
+		Cores: make([]togsim.CoreStats, 2),
+	}
+	return cfg, res, fab
+}
+
+// The per-package integer counters are disjoint splits of the fabric-wide
+// totals, and the topology energy is the exact ordered sum of the
+// per-package energies — the "breakdown sums exactly" contract.
+func TestTopologyBreakdownSumsExactly(t *testing.T) {
+	cfg, res, fab := topoFixture(t)
+	r := Build(cfg, Inputs{Res: res, Mem: fab.MemTotals(), LinkFlits: fab.LinkFlits, Topo: fab})
+	tr := r.Topology
+	if tr == nil || tr.Packages != 2 || len(tr.PerPackage) != 2 {
+		t.Fatalf("missing topology breakdown: %+v", tr)
+	}
+	var local, remote, flits, dramBytes int64
+	var energy float64
+	for _, p := range tr.PerPackage {
+		local += p.LocalBytes
+		remote += p.RemoteBytes
+		flits += p.LinkFlits
+		dramBytes += p.DRAMBytes
+		energy += p.EnergyMilliJ
+	}
+	if local != fab.LocalBytes || remote != fab.RemoteBytes || flits != fab.LinkFlits {
+		t.Fatalf("package traffic does not sum to fabric totals: %d/%d/%d", local, remote, flits)
+	}
+	if flits != tr.LinkFlits {
+		t.Fatalf("topology link flits %d != package sum %d", tr.LinkFlits, flits)
+	}
+	if dramBytes != fab.MemTotals().TotalBytes {
+		t.Fatalf("package DRAM bytes %d != controller sum %d", dramBytes, fab.MemTotals().TotalBytes)
+	}
+	if energy != tr.EnergyMilliJ {
+		t.Fatalf("per-package energy sum %.9f != topology energy %.9f", energy, tr.EnergyMilliJ)
+	}
+	if !cfg.Energy.IsZero() && tr.EnergyMilliJ <= 0 {
+		t.Fatal("energy table is live but topology energy is zero")
+	}
+}
+
+// Jobs land on the package owning their core; collective cycles follow.
+func TestTopologyAttributesJobsByPackage(t *testing.T) {
+	cfg, res, fab := topoFixture(t)
+	r := Build(cfg, Inputs{Res: res, Mem: fab.MemTotals(), LinkFlits: fab.LinkFlits, Topo: fab})
+	tr := r.Topology
+	p0, p1 := tr.PerPackage[0], tr.PerPackage[1]
+	if p0.ComputeCycles != 1500 || p1.ComputeCycles != 1400 {
+		t.Fatalf("compute misattributed: %d/%d", p0.ComputeCycles, p1.ComputeCycles)
+	}
+	if p0.CollectiveCycles != 400 || p1.CollectiveCycles != 500 {
+		t.Fatalf("collective cycles misattributed: %d/%d", p0.CollectiveCycles, p1.CollectiveCycles)
+	}
+	if tr.CollectiveCycles != 900 || tr.Collectives != 4 {
+		t.Fatalf("roll-up wrong: %d cycles, %d regions", tr.CollectiveCycles, tr.Collectives)
+	}
+	if r.Jobs[0].CollectiveCycles != 400 || r.Jobs[0].Collectives != 2 {
+		t.Fatalf("job report lost collective fields: %+v", r.Jobs[0])
+	}
+	txt := r.Text()
+	for _, want := range []string{"package 0:", "package 1:", "topology pkg2: 2 packages", "collectives 2 in 400 cycles"} {
+		if !strings.Contains(txt, want) {
+			t.Fatalf("text report missing %q:\n%s", want, txt)
+		}
+	}
+}

@@ -32,8 +32,10 @@ import (
 	"repro/internal/npu"
 	"repro/internal/obs"
 	"repro/internal/obs/report"
+	"repro/internal/parallel"
 	"repro/internal/service/modelzoo"
 	"repro/internal/togsim"
+	"repro/internal/topo"
 )
 
 // CompileFn resolves a model spec to its compiled artifact, reporting
@@ -58,6 +60,15 @@ type Config struct {
 
 	MaxBatch int // continuous-batch capacity (default 4)
 	KVBlock  int // KV-cache page size in tokens; decode KV lengths pad up to this (default 64)
+
+	// Topo spreads every iteration across a multi-package mesh: each
+	// prefill pass and decode step compiles the tensor-parallel rank graph
+	// and runs one rank per package over the topology fabric. The zero
+	// value (or a single-package config) keeps the single-engine path.
+	// Parallel names the strategy carried into each iteration's spec
+	// ("tensor" is the one that makes sense for serving).
+	Topo     topo.Config
+	Parallel string
 
 	EngineWorkers int   // TLS engine host goroutines per iteration (0/1 = serial)
 	MaxCycles     int64 // per-iteration deadlock guard (0 = engine default)
@@ -102,6 +113,42 @@ func PoissonTrace(seed int64, n int, ratePerSec float64, freqMHz, prompt, output
 		}
 	}
 	return reqs
+}
+
+// CtxDist is a per-request prompt-length distribution drawn at trace
+// synthesis time (nil = every request keeps the fixed prompt length).
+type CtxDist struct {
+	Lo, Hi int // uniform inclusive bounds
+}
+
+// ParseCtxDist parses the user-facing distribution syntax: "" or "fixed"
+// (nil — fixed prompts), or "uniform:lo,hi".
+func ParseCtxDist(s string) (*CtxDist, error) {
+	if s == "" || s == "fixed" {
+		return nil, nil
+	}
+	var lo, hi int
+	if n, err := fmt.Sscanf(s, "uniform:%d,%d", &lo, &hi); err != nil || n != 2 {
+		return nil, fmt.Errorf("serve: bad ctx distribution %q (want uniform:lo,hi)", s)
+	}
+	if lo < 1 || hi < lo {
+		return nil, fmt.Errorf("serve: ctx distribution bounds [%d,%d] need 1 <= lo <= hi", lo, hi)
+	}
+	return &CtxDist{Lo: lo, Hi: hi}, nil
+}
+
+// ApplyCtxDist redraws each request's prompt length from the distribution.
+// The stream is seeded independently of the arrival process (same seed,
+// different generator), so switching distributions never perturbs arrival
+// times; the same seed and distribution always yield the same prompts.
+func ApplyCtxDist(reqs []Request, d *CtxDist, seed int64) {
+	if d == nil {
+		return
+	}
+	r := rand.New(rand.NewSource(seed ^ 0x637864697374)) // "ctxdist"
+	for i := range reqs {
+		reqs[i].Prompt = d.Lo + r.Intn(d.Hi-d.Lo+1)
+	}
 }
 
 // reqState is one admitted request's progress.
@@ -263,9 +310,15 @@ func (s *runState) decode(batch, kvLen int, at int64) (int64, error) {
 // standalone run, so iteration cycles are bit-identical to ptsim's. It
 // returns the iteration's activity totals for phase energy accounting.
 func (s *runState) iterate(spec modelzoo.Spec, at int64) (int64, report.ActivityTotals, bool, error) {
+	if s.cfg.Topo.Packages() > 1 {
+		spec.Topology, spec.Parallel = s.cfg.Topo.Name, s.cfg.Parallel
+	}
 	comp, hit, err := s.cfg.Compile(spec)
 	if err != nil {
 		return 0, report.ActivityTotals{}, false, err
+	}
+	if s.cfg.Topo.Packages() > 1 {
+		return s.iterateTopo(comp, at, hit)
 	}
 	setup := togsim.NewStandard(s.cfg.NPU, s.cfg.Net, dram.FRFCFS)
 	if s.cfg.MaxCycles > 0 {
@@ -282,6 +335,35 @@ func (s *runState) iterate(spec modelzoo.Spec, at int64) (int64, report.Activity
 		return 0, report.ActivityTotals{}, hit, err
 	}
 	return res.Cycles, report.Totals(res, setup.MemStats(), setup.NetFlits(), 0), hit, nil
+}
+
+// iterateTopo runs one iteration's rank graph across the packages of the
+// serving topology: one rank per package around the collective ring, on a
+// fresh topology fabric — the multi-package twin of the single-engine path
+// (also deterministic, so the serve-determinism oracle covers it).
+func (s *runState) iterateTopo(comp *compiler.Compiled, at int64, hit bool) (int64, report.ActivityTotals, bool, error) {
+	jobs, err := parallel.PlaceJobs(comp.Name, comp, s.cfg.Topo)
+	if err != nil {
+		return 0, report.ActivityTotals{}, hit, err
+	}
+	cfg := s.cfg.NPU
+	cfg.Cores = s.cfg.Topo.TotalCores()
+	fab := topo.NewFabric(s.cfg.Topo)
+	eng := togsim.NewEngine(cfg, fab)
+	if s.cfg.MaxCycles > 0 {
+		eng.MaxCycles = s.cfg.MaxCycles
+	}
+	eng.Workers = s.cfg.EngineWorkers
+	if s.cfg.Probe != nil {
+		p := obs.OffsetProbe{Base: s.cfg.Probe, Delta: at}
+		eng.Probe = p
+		fab.Probe = p
+	}
+	res, err := eng.Run(jobs)
+	if err != nil {
+		return 0, report.ActivityTotals{}, hit, err
+	}
+	return res.Cycles, report.Totals(res, fab.MemTotals(), 0, fab.LinkFlits), hit, nil
 }
 
 // report assembles the final ServeReport (no host time: deterministic).

@@ -10,18 +10,21 @@ import (
 	"repro/internal/serve"
 	"repro/internal/service/modelzoo"
 	"repro/internal/togsim"
+	"repro/internal/topo"
 )
 
 // memoCompile is the minimal content-addressed compile path for tests: one
 // compiler, results memoized by normalized spec. It mirrors the service
 // cache's hit/miss semantics and exposes MeasureCount directly.
 type memoCompile struct {
+	cfg  npu.Config
 	comp *compiler.Compiler
 	memo map[string]*compiler.Compiled
 }
 
 func newMemoCompile(cfg npu.Config) *memoCompile {
 	return &memoCompile{
+		cfg:  cfg,
 		comp: compiler.New(cfg, compiler.DefaultOptions()),
 		memo: map[string]*compiler.Compiled{},
 	}
@@ -32,7 +35,7 @@ func (m *memoCompile) fn(spec modelzoo.Spec) (*compiler.Compiled, bool, error) {
 	if c, ok := m.memo[key]; ok {
 		return c, true, nil
 	}
-	g, err := modelzoo.BuildGraph(spec)
+	g, err := modelzoo.BuildFor(spec, m.cfg.Mem)
 	if err != nil {
 		return nil, false, err
 	}
@@ -189,4 +192,70 @@ type report1 struct {
 	Tokens  int64
 	TTFTp99 float64
 	TPOTp50 float64
+}
+
+// Prompt lengths drawn from a seeded distribution are deterministic, stay
+// within bounds, and never perturb the arrival process.
+func TestCtxDistSeededDraws(t *testing.T) {
+	if d, err := serve.ParseCtxDist(""); err != nil || d != nil {
+		t.Fatalf("empty dist should be fixed prompts, got %v, %v", d, err)
+	}
+	for _, bad := range []string{"uniform:8", "uniform:0,4", "uniform:9,3", "zipf:1,2"} {
+		if _, err := serve.ParseCtxDist(bad); err == nil {
+			t.Fatalf("ParseCtxDist(%q) should fail", bad)
+		}
+	}
+	d, err := serve.ParseCtxDist("uniform:4,12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := serve.PoissonTrace(7, 16, 2e5, 940, 8, 3)
+	b := serve.PoissonTrace(7, 16, 2e5, 940, 8, 3)
+	serve.ApplyCtxDist(a, d, 7)
+	serve.ApplyCtxDist(b, d, 7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed and distribution must yield the same trace")
+	}
+	varied := false
+	for i, r := range a {
+		if r.Prompt < 4 || r.Prompt > 12 {
+			t.Fatalf("request %d prompt %d outside [4,12]", i, r.Prompt)
+		}
+		if r.Prompt != 8 {
+			varied = true
+		}
+		if r.Arrival != b[i].Arrival {
+			t.Fatal("distribution draw perturbed arrivals")
+		}
+	}
+	if !varied {
+		t.Fatal("uniform:4,12 never varied the prompt length")
+	}
+}
+
+// Serving a tensor-parallel decoder over two packages: every iteration
+// runs one rank per package, the run completes, and the seeded scenario
+// reproduces exactly — the determinism the oracle checks, now through the
+// topology fabric.
+func TestServeTensorParallelDeterministic(t *testing.T) {
+	run := func() report1 {
+		cfg, _ := tinyConfig(t)
+		tc, err := topo.Preset("pkg2", cfg.NPU.Mem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Topo, cfg.Parallel = tc, "tensor"
+		reqs := serve.PoissonTrace(5, 2, 2e5, cfg.NPU.FreqMHz, 4, 2)
+		rep, err := serve.Run(cfg, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Requests != 2 || rep.TokensOut != 4 {
+			t.Fatalf("serving run lost requests: %+v", rep)
+		}
+		return report1{rep.Cycles, rep.TokensOut, rep.TTFTp99Ms, rep.TPOTp50Ms}
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic tensor-parallel serving: %+v vs %+v", a, b)
+	}
 }

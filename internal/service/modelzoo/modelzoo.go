@@ -14,6 +14,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/nn"
 	"repro/internal/npu"
+	"repro/internal/parallel"
+	"repro/internal/topo"
 )
 
 // Spec identifies a built-in workload by name and shape. The zero values
@@ -26,6 +28,14 @@ type Spec struct {
 	Seq     int    // sequence length (BERT models, default 512)
 	Ctx     int    // context length (decoder models, default 128)
 	Prefill bool   // decoder models: prompt pass instead of a decode step
+
+	// Topology names the topo.Preset the workload targets (default
+	// "single"); Parallel selects the cross-package strategy
+	// (none|data|tensor). Both are part of the canonical spec — the same
+	// model compiled for different topologies or strategies is a different
+	// artifact, so compile caches must key on them.
+	Topology string
+	Parallel string
 }
 
 // Normalize fills defaults and drops shape parameters the model ignores,
@@ -53,6 +63,12 @@ func (s Spec) Normalize() Spec {
 		s.N, s.Seq = 0, 0
 	default:
 		s.N, s.Seq, s.Ctx, s.Prefill = 0, 0, 0, false
+	}
+	if s.Topology == "" {
+		s.Topology = "single"
+	}
+	if s.Parallel == "" || s.Topology == "single" {
+		s.Parallel = string(parallel.None)
 	}
 	return s
 }
@@ -110,6 +126,75 @@ func BuildGraph(s Spec) (*graph.Graph, error) {
 	default:
 		return nil, fmt.Errorf("modelzoo: unknown model %q (have %v)", s.Model, Models())
 	}
+}
+
+// Topology resolves the spec's topology preset against the target NPU's
+// memory system (the monolithic HBM stack splits across packages).
+func Topology(s Spec, mem npu.MemConfig) (topo.Config, error) {
+	return topo.Preset(s.Normalize().Topology, mem)
+}
+
+// decoderConfig resolves a decoder spec's nn config (decoder models only).
+func decoderConfig(s Spec) (nn.DecoderConfig, bool) {
+	switch s.Model {
+	case "decoder-tiny":
+		return nn.DecoderTinyConfig(s.Batch, s.Ctx, s.Prefill), true
+	case "decoder-small":
+		return nn.DecoderSmallConfig(s.Batch, s.Ctx, s.Prefill), true
+	case "decoder-base":
+		return nn.DecoderBaseConfig(s.Batch, s.Ctx, s.Prefill), true
+	}
+	return nn.DecoderConfig{}, false
+}
+
+// BuildRankGraph captures the rank-0-normalized per-rank graph for a spec
+// spread over `parts` packages: the plain graph when the strategy is none
+// (or parts is 1), the replicated graph plus output all-reduce for data
+// parallelism, and the Megatron-sharded decoder for tensor parallelism.
+// One compile of this graph serves every rank (parallel.PlaceJobs rotates
+// the placement).
+func BuildRankGraph(s Spec, parts int) (*graph.Graph, error) {
+	s = s.Normalize()
+	strat, err := parallel.ParseStrategy(s.Parallel)
+	if err != nil {
+		return nil, err
+	}
+	if parts <= 1 || strat == parallel.None {
+		return BuildGraph(s)
+	}
+	switch strat {
+	case parallel.Data:
+		g, err := BuildGraph(s)
+		if err != nil {
+			return nil, err
+		}
+		return parallel.DataParallel(g, parts), nil
+	case parallel.Tensor:
+		cfg, ok := decoderConfig(s)
+		if !ok {
+			return nil, fmt.Errorf("modelzoo: tensor parallelism supports decoder models, not %q", s.Model)
+		}
+		if cfg.Heads%parts != 0 || cfg.FFN%parts != 0 {
+			return nil, fmt.Errorf("modelzoo: %s (heads=%d, ffn=%d) does not shard %d ways",
+				s.Model, cfg.Heads, cfg.FFN, parts)
+		}
+		return nn.DecoderTP(cfg, parts).Graph, nil
+	default:
+		return nil, fmt.Errorf("modelzoo: unknown strategy %q", s.Parallel)
+	}
+}
+
+// BuildFor captures the graph a spec compiles to on a machine with the
+// given memory system: the plain model graph on single-package topologies,
+// the rank-0-normalized per-rank graph (one rank per package) otherwise.
+// Every compile path — CLI, service cache, serving iterations — funnels
+// through this so a spec always means the same artifact.
+func BuildFor(s Spec, mem npu.MemConfig) (*graph.Graph, error) {
+	tc, err := Topology(s, mem)
+	if err != nil {
+		return nil, err
+	}
+	return BuildRankGraph(s, tc.Packages())
 }
 
 // NPUConfig resolves a named target NPU ("" and "tpuv3" → the paper's

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -26,10 +28,12 @@ import (
 	"repro/internal/npu"
 	"repro/internal/obs/metrics"
 	"repro/internal/obs/report"
+	"repro/internal/parallel"
 	"repro/internal/serve"
 	"repro/internal/service/cache"
 	"repro/internal/service/modelzoo"
 	"repro/internal/togsim"
+	"repro/internal/topo"
 )
 
 // OverloadError is the typed admission-control failure: the queue was full
@@ -52,12 +56,18 @@ type JobSpec struct {
 	Seq   int    `json:"seq,omitempty"` // BERT sequence length
 	// Ctx/Prefill shape the decoder models: context length and whether to
 	// run the prompt prefill pass instead of a single decode step.
-	Ctx     int    `json:"ctx,omitempty"`
-	Prefill bool   `json:"prefill,omitempty"`
-	NPU     string `json:"npu,omitempty"`    // "tpuv3" (default) or "small"
-	Net     string `json:"net,omitempty"`    // "sn" (default) or "cn"
-	DMA     string `json:"dma,omitempty"`    // "selective" (default), "coarse", "fine"
-	MaxMt   int    `json:"max_mt,omitempty"` // cap on M-tile rows (0 = compiler default)
+	Ctx     int  `json:"ctx,omitempty"`
+	Prefill bool `json:"prefill,omitempty"`
+	// Topology/Parallel spread the job across a multi-package mesh:
+	// topology preset name ("single" default, "pkg2", "meshXxY") and
+	// cross-package strategy ("none" default, "data", "tensor"). Both enter
+	// the compile-cache key via the canonical spec.
+	Topology string `json:"topology,omitempty"`
+	Parallel string `json:"parallel,omitempty"`
+	NPU      string `json:"npu,omitempty"`    // "tpuv3" (default) or "small"
+	Net      string `json:"net,omitempty"`    // "sn" (default) or "cn"
+	DMA      string `json:"dma,omitempty"`    // "selective" (default), "coarse", "fine"
+	MaxMt    int    `json:"max_mt,omitempty"` // cap on M-tile rows (0 = compiler default)
 	// Fusion/ConvOpt are tri-state so that absent JSON fields keep the
 	// paper's defaults (both enabled).
 	Fusion  *bool `json:"fusion,omitempty"`
@@ -89,6 +99,10 @@ type ServeSpec struct {
 	Output     int     `json:"output,omitempty"`       // generated tokens per request (default 8)
 	MaxBatch   int     `json:"max_batch,omitempty"`    // continuous-batch capacity (default 4)
 	KVBlock    int     `json:"kv_block,omitempty"`     // KV-cache page size in tokens (default 64)
+	// CtxDist draws each request's prompt length from a seeded
+	// distribution instead of the fixed Prompt: "" or "fixed" (default),
+	// or "uniform:lo,hi".
+	CtxDist string `json:"ctx_dist,omitempty"`
 }
 
 func (sv ServeSpec) withDefaults() ServeSpec {
@@ -119,12 +133,17 @@ func (sv ServeSpec) withDefaults() ServeSpec {
 // resolve maps the wire spec onto the internal compile/simulate inputs.
 func (s JobSpec) resolve() (resolved, error) {
 	var r resolved
-	r.Spec = modelzoo.Spec{Model: s.Model, Batch: s.Batch, N: s.N, Seq: s.Seq, Ctx: s.Ctx, Prefill: s.Prefill}.Normalize()
+	r.Spec = modelzoo.Spec{Model: s.Model, Batch: s.Batch, N: s.N, Seq: s.Seq, Ctx: s.Ctx, Prefill: s.Prefill,
+		Topology: s.Topology, Parallel: s.Parallel}.Normalize()
 	cfg, err := modelzoo.NPUConfig(s.NPU)
 	if err != nil {
 		return r, err
 	}
 	r.Cfg = cfg
+	r.Topo, err = modelzoo.Topology(r.Spec, cfg.Mem)
+	if err != nil {
+		return r, err
+	}
 	switch s.Net {
 	case "", "sn":
 		r.Net = togsim.SimpleNet
@@ -166,9 +185,15 @@ func (s JobSpec) resolve() (resolved, error) {
 		if !strings.HasPrefix(s.Model, "decoder-") {
 			return r, fmt.Errorf("service: serve jobs need a decoder model, got %q", s.Model)
 		}
+		if r.Topo.Packages() > 1 && r.Spec.Parallel != string(parallel.Tensor) {
+			return r, fmt.Errorf("service: multi-package serving requires tensor parallelism, got %q", r.Spec.Parallel)
+		}
 		if s.Serve.Requests < 0 || s.Serve.Prompt < 0 || s.Serve.Output < 0 ||
 			s.Serve.MaxBatch < 0 || s.Serve.KVBlock < 0 || s.Serve.RatePerSec < 0 {
 			return r, fmt.Errorf("service: negative serve parameter in %+v", *s.Serve)
+		}
+		if _, err := serve.ParseCtxDist(s.Serve.CtxDist); err != nil {
+			return r, err
 		}
 		sv := s.Serve.withDefaults()
 		r.Serve = &sv
@@ -178,6 +203,7 @@ func (s JobSpec) resolve() (resolved, error) {
 
 type resolved struct {
 	Spec          modelzoo.Spec
+	Topo          topo.Config
 	Cfg           npu.Config
 	Opts          compiler.Options
 	Net           togsim.NetKind
@@ -285,6 +311,13 @@ type Stats struct {
 	// job's NPU config carries a non-zero energy table.
 	EnergyJoules map[string]float64 `json:"energy_joules,omitempty"`
 
+	// PackageEnergyJoules accumulates multi-package jobs' per-package
+	// energy, keyed by package index as a string (exported on /metrics as
+	// ptsimd_package_energy_joules_total{package="<i>"}; the unit-class
+	// split of the same joules stays in EnergyJoules). Empty until a
+	// multi-package job finishes.
+	PackageEnergyJoules map[string]float64 `json:"package_energy_joules,omitempty"`
+
 	// WindowRounds/SerialRounds/WindowedCycles accumulate the parallel
 	// engine's scheduling split over finished jobs (all zero for serial
 	// runs; see togsim.RoundStats).
@@ -318,6 +351,7 @@ type Service struct {
 	serveTokens int64
 
 	energyJ        map[string]float64 // cumulative joules by unit class
+	pkgEnergyJ     map[string]float64 // cumulative joules by package index
 	windowRounds   int64              // parallel-engine scheduling split,
 	serialRounds   int64              // summed over finished jobs
 	windowedCycles int64
@@ -423,6 +457,25 @@ func (s *Service) collect(e *metrics.Emitter) {
 		e.CounterVec("ptsimd_energy_joules_total",
 			"Post-hoc simulated energy of finished jobs by unit class.",
 			"unit", samples)
+	}
+	if len(st.PackageEnergyJoules) > 0 {
+		// Sorted numeric package order keeps the scrape byte-stable.
+		keys := make([]string, 0, len(st.PackageEnergyJoules))
+		for k := range st.PackageEnergyJoules {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			a, _ := strconv.Atoi(keys[i])
+			b, _ := strconv.Atoi(keys[j])
+			return a < b
+		})
+		samples := make([]metrics.LabeledSample, 0, len(keys))
+		for _, k := range keys {
+			samples = append(samples, metrics.LabeledSample{Label: k, Value: st.PackageEnergyJoules[k]})
+		}
+		e.CounterVec("ptsimd_package_energy_joules_total",
+			"Post-hoc simulated energy of finished multi-package jobs by package.",
+			"package", samples)
 	}
 	e.Gauge("ptsimd_engine_window_rounds", "Parallel-engine window rounds summed over finished jobs.", float64(st.WindowRounds))
 	e.Gauge("ptsimd_engine_serial_rounds", "Parallel-engine serial fallback rounds summed over finished jobs.", float64(st.SerialRounds))
@@ -550,6 +603,12 @@ func (s *Service) Stats() Stats {
 			st.EnergyJoules[k] = v
 		}
 	}
+	if len(s.pkgEnergyJ) > 0 {
+		st.PackageEnergyJoules = make(map[string]float64, len(s.pkgEnergyJ))
+		for k, v := range s.pkgEnergyJ {
+			st.PackageEnergyJoules[k] = v
+		}
+	}
 	st.DiskHits, st.DiskMisses = s.cache.StoreStats()
 	return st
 }
@@ -571,6 +630,23 @@ func (s *Service) accountRun(e *report.EnergyReport, rounds togsim.RoundStats) {
 	}
 	for _, u := range e.UnitMilliJ() {
 		s.energyJ[u.Unit] += u.MJ / 1e3
+	}
+}
+
+// accountPackages folds a multi-package run's per-package energy into the
+// cumulative counters behind ptsimd_package_energy_joules_total. No-op for
+// nil breakdowns or zero energy tables.
+func (s *Service) accountPackages(t *report.TopologyReport) {
+	if t == nil || t.EnergyMilliJ == 0 {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pkgEnergyJ == nil {
+		s.pkgEnergyJ = map[string]float64{}
+	}
+	for _, p := range t.PerPackage {
+		s.pkgEnergyJ[fmt.Sprintf("%d", p.Package)] += p.EnergyMilliJ / 1e3
 	}
 }
 
@@ -629,7 +705,7 @@ func (s *Service) simulate(spec JobSpec) (JobResult, error) {
 	key := CompileKey(r.Spec, r.Cfg, r.Opts)
 	compileStart := time.Now()
 	comp, hit, err := s.cache.Compile(key, r.Cfg, r.Opts, func() (*graph.Graph, error) {
-		return modelzoo.BuildGraph(r.Spec)
+		return modelzoo.BuildFor(r.Spec, r.Cfg.Mem)
 	})
 	if err != nil {
 		return JobResult{}, err
@@ -644,6 +720,9 @@ func (s *Service) simulate(spec JobSpec) (JobResult, error) {
 	compileMs := float64(time.Since(compileStart)) / 1e6
 	if hit {
 		compileMs = 0
+	}
+	if r.Topo.Packages() > 1 {
+		return s.simulateTopo(r, comp, key, hit, compileMs)
 	}
 
 	setup := togsim.NewStandard(r.Cfg, r.Net, dram.FRFCFS)
@@ -684,6 +763,58 @@ func (s *Service) simulate(spec JobSpec) (JobResult, error) {
 	}, nil
 }
 
+// simulateTopo is the multi-package tail of simulate: place one rank of
+// the compiled artifact per package, run them on a topology fabric (same
+// engine-worker and deadlock-guard knobs as a single-package job), and
+// report with the per-package breakdown attached.
+func (s *Service) simulateTopo(r resolved, comp *compiler.Compiled, key string, hit bool, compileMs float64) (JobResult, error) {
+	jobs, err := parallel.PlaceJobs(comp.Name, comp, r.Topo)
+	if err != nil {
+		return JobResult{}, err
+	}
+	cfg := r.Cfg
+	cfg.Cores = r.Topo.TotalCores()
+	fab := topo.NewFabric(r.Topo)
+	eng := togsim.NewEngine(cfg, fab)
+	eng.MaxCycles = r.MaxCycles
+	if eng.MaxCycles == 0 {
+		eng.MaxCycles = s.cfg.MaxCycles
+	}
+	if r.NodesPerCycle > 0 {
+		eng.NodesPerCycle = r.NodesPerCycle
+	}
+	eng.Workers = r.EngineWorkers
+	if eng.Workers == 0 {
+		eng.Workers = s.cfg.EngineWorkers
+	}
+	start := time.Now()
+	res, err := eng.Run(jobs)
+	if err != nil {
+		return JobResult{}, err
+	}
+	wall := time.Since(start)
+	rep := report.Build(cfg, report.Inputs{
+		Res:       res,
+		Mem:       fab.MemTotals(),
+		LinkFlits: fab.LinkFlits,
+		Rounds:    eng.Rounds,
+		Wall:      wall,
+		Topo:      fab,
+	})
+	s.accountRun(rep.Energy, eng.Rounds)
+	s.accountPackages(rep.Topology)
+	return JobResult{
+		Cycles:      res.Cycles,
+		FreqMHz:     cfg.FreqMHz,
+		SimulatedMs: float64(res.Cycles) / float64(cfg.FreqMHz) / 1e3,
+		WallMs:      float64(wall) / 1e6,
+		CompileMs:   compileMs,
+		CacheHit:    hit,
+		CompileKey:  key,
+		Report:      &rep,
+	}, nil
+}
+
 // ServeCompileFn adapts the service's content-addressed compile cache to
 // the serving loop's compile interface: every prefill pass and decode step
 // resolves through the same CompileKey path as a plain job, with hits and
@@ -692,7 +823,7 @@ func (s *Service) ServeCompileFn(cfg npu.Config, opts compiler.Options) serve.Co
 	return func(spec modelzoo.Spec) (*compiler.Compiled, bool, error) {
 		key := CompileKey(spec, cfg, opts)
 		comp, hit, err := s.cache.Compile(key, cfg, opts, func() (*graph.Graph, error) {
-			return modelzoo.BuildGraph(spec)
+			return modelzoo.BuildFor(spec, cfg.Mem)
 		})
 		if err == nil {
 			s.mu.Lock()
@@ -730,7 +861,15 @@ func (s *Service) runServe(r resolved) (JobResult, error) {
 		MaxCycles:     maxCycles,
 		Compile:       s.ServeCompileFn(r.Cfg, r.Opts),
 	}
+	if r.Topo.Packages() > 1 {
+		cfg.Topo, cfg.Parallel = r.Topo, r.Spec.Parallel
+	}
 	reqs := serve.PoissonTrace(sv.Seed, sv.Requests, sv.RatePerSec, r.Cfg.FreqMHz, sv.Prompt, sv.Output)
+	dist, err := serve.ParseCtxDist(sv.CtxDist)
+	if err != nil {
+		return JobResult{}, err
+	}
+	serve.ApplyCtxDist(reqs, dist, sv.Seed)
 	start := time.Now()
 	rep, err := serve.Run(cfg, reqs)
 	if err != nil {

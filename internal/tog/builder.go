@@ -82,6 +82,28 @@ func (b *Builder) ComputeKeyed(unit Unit, key string) *Builder {
 	return b.add(Node{Kind: Compute, Unit: unit, LatKey: key})
 }
 
+// BeginCollective emits a collective region-begin marker of the given
+// collective kind (AllReduce, AllGather, or ReduceScatter) over `parts`
+// ring participants, with the local buffer `tensor`, the ring
+// predecessor's aliased buffer `peer`, and a per-rank payload in bytes.
+// The caller emits the expanded primitive schedule next, then
+// EndCollective. Both tensors are declared as a side effect.
+func (b *Builder) BeginCollective(kind Kind, tensor, peer string, parts int, payload int64) *Builder {
+	if !IsCollective(kind) {
+		panic(fmt.Sprintf("tog: BeginCollective with non-collective kind %q", kind))
+	}
+	b.DeclareTensor(tensor)
+	if peer != "" {
+		b.DeclareTensor(peer)
+	}
+	return b.add(Node{Kind: kind, Tensor: tensor, Peer: peer, Parts: parts, Payload: payload, Expanded: true})
+}
+
+// EndCollective closes the open collective region.
+func (b *Builder) EndCollective() *Builder {
+	return b.add(Node{Kind: CollEnd})
+}
+
 // SetTileLatency records an offline-measured per-tile latency.
 func (b *Builder) SetTileLatency(key string, cycles int64) *Builder {
 	b.g.TileLatencies[key] = cycles

@@ -30,7 +30,26 @@ const (
 	LoadDMA   Kind = "loadDMA"
 	StoreDMA  Kind = "storeDMA"
 	WaitDMA   Kind = "waitDMA"
+
+	// Collective region markers. A collective op is lowered (ring schedule,
+	// see compiler.lowerCollective) into a begin marker of one of the three
+	// collective kinds, the expanded DMA/compute primitive schedule that
+	// actually moves and reduces the data, and a collEnd marker. The
+	// markers execute in zero cycles; the engine uses them only to
+	// attribute the enclosed cycles to collective communication. Because
+	// the primitives between the markers are ordinary TOG nodes, the
+	// collectives run — and stay bit-identical — under the event-driven,
+	// strict-tick, and parallel engines with no engine special-casing.
+	AllReduce     Kind = "all_reduce"
+	AllGather     Kind = "all_gather"
+	ReduceScatter Kind = "reduce_scatter"
+	CollEnd       Kind = "collEnd"
 )
+
+// IsCollective reports whether k is a collective region-begin marker.
+func IsCollective(k Kind) bool {
+	return k == AllReduce || k == AllGather || k == ReduceScatter
+}
 
 // Unit names the compute unit a compute node occupies; the paper captures
 // vector and matrix unit latencies separately (§3.7).
@@ -97,6 +116,18 @@ type Node struct {
 
 	// DMA scratchpad-side placement (offset into the context's spad slice).
 	SpadOff int64 `json:"spadOff,omitempty"`
+
+	// Collective markers: Parts is the ring size (participating shards),
+	// Payload the per-rank payload in bytes, Tensor the local buffer, and
+	// Peer the declared tensor aliasing the ring predecessor's buffer
+	// (bound to the neighbouring package's memory at job placement).
+	// Expanded records that the lowering emitted the primitive schedule
+	// between this marker and its collEnd — the engine refuses unexpanded
+	// collectives rather than silently skipping the communication.
+	Parts    int    `json:"parts,omitempty"`
+	Payload  int64  `json:"payload,omitempty"`
+	Peer     string `json:"peer,omitempty"`
+	Expanded bool   `json:"expanded,omitempty"`
 }
 
 // TOG is a complete tile operation graph for one compiled kernel or model
@@ -126,6 +157,7 @@ func (g *TOG) Validate() error {
 		tensors[t] = true
 	}
 	seenTags := map[int]bool{}
+	inColl, collDepth := false, 0
 	var loopStack []string
 	for i, n := range g.Nodes {
 		switch n.Kind {
@@ -173,12 +205,40 @@ func (g *TOG) Validate() error {
 			if !seenTags[n.Tag] {
 				return fmt.Errorf("tog: node %d: waitDMA on tag %d with no preceding DMA", i, n.Tag)
 			}
+		case AllReduce, AllGather, ReduceScatter:
+			if inColl {
+				return fmt.Errorf("tog: node %d: nested collective", i)
+			}
+			if n.Parts < 2 {
+				return fmt.Errorf("tog: node %d: collective over %d parts", i, n.Parts)
+			}
+			if n.Payload < 4 {
+				return fmt.Errorf("tog: node %d: collective payload %d bytes", i, n.Payload)
+			}
+			if !tensors[n.Tensor] {
+				return fmt.Errorf("tog: node %d: collective references undeclared tensor %q", i, n.Tensor)
+			}
+			if n.Peer != "" && !tensors[n.Peer] {
+				return fmt.Errorf("tog: node %d: collective references undeclared peer tensor %q", i, n.Peer)
+			}
+			inColl, collDepth = true, depth
+		case CollEnd:
+			if !inColl {
+				return fmt.Errorf("tog: node %d: collEnd without a collective begin", i)
+			}
+			if depth != collDepth {
+				return fmt.Errorf("tog: node %d: collEnd crosses loop boundaries", i)
+			}
+			inColl = false
 		default:
 			return fmt.Errorf("tog: node %d: unknown kind %q", i, n.Kind)
 		}
 	}
 	if depth != 0 {
 		return fmt.Errorf("tog: %d unclosed loops", depth)
+	}
+	if inColl {
+		return fmt.Errorf("tog: unclosed collective region")
 	}
 	return nil
 }
@@ -254,6 +314,9 @@ func (g *TOG) CollectStats() (Stats, error) {
 				s.StoreBytes += int64(n.Desc.TotalBytes())
 			case WaitDMA:
 				s.WaitNodes++
+			case AllReduce, AllGather, ReduceScatter, CollEnd:
+				// Zero-cycle markers; the enclosed primitives are counted
+				// as ordinary nodes.
 			}
 		}
 		return nil

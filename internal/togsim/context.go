@@ -41,6 +41,12 @@ type context struct {
 	blockedSince int64 // first cycle of the current DMA stall, -1 when none
 	dmaBytes     int64
 
+	// Collective accounting: cycles spent between a collective region
+	// marker and its collEnd (timestamp-based, like the classes above).
+	collStart  int64 // cycle the open collective region began, -1 when none
+	collCycles int64
+	collCount  int64
+
 	// Per-unit activity counters (always on; same timestamp-based
 	// discipline as the cycle classes, copied to JobResult.Activity).
 	act Activity
@@ -78,6 +84,7 @@ func newContext(j *Job, coreID, budget, burst int, probe obs.Probe) *context {
 		waitTag:      -1,
 		oldestIssue:  -1,
 		blockedSince: -1,
+		collStart:    -1,
 		probe:        probe,
 	}
 	if probe != nil {
@@ -361,6 +368,24 @@ func (c *context) step(cycle int64, cs *coreState, fabric Fabric) error {
 				c.block(cycle)
 				return nil
 			}
+		case tog.AllReduce, tog.AllGather, tog.ReduceScatter:
+			// Region marker: the compiler already expanded the ring schedule
+			// between here and the matching collEnd, so execution just opens
+			// the attribution window. An unexpanded marker means the graph
+			// skipped the lowering pass — that is a compile bug, not a
+			// runtime condition, so abort loudly.
+			if !n.Expanded {
+				return fmt.Errorf("togsim: unexpanded collective %q in %q", n.Kind, g.Name)
+			}
+			c.collStart = cycle
+			c.pc++
+		case tog.CollEnd:
+			if c.collStart >= 0 {
+				c.collCycles += cycle - c.collStart
+				c.collStart = -1
+				c.collCount++
+			}
+			c.pc++
 		}
 	}
 	return nil

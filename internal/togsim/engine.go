@@ -70,12 +70,18 @@ func (a *Activity) Add(b Activity) {
 // compare them bit-for-bit).
 type JobResult struct {
 	Name        string
+	Core        int // engine core the job ran on
 	Start, End  int64
 	ComputeBusy int64 // cycles any compute node of this job was executing
 	UnitWait    int64 // cycles compute nodes queued for a busy unit
 	DMAWait     int64 // cycles blocked on DMA: wait nodes, drains, backpressure
 	DMABytes    int64
 	Activity    Activity
+	// Collective accounting: cycles spent inside collective regions
+	// (all_reduce/all_gather/reduce_scatter markers to their collEnd) and
+	// how many regions ran. Zero for jobs without collectives.
+	CollectiveCycles int64
+	Collectives      int64
 }
 
 // CoreStats reports one core's compute-unit busy cycles.
@@ -245,7 +251,7 @@ func (e *Engine) prepare(jobs []*Job) ([]*coreState, map[*Job]*JobResult, error)
 			}
 		}
 		cores[j.Core].queue = append(cores[j.Core].queue, j)
-		results[j] = &JobResult{Name: j.Name, Start: -1}
+		results[j] = &JobResult{Name: j.Name, Core: j.Core, Start: -1}
 	}
 	return cores, results, nil
 }
@@ -278,6 +284,8 @@ func (e *Engine) stepCore(ci int, cs *coreState, cycle int64, fabric Fabric,
 			r.DMAWait = ctx.dmaWait
 			r.DMABytes = ctx.dmaBytes
 			r.Activity = ctx.act
+			r.CollectiveCycles = ctx.collCycles
+			r.Collectives = ctx.collCount
 			*remaining--
 			if probe != nil {
 				probe.Span(obs.CoreTrack(ci, obs.LaneJobs), ctx.job.Name,

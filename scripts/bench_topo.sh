@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# bench_topo: the multi-package scaling benchmark (BENCH_topo.json in the
+# repo root). Runs a decoder-small decode iteration over packages {1,2,4}
+# x parallelism {data,tensor} via `ptsim -json` and reports each point's
+# cycles per generated token and mJ per token, plus the link traffic and
+# collective-time share behind them. Data parallelism replicates the model
+# (P packages decode P tokens per step, paying an output all_reduce);
+# tensor parallelism shards one model Megatron-style (1 token per step,
+# paying two all_reduces per layer) — the throughput-vs-latency trade the
+# topology layer exists to measure.
+#
+# All runs share one -cache-dir, so kernel latencies measured once are
+# reused across the sweep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=BENCH_topo.json
+model=${MODEL:-decoder-small}
+ctx=${CTX:-128}
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+echo "bench_topo: building ptsim"
+go build -o "$tmp/ptsim" ./cmd/ptsim
+
+run_point() { # idx packages topology parallel
+  local idx=$1 packages=$2 topology=$3 par=$4
+  echo "bench_topo: $model decode ctx=$ctx on $topology ($par)"
+  "$tmp/ptsim" -model "$model" -ctx "$ctx" -topology "$topology" -parallel "$par" \
+    -cache-dir "$tmp/cache" -json 2>"$tmp/iter.log" >"$tmp/point_$idx.json"
+  echo "{\"packages\": $packages, \"parallel\": \"$par\"}" >"$tmp/point_${idx}_meta.json"
+}
+
+run_point 0 1 single none
+run_point 1 2 pkg2 data
+run_point 2 2 pkg2 tensor
+run_point 3 4 mesh2x2 data
+run_point 4 4 mesh2x2 tensor
+
+python3 - "$tmp" "$out" "$model" "$ctx" <<'EOF'
+import glob, json, os, sys
+tmp, out, model, ctx = sys.argv[1], sys.argv[2], sys.argv[3], int(sys.argv[4])
+
+points = []
+for meta_path in sorted(glob.glob(os.path.join(tmp, "point_*_meta.json")),
+                        key=lambda p: int(p.split("_")[-2])):
+    meta = json.load(open(meta_path))
+    rep = json.load(open(meta_path.replace("_meta", "")))
+    en = rep.get("energy")
+    if not en or en["total_mj"] <= 0:
+        sys.exit(f"bench_topo: FAIL: no energy for {meta}")
+    # One decode step generates one token per model replica: P tokens for
+    # data parallelism, 1 for tensor (and for the single-package baseline).
+    tokens = meta["packages"] if meta["parallel"] == "data" else 1
+    topo = rep.get("topology") or {}
+    if meta["packages"] > 1 and topo.get("link_flits", 0) <= 0:
+        sys.exit(f"bench_topo: FAIL: multi-package point moved no link flits: {meta}")
+    points.append({
+        **meta,
+        "cycles": rep["cycles"],
+        "tokens_per_step": tokens,
+        "cycles_per_token": round(rep["cycles"] / tokens, 1),
+        "total_mj": en["total_mj"],
+        "mj_per_token": round(en["total_mj"] / tokens, 6),
+        "link_flits": topo.get("link_flits", 0),
+        "collective_cycles": topo.get("collective_cycles", 0),
+        "collective_frac": round(topo.get("collective_cycles", 0) /
+                                 (rep["cycles"] * max(meta["packages"], 1)), 4),
+    })
+
+base = next(p for p in points if p["packages"] == 1)
+summary = {"model": model, "ctx": ctx, "points": points}
+json.dump(summary, open(out, "w"), indent=2)
+for p in points:
+    speed = base["cycles_per_token"] / p["cycles_per_token"]
+    print(f"bench_topo: P={p['packages']} {p['parallel']:<6} "
+          f"{p['cycles_per_token']:>10.1f} cyc/tok ({speed:.2f}x) "
+          f"{p['mj_per_token']:.4f} mJ/tok  {p['link_flits']} flits")
+print(f"bench_topo: wrote {out}")
+EOF
