@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build fmt vet test race check bench bench-compile bench-engine bench-serve bench-energy bench-topo service-smoke trace-smoke cache-smoke fuzz-smoke serve-smoke energy-smoke topo-smoke crosscheck cover clean
+.PHONY: all build fmt vet test race check bench bench-compile bench-engine bench-serve bench-energy bench-topo service-smoke trace-smoke cache-smoke fuzz-smoke serve-smoke energy-smoke topo-smoke fleet-smoke crosscheck cover clean
 
 all: check
 
@@ -41,6 +41,7 @@ check:
 	$(MAKE) serve-smoke
 	$(MAKE) energy-smoke
 	$(MAKE) topo-smoke
+	$(MAKE) fleet-smoke
 	$(MAKE) crosscheck
 
 # End-to-end daemon check: start ptsimd on an ephemeral port, submit a
@@ -89,22 +90,33 @@ energy-smoke:
 topo-smoke:
 	bash scripts/topo_smoke.sh
 
+# End-to-end fleet check: ptsimfleet boots 3 sharded ptsimd members behind
+# the coordinator; jobs under distinct tenants must match a direct ptsim
+# run bit-identically, a warmed spec must run on every member with zero
+# new kernel measurements (peer cache tier), and SIGTERM must drain
+# cleanly (scripts/fleet_smoke.sh).
+fleet-smoke:
+	bash scripts/fleet_smoke.sh
+
 # Cross-simulator differential gate: 200 seeded random workloads through
-# every oracle (zero divergences required), then the fault-injection
+# every oracle (zero divergences required), the fleet-determinism oracle
+# (1-node vs 3-node sharded fleet, bit-identical), then the fault-injection
 # self-tests, which pass only if a deliberate fault — a +1-cycle latency
-# perturbation, or a corrupted parallel-engine barrier ordering — is
-# detected and shrunk to a replayable repro.
+# perturbation, a corrupted parallel-engine barrier ordering, or a
+# corrupted fleet-member response — is detected.
 crosscheck:
 	$(GO) run ./cmd/ptsimcheck -seed 1 -n 200
 	$(GO) run ./cmd/ptsimcheck -serve -seed 1
 	$(GO) run ./cmd/ptsimcheck -topo -seed 1 -n 200
+	$(GO) run ./cmd/ptsimcheck -fleet -seed 1
 	@tmp=$$(mktemp -d); \
 		$(GO) run ./cmd/ptsimcheck -seed 1 -n 20 -fault -out $$tmp && rm -rf $$tmp
 	@tmp=$$(mktemp -d); \
 		$(GO) run ./cmd/ptsimcheck -seed 1 -n 20 -fault-engine -out $$tmp && rm -rf $$tmp
+	$(GO) run ./cmd/ptsimcheck -fault-fleet -seed 1
 
-# Coverage summary per package, with a hard floor on internal/crosscheck
-# (scripts/cover.sh).
+# Coverage summary per package, with hard floors on internal/crosscheck
+# and internal/fleet (scripts/cover.sh).
 cover:
 	bash scripts/cover.sh
 

@@ -17,6 +17,9 @@
 //	                                     # latency fault; MUST be detected
 //	ptsimcheck -seed 1 -n 20 -fault-engine  # self-test: corrupt the parallel
 //	                                        # engine barrier; MUST be detected
+//	ptsimcheck -fleet -seed 1            # 1-node vs 3-node fleet bit-identity
+//	ptsimcheck -fault-fleet              # self-test: corrupt one member's
+//	                                     # response; MUST be detected
 package main
 
 import (
@@ -44,6 +47,8 @@ func run() error {
 	replay := flag.String("replay", "", "replay a recorded repro JSON file instead of generating")
 	serveCheck := flag.Bool("serve", false, "run the serve-determinism oracle (same seed twice, serial vs parallel engine) instead of the case generator")
 	topoCheck := flag.Bool("topo", false, "run the topology-parallel oracle (data/tensor-parallel numerics vs single-core funcsim + engine bit-identity on multi-package fabrics) instead of the case generator")
+	fleetCheck := flag.Bool("fleet", false, "run the fleet-determinism oracle (seeded mixed batch through a 1-node service vs a 3-node sharded fleet, bit-identical JobResults) instead of the case generator")
+	faultFleet := flag.Bool("fault-fleet", false, "self-test: corrupt one fleet member's response; the run SUCCEEDS only if the fleet oracle detects it (implies -fleet)")
 	fault := flag.Bool("fault", false, "self-test: perturb one tile latency by +1 cycle after every compile; the run SUCCEEDS only if an oracle detects it")
 	faultEngine := flag.Bool("fault-engine", false, "self-test: corrupt the parallel engine's barrier ordering; the run SUCCEEDS only if the serial-vs-parallel oracle detects it")
 	out := flag.String("out", ".", "directory for divergence repro files")
@@ -69,6 +74,20 @@ func run() error {
 			return err
 		}
 		fmt.Printf("ok: serve-determinism (seed %d, replay + serial-vs-parallel) in %v\n",
+			*seed, time.Since(start).Round(time.Millisecond))
+		return nil
+	}
+	if *fleetCheck || *faultFleet {
+		start := time.Now()
+		if err := crosscheck.CheckFleet(int64(*seed), *faultFleet); err != nil {
+			return err
+		}
+		if *faultFleet {
+			fmt.Printf("fault-injection self-test passed: the fleet oracle caught the corrupted member response (seed %d) in %v\n",
+				*seed, time.Since(start).Round(time.Millisecond))
+			return nil
+		}
+		fmt.Printf("ok: fleet-determinism (seed %d, 1-node vs 3-node sharded fleet, mixed batch incl. serve + pkg2-tensor) in %v\n",
 			*seed, time.Since(start).Round(time.Millisecond))
 		return nil
 	}

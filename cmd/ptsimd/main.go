@@ -13,7 +13,19 @@
 //	curl http://127.0.0.1:8726/metrics
 //
 // Submissions beyond the queue capacity are rejected immediately with
-// HTTP 429 (the service's typed overload error), never by blocking.
+// HTTP 429 (the service's typed overload error), never by blocking. With
+// -tenant-queue/-tenant-weights, admission and scheduling are per-tenant
+// (weighted-fair, typed per-tenant 429s).
+//
+// As a fleet member, ptsimd joins a consistent-hash ring of peers and
+// backfills compiled artifacts (kernel-latency tables) from whichever peer
+// owns their hash instead of recomputing them:
+//
+//	ptsimd -addr 127.0.0.1:8726 -self http://127.0.0.1:8726 \
+//	       -peers http://127.0.0.1:8727,http://127.0.0.1:8728
+//
+// (cmd/ptsimfleet boots a whole local fleet plus coordinator in one
+// command.)
 package main
 
 import (
@@ -24,10 +36,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/fleet"
 	"repro/internal/service"
+	"repro/internal/service/cache"
 )
 
 func main() {
@@ -37,21 +53,81 @@ func main() {
 	}
 }
 
+// parseTenantWeights parses "a=3,b=1" into a weight map.
+func parseTenantWeights(s string) (map[string]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]int{}
+	for _, pair := range strings.Split(s, ",") {
+		name, w, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("malformed tenant weight %q (want name=weight)", pair)
+		}
+		n, err := strconv.Atoi(w)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("tenant %q: weight %q must be a positive integer", name, w)
+		}
+		out[name] = n
+	}
+	return out, nil
+}
+
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:8726", "listen address (port 0 = ephemeral)")
 	workers := flag.Int("workers", 0, "concurrent simulation workers (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 64, "job queue capacity (admission control bound)")
+	tenantQueue := flag.Int("tenant-queue", 0, "per-tenant queue capacity (0 = no per-tenant bound beyond -queue)")
+	tenantWeights := flag.String("tenant-weights", "", `weighted-fair tenant shares, e.g. "team-a=3,team-b=1" (absent tenants weigh 1)`)
 	maxCycles := flag.Int64("max-cycles", 0, "default per-job deadlock guard in simulated cycles (0 = package default)")
 	engineWorkers := flag.Int("engine-workers", 0, "default TLS engine goroutine count per job (0 or 1 = serial; jobs may override via engine_workers)")
 	cacheDir := flag.String("cache-dir", "", "persist kernel-latency tables under this directory (reused across restarts)")
+	self := flag.String("self", "", "this node's base URL on the fleet ring (required with -peers)")
+	peers := flag.String("peers", "", "comma-separated base URLs of fleet peers; enables the remote peer-cache tier")
 	flag.Parse()
 
-	svc := service.New(service.Config{Workers: *workers, QueueDepth: *queue, MaxCycles: *maxCycles, EngineWorkers: *engineWorkers})
+	weights, err := parseTenantWeights(*tenantWeights)
+	if err != nil {
+		return err
+	}
+	svc := service.New(service.Config{
+		Workers: *workers, QueueDepth: *queue, MaxCycles: *maxCycles, EngineWorkers: *engineWorkers,
+		TenantQueueDepth: *tenantQueue, TenantWeights: weights,
+	})
 	if *cacheDir != "" {
 		if err := svc.EnableDiskCache(*cacheDir); err != nil {
 			return fmt.Errorf("opening cache dir: %w", err)
 		}
 		fmt.Printf("ptsimd: persistent compile cache at %s\n", *cacheDir)
+	}
+	if *peers != "" {
+		if *self == "" {
+			return fmt.Errorf("-peers requires -self (this node's URL on the ring)")
+		}
+		// The ring is built over URLs: every member passes the same
+		// self∪peers set (in any order), so ownership agrees fleet-wide.
+		ids := append(strings.Split(*peers, ","), *self)
+		for i := range ids {
+			ids[i] = strings.TrimRight(strings.TrimSpace(ids[i]), "/")
+		}
+		ring := fleet.NewRing(ids)
+		selfURL := strings.TrimRight(*self, "/")
+		resolve := func(key string) []string {
+			seq := ring.Sequence(key)
+			out := make([]string, 0, 2)
+			for _, id := range seq {
+				if id == selfURL {
+					continue
+				}
+				out = append(out, id)
+				if len(out) == 2 {
+					break
+				}
+			}
+			return out
+		}
+		svc.EnablePeerCache(cache.NewPeer(resolve, 0))
+		fmt.Printf("ptsimd: fleet member %s on a ring of %d nodes\n", selfURL, len(ring.Members()))
 	}
 	svc.Start()
 	defer svc.Close()
@@ -60,12 +136,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	// The listening line is machine-readable on purpose: the smoke test
-	// (scripts/service_smoke.sh) starts us on an ephemeral port and scrapes
-	// the URL from it.
+	// The listening line is machine-readable on purpose: the smoke tests
+	// (scripts/service_smoke.sh, scripts/fleet_smoke.sh) start us on an
+	// ephemeral port and scrape the URL from it.
 	fmt.Printf("ptsimd: listening on http://%s\n", ln.Addr())
 	st := svc.Stats()
-	fmt.Printf("ptsimd: %d workers, queue depth %d; endpoints: POST /jobs, GET /jobs/{id}, GET /stats, GET /metrics\n",
+	fmt.Printf("ptsimd: %d workers, queue depth %d; endpoints: POST /jobs, GET /jobs/{id}, GET /jobs/{id}/events, GET /stats, GET /metrics, GET|PUT /cache/{key}\n",
 		st.Workers, st.QueueDepth)
 
 	srv := &http.Server{Handler: service.NewHandler(svc)}

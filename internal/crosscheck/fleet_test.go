@@ -1,0 +1,18 @@
+package crosscheck
+
+import "testing"
+
+// The fleet-determinism oracle passes clean on a seeded mixed batch.
+func TestCheckFleet(t *testing.T) {
+	if err := CheckFleet(3, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The fault-injection self-test: a corrupted member response MUST be
+// detected (CheckFleet returns nil only when the fault was caught).
+func TestCheckFleetFaultDetected(t *testing.T) {
+	if err := CheckFleet(3, true); err != nil {
+		t.Fatal(err)
+	}
+}

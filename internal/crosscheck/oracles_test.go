@@ -1,0 +1,24 @@
+package crosscheck
+
+import "testing"
+
+// The serve-determinism oracle passes clean: replaying the same seeded
+// trace twice and swapping serial for parallel engines must not move a
+// single cycle.
+func TestCheckServe(t *testing.T) {
+	if err := CheckServe(2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The topology-parallel oracle passes clean on a prefix of the standing
+// gate's stream (the full 200-case sweep runs in `make crosscheck`).
+func TestCheckTopology(t *testing.T) {
+	n := 30
+	if testing.Short() {
+		n = 8
+	}
+	if err := CheckTopology(2, n); err != nil {
+		t.Fatal(err)
+	}
+}

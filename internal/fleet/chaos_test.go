@@ -1,0 +1,176 @@
+package fleet
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Killing a member mid-batch loses nothing: the coordinator re-dispatches
+// the stranded jobs, every job completes exactly once, and every result is
+// bit-identical to a single-node run of the same specs. Small enough to run
+// under -race in tier-1.
+func TestChaosKillMemberMidBatch(t *testing.T) {
+	specs := make([]service.JobSpec, 0, 12)
+	tenants := []string{"a", "b", "c"}
+	for i := 0; i < 12; i++ {
+		specs = append(specs, service.JobSpec{
+			Model: "gemm", N: 24 + 4*i, NPU: "small",
+			Tenant: tenants[i%len(tenants)], Priority: i % 2,
+		})
+	}
+
+	single := service.New(service.Config{Workers: 2})
+	single.Start()
+	want := map[int]service.JobResult{}
+	for i, spec := range specs {
+		j, err := single.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fin, err := single.Wait(j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != service.StateDone {
+			t.Fatalf("single-node job %d failed: %s", i, fin.Error)
+		}
+		want[i] = fin.Result.Canonical()
+	}
+	single.Close()
+
+	fl, err := StartLocal(LocalOptions{
+		N: 3, Workers: 1,
+		Dispatchers:    2, // keep the batch in flight long enough to be killed under
+		HealthInterval: 20 * time.Millisecond,
+		MaxAttempts:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+
+	// Find the member that owns the most jobs — the highest-impact victim.
+	ownCount := map[int]int{}
+	for _, spec := range specs {
+		key, err := service.ContentKey(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ownCount[fl.OwnerIndex(key)]++
+	}
+	victim, best := 0, -1
+	for i, n := range ownCount {
+		if n > best {
+			victim, best = i, n
+		}
+	}
+
+	ids := make([]string, len(specs))
+	for i, spec := range specs {
+		j, err := fl.Coord.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = j.ID
+	}
+
+	// Kill the victim once the batch is genuinely mid-flight.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		st := fl.Coord.Stats()
+		if st.Done >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("batch never started: %+v", st)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	fl.KillMember(victim)
+	t.Logf("killed member %d (owned %d of %d jobs)", victim, best, len(specs))
+
+	redispatched := 0
+	for i, id := range ids {
+		fin, err := fl.Coord.Wait(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fin.State != service.StateDone {
+			t.Fatalf("job %d (%s) failed after kill: %s", i, id, fin.Error)
+		}
+		if fin.Attempts > 1 {
+			redispatched++
+			if fin.Member == fl.MemberName(victim) {
+				t.Errorf("job %d re-dispatched back onto the dead member %s", i, fin.Member)
+			}
+		}
+		if got := fin.Result.Canonical(); !reflect.DeepEqual(got, want[i]) {
+			t.Errorf("job %d: post-chaos result differs from single node:\nfleet:  %+v\nsingle: %+v",
+				i, got, want[i])
+		}
+	}
+	st := fl.Coord.Stats()
+	if st.Done != int64(len(specs)) || st.Failed != 0 {
+		t.Fatalf("loss after member kill: %+v", st)
+	}
+	if st.DuplicateCompletions != 0 {
+		t.Fatalf("%d duplicate completions", st.DuplicateCompletions)
+	}
+	// The kill must actually have been observable (some jobs either
+	// re-dispatched or the victim had finished its share before dying);
+	// requeues are expected but not guaranteed if the victim drained first.
+	t.Logf("stats after chaos: done=%d requeued=%d redispatched_jobs=%d members_up=%d",
+		st.Done, st.Requeued, redispatched, st.MembersUp)
+	if st.MembersUp != 2 {
+		// Health probes may need a beat to notice; poll briefly.
+		ok := false
+		for end := time.Now().Add(5 * time.Second); time.Now().Before(end); {
+			if fl.Coord.Stats().MembersUp == 2 {
+				ok = true
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if !ok {
+			t.Fatalf("dead member still counted up: %+v", fl.Coord.Stats())
+		}
+	}
+}
+
+// Exhausting every member fails the job with a terminal error instead of
+// hanging.
+func TestChaosAllMembersDead(t *testing.T) {
+	fl, err := StartLocal(LocalOptions{
+		N: 2, Workers: 1,
+		HealthInterval: 10 * time.Millisecond,
+		MaxAttempts:    2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fl.Close()
+	fl.KillMember(0)
+	fl.KillMember(1)
+
+	j, err := fl.Coord.Submit(service.JobSpec{Model: "gemm", N: 40, NPU: "small"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan Job, 1)
+	go func() {
+		fin, _ := fl.Coord.Wait(j.ID)
+		done <- fin
+	}()
+	select {
+	case fin := <-done:
+		if fin.State != service.StateFailed || fin.Error == "" {
+			t.Fatalf("job against dead fleet: %+v", fin)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal(fmt.Errorf("job against dead fleet hung"))
+	}
+}

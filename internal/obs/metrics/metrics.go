@@ -228,6 +228,16 @@ func (e *Emitter) CounterVec(name, help, label string, samples []LabeledSample) 
 	}
 }
 
+// GaugeVec emits one gauge family with one sample per label value
+// (e.g. ptsimfleet_tenant_queued{tenant="a"}). Samples render in the given
+// order so scrapes are byte-stable.
+func (e *Emitter) GaugeVec(name, help, label string, samples []LabeledSample) {
+	e.header(name, help, "gauge")
+	for _, s := range samples {
+		e.printf("%s{%s=%q} %s\n", name, label, s.Label, fmtFloat(s.Value))
+	}
+}
+
 // Histogram emits one histogram family: cumulative buckets, +Inf, sum and
 // count.
 func (e *Emitter) Histogram(name, help string, buckets []float64, counts []uint64, sum float64, count uint64) {

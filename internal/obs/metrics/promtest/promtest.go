@@ -1,0 +1,320 @@
+// Package promtest is a strict structural parser for the Prometheus text
+// exposition format (version 0.0.4), shared by every test that validates a
+// /metrics endpoint: the service's own exposition test, the fleet
+// coordinator's merged-family test, and the golden-file tests. It is
+// deliberately unforgiving — any line it does not understand fails the
+// test, so format drift cannot hide behind a lenient parser.
+package promtest
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Family is one metric family parsed from the text exposition.
+type Family struct {
+	Name    string
+	Help    string
+	Type    string // counter | gauge | histogram
+	Samples []Sample
+}
+
+// Sample is one sample line: the family name plus any _bucket/_sum/_count
+// suffix, its labels, and the parsed value.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Parse parses a complete exposition: every line must be blank, a # HELP,
+// a # TYPE, or a sample, and every sample must follow its family's TYPE
+// declaration.
+func Parse(t *testing.T, r io.Reader) map[string]*Family {
+	t.Helper()
+	fams := map[string]*Family{}
+	var cur *Family
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		switch {
+		case strings.TrimSpace(line) == "":
+			continue
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, help, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				t.Fatalf("line %d: malformed HELP %q", lineNo, line)
+			}
+			if _, dup := fams[name]; dup {
+				t.Fatalf("line %d: duplicate HELP for %q", lineNo, name)
+			}
+			cur = &Family{Name: name, Help: help}
+			fams[name] = cur
+		case strings.HasPrefix(line, "# TYPE "):
+			rest := strings.TrimPrefix(line, "# TYPE ")
+			name, typ, ok := strings.Cut(rest, " ")
+			if !ok || cur == nil || cur.Name != name {
+				t.Fatalf("line %d: TYPE %q does not follow its HELP", lineNo, line)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+				cur.Type = typ
+			default:
+				t.Fatalf("line %d: unknown TYPE %q", lineNo, typ)
+			}
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unrecognized comment %q", lineNo, line)
+		default:
+			s := parseSampleLine(t, lineNo, line)
+			fam := FamilyOf(s.Name)
+			f, ok := fams[fam]
+			if !ok || f.Type == "" {
+				t.Fatalf("line %d: sample %q before its # TYPE declaration", lineNo, s.Name)
+			}
+			f.Samples = append(f.Samples, s)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return fams
+}
+
+// parseSampleLine parses `name{label="v",...} value`.
+func parseSampleLine(t *testing.T, lineNo int, line string) Sample {
+	t.Helper()
+	s := Sample{Labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		t.Fatalf("line %d: no value in sample %q", lineNo, line)
+	} else {
+		s.Name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			t.Fatalf("line %d: unterminated label set %q", lineNo, line)
+		}
+		for _, pair := range strings.Split(rest[1:end], ",") {
+			if pair == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+				t.Fatalf("line %d: malformed label %q", lineNo, pair)
+			}
+			s.Labels[k] = v[1 : len(v)-1]
+		}
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	v, err := ParseValue(rest)
+	if err != nil {
+		t.Fatalf("line %d: bad sample value %q: %v", lineNo, rest, err)
+	}
+	s.Value = v
+	return s
+}
+
+// ParseValue parses a sample value, accepting the ±Inf spellings.
+func ParseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// FamilyOf strips the histogram sample suffixes from a sample name.
+func FamilyOf(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			return strings.TrimSuffix(name, suf)
+		}
+	}
+	return name
+}
+
+// Labeled reports whether every sample of the family carries labels (a
+// counter/gauge vector rather than a scalar).
+func Labeled(f *Family) bool {
+	for _, s := range f.Samples {
+		if len(s.Labels) == 0 {
+			return false
+		}
+	}
+	return len(f.Samples) > 0
+}
+
+// CheckFamilies runs the generic structural checks over every parsed
+// family: HELP and TYPE present, at least one sample, scalar families carry
+// exactly one unlabeled sample, vector families are uniformly labeled,
+// counters are non-negative, and histograms are cumulative with a +Inf
+// bucket equal to _count.
+func CheckFamilies(t *testing.T, fams map[string]*Family) {
+	t.Helper()
+	for name, f := range fams {
+		if f.Type == "" {
+			t.Errorf("family %q has HELP but no TYPE", name)
+			continue
+		}
+		if f.Help == "" {
+			t.Errorf("family %q has an empty HELP", name)
+		}
+		if len(f.Samples) == 0 {
+			t.Errorf("family %q declared but has no samples", name)
+			continue
+		}
+		switch f.Type {
+		case "counter", "gauge":
+			if Labeled(f) {
+				for _, s := range f.Samples {
+					if s.Name != name || len(s.Labels) != 1 {
+						t.Errorf("%s family %q has a malformed labeled sample: %+v", f.Type, name, s)
+					}
+				}
+			} else if len(f.Samples) != 1 || f.Samples[0].Name != name || len(f.Samples[0].Labels) != 0 {
+				t.Errorf("%s family %q must carry exactly one unlabeled sample, got %+v", f.Type, name, f.Samples)
+			}
+			if f.Type == "counter" {
+				for _, s := range f.Samples {
+					if s.Value < 0 {
+						t.Errorf("counter %q is negative: %g", name, s.Value)
+					}
+				}
+			}
+		case "histogram":
+			CheckHistogram(t, f)
+		}
+	}
+}
+
+// CheckHistogram validates bucket structure: le labels parse, buckets are
+// cumulative (sorted by le, non-decreasing), the +Inf bucket exists and
+// equals _count, and _sum/_count are present.
+func CheckHistogram(t *testing.T, f *Family) {
+	t.Helper()
+	type bkt struct {
+		le    float64
+		count float64
+	}
+	var buckets []bkt
+	var sum, count *float64
+	for i := range f.Samples {
+		s := f.Samples[i]
+		switch s.Name {
+		case f.Name + "_bucket":
+			le, ok := s.Labels["le"]
+			if !ok {
+				t.Errorf("histogram %q bucket missing le label", f.Name)
+				return
+			}
+			v, err := ParseValue(le)
+			if err != nil {
+				t.Errorf("histogram %q: bad le %q", f.Name, le)
+				return
+			}
+			buckets = append(buckets, bkt{le: v, count: s.Value})
+		case f.Name + "_sum":
+			sum = &s.Value
+		case f.Name + "_count":
+			count = &s.Value
+		default:
+			t.Errorf("histogram %q: unexpected sample %q", f.Name, s.Name)
+		}
+	}
+	if sum == nil || count == nil {
+		t.Errorf("histogram %q missing _sum or _count", f.Name)
+		return
+	}
+	if len(buckets) == 0 {
+		t.Errorf("histogram %q has no buckets", f.Name)
+		return
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i].count < buckets[i-1].count {
+			t.Errorf("histogram %q buckets not cumulative: le=%g has %g < %g",
+				f.Name, buckets[i].le, buckets[i].count, buckets[i-1].count)
+		}
+	}
+	last := buckets[len(buckets)-1]
+	if !math.IsInf(last.le, 1) {
+		t.Errorf("histogram %q missing +Inf bucket", f.Name)
+	}
+	if last.count != *count {
+		t.Errorf("histogram %q: +Inf bucket %g != count %g", f.Name, last.count, *count)
+	}
+}
+
+// SampleValue returns the value of the family's sample with the given name.
+func (f *Family) SampleValue(t *testing.T, name string) float64 {
+	t.Helper()
+	for _, s := range f.Samples {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("family %q has no sample %q", f.Name, name)
+	return 0
+}
+
+// Strip renders a parsed exposition back to text with every sample value
+// replaced by "V" and every histogram bucket count elided — the shape of
+// the exposition without its run-dependent numbers. Families and samples
+// render in sorted order. Golden-file tests compare this: a renamed family,
+// a dropped label, or a type change breaks the golden; a different cycle
+// count does not.
+func Strip(fams map[string]*Family) string {
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		f := fams[name]
+		b.WriteString("# HELP " + f.Name + " " + f.Help + "\n")
+		b.WriteString("# TYPE " + f.Name + " " + f.Type + "\n")
+		lines := make([]string, 0, len(f.Samples))
+		for _, s := range f.Samples {
+			keys := make([]string, 0, len(s.Labels))
+			for k := range s.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var lb strings.Builder
+			lb.WriteString(s.Name)
+			if len(keys) > 0 {
+				lb.WriteString("{")
+				for i, k := range keys {
+					if i > 0 {
+						lb.WriteString(",")
+					}
+					// Label values (incl. histogram le bounds) are part of
+					// the shape; only sample values are stripped.
+					lb.WriteString(k + "=\"" + s.Labels[k] + "\"")
+				}
+				lb.WriteString("}")
+			}
+			lb.WriteString(" V")
+			lines = append(lines, lb.String())
+		}
+		sort.Strings(lines)
+		for _, l := range lines {
+			b.WriteString(l + "\n")
+		}
+	}
+	return b.String()
+}

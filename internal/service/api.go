@@ -3,18 +3,34 @@ package service
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net/http"
+
+	"repro/internal/service/cache"
 )
 
 // NewHandler wraps a service in its HTTP/JSON API:
 //
-//	POST /jobs      submit a JobSpec; 202 with the job snapshot,
-//	                429 when the queue is full (admission control),
-//	                400 on an invalid spec
-//	GET  /jobs/{id} job snapshot (state, result once done); 404 if unknown
-//	GET  /stats     service counters (queue, cache, simulation rate)
-//	GET  /metrics   the same counters in Prometheus text exposition
-//	                format, plus queue-wait and job-latency histograms
+//	POST /jobs             submit a JobSpec; 202 with the job snapshot,
+//	                       429 when the queue (or the tenant's share of
+//	                       it) is full — the body names the tenant for
+//	                       per-tenant throttling, 400 on an invalid spec
+//	GET  /jobs/{id}        job snapshot (state, result once done); 404 if
+//	                       unknown
+//	GET  /jobs/{id}/events Server-Sent Events stream of the job's
+//	                       lifecycle (queued/running/done) and coarse
+//	                       engine progress fed from the obs probes
+//	GET  /stats            service counters (queue, cache, tenants,
+//	                       simulation rate)
+//	GET  /metrics          the same counters in Prometheus text exposition
+//	                       format, plus queue-wait and job-latency
+//	                       histograms
+//	GET  /cache/{key}      one artifact from the node's local cache tier,
+//	                       wrapped in the checksummed wire envelope — the
+//	                       fleet peer-cache protocol (404 on miss)
+//	PUT  /cache/{key}      store an envelope-wrapped artifact pushed by a
+//	                       fleet peer (400 on a corrupt envelope)
 //
 // The handler is what cmd/ptsimd serves; tests drive it via httptest so
 // the daemon binary stays a thin main.
@@ -29,11 +45,17 @@ func NewHandler(s *Service) http.Handler {
 		job, err := s.Submit(spec)
 		if err != nil {
 			var over *OverloadError
-			if errors.As(err, &over) {
+			var tover *TenantOverloadError
+			switch {
+			case errors.As(err, &tover):
+				w.Header().Set("X-Overloaded-Tenant", tover.Tenant)
+				writeJSON(w, http.StatusTooManyRequests,
+					map[string]string{"error": err.Error(), "tenant": tover.Tenant})
+			case errors.As(err, &over):
 				writeErr(w, http.StatusTooManyRequests, err.Error())
-				return
+			default:
+				writeErr(w, http.StatusBadRequest, err.Error())
 			}
-			writeErr(w, http.StatusBadRequest, err.Error())
 			return
 		}
 		writeJSON(w, http.StatusAccepted, job)
@@ -46,6 +68,9 @@ func NewHandler(s *Service) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, job)
 	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		serveJobEvents(s, w, r)
+	})
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
@@ -53,7 +78,103 @@ func NewHandler(s *Service) http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_, _ = s.Metrics().WriteTo(w)
 	})
+	mux.HandleFunc("GET /cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		data, ok := s.CacheGet(r.PathValue("key"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, "no artifact for key")
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, _ = w.Write(cache.SealEnvelope(data))
+	})
+	mux.HandleFunc("PUT /cache/{key}", func(w http.ResponseWriter, r *http.Request) {
+		raw, err := io.ReadAll(io.LimitReader(r.Body, cache.PeerMaxEntryBytes+1))
+		if err != nil || len(raw) > cache.PeerMaxEntryBytes {
+			writeErr(w, http.StatusBadRequest, "artifact too large or unreadable")
+			return
+		}
+		payload, ok := cache.OpenEnvelope(raw)
+		if !ok {
+			// A corrupt push is rejected, never stored: the envelope is the
+			// fleet's end-to-end integrity check.
+			writeErr(w, http.StatusBadRequest, "corrupt artifact envelope")
+			return
+		}
+		if err := s.CachePut(r.PathValue("key"), payload); err != nil {
+			writeErr(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
 	return mux
+}
+
+// serveJobEvents streams a job's events as SSE: one `event:`/`data:` pair
+// per JobEvent, ending after the terminal state. A subscriber arriving
+// after the job finished gets a single synthetic state event.
+func serveJobEvents(s *Service, w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	job, ok := s.Get(id)
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job "+id)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	// Subscribe before snapshotting so no terminal transition can fall
+	// between the snapshot and the stream.
+	ch, cancel := s.events.subscribe(id)
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	job, _ = s.Get(id)
+	snap := JobEvent{Kind: "state", State: job.State, Tenant: job.Spec.Tenant, Error: job.Error}
+	if job.Result != nil {
+		snap.Cycles = job.Result.Cycles
+	}
+	writeSSE(w, snap)
+	fl.Flush()
+	if job.State == StateDone || job.State == StateFailed {
+		return
+	}
+	for {
+		select {
+		case ev, ok := <-ch:
+			if !ok {
+				// Stream closed: emit the final snapshot in case the
+				// terminal event was dropped by a full buffer.
+				if job, ok := s.Get(id); ok && (job.State == StateDone || job.State == StateFailed) {
+					fin := JobEvent{Kind: "state", State: job.State, Tenant: job.Spec.Tenant, Error: job.Error}
+					if job.Result != nil {
+						fin.Cycles = job.Result.Cycles
+					}
+					writeSSE(w, fin)
+					fl.Flush()
+				}
+				return
+			}
+			writeSSE(w, ev)
+			fl.Flush()
+			if ev.Kind == "state" && (ev.State == StateDone || ev.State == StateFailed) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func writeSSE(w io.Writer, ev JobEvent) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Kind, data)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

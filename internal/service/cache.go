@@ -1,6 +1,7 @@
 package service
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/compiler"
@@ -17,6 +18,24 @@ import (
 // limits) is not.
 func CompileKey(spec modelzoo.Spec, cfg npu.Config, opts compiler.Options) string {
 	return CanonicalHash(spec.Normalize(), cfg, opts)
+}
+
+// ContentKey resolves a wire JobSpec to its compile content address — the
+// same key the service's cache uses. The fleet coordinator routes jobs by
+// this key so identical submissions land on the member whose caches are
+// already warm for them. Tenant, priority, and simulation-only knobs are
+// deliberately absent: they never change what gets compiled.
+func ContentKey(spec JobSpec) (string, error) {
+	r, err := spec.resolve()
+	if err != nil {
+		return "", err
+	}
+	if !modelzoo.Known(spec.Model) {
+		// Mirror Submit's admission check so the coordinator rejects
+		// exactly what a member would.
+		return "", fmt.Errorf("service: unknown model %q (have %v)", spec.Model, modelzoo.Models())
+	}
+	return CompileKey(r.Spec, r.Cfg, r.Opts), nil
 }
 
 // cacheEntry is one in-flight or finished compilation. ready is closed when
@@ -50,6 +69,7 @@ type Cache struct {
 	hook   func(*compiler.Compiler)
 
 	hits, misses int64
+	measured     int64
 }
 
 // NewCache returns an empty compile cache.
@@ -101,6 +121,15 @@ func (c *Cache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Measured reports kernel measurements run by compilations so far. A
+// compile whose latency table was fully seeded (from disk or a fleet peer)
+// contributes zero — the observable pin for "warm cache, no recompute".
+func (c *Cache) Measured() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.measured
 }
 
 // latFor returns the shared latency cache for one core configuration,
@@ -159,6 +188,8 @@ func (c *Cache) Compile(key string, cfg npu.Config, opts compiler.Options,
 	c.mu.Lock()
 	if e.err != nil {
 		delete(c.entries, key)
+	} else {
+		c.measured += comp.MeasureCount()
 	}
 	c.mu.Unlock()
 	close(e.ready)

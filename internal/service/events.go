@@ -1,0 +1,157 @@
+package service
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// JobEvent is one entry of a job's progress stream: a lifecycle state
+// transition, or a coarse mid-run progress sample fed by the engine's
+// observability probe. Events are advisory — the job record (Get/Wait) is
+// the source of truth — so slow consumers lose progress samples, never
+// final states arriving out of order (the stream closes after the terminal
+// state event).
+type JobEvent struct {
+	Seq    int64  `json:"seq"`
+	Kind   string `json:"kind"` // "state" or "progress"
+	State  State  `json:"state,omitempty"`
+	Tenant string `json:"tenant,omitempty"`
+	// Spans/Cycle describe progress events: engine spans completed so far
+	// and the simulated cycle of the latest one.
+	Spans int64 `json:"spans,omitempty"`
+	Cycle int64 `json:"cycle,omitempty"`
+	// Cycles is the final cycle count on the terminal "done" event.
+	Cycles int64  `json:"cycles,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// progressEvery throttles probe-fed progress events: one event per this
+// many engine spans keeps the stream light even for billion-cycle runs.
+const progressEvery = 4096
+
+// eventHub fans job events out to SSE subscribers. Publishing never
+// blocks: a subscriber that cannot keep up drops events (the buffer holds
+// the most recent window, and terminal states are always the last thing
+// sent before close).
+type eventHub struct {
+	mu   sync.Mutex
+	subs map[string][]chan JobEvent
+	done map[string]bool
+	seq  int64
+}
+
+func newEventHub() *eventHub {
+	return &eventHub{subs: map[string][]chan JobEvent{}, done: map[string]bool{}}
+}
+
+// subscribe returns a channel of events for the job and a cancel func.
+// Subscribing to an already-finished job returns a closed channel: the
+// caller renders the final job snapshot and ends the stream.
+func (h *eventHub) subscribe(jobID string) (<-chan JobEvent, func()) {
+	ch := make(chan JobEvent, 64)
+	h.mu.Lock()
+	if h.done[jobID] {
+		h.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	h.subs[jobID] = append(h.subs[jobID], ch)
+	h.mu.Unlock()
+	cancel := func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		subs := h.subs[jobID]
+		for i, c := range subs {
+			if c == ch {
+				h.subs[jobID] = append(subs[:i], subs[i+1:]...)
+				return
+			}
+		}
+	}
+	return ch, cancel
+}
+
+// publish sends ev to every subscriber of jobID, dropping on full buffers.
+func (h *eventHub) publish(jobID string, ev JobEvent) {
+	h.mu.Lock()
+	h.seq++
+	ev.Seq = h.seq
+	subs := h.subs[jobID]
+	for _, ch := range subs {
+		select {
+		case ch <- ev:
+		default: // slow consumer: drop rather than stall a worker
+		}
+	}
+	h.mu.Unlock()
+}
+
+// finish closes every subscriber stream of jobID; later subscribers get a
+// pre-closed channel.
+func (h *eventHub) finish(jobID string) {
+	h.mu.Lock()
+	subs := h.subs[jobID]
+	delete(h.subs, jobID)
+	h.done[jobID] = true
+	h.mu.Unlock()
+	for _, ch := range subs {
+		close(ch)
+	}
+}
+
+// closeAll terminates every open stream (service shutdown).
+func (h *eventHub) closeAll() {
+	h.mu.Lock()
+	subs := h.subs
+	h.subs = map[string][]chan JobEvent{}
+	h.mu.Unlock()
+	for _, chans := range subs {
+		for _, ch := range chans {
+			close(ch)
+		}
+	}
+}
+
+// hasSubscribers reports whether anyone is listening to jobID right now.
+func (h *eventHub) hasSubscribers(jobID string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.subs[jobID]) > 0
+}
+
+// progressProbe returns an obs.Probe that feeds throttled progress events
+// to the job's subscribers, or nil when nobody is listening at run start
+// (the nil probe keeps the engine hot path allocation-free). Probes are
+// proven invisible in Results by the crosscheck probe oracle, so attaching
+// one cannot change the job's outcome.
+func (h *eventHub) progressProbe(jobID string) obs.Probe {
+	if !h.hasSubscribers(jobID) {
+		return nil
+	}
+	return &progressProbe{hub: h, job: jobID}
+}
+
+type progressProbe struct {
+	hub   *eventHub
+	job   string
+	spans atomic.Int64
+	cycle atomic.Int64
+}
+
+func (p *progressProbe) TrackName(t obs.Track, process, lane string) {}
+
+func (p *progressProbe) Span(t obs.Track, name string, start, end int64, info obs.SpanInfo) {
+	for {
+		old := p.cycle.Load()
+		if end <= old || p.cycle.CompareAndSwap(old, end) {
+			break
+		}
+	}
+	if n := p.spans.Add(1); n%progressEvery == 0 {
+		p.hub.publish(p.job, JobEvent{Kind: "progress", Spans: n, Cycle: p.cycle.Load()})
+	}
+}
+
+func (p *progressProbe) Counter(t obs.Track, name string, cycle int64, value float64) {}

@@ -1,152 +1,20 @@
 package service
 
 import (
-	"bufio"
 	"io"
-	"math"
 	"net/http/httptest"
-	"sort"
-	"strconv"
 	"strings"
 	"testing"
 
+	"repro/internal/obs/metrics/promtest"
 	"repro/internal/obs/report"
 )
-
-// expoFamily is one metric family parsed from the text exposition.
-type expoFamily struct {
-	name    string
-	help    string
-	typ     string // counter | gauge | histogram
-	samples []expoSample
-}
-
-type expoSample struct {
-	name   string // family name plus any _bucket/_sum/_count suffix
-	labels map[string]string
-	value  float64
-}
-
-// parseExposition parses the complete Prometheus text exposition format
-// (version 0.0.4): every line must be blank, a # HELP, a # TYPE, or a
-// sample, and every sample must follow its family's TYPE declaration. It is
-// deliberately strict — any line the parser does not understand fails the
-// test, so format drift cannot hide.
-func parseExposition(t *testing.T, r io.Reader) map[string]*expoFamily {
-	t.Helper()
-	fams := map[string]*expoFamily{}
-	var cur *expoFamily
-	sc := bufio.NewScanner(r)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := sc.Text()
-		switch {
-		case strings.TrimSpace(line) == "":
-			continue
-		case strings.HasPrefix(line, "# HELP "):
-			rest := strings.TrimPrefix(line, "# HELP ")
-			name, help, ok := strings.Cut(rest, " ")
-			if !ok || name == "" {
-				t.Fatalf("line %d: malformed HELP %q", lineNo, line)
-			}
-			if _, dup := fams[name]; dup {
-				t.Fatalf("line %d: duplicate HELP for %q", lineNo, name)
-			}
-			cur = &expoFamily{name: name, help: help}
-			fams[name] = cur
-		case strings.HasPrefix(line, "# TYPE "):
-			rest := strings.TrimPrefix(line, "# TYPE ")
-			name, typ, ok := strings.Cut(rest, " ")
-			if !ok || cur == nil || cur.name != name {
-				t.Fatalf("line %d: TYPE %q does not follow its HELP", lineNo, line)
-			}
-			switch typ {
-			case "counter", "gauge", "histogram":
-				cur.typ = typ
-			default:
-				t.Fatalf("line %d: unknown TYPE %q", lineNo, typ)
-			}
-		case strings.HasPrefix(line, "#"):
-			t.Fatalf("line %d: unrecognized comment %q", lineNo, line)
-		default:
-			s := parseSampleLine(t, lineNo, line)
-			fam := familyOf(s.name)
-			f, ok := fams[fam]
-			if !ok || f.typ == "" {
-				t.Fatalf("line %d: sample %q before its # TYPE declaration", lineNo, s.name)
-			}
-			f.samples = append(f.samples, s)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
-	}
-	return fams
-}
-
-// parseSampleLine parses `name{label="v",...} value`.
-func parseSampleLine(t *testing.T, lineNo int, line string) expoSample {
-	t.Helper()
-	s := expoSample{labels: map[string]string{}}
-	rest := line
-	if i := strings.IndexAny(rest, "{ "); i < 0 {
-		t.Fatalf("line %d: no value in sample %q", lineNo, line)
-	} else {
-		s.name = rest[:i]
-		rest = rest[i:]
-	}
-	if strings.HasPrefix(rest, "{") {
-		end := strings.Index(rest, "}")
-		if end < 0 {
-			t.Fatalf("line %d: unterminated label set %q", lineNo, line)
-		}
-		for _, pair := range strings.Split(rest[1:end], ",") {
-			if pair == "" {
-				continue
-			}
-			k, v, ok := strings.Cut(pair, "=")
-			if !ok || len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
-				t.Fatalf("line %d: malformed label %q", lineNo, pair)
-			}
-			s.labels[k] = v[1 : len(v)-1]
-		}
-		rest = rest[end+1:]
-	}
-	rest = strings.TrimSpace(rest)
-	v, err := parseExpoValue(rest)
-	if err != nil {
-		t.Fatalf("line %d: bad sample value %q: %v", lineNo, rest, err)
-	}
-	s.value = v
-	return s
-}
-
-func parseExpoValue(s string) (float64, error) {
-	switch s {
-	case "+Inf":
-		return math.Inf(1), nil
-	case "-Inf":
-		return math.Inf(-1), nil
-	}
-	return strconv.ParseFloat(s, 64)
-}
-
-// familyOf strips the histogram sample suffixes.
-func familyOf(name string) string {
-	for _, suf := range []string{"_bucket", "_sum", "_count"} {
-		if strings.HasSuffix(name, suf) {
-			return strings.TrimSuffix(name, suf)
-		}
-	}
-	return name
-}
 
 // TestMetricsExpositionParsesCompletely fetches GET /metrics over HTTP after
 // real jobs ran and structurally parses every line of the body: families
 // must be declared (HELP+TYPE) before their samples, histogram buckets must
 // be cumulative with a +Inf bucket equal to _count, and counter/gauge
-// families carry exactly one unlabeled sample.
+// families carry exactly one unlabeled sample (or a uniform label key).
 func TestMetricsExpositionParsesCompletely(t *testing.T) {
 	svc := New(Config{Workers: 2, QueueDepth: 8})
 	svc.Start()
@@ -176,47 +44,11 @@ func TestMetricsExpositionParsesCompletely(t *testing.T) {
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
 		t.Fatalf("content type %q", ct)
 	}
-	fams := parseExposition(t, resp.Body)
+	fams := promtest.Parse(t, resp.Body)
 	if len(fams) == 0 {
 		t.Fatal("exposition declared no metric families")
 	}
-
-	for name, f := range fams {
-		if f.typ == "" {
-			t.Errorf("family %q has HELP but no TYPE", name)
-			continue
-		}
-		if f.help == "" {
-			t.Errorf("family %q has an empty HELP", name)
-		}
-		if len(f.samples) == 0 {
-			t.Errorf("family %q declared but has no samples", name)
-			continue
-		}
-		switch f.typ {
-		case "counter", "gauge":
-			if labeled(f) {
-				// A labeled family (e.g. ptsimd_energy_joules_total{unit=...})
-				// carries one sample per label value, all on the same key.
-				for _, s := range f.samples {
-					if s.name != name || len(s.labels) != 1 {
-						t.Errorf("%s family %q has a malformed labeled sample: %+v", f.typ, name, s)
-					}
-				}
-			} else if len(f.samples) != 1 || f.samples[0].name != name || len(f.samples[0].labels) != 0 {
-				t.Errorf("%s family %q must carry exactly one unlabeled sample, got %+v", f.typ, name, f.samples)
-			}
-			if f.typ == "counter" {
-				for _, s := range f.samples {
-					if s.value < 0 {
-						t.Errorf("counter %q is negative: %g", name, s.value)
-					}
-				}
-			}
-		case "histogram":
-			checkHistogram(t, f)
-		}
-	}
+	promtest.CheckFamilies(t, fams)
 
 	// The §3.8-adjacent service invariant: the HTTP surface and the internal
 	// snapshot render identical bytes.
@@ -230,10 +62,10 @@ func TestMetricsExpositionParsesCompletely(t *testing.T) {
 	}
 
 	// The jobs actually ran, so the core counters cannot all be zero.
-	if v := fams["ptsimd_jobs_done_total"].samples[0].value; v != n {
+	if v := fams["ptsimd_jobs_done_total"].Samples[0].Value; v != n {
 		t.Fatalf("ptsimd_jobs_done_total = %g, want %d", v, n)
 	}
-	if v := fams["ptsimd_job_duration_seconds"].sampleValue(t, "ptsimd_job_duration_seconds_count"); v != n {
+	if v := fams["ptsimd_job_duration_seconds"].SampleValue(t, "ptsimd_job_duration_seconds_count"); v != n {
 		t.Fatalf("job duration histogram count = %g, want %d", v, n)
 	}
 
@@ -244,100 +76,19 @@ func TestMetricsExpositionParsesCompletely(t *testing.T) {
 	if ef == nil {
 		t.Fatal("ptsimd_energy_joules_total missing after energy-priced jobs")
 	}
-	if len(ef.samples) != len(report.EnergyUnits) {
-		t.Fatalf("energy family has %d samples, want %d", len(ef.samples), len(report.EnergyUnits))
+	if len(ef.Samples) != len(report.EnergyUnits) {
+		t.Fatalf("energy family has %d samples, want %d", len(ef.Samples), len(report.EnergyUnits))
 	}
 	var totalJ float64
-	for i, s := range ef.samples {
-		if s.labels["unit"] != report.EnergyUnits[i] {
-			t.Fatalf("energy sample %d labeled %q, want %q", i, s.labels["unit"], report.EnergyUnits[i])
+	for i, s := range ef.Samples {
+		if s.Labels["unit"] != report.EnergyUnits[i] {
+			t.Fatalf("energy sample %d labeled %q, want %q", i, s.Labels["unit"], report.EnergyUnits[i])
 		}
-		totalJ += s.value
+		totalJ += s.Value
 	}
 	if totalJ <= 0 {
 		t.Fatalf("energy counters sum to %g after %d jobs", totalJ, n)
 	}
-}
-
-// labeled reports whether every sample of the family carries labels (a
-// counter/gauge vector rather than a scalar).
-func labeled(f *expoFamily) bool {
-	for _, s := range f.samples {
-		if len(s.labels) == 0 {
-			return false
-		}
-	}
-	return len(f.samples) > 0
-}
-
-// checkHistogram validates bucket structure: le labels parse, buckets are
-// cumulative (sorted by le, non-decreasing), the +Inf bucket exists and
-// equals _count, and _sum/_count are present.
-func checkHistogram(t *testing.T, f *expoFamily) {
-	t.Helper()
-	type bkt struct {
-		le    float64
-		count float64
-	}
-	var buckets []bkt
-	var sum, count *float64
-	for i := range f.samples {
-		s := f.samples[i]
-		switch s.name {
-		case f.name + "_bucket":
-			le, ok := s.labels["le"]
-			if !ok {
-				t.Errorf("histogram %q bucket missing le label", f.name)
-				return
-			}
-			v, err := parseExpoValue(le)
-			if err != nil {
-				t.Errorf("histogram %q: bad le %q", f.name, le)
-				return
-			}
-			buckets = append(buckets, bkt{le: v, count: s.value})
-		case f.name + "_sum":
-			sum = &s.value
-		case f.name + "_count":
-			count = &s.value
-		default:
-			t.Errorf("histogram %q: unexpected sample %q", f.name, s.name)
-		}
-	}
-	if sum == nil || count == nil {
-		t.Errorf("histogram %q missing _sum or _count", f.name)
-		return
-	}
-	if len(buckets) == 0 {
-		t.Errorf("histogram %q has no buckets", f.name)
-		return
-	}
-	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
-	for i := 1; i < len(buckets); i++ {
-		if buckets[i].count < buckets[i-1].count {
-			t.Errorf("histogram %q buckets not cumulative: le=%g has %g < %g",
-				f.name, buckets[i].le, buckets[i].count, buckets[i-1].count)
-		}
-	}
-	last := buckets[len(buckets)-1]
-	if !math.IsInf(last.le, 1) {
-		t.Errorf("histogram %q missing +Inf bucket", f.name)
-	}
-	if last.count != *count {
-		t.Errorf("histogram %q: +Inf bucket %g != count %g", f.name, last.count, *count)
-	}
-}
-
-// sampleValue returns the value of the family's sample with the given name.
-func (f *expoFamily) sampleValue(t *testing.T, name string) float64 {
-	t.Helper()
-	for _, s := range f.samples {
-		if s.name == name {
-			return s.value
-		}
-	}
-	t.Fatalf("family %q has no sample %q", f.name, name)
-	return 0
 }
 
 func fetchBody(t *testing.T, srv *httptest.Server, path string) string {

@@ -26,9 +26,11 @@ import (
 	"repro/internal/dram"
 	"repro/internal/graph"
 	"repro/internal/npu"
+	"repro/internal/obs"
 	"repro/internal/obs/metrics"
 	"repro/internal/obs/report"
 	"repro/internal/parallel"
+	"repro/internal/sched"
 	"repro/internal/serve"
 	"repro/internal/service/cache"
 	"repro/internal/service/modelzoo"
@@ -47,13 +49,32 @@ func (e *OverloadError) Error() string {
 	return fmt.Sprintf("service: overloaded, job queue full (capacity %d)", e.Capacity)
 }
 
+// TenantOverloadError is the per-tenant admission-control failure: the
+// whole queue still has room, but this tenant's share is full. The HTTP
+// layer maps it to 429 too, with the tenant named so a client can tell "I
+// am being throttled" apart from "the service is saturated".
+type TenantOverloadError struct {
+	Tenant   string
+	Capacity int // configured per-tenant queue depth
+}
+
+func (e *TenantOverloadError) Error() string {
+	return fmt.Sprintf("service: tenant %q overloaded, per-tenant queue full (capacity %d)", e.Tenant, e.Capacity)
+}
+
 // JobSpec is a simulation request as submitted by a client (JSON over the
 // daemon API, or directly in-process). Zero values mean defaults.
 type JobSpec struct {
 	Model string `json:"model"`
-	Batch int    `json:"batch,omitempty"`
-	N     int    `json:"n,omitempty"`   // GEMM dimension
-	Seq   int    `json:"seq,omitempty"` // BERT sequence length
+	// Tenant names the submitter for fair queueing and per-tenant limits
+	// ("" is the anonymous default tenant). Priority orders jobs within a
+	// tenant's queue (higher runs earlier); it never lets one tenant jump
+	// another's share.
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
+	Batch    int    `json:"batch,omitempty"`
+	N        int    `json:"n,omitempty"`   // GEMM dimension
+	Seq      int    `json:"seq,omitempty"` // BERT sequence length
 	// Ctx/Prefill shape the decoder models: context length and whether to
 	// run the prompt prefill pass instead of a single decode step.
 	Ctx     int  `json:"ctx,omitempty"`
@@ -244,6 +265,29 @@ type JobResult struct {
 	ServeReport *report.ServeReport `json:"serve_report,omitempty"`
 }
 
+// Canonical returns a deep copy with every host-time field zeroed —
+// WallMs, CompileMs, CacheHit, and the reports' wall clocks. Everything
+// left is a deterministic function of the spec, which is exactly the claim
+// the fleet determinism oracle and the chaos test pin with DeepEqual:
+// where a job ran (cold cache, warm peer, re-dispatched after a member
+// death) may change how long it took, never what it computed.
+func (r JobResult) Canonical() JobResult {
+	r.WallMs = 0
+	r.CompileMs = 0
+	r.CacheHit = false
+	if r.Report != nil {
+		rep := *r.Report
+		rep.WallMs = 0
+		r.Report = &rep
+	}
+	if r.ServeReport != nil {
+		sr := *r.ServeReport
+		sr.WallMs = 0
+		r.ServeReport = &sr
+	}
+	return r
+}
+
 // Job is the service's record of one submission. Snapshot copies are
 // returned to callers; the live record is only mutated by the service.
 type Job struct {
@@ -265,11 +309,18 @@ type Job struct {
 // Config sizes the service.
 type Config struct {
 	Workers    int   // concurrent simulations (default: GOMAXPROCS)
-	QueueDepth int   // bounded queue capacity (default 64)
+	QueueDepth int   // bounded queue capacity across all tenants (default 64)
 	MaxCycles  int64 // default per-job deadlock guard (0 = togsim.DefaultMaxCycles)
 	// EngineWorkers is the default per-job TLS engine goroutine count when
 	// the spec leaves engine_workers unset (0 or 1 = serial).
 	EngineWorkers int
+	// TenantQueueDepth bounds one tenant's share of the queue
+	// (0 = QueueDepth, i.e. no per-tenant throttling beyond the total).
+	TenantQueueDepth int
+	// TenantWeights sets weighted-fair shares per tenant name; absent
+	// tenants weigh 1. A weight-3 tenant gets three dequeues for every one
+	// of a weight-1 tenant under contention.
+	TenantWeights map[string]int
 }
 
 // Stats is the service's observability surface. Every field is captured
@@ -287,10 +338,32 @@ type Stats struct {
 	CacheHits   int64 `json:"cache_hits"`
 	CacheMisses int64 `json:"cache_misses"`
 
-	// DiskHits/DiskMisses count lookups against the persistent artifact
-	// store (always zero until EnableDiskCache).
+	// DiskHits/DiskMisses count lookups against the attached artifact
+	// store stack — persistent disk and/or remote peer tiers (always zero
+	// until EnableDiskCache or EnablePeerCache).
 	DiskHits   int64 `json:"disk_hits"`
 	DiskMisses int64 `json:"disk_misses"`
+
+	// PeerHits/PeerMisses count lookups that reached the remote peer tier;
+	// PeerPuts counts artifacts pushed to their hash owner; PeerErrors
+	// counts transport or verification failures (every one degraded to a
+	// clean miss). All zero until EnablePeerCache.
+	PeerHits   int64 `json:"peer_hits,omitempty"`
+	PeerMisses int64 `json:"peer_misses,omitempty"`
+	PeerPuts   int64 `json:"peer_puts,omitempty"`
+	PeerErrors int64 `json:"peer_errors,omitempty"`
+
+	// KernelsMeasured counts kernel measurements run by compilations so
+	// far. A node that compiled a model whose latency table arrived whole
+	// from a warm peer (or disk) shows a compile-cache miss here but zero
+	// new measurements — the "zero recompilation" pin of the fleet's
+	// remote cache tier.
+	KernelsMeasured int64 `json:"kernels_measured"`
+
+	// TenantQueued is the per-tenant queue depth; TenantDone counts
+	// finished jobs per tenant. Tenants appear once they have submitted.
+	TenantQueued map[string]int64 `json:"tenant_queued,omitempty"`
+	TenantDone   map[string]int64 `json:"tenant_done,omitempty"`
 
 	// TotalCycles sums simulated cycles over finished jobs; WallSeconds
 	// sums the host time those simulations took; CyclesPerSecond is their
@@ -329,10 +402,21 @@ type Stats struct {
 	QueueDepth int `json:"queue_depth"`
 }
 
-// Service runs simulations from a bounded queue on a fixed worker pool.
+// Service runs simulations from a bounded weighted-fair queue on a fixed
+// worker pool.
 type Service struct {
 	cfg   Config
 	cache *Cache
+
+	// localStore is the tier this node serves to fleet peers over
+	// /cache/{key} (memory, or memory-over-disk); the compile cache sees
+	// it stacked under the peer tier when one is attached. Serving only
+	// the local tier to peers keeps peer lookups from recursing across
+	// the cluster.
+	localStore cache.Store
+	peer       *cache.Peer
+
+	events *eventHub
 
 	mu          sync.Mutex
 	byID        map[string]*Job
@@ -349,6 +433,7 @@ type Service struct {
 	cacheMisses int64 // is one consistent snapshot (the cache has its own lock)
 	serveReqs   int64
 	serveTokens int64
+	tenantDone  map[string]int64
 
 	energyJ        map[string]float64 // cumulative joules by unit class
 	pkgEnergyJ     map[string]float64 // cumulative joules by package index
@@ -362,7 +447,7 @@ type Service struct {
 	serveTTFT    *metrics.Histogram
 	compilePhase map[compiler.Phase]*metrics.Histogram
 
-	queue chan *Job
+	queue *sched.FairQueue[*Job]
 	wg    sync.WaitGroup
 }
 
@@ -375,12 +460,15 @@ func New(cfg Config) *Service {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	weight := func(tenant string) int { return cfg.TenantWeights[tenant] }
 	s := &Service{
-		cfg:   cfg,
-		cache: NewCache(),
-		byID:  map[string]*Job{},
-		queue: make(chan *Job, cfg.QueueDepth),
-		reg:   metrics.NewRegistry(),
+		cfg:        cfg,
+		cache:      NewCache(),
+		byID:       map[string]*Job{},
+		queue:      sched.NewFairQueue[*Job](cfg.QueueDepth, cfg.TenantQueueDepth, weight),
+		reg:        metrics.NewRegistry(),
+		events:     newEventHub(),
+		tenantDone: map[string]int64{},
 	}
 	s.queueWait = s.reg.NewHistogram("ptsimd_queue_wait_seconds",
 		"Time jobs spend queued before a worker picks them up.",
@@ -421,8 +509,53 @@ func (s *Service) EnableDiskCache(dir string) error {
 	if err != nil {
 		return err
 	}
-	s.cache.SetStore(cache.NewLayered(cache.NewMemory(), disk))
+	s.localStore = cache.NewLayered(cache.NewMemory(), disk)
+	s.rewireStore()
 	return nil
+}
+
+// EnablePeerCache attaches the fleet's remote cache tier: artifact lookups
+// that miss locally ask the key's consistent-hash owner, and freshly built
+// artifacts are pushed to that owner so any member can backfill them. The
+// peer tier always stacks below the local one, and this node serves its
+// local tier (never the peer tier) on GET /cache/{key}, so lookups cannot
+// recurse around the ring. Call before Start (after EnableDiskCache when
+// both are wanted).
+func (s *Service) EnablePeerCache(p *cache.Peer) {
+	s.peer = p
+	s.rewireStore()
+}
+
+// rewireStore rebuilds the compile cache's store stack from the attached
+// tiers: local (memory and/or disk), with the peer tier layered beneath.
+func (s *Service) rewireStore() {
+	if s.localStore == nil {
+		s.localStore = cache.NewMemory()
+	}
+	st := s.localStore
+	if s.peer != nil {
+		st = cache.NewLayered(st, s.peer)
+	}
+	s.cache.SetStore(st)
+}
+
+// CacheGet serves one artifact from the node's local store tier to a fleet
+// peer (GET /cache/{key}); ok=false when no store is attached or the key
+// is absent.
+func (s *Service) CacheGet(key string) ([]byte, bool) {
+	if s.localStore == nil {
+		return nil, false
+	}
+	return s.localStore.Get(key)
+}
+
+// CachePut stores one artifact pushed by a fleet peer (PUT /cache/{key})
+// into the node's local store tier.
+func (s *Service) CachePut(key string, data []byte) error {
+	if s.localStore == nil {
+		return fmt.Errorf("service: no cache store attached")
+	}
+	return s.localStore.Put(key, data)
 }
 
 // Metrics returns the registry backing GET /metrics. The histograms are
@@ -444,6 +577,21 @@ func (s *Service) collect(e *metrics.Emitter) {
 	e.Counter("ptsimd_compile_cache_misses_total", "Compilations that ran the compiler.", float64(st.CacheMisses))
 	e.Counter("ptsimd_compile_disk_hits_total", "Persistent-store lookups that found a valid artifact.", float64(st.DiskHits))
 	e.Counter("ptsimd_compile_disk_misses_total", "Persistent-store lookups that missed (absent, corrupt, or stale).", float64(st.DiskMisses))
+	e.Counter("ptsimd_kernels_measured_total", "Kernel measurements run by compilations (zero on warm-cache compiles).", float64(st.KernelsMeasured))
+	if s.peerAttached() {
+		e.Counter("ptsimd_peer_cache_hits_total", "Artifact lookups served by a fleet peer.", float64(st.PeerHits))
+		e.Counter("ptsimd_peer_cache_misses_total", "Artifact lookups no peer could serve.", float64(st.PeerMisses))
+		e.Counter("ptsimd_peer_cache_puts_total", "Artifacts pushed to their consistent-hash owner.", float64(st.PeerPuts))
+		e.Counter("ptsimd_peer_cache_errors_total", "Peer transport or verification failures (each degraded to a miss).", float64(st.PeerErrors))
+	}
+	if len(st.TenantQueued) > 0 {
+		e.GaugeVec("ptsimd_tenant_queued", "Per-tenant queue depth in the weighted-fair queue.",
+			"tenant", tenantSamples(st.TenantQueued))
+	}
+	if len(st.TenantDone) > 0 {
+		e.CounterVec("ptsimd_tenant_jobs_done_total", "Finished jobs per tenant.",
+			"tenant", tenantSamples(st.TenantDone))
+	}
 	e.Counter("ptsimd_simulated_cycles_total", "Simulated cycles summed over finished jobs.", float64(st.TotalCycles))
 	e.Counter("ptsimd_serve_requests_total", "Requests completed by serving jobs.", float64(st.ServeRequests))
 	e.Counter("ptsimd_serve_tokens_generated_total", "Tokens generated by serving jobs.", float64(st.ServeTokens))
@@ -492,6 +640,33 @@ func (s *Service) collect(e *metrics.Emitter) {
 // Cache exposes the compile cache (shared with e.g. sched adapters).
 func (s *Service) Cache() *Cache { return s.cache }
 
+// peerAttached reports whether a peer tier is wired (metrics families for
+// the peer cache only render on fleet members).
+func (s *Service) peerAttached() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peer != nil
+}
+
+// tenantSamples renders a per-tenant map as labeled samples in sorted
+// tenant order, with "" shown as "default", so scrapes are byte-stable.
+func tenantSamples(m map[string]int64) []metrics.LabeledSample {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	samples := make([]metrics.LabeledSample, 0, len(keys))
+	for _, k := range keys {
+		label := k
+		if label == "" {
+			label = "default"
+		}
+		samples = append(samples, metrics.LabeledSample{Label: label, Value: float64(m[k])})
+	}
+	return samples
+}
+
 // Start launches the worker pool. It is idempotent per service lifetime:
 // call once.
 func (s *Service) Start() {
@@ -510,8 +685,9 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
-	close(s.queue)
+	s.queue.Close()
 	s.wg.Wait()
+	s.events.closeAll()
 }
 
 // Submit validates and enqueues a job. It never blocks: a full queue
@@ -539,11 +715,13 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 		Submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
-	select {
-	case s.queue <- j:
-	default:
+	if err := s.queue.Push(spec.Tenant, spec.Priority, j); err != nil {
 		s.nextID--
 		s.mu.Unlock()
+		var over *sched.QueueOverloadError
+		if errors.As(err, &over) && over.Tenant != "" {
+			return Job{}, &TenantOverloadError{Tenant: over.Tenant, Capacity: over.Capacity}
+		}
 		return Job{}, &OverloadError{Capacity: s.cfg.QueueDepth}
 	}
 	s.byID[j.ID] = j
@@ -551,6 +729,7 @@ func (s *Service) Submit(spec JobSpec) (Job, error) {
 	s.queued++
 	snap := *j
 	s.mu.Unlock()
+	s.events.publish(j.ID, JobEvent{Kind: "state", State: StateQueued, Tenant: spec.Tenant})
 	return snap, nil
 }
 
@@ -609,7 +788,27 @@ func (s *Service) Stats() Stats {
 			st.PackageEnergyJoules[k] = v
 		}
 	}
+	st.KernelsMeasured = s.cache.Measured()
+	if len(s.tenantDone) > 0 {
+		st.TenantDone = make(map[string]int64, len(s.tenantDone))
+		for k, v := range s.tenantDone {
+			st.TenantDone[k] = v
+		}
+	}
+	// The queue keeps its own lock; s.mu -> queue.mu is the same order
+	// Submit uses, so this cannot deadlock.
+	depths := s.queue.Depths()
+	if len(depths) > 0 {
+		st.TenantQueued = make(map[string]int64, len(depths))
+		for k, v := range depths {
+			st.TenantQueued[k] = int64(v)
+		}
+	}
 	st.DiskHits, st.DiskMisses = s.cache.StoreStats()
+	if s.peer != nil {
+		st.PeerHits, st.PeerMisses = s.peer.Stats()
+		st.PeerPuts, st.PeerErrors = s.peer.NetStats()
+	}
 	return st
 }
 
@@ -652,7 +851,11 @@ func (s *Service) accountPackages(t *report.TopologyReport) {
 
 func (s *Service) worker() {
 	defer s.wg.Done()
-	for j := range s.queue {
+	for {
+		j, ok := s.queue.Pop()
+		if !ok {
+			return
+		}
 		s.run(j)
 	}
 }
@@ -665,8 +868,9 @@ func (s *Service) run(j *Job) {
 	j.Started = time.Now()
 	s.mu.Unlock()
 	s.queueWait.Observe(j.Started.Sub(j.Submitted).Seconds())
+	s.events.publish(j.ID, JobEvent{Kind: "state", State: StateRunning, Tenant: j.Spec.Tenant})
 
-	res, err := s.simulate(j.Spec)
+	res, err := s.simulate(j.Spec, s.events.progressProbe(j.ID))
 
 	s.mu.Lock()
 	s.running--
@@ -686,15 +890,26 @@ func (s *Service) run(j *Job) {
 		s.cycles += res.Cycles
 		s.wallNs += int64(res.WallMs * 1e6)
 	}
+	s.tenantDone[j.Spec.Tenant]++
+	final := JobEvent{Kind: "state", State: j.State, Tenant: j.Spec.Tenant, Error: j.Error}
+	if j.Result != nil {
+		final.Cycles = j.Result.Cycles
+	}
 	s.mu.Unlock()
 	s.jobLat.Observe(j.Finished.Sub(j.Submitted).Seconds())
+	s.events.publish(j.ID, final)
+	s.events.finish(j.ID)
 	close(j.done)
 }
 
 // simulate is one job's whole pipeline: resolve, compile-or-fetch, run.
 // Everything here is also what a standalone ptsim run does, so service
-// cycles are bit-identical to the CLI's for the same spec.
-func (s *Service) simulate(spec JobSpec) (JobResult, error) {
+// cycles are bit-identical to the CLI's for the same spec. probe, when
+// non-nil, streams coarse progress to event subscribers on the
+// single-package path; attached probes are proven invisible in Results by
+// the crosscheck probe oracle, so subscribing to a job's events can never
+// change its outcome.
+func (s *Service) simulate(spec JobSpec, probe obs.Probe) (JobResult, error) {
 	r, err := spec.resolve()
 	if err != nil {
 		return JobResult{}, err
@@ -726,6 +941,9 @@ func (s *Service) simulate(spec JobSpec) (JobResult, error) {
 	}
 
 	setup := togsim.NewStandard(r.Cfg, r.Net, dram.FRFCFS)
+	if probe != nil {
+		setup.AttachProbe(probe)
+	}
 	setup.Engine.MaxCycles = r.MaxCycles
 	if setup.Engine.MaxCycles == 0 {
 		setup.Engine.MaxCycles = s.cfg.MaxCycles

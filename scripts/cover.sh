@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# cover.sh -- per-package statement coverage summary with a hard floor on
+# cover.sh -- per-package statement coverage summary with hard floors on
 # internal/crosscheck (the differential checker must itself be well tested:
-# a checker bug silently weakens every oracle).
+# a checker bug silently weakens every oracle) and internal/fleet (the
+# sharding coordinator's failure paths — re-dispatch, duplicate-completion
+# guards, health transitions — only exist in tests).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 CROSSCHECK_FLOOR="${CROSSCHECK_FLOOR:-80}"
+FLEET_FLOOR="${FLEET_FLOOR:-80}"
 
 out=$(go test -short -cover ./internal/... . 2>&1 | grep -v '\[no test files\]')
 echo "$out"
@@ -16,13 +19,20 @@ if [ "$fail" -gt 0 ]; then
     exit 1
 fi
 
-pct=$(echo "$out" | awk '/repro\/internal\/crosscheck/ { for (i=1;i<=NF;i++) if ($i ~ /%$/) { gsub(/%/,"",$i); print $i } }')
-if [ -z "$pct" ]; then
-    echo "cover: no coverage figure for internal/crosscheck"
-    exit 1
-fi
-if awk -v p="$pct" -v f="$CROSSCHECK_FLOOR" 'BEGIN { exit !(p < f) }'; then
-    echo "cover: internal/crosscheck at ${pct}% — below the ${CROSSCHECK_FLOOR}% floor"
-    exit 1
-fi
-echo "cover: internal/crosscheck at ${pct}% (floor ${CROSSCHECK_FLOOR}%)"
+# floor <package-suffix> <floor-pct> -- enforce a minimum coverage figure.
+floor() {
+    local pkg="$1" want="$2" pct
+    pct=$(echo "$out" | awk -v pkg="repro/$1" '$0 ~ pkg"[ \t]" { for (i=1;i<=NF;i++) if ($i ~ /%$/) { gsub(/%/,"",$i); print $i } }')
+    if [ -z "$pct" ]; then
+        echo "cover: no coverage figure for $pkg"
+        exit 1
+    fi
+    if awk -v p="$pct" -v f="$want" 'BEGIN { exit !(p < f) }'; then
+        echo "cover: $pkg at ${pct}% — below the ${want}% floor"
+        exit 1
+    fi
+    echo "cover: $pkg at ${pct}% (floor ${want}%)"
+}
+
+floor internal/crosscheck "$CROSSCHECK_FLOOR"
+floor internal/fleet "$FLEET_FLOOR"

@@ -1,0 +1,125 @@
+#!/usr/bin/env bash
+# fleet-smoke: end-to-end check of the sharded simulation fleet. Boots
+# ptsimfleet (3 ptsimd members on ephemeral ports behind the sharding
+# coordinator), submits jobs under distinct tenants, and requires:
+#   1. every job finishes and the coordinator's cycle count for a GEMM is
+#      bit-identical to a direct ptsim run of the same configuration;
+#   2. the remote peer-cache tier works — after the fleet warms one member,
+#      the same job submitted directly to the OTHER members completes with
+#      kernels_measured == 0 (the compiled latency table came over the
+#      wire, not from recompilation);
+#   3. SIGTERM shuts the whole fleet down cleanly.
+# Wired into `make check` via the fleet-smoke target.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+echo "fleet-smoke: building ptsimfleet and ptsim"
+go build -o "$tmp/ptsimfleet" ./cmd/ptsimfleet
+go build -o "$tmp/ptsim" ./cmd/ptsim
+
+"$tmp/ptsimfleet" -n 3 -addr 127.0.0.1:0 -workers 2 >"$tmp/fleet.log" 2>&1 &
+pid=$!
+
+coord=""
+for _ in $(seq 1 100); do
+  coord=$(sed -n 's/^ptsimfleet: coordinator on \(.*\)$/\1/p' "$tmp/fleet.log" | head -1)
+  [ -n "$coord" ] && break
+  kill -0 "$pid" 2>/dev/null || { echo "fleet-smoke: fleet died:"; cat "$tmp/fleet.log"; exit 1; }
+  sleep 0.1
+done
+[ -n "$coord" ] || { echo "fleet-smoke: coordinator never reported its address"; cat "$tmp/fleet.log"; exit 1; }
+mapfile -t members < <(sed -n 's/^ptsimfleet: member m[0-9]* on \(.*\)$/\1/p' "$tmp/fleet.log")
+[ "${#members[@]}" = 3 ] || { echo "fleet-smoke: expected 3 members, got ${#members[@]}"; cat "$tmp/fleet.log"; exit 1; }
+echo "fleet-smoke: coordinator at $coord, members ${members[*]}"
+
+# submit POSTs a job spec to $1/jobs and echoes the job id.
+submit() {
+  curl -sf -X POST "$1/jobs" -d "$2" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p'
+}
+
+# wait_done polls $1/jobs/$2 until done and echoes the final job JSON.
+wait_done() {
+  local job state
+  for _ in $(seq 1 300); do
+    job=$(curl -sf "$1/jobs/$2")
+    state=$(printf '%s' "$job" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+    case "$state" in
+      done) printf '%s' "$job"; return 0 ;;
+      failed) echo "fleet-smoke: job $2 failed: $job" >&2; return 1 ;;
+    esac
+    sleep 0.1
+  done
+  echo "fleet-smoke: job $2 did not finish (state=$state)" >&2
+  return 1
+}
+
+spec='{"model":"gemm","n":64,"npu":"small","tenant":"team-a"}'
+id_a=$(submit "$coord" "$spec")
+id_b=$(submit "$coord" '{"model":"mlp","batch":2,"npu":"small","tenant":"team-b"}')
+[ -n "$id_a" ] && [ -n "$id_b" ] || { echo "fleet-smoke: submission returned no job id"; exit 1; }
+echo "fleet-smoke: submitted $id_a (team-a) and $id_b (team-b)"
+
+job_a=$(wait_done "$coord" "$id_a")
+wait_done "$coord" "$id_b" >/dev/null
+fleet_cycles=$(printf '%s' "$job_a" | sed -n 's/.*"cycles": *\([0-9]*\).*/\1/p' | head -1)
+[ -n "$fleet_cycles" ] || { echo "fleet-smoke: no cycle count in $job_a"; exit 1; }
+
+cli_cycles=$("$tmp/ptsim" -model gemm -n 64 -small | sed -n 's/^TLS: \([0-9]*\) cycles.*/\1/p')
+if [ "$fleet_cycles" != "$cli_cycles" ]; then
+  echo "fleet-smoke: FAIL — fleet reported $fleet_cycles cycles, ptsim $cli_cycles"
+  exit 1
+fi
+echo "fleet-smoke: cycles match direct ptsim run ($fleet_cycles)"
+
+# Peer-cache pin: the fleet routed the GEMM to exactly one member, which
+# compiled it (measured its kernels) and pushed the latency table to the
+# table's hash owner. Submitting the identical spec directly to every
+# member must now recompile NOWHERE: the hash owner serves it locally and
+# the others pull it over the peer tier, so fleet-wide kernels_measured
+# stays frozen while every member reports identical cycles.
+measured_of() {
+  curl -sf "$1/stats" | sed -n 's/.*"kernels_measured": *\([0-9]*\).*/\1/p' | head -1
+}
+before=()
+for m in "${members[@]}"; do
+  v=$(measured_of "$m")
+  [ -n "$v" ] || { echo "fleet-smoke: no kernels_measured in $m/stats"; exit 1; }
+  before+=("$v")
+done
+for i in "${!members[@]}"; do
+  m=${members[$i]}
+  mid=$(submit "$m" "$spec")
+  mjob=$(wait_done "$m" "$mid")
+  mcycles=$(printf '%s' "$mjob" | sed -n 's/.*"cycles": *\([0-9]*\).*/\1/p' | head -1)
+  if [ "$mcycles" != "$fleet_cycles" ]; then
+    echo "fleet-smoke: FAIL — member $m reported $mcycles cycles, fleet $fleet_cycles"
+    exit 1
+  fi
+  after=$(measured_of "$m")
+  if [ "$after" != "${before[$i]}" ]; then
+    echo "fleet-smoke: FAIL — member $m recompiled a warmed spec (kernels_measured ${before[$i]} -> $after; the peer tier should have served it)"
+    curl -sf "$coord/stats" || true
+    exit 1
+  fi
+done
+echo "fleet-smoke: peer cache tier OK — warmed spec ran on all 3 members with zero new kernel measurements, identical cycles everywhere"
+
+stats=$(curl -sf "$coord/stats")
+printf '%s' "$stats" | grep -q '"team-a"' || { echo "fleet-smoke: tenant team-a missing from fleet stats"; exit 1; }
+printf '%s' "$stats" | grep -q '"duplicate_completions": *0' || { echo "fleet-smoke: duplicate completions reported: $stats"; exit 1; }
+curl -sf "$coord/metrics" | grep -q '^ptsimfleet_jobs_done_total' || { echo "fleet-smoke: fleet exposition missing"; exit 1; }
+
+kill -TERM "$pid"
+wait "$pid" || { echo "fleet-smoke: fleet exited non-zero on SIGTERM"; cat "$tmp/fleet.log"; exit 1; }
+pid=""
+grep -q "draining" "$tmp/fleet.log" || { echo "fleet-smoke: no clean drain line"; cat "$tmp/fleet.log"; exit 1; }
+echo "fleet-smoke: clean shutdown"
+echo "fleet-smoke: OK"
